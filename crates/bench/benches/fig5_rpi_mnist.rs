@@ -1,0 +1,58 @@
+//! Benchmark for **Figure 5** (Raspberry Pi 3B+, digit recognition): the
+//! per-inference cost of the baseline MLP-8 versus TeamNet's 2×MLP-4 and
+//! 4×MLP-2 — the figure's claim is that more, smaller experts shrink
+//! per-node latency, memory and CPU load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teamnet_bench::suites::{mnist_baseline_spec, mnist_expert_spec, Scale};
+use teamnet_bench::tables::mnist_workload;
+use teamnet_core::build_expert;
+use teamnet_nn::{Layer, Mode};
+use teamnet_partition::{simulate, Strategy};
+use teamnet_simnet::{ComputeUnit, DeviceProfile, SimCluster};
+use teamnet_tensor::Tensor;
+
+fn bench_per_node_work(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("fig5/per_node_forward");
+    let image = Tensor::rand_uniform(
+        [1, 1, 28, 28],
+        0.0,
+        1.0,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3),
+    );
+    // What one node actually executes per inference under each setup.
+    for (name, spec) in [
+        ("mlp8_baseline", mnist_baseline_spec(&scale)),
+        ("mlp4_expert", mnist_expert_spec(&scale, 2)),
+        ("mlp2_expert", mnist_expert_spec(&scale, 4)),
+    ] {
+        let mut model = build_expert(&spec, 0);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.forward(black_box(&image), Mode::Eval)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulated_figure(c: &mut Criterion) {
+    let scale = Scale::full();
+    let mut group = c.benchmark_group("fig5/simulated_rpi");
+    let device = DeviceProfile::raspberry_pi_3b_plus();
+    for (name, strategy, nodes) in [
+        ("baseline", Strategy::Baseline, 1usize),
+        ("teamnet_x2", Strategy::TeamNet { k: 2 }, 2),
+        ("teamnet_x4", Strategy::TeamNet { k: 4 }, 4),
+    ] {
+        let w = mnist_workload(&scale, nodes.max(2));
+        let cluster = SimCluster::homogeneous(device.clone(), nodes);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(simulate(strategy, &w, &cluster, ComputeUnit::Cpu)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_node_work, bench_simulated_figure);
+criterion_main!(benches);

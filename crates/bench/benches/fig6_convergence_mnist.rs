@@ -1,0 +1,49 @@
+//! Benchmark for **Figure 6** (convergence of data-assignment proportions,
+//! digits): the cost of the dynamic gate (Algorithm 2) per training batch
+//! — the machinery whose convergence the figure plots — for K = 2 and
+//! K = 4, plus a full TeamNet training iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teamnet_core::{DynamicGate, GateConfig, TrainConfig, Trainer};
+use teamnet_data::synth_digits;
+use teamnet_nn::ModelSpec;
+use teamnet_tensor::Tensor;
+
+fn bench_gate_assign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/gate_assign");
+    for k in [2usize, 4] {
+        let entropy = Tensor::rand_uniform(
+            [64, k],
+            0.05,
+            2.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4),
+        );
+        group.bench_function(format!("k{k}_batch64"), |b| {
+            let mut gate = DynamicGate::new(k, GateConfig::default(), 0);
+            b.iter(|| black_box(gate.assign(black_box(&entropy))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_training_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6/train_epoch");
+    group.sample_size(10);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let data = synth_digits(128, &mut rng);
+    for k in [2usize, 4] {
+        group.bench_function(format!("k{k}_epoch_128ex"), |b| {
+            b.iter(|| {
+                let config = TrainConfig { epochs: 1, batch_size: 64, ..TrainConfig::default() };
+                let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), k, config);
+                trainer.train_epoch(&data);
+                black_box(trainer.history().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_assign, bench_training_iteration);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Benchmark for **Figure 7** (Jetson TX2, image classification): the
+//! per-node forward cost of SS-26 versus the SS-14 and SS-8 experts — the
+//! compute asymmetry behind the figure's latency panel — plus the
+//! simulated figure rows on both compute units.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teamnet_bench::suites::{cifar_baseline_spec, cifar_expert_spec, Scale};
+use teamnet_bench::tables::cifar_workload;
+use teamnet_core::build_expert;
+use teamnet_nn::{Layer, Mode};
+use teamnet_partition::{simulate, Strategy};
+use teamnet_simnet::{ComputeUnit, DeviceProfile, SimCluster};
+use teamnet_tensor::Tensor;
+
+fn bench_shake_shake_forwards(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let mut group = c.benchmark_group("fig7/model_forward");
+    group.sample_size(20);
+    let image = Tensor::rand_uniform(
+        [1, 3, 32, 32],
+        0.0,
+        1.0,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(6),
+    );
+    for (name, spec) in [
+        ("ss26_baseline", cifar_baseline_spec(&scale)),
+        ("ss14_expert", cifar_expert_spec(&scale, 2)),
+        ("ss8_expert", cifar_expert_spec(&scale, 4)),
+    ] {
+        let mut model = build_expert(&spec, 0);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.forward(black_box(&image), Mode::Eval)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulated_figure(c: &mut Criterion) {
+    let scale = Scale::full();
+    let mut group = c.benchmark_group("fig7/simulated");
+    for (unit, unit_name, profile) in [
+        (ComputeUnit::Cpu, "cpu", DeviceProfile::jetson_tx2_cpu()),
+        (ComputeUnit::Gpu, "gpu", DeviceProfile::jetson_tx2_gpu()),
+    ] {
+        for (name, strategy, nodes) in [
+            ("baseline", Strategy::Baseline, 1usize),
+            ("teamnet_x2", Strategy::TeamNet { k: 2 }, 2),
+            ("teamnet_x4", Strategy::TeamNet { k: 4 }, 4),
+        ] {
+            let w = cifar_workload(&scale, nodes.max(2));
+            let cluster = SimCluster::homogeneous(profile.clone(), nodes);
+            group.bench_function(format!("{unit_name}_{name}"), |b| {
+                b.iter(|| black_box(simulate(strategy, &w, &cluster, unit)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shake_shake_forwards, bench_simulated_figure);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmark for **Figure 8** (convergence of data-assignment proportions,
+//! images): the dynamic gate at CNN-training batch shapes, and one
+//! TeamNet training iteration on the synthetic object dataset with SS-8
+//! experts — the loop whose assignment shares the figure tracks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teamnet_core::{DynamicGate, GateConfig, TrainConfig, Trainer};
+use teamnet_data::synth_objects;
+use teamnet_nn::ModelSpec;
+use teamnet_tensor::Tensor;
+
+fn bench_gate_at_cnn_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/gate_assign");
+    for k in [2usize, 4] {
+        let entropy = Tensor::rand_uniform(
+            [64, k],
+            0.05,
+            2.3,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7),
+        );
+        group.bench_function(format!("k{k}_batch64"), |b| {
+            let mut gate = DynamicGate::new(k, GateConfig::default(), 0);
+            b.iter(|| black_box(gate.assign(black_box(&entropy))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnn_training_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/train_iteration");
+    group.sample_size(10);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+    let data = synth_objects(32, &mut rng);
+    let spec = ModelSpec::ShakeShake {
+        blocks_per_stage: 1,
+        base_channels: 4,
+        in_channels: 3,
+        image_hw: 32,
+        classes: 10,
+    };
+    group.bench_function("k2_ss8_batch32", |b| {
+        b.iter(|| {
+            let config = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+            let mut trainer = Trainer::new(spec.clone(), 2, config);
+            trainer.train_epoch(&data);
+            black_box(trainer.history().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gate_at_cnn_scale, bench_cnn_training_iteration);
+criterion_main!(benches);

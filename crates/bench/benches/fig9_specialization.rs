@@ -1,0 +1,37 @@
+//! Benchmark for **Figure 9** (expert specialization): the cost of the
+//! collaborative evaluation pass that produces the per-class win-rate
+//! heat map, for K = 2 and K = 4 teams on the synthetic object dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teamnet_core::{build_expert, TeamNet};
+use teamnet_data::synth_objects;
+use teamnet_nn::ModelSpec;
+
+fn bench_specialization_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/team_evaluate");
+    group.sample_size(10);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let test = synth_objects(50, &mut rng);
+    let spec = ModelSpec::ShakeShake {
+        blocks_per_stage: 1,
+        base_channels: 4,
+        in_channels: 3,
+        image_hw: 32,
+        classes: 10,
+    };
+    for k in [2usize, 4] {
+        let experts = (0..k as u64).map(|i| build_expert(&spec, i)).collect();
+        let mut team = TeamNet::from_experts(spec.clone(), experts);
+        group.bench_function(format!("k{k}_50_images"), |b| {
+            b.iter(|| {
+                let eval = team.evaluate(&test);
+                black_box(eval.specialization())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_specialization_eval);
+criterion_main!(benches);

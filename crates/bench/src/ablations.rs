@@ -1,0 +1,313 @@
+//! Ablations of the design choices DESIGN.md calls out — beyond the
+//! paper's own evaluation, these probe *why* TeamNet behaves as it does.
+//!
+//! 1. [`gain_sweep`] — the proportional-controller gain `a` against
+//!    convergence speed (theory and measured);
+//! 2. [`link_sweep`] — where TeamNet's latency win appears/disappears as
+//!    the network gets better or worse;
+//! 3. [`combiner_comparison`] — the paper's arg-min-entropy gate versus
+//!    the rejected majority-vote ensemble (Section V);
+//! 4. [`load_sweep`] — response time under a Poisson request stream, where
+//!    TeamNet's smaller per-node service time buys headroom.
+
+use crate::suites::{mnist_baseline_spec, mnist_expert_spec, MnistSuite, Scale};
+use serde::{Deserialize, Serialize};
+use teamnet_core::convergence::{gamma_recurrence, imbalance};
+use teamnet_core::{build_expert, TrainConfig, Trainer};
+use teamnet_data::synth_digits;
+use teamnet_nn::ModelSpec;
+use teamnet_partition::{simulate, ModelCost, Strategy, Workload};
+use teamnet_simnet::{
+    simulate_serving, ComputeUnit, DeviceProfile, SimCluster, SimTime, WifiLink,
+};
+
+/// One row of the controller-gain ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GainRow {
+    /// Controller gain `a`.
+    pub gain: f32,
+    /// Theoretical residual imbalance of the Appendix A recurrence after
+    /// 100 batches from a 0.9/0.1 start (the tail contraction rate is
+    /// `(L−1)/L·(1 − a/(L−1))`, so larger gains damp harder).
+    pub theory_imbalance_at_100: f32,
+    /// Measured final imbalance after a short real training run.
+    pub measured_imbalance: f32,
+}
+
+/// Sweeps the proportional-controller gain `a`.
+pub fn gain_sweep(seed: u64) -> Vec<GainRow> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let data = synth_digits(500, &mut rng);
+    [0.1f32, 0.3, 0.5, 0.7, 0.9]
+        .iter()
+        .map(|&gain| {
+            // Theory: residual deviation after 100 batches.
+            let trajectory = gamma_recurrence(gain, &[0.9, 0.1], 100);
+            let theory_imbalance_at_100 = imbalance(trajectory.last().expect("non-empty"));
+            // Measurement: a short real training run with this gain.
+            let mut config = TrainConfig { epochs: 3, batch_size: 50, seed, ..TrainConfig::default() };
+            config.gate.gain = gain;
+            let mut trainer = Trainer::new(ModelSpec::mlp(2, 24), 2, config);
+            trainer.train(&data);
+            let measured_imbalance = trainer.history().final_imbalance(3);
+            GainRow { gain, theory_imbalance_at_100, measured_imbalance }
+        })
+        .collect()
+}
+
+/// One row of the link-quality ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkRow {
+    /// Link label.
+    pub link: String,
+    /// Baseline latency (ms) — link-independent.
+    pub baseline_ms: f64,
+    /// TeamNet ×2 latency (ms) on this link.
+    pub teamnet_x2_ms: f64,
+    /// MPI-Matrix ×2 latency (ms) on this link.
+    pub mpi_matrix_x2_ms: f64,
+}
+
+/// Sweeps the network quality under the MNIST workload: TeamNet's win
+/// grows as the link worsens *relative to MPI*, but the baseline wins
+/// outright when the link is bad enough.
+pub fn link_sweep(scale: &Scale) -> Vec<LinkRow> {
+    let full_spec = mnist_baseline_spec(scale);
+    let expert_spec = mnist_expert_spec(scale, 2);
+    let w = Workload {
+        full: ModelCost::measure(&build_expert(&full_spec, 0), &full_spec.input_dims()),
+        expert: ModelCost::measure(&build_expert(&expert_spec, 0), &expert_spec.input_dims()),
+        result_bytes: 20,
+    };
+    [
+        ("ethernet", WifiLink::ethernet()),
+        ("wifi-802.11n", WifiLink::wifi_80211n()),
+        ("wifi-congested", WifiLink::wifi_congested()),
+    ]
+    .into_iter()
+    .map(|(name, link)| {
+        let cluster =
+            SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2).with_link(link);
+        let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu);
+        let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu);
+        let mpi = simulate(Strategy::MpiMatrix { nodes: 2 }, &w, &cluster, ComputeUnit::Cpu);
+        LinkRow {
+            link: name.to_string(),
+            baseline_ms: base.sim.makespan.as_millis_f64(),
+            teamnet_x2_ms: team.sim.makespan.as_millis_f64(),
+            mpi_matrix_x2_ms: mpi.sim.makespan.as_millis_f64(),
+        }
+    })
+    .collect()
+}
+
+/// Result of the inference-combiner ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinerRow {
+    /// Number of experts.
+    pub k: usize,
+    /// Accuracy of the paper's arg-min-entropy gate.
+    pub argmin_accuracy: f64,
+    /// Accuracy of the rejected (weighted) majority vote.
+    pub majority_accuracy: f64,
+}
+
+/// Compares the arg-min gate against the majority vote on trained teams
+/// (Section V's design argument).
+pub fn combiner_comparison(suite: &mut MnistSuite) -> Vec<CombinerRow> {
+    let test = suite.test.clone();
+    let mut rows = Vec::new();
+    for k in [2usize, 4] {
+        let team = if k == 2 { &mut suite.team2.team } else { &mut suite.team4.team };
+        rows.push(CombinerRow {
+            k,
+            argmin_accuracy: team.evaluate(&test).accuracy,
+            majority_accuracy: team.evaluate_majority(&test),
+        });
+    }
+    rows
+}
+
+/// One row of the request-rate ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadRow {
+    /// Arrival rate in requests/second.
+    pub rate_hz: f64,
+    /// Mean response time (ms) serving with the baseline model.
+    pub baseline_mean_ms: f64,
+    /// Mean response time (ms) serving with TeamNet ×2.
+    pub teamnet_mean_ms: f64,
+    /// Baseline server utilization.
+    pub baseline_utilization: f64,
+    /// TeamNet master utilization.
+    pub teamnet_utilization: f64,
+}
+
+/// Sweeps the request rate through an M/D/1 server using each strategy's
+/// modeled service time: the strategy with the lower service time saturates
+/// later.
+pub fn load_sweep(scale: &Scale, seed: u64) -> Vec<LoadRow> {
+    use rand::SeedableRng;
+    let full_spec = mnist_baseline_spec(scale);
+    let expert_spec = mnist_expert_spec(scale, 2);
+    let w = Workload {
+        full: ModelCost::measure(&build_expert(&full_spec, 0), &full_spec.input_dims()),
+        expert: ModelCost::measure(&build_expert(&expert_spec, 0), &expert_spec.input_dims()),
+        result_bytes: 20,
+    };
+    let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2);
+    let base_service =
+        simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
+    let team_service =
+        simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
+
+    [20.0f64, 60.0, 120.0, 180.0]
+        .iter()
+        .map(|&rate_hz| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let base = serve_capped(base_service, rate_hz, &mut rng);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let team = serve_capped(team_service, rate_hz, &mut rng);
+            LoadRow {
+                rate_hz,
+                baseline_mean_ms: base.0,
+                teamnet_mean_ms: team.0,
+                baseline_utilization: base.1,
+                teamnet_utilization: team.1,
+            }
+        })
+        .collect()
+}
+
+/// One row of the mixed-hardware ablation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedClusterRow {
+    /// Cluster composition label.
+    pub cluster: String,
+    /// TeamNet ×2 end-to-end latency (ms).
+    pub teamnet_x2_ms: f64,
+    /// Latency of the slowest node's local compute alone (ms).
+    pub slowest_compute_ms: f64,
+}
+
+/// The paper claims TeamNet "is proven to work well with ... different
+/// numbers and types of edge devices"; this ablation quantifies the cost
+/// of heterogeneity: the arg-min gather waits for the slowest expert.
+pub fn mixed_cluster_sweep(scale: &Scale) -> Vec<MixedClusterRow> {
+    use teamnet_simnet::SimCluster as SC;
+    let full_spec = mnist_baseline_spec(scale);
+    let expert_spec = mnist_expert_spec(scale, 2);
+    let w = Workload {
+        full: ModelCost::measure(&build_expert(&full_spec, 0), &full_spec.input_dims()),
+        expert: ModelCost::measure(&build_expert(&expert_spec, 0), &expert_spec.input_dims()),
+        result_bytes: 20,
+    };
+    let jetson = DeviceProfile::jetson_tx2_cpu;
+    let rpi = DeviceProfile::raspberry_pi_3b_plus;
+    [
+        ("jetson+jetson", vec![jetson(), jetson()]),
+        ("jetson+rpi", vec![jetson(), rpi()]),
+        ("rpi+rpi", vec![rpi(), rpi()]),
+    ]
+    .into_iter()
+    .map(|(name, devices)| {
+        let slowest_compute_ms = devices
+            .iter()
+            .map(|d| {
+                d.compute_time(w.expert.total_flops(), w.expert.depth(), ComputeUnit::Cpu)
+                    .as_millis_f64()
+            })
+            .fold(0.0f64, f64::max);
+        let cluster = SC::heterogeneous(devices);
+        let report = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu);
+        MixedClusterRow {
+            cluster: name.to_string(),
+            teamnet_x2_ms: report.sim.makespan.as_millis_f64(),
+            slowest_compute_ms,
+        }
+    })
+    .collect()
+}
+
+/// Serves 2 000 requests unless the offered load exceeds capacity, in
+/// which case the response time is reported as infinite (the queue grows
+/// without bound).
+fn serve_capped(service: SimTime, rate_hz: f64, rng: &mut impl rand::Rng) -> (f64, f64) {
+    let capacity_hz = 1.0 / service.as_secs_f64();
+    if rate_hz >= capacity_hz {
+        return (f64::INFINITY, 1.0);
+    }
+    let report = simulate_serving(service, rate_hz, 2_000, rng);
+    (report.mean_response.as_millis_f64(), report.utilization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_sweep_theory_monotone() {
+        let rows = gain_sweep(3);
+        assert_eq!(rows.len(), 5);
+        // Higher gain → smaller theoretical residual at batch 100.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].theory_imbalance_at_100 <= pair[0].theory_imbalance_at_100 + 1e-7,
+                "{pair:?}"
+            );
+        }
+        // Every measured run still balances reasonably.
+        for row in &rows {
+            assert!(row.measured_imbalance < 0.35, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn link_sweep_shapes() {
+        let rows = link_sweep(&Scale::full());
+        assert_eq!(rows.len(), 3);
+        let eth = &rows[0];
+        let congested = &rows[2];
+        // Baseline is link-independent.
+        assert!((eth.baseline_ms - congested.baseline_ms).abs() < 1e-6);
+        // Congestion hurts TeamNet and devastates MPI.
+        assert!(congested.teamnet_x2_ms > eth.teamnet_x2_ms);
+        assert!(congested.mpi_matrix_x2_ms > 2.0 * eth.mpi_matrix_x2_ms);
+        // On ethernet TeamNet clearly beats the baseline.
+        assert!(eth.teamnet_x2_ms < eth.baseline_ms);
+    }
+
+    #[test]
+    fn mixed_cluster_pays_for_its_slowest_member() {
+        let rows = mixed_cluster_sweep(&Scale::full());
+        assert_eq!(rows.len(), 3);
+        // Latency ordering follows the slowest device.
+        assert!(rows[0].teamnet_x2_ms < rows[1].teamnet_x2_ms);
+        assert!(rows[1].teamnet_x2_ms <= rows[2].teamnet_x2_ms + 1e-9);
+        // And each is at least the slowest member's compute time.
+        for row in &rows {
+            assert!(row.teamnet_x2_ms >= row.slowest_compute_ms, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn load_sweep_saturates_baseline_first() {
+        let rows = load_sweep(&Scale::full(), 9);
+        assert_eq!(rows.len(), 4);
+        // At low rate both respond near their service times.
+        assert!(rows[0].baseline_mean_ms.is_finite());
+        // TeamNet (shorter service time) keeps lower utilization throughout.
+        for row in &rows {
+            if row.baseline_utilization < 1.0 {
+                assert!(row.teamnet_utilization <= row.baseline_utilization + 1e-9, "{row:?}");
+            }
+        }
+        // The baseline saturates at or before the rate TeamNet saturates.
+        let base_sat = rows.iter().position(|r| r.baseline_mean_ms.is_infinite());
+        let team_sat = rows.iter().position(|r| r.teamnet_mean_ms.is_infinite());
+        if let (Some(b), Some(t)) = (base_sat, team_sat) {
+            assert!(b <= t);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Generators for Figures 5–9.
+
+use crate::suites::{
+    cifar_baseline_spec, cifar_expert_spec, mnist_baseline_spec, mnist_expert_spec, CifarSuite,
+    MnistSuite,
+};
+use crate::tables::TableRow;
+use serde::{Deserialize, Serialize};
+use teamnet_core::{build_expert, TrainingHistory};
+use teamnet_data::{superclass, SuperClass, OBJECT_CLASSES};
+use teamnet_partition::{simulate, ModelCost, Strategy, Workload};
+use teamnet_simnet::{ComputeUnit, DeviceProfile, SimCluster};
+
+fn workload_pair(
+    full_spec: &teamnet_nn::ModelSpec,
+    expert_spec: &teamnet_nn::ModelSpec,
+) -> Workload {
+    Workload {
+        full: ModelCost::measure(&build_expert(full_spec, 0), &full_spec.input_dims()),
+        expert: ModelCost::measure(&build_expert(expert_spec, 0), &expert_spec.input_dims()),
+        result_bytes: 20,
+    }
+}
+
+/// Figure 5: Raspberry Pi 3B+, digit recognition — baseline MLP-8 vs
+/// TeamNet 2×MLP-4 vs 4×MLP-2 (accuracy / latency / memory / CPU).
+pub fn fig5(suite: &MnistSuite) -> Vec<TableRow> {
+    let device = DeviceProfile::raspberry_pi_3b_plus();
+    let base_spec = mnist_baseline_spec(&suite.scale);
+    let mut rows = Vec::new();
+
+    let w_base = workload_pair(&base_spec, &base_spec);
+    let one = SimCluster::homogeneous(device.clone(), 1);
+    let base = simulate(Strategy::Baseline, &w_base, &one, ComputeUnit::Cpu);
+    rows.push(TableRow {
+        name: "MLP-8 (baseline)".into(),
+        nodes: 1,
+        accuracy_pct: suite.baseline_accuracy * 100.0,
+        inference_ms: base.sim.makespan.as_millis_f64(),
+        memory_pct: base.memory_percent,
+        cpu_pct: base.sim.cpu_percent[0],
+        gpu_pct: 0.0,
+        messages: base.sim.messages_sent,
+    });
+
+    for &k in &[2usize, 4] {
+        let cluster = SimCluster::homogeneous(device.clone(), k);
+        let w = workload_pair(&base_spec, &mnist_expert_spec(&suite.scale, k));
+        let report = simulate(Strategy::TeamNet { k }, &w, &cluster, ComputeUnit::Cpu);
+        let acc = if k == 2 { suite.team2.accuracy } else { suite.team4.accuracy };
+        rows.push(TableRow {
+            name: format!("{k}xMLP-{} (TeamNet)", 8 / k),
+            nodes: k,
+            accuracy_pct: acc * 100.0,
+            inference_ms: report.sim.makespan.as_millis_f64(),
+            memory_pct: report.memory_percent,
+            cpu_pct: report.sim.cpu_percent[0],
+            gpu_pct: 0.0,
+            messages: report.sim.messages_sent,
+        });
+    }
+    rows
+}
+
+/// Figure 7: Jetson TX2, image classification — SS-26 vs TeamNet 2×SS-14
+/// vs 4×SS-8, on the chosen compute unit.
+pub fn fig7(suite: &CifarSuite, unit: ComputeUnit) -> Vec<TableRow> {
+    let device = match unit {
+        ComputeUnit::Cpu => DeviceProfile::jetson_tx2_cpu(),
+        ComputeUnit::Gpu => DeviceProfile::jetson_tx2_gpu(),
+    };
+    let base_spec = cifar_baseline_spec(&suite.scale);
+    let w_base = workload_pair(&base_spec, &base_spec);
+    let one = SimCluster::homogeneous(device.clone(), 1);
+    let base = simulate(Strategy::Baseline, &w_base, &one, unit);
+    let mut rows = vec![TableRow {
+        name: "SS-26 (baseline)".into(),
+        nodes: 1,
+        accuracy_pct: suite.baseline_accuracy * 100.0,
+        inference_ms: base.sim.makespan.as_millis_f64(),
+        memory_pct: base.memory_percent,
+        cpu_pct: base.sim.cpu_percent[0],
+        gpu_pct: base.sim.gpu_percent[0],
+        messages: base.sim.messages_sent,
+    }];
+    for &k in &[2usize, 4] {
+        let cluster = SimCluster::homogeneous(device.clone(), k);
+        let expert_spec = cifar_expert_spec(&suite.scale, k);
+        let w = workload_pair(&base_spec, &expert_spec);
+        let report = simulate(Strategy::TeamNet { k }, &w, &cluster, unit);
+        let acc = if k == 2 { suite.team2.accuracy } else { suite.team4.accuracy };
+        rows.push(TableRow {
+            name: format!("{k}xSS-{} (TeamNet)", expert_spec.depth()),
+            nodes: k,
+            accuracy_pct: acc * 100.0,
+            inference_ms: report.sim.makespan.as_millis_f64(),
+            memory_pct: report.memory_percent,
+            cpu_pct: report.sim.cpu_percent[0],
+            gpu_pct: report.sim.gpu_percent[0],
+            messages: report.sim.messages_sent,
+        });
+    }
+    rows
+}
+
+/// One series of a convergence figure: per-iteration cumulative shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceSeries {
+    /// Number of experts (set point is `1/k`).
+    pub k: usize,
+    /// `(iteration, cumulative shares)` samples.
+    pub points: Vec<(usize, Vec<f32>)>,
+    /// Maximum deviation from the set point over the last 10% of training.
+    pub final_imbalance: f32,
+}
+
+/// Extracts a downsampled convergence series (Figures 6 and 8) from a
+/// training history.
+pub fn convergence_series(history: &TrainingHistory, k: usize, samples: usize) -> ConvergenceSeries {
+    let n = history.records.len();
+    let stride = (n / samples.max(1)).max(1);
+    let points = history
+        .records
+        .iter()
+        .step_by(stride)
+        .map(|r| (r.iteration, r.cumulative_shares.clone()))
+        .collect();
+    let tail = (n / 10).max(1);
+    ConvergenceSeries { k, points, final_imbalance: history.final_imbalance(tail) }
+}
+
+/// Figure 6: MNIST γ-convergence for K = 2 and K = 4.
+pub fn fig6(suite: &MnistSuite) -> Vec<ConvergenceSeries> {
+    vec![
+        convergence_series(&suite.team2.history, 2, 20),
+        convergence_series(&suite.team4.history, 4, 20),
+    ]
+}
+
+/// Figure 8: CIFAR γ-convergence for K = 2 and K = 4.
+pub fn fig8(suite: &CifarSuite) -> Vec<ConvergenceSeries> {
+    vec![
+        convergence_series(&suite.team2.history, 2, 20),
+        convergence_series(&suite.team4.history, 4, 20),
+    ]
+}
+
+/// Renders a convergence series as text.
+pub fn render_convergence(series: &[ConvergenceSeries], title: &str) -> String {
+    let mut out = format!("== {title} ==\n");
+    for s in series {
+        out.push_str(&format!(
+            "K = {} (set point {:.3}); final imbalance {:.3}\n",
+            s.k,
+            1.0 / s.k as f32,
+            s.final_imbalance
+        ));
+        for (iter, shares) in &s.points {
+            let shares_txt: Vec<String> = shares.iter().map(|v| format!("{v:.3}")).collect();
+            out.push_str(&format!("  iter {:>6}: [{}]\n", iter, shares_txt.join(", ")));
+        }
+    }
+    out
+}
+
+/// Figure 9: per-class specialization of a trained team.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecializationMap {
+    /// Number of experts.
+    pub k: usize,
+    /// `share[class][expert]`: fraction of each class's test examples won
+    /// by each expert.
+    pub share: Vec<Vec<f64>>,
+    /// Mean share of *machine*-class examples won by each expert.
+    pub machine_share: Vec<f64>,
+    /// Mean share of *animal*-class examples won by each expert.
+    pub animal_share: Vec<f64>,
+}
+
+impl SpecializationMap {
+    /// The largest single-expert share of either super-category — how
+    /// cleanly the team split along the machine/animal boundary (1.0 =
+    /// one expert owns a whole super-category).
+    pub fn superclass_alignment(&self) -> f64 {
+        let max_m = self.machine_share.iter().cloned().fold(0.0, f64::max);
+        let max_a = self.animal_share.iter().cloned().fold(0.0, f64::max);
+        (max_m + max_a) / 2.0
+    }
+}
+
+/// Computes the Figure 9 specialization map for one trained CIFAR team.
+pub fn fig9(suite: &mut CifarSuite, k: usize) -> SpecializationMap {
+    let team = if k == 2 { &mut suite.team2.team } else { &mut suite.team4.team };
+    let eval = team.evaluate(&suite.test);
+    let share = eval.specialization();
+    let kx = team.k();
+    let mut machine = vec![0.0f64; kx];
+    let mut animal = vec![0.0f64; kx];
+    let (mut m_n, mut a_n) = (0usize, 0usize);
+    for (class, row) in share.iter().enumerate() {
+        match superclass(class) {
+            SuperClass::Machine => {
+                m_n += 1;
+                for (e, &v) in row.iter().enumerate() {
+                    machine[e] += v;
+                }
+            }
+            SuperClass::Animal => {
+                a_n += 1;
+                for (e, &v) in row.iter().enumerate() {
+                    animal[e] += v;
+                }
+            }
+        }
+    }
+    for v in &mut machine {
+        *v /= m_n.max(1) as f64;
+    }
+    for v in &mut animal {
+        *v /= a_n.max(1) as f64;
+    }
+    SpecializationMap { k: kx, share, machine_share: machine, animal_share: animal }
+}
+
+/// Renders a specialization map as a text heat map.
+pub fn render_specialization(map: &SpecializationMap, title: &str) -> String {
+    let mut out = format!("== {title} (K = {}) ==\n", map.k);
+    out.push_str(&format!("{:<12}", "class"));
+    for e in 0..map.k {
+        out.push_str(&format!(" expert{e:>2}"));
+    }
+    out.push('\n');
+    for (class, row) in map.share.iter().enumerate() {
+        out.push_str(&format!("{:<12}", OBJECT_CLASSES[class]));
+        for &v in row {
+            out.push_str(&format!(" {v:>8.2}"));
+        }
+        out.push('\n');
+    }
+    out.push_str("machines    ");
+    for &v in &map.machine_share {
+        out.push_str(&format!(" {v:>8.2}"));
+    }
+    out.push_str("\nanimals     ");
+    for &v in &map.animal_share {
+        out.push_str(&format!(" {v:>8.2}"));
+    }
+    out.push_str(&format!("\nsuper-category alignment: {:.2}\n", map.superclass_alignment()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suites::{MnistSuite, Scale};
+
+    #[test]
+    fn fig5_shapes() {
+        let suite = MnistSuite::train(Scale::quick());
+        let rows = fig5(&suite);
+        assert_eq!(rows.len(), 3);
+        // Figure 5's shape: more experts → faster inference, less memory,
+        // less CPU on the RPi.
+        assert!(rows[2].inference_ms < rows[0].inference_ms);
+        assert!(rows[2].memory_pct < rows[0].memory_pct);
+        assert!(rows[2].cpu_pct < rows[0].cpu_pct);
+    }
+
+    #[test]
+    fn fig6_converges() {
+        let suite = MnistSuite::train(Scale::quick());
+        let series = fig6(&suite);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].k, 2);
+        assert!(series[0].final_imbalance < 0.25, "{}", series[0].final_imbalance);
+        assert!(!series[1].points.is_empty());
+        let text = render_convergence(&series, "Figure 6");
+        assert!(text.contains("set point 0.500"));
+        assert!(text.contains("set point 0.250"));
+    }
+}

@@ -1,0 +1,371 @@
+//! Trained model suites shared by every table and figure.
+//!
+//! A suite trains, once, every contender a table needs: the single deep
+//! baseline, TeamNet with 2 and 4 experts, and SG-MoE with 2 and 4
+//! experts. Training really runs (on the synthetic datasets, or on the
+//! real MNIST IDX files when the `MNIST_DIR` environment variable points
+//! at them), so the accuracy columns are measured, not modeled.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use teamnet_core::{TeamNet, TrainConfig, Trainer, TrainingHistory};
+use teamnet_data::{mnist_from_dir, synth_digits, synth_objects, Dataset};
+use teamnet_moe::{SgMoe, SgMoeConfig};
+use teamnet_nn::{
+    accuracy, softmax_cross_entropy, Layer, Mode, ModelSpec, Sequential, Sgd,
+};
+
+/// Experiment scale: `full()` for paper-shaped runs, `quick()` for tests
+/// and smoke runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Training examples for the MNIST-side experiments.
+    pub train: usize,
+    /// Training examples for the CIFAR-side experiments (CNNs are ~100×
+    /// costlier per example, so this is smaller).
+    pub train_cifar: usize,
+    /// Held-out test examples.
+    pub test: usize,
+    /// Training epochs for the MNIST-side models.
+    pub epochs_mnist: usize,
+    /// Training epochs for the CIFAR-side models.
+    pub epochs_cifar: usize,
+    /// Hidden width of every MLP.
+    pub mlp_hidden: usize,
+    /// Base channel count of every Shake-Shake model.
+    pub ss_channels: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Paper-shaped scale (minutes of training on a laptop CPU).
+    pub fn full() -> Self {
+        Scale {
+            train: 6_000,
+            train_cifar: 2_500,
+            test: 1_500,
+            epochs_mnist: 8,
+            epochs_cifar: 5,
+            mlp_hidden: 256,
+            ss_channels: 8,
+            seed: 7,
+        }
+    }
+
+    /// Tiny scale for tests (seconds).
+    pub fn quick() -> Self {
+        Scale {
+            train: 600,
+            train_cifar: 200,
+            test: 150,
+            epochs_mnist: 3,
+            epochs_cifar: 1,
+            mlp_hidden: 64,
+            ss_channels: 4,
+            seed: 7,
+        }
+    }
+}
+
+/// Trains a plain single model (the paper's baseline column).
+fn train_baseline(
+    spec: &ModelSpec,
+    data: &Dataset,
+    epochs: usize,
+    seed: u64,
+    augment_shift: usize,
+) -> Sequential {
+    let mut model = teamnet_core::build_expert(spec, seed);
+    // The deep baselines need a gentler rate than the shallow experts.
+    let mut opt = Sgd::with_momentum(0.01, 0.9);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA5E);
+    for _ in 0..epochs {
+        let shuffled = data.shuffled(&mut rng);
+        for mut batch in shuffled.batches(64) {
+            if augment_shift > 0 {
+                batch.images =
+                    teamnet_data::augment_batch(&batch.images, augment_shift, &mut rng);
+            }
+            let logits = model.forward(&batch.images, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &batch.labels);
+            model.zero_grad();
+            model.backward(&out.grad);
+            opt.step(&mut model);
+        }
+    }
+    model
+}
+
+/// One trained TeamNet plus its training trace.
+pub struct TrainedTeam {
+    /// The deployable team.
+    pub team: TeamNet,
+    /// Assignment-share trajectory (Figures 6/8).
+    pub history: TrainingHistory,
+    /// Held-out accuracy.
+    pub accuracy: f64,
+}
+
+fn train_team(
+    spec: &ModelSpec,
+    k: usize,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+    seed: u64,
+    learning_rate: f32,
+    augment_shift: usize,
+) -> TrainedTeam {
+    let config = TrainConfig {
+        epochs,
+        batch_size: 64,
+        seed,
+        learning_rate,
+        augment_shift,
+        ..TrainConfig::default()
+    };
+    let mut trainer = Trainer::new(spec.clone(), k, config);
+    trainer.train(train);
+    let history = trainer.history().clone();
+    let mut team = trainer.into_calibrated_team(train);
+    let accuracy = team.evaluate(test).accuracy;
+    TrainedTeam { team, history, accuracy }
+}
+
+fn train_moe(
+    spec: &ModelSpec,
+    k: usize,
+    train: &Dataset,
+    test: &Dataset,
+    epochs: usize,
+    seed: u64,
+    learning_rate: f32,
+) -> (SgMoe, f64) {
+    let config = SgMoeConfig {
+        // Sparse routing (half the experts per example), matching the
+        // paper's "data examples are randomly assigned to experts" regime;
+        // top_k = K would be a dense ensemble, not SG-MoE.
+        top_k: (k / 2).max(1),
+        epochs,
+        batch_size: 64,
+        seed,
+        learning_rate,
+        ..SgMoeConfig::default()
+    };
+    let mut moe = SgMoe::new(spec.clone(), k, config);
+    moe.train(train);
+    let acc = moe.evaluate(test);
+    (moe, acc)
+}
+
+/// Every trained contender for the MNIST-side experiments (Figure 5,
+/// Tables I, Figure 6).
+pub struct MnistSuite {
+    /// Scale the suite was trained at.
+    pub scale: Scale,
+    /// Held-out test set.
+    pub test: Dataset,
+    /// The 8-layer baseline MLP and its accuracy.
+    pub baseline: Sequential,
+    /// Baseline held-out accuracy.
+    pub baseline_accuracy: f64,
+    /// TeamNet with two 4-layer experts.
+    pub team2: TrainedTeam,
+    /// TeamNet with four 2-layer experts.
+    pub team4: TrainedTeam,
+    /// SG-MoE with two 4-layer experts and its accuracy.
+    pub moe2: (SgMoe, f64),
+    /// SG-MoE with four 2-layer experts and its accuracy.
+    pub moe4: (SgMoe, f64),
+}
+
+/// Architecture of the MNIST baseline (MLP-8).
+pub fn mnist_baseline_spec(scale: &Scale) -> ModelSpec {
+    ModelSpec::mlp(8, scale.mlp_hidden)
+}
+
+/// Architecture of the K-expert MNIST TeamNet (2×MLP-4 / 4×MLP-2).
+pub fn mnist_expert_spec(scale: &Scale, k: usize) -> ModelSpec {
+    ModelSpec::mlp(8 / k, scale.mlp_hidden)
+}
+
+/// The MNIST-side dataset: real MNIST when `MNIST_DIR` is set, synthetic
+/// digits otherwise.
+pub fn mnist_dataset(scale: &Scale) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    if let Ok(dir) = std::env::var("MNIST_DIR") {
+        if let Ok(full) = mnist_from_dir(&dir) {
+            let shuffled = full.shuffled(&mut rng);
+            let take = (scale.train + scale.test).min(shuffled.len());
+            let indices: Vec<usize> = (0..take).collect();
+            return shuffled.subset(&indices);
+        }
+    }
+    synth_digits(scale.train + scale.test, &mut rng)
+}
+
+impl MnistSuite {
+    /// Trains every MNIST contender at `scale`.
+    pub fn train(scale: Scale) -> Self {
+        let data = mnist_dataset(&scale);
+        let (train, test) = data.split(data.len() - scale.test.min(data.len() / 5));
+        let baseline_spec = mnist_baseline_spec(&scale);
+        let baseline =
+            train_baseline(&baseline_spec, &train, scale.epochs_mnist, scale.seed, 0);
+        let mut baseline_model = baseline;
+        let logits = baseline_model.forward(test.images(), Mode::Eval);
+        let baseline_accuracy = accuracy(&logits, test.labels());
+
+        let team2 = train_team(
+            &mnist_expert_spec(&scale, 2),
+            2,
+            &train,
+            &test,
+            scale.epochs_mnist,
+            scale.seed,
+            0.1,
+            0,
+        );
+        let team4 = train_team(
+            &mnist_expert_spec(&scale, 4),
+            4,
+            &train,
+            &test,
+            scale.epochs_mnist,
+            scale.seed + 1,
+            0.1,
+            0,
+        );
+        let moe2 = train_moe(
+            &mnist_expert_spec(&scale, 2),
+            2,
+            &train,
+            &test,
+            scale.epochs_mnist,
+            scale.seed + 2,
+            0.1,
+        );
+        let moe4 = train_moe(
+            &mnist_expert_spec(&scale, 4),
+            4,
+            &train,
+            &test,
+            scale.epochs_mnist,
+            scale.seed + 3,
+            0.1,
+        );
+        MnistSuite {
+            scale,
+            test,
+            baseline: baseline_model,
+            baseline_accuracy,
+            team2,
+            team4,
+            moe2,
+            moe4,
+        }
+    }
+}
+
+/// Every trained contender for the CIFAR-side experiments (Figure 7,
+/// Tables II, Figures 8 and 9).
+pub struct CifarSuite {
+    /// Scale the suite was trained at.
+    pub scale: Scale,
+    /// Held-out test set.
+    pub test: Dataset,
+    /// The SS-26 baseline and its accuracy.
+    pub baseline: Sequential,
+    /// Baseline held-out accuracy.
+    pub baseline_accuracy: f64,
+    /// TeamNet with two SS-14 experts.
+    pub team2: TrainedTeam,
+    /// TeamNet with four SS-8 experts.
+    pub team4: TrainedTeam,
+    /// SG-MoE with two SS-14 experts and its accuracy.
+    pub moe2: (SgMoe, f64),
+    /// SG-MoE with four SS-8 experts and its accuracy.
+    pub moe4: (SgMoe, f64),
+}
+
+/// Architecture of the CIFAR baseline (SS-26).
+pub fn cifar_baseline_spec(scale: &Scale) -> ModelSpec {
+    ModelSpec::shake_shake(26, scale.ss_channels)
+}
+
+/// Architecture of the K-expert CIFAR TeamNet (2×SS-14 / 4×SS-8).
+pub fn cifar_expert_spec(scale: &Scale, k: usize) -> ModelSpec {
+    let depth = if k >= 4 { 8 } else { 14 };
+    ModelSpec::shake_shake(depth, scale.ss_channels)
+}
+
+/// The CIFAR-side dataset (synthetic objects with CIFAR-10 semantics).
+pub fn cifar_dataset(scale: &Scale) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xC1FA);
+    let test = scale.test.min(scale.train_cifar / 2).max(100);
+    synth_objects(scale.train_cifar + test, &mut rng)
+}
+
+impl CifarSuite {
+    /// Trains every CIFAR contender at `scale`.
+    pub fn train(scale: Scale) -> Self {
+        let data = cifar_dataset(&scale);
+        let (train, test) = data.split(scale.train_cifar.min(data.len() - 100));
+        let baseline_spec = cifar_baseline_spec(&scale);
+        // CNNs: gentle rate + the standard flip/shift augmentation.
+        let mut baseline =
+            train_baseline(&baseline_spec, &train, scale.epochs_cifar, scale.seed, 2);
+        let logits = baseline.forward(test.images(), Mode::Eval);
+        let baseline_accuracy = accuracy(&logits, test.labels());
+
+        let team2 = train_team(
+            &cifar_expert_spec(&scale, 2),
+            2,
+            &train,
+            &test,
+            scale.epochs_cifar,
+            scale.seed,
+            0.01,
+            2,
+        );
+        let team4 = train_team(
+            &cifar_expert_spec(&scale, 4),
+            4,
+            &train,
+            &test,
+            scale.epochs_cifar,
+            scale.seed + 1,
+            0.01,
+            2,
+        );
+        let moe2 = train_moe(
+            &cifar_expert_spec(&scale, 2),
+            2,
+            &train,
+            &test,
+            scale.epochs_cifar,
+            scale.seed + 2,
+            0.01,
+        );
+        let moe4 = train_moe(
+            &cifar_expert_spec(&scale, 4),
+            4,
+            &train,
+            &test,
+            scale.epochs_cifar,
+            scale.seed + 3,
+            0.01,
+        );
+        CifarSuite {
+            scale,
+            test,
+            baseline,
+            baseline_accuracy,
+            team2,
+            team4,
+            moe2,
+            moe4,
+        }
+    }
+}

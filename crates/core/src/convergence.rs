@@ -1,0 +1,151 @@
+//! The convergence theory of Appendix A.
+//!
+//! Under the paper's assumptions, the cumulative share of training data
+//! held by Expert i after batch L evolves as
+//!
+//! ```text
+//! γ_{i,L+1} = ( γ_{i,L}·(L−1) + 1/K − a·(γ_{i,L} − 1/K) ) / L
+//! ```
+//!
+//! which contracts towards the set point 1/K for any gain `a ∈ (0, 1)`.
+//! This module implements the recurrence so the empirical training curves
+//! (Figures 6 and 8) can be compared against the theoretical envelope.
+
+/// Evolves the Appendix A recurrence from initial shares `gamma_initial`
+/// over `batches` batches, returning the share trajectory (one vector per
+/// batch, starting with the initial state).
+///
+/// # Panics
+///
+/// Panics unless `0 < a < 1`, the initial shares form a distribution, and
+/// `batches > 0`.
+pub fn gamma_recurrence(a: f32, gamma_initial: &[f32], batches: usize) -> Vec<Vec<f32>> {
+    assert!(a > 0.0 && a < 1.0, "gain must be in (0, 1)");
+    assert!(batches > 0, "need at least one batch");
+    let k = gamma_initial.len();
+    assert!(k >= 2, "need at least two experts");
+    let sum: f32 = gamma_initial.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-4, "initial shares must sum to 1, got {sum}");
+
+    let mut trajectory = Vec::with_capacity(batches + 1);
+    let mut gamma = gamma_initial.to_vec();
+    trajectory.push(gamma.clone());
+    for l in 1..=batches {
+        let lf = l as f32;
+        let set_point = 1.0 / k as f32;
+        let next: Vec<f32> = gamma
+            .iter()
+            .map(|&g| {
+                // The L-th batch contributes the controller target share;
+                // history contributes the rest.
+                let target = set_point - a * (g - set_point);
+                (g * (lf - 1.0) + target) / lf
+            })
+            .collect();
+        gamma = next;
+        trajectory.push(gamma.clone());
+    }
+    trajectory
+}
+
+/// The theoretical contraction factor for batch L:
+/// `((L−1)/L)·(1 − a/(L−1))` — each batch shrinks the deviation from the
+/// set point by this multiplier (valid for `L ≥ 2`).
+///
+/// # Panics
+///
+/// Panics if `l < 2`.
+pub fn contraction_factor(a: f32, l: usize) -> f32 {
+    assert!(l >= 2, "the factor is defined for L >= 2");
+    let lf = l as f32;
+    (lf - 1.0) / lf * (1.0 - a / (lf - 1.0))
+}
+
+/// Maximum deviation from the set point 1/K across experts.
+pub fn imbalance(gamma: &[f32]) -> f32 {
+    let set_point = 1.0 / gamma.len() as f32;
+    gamma.iter().map(|&g| (g - set_point).abs()).fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recurrence_converges_to_set_point() {
+        let trajectory = gamma_recurrence(0.5, &[0.9, 0.1], 500);
+        let last = trajectory.last().unwrap();
+        assert!(imbalance(last) < 0.01, "final {last:?}");
+        // Shares remain a distribution throughout.
+        for step in &trajectory {
+            assert!((step.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn deviation_is_monotonically_decreasing() {
+        let trajectory = gamma_recurrence(0.3, &[0.7, 0.2, 0.1], 200);
+        // Skip L = 1 (the 1/L prefactor there is degenerate).
+        for pair in trajectory[1..].windows(2) {
+            assert!(
+                imbalance(&pair[1]) <= imbalance(&pair[0]) + 1e-6,
+                "{:?} -> {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    fn larger_gain_converges_faster() {
+        let slow = gamma_recurrence(0.1, &[0.8, 0.2], 50);
+        let fast = gamma_recurrence(0.9, &[0.8, 0.2], 50);
+        assert!(imbalance(fast.last().unwrap()) < imbalance(slow.last().unwrap()));
+    }
+
+    #[test]
+    fn recurrence_matches_contraction_factor() {
+        // One step from batch L: |γ_{L+1} − 1/K| = factor(L)·|γ_L − 1/K|.
+        let a = 0.4;
+        let trajectory = gamma_recurrence(a, &[0.75, 0.25], 10);
+        for l in 2..10 {
+            let before = imbalance(&trajectory[l - 1]);
+            let after = imbalance(&trajectory[l]);
+            let factor = contraction_factor(a, l);
+            assert!(
+                (after - before * factor).abs() < 1e-5,
+                "L={l}: {after} vs {}",
+                before * factor
+            );
+        }
+    }
+
+    #[test]
+    fn factor_is_below_one() {
+        for l in 2..100 {
+            for &a in &[0.1, 0.5, 0.9] {
+                let f = contraction_factor(a, l);
+                assert!(f < 1.0, "a={a} L={l} factor {f}");
+                assert!(f >= 0.0 || l == 2, "a={a} L={l} factor {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn four_expert_recurrence() {
+        let trajectory = gamma_recurrence(0.5, &[0.55, 0.25, 0.15, 0.05], 800);
+        assert!(imbalance(trajectory.last().unwrap()) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_non_distribution() {
+        gamma_recurrence(0.5, &[0.9, 0.9], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be in")]
+    fn rejects_bad_gain() {
+        gamma_recurrence(1.0, &[0.5, 0.5], 10);
+    }
+}

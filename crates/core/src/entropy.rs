@@ -1,0 +1,160 @@
+//! Predictive entropy — TeamNet's uncertainty measure (Section IV-A).
+//!
+//! For a C-class predictive distribution p, the predictive entropy is
+//! `H(ŷ|x,θ) = −Σ_c p_c log p_c`. An expert that "knows" an input emits a
+//! peaked distribution (low entropy); an unfamiliar input yields a flat
+//! one (entropy approaching `ln C`).
+
+use teamnet_tensor::Tensor;
+
+/// Entropy of one probability row (natural log).
+///
+/// Zero-probability entries contribute zero (the `p log p → 0` limit).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn entropy(probs: &[f32]) -> f32 {
+    assert!(!probs.is_empty(), "entropy of an empty distribution");
+    probs
+        .iter()
+        .map(|&p| if p > 0.0 { -p * p.ln() } else { 0.0 })
+        .sum()
+}
+
+/// Row-wise entropy of a `[n, classes]` probability matrix, as `[n]`.
+///
+/// # Panics
+///
+/// Panics if `probs` is not rank-2.
+pub fn entropy_rows(probs: &Tensor) -> Tensor {
+    assert_eq!(probs.rank(), 2, "entropy_rows() requires [n, classes]");
+    (0..probs.dims()[0]).map(|r| entropy(probs.row(r))).collect()
+}
+
+/// Stacks per-expert entropy columns into the `[n, K]` matrix `H` that
+/// Algorithms 1 and 2 consume: `H[x][i] = H(ŷ|x, θᵢ)`.
+///
+/// # Panics
+///
+/// Panics if `expert_probs` is empty or the experts' batch sizes disagree.
+pub fn entropy_matrix(expert_probs: &[Tensor]) -> Tensor {
+    assert!(!expert_probs.is_empty(), "need at least one expert");
+    let n = expert_probs[0].dims()[0];
+    let k = expert_probs.len();
+    let mut out = Tensor::zeros([n, k]);
+    for (i, probs) in expert_probs.iter().enumerate() {
+        assert_eq!(probs.dims()[0], n, "expert {i} batch size mismatch");
+        let h = entropy_rows(probs);
+        for r in 0..n {
+            out.set(&[r, i], h.data()[r]);
+        }
+    }
+    out
+}
+
+/// The batch statistic Δ of Algorithm 2: the average over the batch of
+/// `D(x)/E(x)`, where `E(x)` is the mean and `D(x)` the mean absolute
+/// deviation of the K experts' entropies on x. Δ measures how much the
+/// experts currently *disagree* in confidence — the lever arm available to
+/// the gate.
+///
+/// Rows whose mean entropy is (numerically) zero contribute zero.
+///
+/// # Panics
+///
+/// Panics if `entropy` is not rank-2 or is empty.
+pub fn normalized_deviation(entropy: &Tensor) -> f32 {
+    assert_eq!(entropy.rank(), 2, "normalized_deviation() requires [n, K]");
+    let (n, k) = (entropy.dims()[0], entropy.dims()[1]);
+    assert!(n > 0, "empty batch");
+    let mut total = 0.0f32;
+    for r in 0..n {
+        let row = entropy.row(r);
+        let mean: f32 = row.iter().sum::<f32>() / k as f32;
+        if mean <= 1e-12 {
+            continue;
+        }
+        let dev: f32 = row.iter().map(|&h| (h - mean).abs()).sum::<f32>() / k as f32;
+        total += dev / mean;
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_distribution_has_max_entropy() {
+        let h = entropy(&[0.25; 4]);
+        assert!((h - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_distribution_has_zero_entropy() {
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn peakier_is_lower() {
+        let sharp = entropy(&[0.9, 0.05, 0.05]);
+        let flat = entropy(&[0.4, 0.3, 0.3]);
+        assert!(sharp < flat);
+    }
+
+    #[test]
+    fn entropy_rows_matches_scalar() {
+        let probs = Tensor::from_vec(vec![0.5, 0.5, 1.0, 0.0], [2, 2]).unwrap();
+        let h = entropy_rows(&probs);
+        assert!((h.data()[0] - 2.0f32.ln()).abs() < 1e-6);
+        assert_eq!(h.data()[1], 0.0);
+    }
+
+    #[test]
+    fn entropy_matrix_layout() {
+        // Expert 0 is certain, expert 1 is uncertain, on both inputs.
+        let e0 = Tensor::from_vec(vec![1.0, 0.0, 0.99, 0.01], [2, 2]).unwrap();
+        let e1 = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], [2, 2]).unwrap();
+        let h = entropy_matrix(&[e0, e1]);
+        assert_eq!(h.dims(), &[2, 2]);
+        for r in 0..2 {
+            assert!(h.at(&[r, 0]) < h.at(&[r, 1]), "row {r}");
+        }
+        assert_eq!(h.argmin_rows(), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size mismatch")]
+    fn entropy_matrix_rejects_ragged_experts() {
+        let e0 = Tensor::zeros([2, 3]);
+        let e1 = Tensor::zeros([1, 3]);
+        entropy_matrix(&[e0, e1]);
+    }
+
+    #[test]
+    fn deviation_zero_when_experts_agree() {
+        let h = Tensor::from_vec(vec![1.0, 1.0, 0.5, 0.5], [2, 2]).unwrap();
+        assert!(normalized_deviation(&h) < 1e-7);
+    }
+
+    #[test]
+    fn deviation_grows_with_disagreement() {
+        let mild = Tensor::from_vec(vec![1.0, 1.2], [1, 2]).unwrap();
+        let wild = Tensor::from_vec(vec![0.1, 2.0], [1, 2]).unwrap();
+        assert!(normalized_deviation(&wild) > normalized_deviation(&mild));
+    }
+
+    #[test]
+    fn deviation_handles_zero_entropy_rows() {
+        let h = Tensor::zeros([3, 2]);
+        assert_eq!(normalized_deviation(&h), 0.0);
+    }
+
+    #[test]
+    fn deviation_hand_computed() {
+        // Row [1, 3]: mean 2, dev (1+1)/2 = 1, ratio 0.5.
+        let h = Tensor::from_vec(vec![1.0, 3.0], [1, 2]).unwrap();
+        assert!((normalized_deviation(&h) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,268 @@
+//! The expert ensemble and its trainer — Algorithm 3 of the paper.
+//!
+//! Each of the K experts is an independent downsized copy of the target
+//! architecture. After the gate splits a mini-batch `β` into
+//! `β₁, …, β_K`, Expert i takes one cross-entropy SGD step on its own
+//! `βᵢ` and *never* sees the other experts' examples — that is what makes
+//! TeamNet's partition *implicit* and keeps experts specialized.
+
+use crate::entropy::entropy_matrix;
+use rand::Rng;
+use rand::SeedableRng as _;
+use teamnet_data::Batch;
+use teamnet_nn::{
+    softmax_cross_entropy, with_flatten, Layer, Mode, ModelSpec, Sequential, Sgd,
+};
+use teamnet_tensor::Tensor;
+
+/// Builds one expert network for `spec`, inserting a flattening front end
+/// for MLPs so every expert consumes `[n, c, h, w]` image batches.
+pub fn build_expert(spec: &ModelSpec, seed: u64) -> Sequential {
+    match spec {
+        ModelSpec::Mlp { .. } => with_flatten(spec, seed),
+        ModelSpec::ShakeShake { .. } => spec.build(seed),
+    }
+}
+
+/// K expert networks of identical architecture plus their optimizers.
+pub struct ExpertEnsemble {
+    spec: ModelSpec,
+    experts: Vec<Sequential>,
+    optimizers: Vec<Sgd>,
+}
+
+impl ExpertEnsemble {
+    /// Creates `k` experts with independent random initializations derived
+    /// from `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `lr <= 0`, or `momentum ∉ [0, 1)`.
+    pub fn new(spec: ModelSpec, k: usize, lr: f32, momentum: f32, base_seed: u64) -> Self {
+        assert!(k > 0, "need at least one expert");
+        let experts: Vec<Sequential> = (0..k)
+            .map(|i| build_expert(&spec, base_seed.wrapping_add(i as u64 * 0x9E37_79B9)))
+            .collect();
+        let optimizers = (0..k).map(|_| Sgd::with_momentum(lr, momentum)).collect();
+        ExpertEnsemble { spec, experts, optimizers }
+    }
+
+    /// Number of experts.
+    pub fn k(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// The experts' shared architecture.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Immutable access to expert `i`'s network.
+    pub fn expert(&self, i: usize) -> &Sequential {
+        &self.experts[i]
+    }
+
+    /// Mutable access to expert `i`'s network.
+    pub fn expert_mut(&mut self, i: usize) -> &mut Sequential {
+        &mut self.experts[i]
+    }
+
+    /// Consumes the ensemble, returning the expert networks.
+    pub fn into_experts(self) -> Vec<Sequential> {
+        self.experts
+    }
+
+    /// Every expert's predictive distribution on `images` (evaluation
+    /// mode), `[n, classes]` each.
+    pub fn predict_proba(&mut self, images: &Tensor) -> Vec<Tensor> {
+        self.experts
+            .iter_mut()
+            .map(|e| e.forward(images, Mode::Eval).softmax_rows())
+            .collect()
+    }
+
+    /// The `[n, K]` predictive-entropy matrix on `images` (Algorithm 1
+    /// line 6).
+    pub fn entropy_matrix(&mut self, images: &Tensor) -> Tensor {
+        let probs = self.predict_proba(images);
+        entropy_matrix(&probs)
+    }
+
+    /// Algorithm 3: one SGD step per expert on its assigned sub-batch.
+    ///
+    /// Returns each expert's mean cross-entropy on its own sub-batch
+    /// (`NaN`-free: experts with no assigned data report 0 and take no
+    /// step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` length differs from the batch size or names
+    /// an expert out of range.
+    pub fn train_assigned(&mut self, batch: &Batch, assignment: &[usize]) -> Vec<f32> {
+        assert_eq!(assignment.len(), batch.len(), "assignment/batch size mismatch");
+        let k = self.k();
+        let mut losses = vec![0.0f32; k];
+        for (i, (expert, optimizer)) in
+            self.experts.iter_mut().zip(&mut self.optimizers).enumerate()
+        {
+            let rows: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| {
+                    assert!(a < k, "assignment names expert {a} of {k}");
+                    a == i
+                })
+                .map(|(r, _)| r)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let sub_images = batch.images.select_rows(&rows);
+            let sub_labels: Vec<usize> = rows.iter().map(|&r| batch.labels[r]).collect();
+            let logits = expert.forward(&sub_images, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &sub_labels);
+            expert.zero_grad();
+            expert.backward(&out.grad);
+            optimizer.step(expert);
+            losses[i] = out.loss;
+        }
+        losses
+    }
+
+    /// Randomly assigns a batch across experts — the ablation baseline
+    /// that removes competitive selection (what SG-MoE's noisy gating
+    /// effectively does early in training).
+    pub fn train_random(&mut self, batch: &Batch, rng: &mut impl Rng) -> Vec<f32> {
+        let assignment: Vec<usize> = (0..batch.len()).map(|_| rng.gen_range(0..self.k())).collect();
+        self.train_assigned(batch, &assignment)
+    }
+}
+
+impl std::fmt::Debug for ExpertEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExpertEnsemble(k={}, spec={:?})", self.k(), self.spec)
+    }
+}
+
+/// Deterministic per-expert RNG for reproducible random baselines.
+pub fn expert_rng(base_seed: u64, expert: usize) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(base_seed ^ (expert as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use teamnet_data::synth_digits;
+
+    fn digit_batch(n: usize) -> Batch {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = synth_digits(n, &mut rng);
+        data.batches(n).next().expect("one batch")
+    }
+
+    #[test]
+    fn ensemble_builds_independent_experts() {
+        let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 16), 3, 0.1, 0.0, 42);
+        assert_eq!(ens.k(), 3);
+        let batch = digit_batch(4);
+        let probs = ens.predict_proba(&batch.images);
+        assert_eq!(probs.len(), 3);
+        // Different inits → different outputs.
+        assert!(probs[0].max_abs_diff(&probs[1]) > 1e-6);
+        // Rows are distributions.
+        for p in &probs {
+            assert!((p.sum_rows().data()[0] - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn entropy_matrix_shape() {
+        let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 16), 2, 0.1, 0.0, 1);
+        let batch = digit_batch(6);
+        let h = ens.entropy_matrix(&batch.images);
+        assert_eq!(h.dims(), &[6, 2]);
+        assert!(h.all_finite());
+        assert!(h.min() >= 0.0);
+    }
+
+    #[test]
+    fn assigned_training_only_updates_assigned_expert() {
+        let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 16), 2, 0.5, 0.0, 7);
+        let batch = digit_batch(8);
+        let before: Vec<Tensor> = (0..2)
+            .map(|i| teamnet_nn::state_vec(ens.expert_mut(i)).remove(0))
+            .collect();
+        // Everything to expert 0.
+        let losses = ens.train_assigned(&batch, &[0; 8]);
+        assert!(losses[0] > 0.0);
+        assert_eq!(losses[1], 0.0);
+        let after: Vec<Tensor> = (0..2)
+            .map(|i| teamnet_nn::state_vec(ens.expert_mut(i)).remove(0))
+            .collect();
+        assert!(before[0].max_abs_diff(&after[0]) > 0.0, "expert 0 should move");
+        assert_eq!(before[1], after[1], "expert 1 must be untouched");
+    }
+
+    #[test]
+    fn training_reduces_own_loss() {
+        let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 32), 2, 0.2, 0.9, 3);
+        let batch = digit_batch(32);
+        let assignment: Vec<usize> = (0..32).map(|i| i % 2).collect();
+        let first = ens.train_assigned(&batch, &assignment);
+        let mut last = first.clone();
+        for _ in 0..30 {
+            last = ens.train_assigned(&batch, &assignment);
+        }
+        assert!(last[0] < first[0] * 0.5, "{first:?} -> {last:?}");
+        assert!(last[1] < first[1] * 0.5, "{first:?} -> {last:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment/batch size mismatch")]
+    fn rejects_misaligned_assignment() {
+        let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 8), 2, 0.1, 0.0, 0);
+        let batch = digit_batch(4);
+        ens.train_assigned(&batch, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "names expert")]
+    fn rejects_out_of_range_expert() {
+        let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 8), 2, 0.1, 0.0, 0);
+        let batch = digit_batch(2);
+        ens.train_assigned(&batch, &[0, 5]);
+    }
+
+    #[test]
+    fn random_baseline_touches_all_experts_eventually() {
+        let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 8), 2, 0.1, 0.0, 0);
+        let batch = digit_batch(16);
+        let mut rng = expert_rng(9, 0);
+        let mut touched = [false; 2];
+        for _ in 0..5 {
+            let losses = ens.train_random(&batch, &mut rng);
+            for (i, &l) in losses.iter().enumerate() {
+                if l > 0.0 {
+                    touched[i] = true;
+                }
+            }
+        }
+        assert!(touched[0] && touched[1]);
+    }
+
+    #[test]
+    fn build_expert_handles_both_families() {
+        let mlp = build_expert(&ModelSpec::mlp(2, 8), 0);
+        assert_eq!(mlp.out_dims(&[1, 1, 28, 28]), vec![1, 10]);
+        let spec = ModelSpec::ShakeShake {
+            blocks_per_stage: 1,
+            base_channels: 4,
+            in_channels: 3,
+            image_hw: 16,
+            classes: 10,
+        };
+        let cnn = build_expert(&spec, 0);
+        assert_eq!(cnn.out_dims(&[1, 3, 16, 16]), vec![1, 10]);
+    }
+}

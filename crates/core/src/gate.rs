@@ -1,0 +1,622 @@
+//! The dynamic gate `Ḡ` — Algorithm 2 of the paper.
+//!
+//! Given the batch entropy matrix `H`, the gate finds control variables
+//! `δ = 1 + Δ·W(z, Θ)` such that the weighted-arg-min assignment
+//! `Ḡ(x, δ) = argminᵢ δᵢ·H(ŷ|x, θᵢ)` splits the batch according to the
+//! proportional-controller target `1/K − a·(γᵢ − 1/K)`, where `γᵢ` is the
+//! share the *raw* arg-min gate would give Expert i. The correction term
+//! counteracts the "richer gets richer" bias: experts that currently
+//! hoard data get a handicap, starved experts get a boost.
+//!
+//! `Θ` is estimated by gradient descent through three smoothings:
+//!
+//! * **soft arg-min** (Eq. 5) with temperature `b` tuned per batch by the
+//!   meta-estimator objective (Eq. 6);
+//! * a **differentiable Kronecker delta** (Eq. 7),
+//!   `tanh(c·relu(0.5 − |Ḡ(x,δ) − i|))` with `c = 10`;
+//! * the L1 objective (Eq. 4) averaged per expert.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use teamnet_tensor::{Tape, Tensor};
+
+use crate::entropy::normalized_deviation;
+
+/// Hyperparameters of the dynamic gate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateConfig {
+    /// Proportional-controller gain `a ∈ (0, 1)` (Eq. 4 / Fig. 3).
+    pub gain: f32,
+    /// Convergence threshold `ε` on the objective J, also the target
+    /// softness in the meta-estimator (Eq. 6).
+    pub epsilon: f32,
+    /// Gradient-descent learning rate `η` for Θ.
+    pub learning_rate: f32,
+    /// Iteration cap for the inner descent loop.
+    pub max_iterations: usize,
+    /// Length N of the latent vector `z ~ U(−1, 1)ᴺ`.
+    pub latent_dim: usize,
+    /// Hidden width of the MLP `W(z, Θ)`.
+    pub hidden_dim: usize,
+    /// Discretization constant `c` in the Kronecker approximation (the
+    /// paper uses 10).
+    pub kron_scale: f32,
+    /// Target mean distance of soft assignments from their nearest integer
+    /// when selecting the temperature b (Eq. 6's ε): large enough that
+    /// gradients flow, small enough that the soft gate tracks the hard one.
+    pub softness: f32,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            gain: 0.5,
+            epsilon: 0.02,
+            learning_rate: 0.3,
+            max_iterations: 60,
+            latent_dim: 8,
+            hidden_dim: 16,
+            kron_scale: 10.0,
+            softness: 0.12,
+        }
+    }
+}
+
+impl GateConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is outside its documented range.
+    pub fn validate(&self) {
+        assert!((0.0..1.0).contains(&self.gain) && self.gain > 0.0, "gain must be in (0, 1)");
+        assert!(self.epsilon > 0.0, "epsilon must be positive");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.latent_dim > 0 && self.hidden_dim > 0, "MLP dims must be positive");
+        assert!(self.kron_scale > 0.0, "kron scale must be positive");
+        assert!(self.softness > 0.0 && self.softness < 0.5, "softness must be in (0, 0.5)");
+    }
+}
+
+/// The outcome of one gate invocation on a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateDecision {
+    /// `Ḡ(x, δ)` for every batch example: which expert learns it.
+    pub assignment: Vec<usize>,
+    /// The final control variables δ.
+    pub delta: Vec<f32>,
+    /// Raw arg-min shares γᵢ (the bias being corrected).
+    pub gamma: Vec<f32>,
+    /// Achieved shares γ̄ᵢ under the returned assignment.
+    pub gamma_bar: Vec<f32>,
+    /// Final value of the objective J.
+    pub objective: f32,
+    /// Inner-loop iterations used.
+    pub iterations: usize,
+    /// Soft-arg-min temperature b selected by the meta-estimator.
+    pub temperature: f32,
+}
+
+/// The trainable dynamic gate (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct DynamicGate {
+    k: usize,
+    config: GateConfig,
+    set_point: Vec<f32>,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+    rng: StdRng,
+}
+
+impl DynamicGate {
+    /// Creates a gate for `k` experts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or the config is invalid.
+    pub fn new(k: usize, config: GateConfig, seed: u64) -> Self {
+        DynamicGate::with_set_point(vec![1.0 / k as f32; k], config, seed)
+    }
+
+    /// Creates a gate steering towards arbitrary per-expert data shares
+    /// instead of the uniform `1/K` — the paper's stated future-work
+    /// extension for class-imbalanced data ("objective functions ... that
+    /// can adapt to the imbalances among different classes").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `set_point` has at least two positive entries summing
+    /// to 1, or the config is invalid.
+    pub fn with_set_point(set_point: Vec<f32>, config: GateConfig, seed: u64) -> Self {
+        let k = set_point.len();
+        assert!(k >= 2, "a gate needs at least two experts");
+        assert!(set_point.iter().all(|&s| s > 0.0), "set points must be positive");
+        let sum: f32 = set_point.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "set points must sum to 1, got {sum}");
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (n, h) = (config.latent_dim, config.hidden_dim);
+        DynamicGate {
+            k,
+            set_point,
+            w1: Tensor::xavier_uniform([n, h], n, h, &mut rng),
+            b1: Tensor::zeros([h]),
+            w2: Tensor::xavier_uniform([h, k], h, k, &mut rng),
+            b2: Tensor::zeros([k]),
+            config,
+            rng,
+        }
+    }
+
+    /// The per-expert share targets the controller steers towards.
+    pub fn set_point(&self) -> &[f32] {
+        &self.set_point
+    }
+
+    /// Number of experts.
+    pub fn num_experts(&self) -> usize {
+        self.k
+    }
+
+    /// The gate's configuration.
+    pub fn config(&self) -> &GateConfig {
+        &self.config
+    }
+
+    /// The proportional-controller target `sᵢ − a·(γᵢ − sᵢ)` (with `sᵢ`
+    /// the set point, `1/K` by default), clamped to the simplex.
+    pub fn controller_target(&self, gamma: &[f32]) -> Vec<f32> {
+        let mut target: Vec<f32> = gamma
+            .iter()
+            .zip(&self.set_point)
+            .map(|(&g, &s)| (s - self.config.gain * (g - s)).max(0.0))
+            .collect();
+        let sum: f32 = target.iter().sum();
+        if sum > 0.0 {
+            for t in &mut target {
+                *t /= sum;
+            }
+        }
+        target
+    }
+
+    /// Eq. 6: finds the soft-arg-min temperature b whose expected distance
+    /// from hard assignments is closest to the softness target ε (too-small
+    /// b ⇒ mushy, gradient flows but means nothing; too-large b ⇒ a step
+    /// function, no gradient). Re-run on the *current* weighted entropies
+    /// each descent iteration so the slope stays usable as δ moves.
+    fn select_temperature(&self, weighted: &Tensor) -> f32 {
+        const CANDIDATES: [f32; 12] =
+            [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
+        let mut best = (f32::INFINITY, CANDIDATES[0]);
+        for &b in &CANDIDATES {
+            let softness = mean_soft_distance(weighted, b);
+            let score = (softness - self.config.softness).abs();
+            if score < best.0 {
+                best = (score, b);
+            }
+        }
+        best.1
+    }
+
+    /// Row-normalizes an entropy matrix (divide each row by its mean).
+    /// Arg-min within a row is invariant to positive row scaling, so this
+    /// changes nothing semantically while making temperatures comparable
+    /// across examples.
+    fn row_normalized(entropy: &Tensor) -> Tensor {
+        let mut out = entropy.clone();
+        for r in 0..out.dims()[0] {
+            let row = out.row_mut(r);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            if mean > 1e-12 {
+                for v in row.iter_mut() {
+                    *v /= mean;
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward pass of `W(z, Θ)` without the tape:
+    /// `Φ = tanh(z·W₁ + b₁)·W₂ + b₂` (linear output, so δ can reach any
+    /// handicap the controller demands).
+    fn phi(&self, z: &Tensor) -> Tensor {
+        let h = z.matmul(&self.w1).add_row_broadcast(&self.b1).tanh();
+        h.matmul(&self.w2).add_row_broadcast(&self.b2)
+    }
+
+    /// Runs Algorithm 2 on the entropy matrix `H` (`[n, K]`), training Θ
+    /// and returning the batch assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entropy` is `[n, K]` with `n > 0`.
+    pub fn assign(&mut self, entropy: &Tensor) -> GateDecision {
+        assert_eq!(entropy.rank(), 2, "entropy matrix must be [n, K]");
+        assert_eq!(entropy.dims()[1], self.k, "entropy matrix K mismatch");
+        let n = entropy.dims()[0];
+        assert!(n > 0, "empty batch");
+
+        // γ under the raw arg-min gate, and the controller target.
+        let gamma = assignment_shares(&entropy.argmin_rows(), self.k);
+        let target_vec = self.controller_target(&gamma);
+        let delta_stat = normalized_deviation(entropy);
+        // Row-normalized entropies: identical arg-min semantics, but the
+        // soft machinery sees a well-conditioned scale.
+        let normalized = Self::row_normalized(entropy);
+
+        // z is drawn once per batch (Algorithm 2 line 3).
+        let z = Tensor::rand_uniform([1, self.config.latent_dim], -1.0, 1.0, &mut self.rng);
+
+        let mut objective = f32::INFINITY;
+        let mut iterations = 0;
+        let mut temperature = 1.0;
+        for _ in 0..self.config.max_iterations {
+            // Meta-estimator (Eq. 6) on the *current* weighted entropies.
+            let delta_now = self.current_delta(&z, delta_stat);
+            let weighted = weight_columns(&normalized, &delta_now);
+            temperature = self.select_temperature(&weighted);
+
+            let (j, grads) =
+                self.gate_loss_and_grads(&normalized, &z, delta_stat, &target_vec, temperature);
+            objective = j;
+            iterations += 1;
+            if j <= self.config.epsilon {
+                break;
+            }
+            let eta = self.config.learning_rate;
+            self.w1.axpy(-eta, &grads[0]);
+            self.b1.axpy(-eta, &grads[1]);
+            self.w2.axpy(-eta, &grads[2]);
+            self.b2.axpy(-eta, &grads[3]);
+        }
+
+        // The soft surrogate can satisfy J while the *hard* arg-min stays
+        // one-sided (all the soft mass hovers on one side of a decision
+        // boundary). Calibrate δ against the hard assignment itself: a
+        // multiplicative coordinate descent on the same Eq. 4 objective,
+        // warm-started from the Θ-descent solution. This is the
+        // proportional controller actually biting.
+        let mut delta = self.current_delta(&z, delta_stat);
+        let mut best_delta = delta.clone();
+        let mut best_j = hard_objective(entropy, &delta, &target_vec, self.k);
+        for round in 0..self.config.max_iterations {
+            if best_j <= self.config.epsilon {
+                break;
+            }
+            let shares = assignment_shares(&weighted_argmin(entropy, &delta), self.k);
+            // Experts holding more than their target get their entropies
+            // inflated (handicapped); starved experts get discounted.
+            let step = 0.8 / (1.0 + round as f32 * 0.15);
+            for (d, (&s, &t)) in delta.iter_mut().zip(shares.iter().zip(&target_vec)) {
+                *d = (*d * ((s + 0.02) / (t + 0.02)).powf(step)).max(1e-3);
+            }
+            let j = hard_objective(entropy, &delta, &target_vec, self.k);
+            iterations += 1;
+            if j < best_j {
+                best_j = j;
+                best_delta = delta.clone();
+            }
+        }
+        let delta = best_delta;
+        objective = best_j.min(objective);
+
+        let assignment = weighted_argmin(entropy, &delta);
+        let gamma_bar = assignment_shares(&assignment, self.k);
+
+        GateDecision {
+            assignment,
+            delta,
+            gamma,
+            gamma_bar,
+            objective,
+            iterations,
+            temperature,
+        }
+    }
+
+    /// δᵢ = max(1 + Δ·Φᵢ, 0.05): tanh bounds Φ to (−1, 1) and the floor
+    /// keeps the weighted entropies positive even when Δ ≥ 1.
+    fn current_delta(&self, z: &Tensor, delta_stat: f32) -> Vec<f32> {
+        self.phi(z)
+            .data()
+            .iter()
+            .map(|&p| (1.0 + delta_stat * p).max(0.05))
+            .collect()
+    }
+
+    /// One tape evaluation of J(Θ) with gradients for the four MLP
+    /// parameters, in declaration order.
+    fn gate_loss_and_grads(
+        &self,
+        entropy: &Tensor,
+        z: &Tensor,
+        delta_stat: f32,
+        target: &[f32],
+        b: f32,
+    ) -> (f32, [Tensor; 4]) {
+        let k = self.k;
+        let mut tape = Tape::new();
+        let w1 = tape.param(self.w1.clone());
+        let b1 = tape.param(self.b1.clone());
+        let w2 = tape.param(self.w2.clone());
+        let b2 = tape.param(self.b2.clone());
+        let zc = tape.constant(z.clone());
+
+        // Φ = tanh(tanh(z·W₁+b₁)·W₂+b₂), as a rank-1 vector of length K.
+        let h0 = tape.matmul(zc, w1);
+        let h1 = tape.add_row_broadcast(h0, b1);
+        let h = tape.tanh(h1);
+        let o0 = tape.matmul(h, w2);
+        let o1 = tape.add_row_broadcast(o0, b2);
+        let phi_row = tape.tanh(o1);
+        let phi = tape.reshape(phi_row, &[k]);
+
+        // δ = 1 + Δ·Φ.
+        let scaled = tape.scale(phi, delta_stat);
+        let delta = tape.add_scalar(scaled, 1.0);
+
+        // Soft arg-min of δ⊙H at temperature b → ḡ(x) ∈ [0, K−1].
+        let hm = tape.constant(entropy.clone());
+        let weighted = tape.mul_row_broadcast(hm, delta);
+        let neg = tape.scale(weighted, -b);
+        let soft = tape.softmax_rows(neg);
+        let idx = tape.constant(Tensor::arange(k).into_reshaped([k, 1]).expect("column"));
+        let gbar = tape.matmul(soft, idx);
+
+        // Kronecker approximation (Eq. 7) per expert.
+        let rep = tape.broadcast_cols(gbar, k);
+        let neg_ids = tape.constant(Tensor::arange(k).scale(-1.0));
+        let shifted = tape.add_row_broadcast(rep, neg_ids);
+        let dist = tape.abs(shifted);
+        let ndist = tape.neg(dist);
+        let ramp = tape.add_scalar(ndist, 0.5);
+        let relu = tape.relu(ramp);
+        let sharp = tape.scale(relu, self.config.kron_scale);
+        let kron = tape.tanh(sharp);
+
+        // γ̄ᵢ(δ), then J = (1/K)·Σᵢ |γ̄ᵢ − targetᵢ| (Eq. 4).
+        let gamma_bar = tape.mean_axis0(kron);
+        let tv = tape.constant(target.iter().copied().collect());
+        let diff = tape.sub(gamma_bar, tv);
+        let adiff = tape.abs(diff);
+        let total = tape.sum(adiff);
+        let loss = tape.scale(total, 1.0 / k as f32);
+
+        let j = tape.value(loss).item();
+        let grads = tape.backward(loss);
+        let zeros_like = |v: &Tensor| Tensor::zeros(v.shape().clone());
+        let g = [
+            grads.of(w1).cloned().unwrap_or_else(|| zeros_like(&self.w1)),
+            grads.of(b1).cloned().unwrap_or_else(|| zeros_like(&self.b1)),
+            grads.of(w2).cloned().unwrap_or_else(|| zeros_like(&self.w2)),
+            grads.of(b2).cloned().unwrap_or_else(|| zeros_like(&self.b2)),
+        ];
+        (j, g)
+    }
+}
+
+/// Fraction of examples assigned to each expert.
+pub fn assignment_shares(assignment: &[usize], k: usize) -> Vec<f32> {
+    let mut shares = vec![0.0f32; k];
+    for &i in assignment {
+        shares[i] += 1.0;
+    }
+    let n = assignment.len().max(1) as f32;
+    for s in &mut shares {
+        *s /= n;
+    }
+    shares
+}
+
+/// Hard `Ḡ(x, δ) = argminᵢ δᵢ·H_i(x)` for every row.
+pub fn weighted_argmin(entropy: &Tensor, delta: &[f32]) -> Vec<usize> {
+    assert_eq!(entropy.dims()[1], delta.len(), "delta length mismatch");
+    (0..entropy.dims()[0])
+        .map(|r| {
+            let row = entropy.row(r);
+            let mut best = (f32::INFINITY, 0usize);
+            for (i, (&h, &d)) in row.iter().zip(delta).enumerate() {
+                let w = d * h;
+                if w < best.0 {
+                    best = (w, i);
+                }
+            }
+            best.1
+        })
+        .collect()
+}
+
+/// The Eq. 4 objective evaluated on *hard* assignments:
+/// `(1/K)·Σᵢ |γ̄ᵢ(δ) − targetᵢ|`.
+fn hard_objective(entropy: &Tensor, delta: &[f32], target: &[f32], k: usize) -> f32 {
+    let shares = assignment_shares(&weighted_argmin(entropy, delta), k);
+    shares.iter().zip(target).map(|(&s, &t)| (s - t).abs()).sum::<f32>() / k as f32
+}
+
+/// Multiplies column i of `entropy` by `delta[i]` — the δ⊙H weighting.
+fn weight_columns(entropy: &Tensor, delta: &[f32]) -> Tensor {
+    let mut out = entropy.clone();
+    for r in 0..out.dims()[0] {
+        for (v, &d) in out.row_mut(r).iter_mut().zip(delta) {
+            *v *= d;
+        }
+    }
+    out
+}
+
+/// Mean over the batch of `minᵢ |ḡ(x) − i|` for a given temperature — the
+/// quantity the meta-estimator drives towards ε.
+fn mean_soft_distance(entropy: &Tensor, b: f32) -> f32 {
+    let (n, k) = (entropy.dims()[0], entropy.dims()[1]);
+    let soft = entropy.scale(-b).softmax_rows();
+    let mut total = 0.0f32;
+    for r in 0..n {
+        let g: f32 = soft.row(r).iter().enumerate().map(|(i, &p)| p * i as f32).sum();
+        let dist = (0..k).map(|i| (g - i as f32).abs()).fold(f32::INFINITY, f32::min);
+        total += dist;
+    }
+    total / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A batch whose raw arg-min is biased: expert 0 is more confident on
+    /// `biased_n` of the `n` rows.
+    fn biased_entropy(n: usize, biased_n: usize, k: usize, rng: &mut StdRng) -> Tensor {
+        let mut h = Tensor::rand_uniform([n, k], 0.8, 1.2, rng);
+        for r in 0..biased_n {
+            h.set(&[r, 0], rng.gen_range(0.05..0.3));
+        }
+        h
+    }
+
+    #[test]
+    fn controller_target_counteracts_bias() {
+        let gate = DynamicGate::new(2, GateConfig::default(), 0);
+        // Expert 0 hoards 80% → its target drops below ½, expert 1 rises.
+        let target = gate.controller_target(&[0.8, 0.2]);
+        assert!(target[0] < 0.5, "{target:?}");
+        assert!(target[1] > 0.5, "{target:?}");
+        assert!((target.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        // Balanced input → balanced target.
+        let balanced = gate.controller_target(&[0.5, 0.5]);
+        assert!((balanced[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn controller_target_clamps_to_simplex() {
+        let gate = DynamicGate::new(4, GateConfig { gain: 0.9, ..GateConfig::default() }, 0);
+        let target = gate.controller_target(&[1.0, 0.0, 0.0, 0.0]);
+        assert!(target.iter().all(|&t| (0.0..=1.0).contains(&t)), "{target:?}");
+        assert!((target.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn shares_and_weighted_argmin() {
+        assert_eq!(assignment_shares(&[0, 1, 1, 1], 2), vec![0.25, 0.75]);
+        let h = Tensor::from_vec(vec![1.0, 2.0, 2.0, 1.0], [2, 2]).unwrap();
+        assert_eq!(weighted_argmin(&h, &[1.0, 1.0]), vec![0, 1]);
+        // Handicapping expert 0 by 3× flips the first row.
+        assert_eq!(weighted_argmin(&h, &[3.0, 1.0]), vec![1, 1]);
+    }
+
+    #[test]
+    fn gate_corrects_a_biased_batch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gate = DynamicGate::new(2, GateConfig::default(), 7);
+        // 75% of rows favour expert 0.
+        let h = biased_entropy(64, 48, 2, &mut rng);
+        let decision = gate.assign(&h);
+        assert!(decision.gamma[0] > 0.65, "raw bias {:?}", decision.gamma);
+        // The corrected assignment must hand expert 0 *less* than its raw
+        // share, pushing towards the controller target.
+        assert!(
+            decision.gamma_bar[0] < decision.gamma[0] - 0.05,
+            "gamma_bar {:?} should undercut gamma {:?}",
+            decision.gamma_bar,
+            decision.gamma
+        );
+        assert_eq!(decision.assignment.len(), 64);
+        assert!(decision.iterations >= 1);
+        assert!(decision.delta.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn balanced_batch_stays_balanced() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut gate = DynamicGate::new(2, GateConfig::default(), 8);
+        // Unbiased noise: raw shares near 50/50 already.
+        let h = Tensor::rand_uniform([200, 2], 0.5, 1.5, &mut rng);
+        let decision = gate.assign(&h);
+        assert!((decision.gamma_bar[0] - 0.5).abs() < 0.15, "{:?}", decision.gamma_bar);
+    }
+
+    #[test]
+    fn four_expert_gate_runs() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut gate = DynamicGate::new(4, GateConfig::default(), 10);
+        let h = biased_entropy(80, 50, 4, &mut rng);
+        let decision = gate.assign(&h);
+        assert_eq!(decision.delta.len(), 4);
+        assert_eq!(decision.gamma_bar.len(), 4);
+        assert!((decision.gamma_bar.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        // Correction must pull expert 0 down from its hoard.
+        assert!(decision.gamma_bar[0] < decision.gamma[0]);
+    }
+
+    #[test]
+    fn temperature_selection_prefers_moderate_b() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let gate = DynamicGate::new(2, GateConfig::default(), 12);
+        let h = Tensor::rand_uniform([50, 2], 0.2, 1.8, &mut rng);
+        let b = gate.select_temperature(&h);
+        assert!((0.5..=128.0).contains(&b));
+        // The chosen temperature's softness should be closest to ε among
+        // the candidates by construction; sanity-check it is finite.
+        assert!(mean_soft_distance(&h, b).is_finite());
+    }
+
+    #[test]
+    fn soft_distance_decreases_with_temperature() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let h = Tensor::rand_uniform([50, 3], 0.2, 1.8, &mut rng);
+        let soft = mean_soft_distance(&h, 0.5);
+        let hard = mean_soft_distance(&h, 64.0);
+        assert!(hard < soft, "b=64 gives {hard}, b=0.5 gives {soft}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two experts")]
+    fn rejects_single_expert() {
+        DynamicGate::new(1, GateConfig::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be in")]
+    fn rejects_bad_gain() {
+        DynamicGate::new(2, GateConfig { gain: 1.5, ..GateConfig::default() }, 0);
+    }
+
+    #[test]
+    fn custom_set_point_steers_shares() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut gate = DynamicGate::with_set_point(vec![0.75, 0.25], GateConfig::default(), 31);
+        assert_eq!(gate.set_point(), &[0.75, 0.25]);
+        // Unbiased noise input: raw shares ~0.5, so the proportional
+        // controller demands a single-batch share *above* the set point
+        // (it corrects the cumulative deficit). Check against the actual
+        // controller target.
+        let h = Tensor::rand_uniform([200, 2], 0.5, 1.5, &mut rng);
+        let decision = gate.assign(&h);
+        let target = gate.controller_target(&decision.gamma);
+        assert!(
+            (decision.gamma_bar[0] - target[0]).abs() < 0.1,
+            "gamma_bar {:?} should approach target {target:?}",
+            decision.gamma_bar
+        );
+        assert!(decision.gamma_bar[0] > 0.6, "expert 0 must be favoured: {:?}", decision.gamma_bar);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_non_simplex_set_point() {
+        DynamicGate::with_set_point(vec![0.9, 0.9], GateConfig::default(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let h = biased_entropy(32, 20, 2, &mut rng);
+        let d1 = DynamicGate::new(2, GateConfig::default(), 3).assign(&h);
+        let d2 = DynamicGate::new(2, GateConfig::default(), 3).assign(&h);
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,370 @@
+//! The distributed inference runtime (Figure 1d and Section III).
+//!
+//! One node — the **master** — receives the sensor input, broadcasts it to
+//! every peer (**workers**), all nodes run their local expert in parallel,
+//! the workers return `(predicted label, predictive entropy)` pairs, and
+//! the master selects the least-uncertain answer. Communication happens
+//! exactly twice per inference (one broadcast out, one gather back), which
+//! is the entire reason TeamNet beats MPI-style model parallelism on WiFi.
+//!
+//! Works over any [`Transport`] — in-process channels for tests and real
+//! TCP for deployments.
+
+use crate::entropy::entropy;
+use crate::team::TeamPrediction;
+use std::time::Duration;
+use teamnet_net::codec::{decode_f32s, encode_f32s};
+use teamnet_net::{NetError, Tag, Transport};
+use teamnet_nn::{Layer, Mode, Sequential};
+use teamnet_tensor::Tensor;
+
+/// Tag carrying broadcast input batches (master → workers).
+pub const TAG_INPUT: Tag = Tag(0x7EA0_0001);
+/// Tag carrying per-row `(label, entropy)` results (workers → master).
+pub const TAG_RESULT: Tag = Tag(0x7EA0_0002);
+/// Tag asking workers to exit their serve loop.
+pub const TAG_SHUTDOWN: Tag = Tag(0x7EA0_0003);
+
+/// Master-side inference policy.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// How long to wait for each worker's result.
+    pub worker_timeout: Duration,
+    /// If `false`, a worker timing out merely removes it from the
+    /// candidate set (degraded collaborative inference); if `true`, the
+    /// inference fails.
+    pub require_all_workers: bool,
+    /// Optional per-node entropy weights δ* (Eq. 1 with converged control
+    /// variables; see [`crate::TeamNet::set_calibration`]), indexed by
+    /// node id. `None` means the plain arg-min of the paper's Figure 4.
+    pub calibration: Option<Vec<f32>>,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            worker_timeout: Duration::from_secs(10),
+            require_all_workers: true,
+            calibration: None,
+        }
+    }
+}
+
+impl MasterConfig {
+    fn weight(&self, node: usize) -> f32 {
+        self.calibration.as_ref().and_then(|c| c.get(node)).copied().unwrap_or(1.0)
+    }
+}
+
+/// Runs a local expert on an input batch, producing the `[n, 2]` result
+/// matrix of `(label, entropy)` rows that crosses the network.
+pub fn local_results(expert: &mut Sequential, images: &Tensor) -> Vec<(usize, f32)> {
+    let probs = expert.forward(images, Mode::Eval).softmax_rows();
+    (0..probs.dims()[0])
+        .map(|r| {
+            let row = probs.row(r);
+            (teamnet_tensor::argmax_slice(row), entropy(row))
+        })
+        .collect()
+}
+
+fn encode_results(results: &[(usize, f32)]) -> Vec<u8> {
+    let flat: Vec<f32> = results.iter().flat_map(|&(l, h)| [l as f32, h]).collect();
+    encode_f32s(&[results.len(), 2], &flat)
+}
+
+fn decode_results(bytes: &[u8]) -> Result<Vec<(usize, f32)>, NetError> {
+    let (dims, data) = decode_f32s(bytes)?;
+    if dims.len() != 2 || dims[1] != 2 {
+        return Err(NetError::Malformed(format!("result matrix dims {dims:?}")));
+    }
+    Ok(data.chunks_exact(2).map(|p| (p[0] as usize, p[1])).collect())
+}
+
+/// Serves a worker node: waits for input broadcasts from `master`, runs
+/// the local `expert`, returns results, until a shutdown message arrives.
+///
+/// # Errors
+///
+/// Returns transport failures; malformed inputs abort the loop with
+/// [`NetError::Malformed`].
+pub fn serve_worker(
+    transport: &dyn Transport,
+    master: usize,
+    expert: &mut Sequential,
+) -> Result<(), NetError> {
+    const POLL: Duration = Duration::from_millis(50);
+    loop {
+        // Check for shutdown first so it cannot starve behind inputs.
+        match transport.recv(master, TAG_SHUTDOWN, Duration::from_millis(1)) {
+            Ok(_) => return Ok(()),
+            Err(NetError::Timeout { .. }) => {}
+            Err(NetError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        match transport.recv(master, TAG_INPUT, POLL) {
+            Ok(bytes) => {
+                let (dims, data) = decode_f32s(&bytes)?;
+                let images = Tensor::from_vec(data, dims)
+                    .map_err(|e| NetError::Malformed(format!("input tensor: {e}")))?;
+                let results = local_results(expert, &images);
+                transport.send(master, TAG_RESULT, &encode_results(&results))?;
+            }
+            Err(NetError::Timeout { .. }) => continue,
+            Err(NetError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Master-side collaborative inference over an input batch.
+///
+/// Broadcasts `images` to every peer, evaluates the local `expert` in
+/// parallel (conceptually — the local pass runs while workers compute),
+/// gathers worker results, and selects the least-entropy answer per row.
+///
+/// # Errors
+///
+/// * [`NetError::Timeout`] if a worker misses the deadline and
+///   `require_all_workers` is set;
+/// * [`NetError::Malformed`] for undecodable worker responses;
+/// * transport failures otherwise.
+pub fn master_infer(
+    transport: &dyn Transport,
+    expert: &mut Sequential,
+    images: &Tensor,
+    config: &MasterConfig,
+) -> Result<Vec<TeamPrediction>, NetError> {
+    let me = transport.node_id();
+    let n = images.dims()[0];
+    let payload = encode_f32s(images.dims(), images.data());
+    for peer in 0..transport.num_nodes() {
+        if peer != me {
+            transport.send(peer, TAG_INPUT, &payload)?;
+        }
+    }
+
+    // Local expert runs while the workers compute. Selection compares
+    // δ*-weighted entropies; reported entropy stays raw.
+    let local = local_results(expert, images);
+    let mut best: Vec<TeamPrediction> = local
+        .into_iter()
+        .map(|(label, h)| TeamPrediction { label, expert: me, entropy: h })
+        .collect();
+    let mut best_weighted: Vec<f32> =
+        best.iter().map(|p| p.entropy * config.weight(me)).collect();
+
+    for peer in 0..transport.num_nodes() {
+        if peer == me {
+            continue;
+        }
+        match transport.recv(peer, TAG_RESULT, config.worker_timeout) {
+            Ok(bytes) => {
+                let results = decode_results(&bytes)?;
+                if results.len() != n {
+                    return Err(NetError::Malformed(format!(
+                        "worker {peer} returned {} rows for a {n}-row batch",
+                        results.len()
+                    )));
+                }
+                for (row, (label, h)) in results.into_iter().enumerate() {
+                    let weighted = h * config.weight(peer);
+                    if weighted < best_weighted[row] {
+                        best_weighted[row] = weighted;
+                        best[row] = TeamPrediction { label, expert: peer, entropy: h };
+                    }
+                }
+            }
+            Err(NetError::Timeout { .. }) if !config.require_all_workers => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(best)
+}
+
+/// Asks every worker served by [`serve_worker`] to exit.
+///
+/// # Errors
+///
+/// Propagates transport send failures.
+pub fn shutdown_workers(transport: &dyn Transport) -> Result<(), NetError> {
+    let me = transport.node_id();
+    for peer in 0..transport.num_nodes() {
+        if peer != me {
+            transport.send(peer, TAG_SHUTDOWN, &[])?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::build_expert;
+    use crossbeam::thread;
+    use teamnet_net::ChannelTransport;
+    use teamnet_nn::ModelSpec;
+
+    fn expert(seed: u64) -> Sequential {
+        build_expert(&ModelSpec::mlp(2, 16), seed)
+    }
+
+    #[test]
+    fn results_codec_roundtrip() {
+        let results = vec![(3usize, 0.5f32), (9, 1.25)];
+        let decoded = decode_results(&encode_results(&results)).unwrap();
+        assert_eq!(decoded, results);
+        assert!(decode_results(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn distributed_matches_local_team() {
+        // A 3-node cluster must produce exactly the same predictions as an
+        // in-process TeamNet with the same experts.
+        let nodes = ChannelTransport::mesh(3);
+        let images = Tensor::rand_uniform(
+            [4, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9),
+        );
+
+        let mut local_team = crate::team::TeamNet::from_experts(
+            ModelSpec::mlp(2, 16),
+            vec![expert(0), expert(1), expert(2)],
+        );
+        let expected = local_team.predict(&images);
+
+        let got = thread::scope(|scope| {
+            for (i, node) in nodes.iter().enumerate().skip(1) {
+                let mut worker_expert = expert(i as u64);
+                scope.spawn(move |_| serve_worker(node, 0, &mut worker_expert).unwrap());
+            }
+            let mut master_expert = expert(0);
+            let preds =
+                master_infer(&nodes[0], &mut master_expert, &images, &MasterConfig::default())
+                    .unwrap();
+            shutdown_workers(&nodes[0]).unwrap();
+            preds
+        })
+        .unwrap();
+
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.label, e.label);
+            assert_eq!(g.expert, e.expert);
+            assert!((g.entropy - e.entropy).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn calibrated_distributed_matches_calibrated_local() {
+        let nodes = ChannelTransport::mesh(2);
+        let images = Tensor::rand_uniform(
+            [3, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11),
+        );
+        let weights = vec![3.0f32, 0.4];
+        let mut local_team = crate::team::TeamNet::from_experts(
+            ModelSpec::mlp(2, 16),
+            vec![expert(0), expert(1)],
+        );
+        local_team.set_calibration(weights.clone());
+        let expected = local_team.predict(&images);
+
+        let got = thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut worker_expert = expert(1);
+                serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
+            });
+            let mut master_expert = expert(0);
+            let config = MasterConfig { calibration: Some(weights), ..MasterConfig::default() };
+            let preds = master_infer(&nodes[0], &mut master_expert, &images, &config).unwrap();
+            shutdown_workers(&nodes[0]).unwrap();
+            preds
+        })
+        .unwrap();
+
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.expert, e.expert);
+            assert_eq!(g.label, e.label);
+        }
+    }
+
+    #[test]
+    fn missing_worker_times_out_when_required() {
+        let nodes = ChannelTransport::mesh(2);
+        let mut master_expert = expert(0);
+        let images = Tensor::zeros([1, 1, 28, 28]);
+        let config = MasterConfig {
+            worker_timeout: Duration::from_millis(50),
+            require_all_workers: true,
+            ..MasterConfig::default()
+        };
+        let res = master_infer(&nodes[0], &mut master_expert, &images, &config);
+        assert!(matches!(res, Err(NetError::Timeout { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn missing_worker_degrades_gracefully_when_optional() {
+        let nodes = ChannelTransport::mesh(2);
+        let mut master_expert = expert(0);
+        let images = Tensor::zeros([2, 1, 28, 28]);
+        let config = MasterConfig {
+            worker_timeout: Duration::from_millis(50),
+            require_all_workers: false,
+            ..MasterConfig::default()
+        };
+        let preds = master_infer(&nodes[0], &mut master_expert, &images, &config).unwrap();
+        assert_eq!(preds.len(), 2);
+        // All predictions fall back to the master's own expert.
+        assert!(preds.iter().all(|p| p.expert == 0));
+    }
+
+    #[test]
+    fn works_over_real_tcp() {
+        let nodes = teamnet_net::TcpTransport::mesh_localhost(2).unwrap();
+        let images = Tensor::rand_uniform(
+            [2, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3),
+        );
+        thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut worker_expert = expert(1);
+                serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
+            });
+            let mut master_expert = expert(0);
+            let preds =
+                master_infer(&nodes[0], &mut master_expert, &images, &MasterConfig::default())
+                    .unwrap();
+            assert_eq!(preds.len(), 2);
+            shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn worker_survives_multiple_rounds() {
+        let nodes = ChannelTransport::mesh(2);
+        thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut worker_expert = expert(1);
+                serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
+            });
+            let mut master_expert = expert(0);
+            for round in 0..5 {
+                let images = Tensor::full([1, 1, 28, 28], round as f32 * 0.1);
+                let preds =
+                    master_infer(&nodes[0], &mut master_expert, &images, &MasterConfig::default())
+                        .unwrap();
+                assert_eq!(preds.len(), 1);
+            }
+            shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+}

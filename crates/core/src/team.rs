@@ -1,0 +1,465 @@
+//! The deployed team and its arg-min-entropy inference (Section V).
+//!
+//! Once trained, inference is deliberately simple: every expert predicts,
+//! and the prediction with the least predictive entropy wins. The paper
+//! argues (and demonstrates against SG-MoE) that this trivially cheap gate
+//! is an advantage at the edge — no gating network has to run anywhere.
+
+use crate::entropy::entropy;
+use serde::{Deserialize, Serialize};
+use teamnet_data::Dataset;
+use teamnet_nn::{load_state, state_vec, Layer, Mode, ModelSpec, Sequential};
+use teamnet_tensor::Tensor;
+
+/// One collaborative prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TeamPrediction {
+    /// The winning class label.
+    pub label: usize,
+    /// Which expert supplied the winning prediction.
+    pub expert: usize,
+    /// The winning expert's predictive entropy (the uncertainty that won).
+    pub entropy: f32,
+}
+
+/// Aggregate evaluation of a team on a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TeamEvaluation {
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// How many test examples each expert won.
+    pub expert_wins: Vec<u64>,
+    /// `per_class_wins[class][expert]`: how often each expert won examples
+    /// of each true class — the data behind the paper's Figure 9
+    /// specialization heat maps.
+    pub per_class_wins: Vec<Vec<u64>>,
+}
+
+impl TeamEvaluation {
+    /// Row-normalized specialization matrix: the fraction of each class
+    /// won by each expert (rows sum to 1 for non-empty classes).
+    pub fn specialization(&self) -> Vec<Vec<f64>> {
+        self.per_class_wins
+            .iter()
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                row.iter()
+                    .map(|&w| if total == 0 { 0.0 } else { w as f64 / total as f64 })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// A trained TeamNet: K expert networks collaborating by least-uncertainty
+/// selection.
+pub struct TeamNet {
+    spec: ModelSpec,
+    experts: Vec<Sequential>,
+    /// Per-expert entropy weights δ* for the inference gate (Eq. 1 of the
+    /// paper with converged control variables). `1.0` everywhere means the
+    /// plain arg-min of Figure 4.
+    calibration: Vec<f32>,
+}
+
+impl TeamNet {
+    /// Assembles a team from trained expert networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `experts` is empty.
+    pub fn from_experts(spec: ModelSpec, experts: Vec<Sequential>) -> Self {
+        assert!(!experts.is_empty(), "a team needs at least one expert");
+        let calibration = vec![1.0; experts.len()];
+        TeamNet { spec, experts, calibration }
+    }
+
+    /// The per-expert entropy weights used by the inference gate.
+    pub fn calibration(&self) -> &[f32] {
+        &self.calibration
+    }
+
+    /// Sets the inference gate's entropy weights δ* (Eq. 1). Experts whose
+    /// entropies run systematically low (overconfident, e.g. from
+    /// batch-norm statistics fit to their own partition) get weights above
+    /// one so the comparison across experts stays fair.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `calibration` has one positive weight per expert.
+    pub fn set_calibration(&mut self, calibration: Vec<f32>) {
+        assert_eq!(calibration.len(), self.experts.len(), "one weight per expert");
+        assert!(calibration.iter().all(|&c| c > 0.0 && c.is_finite()), "weights must be positive");
+        self.calibration = calibration;
+    }
+
+    /// Derives δ* from a reference dataset: each expert's weight is the
+    /// reciprocal of its mean predictive entropy over the examples the
+    /// *current* gate routes to it, normalized to mean 1. Call with (a
+    /// sample of) the training set after training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty.
+    pub fn calibrate(&mut self, images: &Tensor) {
+        let n = images.dims()[0];
+        assert!(n > 0, "calibration needs at least one example");
+        let k = self.k();
+        let probs: Vec<Tensor> =
+            self.experts.iter_mut().map(|e| e.forward(images, Mode::Eval).softmax_rows()).collect();
+        // Raw arg-min assignment, then per-expert mean entropy over its
+        // own territory. Experts that win nothing fall back to their mean
+        // entropy over everything.
+        let mut own_sum = vec![0.0f64; k];
+        let mut own_count = vec![0usize; k];
+        let mut all_sum = vec![0.0f64; k];
+        for r in 0..n {
+            let hs: Vec<f32> = probs.iter().map(|p| entropy(p.row(r))).collect();
+            let mut winner = 0usize;
+            for (i, &h) in hs.iter().enumerate() {
+                if h < hs[winner] {
+                    winner = i;
+                }
+                all_sum[i] += f64::from(h);
+            }
+            own_sum[winner] += f64::from(hs[winner]);
+            own_count[winner] += 1;
+        }
+        let mut weights: Vec<f32> = (0..k)
+            .map(|i| {
+                let reference = if own_count[i] > 0 {
+                    own_sum[i] / own_count[i] as f64
+                } else {
+                    all_sum[i] / n as f64
+                };
+                (1.0 / reference.max(1e-6)) as f32
+            })
+            .collect();
+        let mean: f32 = weights.iter().sum::<f32>() / k as f32;
+        for w in &mut weights {
+            *w /= mean;
+        }
+        self.set_calibration(weights);
+    }
+
+    /// Number of experts.
+    pub fn k(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// The experts' architecture.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Mutable access to one expert (e.g. to deploy it to a device).
+    pub fn expert_mut(&mut self, i: usize) -> &mut Sequential {
+        &mut self.experts[i]
+    }
+
+    /// Snapshots every expert's parameters (for serialization/deployment).
+    pub fn expert_states(&mut self) -> Vec<Vec<Tensor>> {
+        self.experts.iter_mut().map(|e| state_vec(e)).collect()
+    }
+
+    /// Rebuilds a team from an architecture spec and per-expert parameter
+    /// snapshots (the receiving side of deployment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state vector does not match the architecture.
+    pub fn from_states(spec: ModelSpec, states: &[Vec<Tensor>]) -> Self {
+        assert!(!states.is_empty(), "a team needs at least one expert");
+        let experts = states
+            .iter()
+            .map(|state| {
+                let mut net = crate::expert::build_expert(&spec, 0);
+                load_state(&mut net, state);
+                net
+            })
+            .collect();
+        TeamNet::from_experts(spec, experts)
+    }
+
+    /// Collaborative inference on a batch: every expert predicts, the
+    /// least-uncertain wins per example.
+    pub fn predict(&mut self, images: &Tensor) -> Vec<TeamPrediction> {
+        let n = images.dims()[0];
+        let calibration = self.calibration.clone();
+        let probs: Vec<Tensor> =
+            self.experts.iter_mut().map(|e| e.forward(images, Mode::Eval).softmax_rows()).collect();
+        (0..n)
+            .map(|r| {
+                let mut best = TeamPrediction { label: 0, expert: 0, entropy: f32::INFINITY };
+                let mut best_weighted = f32::INFINITY;
+                for (i, p) in probs.iter().enumerate() {
+                    let row = p.row(r);
+                    let h = entropy(row);
+                    let weighted = h * calibration[i];
+                    if weighted < best_weighted {
+                        best_weighted = weighted;
+                        best = TeamPrediction {
+                            label: teamnet_tensor::argmax_slice(row),
+                            expert: i,
+                            entropy: h,
+                        };
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// The ensemble-style alternative the paper rejects in Section V:
+    /// (entropy-weighted) majority vote over all experts. Provided for the
+    /// ablation comparing it against the arg-min gate — since experts are
+    /// trained to specialize, "considering the prediction of 'non-expert'
+    /// can be detrimental".
+    pub fn predict_majority(&mut self, images: &Tensor) -> Vec<TeamPrediction> {
+        let n = images.dims()[0];
+        let probs: Vec<Tensor> =
+            self.experts.iter_mut().map(|e| e.forward(images, Mode::Eval).softmax_rows()).collect();
+        let classes = probs[0].dims()[1];
+        (0..n)
+            .map(|r| {
+                // Each expert votes with weight 1/(ε + H): confident experts
+                // count more, but nobody is excluded.
+                let mut tally = vec![0.0f32; classes];
+                let mut per_expert: Vec<(usize, f32)> = Vec::with_capacity(self.experts.len());
+                for p in &probs {
+                    let row = p.row(r);
+                    let h = entropy(row);
+                    let label = teamnet_tensor::argmax_slice(row);
+                    tally[label] += 1.0 / (0.1 + h);
+                    per_expert.push((label, h));
+                }
+                let winner = teamnet_tensor::argmax_slice(&tally);
+                // Report the most confident expert that voted for the winner.
+                let (expert, entropy) = per_expert
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (l, _))| *l == winner)
+                    .map(|(i, (_, h))| (i, *h))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite entropy"))
+                    .expect("winner has at least one voter");
+                TeamPrediction { label: winner, expert, entropy }
+            })
+            .collect()
+    }
+
+    /// Accuracy of the majority-vote combiner over a dataset (ablation
+    /// counterpart of [`TeamNet::evaluate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn evaluate_majority(&mut self, data: &Dataset) -> f64 {
+        assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+        let mut correct = 0u64;
+        for batch in data.batches(256) {
+            for (pred, &truth) in self.predict_majority(&batch.images).iter().zip(&batch.labels) {
+                if pred.label == truth {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+
+    /// Evaluates accuracy and specialization over a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn evaluate(&mut self, data: &Dataset) -> TeamEvaluation {
+        assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
+        let k = self.k();
+        let classes = data.num_classes();
+        let mut correct = 0u64;
+        let mut expert_wins = vec![0u64; k];
+        let mut per_class_wins = vec![vec![0u64; k]; classes];
+        for batch in data.batches(256) {
+            for (pred, &truth) in self.predict(&batch.images).iter().zip(&batch.labels) {
+                if pred.label == truth {
+                    correct += 1;
+                }
+                expert_wins[pred.expert] += 1;
+                per_class_wins[truth][pred.expert] += 1;
+            }
+        }
+        TeamEvaluation {
+            accuracy: correct as f64 / data.len() as f64,
+            expert_wins,
+            per_class_wins,
+        }
+    }
+}
+
+impl std::fmt::Debug for TeamNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TeamNet(k={}, spec={:?})", self.k(), self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expert::build_expert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use teamnet_data::synth_digits;
+
+    fn untrained_team(k: usize) -> TeamNet {
+        let spec = ModelSpec::mlp(2, 16);
+        let experts = (0..k).map(|i| build_expert(&spec, i as u64)).collect();
+        TeamNet::from_experts(spec, experts)
+    }
+
+    #[test]
+    fn predict_returns_one_result_per_row() {
+        let mut team = untrained_team(3);
+        let x = Tensor::zeros([5, 1, 28, 28]);
+        let preds = team.predict(&x);
+        assert_eq!(preds.len(), 5);
+        for p in &preds {
+            assert!(p.label < 10);
+            assert!(p.expert < 3);
+            assert!(p.entropy.is_finite());
+        }
+    }
+
+    #[test]
+    fn winner_has_least_entropy() {
+        let mut team = untrained_team(2);
+        let x = Tensor::ones([1, 1, 28, 28]);
+        // Recompute per-expert entropies manually and compare to winner.
+        let mut entropies = Vec::new();
+        for i in 0..2 {
+            let probs = team.expert_mut(i).forward(&x, Mode::Eval).softmax_rows();
+            entropies.push(entropy(probs.row(0)));
+        }
+        let pred = &team.predict(&x)[0];
+        let min = entropies.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!((pred.entropy - min).abs() < 1e-6);
+        assert_eq!(pred.expert, if entropies[0] <= entropies[1] { 0 } else { 1 });
+    }
+
+    #[test]
+    fn evaluation_counts_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = synth_digits(50, &mut rng);
+        let mut team = untrained_team(2);
+        let eval = team.evaluate(&data);
+        assert_eq!(eval.expert_wins.iter().sum::<u64>(), 50);
+        let per_class_total: u64 = eval.per_class_wins.iter().flatten().sum();
+        assert_eq!(per_class_total, 50);
+        assert!((0.0..=1.0).contains(&eval.accuracy));
+    }
+
+    #[test]
+    fn specialization_rows_are_distributions() {
+        let eval = TeamEvaluation {
+            accuracy: 1.0,
+            expert_wins: vec![3, 1],
+            per_class_wins: vec![vec![3, 1], vec![0, 0]],
+        };
+        let spec = eval.specialization();
+        assert!((spec[0][0] - 0.75).abs() < 1e-9);
+        assert_eq!(spec[1], vec![0.0, 0.0]); // empty class stays zero
+    }
+
+    #[test]
+    fn calibration_reroutes_overconfident_expert() {
+        // Expert 0 systematically lower entropy: without calibration it
+        // wins everything; weighting it up hands rows back to expert 1.
+        let mut team = untrained_team(2);
+        let x = Tensor::rand_uniform(
+            [8, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3),
+        );
+        let plain: Vec<usize> = team.predict(&x).iter().map(|p| p.expert).collect();
+        // Heavily handicap whichever expert wins the most.
+        let winner = if plain.iter().filter(|&&e| e == 0).count() >= 4 { 0 } else { 1 };
+        let mut weights = vec![1.0f32; 2];
+        weights[winner] = 100.0;
+        team.set_calibration(weights);
+        let adjusted: Vec<usize> = team.predict(&x).iter().map(|p| p.expert).collect();
+        assert!(adjusted.iter().all(|&e| e != winner), "{adjusted:?}");
+    }
+
+    #[test]
+    fn calibrate_produces_mean_one_weights() {
+        let mut team = untrained_team(3);
+        let x = Tensor::rand_uniform(
+            [16, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4),
+        );
+        team.calibrate(&x);
+        let mean: f32 = team.calibration().iter().sum::<f32>() / 3.0;
+        assert!((mean - 1.0).abs() < 1e-5);
+        assert!(team.calibration().iter().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per expert")]
+    fn set_calibration_checks_length() {
+        let mut team = untrained_team(2);
+        team.set_calibration(vec![1.0]);
+    }
+
+    #[test]
+    fn majority_vote_returns_valid_predictions() {
+        let mut team = untrained_team(3);
+        let x = Tensor::rand_uniform(
+            [4, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1),
+        );
+        let preds = team.predict_majority(&x);
+        assert_eq!(preds.len(), 4);
+        for p in &preds {
+            assert!(p.label < 10);
+            assert!(p.expert < 3);
+            assert!(p.entropy.is_finite());
+        }
+    }
+
+    #[test]
+    fn majority_vote_with_unanimous_experts_matches_argmin() {
+        // All experts identical → both combiners must agree.
+        let spec = ModelSpec::mlp(2, 16);
+        let experts = (0..3).map(|_| build_expert(&spec, 7)).collect();
+        let mut team = TeamNet::from_experts(spec, experts);
+        let x = Tensor::rand_uniform(
+            [3, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2),
+        );
+        let argmin: Vec<usize> = team.predict(&x).iter().map(|p| p.label).collect();
+        let vote: Vec<usize> = team.predict_majority(&x).iter().map(|p| p.label).collect();
+        assert_eq!(argmin, vote);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_predictions() {
+        let mut team = untrained_team(2);
+        let x = Tensor::ones([2, 1, 28, 28]);
+        let before = team.predict(&x);
+        let states = team.expert_states();
+        let mut restored = TeamNet::from_states(team.spec().clone(), &states);
+        let after = restored.predict(&x);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one expert")]
+    fn rejects_empty_team() {
+        TeamNet::from_experts(ModelSpec::mlp(2, 8), Vec::new());
+    }
+}

@@ -1,0 +1,389 @@
+//! The TeamNet training loop — Algorithm 1 of the paper.
+//!
+//! Per epoch: reshuffle, walk the mini-batches; per batch: evaluate every
+//! expert's predictive entropy, run GATE_TRAIN (Algorithm 2) to decide who
+//! learns what, then EXPERT_TRAIN (Algorithm 3) to update the winners.
+//! The recorded per-iteration assignment proportions are the data behind
+//! the paper's Figures 6 and 8 (convergence of γ to the 1/K set point).
+
+use crate::expert::ExpertEnsemble;
+use crate::gate::{DynamicGate, GateConfig};
+use crate::team::TeamNet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use teamnet_data::Dataset;
+use teamnet_nn::ModelSpec;
+
+/// Hyperparameters of a TeamNet training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training data (`r` in Algorithm 1).
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Expert learning rate.
+    pub learning_rate: f32,
+    /// Expert SGD momentum.
+    pub momentum: f32,
+    /// Gate hyperparameters.
+    pub gate: GateConfig,
+    /// Master seed for initialization, shuffling and the gate's latent
+    /// draws.
+    pub seed: u64,
+    /// Optional non-uniform per-expert share targets (the paper's
+    /// future-work extension for imbalanced data); `None` means the
+    /// uniform `1/K` set point.
+    pub target_shares: Option<Vec<f32>>,
+    /// Pixels of random translation (plus horizontal flip) applied to each
+    /// training batch; 0 disables augmentation. CNN experts want 2–3.
+    pub augment_shift: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            learning_rate: 0.1,
+            momentum: 0.9,
+            gate: GateConfig::default(),
+            seed: 0,
+            target_shares: None,
+            augment_shift: 0,
+        }
+    }
+}
+
+/// Per-iteration record of one gate decision during training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Global iteration index.
+    pub iteration: usize,
+    /// Share of this batch each expert received (γ̄ of the batch).
+    pub batch_shares: Vec<f32>,
+    /// Cumulative share of all training data each expert has received so
+    /// far — the curve plotted in Figures 6 and 8.
+    pub cumulative_shares: Vec<f32>,
+    /// Final gate objective J for the batch.
+    pub gate_objective: f32,
+    /// Mean expert loss over experts that received data this iteration.
+    pub mean_expert_loss: f32,
+}
+
+/// The full trace of a training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainingHistory {
+    /// One record per gate invocation (per mini-batch).
+    pub records: Vec<IterationRecord>,
+}
+
+impl TrainingHistory {
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no iterations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Largest deviation of any expert's cumulative share from `1/K` over
+    /// the final `tail` iterations — the convergence criterion of
+    /// Figures 6 and 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the history is empty or `tail == 0`.
+    pub fn final_imbalance(&self, tail: usize) -> f32 {
+        assert!(!self.records.is_empty(), "empty history");
+        assert!(tail > 0, "tail must be positive");
+        let k = self.records[0].cumulative_shares.len() as f32;
+        let start = self.records.len().saturating_sub(tail);
+        self.records[start..]
+            .iter()
+            .flat_map(|r| r.cumulative_shares.iter().map(move |&s| (s - 1.0 / k).abs()))
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Trains K experts with the competitive/selective scheme.
+pub struct Trainer {
+    ensemble: ExpertEnsemble,
+    gate: DynamicGate,
+    config: TrainConfig,
+    rng: StdRng,
+    assigned_counts: Vec<u64>,
+    iteration: usize,
+    history: TrainingHistory,
+}
+
+impl Trainer {
+    /// Creates a trainer for `k` experts of architecture `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (TeamNet is a collaboration; use plain training
+    /// for a single model) or the gate config is invalid.
+    pub fn new(spec: ModelSpec, k: usize, config: TrainConfig) -> Self {
+        assert!(k >= 2, "TeamNet needs at least two experts");
+        let ensemble =
+            ExpertEnsemble::new(spec, k, config.learning_rate, config.momentum, config.seed);
+        let gate = match &config.target_shares {
+            Some(shares) => {
+                assert_eq!(shares.len(), k, "target_shares length must equal k");
+                DynamicGate::with_set_point(
+                    shares.clone(),
+                    config.gate.clone(),
+                    config.seed.wrapping_add(1),
+                )
+            }
+            None => DynamicGate::new(k, config.gate.clone(), config.seed.wrapping_add(1)),
+        };
+        let rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
+        Trainer {
+            ensemble,
+            gate,
+            config,
+            rng,
+            assigned_counts: vec![0; k],
+            iteration: 0,
+            history: TrainingHistory::default(),
+        }
+    }
+
+    /// Number of experts.
+    pub fn k(&self) -> usize {
+        self.ensemble.k()
+    }
+
+    /// The training trace so far.
+    pub fn history(&self) -> &TrainingHistory {
+        &self.history
+    }
+
+    /// Runs Algorithm 1 for `config.epochs` epochs over `data`, extending
+    /// the history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn train(&mut self, data: &Dataset) -> &TrainingHistory {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        for _ in 0..self.config.epochs {
+            self.train_epoch(data);
+        }
+        &self.history
+    }
+
+    /// Runs a single epoch (one shuffled pass) over `data`.
+    pub fn train_epoch(&mut self, data: &Dataset) {
+        let shuffled = data.shuffled(&mut self.rng);
+        for mut batch in shuffled.batches(self.config.batch_size) {
+            if self.config.augment_shift > 0 {
+                batch.images = teamnet_data::augment_batch(
+                    &batch.images,
+                    self.config.augment_shift,
+                    &mut self.rng,
+                );
+            }
+            // Algorithm 1 line 6: entropy of every expert on the batch.
+            let entropy = self.ensemble.entropy_matrix(&batch.images);
+            // Line 7: GATE_TRAIN.
+            let decision = self.gate.assign(&entropy);
+            // Line 8: EXPERT_TRAIN.
+            let losses = self.ensemble.train_assigned(&batch, &decision.assignment);
+
+            for &a in &decision.assignment {
+                self.assigned_counts[a] += 1;
+            }
+            let total: u64 = self.assigned_counts.iter().sum();
+            let cumulative_shares = self
+                .assigned_counts
+                .iter()
+                .map(|&c| c as f32 / total as f32)
+                .collect();
+            let active: Vec<f32> = losses.iter().copied().filter(|&l| l > 0.0).collect();
+            let mean_expert_loss = if active.is_empty() {
+                0.0
+            } else {
+                active.iter().sum::<f32>() / active.len() as f32
+            };
+            self.history.records.push(IterationRecord {
+                iteration: self.iteration,
+                batch_shares: decision.gamma_bar,
+                cumulative_shares,
+                gate_objective: decision.objective,
+                mean_expert_loss,
+            });
+            self.iteration += 1;
+        }
+    }
+
+    /// Finishes training, producing the deployable team.
+    pub fn into_team(self) -> TeamNet {
+        let spec = self.ensemble.spec().clone();
+        TeamNet::from_experts(spec, self.ensemble.into_experts())
+    }
+
+    /// Finishes training and calibrates the inference gate's entropy
+    /// weights (Eq. 1's δ*) on a sample of up to 512 training examples —
+    /// recommended for CNN experts, whose batch-norm statistics make raw
+    /// entropies incomparable across experts.
+    pub fn into_calibrated_team(self, data: &Dataset) -> TeamNet {
+        let mut team = self.into_team();
+        let sample_size = data.len().min(512);
+        let indices: Vec<usize> = (0..sample_size).collect();
+        let sample = data.subset(&indices);
+        team.calibrate(sample.images());
+        team
+    }
+
+    /// Borrow of the underlying ensemble (e.g. for mid-training probes).
+    pub fn ensemble_mut(&mut self) -> &mut ExpertEnsemble {
+        &mut self.ensemble
+    }
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Trainer(k={}, iteration={})", self.k(), self.iteration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use teamnet_data::synth_digits;
+
+    fn small_config() -> TrainConfig {
+        TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn training_records_history() {
+        let mut rng = StdRng::seed_from_u64(100);
+        let data = synth_digits(256, &mut rng);
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 24), 2, small_config());
+        let history = trainer.train(&data).clone();
+        // 2 epochs × 8 batches.
+        assert_eq!(history.len(), 16);
+        for rec in &history.records {
+            assert_eq!(rec.batch_shares.len(), 2);
+            assert!((rec.cumulative_shares.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn proportions_converge_towards_half() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let data = synth_digits(600, &mut rng);
+        let config = TrainConfig { epochs: 4, batch_size: 50, ..TrainConfig::default() };
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
+        let history = trainer.train(&data);
+        // Figures 6a: cumulative shares end near the 0.5 set point.
+        let imbalance = history.final_imbalance(5);
+        assert!(imbalance < 0.15, "final imbalance {imbalance}");
+    }
+
+    #[test]
+    fn four_expert_training_runs_and_balances() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let data = synth_digits(600, &mut rng);
+        let config = TrainConfig { epochs: 4, batch_size: 60, ..TrainConfig::default() };
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 24), 4, config);
+        let history = trainer.train(&data);
+        let imbalance = history.final_imbalance(5);
+        // Set point is 0.25; allow a loose band (short run).
+        assert!(imbalance < 0.2, "final imbalance {imbalance}");
+    }
+
+    #[test]
+    fn trained_team_beats_chance_substantially() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let data = synth_digits(1_500, &mut rng);
+        let (train, test) = data.split(1_200);
+        let config = TrainConfig { epochs: 5, batch_size: 32, ..TrainConfig::default() };
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
+        trainer.train(&train);
+        let mut team = trainer.into_team();
+        let eval = team.evaluate(&test);
+        assert!(eval.accuracy > 0.8, "accuracy {}", eval.accuracy);
+    }
+
+    #[test]
+    fn expert_losses_fall_over_training() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let data = synth_digits(400, &mut rng);
+        let config = TrainConfig { epochs: 4, batch_size: 40, ..TrainConfig::default() };
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
+        let history = trainer.train(&data);
+        let early: f32 = history.records[..3].iter().map(|r| r.mean_expert_loss).sum::<f32>() / 3.0;
+        let n = history.len();
+        let late: f32 =
+            history.records[n - 3..].iter().map(|r| r.mean_expert_loss).sum::<f32>() / 3.0;
+        assert!(late < early * 0.7, "loss {early} -> {late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two experts")]
+    fn rejects_k1() {
+        Trainer::new(ModelSpec::mlp(2, 8), 1, small_config());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty_data() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = synth_digits(10, &mut rng).subset(&[]);
+        Trainer::new(ModelSpec::mlp(2, 8), 2, small_config()).train(&data);
+    }
+
+    #[test]
+    fn non_uniform_targets_shift_cumulative_shares() {
+        let mut rng = StdRng::seed_from_u64(110);
+        let data = synth_digits(600, &mut rng);
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 50,
+            target_shares: Some(vec![0.7, 0.3]),
+            ..TrainConfig::default()
+        };
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 24), 2, config);
+        let history = trainer.train(&data);
+        let last = &history.records.last().unwrap().cumulative_shares;
+        assert!(
+            (last[0] - 0.7).abs() < 0.15,
+            "cumulative shares {last:?} should approach the 0.7/0.3 targets"
+        );
+    }
+
+    #[test]
+    fn calibrated_team_has_non_default_weights() {
+        let mut rng = StdRng::seed_from_u64(120);
+        let data = synth_digits(300, &mut rng);
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 16), 2, small_config());
+        trainer.train(&data);
+        let team = trainer.into_calibrated_team(&data);
+        let weights = team.calibration();
+        assert_eq!(weights.len(), 2);
+        let mean: f32 = weights.iter().sum::<f32>() / 2.0;
+        assert!((mean - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn history_final_imbalance_math() {
+        let history = TrainingHistory {
+            records: vec![IterationRecord {
+                iteration: 0,
+                batch_shares: vec![0.5, 0.5],
+                cumulative_shares: vec![0.6, 0.4],
+                gate_objective: 0.0,
+                mean_expert_loss: 0.0,
+            }],
+        };
+        assert!((history.final_imbalance(1) - 0.1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,122 @@
+//! Training-time data augmentation.
+//!
+//! The standard light augmentations for small-image classification
+//! (random horizontal flip plus a few pixels of translation) — what every
+//! CIFAR-10 training pipeline, including Shake-Shake's, applies. Operates
+//! on whole `[n, c, h, w]` batches so the training loop can augment lazily
+//! per epoch.
+
+use rand::Rng;
+use teamnet_tensor::Tensor;
+
+/// Randomly flips each image horizontally (p = ½) and translates it by up
+/// to `max_shift` pixels in each direction (zero padding), independently
+/// per image.
+///
+/// # Panics
+///
+/// Panics if `images` is not rank-4.
+pub fn augment_batch(images: &Tensor, max_shift: usize, rng: &mut impl Rng) -> Tensor {
+    assert_eq!(images.rank(), 4, "augment_batch expects [n, c, h, w]");
+    let (n, c, h, w) = (images.dims()[0], images.dims()[1], images.dims()[2], images.dims()[3]);
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let shift_range = max_shift as isize;
+    for s in 0..n {
+        let flip = rng.gen_bool(0.5);
+        let dy = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
+        let dx = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
+        for ch in 0..c {
+            let src_base = (s * c + ch) * h * w;
+            let dst_base = src_base;
+            for y in 0..h as isize {
+                let sy = y - dy;
+                if sy < 0 || sy >= h as isize {
+                    continue;
+                }
+                for x in 0..w as isize {
+                    let sx_pre = x - dx;
+                    if sx_pre < 0 || sx_pre >= w as isize {
+                        continue;
+                    }
+                    let sx = if flip { w as isize - 1 - sx_pre } else { sx_pre };
+                    let v = images.data()[src_base + (sy as usize) * w + sx as usize];
+                    out.data_mut()[dst_base + (y as usize) * w + x as usize] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ramp(n: usize, c: usize, h: usize, w: usize) -> Tensor {
+        Tensor::arange(n * c * h * w).into_reshaped([n, c, h, w]).unwrap()
+    }
+
+    #[test]
+    fn zero_shift_is_flip_or_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = ramp(4, 1, 4, 4);
+        let aug = augment_batch(&x, 0, &mut rng);
+        // Each image is either identical or exactly mirrored.
+        for s in 0..4 {
+            let orig = x.select_rows(&[s]);
+            let got = aug.select_rows(&[s]);
+            let mut mirrored = orig.clone();
+            for y in 0..4 {
+                for xx in 0..4 {
+                    mirrored.set(&[0, 0, y, xx], orig.at(&[0, 0, y, 3 - xx]));
+                }
+            }
+            assert!(
+                got == orig || got == mirrored,
+                "image {s} is neither identity nor mirror"
+            );
+        }
+    }
+
+    #[test]
+    fn shifting_preserves_mass_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::ones([8, 3, 8, 8]);
+        let aug = augment_batch(&x, 2, &mut rng);
+        // Total intensity can only shrink (pixels shifted out, zeros in).
+        assert!(aug.sum() <= x.sum());
+        // But most of it survives (≤ 2px shifts on 8px images).
+        assert!(aug.sum() > x.sum() * 0.5);
+        assert_eq!(aug.dims(), x.dims());
+        assert!(aug.min() >= 0.0);
+    }
+
+    #[test]
+    fn augmentation_is_stochastic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = ramp(1, 1, 6, 6);
+        let a = augment_batch(&x, 2, &mut rng);
+        let b = augment_batch(&x, 2, &mut rng);
+        // Overwhelmingly likely to differ.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn channels_move_together() {
+        // The same geometric transform must apply to every channel of an
+        // image (no channel misalignment).
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut x = Tensor::zeros([1, 2, 5, 5]);
+        x.set(&[0, 0, 2, 1], 1.0);
+        x.set(&[0, 1, 2, 1], 1.0);
+        let aug = augment_batch(&x, 2, &mut rng);
+        // Wherever the pixel landed, it landed in both channels.
+        let c0: Vec<usize> =
+            (0..25).filter(|&i| aug.data()[i] > 0.5).collect();
+        let c1: Vec<usize> =
+            (0..25).filter(|&i| aug.data()[25 + i] > 0.5).collect();
+        assert_eq!(c0, c1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Labeled image datasets and mini-batch iteration.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use teamnet_tensor::Tensor;
+
+/// An in-memory labeled image dataset (`[n, c, h, w]` images, one integer
+/// label per image).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    class_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset from images and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `images` is rank-4, the label count matches the image
+    /// count, and every label indexes into `class_names`.
+    pub fn new(images: Tensor, labels: Vec<usize>, class_names: Vec<String>) -> Self {
+        assert_eq!(images.rank(), 4, "images must be [n, c, h, w]");
+        assert_eq!(images.dims()[0], labels.len(), "image/label count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < class_names.len()),
+            "label out of range for {} classes",
+            class_names.len()
+        );
+        Dataset { images, labels, class_names }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All images, `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels, aligned with the image rows.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Human-readable class names; `class_names()[label]` names a label.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Number of distinct classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Image dimensions without the batch axis: `[c, h, w]`.
+    pub fn image_dims(&self) -> Vec<usize> {
+        self.images.dims()[1..].to_vec()
+    }
+
+    /// The examples at `indices`, in order, as a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let images = self.images.select_rows(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset { images, labels, class_names: self.class_names.clone() }
+    }
+
+    /// Splits off the first `n_first` examples: `(first, rest)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_first > self.len()`.
+    pub fn split(&self, n_first: usize) -> (Dataset, Dataset) {
+        assert!(n_first <= self.len(), "cannot split {n_first} from {}", self.len());
+        let first: Vec<usize> = (0..n_first).collect();
+        let rest: Vec<usize> = (n_first..self.len()).collect();
+        (self.subset(&first), self.subset(&rest))
+    }
+
+    /// A copy with examples in a fresh random order.
+    pub fn shuffled(&self, rng: &mut impl Rng) -> Dataset {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        self.subset(&indices)
+    }
+
+    /// Iterates over consecutive mini-batches of up to `batch_size`
+    /// examples (the final batch may be smaller). Shuffle first with
+    /// [`Dataset::shuffled`] when randomized epochs are wanted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batches(&self, batch_size: usize) -> Batches<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batches { dataset: self, batch_size, cursor: 0 }
+    }
+
+    /// Per-class example counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes()];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+/// One mini-batch: images `[b, c, h, w]` plus aligned labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// Batch images, `[b, c, h, w]`.
+    pub images: Tensor,
+    /// Labels aligned with the image rows.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Iterator over the mini-batches of a [`Dataset`]; created by
+/// [`Dataset::batches`].
+#[derive(Debug)]
+pub struct Batches<'a> {
+    dataset: &'a Dataset,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for Batches<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.dataset.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.dataset.len());
+        let indices: Vec<usize> = (self.cursor..end).collect();
+        self.cursor = end;
+        Some(Batch {
+            images: self.dataset.images.select_rows(&indices),
+            labels: indices.iter().map(|&i| self.dataset.labels[i]).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let images = Tensor::arange(n * 4).into_reshaped([n, 1, 2, 2]).unwrap();
+        let labels = (0..n).map(|i| i % 2).collect();
+        Dataset::new(images, labels, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy(6);
+        assert_eq!(d.len(), 6);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.image_dims(), vec![1, 2, 2]);
+        assert_eq!(d.class_histogram(), vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn rejects_label_count_mismatch() {
+        Dataset::new(Tensor::zeros([2, 1, 1, 1]), vec![0], vec!["a".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        Dataset::new(Tensor::zeros([1, 1, 1, 1]), vec![5], vec!["a".into()]);
+    }
+
+    #[test]
+    fn subset_and_split() {
+        let d = toy(6);
+        let s = d.subset(&[5, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[1, 0]);
+        assert_eq!(s.images().select_rows(&[0]).data(), d.images().select_rows(&[5]).data());
+
+        let (train, test) = d.split(4);
+        assert_eq!(train.len(), 4);
+        assert_eq!(test.len(), 2);
+        assert_eq!(test.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairs() {
+        let d = toy(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = d.shuffled(&mut rng);
+        assert_eq!(s.len(), d.len());
+        // Every (image row, label) pair must still correspond: our toy data
+        // encodes the original index in the first pixel (index*4).
+        for i in 0..s.len() {
+            let orig = (s.images().select_rows(&[i]).data()[0] / 4.0) as usize;
+            assert_eq!(s.labels()[i], d.labels()[orig]);
+        }
+    }
+
+    #[test]
+    fn batches_cover_everything_once() {
+        let d = toy(7);
+        let batches: Vec<Batch> = d.batches(3).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[2].len(), 1);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 7);
+        assert_eq!(batches[1].images.dims(), &[3, 1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn batches_reject_zero_size() {
+        let d = toy(2);
+        let _ = d.batches(0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Synthetic handwritten-digit dataset ("synth-digits").
+//!
+//! The paper evaluates on MNIST, which is not redistributable inside this
+//! repository, so this module generates a drop-in substitute: 28×28
+//! grayscale images of the ten digits rendered from seven-segment-style
+//! stroke prototypes with random translation, per-segment amplitude jitter,
+//! stroke-thickness variation and pixel noise. The resulting classes are
+//! exactly what the TeamNet training algorithm consumes — ten visually
+//! clustered classes of varying mutual similarity (e.g. 8 vs 9 vs 3 share
+//! segments, just as handwritten digits share strokes).
+//!
+//! When the real MNIST IDX files are available, [`crate::mnist_from_dir`]
+//! loads them instead; every experiment accepts either source.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use teamnet_tensor::Tensor;
+
+/// Image side length (matches MNIST).
+pub const DIGIT_HW: usize = 28;
+
+/// The seven segments of a digit display, as line endpoints on a unit
+/// square (x right, y down): `(x0, y0, x1, y1)`.
+const SEGMENTS: [(f32, f32, f32, f32); 7] = [
+    (0.2, 0.15, 0.8, 0.15), // 0: top
+    (0.8, 0.15, 0.8, 0.50), // 1: top-right
+    (0.8, 0.50, 0.8, 0.85), // 2: bottom-right
+    (0.2, 0.85, 0.8, 0.85), // 3: bottom
+    (0.2, 0.50, 0.2, 0.85), // 4: bottom-left
+    (0.2, 0.15, 0.2, 0.50), // 5: top-left
+    (0.2, 0.50, 0.8, 0.50), // 6: middle
+];
+
+/// Segment mask per digit (standard seven-segment encoding).
+const DIGIT_SEGMENTS: [u8; 10] = [
+    0b0111111, // 0
+    0b0000110, // 1
+    0b1011011, // 2
+    0b1001111, // 3
+    0b1100110, // 4
+    0b1101101, // 5
+    0b1111101, // 6
+    0b0000111, // 7
+    0b1111111, // 8
+    0b1101111, // 9
+];
+
+/// Distance from point `(px, py)` to segment `(x0, y0)-(x1, y1)`.
+fn segment_distance(px: f32, py: f32, seg: (f32, f32, f32, f32)) -> f32 {
+    let (x0, y0, x1, y1) = seg;
+    let (dx, dy) = (x1 - x0, y1 - y0);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq == 0.0 {
+        0.0
+    } else {
+        (((px - x0) * dx + (py - y0) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (x0 + t * dx, y0 + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+/// Renders one digit image into `out` (length `DIGIT_HW²`).
+fn render_digit(out: &mut [f32], digit: usize, rng: &mut impl Rng) {
+    debug_assert_eq!(out.len(), DIGIT_HW * DIGIT_HW);
+    let mask = DIGIT_SEGMENTS[digit];
+    // Random global transform: translate up to ±3 px, small scale jitter.
+    let (tx, ty) = (rng.gen_range(-0.06..0.06), rng.gen_range(-0.06..0.06));
+    let scale = rng.gen_range(0.90..1.08);
+    let thickness = rng.gen_range(0.045..0.085);
+    // Per-segment brightness jitter mimics stroke pressure variation.
+    let amps: Vec<f32> = (0..7).map(|_| rng.gen_range(0.75..1.0)).collect();
+
+    for y in 0..DIGIT_HW {
+        for x in 0..DIGIT_HW {
+            // Map pixel into prototype coordinates (inverse transform).
+            let px = ((x as f32 + 0.5) / DIGIT_HW as f32 - 0.5 - tx) / scale + 0.5;
+            let py = ((y as f32 + 0.5) / DIGIT_HW as f32 - 0.5 - ty) / scale + 0.5;
+            let mut v: f32 = 0.0;
+            for (s, &seg) in SEGMENTS.iter().enumerate() {
+                if mask & (1 << s) == 0 {
+                    continue;
+                }
+                let d = segment_distance(px, py, seg);
+                // Soft stroke falloff.
+                let ink = amps[s] * (1.0 - (d / thickness)).clamp(0.0, 1.0);
+                v = v.max(ink);
+            }
+            // Pixel noise.
+            let noise: f32 = rng.gen_range(-0.06..0.06);
+            out[y * DIGIT_HW + x] = (v + noise).clamp(0.0, 1.0);
+        }
+    }
+}
+
+/// Generates `n` synthetic digit images with (approximately) balanced
+/// classes, in random class order.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn synth_digits(n: usize, rng: &mut impl Rng) -> Dataset {
+    assert!(n > 0, "need at least one example");
+    let mut images = vec![0.0f32; n * DIGIT_HW * DIGIT_HW];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        // Balanced base assignment, randomized order via the shuffle below.
+        let digit = i % 10;
+        render_digit(&mut images[i * DIGIT_HW * DIGIT_HW..(i + 1) * DIGIT_HW * DIGIT_HW], digit, rng);
+        labels.push(digit);
+    }
+    let images = Tensor::from_vec(images, [n, 1, DIGIT_HW, DIGIT_HW]).expect("volume matches");
+    let names = (0..10).map(|d| d.to_string()).collect();
+    Dataset::new(images, labels, names).shuffled(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_balanced_valid_images() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let d = synth_digits(200, &mut rng);
+        assert_eq!(d.len(), 200);
+        assert_eq!(d.image_dims(), vec![1, DIGIT_HW, DIGIT_HW]);
+        assert_eq!(d.num_classes(), 10);
+        // Balanced: exactly 20 of each digit.
+        assert!(d.class_histogram().iter().all(|&c| c == 20));
+        // Pixels in [0, 1].
+        assert!(d.images().min() >= 0.0);
+        assert!(d.images().max() <= 1.0);
+    }
+
+    #[test]
+    fn images_have_ink() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let d = synth_digits(20, &mut rng);
+        // Every image should have a meaningful bright region.
+        for i in 0..d.len() {
+            let img = d.images().select_rows(&[i]);
+            assert!(img.max() > 0.5, "image {i} has no ink");
+            assert!(img.mean() < 0.5, "image {i} is mostly ink");
+        }
+    }
+
+    #[test]
+    fn classes_are_distinguishable_by_template_matching() {
+        // Nearest-mean classification on raw pixels should beat chance by a
+        // wide margin, showing the classes form real clusters.
+        let mut rng = StdRng::seed_from_u64(52);
+        let train = synth_digits(500, &mut rng);
+        let test = synth_digits(100, &mut rng);
+
+        let hw = DIGIT_HW * DIGIT_HW;
+        let mut means = vec![vec![0.0f32; hw]; 10];
+        let mut counts = [0usize; 10];
+        for i in 0..train.len() {
+            let label = train.labels()[i];
+            counts[label] += 1;
+            for (m, &p) in means[label].iter_mut().zip(train.images().select_rows(&[i]).data()) {
+                *m += p;
+            }
+        }
+        for (mean, &c) in means.iter_mut().zip(&counts) {
+            for m in mean.iter_mut() {
+                *m /= c as f32;
+            }
+        }
+
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let img = test.images().select_rows(&[i]);
+            let mut best = (f32::INFINITY, 0usize);
+            for (cls, mean) in means.iter().enumerate() {
+                let dist: f32 = img
+                    .data()
+                    .iter()
+                    .zip(mean)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best.0 {
+                    best = (dist, cls);
+                }
+            }
+            if best.1 == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.6, "template-matching accuracy only {acc}");
+    }
+
+    #[test]
+    fn different_seeds_differ_same_seed_repeats() {
+        let a = synth_digits(10, &mut StdRng::seed_from_u64(1));
+        let b = synth_digits(10, &mut StdRng::seed_from_u64(1));
+        let c = synth_digits(10, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn segment_distance_basics() {
+        // Point on the segment → 0; point one unit right of a unit segment.
+        assert!(segment_distance(0.5, 0.0, (0.0, 0.0, 1.0, 0.0)) < 1e-6);
+        assert!((segment_distance(2.0, 0.0, (0.0, 0.0, 1.0, 0.0)) - 1.0).abs() < 1e-6);
+        assert!((segment_distance(0.5, 0.5, (0.0, 0.0, 1.0, 0.0)) - 0.5).abs() < 1e-6);
+    }
+}

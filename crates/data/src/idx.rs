@@ -1,0 +1,221 @@
+//! Loader for the IDX binary format used by the real MNIST distribution.
+//!
+//! When the genuine dataset is present on disk (e.g. downloaded separately
+//! and pointed at via the `MNIST_DIR` environment variable), every
+//! experiment can run on it instead of the synthetic substitute — the rest
+//! of the pipeline is source-agnostic.
+
+use crate::dataset::Dataset;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+use teamnet_tensor::Tensor;
+
+/// Error loading an IDX file.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not valid IDX data.
+    Format(String),
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "i/o error reading idx file: {e}"),
+            IdxError::Format(msg) => write!(f, "malformed idx data: {msg}"),
+        }
+    }
+}
+
+impl Error for IdxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IdxError::Io(e) => Some(e),
+            IdxError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IdxError {
+    fn from(e: std::io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32, IdxError> {
+    bytes
+        .get(at..at + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| IdxError::Format(format!("truncated header at offset {at}")))
+}
+
+/// Parses an `idx3-ubyte` image file into `(images [n, 1, h, w] scaled to
+/// [0, 1], h, w)`.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Format`] for wrong magic numbers or truncated data.
+pub fn parse_idx_images(bytes: &[u8]) -> Result<Tensor, IdxError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != 0x0000_0803 {
+        return Err(IdxError::Format(format!("bad image magic {magic:#010x}")));
+    }
+    let n = read_u32(bytes, 4)? as usize;
+    let h = read_u32(bytes, 8)? as usize;
+    let w = read_u32(bytes, 12)? as usize;
+    let expected = 16 + n * h * w;
+    if bytes.len() < expected {
+        return Err(IdxError::Format(format!(
+            "expected {expected} bytes for {n} {h}x{w} images, got {}",
+            bytes.len()
+        )));
+    }
+    let data: Vec<f32> = bytes[16..expected].iter().map(|&b| b as f32 / 255.0).collect();
+    Tensor::from_vec(data, [n, 1, h, w])
+        .map_err(|e| IdxError::Format(format!("shape error: {e}")))
+}
+
+/// Parses an `idx1-ubyte` label file into a label vector.
+///
+/// # Errors
+///
+/// Returns [`IdxError::Format`] for wrong magic numbers or truncated data.
+pub fn parse_idx_labels(bytes: &[u8]) -> Result<Vec<usize>, IdxError> {
+    let magic = read_u32(bytes, 0)?;
+    if magic != 0x0000_0801 {
+        return Err(IdxError::Format(format!("bad label magic {magic:#010x}")));
+    }
+    let n = read_u32(bytes, 4)? as usize;
+    let expected = 8 + n;
+    if bytes.len() < expected {
+        return Err(IdxError::Format(format!(
+            "expected {expected} bytes for {n} labels, got {}",
+            bytes.len()
+        )));
+    }
+    Ok(bytes[8..expected].iter().map(|&b| b as usize).collect())
+}
+
+fn read_file(path: &Path) -> Result<Vec<u8>, IdxError> {
+    let mut buf = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+/// Loads the MNIST training split (`train-images-idx3-ubyte` +
+/// `train-labels-idx1-ubyte`) from a directory.
+///
+/// # Errors
+///
+/// Returns [`IdxError`] if the files are missing, unreadable, malformed,
+/// or their example counts disagree.
+pub fn mnist_from_dir(dir: impl AsRef<Path>) -> Result<Dataset, IdxError> {
+    let dir = dir.as_ref();
+    let images = parse_idx_images(&read_file(&dir.join("train-images-idx3-ubyte"))?)?;
+    let labels = parse_idx_labels(&read_file(&dir.join("train-labels-idx1-ubyte"))?)?;
+    if images.dims()[0] != labels.len() {
+        return Err(IdxError::Format(format!(
+            "{} images but {} labels",
+            images.dims()[0],
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l > 9) {
+        return Err(IdxError::Format(format!("label {bad} out of range for digits")));
+    }
+    let names = (0..10).map(|d| d.to_string()).collect();
+    Ok(Dataset::new(images, labels, names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image_bytes(n: usize, h: usize, w: usize) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+        bytes.extend_from_slice(&(n as u32).to_be_bytes());
+        bytes.extend_from_slice(&(h as u32).to_be_bytes());
+        bytes.extend_from_slice(&(w as u32).to_be_bytes());
+        bytes.extend((0..n * h * w).map(|i| (i % 256) as u8));
+        bytes
+    }
+
+    fn label_bytes(labels: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+        bytes.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(labels);
+        bytes
+    }
+
+    #[test]
+    fn parses_valid_images() {
+        let t = parse_idx_images(&image_bytes(2, 3, 4)).unwrap();
+        assert_eq!(t.dims(), &[2, 1, 3, 4]);
+        assert_eq!(t.at(&[0, 0, 0, 0]), 0.0);
+        assert!((t.at(&[0, 0, 0, 1]) - 1.0 / 255.0).abs() < 1e-7);
+        assert!(t.max() <= 1.0);
+    }
+
+    #[test]
+    fn parses_valid_labels() {
+        let labels = parse_idx_labels(&label_bytes(&[3, 1, 4, 1, 5])).unwrap();
+        assert_eq!(labels, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut bytes = image_bytes(1, 2, 2);
+        bytes[3] = 0x01; // label magic in an image file
+        assert!(matches!(parse_idx_images(&bytes), Err(IdxError::Format(_))));
+        let mut lbytes = label_bytes(&[1]);
+        lbytes[3] = 0x03;
+        assert!(matches!(parse_idx_labels(&lbytes), Err(IdxError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut bytes = image_bytes(2, 3, 4);
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(parse_idx_images(&bytes), Err(IdxError::Format(_))));
+        assert!(matches!(parse_idx_images(&bytes[..10]), Err(IdxError::Format(_))));
+        let lbytes = label_bytes(&[1, 2, 3]);
+        assert!(matches!(parse_idx_labels(&lbytes[..9]), Err(IdxError::Format(_))));
+    }
+
+    #[test]
+    fn loads_dataset_from_dir() {
+        let dir = std::env::temp_dir().join(format!("teamnet-idx-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("train-images-idx3-ubyte"), image_bytes(3, 28, 28)).unwrap();
+        fs::write(dir.join("train-labels-idx1-ubyte"), label_bytes(&[7, 0, 9])).unwrap();
+        let d = mnist_from_dir(&dir).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.labels(), &[7, 0, 9]);
+        assert_eq!(d.image_dims(), vec![1, 28, 28]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dir_load_rejects_count_mismatch() {
+        let dir = std::env::temp_dir().join(format!("teamnet-idx-test2-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("train-images-idx3-ubyte"), image_bytes(3, 2, 2)).unwrap();
+        fs::write(dir.join("train-labels-idx1-ubyte"), label_bytes(&[1, 2])).unwrap();
+        assert!(matches!(mnist_from_dir(&dir), Err(IdxError::Format(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_io_error() {
+        assert!(matches!(
+            mnist_from_dir("/nonexistent/definitely/missing"),
+            Err(IdxError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,46 @@
+//! # teamnet-data
+//!
+//! Datasets for the TeamNet (ICDCS 2019) reproduction.
+//!
+//! The paper evaluates on MNIST and CIFAR-10. Neither can ship inside this
+//! repository, so the crate provides:
+//!
+//! * [`synth_digits`] — a 28×28 grayscale ten-class digit dataset rendered
+//!   from seven-segment stroke prototypes with noise and deformation
+//!   (drop-in MNIST substitute);
+//! * [`synth_objects`] — a 32×32 RGB ten-class dataset with CIFAR-10's
+//!   class names and, importantly, its machine/animal super-category
+//!   structure (drop-in CIFAR-10 substitute that preserves the
+//!   specialization effect of the paper's Figure 9);
+//! * [`mnist_from_dir`] — an IDX-format loader for the real MNIST files
+//!   when they are available on disk.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use teamnet_data::synth_digits;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = synth_digits(100, &mut rng);
+//! let (train, test) = data.split(80);
+//! for batch in train.batches(16) {
+//!     assert!(batch.len() <= 16);
+//!     assert_eq!(batch.images.dims()[1..], [1, 28, 28]);
+//! }
+//! assert_eq!(test.len(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+mod augment;
+mod dataset;
+mod digits;
+mod idx;
+mod objects;
+
+pub use augment::augment_batch;
+pub use dataset::{Batch, Batches, Dataset};
+pub use digits::{synth_digits, DIGIT_HW};
+pub use idx::{mnist_from_dir, parse_idx_images, parse_idx_labels, IdxError};
+pub use objects::{superclass, synth_objects, SuperClass, OBJECT_CLASSES, OBJECT_HW};

@@ -1,0 +1,290 @@
+//! Synthetic object-classification dataset ("synth-objects").
+//!
+//! Stands in for CIFAR-10. The ten classes keep CIFAR-10's names and order,
+//! and — crucially for reproducing the paper's Figure 9 — its *semantic
+//! structure*: four "machine" classes (airplane, automobile, ship, truck)
+//! and six "animal" classes share super-category-level visual features,
+//! while each class adds its own signature. Machines are rendered as
+//! angular, straight-edged shapes over smooth backgrounds with horizontal
+//! streak textures; animals as organic multi-blob shapes over mottled
+//! backgrounds. Class identity comes from hue, shape count/size and texture
+//! frequency.
+//!
+//! TeamNet's experts specialize on whatever clusters exist in the data;
+//! giving the synthetic classes a two-level hierarchy lets the
+//! specialization experiment show the same "experts split along
+//! super-categories" effect the paper reports.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use teamnet_tensor::Tensor;
+
+/// Image side length (matches CIFAR-10).
+pub const OBJECT_HW: usize = 32;
+
+/// CIFAR-10 class names in canonical order.
+pub const OBJECT_CLASSES: [&str; 10] = [
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+];
+
+/// The two super-categories the paper's Figure 9 groups classes into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuperClass {
+    /// airplane, automobile, ship, truck.
+    Machine,
+    /// bird, cat, deer, dog, frog, horse.
+    Animal,
+}
+
+/// Super-category of a CIFAR-10 class index.
+///
+/// # Panics
+///
+/// Panics if `label >= 10`.
+pub fn superclass(label: usize) -> SuperClass {
+    match label {
+        0 | 1 | 8 | 9 => SuperClass::Machine,
+        2..=7 => SuperClass::Animal,
+        _ => panic!("label {label} out of range for 10 classes"),
+    }
+}
+
+/// Per-class rendering parameters: (hue RGB, texture frequency, blob count).
+fn class_params(label: usize) -> ([f32; 3], f32, usize) {
+    match label {
+        // Machines: metallic hues, low blob counts (one angular body).
+        0 => ([0.55, 0.65, 0.80], 2.0, 1), // airplane: sky blue-gray
+        1 => ([0.75, 0.25, 0.25], 4.0, 1), // automobile: red
+        8 => ([0.30, 0.45, 0.70], 3.0, 1), // ship: navy
+        9 => ([0.65, 0.60, 0.30], 5.0, 1), // truck: khaki
+        // Animals: organic hues, several blobs (body + head + limbs).
+        2 => ([0.70, 0.55, 0.30], 6.0, 2), // bird
+        3 => ([0.55, 0.45, 0.35], 7.0, 3), // cat
+        4 => ([0.45, 0.40, 0.25], 5.5, 3), // deer
+        5 => ([0.50, 0.35, 0.25], 6.5, 3), // dog
+        6 => ([0.30, 0.55, 0.30], 8.0, 2), // frog
+        7 => ([0.40, 0.30, 0.20], 4.5, 4), // horse
+        _ => panic!("label {label} out of range for 10 classes"),
+    }
+}
+
+/// Renders one 3×32×32 image (channel-planar) into `out`.
+fn render_object(out: &mut [f32], label: usize, rng: &mut impl Rng) {
+    let hw = OBJECT_HW;
+    debug_assert_eq!(out.len(), 3 * hw * hw);
+    let (hue, freq, blobs) = class_params(label);
+    let sup = superclass(label);
+
+    // Super-category background: machines smooth/cool, animals mottled/warm.
+    let (bg, bg_noise) = match sup {
+        SuperClass::Machine => ([0.62f32, 0.66, 0.72], 0.03f32),
+        SuperClass::Animal => ([0.52f32, 0.48, 0.28], 0.10f32),
+    };
+
+    // Shape placement.
+    let cx = rng.gen_range(0.35..0.65);
+    let cy = rng.gen_range(0.40..0.65);
+    let size = rng.gen_range(0.18..0.30);
+    let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+    let brightness = rng.gen_range(0.85..1.1);
+
+    // Secondary blob offsets for animals (head/limbs).
+    let offsets: Vec<(f32, f32, f32)> = (0..blobs)
+        .map(|b| {
+            if b == 0 {
+                (0.0, 0.0, 1.0)
+            } else {
+                (
+                    rng.gen_range(-0.25..0.25),
+                    rng.gen_range(-0.25..0.15),
+                    rng.gen_range(0.35..0.6),
+                )
+            }
+        })
+        .collect();
+
+    for y in 0..hw {
+        for x in 0..hw {
+            let fx = (x as f32 + 0.5) / hw as f32;
+            let fy = (y as f32 + 0.5) / hw as f32;
+
+            // Coverage: 1 inside the object, 0 outside.
+            let mut cover = 0.0f32;
+            for &(ox, oy, s) in &offsets {
+                let (dx, dy) = (fx - cx - ox, fy - cy - oy);
+                let r = size * s;
+                let inside = match sup {
+                    // Machines: axis-aligned rectangles (angular silhouette),
+                    // wider than tall.
+                    SuperClass::Machine => {
+                        let within = dx.abs() < r * 1.6 && dy.abs() < r * 0.7;
+                        if within {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    // Animals: soft ellipses.
+                    SuperClass::Animal => {
+                        let d = (dx / (r * 1.1)).powi(2) + (dy / r).powi(2);
+                        (1.0 - d).clamp(0.0, 1.0)
+                    }
+                };
+                cover = cover.max(inside);
+            }
+
+            // Texture: machines get horizontal streaks, animals isotropic
+            // speckle, both at a class-specific frequency.
+            let tex = match sup {
+                SuperClass::Machine => 0.10 * (freq * std::f32::consts::TAU * fy + phase).sin(),
+                SuperClass::Animal => {
+                    0.10 * (freq * std::f32::consts::TAU * (fx + fy) + phase).sin()
+                        * (freq * std::f32::consts::TAU * (fx - fy)).cos()
+                }
+            };
+
+            for c in 0..3 {
+                let obj = hue[c] * brightness + tex;
+                let back = bg[c] + rng.gen_range(-bg_noise..bg_noise);
+                let v = cover * obj + (1.0 - cover) * back + rng.gen_range(-0.03..0.03f32);
+                out[c * hw * hw + y * hw + x] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+/// Generates `n` synthetic object images with (approximately) balanced
+/// classes, in random order.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn synth_objects(n: usize, rng: &mut impl Rng) -> Dataset {
+    assert!(n > 0, "need at least one example");
+    let plane = 3 * OBJECT_HW * OBJECT_HW;
+    let mut images = vec![0.0f32; n * plane];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 10;
+        render_object(&mut images[i * plane..(i + 1) * plane], label, rng);
+        labels.push(label);
+    }
+    let images =
+        Tensor::from_vec(images, [n, 3, OBJECT_HW, OBJECT_HW]).expect("volume matches");
+    let names = OBJECT_CLASSES.iter().map(|s| s.to_string()).collect();
+    Dataset::new(images, labels, names).shuffled(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn superclass_partition_matches_paper() {
+        let machines: Vec<usize> = (0..10).filter(|&l| superclass(l) == SuperClass::Machine).collect();
+        assert_eq!(machines, vec![0, 1, 8, 9]);
+        assert_eq!(
+            (0..10).filter(|&l| superclass(l) == SuperClass::Animal).count(),
+            6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn superclass_rejects_bad_label() {
+        superclass(10);
+    }
+
+    #[test]
+    fn generates_valid_rgb_images() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let d = synth_objects(100, &mut rng);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.image_dims(), vec![3, OBJECT_HW, OBJECT_HW]);
+        assert_eq!(d.num_classes(), 10);
+        assert_eq!(d.class_names()[0], "airplane");
+        assert!(d.images().min() >= 0.0 && d.images().max() <= 1.0);
+        assert!(d.class_histogram().iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn superclasses_are_visually_separable() {
+        // Mean green-channel energy differs sharply between the machine and
+        // animal backgrounds; a trivial threshold should separate them.
+        let mut rng = StdRng::seed_from_u64(61);
+        let d = synth_objects(200, &mut rng);
+        let hw2 = OBJECT_HW * OBJECT_HW;
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let img = d.images().select_rows(&[i]);
+            let red: f32 = img.data()[0..hw2].iter().sum::<f32>() / hw2 as f32;
+            let blue: f32 = img.data()[2 * hw2..3 * hw2].iter().sum::<f32>() / hw2 as f32;
+            let guess = if blue > red { SuperClass::Machine } else { SuperClass::Animal };
+            if guess == superclass(d.labels()[i]) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / d.len() as f64;
+        assert!(acc > 0.8, "superclass separability only {acc}");
+    }
+
+    #[test]
+    fn classes_within_supercategory_differ() {
+        // Per-class mean images should be mutually distinguishable: the
+        // nearest-mean rule on a held-out sample should beat chance well.
+        let mut rng = StdRng::seed_from_u64(62);
+        let train = synth_objects(600, &mut rng);
+        let test = synth_objects(100, &mut rng);
+        let plane = 3 * OBJECT_HW * OBJECT_HW;
+        let mut means = vec![vec![0.0f32; plane]; 10];
+        let mut counts = [0usize; 10];
+        for i in 0..train.len() {
+            let l = train.labels()[i];
+            counts[l] += 1;
+            for (m, &p) in means[l].iter_mut().zip(train.images().select_rows(&[i]).data()) {
+                *m += p;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..test.len() {
+            let img = test.images().select_rows(&[i]);
+            let mut best = (f32::INFINITY, 0usize);
+            for (cls, mean) in means.iter().enumerate() {
+                let dist: f32 =
+                    img.data().iter().zip(mean).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                if dist < best.0 {
+                    best = (dist, cls);
+                }
+            }
+            if best.1 == test.labels()[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.5, "nearest-mean accuracy only {acc} (chance is 0.1)");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = synth_objects(10, &mut StdRng::seed_from_u64(7));
+        let b = synth_objects(10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,37 @@
+//! # teamnet-moe
+//!
+//! The Sparsely-Gated Mixture-of-Experts baseline (Shazeer et al., 2017)
+//! that the TeamNet paper compares against: K expert networks jointly
+//! trained with a linear noisy-top-k gate and an importance
+//! load-balancing loss, plus the two distributed deployments the paper
+//! benchmarks — SG-MoE-G (RPC transport, the gRPC stand-in) and SG-MoE-M
+//! (point-to-point messages, the MPI stand-in).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use teamnet_data::synth_digits;
+//! use teamnet_moe::{SgMoe, SgMoeConfig};
+//! use teamnet_nn::ModelSpec;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = synth_digits(2_000, &mut rng);
+//! let (train, test) = data.split(1_600);
+//! let mut moe = SgMoe::new(ModelSpec::mlp(4, 64), 2, SgMoeConfig::default());
+//! moe.train(&train);
+//! println!("SG-MoE accuracy: {:.3}", moe.evaluate(&test));
+//! ```
+
+#![warn(missing_docs)]
+
+mod distributed;
+mod gating;
+mod model;
+
+pub use distributed::{
+    infer_p2p, infer_rpc, serve_expert_p2p, serve_expert_rpc, shutdown_experts_p2p,
+    METHOD_FORWARD, TAG_EXPERT_INPUT, TAG_EXPERT_LOGITS, TAG_EXPERT_SHUTDOWN,
+};
+pub use gating::{gate_logit_grad, importance_loss, noisy_top_k, softplus, GatingOutput};
+pub use model::{SgMoe, SgMoeConfig};

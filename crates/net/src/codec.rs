@@ -1,0 +1,220 @@
+//! Wire codecs: length-prefixed frames and raw `f32` payloads.
+//!
+//! The frame layout is `src: u32 | tag: u32 | len: u32 | payload`, all
+//! little-endian. Activations and model weights travel as raw `f32` slices
+//! with a dimension header, which is what makes the byte counts in the
+//! traffic statistics physically meaningful.
+
+use crate::error::NetError;
+use crate::transport::{NodeId, Tag};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::Read;
+
+/// Upper bound on a single frame payload (guards against malformed length
+/// headers taking down a node).
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+/// Size of the fixed frame header in bytes.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// A decoded frame: `(source node, tag, payload)`.
+pub type Frame = (NodeId, Tag, Bytes);
+
+/// Encodes a frame into a fresh buffer.
+pub fn encode_frame(src: NodeId, tag: Tag, payload: &[u8]) -> BytesMut {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.put_u32_le(src as u32);
+    buf.put_u32_le(tag.0);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+    buf
+}
+
+/// Reads exactly one frame from a blocking reader.
+///
+/// # Errors
+///
+/// * [`NetError::Closed`] on clean EOF at a frame boundary;
+/// * [`NetError::Malformed`] for an oversized length header or EOF inside a
+///   frame;
+/// * [`NetError::Io`] for transport errors.
+pub fn read_frame(reader: &mut impl Read) -> Result<Frame, NetError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    // Distinguish clean EOF (no bytes) from a truncated header.
+    let mut filled = 0usize;
+    while filled < FRAME_HEADER_LEN {
+        let n = reader.read(&mut header[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Err(NetError::Closed)
+            } else {
+                Err(NetError::Malformed(format!("eof after {filled} header bytes")))
+            };
+        }
+        filled += n;
+    }
+    let mut cursor = &header[..];
+    let src = cursor.get_u32_le() as NodeId;
+    let tag = Tag(cursor.get_u32_le());
+    let len = cursor.get_u32_le() as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(NetError::Malformed(format!("frame length {len} exceeds cap {MAX_FRAME_LEN}")));
+    }
+    let mut payload = vec![0u8; len];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                NetError::Malformed(format!("eof inside {len}-byte payload"))
+            }
+            _ => NetError::Io(e),
+        })?;
+    Ok((src, tag, Bytes::from(payload)))
+}
+
+/// Encodes a shaped `f32` buffer: `rank: u32 | dims: u32×rank | data`.
+pub fn encode_f32s(dims: &[usize], data: &[f32]) -> Vec<u8> {
+    let volume: usize = dims.iter().product();
+    assert_eq!(volume, data.len(), "data length must match dims volume");
+    let mut buf = Vec::with_capacity(4 + dims.len() * 4 + data.len() * 4);
+    buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
+    for &d in dims {
+        buf.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &x in data {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+    buf
+}
+
+/// Decodes a buffer produced by [`encode_f32s`] into `(dims, data)`.
+///
+/// # Errors
+///
+/// Returns [`NetError::Malformed`] for truncated or inconsistent buffers.
+pub fn decode_f32s(bytes: &[u8]) -> Result<(Vec<usize>, Vec<f32>), NetError> {
+    let take_u32 = |at: usize| -> Result<u32, NetError> {
+        bytes
+            .get(at..at + 4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .ok_or_else(|| NetError::Malformed(format!("truncated f32 buffer at offset {at}")))
+    };
+    let rank = take_u32(0)? as usize;
+    if rank > 8 {
+        return Err(NetError::Malformed(format!("implausible tensor rank {rank}")));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for i in 0..rank {
+        dims.push(take_u32(4 + 4 * i)? as usize);
+    }
+    let volume: usize = dims.iter().product();
+    let data_start = 4 + 4 * rank;
+    let expected = data_start + 4 * volume;
+    if bytes.len() != expected {
+        return Err(NetError::Malformed(format!(
+            "expected {expected} bytes for dims {dims:?}, got {}",
+            bytes.len()
+        )));
+    }
+    let data = bytes[data_start..]
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect();
+    Ok((dims, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let buf = encode_frame(3, Tag(99), b"payload");
+        let (src, tag, payload) = read_frame(&mut Cursor::new(&buf[..])).unwrap();
+        assert_eq!(src, 3);
+        assert_eq!(tag, Tag(99));
+        assert_eq!(&payload[..], b"payload");
+    }
+
+    #[test]
+    fn consecutive_frames_parse_in_order() {
+        let mut buf = encode_frame(0, Tag(1), b"a");
+        buf.extend_from_slice(&encode_frame(1, Tag(2), b"bb"));
+        let mut cursor = Cursor::new(&buf[..]);
+        assert_eq!(read_frame(&mut cursor).unwrap().2.as_ref(), b"a");
+        assert_eq!(read_frame(&mut cursor).unwrap().2.as_ref(), b"bb");
+        assert!(matches!(read_frame(&mut cursor), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn truncated_header_is_malformed() {
+        let buf = encode_frame(0, Tag(1), b"abc");
+        let res = read_frame(&mut Cursor::new(&buf[..5]));
+        assert!(matches!(res, Err(NetError::Malformed(_))), "{res:?}");
+    }
+
+    #[test]
+    fn truncated_payload_is_malformed() {
+        let buf = encode_frame(0, Tag(1), b"abcdef");
+        let res = read_frame(&mut Cursor::new(&buf[..buf.len() - 2]));
+        assert!(matches!(res, Err(NetError::Malformed(_))), "{res:?}");
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = encode_frame(0, Tag(1), b"");
+        // Overwrite the length field with a huge value.
+        buf[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let res = read_frame(&mut Cursor::new(&buf[..]));
+        assert!(matches!(res, Err(NetError::Malformed(_))), "{res:?}");
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let buf = encode_frame(1, Tag(0), b"");
+        let (_, _, payload) = read_frame(&mut Cursor::new(&buf[..])).unwrap();
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        let dims = vec![2, 3];
+        let data = vec![1.0f32, -2.5, 0.0, 3.25, f32::MIN_POSITIVE, 1e30];
+        let buf = encode_f32s(&dims, &data);
+        let (d2, x2) = decode_f32s(&buf).unwrap();
+        assert_eq!(d2, dims);
+        assert_eq!(x2, data);
+    }
+
+    #[test]
+    fn f32_scalar_rank0() {
+        let buf = encode_f32s(&[], &[7.5]);
+        let (dims, data) = decode_f32s(&buf).unwrap();
+        assert!(dims.is_empty());
+        assert_eq!(data, vec![7.5]);
+    }
+
+    #[test]
+    fn f32_rejects_truncation_and_excess() {
+        let buf = encode_f32s(&[2], &[1.0, 2.0]);
+        assert!(matches!(decode_f32s(&buf[..buf.len() - 1]), Err(NetError::Malformed(_))));
+        let mut extended = buf.clone();
+        extended.push(0);
+        assert!(matches!(decode_f32s(&extended), Err(NetError::Malformed(_))));
+        assert!(matches!(decode_f32s(&[]), Err(NetError::Malformed(_))));
+    }
+
+    #[test]
+    fn f32_rejects_implausible_rank() {
+        let mut buf = vec![];
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        assert!(matches!(decode_f32s(&buf), Err(NetError::Malformed(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match dims volume")]
+    fn encode_validates_volume() {
+        encode_f32s(&[3], &[1.0]);
+    }
+}

@@ -1,0 +1,357 @@
+//! MPI-style collective operations over any [`Transport`].
+//!
+//! The paper's MPI baselines (MPI-Matrix, MPI-Branch, MPI-Kernel) and the
+//! TeamNet runtime itself are built from exactly these primitives:
+//! broadcast, scatter, gather, all-gather, all-reduce and barrier. All
+//! collectives here use a flat root-relay topology — the right model for a
+//! handful of edge devices on one WiFi BSS, where every transmission shares
+//! the same medium anyway.
+
+use crate::error::NetError;
+use crate::transport::{NodeId, Tag, Transport};
+use std::time::Duration;
+
+/// Base of the tag space reserved for collective plumbing. User code must
+/// not send on tags at or above this value.
+pub const COLLECTIVE_TAG_BASE: u32 = 0xC000_0000;
+
+const BCAST: Tag = Tag(COLLECTIVE_TAG_BASE);
+const GATHER: Tag = Tag(COLLECTIVE_TAG_BASE + 1);
+const SCATTER: Tag = Tag(COLLECTIVE_TAG_BASE + 2);
+const REDUCE: Tag = Tag(COLLECTIVE_TAG_BASE + 3);
+const BARRIER_UP: Tag = Tag(COLLECTIVE_TAG_BASE + 4);
+const BARRIER_DOWN: Tag = Tag(COLLECTIVE_TAG_BASE + 5);
+
+/// A view over a transport providing collective operations.
+///
+/// Every node of the cluster must call the *same* collectives in the *same*
+/// order (standard MPI contract); mismatched calls deadlock until the
+/// timeout fires.
+pub struct Communicator<'a> {
+    transport: &'a dyn Transport,
+    timeout: Duration,
+}
+
+impl<'a> Communicator<'a> {
+    /// Wraps a transport with the default 30 s collective timeout.
+    pub fn new(transport: &'a dyn Transport) -> Self {
+        Communicator { transport, timeout: Duration::from_secs(30) }
+    }
+
+    /// Overrides the per-operation timeout.
+    pub fn with_timeout(transport: &'a dyn Transport, timeout: Duration) -> Self {
+        Communicator { transport, timeout }
+    }
+
+    /// This node's rank.
+    pub fn rank(&self) -> NodeId {
+        self.transport.node_id()
+    }
+
+    /// Cluster size.
+    pub fn size(&self) -> usize {
+        self.transport.num_nodes()
+    }
+
+    /// Broadcasts `data` from `root` to every node; all nodes receive the
+    /// payload (the root receives its own copy back).
+    ///
+    /// Non-root callers pass `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; the root errors if called without data.
+    pub fn broadcast(&self, root: NodeId, data: Option<&[u8]>) -> Result<Vec<u8>, NetError> {
+        if self.rank() == root {
+            let data = data.ok_or_else(|| {
+                NetError::Malformed("broadcast root must supply data".to_string())
+            })?;
+            for peer in 0..self.size() {
+                if peer != root {
+                    self.transport.send(peer, BCAST, data)?;
+                }
+            }
+            Ok(data.to_vec())
+        } else {
+            self.transport.recv(root, BCAST, self.timeout)
+        }
+    }
+
+    /// Gathers every node's `mine` at `root`; returns `Some(parts)` (rank
+    /// indexed) at the root and `None` elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors and timeouts on missing contributions.
+    pub fn gather(&self, root: NodeId, mine: &[u8]) -> Result<Option<Vec<Vec<u8>>>, NetError> {
+        if self.rank() == root {
+            let mut parts = vec![Vec::new(); self.size()];
+            parts[root] = mine.to_vec();
+            for (peer, part) in parts.iter_mut().enumerate() {
+                if peer != root {
+                    *part = self.transport.recv(peer, GATHER, self.timeout)?;
+                }
+            }
+            Ok(Some(parts))
+        } else {
+            self.transport.send(root, GATHER, mine)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatters one payload per rank from `root`; each node receives its
+    /// own part. Non-root callers pass `None`.
+    ///
+    /// # Errors
+    ///
+    /// The root errors unless it supplies exactly `size()` parts.
+    pub fn scatter(&self, root: NodeId, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>, NetError> {
+        if self.rank() == root {
+            let parts = parts.ok_or_else(|| {
+                NetError::Malformed("scatter root must supply parts".to_string())
+            })?;
+            if parts.len() != self.size() {
+                return Err(NetError::Malformed(format!(
+                    "scatter needs {} parts, got {}",
+                    self.size(),
+                    parts.len()
+                )));
+            }
+            for (peer, part) in parts.iter().enumerate() {
+                if peer != root {
+                    self.transport.send(peer, SCATTER, part)?;
+                }
+            }
+            Ok(parts[root].clone())
+        } else {
+            self.transport.recv(root, SCATTER, self.timeout)
+        }
+    }
+
+    /// Gathers every node's `mine` on every node (rank-indexed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn all_gather(&self, mine: &[u8]) -> Result<Vec<Vec<u8>>, NetError> {
+        let gathered = self.gather(0, mine)?;
+        let encoded = match gathered {
+            Some(parts) => {
+                // Flatten with length prefixes for the broadcast leg.
+                let mut buf = Vec::new();
+                for part in &parts {
+                    buf.extend_from_slice(&(part.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(part);
+                }
+                self.broadcast(0, Some(&buf))?
+            }
+            None => self.broadcast(0, None)?,
+        };
+        let mut parts = Vec::with_capacity(self.size());
+        let mut at = 0usize;
+        for _ in 0..self.size() {
+            let len_bytes = encoded
+                .get(at..at + 4)
+                .ok_or_else(|| NetError::Malformed("truncated all_gather envelope".into()))?;
+            let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]])
+                as usize;
+            at += 4;
+            let part = encoded
+                .get(at..at + len)
+                .ok_or_else(|| NetError::Malformed("truncated all_gather part".into()))?;
+            parts.push(part.to_vec());
+            at += len;
+        }
+        Ok(parts)
+    }
+
+    /// Element-wise sum of every node's `data`, the result replacing
+    /// `data` on all nodes.
+    ///
+    /// # Errors
+    ///
+    /// Errors if contributions disagree in length or transport fails.
+    pub fn all_reduce_sum(&self, data: &mut [f32]) -> Result<(), NetError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
+        let reduced = if self.rank() == 0 {
+            let mut acc = data.to_vec();
+            for peer in 1..self.size() {
+                let part = self.transport.recv(peer, REDUCE, self.timeout)?;
+                if part.len() != bytes.len() {
+                    return Err(NetError::Malformed(format!(
+                        "all_reduce contribution of {} bytes, expected {}",
+                        part.len(),
+                        bytes.len()
+                    )));
+                }
+                for (a, chunk) in acc.iter_mut().zip(part.chunks_exact(4)) {
+                    *a += f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+            }
+            let out: Vec<u8> = acc.iter().flat_map(|x| x.to_le_bytes()).collect();
+            self.broadcast(0, Some(&out))?
+        } else {
+            self.transport.send(0, REDUCE, &bytes)?;
+            self.broadcast(0, None)?
+        };
+        for (x, chunk) in data.iter_mut().zip(reduced.chunks_exact(4)) {
+            *x = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        Ok(())
+    }
+
+    /// Blocks until every node has entered the barrier.
+    ///
+    /// # Errors
+    ///
+    /// Times out if any node never arrives.
+    pub fn barrier(&self) -> Result<(), NetError> {
+        if self.rank() == 0 {
+            for peer in 1..self.size() {
+                self.transport.recv(peer, BARRIER_UP, self.timeout)?;
+            }
+            for peer in 1..self.size() {
+                self.transport.send(peer, BARRIER_DOWN, &[])?;
+            }
+        } else {
+            self.transport.send(0, BARRIER_UP, &[])?;
+            self.transport.recv(0, BARRIER_DOWN, self.timeout)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Communicator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Communicator(rank {}/{})", self.rank(), self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use crossbeam::thread;
+
+    /// Runs `f` on every rank of an in-process mesh, panicking if any rank
+    /// panics.
+    fn run_cluster(n: usize, f: impl Fn(Communicator<'_>) + Sync) {
+        let nodes = ChannelTransport::mesh(n);
+        thread::scope(|scope| {
+            for node in &nodes {
+                let f = &f;
+                scope.spawn(move |_| f(Communicator::new(node)));
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        run_cluster(4, |comm| {
+            let data = if comm.rank() == 1 { Some(&b"payload"[..]) } else { None };
+            let got = comm.broadcast(1, data).unwrap();
+            assert_eq!(got, b"payload");
+        });
+    }
+
+    #[test]
+    fn gather_collects_rank_indexed() {
+        run_cluster(3, |comm| {
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            let parts = comm.gather(0, &mine).unwrap();
+            match comm.rank() {
+                0 => {
+                    let parts = parts.unwrap();
+                    assert_eq!(parts.len(), 3);
+                    for (rank, part) in parts.iter().enumerate() {
+                        assert_eq!(part, &vec![rank as u8; rank + 1]);
+                    }
+                }
+                _ => assert!(parts.is_none()),
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_delivers_own_part() {
+        run_cluster(3, |comm| {
+            let parts: Vec<Vec<u8>> = (0..3).map(|r| vec![r as u8 * 10]).collect();
+            let root_parts = if comm.rank() == 0 { Some(&parts[..]) } else { None };
+            let mine = comm.scatter(0, root_parts).unwrap();
+            assert_eq!(mine, vec![comm.rank() as u8 * 10]);
+        });
+    }
+
+    #[test]
+    fn all_gather_everyone_sees_everything() {
+        run_cluster(4, |comm| {
+            let mine = vec![comm.rank() as u8 + 1];
+            let parts = comm.all_gather(&mine).unwrap();
+            assert_eq!(parts, vec![vec![1u8], vec![2], vec![3], vec![4]]);
+        });
+    }
+
+    #[test]
+    fn all_reduce_sums_elementwise() {
+        run_cluster(3, |comm| {
+            let mut data = vec![comm.rank() as f32, 1.0];
+            comm.all_reduce_sum(&mut data).unwrap();
+            assert_eq!(data, vec![0.0 + 1.0 + 2.0, 3.0]);
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arrivals = AtomicUsize::new(0);
+        run_cluster(4, |comm| {
+            arrivals.fetch_add(1, Ordering::SeqCst);
+            comm.barrier().unwrap();
+            // After the barrier, every rank must have arrived.
+            assert_eq!(arrivals.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn gather_times_out_when_a_peer_is_missing() {
+        // Only rank 0 participates: the gather must time out, not hang.
+        let nodes = ChannelTransport::mesh(2);
+        let comm = Communicator::with_timeout(&nodes[0], Duration::from_millis(50));
+        let res = comm.gather(0, b"mine");
+        assert!(matches!(res, Err(NetError::Timeout { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn broadcast_root_without_data_errors() {
+        let nodes = ChannelTransport::mesh(1);
+        let comm = Communicator::new(&nodes[0]);
+        assert!(matches!(comm.broadcast(0, None), Err(NetError::Malformed(_))));
+    }
+
+    #[test]
+    fn scatter_wrong_part_count_errors() {
+        let nodes = ChannelTransport::mesh(1);
+        let comm = Communicator::new(&nodes[0]);
+        let parts = vec![vec![1u8], vec![2u8]];
+        assert!(matches!(comm.scatter(0, Some(&parts)), Err(NetError::Malformed(_))));
+    }
+
+    #[test]
+    fn collectives_over_tcp() {
+        let nodes = crate::tcp::TcpTransport::mesh_localhost(3).unwrap();
+        thread::scope(|scope| {
+            for node in &nodes {
+                scope.spawn(move |_| {
+                    let comm = Communicator::new(node);
+                    let data = if comm.rank() == 0 { Some(&b"tcp-bcast"[..]) } else { None };
+                    assert_eq!(comm.broadcast(0, data).unwrap(), b"tcp-bcast");
+                    let mut xs = vec![1.0f32];
+                    comm.all_reduce_sum(&mut xs).unwrap();
+                    assert_eq!(xs, vec![3.0]);
+                });
+            }
+        })
+        .unwrap();
+    }
+}

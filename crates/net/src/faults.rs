@@ -1,0 +1,146 @@
+//! Fault-injection wrappers for resilience testing.
+//!
+//! Edge deployments lose packets and peers; the integration tests wrap a
+//! real transport in [`LossyTransport`] to verify the runtime degrades
+//! gracefully (timeouts surface as errors, no hangs, no panics).
+
+use crate::error::NetError;
+use crate::transport::{NodeId, Tag, Transport, TransportStats};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// A transport decorator that silently drops configured traffic.
+pub struct LossyTransport<T: Transport> {
+    inner: T,
+    /// Destinations whose outgoing messages are dropped.
+    blackholed: Mutex<HashSet<NodeId>>,
+    /// Drop every `drop_every`-th message (0 = disabled).
+    drop_every: u64,
+    sent: Mutex<u64>,
+}
+
+impl<T: Transport> LossyTransport<T> {
+    /// Wraps `inner` with no faults configured.
+    pub fn new(inner: T) -> Self {
+        LossyTransport { inner, blackholed: Mutex::new(HashSet::new()), drop_every: 0, sent: Mutex::new(0) }
+    }
+
+    /// Drops every `n`-th outgoing message (1 = drop everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`; use [`LossyTransport::new`] for a fault-free
+    /// wrapper.
+    pub fn dropping_every(inner: T, n: u64) -> Self {
+        assert!(n > 0, "drop_every must be positive");
+        LossyTransport { inner, blackholed: Mutex::new(HashSet::new()), drop_every: n, sent: Mutex::new(0) }
+    }
+
+    /// Starts black-holing all traffic towards `peer` (simulates the peer
+    /// walking out of WiFi range).
+    pub fn blackhole(&self, peer: NodeId) {
+        self.blackholed.lock().insert(peer);
+    }
+
+    /// Restores delivery towards `peer`.
+    pub fn heal(&self, peer: NodeId) {
+        self.blackholed.lock().remove(&peer);
+    }
+
+    /// Access to the wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for LossyTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LossyTransport(node {}, drop_every {})", self.inner.node_id(), self.drop_every)
+    }
+}
+
+impl<T: Transport> Transport for LossyTransport<T> {
+    fn node_id(&self) -> NodeId {
+        self.inner.node_id()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.inner.num_nodes()
+    }
+
+    fn send(&self, to: NodeId, tag: Tag, payload: &[u8]) -> Result<(), NetError> {
+        if self.blackholed.lock().contains(&to) {
+            return Ok(()); // silently dropped: the peer just never hears it
+        }
+        if self.drop_every > 0 {
+            let mut sent = self.sent.lock();
+            *sent += 1;
+            if (*sent).is_multiple_of(self.drop_every) {
+                return Ok(());
+            }
+        }
+        self.inner.send(to, tag, payload)
+    }
+
+    fn recv(&self, from: NodeId, tag: Tag, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        self.inner.recv(from, tag, timeout)
+    }
+
+    fn recv_any(&self, tag: Tag, timeout: Duration) -> Result<(NodeId, Vec<u8>), NetError> {
+        self.inner.recv_any(tag, timeout)
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+
+    const TAG: Tag = Tag(3);
+    const SHORT: Duration = Duration::from_millis(50);
+
+    #[test]
+    fn blackhole_drops_and_heal_restores() {
+        let mut nodes = ChannelTransport::mesh(2);
+        let receiver = nodes.pop().unwrap();
+        let lossy = LossyTransport::new(nodes.pop().unwrap());
+
+        lossy.blackhole(1);
+        lossy.send(1, TAG, b"lost").unwrap();
+        assert!(matches!(receiver.recv(0, TAG, SHORT), Err(NetError::Timeout { .. })));
+
+        lossy.heal(1);
+        lossy.send(1, TAG, b"found").unwrap();
+        assert_eq!(receiver.recv(0, TAG, SHORT).unwrap(), b"found");
+    }
+
+    #[test]
+    fn periodic_drops() {
+        let mut nodes = ChannelTransport::mesh(2);
+        let receiver = nodes.pop().unwrap();
+        let lossy = LossyTransport::dropping_every(nodes.pop().unwrap(), 2);
+        for i in 0..4u8 {
+            lossy.send(1, TAG, &[i]).unwrap();
+        }
+        // Messages 2 and 4 (1-indexed) were dropped.
+        assert_eq!(receiver.recv(0, TAG, SHORT).unwrap(), vec![0]);
+        assert_eq!(receiver.recv(0, TAG, SHORT).unwrap(), vec![2]);
+        assert!(matches!(receiver.recv(0, TAG, SHORT), Err(NetError::Timeout { .. })));
+    }
+
+    #[test]
+    fn passthrough_when_no_faults() {
+        let mut nodes = ChannelTransport::mesh(2);
+        let receiver = nodes.pop().unwrap();
+        let lossy = LossyTransport::new(nodes.pop().unwrap());
+        lossy.send(1, TAG, b"clean").unwrap();
+        assert_eq!(receiver.recv(0, TAG, SHORT).unwrap(), b"clean");
+        assert_eq!(lossy.node_id(), 0);
+        assert_eq!(lossy.num_nodes(), 2);
+    }
+}

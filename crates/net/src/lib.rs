@@ -1,0 +1,51 @@
+//! # teamnet-net
+//!
+//! The message-passing substrate of the TeamNet (ICDCS 2019) reproduction:
+//! the stand-in for the paper's three communication stacks — raw TCP
+//! sockets (TeamNet itself), MPI (the model-parallel baselines) and gRPC
+//! (SG-MoE-G).
+//!
+//! * [`Transport`] — `(source, tag)`-matched point-to-point messaging with
+//!   two implementations: [`ChannelTransport`] (in-process, used by the
+//!   simulator and tests) and [`TcpTransport`] (framed sockets over real
+//!   TCP, loopback or multi-host);
+//! * [`Communicator`] — MPI-style collectives (broadcast / scatter /
+//!   gather / all-gather / all-reduce / barrier);
+//! * [`rpc`] — a minimal unary RPC layer (the gRPC stand-in);
+//! * [`LossyTransport`] — fault injection for resilience tests;
+//! * [`codec`] — the wire formats, including the raw-`f32` tensor payload
+//!   encoding whose byte counts drive the WiFi cost model.
+//!
+//! # Examples
+//!
+//! ```
+//! use teamnet_net::{ChannelTransport, Communicator};
+//!
+//! // A 2-node in-process cluster: rank 0 broadcasts to rank 1.
+//! let nodes = ChannelTransport::mesh(2);
+//! let result = crossbeam::thread::scope(|scope| {
+//!     scope.spawn(|_| {
+//!         Communicator::new(&nodes[1]).broadcast(0, None).unwrap()
+//!     });
+//!     Communicator::new(&nodes[0]).broadcast(0, Some(b"sensor data")).unwrap()
+//! });
+//! assert_eq!(result.unwrap(), b"sensor data");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod codec;
+mod collective;
+mod error;
+mod faults;
+mod mailbox;
+pub mod rpc;
+mod tcp;
+mod transport;
+
+pub use collective::{Communicator, COLLECTIVE_TAG_BASE};
+pub use error::NetError;
+pub use faults::LossyTransport;
+pub use mailbox::Mailbox;
+pub use tcp::TcpTransport;
+pub use transport::{ChannelTransport, NodeId, Tag, Transport, TransportStats};

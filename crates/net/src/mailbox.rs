@@ -1,0 +1,210 @@
+//! A tag-and-sender-matched mailbox shared by every transport.
+//!
+//! MPI-style point-to-point semantics need messages matched on
+//! `(source, tag)` rather than FIFO over the whole link; the mailbox is the
+//! single queueing structure both the in-process and the TCP transports
+//! deliver into.
+
+use crate::error::NetError;
+use crate::transport::{NodeId, Tag};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Queues {
+    by_key: HashMap<(NodeId, Tag), VecDeque<Vec<u8>>>,
+}
+
+/// A blocking, condvar-signalled multi-queue of incoming messages.
+pub struct Mailbox {
+    queues: Mutex<Queues>,
+    available: Condvar,
+    closed: AtomicBool,
+}
+
+impl Default for Mailbox {
+    fn default() -> Self {
+        Mailbox::new()
+    }
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            queues: Mutex::new(Queues::default()),
+            available: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Delivers a message from `from` with `tag`.
+    pub fn deliver(&self, from: NodeId, tag: Tag, payload: Vec<u8>) {
+        let mut queues = self.queues.lock();
+        queues.by_key.entry((from, tag)).or_default().push_back(payload);
+        drop(queues);
+        self.available.notify_all();
+    }
+
+    /// Marks the mailbox closed; pending and future receives fail with
+    /// [`NetError::Closed`] once drained.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    /// True once [`Mailbox::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a message from `from` with `tag` arrives, up to
+    /// `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] on deadline, [`NetError::Closed`] if the
+    /// mailbox closes while (or before) waiting with no matching message.
+    pub fn recv(&self, from: NodeId, tag: Tag, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut queues = self.queues.lock();
+        loop {
+            if let Some(q) = queues.by_key.get_mut(&(from, tag)) {
+                if let Some(msg) = q.pop_front() {
+                    return Ok(msg);
+                }
+            }
+            if self.is_closed() {
+                return Err(NetError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout {
+                    waiting_for: format!("message from node {from} tag {}", tag.0),
+                });
+            }
+            self.available.wait_until(&mut queues, deadline);
+        }
+    }
+
+    /// Blocks until a message with `tag` arrives from *any* sender.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mailbox::recv`].
+    pub fn recv_any(&self, tag: Tag, timeout: Duration) -> Result<(NodeId, Vec<u8>), NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut queues = self.queues.lock();
+        loop {
+            let key = queues
+                .by_key
+                .iter()
+                .find(|((_, t), q)| *t == tag && !q.is_empty())
+                .map(|((from, _), _)| *from);
+            if let Some(from) = key {
+                let msg = queues
+                    .by_key
+                    .get_mut(&(from, tag))
+                    .and_then(VecDeque::pop_front)
+                    .expect("non-empty queue just observed");
+                return Ok((from, msg));
+            }
+            if self.is_closed() {
+                return Err(NetError::Closed);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout { waiting_for: format!("any message with tag {}", tag.0) });
+            }
+            self.available.wait_until(&mut queues, deadline);
+        }
+    }
+
+    /// Number of queued messages across all keys (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.queues.lock().by_key.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const TAG: Tag = Tag(1);
+
+    #[test]
+    fn deliver_then_recv() {
+        let mb = Mailbox::new();
+        mb.deliver(3, TAG, vec![1, 2, 3]);
+        assert_eq!(mb.recv(3, TAG, Duration::from_millis(10)).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_matches_sender_and_tag() {
+        let mb = Mailbox::new();
+        mb.deliver(1, Tag(9), vec![9]);
+        mb.deliver(2, TAG, vec![2]);
+        mb.deliver(1, TAG, vec![1]);
+        assert_eq!(mb.recv(1, TAG, Duration::from_millis(10)).unwrap(), vec![1]);
+        assert_eq!(mb.recv(2, TAG, Duration::from_millis(10)).unwrap(), vec![2]);
+        assert_eq!(mb.recv(1, Tag(9), Duration::from_millis(10)).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn recv_preserves_fifo_per_key() {
+        let mb = Mailbox::new();
+        mb.deliver(0, TAG, vec![1]);
+        mb.deliver(0, TAG, vec![2]);
+        assert_eq!(mb.recv(0, TAG, Duration::from_millis(10)).unwrap(), vec![1]);
+        assert_eq!(mb.recv(0, TAG, Duration::from_millis(10)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let mb = Mailbox::new();
+        let err = mb.recv(0, TAG, Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(err, NetError::Timeout { .. }));
+    }
+
+    #[test]
+    fn recv_any_returns_sender() {
+        let mb = Mailbox::new();
+        mb.deliver(5, TAG, vec![7]);
+        let (from, msg) = mb.recv_any(TAG, Duration::from_millis(10)).unwrap();
+        assert_eq!(from, 5);
+        assert_eq!(msg, vec![7]);
+    }
+
+    #[test]
+    fn blocked_recv_wakes_on_delivery() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(1, TAG, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        mb.deliver(1, TAG, vec![42]);
+        assert_eq!(handle.join().unwrap().unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn close_unblocks_waiters() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(1, TAG, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        mb.close();
+        assert!(matches!(handle.join().unwrap(), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn pending_counts_messages() {
+        let mb = Mailbox::new();
+        assert_eq!(mb.pending(), 0);
+        mb.deliver(0, TAG, vec![]);
+        mb.deliver(1, Tag(2), vec![]);
+        assert_eq!(mb.pending(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Loss functions.
+//!
+//! The paper's Algorithm 3 line 4 optimizes the cross-entropy
+//! `Σ_c y log f(x; θᵢ)`; [`softmax_cross_entropy`] implements the fused
+//! softmax + cross-entropy with its numerically exact gradient
+//! `(softmax(logits) − onehot(y)) / n`.
+
+use teamnet_tensor::Tensor;
+
+/// Result of a fused softmax-cross-entropy evaluation.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch (natural log).
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, `[n, classes]`.
+    pub grad: Tensor,
+    /// Row-wise softmax probabilities, `[n, classes]`.
+    pub probs: Tensor,
+}
+
+/// Mean softmax cross-entropy of `logits` (`[n, classes]`) against integer
+/// `labels` (`len == n`), with gradient.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.rank(), 2, "logits must be [n, classes]");
+    let (n, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "label count must match batch size");
+
+    let probs = logits.softmax_rows();
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    let inv_n = 1.0 / n as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        let p = probs.at(&[r, label]).max(1e-12);
+        loss -= p.ln();
+        let row = grad.row_mut(r);
+        row[label] -= 1.0;
+        for g in row.iter_mut() {
+            *g *= inv_n;
+        }
+    }
+    LossOutput { loss: loss * inv_n, grad, probs }
+}
+
+/// Mean squared error between `pred` and `target` with gradient
+/// `2(pred − target)/n`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert!(pred.shape().same_as(target.shape()), "mse() requires equal shapes");
+    let n = pred.len() as f32;
+    let diff = pred - target;
+    let loss = diff.norm_sq() / n;
+    (loss, diff.scale(2.0 / n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![100.0, 0.0, 0.0, 0.0, 100.0, 0.0], [2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(out.loss < 1e-6, "loss {}", out.loss);
+        assert!(out.grad.norm_sq() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_loss_is_log_classes() {
+        let logits = Tensor::zeros([4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 0.2, -0.3], [2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let out = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let num = (softmax_cross_entropy(&lp, &labels).loss
+                - softmax_cross_entropy(&lm, &labels).loss)
+                / (2.0 * eps);
+            assert!(
+                (num - out.grad.data()[idx]).abs() < 1e-3,
+                "grad[{idx}]: numeric {num} vs analytic {}",
+                out.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[1, 2]);
+        for r in 0..2 {
+            let s: f32 = out.grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros([1, 3]), &[3]);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], [2]).unwrap();
+        let target = Tensor::from_vec(vec![0.0, 0.0], [2]).unwrap();
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+}

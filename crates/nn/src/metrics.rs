@@ -1,0 +1,137 @@
+//! Classification metrics.
+
+use teamnet_tensor::Tensor;
+
+/// Fraction of rows of `logits` whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2 or lengths disagree.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rank(), 2, "logits must be [n, classes]");
+    assert_eq!(logits.dims()[0], labels.len(), "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// A `classes × classes` confusion matrix; `counts[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(true, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, truth: usize, pred: usize) {
+        assert!(truth < self.classes && pred < self.classes, "class index out of range");
+        self.counts[truth * self.classes + pred] += 1;
+    }
+
+    /// Records a whole batch of predictions.
+    pub fn record_batch(&mut self, logits: &Tensor, labels: &[usize]) {
+        for (pred, &truth) in logits.argmax_rows().into_iter().zip(labels) {
+            self.record(truth, pred);
+        }
+    }
+
+    /// Count at `(true, predicted)`.
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        self.counts[truth * self.classes + pred]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0.0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall: `diag / row_sum`, `NaN`-free (0 for empty rows).
+    pub fn recalls(&self) -> Vec<f64> {
+        (0..self.classes)
+            .map(|c| {
+                let row: u64 = (0..self.classes).map(|p| self.count(c, p)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.count(c, c) as f64 / row as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits =
+            Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0], [3, 2]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&Tensor::zeros([0, 2]), &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_bookkeeping() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.accuracy(), 0.75);
+        let recalls = cm.recalls();
+        assert_eq!(recalls, vec![0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn record_batch_uses_argmax() {
+        let logits =
+            Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], [2, 2]).unwrap();
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_batch(&logits, &[1, 1]);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_bad_class() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

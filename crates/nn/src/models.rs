@@ -1,0 +1,256 @@
+//! Model builders matching the architectures evaluated in the paper:
+//! `MLP-k` for handwritten-digit recognition and `SS-k` (Shake-Shake CNNs)
+//! for image classification.
+//!
+//! A [`ModelSpec`] is a small serializable description that every node of an
+//! edge cluster can turn into an identical network from the same seed —
+//! this is how expert models are "deployed" in the distributed runtime.
+
+use crate::conv_layer::{Conv2d, GlobalAvgPool};
+use crate::layer::{Dense, Flatten, Relu};
+use crate::norm::BatchNorm2d;
+use crate::sequential::Sequential;
+use crate::shake::ShakeShakeBlock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Serializable description of a network architecture.
+///
+/// Building the same spec with the same seed yields bit-identical initial
+/// weights on every machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// A multilayer perceptron with `layers` dense layers (the paper's
+    /// MLP-2 / MLP-4 / MLP-8 family).
+    Mlp {
+        /// Flattened input feature count (e.g. 784 for 28×28 digits).
+        input_dim: usize,
+        /// Width of every hidden layer.
+        hidden_dim: usize,
+        /// Number of dense (weight) layers; must be ≥ 1.
+        layers: usize,
+        /// Number of output classes.
+        classes: usize,
+    },
+    /// A Shake-Shake CNN of depth `6n+2` (the paper's SS-8 / SS-14 / SS-26
+    /// family: n = 1, 2, 4).
+    ShakeShake {
+        /// Residual blocks per stage (depth = 6n+2).
+        blocks_per_stage: usize,
+        /// Channel count of the first stage (doubled at each of the two
+        /// subsequent stages).
+        base_channels: usize,
+        /// Input image channels (3 for CIFAR-like data).
+        in_channels: usize,
+        /// Input image side length.
+        image_hw: usize,
+        /// Number of output classes.
+        classes: usize,
+    },
+}
+
+impl ModelSpec {
+    /// The paper's MLP-k on 28×28 grayscale digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers == 0`.
+    pub fn mlp(layers: usize, hidden_dim: usize) -> Self {
+        assert!(layers >= 1, "an MLP needs at least one layer");
+        ModelSpec::Mlp { input_dim: 28 * 28, hidden_dim, layers, classes: 10 }
+    }
+
+    /// The paper's SS-k on 32×32 RGB images. `depth` must be of the form
+    /// `6n+2` (8, 14, 26, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is not `6n+2` for a positive `n`.
+    pub fn shake_shake(depth: usize, base_channels: usize) -> Self {
+        assert!(
+            depth >= 8 && (depth - 2).is_multiple_of(6),
+            "Shake-Shake depth must be 6n+2 (got {depth})"
+        );
+        ModelSpec::ShakeShake {
+            blocks_per_stage: (depth - 2) / 6,
+            base_channels,
+            in_channels: 3,
+            image_hw: 32,
+            classes: 10,
+        }
+    }
+
+    /// Nominal layer depth of the architecture (the number the paper's
+    /// model names carry: MLP-8, SS-26, ...).
+    pub fn depth(&self) -> usize {
+        match self {
+            ModelSpec::Mlp { layers, .. } => *layers,
+            ModelSpec::ShakeShake { blocks_per_stage, .. } => 6 * blocks_per_stage + 2,
+        }
+    }
+
+    /// The input dimensions (without batch axis) this model expects.
+    pub fn input_dims(&self) -> Vec<usize> {
+        match self {
+            ModelSpec::Mlp { input_dim, .. } => vec![*input_dim],
+            ModelSpec::ShakeShake { in_channels, image_hw, .. } => {
+                vec![*in_channels, *image_hw, *image_hw]
+            }
+        }
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            ModelSpec::Mlp { classes, .. } | ModelSpec::ShakeShake { classes, .. } => *classes,
+        }
+    }
+
+    /// Instantiates the network with weights drawn deterministically from
+    /// `seed`.
+    pub fn build(&self, seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            ModelSpec::Mlp { input_dim, hidden_dim, layers, classes } => {
+                let mut net = Sequential::new();
+                if layers == 1 {
+                    net.push(Dense::new(input_dim, classes, &mut rng));
+                    return net;
+                }
+                net.push(Dense::new(input_dim, hidden_dim, &mut rng));
+                net.push(Relu::new());
+                for _ in 0..layers.saturating_sub(2) {
+                    net.push(Dense::new(hidden_dim, hidden_dim, &mut rng));
+                    net.push(Relu::new());
+                }
+                net.push(Dense::new(hidden_dim, classes, &mut rng));
+                net
+            }
+            ModelSpec::ShakeShake { blocks_per_stage, base_channels, in_channels, classes, .. } => {
+                let mut net = Sequential::new();
+                // Stem.
+                net.push(Conv2d::new(in_channels, base_channels, 3, 1, 1, &mut rng));
+                net.push(BatchNorm2d::new(base_channels));
+                net.push(Relu::new());
+                // Three stages with channel doubling and spatial halving.
+                let mut channels = base_channels;
+                for stage in 0..3 {
+                    for block in 0..blocks_per_stage {
+                        let (in_ch, stride) = if stage > 0 && block == 0 {
+                            (channels / 2, 2)
+                        } else {
+                            (channels, 1)
+                        };
+                        net.push(ShakeShakeBlock::new(in_ch, channels, stride, &mut rng));
+                    }
+                    if stage < 2 {
+                        channels *= 2;
+                    }
+                }
+                net.push(GlobalAvgPool::new());
+                net.push(Dense::new(channels, classes, &mut rng));
+                net
+            }
+        }
+    }
+}
+
+/// Builds a flattening front end plus the model, for image tensors fed to
+/// MLPs: `[n, c, h, w] → [n, c*h*w] → logits`.
+pub fn with_flatten(spec: &ModelSpec, seed: u64) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Flatten::new());
+    net.push_boxed(Box::new(spec.build(seed)));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Layer, Mode};
+    use teamnet_tensor::Tensor;
+
+    #[test]
+    fn mlp_depth_counting_matches_paper_names() {
+        assert_eq!(ModelSpec::mlp(8, 128).depth(), 8);
+        assert_eq!(ModelSpec::mlp(2, 128).depth(), 2);
+        assert_eq!(ModelSpec::shake_shake(26, 16).depth(), 26);
+        assert_eq!(ModelSpec::shake_shake(14, 16).depth(), 14);
+        assert_eq!(ModelSpec::shake_shake(8, 16).depth(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "6n+2")]
+    fn shake_shake_rejects_bad_depth() {
+        ModelSpec::shake_shake(10, 16);
+    }
+
+    #[test]
+    fn mlp_output_shape() {
+        let spec = ModelSpec::mlp(4, 32);
+        let mut net = spec.build(0);
+        let x = Tensor::zeros([3, 784]);
+        assert_eq!(net.forward(&x, Mode::Eval).dims(), &[3, 10]);
+    }
+
+    #[test]
+    fn single_layer_mlp_is_logistic_regression() {
+        let spec = ModelSpec::Mlp { input_dim: 4, hidden_dim: 99, layers: 1, classes: 3 };
+        let net = spec.build(0);
+        assert_eq!(net.param_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let spec = ModelSpec::mlp(4, 32);
+        let mut a = spec.build(42);
+        let mut b = spec.build(42);
+        let x = Tensor::ones([1, 784]);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+        let mut c = spec.build(43);
+        assert_ne!(a.forward(&x, Mode::Eval), c.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn shake_shake_builds_and_runs() {
+        let spec = ModelSpec::ShakeShake {
+            blocks_per_stage: 1,
+            base_channels: 4,
+            in_channels: 3,
+            image_hw: 16,
+            classes: 10,
+        };
+        let mut net = spec.build(0);
+        let x = Tensor::zeros([2, 3, 16, 16]);
+        let y = net.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 10]);
+        // Stage widths: 4 → 8 → 16; classifier input must be 16.
+        assert_eq!(net.out_dims(&[2, 3, 16, 16]), vec![2, 10]);
+    }
+
+    #[test]
+    fn deeper_models_cost_more() {
+        let shallow = ModelSpec::shake_shake(8, 8).build(0);
+        let deep = ModelSpec::shake_shake(26, 8).build(0);
+        let dims = [1usize, 3, 32, 32];
+        assert!(deep.flops(&dims) > 2 * shallow.flops(&dims));
+        assert!(deep.param_count() > 2 * shallow.param_count());
+    }
+
+    #[test]
+    fn with_flatten_accepts_images() {
+        let spec = ModelSpec::mlp(2, 16);
+        let mut net = with_flatten(&spec, 0);
+        let x = Tensor::zeros([2, 1, 28, 28]);
+        assert_eq!(net.forward(&x, Mode::Eval).dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = ModelSpec::shake_shake(14, 32);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,233 @@
+//! First-order optimizers operating through [`Layer::visit_params`].
+//!
+//! Optimizer state (momentum / Adam moments) is kept in vectors aligned
+//! with the layer's stable parameter-visitation order, so an optimizer must
+//! be paired with a single model for its lifetime.
+
+use crate::layer::Layer;
+use teamnet_tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum and decoupled weight
+/// decay — the update rule the paper's Algorithm 3 uses for expert training.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        Sgd::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum `mu` (0 disables momentum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `mu` is outside `[0, 1)`.
+    pub fn with_momentum(lr: f32, mu: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
+        Sgd { lr, momentum: mu, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds decoupled L2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wd < 0`.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        assert!(wd >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update step using the gradients accumulated in `model`,
+    /// then leaves the gradients untouched (callers usually follow with
+    /// [`Layer::zero_grad`]).
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        model.visit_params(&mut |param, grad| {
+            if wd > 0.0 {
+                param.map_inplace(|w| w * (1.0 - lr * wd));
+            }
+            if mu > 0.0 {
+                if idx == velocity.len() {
+                    velocity.push(Tensor::zeros(param.shape().clone()));
+                }
+                let v = &mut velocity[idx];
+                for (vi, &gi) in v.data_mut().iter_mut().zip(grad.data()) {
+                    *vi = mu * *vi + gi;
+                }
+                param.axpy(-lr, v);
+            } else {
+                param.axpy(-lr, grad);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) — used to train the gate MLP `W(z, Θ)`, whose loss
+/// surface is far less smooth than the experts'.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the conventional β₁ = 0.9, β₂ = 0.999 defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Applies one Adam step using the gradients accumulated in `model`.
+    pub fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params(&mut |param, grad| {
+            if idx == m.len() {
+                m.push(Tensor::zeros(param.shape().clone()));
+                v.push(Tensor::zeros(param.shape().clone()));
+            }
+            let (mi, vi) = (&mut m[idx], &mut v[idx]);
+            for ((mm, vv), (&g, p)) in mi
+                .data_mut()
+                .iter_mut()
+                .zip(vi.data_mut())
+                .zip(grad.data().iter().zip(param.data_mut()))
+            {
+                *mm = b1 * *mm + (1.0 - b1) * g;
+                *vv = b2 * *vv + (1.0 - b2) * g * g;
+                let m_hat = *mm / bias1;
+                let v_hat = *vv / bias2;
+                *p -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Mode};
+    use crate::loss::softmax_cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use teamnet_tensor::Tensor;
+
+    /// Trains a single dense layer on a 2-class linearly separable toy
+    /// problem and asserts the loss drops substantially.
+    fn train_toy(mut step: impl FnMut(&mut Dense)) -> (f32, f32) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        let x = Tensor::from_vec(
+            vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9],
+            [4, 2],
+        )
+        .unwrap();
+        let labels = [0usize, 0, 1, 1];
+        let initial = softmax_cross_entropy(&layer.forward(&x, Mode::Train), &labels).loss;
+        for _ in 0..200 {
+            let logits = layer.forward(&x, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &labels);
+            layer.zero_grad();
+            layer.backward(&out.grad);
+            step(&mut layer);
+        }
+        let final_loss = softmax_cross_entropy(&layer.forward(&x, Mode::Train), &labels).loss;
+        (initial, final_loss)
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut opt = Sgd::new(0.5);
+        let (initial, final_loss) = train_toy(move |l| opt.step(l));
+        assert!(final_loss < initial * 0.2, "{initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn momentum_accelerates_over_plain_sgd() {
+        let mut plain = Sgd::new(0.05);
+        let (_, plain_final) = train_toy(move |l| plain.step(l));
+        let mut heavy = Sgd::with_momentum(0.05, 0.9);
+        let (_, heavy_final) = train_toy(move |l| heavy.step(l));
+        assert!(heavy_final < plain_final, "momentum {heavy_final} vs plain {plain_final}");
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let mut opt = Adam::new(0.05);
+        let (initial, final_loss) = train_toy(move |l| opt.step(l));
+        assert!(final_loss < initial * 0.2, "{initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut layer = Dense::new(4, 4, &mut rng);
+        let before = {
+            let mut n = 0.0;
+            layer.visit_params(&mut |p, _| n += p.norm_sq());
+            n
+        };
+        // Zero gradients → only the decay term acts.
+        let mut opt = Sgd::new(0.1).weight_decay(1.0);
+        layer.zero_grad();
+        for _ in 0..10 {
+            opt.step(&mut layer);
+        }
+        let after = {
+            let mut n = 0.0;
+            layer.visit_params(&mut |p, _| n += p.norm_sq());
+            n
+        };
+        assert!(after < before * 0.5, "{before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_lr() {
+        Sgd::new(0.0);
+    }
+}

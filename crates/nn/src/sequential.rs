@@ -1,0 +1,267 @@
+//! The [`Sequential`] container: an ordered pipeline of layers.
+
+use crate::layer::{Layer, Mode};
+use teamnet_tensor::Tensor;
+
+/// A network composed of layers applied in order.
+///
+/// `Sequential` itself implements [`Layer`], so containers nest (the
+/// Shake-Shake block holds two `Sequential` branches).
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use teamnet_nn::{Dense, Mode, Relu, Sequential, Layer};
+/// use teamnet_tensor::Tensor;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 8, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Dense::new(8, 3, &mut rng));
+///
+/// let x = Tensor::zeros([2, 4]);
+/// let logits = net.forward(&x, Mode::Eval);
+/// assert_eq!(logits.dims(), &[2, 3]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the pipeline.
+    pub fn push(&mut self, layer: impl Layer + 'static) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of directly contained layers (containers count as one).
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the pipeline contains no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Per-layer static profile for the given input dimensions: the data
+    /// the edge-device cost model needs to price each pipeline stage.
+    /// Nested [`Sequential`]s are flattened; composite blocks (e.g.
+    /// Shake-Shake) stay as single entries.
+    pub fn per_layer_profile(&self, in_dims: &[usize]) -> Vec<LayerProfile> {
+        let mut out = Vec::new();
+        self.profile_into(in_dims, &mut out);
+        out
+    }
+
+    /// A one-line-per-layer summary with parameter counts.
+    pub fn summary(&self, in_dims: &[usize]) -> String {
+        let mut out = String::new();
+        let mut dims = in_dims.to_vec();
+        let mut total = 0usize;
+        for layer in &self.layers {
+            let next = layer.out_dims(&dims);
+            let params = layer.param_count();
+            total += params;
+            out.push_str(&format!(
+                "{:<14} {:?} -> {:?}  params={}\n",
+                layer.name(),
+                dims,
+                next,
+                params
+            ));
+            dims = next;
+        }
+        out.push_str(&format!("total params: {total}\n"));
+        out
+    }
+}
+
+/// Static description of one layer within a [`Sequential`] pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerProfile {
+    /// Layer type name.
+    pub name: &'static str,
+    /// Forward FLOPs at the profiled input dimensions.
+    pub flops: u64,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Input dimensions (batch included).
+    pub in_dims: Vec<usize>,
+    /// Output dimensions (batch included).
+    pub out_dims: Vec<usize>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
+        let mut dims = in_dims.to_vec();
+        for layer in &self.layers {
+            dims = layer.out_dims(&dims);
+        }
+        dims
+    }
+
+    fn flops(&self, in_dims: &[usize]) -> u64 {
+        let mut dims = in_dims.to_vec();
+        let mut total = 0u64;
+        for layer in &self.layers {
+            total += layer.flops(&dims);
+            dims = layer.out_dims(&dims);
+        }
+        total
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn profile_into(&self, in_dims: &[usize], out: &mut Vec<LayerProfile>) -> Vec<usize> {
+        let mut dims = in_dims.to_vec();
+        for layer in &self.layers {
+            dims = layer.profile_into(&dims, out);
+        }
+        dims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(rng: &mut StdRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, rng));
+        net.push(Relu::new());
+        net.push(Dense::new(5, 2, rng));
+        net
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn([4, 3], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[4, 2]);
+        let gx = net.backward(&Tensor::ones([4, 2]));
+        assert_eq!(gx.dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn whole_network_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn([3, 3], 0.0, 1.0, &mut rng);
+        net.forward(&x, Mode::Train);
+        let gx = net.backward(&Tensor::ones([3, 2]));
+
+        let eps = 1e-2;
+        for probe in [0usize, 4, 8] {
+            let mut xp = x.clone();
+            xp.data_mut()[probe] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[probe] -= eps;
+            let lp = net.forward(&xp, Mode::Train).sum();
+            let lm = net.forward(&xm, Mode::Train).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[probe]).abs() < 2e-2 * (1.0 + num.abs()),
+                "dx[{probe}]: numeric {num} vs analytic {}",
+                gx.data()[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_and_flops_aggregate() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let net = tiny_net(&mut rng);
+        assert_eq!(net.param_count(), (3 * 5 + 5) + (5 * 2 + 2));
+        assert_eq!(net.out_dims(&[7, 3]), vec![7, 2]);
+        let expected_flops = 7 * (2 * 3 * 5 + 5) + 7 * 5 + 7 * (2 * 5 * 2 + 2);
+        assert_eq!(net.flops(&[7, 3]), expected_flops as u64);
+    }
+
+    #[test]
+    fn per_layer_profile_walks_shapes() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let net = tiny_net(&mut rng);
+        let profile = net.per_layer_profile(&[4, 3]);
+        assert_eq!(profile.len(), 3);
+        assert_eq!(profile[0].out_dims, vec![4, 5]);
+        assert_eq!(profile[1].name, "Relu");
+        assert_eq!(profile[2].out_dims, vec![4, 2]);
+        let total: u64 = profile.iter().map(|p| p.flops).sum();
+        assert_eq!(total, net.flops(&[4, 3]));
+    }
+
+    #[test]
+    fn summary_lists_layers() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let net = tiny_net(&mut rng);
+        let s = net.summary(&[1, 3]);
+        assert!(s.contains("Dense"));
+        assert!(s.contains("Relu"));
+        assert!(s.contains("total params: 32"));
+    }
+
+    #[test]
+    fn zero_grad_resets_everything() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn([2, 3], 0.0, 1.0, &mut rng);
+        net.forward(&x, Mode::Train);
+        net.backward(&Tensor::ones([2, 2]));
+        net.zero_grad();
+        net.visit_params(&mut |_, g| assert_eq!(g.norm_sq(), 0.0));
+    }
+}

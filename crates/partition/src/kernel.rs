@@ -1,0 +1,187 @@
+//! MPI-Kernel: distributing convolution kernels (output channels) across
+//! edge nodes.
+//!
+//! Each node holds a slice of every conv layer's output channels. Per
+//! layer, the input activation is broadcast, every node convolves with its
+//! kernel slice, and the root gathers and concatenates the channel slices
+//! — one broadcast + one gather per convolution.
+
+use crate::matrix::split_range;
+use teamnet_net::codec::{decode_f32s, encode_f32s};
+use teamnet_net::{Communicator, NetError};
+use teamnet_tensor::conv::{conv2d, Conv2dSpec};
+use teamnet_tensor::Tensor;
+
+/// One node's slice of a conv layer: output channels `[start, end)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvShard {
+    weight: Tensor,
+    bias: Tensor,
+    spec: Conv2dSpec,
+}
+
+impl ConvShard {
+    /// Extracts node `node`'s output-channel slice of a conv layer
+    /// (`weight: [oc, ic, k, k]`, `bias: [oc]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/shape mismatch or `node >= nodes`.
+    pub fn new(
+        weight: &Tensor,
+        bias: &Tensor,
+        spec: Conv2dSpec,
+        node: usize,
+        nodes: usize,
+    ) -> Self {
+        assert_eq!(weight.rank(), 4, "conv weight must be [oc, ic, k, k]");
+        assert!(node < nodes, "node {node} out of range for {nodes} nodes");
+        let oc = weight.dims()[0];
+        assert_eq!(bias.dims(), &[oc], "bias must be [oc]");
+        let (start, end) = split_range(oc, nodes, node);
+        let rows: Vec<usize> = (start..end).collect();
+        ConvShard {
+            weight: weight.select_rows(&rows),
+            bias: bias.data()[start..end].iter().copied().collect(),
+            spec,
+        }
+    }
+
+    /// Number of output channels this shard produces.
+    pub fn channels(&self) -> usize {
+        self.weight.dims()[0]
+    }
+}
+
+/// Runs one kernel-parallel convolution. Rank 0 supplies the input
+/// `[n, ic, h, w]` and receives `Some(full output)`; other ranks receive
+/// `None`.
+///
+/// # Errors
+///
+/// Propagates collective failures.
+///
+/// # Panics
+///
+/// Panics if rank 0 does not supply an input or a shard is empty.
+pub fn kernel_parallel_conv2d(
+    comm: &Communicator<'_>,
+    shard: &ConvShard,
+    input: Option<&Tensor>,
+) -> Result<Option<Tensor>, NetError> {
+    let encoded = if comm.rank() == 0 {
+        let input = input.expect("rank 0 must supply the input");
+        comm.broadcast(0, Some(&encode_f32s(input.dims(), input.data())))?
+    } else {
+        comm.broadcast(0, None)?
+    };
+    let (dims, data) = decode_f32s(&encoded)?;
+    let x = Tensor::from_vec(data, dims).map_err(|e| NetError::Malformed(e.to_string()))?;
+
+    assert!(shard.channels() > 0, "empty conv shard: more nodes than channels");
+    let partial = conv2d(&x, &shard.weight, &shard.bias, shard.spec);
+    let gathered = comm.gather(0, &encode_f32s(partial.dims(), partial.data()))?;
+
+    let Some(parts) = gathered else { return Ok(None) };
+    // Concatenate channel slices in rank order.
+    let mut slices = Vec::with_capacity(parts.len());
+    for part in &parts {
+        let (pd, pv) = decode_f32s(part)?;
+        if pd.len() != 4 {
+            return Err(NetError::Malformed(format!("partial conv dims {pd:?}")));
+        }
+        slices.push(Tensor::from_vec(pv, pd).map_err(|e| NetError::Malformed(e.to_string()))?);
+    }
+    let (n, oh, ow) = (slices[0].dims()[0], slices[0].dims()[2], slices[0].dims()[3]);
+    let total_c: usize = slices.iter().map(|s| s.dims()[1]).sum();
+    let mut out = Tensor::zeros([n, total_c, oh, ow]);
+    let mut c_at = 0usize;
+    for slice in &slices {
+        let c = slice.dims()[1];
+        for s in 0..n {
+            for ch in 0..c {
+                for y in 0..oh {
+                    for x2 in 0..ow {
+                        out.set(&[s, c_at + ch, y, x2], slice.at(&[s, ch, y, x2]));
+                    }
+                }
+            }
+        }
+        c_at += c;
+    }
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::thread;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use teamnet_net::ChannelTransport;
+
+    #[test]
+    fn shard_partitions_channels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weight = Tensor::randn([10, 3, 3, 3], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn([10], 0.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let total: usize =
+            (0..4).map(|n| ConvShard::new(&weight, &bias, spec, n, 4).channels()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn kernel_parallel_matches_local_conv() {
+        for nodes in [2usize, 3] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let weight = Tensor::randn([7, 2, 3, 3], 0.0, 1.0, &mut rng);
+            let bias = Tensor::randn([7], 0.0, 0.5, &mut rng);
+            let spec = Conv2dSpec::new(3, 1, 1);
+            let input = Tensor::randn([2, 2, 6, 6], 0.0, 1.0, &mut rng);
+            let expected = conv2d(&input, &weight, &bias, spec);
+
+            let mesh = ChannelTransport::mesh(nodes);
+            let got = thread::scope(|scope| {
+                for (rank, node) in mesh.iter().enumerate().skip(1) {
+                    let shard = ConvShard::new(&weight, &bias, spec, rank, nodes);
+                    scope.spawn(move |_| {
+                        let comm = Communicator::new(node);
+                        assert!(kernel_parallel_conv2d(&comm, &shard, None).unwrap().is_none());
+                    });
+                }
+                let shard = ConvShard::new(&weight, &bias, spec, 0, nodes);
+                let comm = Communicator::new(&mesh[0]);
+                kernel_parallel_conv2d(&comm, &shard, Some(&input)).unwrap().unwrap()
+            })
+            .unwrap();
+
+            assert!(got.max_abs_diff(&expected) < 1e-5, "{nodes}-node run diverged");
+        }
+    }
+
+    #[test]
+    fn strided_padded_conv_also_matches() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let weight = Tensor::randn([4, 3, 3, 3], 0.0, 1.0, &mut rng);
+        let bias = Tensor::zeros([4]);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let input = Tensor::randn([1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let expected = conv2d(&input, &weight, &bias, spec);
+
+        let mesh = ChannelTransport::mesh(2);
+        let got = thread::scope(|scope| {
+            let shard1 = ConvShard::new(&weight, &bias, spec, 1, 2);
+            let node1 = &mesh[1];
+            scope.spawn(move |_| {
+                let comm = Communicator::new(node1);
+                kernel_parallel_conv2d(&comm, &shard1, None).unwrap();
+            });
+            let shard0 = ConvShard::new(&weight, &bias, spec, 0, 2);
+            let comm = Communicator::new(&mesh[0]);
+            kernel_parallel_conv2d(&comm, &shard0, Some(&input)).unwrap().unwrap()
+        })
+        .unwrap();
+        assert!(got.max_abs_diff(&expected) < 1e-5);
+    }
+}

@@ -1,0 +1,250 @@
+//! MPI-Matrix: column-parallel execution of an MLP across edge nodes.
+//!
+//! Every dense layer's weight matrix is split column-wise over the nodes;
+//! each node computes its slice of the activations and the slices are
+//! all-gathered before the next layer. This is the classic
+//! matrix-multiplication parallelization the paper evaluates — and the
+//! reason it loses badly on WiFi: *every layer* pays a collective.
+
+use teamnet_net::codec::{decode_f32s, encode_f32s};
+use teamnet_net::{Communicator, NetError};
+use teamnet_nn::ModelSpec;
+use teamnet_tensor::Tensor;
+
+/// Balanced split of `total` items into `parts` chunk sizes (first chunks
+/// get the remainder).
+pub fn split_sizes(total: usize, parts: usize) -> Vec<usize> {
+    assert!(parts > 0, "need at least one part");
+    let base = total / parts;
+    let extra = total % parts;
+    (0..parts).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// Column range `[start, end)` owned by `part` under [`split_sizes`].
+pub fn split_range(total: usize, parts: usize, part: usize) -> (usize, usize) {
+    let sizes = split_sizes(total, parts);
+    let start: usize = sizes[..part].iter().sum();
+    (start, start + sizes[part])
+}
+
+/// One node's column shards of every dense layer of an MLP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpShards {
+    layers: Vec<(Tensor, Tensor)>,
+}
+
+impl MlpShards {
+    /// Number of sharded dense layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total parameter bytes held by this node.
+    pub fn param_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|(w, b)| (w.len() + b.len()) * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+/// Extracts node `node`'s column shards from a trained MLP's parameter
+/// snapshot (`state` as produced by [`teamnet_nn::state_vec`] on a model
+/// built from `spec`).
+///
+/// # Panics
+///
+/// Panics if `spec` is not an MLP, `state` does not look like alternating
+/// `(weight, bias)` pairs, or `node >= nodes`.
+pub fn shard_mlp(spec: &ModelSpec, state: &[Tensor], node: usize, nodes: usize) -> MlpShards {
+    assert!(matches!(spec, ModelSpec::Mlp { .. }), "MPI-Matrix shards MLPs");
+    assert!(node < nodes, "node {node} out of range for {nodes} nodes");
+    assert!(state.len().is_multiple_of(2) && !state.is_empty(), "state must be (weight, bias) pairs");
+    let layers = state
+        .chunks_exact(2)
+        .map(|pair| {
+            let (w, b) = (&pair[0], &pair[1]);
+            assert_eq!(w.rank(), 2, "dense weight must be rank-2");
+            assert_eq!(b.dims(), &[w.dims()[1]], "bias must match weight columns");
+            let (in_dim, out_dim) = (w.dims()[0], w.dims()[1]);
+            let (start, end) = split_range(out_dim, nodes, node);
+            let mut w_slice = Tensor::zeros([in_dim, end - start]);
+            for r in 0..in_dim {
+                for (j, c) in (start..end).enumerate() {
+                    w_slice.set(&[r, j], w.at(&[r, c]));
+                }
+            }
+            let b_slice: Tensor = b.data()[start..end].iter().copied().collect();
+            (w_slice, b_slice)
+        })
+        .collect();
+    MlpShards { layers }
+}
+
+/// Runs one column-parallel forward pass. Rank 0 supplies the flattened
+/// input `[n, d]`; every node returns the full logits (they all hold them
+/// after the final all-gather).
+///
+/// # Errors
+///
+/// Propagates collective failures (timeouts on missing peers, transport
+/// errors).
+///
+/// # Panics
+///
+/// Panics if rank 0 does not supply an input.
+pub fn mpi_matrix_forward(
+    comm: &Communicator<'_>,
+    shards: &MlpShards,
+    input: Option<&Tensor>,
+) -> Result<Tensor, NetError> {
+    // Broadcast the input to every node.
+    let encoded = if comm.rank() == 0 {
+        let input = input.expect("rank 0 must supply the input");
+        assert_eq!(input.rank(), 2, "MPI-Matrix input must be [n, features]");
+        comm.broadcast(0, Some(&encode_f32s(input.dims(), input.data())))?
+    } else {
+        comm.broadcast(0, None)?
+    };
+    let (dims, data) = decode_f32s(&encoded)?;
+    let mut activation =
+        Tensor::from_vec(data, dims).map_err(|e| NetError::Malformed(e.to_string()))?;
+
+    let num_layers = shards.num_layers();
+    for (l, (w_slice, b_slice)) in shards.layers.iter().enumerate() {
+        // Local partial activations for this node's columns.
+        let partial = activation.matmul(w_slice).add_row_broadcast(b_slice);
+        // All-gather the column slices — the per-layer collective that
+        // dominates MPI-Matrix's latency on WiFi.
+        let parts = comm.all_gather(&encode_f32s(partial.dims(), partial.data()))?;
+        let n = partial.dims()[0];
+        let mut columns: Vec<Tensor> = Vec::with_capacity(parts.len());
+        for part in &parts {
+            let (pd, pv) = decode_f32s(part)?;
+            if pd.len() != 2 || pd[0] != n {
+                return Err(NetError::Malformed(format!("partial activation dims {pd:?}")));
+            }
+            columns.push(
+                Tensor::from_vec(pv, pd).map_err(|e| NetError::Malformed(e.to_string()))?,
+            );
+        }
+        let total_cols: usize = columns.iter().map(|c| c.dims()[1]).sum();
+        let mut full = Tensor::zeros([n, total_cols]);
+        let mut at = 0usize;
+        for col in &columns {
+            for r in 0..n {
+                for j in 0..col.dims()[1] {
+                    full.set(&[r, at + j], col.at(&[r, j]));
+                }
+            }
+            at += col.dims()[1];
+        }
+        activation = if l + 1 < num_layers { full.relu() } else { full };
+    }
+    Ok(activation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::thread;
+    use teamnet_net::{ChannelTransport, Transport};
+    use teamnet_nn::{state_vec, Layer, Mode};
+
+    #[test]
+    fn split_math() {
+        assert_eq!(split_sizes(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(split_range(10, 4, 0), (0, 3));
+        assert_eq!(split_range(10, 4, 3), (8, 10));
+        assert_eq!(split_sizes(3, 5), vec![1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn shards_partition_all_parameters() {
+        let spec = ModelSpec::mlp(3, 16);
+        let mut model = spec.build(1);
+        let state = state_vec(&mut model);
+        let total: usize = (0..4).map(|n| shard_mlp(&spec, &state, n, 4).param_bytes()).sum();
+        assert_eq!(total, model.param_count() * 4);
+    }
+
+    /// The headline correctness test: a distributed column-parallel
+    /// forward must equal the local single-process forward bit-for-bit
+    /// (same adds in the same order per column).
+    #[test]
+    fn distributed_forward_matches_local() {
+        for nodes in [2usize, 4] {
+            let spec = ModelSpec::mlp(3, 17); // odd width: uneven shards
+            let mut model = spec.build(7);
+            let state = state_vec(&mut model);
+            let input = Tensor::rand_uniform(
+                [5, 784],
+                0.0,
+                1.0,
+                &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2),
+            );
+            let expected = model.forward(&input, Mode::Eval);
+
+            let mesh = ChannelTransport::mesh(nodes);
+            let results = thread::scope(|scope| {
+                let handles: Vec<_> = mesh
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, node)| {
+                        let shards = shard_mlp(&spec, &state, rank, nodes);
+                        let input_ref = &input;
+                        scope.spawn(move |_| {
+                            let comm = Communicator::new(node);
+                            let supplied = (rank == 0).then_some(input_ref);
+                            mpi_matrix_forward(&comm, &shards, supplied).unwrap()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+            })
+            .unwrap();
+
+            for (rank, got) in results.iter().enumerate() {
+                assert!(
+                    got.max_abs_diff(&expected) < 1e-5,
+                    "{nodes}-node run, rank {rank} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn communication_grows_with_layers() {
+        // MPI-Matrix sends one all-gather per layer: message count on the
+        // root must scale linearly in depth.
+        let count_messages = |layers: usize| -> u64 {
+            let spec = ModelSpec::mlp(layers, 8);
+            let mut model = spec.build(0);
+            let state = state_vec(&mut model);
+            let mesh = ChannelTransport::mesh(2);
+            let input = Tensor::zeros([1, 784]);
+            thread::scope(|scope| {
+                scope.spawn(|_| {
+                    let shards = shard_mlp(&spec, &state, 1, 2);
+                    let comm = Communicator::new(&mesh[1]);
+                    mpi_matrix_forward(&comm, &shards, None).unwrap();
+                });
+                let shards = shard_mlp(&spec, &state, 0, 2);
+                let comm = Communicator::new(&mesh[0]);
+                mpi_matrix_forward(&comm, &shards, Some(&input)).unwrap();
+            })
+            .unwrap();
+            mesh[0].stats().messages_sent
+        };
+        let shallow = count_messages(2);
+        let deep = count_messages(8);
+        assert!(deep > shallow * 2, "shallow {shallow}, deep {deep}");
+    }
+
+    #[test]
+    #[should_panic(expected = "MPI-Matrix shards MLPs")]
+    fn rejects_cnn_specs() {
+        let spec = ModelSpec::shake_shake(8, 4);
+        shard_mlp(&spec, &[], 0, 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Request-arrival simulation: how a strategy behaves under load.
+//!
+//! The paper's tables report per-inference latency in isolation; a real
+//! deployment serves a *stream* of sensing events. This module runs a
+//! Poisson arrival process through a single-server queue (the master node
+//! serializes inferences) on the deterministic [`EventQueue`], yielding
+//! mean/percentile response times and utilization — the data for the
+//! request-rate ablation.
+
+use crate::des::EventQueue;
+use crate::time::SimTime;
+use rand::Rng;
+
+/// One simulated service episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Requests served.
+    pub served: usize,
+    /// Mean end-to-end response time (waiting + service).
+    pub mean_response: SimTime,
+    /// 95th-percentile response time.
+    pub p95_response: SimTime,
+    /// Fraction of time the server was busy.
+    pub utilization: f64,
+    /// Largest queue depth observed.
+    pub max_queue_depth: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(usize),
+    Departure,
+}
+
+/// Simulates `requests` Poisson arrivals at `rate_hz` into a single server
+/// with deterministic `service` time per request (M/D/1).
+///
+/// # Panics
+///
+/// Panics if `rate_hz <= 0`, `requests == 0` or `service` is zero.
+pub fn simulate_serving(
+    service: SimTime,
+    rate_hz: f64,
+    requests: usize,
+    rng: &mut impl Rng,
+) -> ServingReport {
+    assert!(rate_hz > 0.0, "arrival rate must be positive");
+    assert!(requests > 0, "need at least one request");
+    assert!(service > SimTime::ZERO, "service time must be positive");
+
+    let mut queue = EventQueue::new();
+    // Pre-draw all arrival times (exponential inter-arrivals).
+    let mut t = 0.0f64;
+    let mut arrival_at = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t += -u.ln() / rate_hz;
+        let at = SimTime::from_secs_f64(t);
+        arrival_at.push(at);
+        queue.schedule(at, Event::Arrival(i));
+    }
+
+    let mut waiting: Vec<usize> = Vec::new();
+    let mut busy_until = SimTime::ZERO;
+    let mut busy_total = SimTime::ZERO;
+    let mut in_service: Option<usize> = None;
+    let mut responses: Vec<SimTime> = vec![SimTime::ZERO; requests];
+    let mut max_depth = 0usize;
+    let mut served = 0usize;
+
+    while let Some((now, event)) = queue.next() {
+        match event {
+            Event::Arrival(id) => {
+                if in_service.is_none() && now >= busy_until {
+                    in_service = Some(id);
+                    busy_until = now + service;
+                    busy_total += service;
+                    queue.schedule(busy_until, Event::Departure);
+                } else {
+                    waiting.push(id);
+                    max_depth = max_depth.max(waiting.len());
+                }
+            }
+            Event::Departure => {
+                let id = in_service.take().expect("departure without a job");
+                responses[id] = now.saturating_sub(arrival_at[id]);
+                served += 1;
+                if !waiting.is_empty() {
+                    let next = waiting.remove(0);
+                    in_service = Some(next);
+                    busy_until = now + service;
+                    busy_total += service;
+                    queue.schedule(busy_until, Event::Departure);
+                }
+            }
+        }
+    }
+    // Drain: any job still in service never departed (cannot happen — every
+    // service schedules a departure), but jobs left waiting get the
+    // response time they would have had.
+    debug_assert!(in_service.is_none());
+    debug_assert!(waiting.is_empty());
+
+    let mut sorted: Vec<SimTime> = responses.clone();
+    sorted.sort();
+    let total: f64 = responses.iter().map(|r| r.as_secs_f64()).sum();
+    let horizon = busy_until.max(*arrival_at.last().expect("non-empty"));
+    ServingReport {
+        served,
+        mean_response: SimTime::from_secs_f64(total / requests as f64),
+        p95_response: sorted[(requests * 95 / 100).min(requests - 1)],
+        utilization: (busy_total.as_secs_f64() / horizon.as_secs_f64()).min(1.0),
+        max_queue_depth: max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn light_load_has_no_queueing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 10 ms service, 1 request/s: essentially never queued.
+        let report =
+            simulate_serving(SimTime::from_millis(10), 1.0, 500, &mut rng);
+        assert_eq!(report.served, 500);
+        assert!(report.mean_response.as_millis_f64() < 11.0, "{:?}", report.mean_response);
+        assert!(report.utilization < 0.05, "{}", report.utilization);
+        assert!(report.max_queue_depth <= 1);
+    }
+
+    #[test]
+    fn heavy_load_queues_and_saturates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 10 ms service, 95 req/s → ρ = 0.95: long queues.
+        let report = simulate_serving(SimTime::from_millis(10), 95.0, 2_000, &mut rng);
+        assert!(report.utilization > 0.85, "{}", report.utilization);
+        assert!(
+            report.mean_response.as_millis_f64() > 30.0,
+            "mean response {} should show queueing",
+            report.mean_response
+        );
+        assert!(report.p95_response > report.mean_response);
+    }
+
+    #[test]
+    fn matches_m_d_1_waiting_time_roughly() {
+        // M/D/1: W = ρ·s / (2(1−ρ)); at ρ = 0.5 and s = 10 ms → 5 ms wait,
+        // 15 ms response.
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = simulate_serving(SimTime::from_millis(10), 50.0, 20_000, &mut rng);
+        let mean_ms = report.mean_response.as_millis_f64();
+        assert!((mean_ms - 15.0).abs() < 2.0, "mean response {mean_ms} vs theory 15");
+    }
+
+    #[test]
+    fn faster_service_dominates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let slow = simulate_serving(SimTime::from_millis(20), 20.0, 2_000, &mut rng);
+        let mut rng = StdRng::seed_from_u64(4);
+        let fast = simulate_serving(SimTime::from_millis(5), 20.0, 2_000, &mut rng);
+        assert!(fast.mean_response < slow.mean_response);
+        assert!(fast.utilization < slow.utilization);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        simulate_serving(SimTime::from_millis(1), 0.0, 1, &mut rng);
+    }
+}

@@ -1,0 +1,52 @@
+//! # teamnet-simnet
+//!
+//! A discrete-event simulator of WiFi-connected edge devices, standing in
+//! for the physical testbed of the TeamNet (ICDCS 2019) paper (Raspberry
+//! Pi 3 Model B+ and Jetson TX2 boards on one 802.11 BSS).
+//!
+//! Three pieces compose:
+//!
+//! * [`DeviceProfile`] — effective-roofline compute/memory models of the
+//!   paper's three hardware configurations (RPi CPU, Jetson CPU, Jetson
+//!   GPU), calibrated against the paper's single-device baseline rows;
+//! * [`WifiLink`] — a shared-medium link model with per-message overhead
+//!   and finite goodput (the two properties that decide every distributed
+//!   comparison in the paper);
+//! * [`SimCluster`] / [`SimRun`] — vector-clock simulation of a
+//!   distributed inference expressed as compute/send/broadcast/gather
+//!   steps, yielding latency and utilization reports.
+//!
+//! [`EventQueue`] provides the underlying deterministic event ordering for
+//! request-arrival simulations in the benchmark harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use teamnet_simnet::{ComputeUnit, DeviceProfile, SimCluster};
+//!
+//! // Two Jetsons collaborating TeamNet-style on one input.
+//! let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2);
+//! let mut run = cluster.run();
+//! run.broadcast(0, 3_136);                        // master ships the image
+//! run.compute(0, 750_000, 4, ComputeUnit::Cpu);   // both experts in parallel
+//! run.compute(1, 750_000, 4, ComputeUnit::Cpu);
+//! run.gather(0, 64);                              // worker returns its result
+//! let report = run.finish(None);
+//! assert!(report.makespan.as_millis_f64() < 10.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arrivals;
+mod des;
+mod device;
+mod link;
+mod sim;
+mod time;
+
+pub use arrivals::{simulate_serving, ServingReport};
+pub use des::EventQueue;
+pub use device::{ComputeUnit, DeviceProfile};
+pub use link::WifiLink;
+pub use sim::{SimCluster, SimReport, SimRun};
+pub use time::SimTime;

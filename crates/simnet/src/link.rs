@@ -1,0 +1,84 @@
+//! The WiFi link model.
+//!
+//! All devices in the paper's testbed share one 802.11 BSS. Two properties
+//! of that medium drive every distributed result in the evaluation:
+//!
+//! 1. every message pays a fixed per-transmission overhead (contention,
+//!    preamble, ACK) regardless of size — this is the "fixed cost over the
+//!    WiFi communication" the paper blames for TeamNet losing to the
+//!    baseline on small GPU models;
+//! 2. the medium is shared — concurrent transmissions serialize, so a
+//!    "broadcast" to k peers costs k airtimes.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A shared-medium wireless link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WifiLink {
+    /// Fixed per-message latency: medium access + preamble + kernel/network
+    /// stack traversal on both ends.
+    pub per_message_overhead: SimTime,
+    /// Effective application-layer throughput in megabits per second.
+    pub bandwidth_mbps: f64,
+}
+
+impl WifiLink {
+    /// A typical 802.11n home/lab network as seen by TCP payloads:
+    /// ~0.4 ms per-message overhead, ~90 Mbit/s goodput.
+    pub fn wifi_80211n() -> Self {
+        WifiLink { per_message_overhead: SimTime::from_micros(400), bandwidth_mbps: 90.0 }
+    }
+
+    /// A congested or long-range WiFi link (~5 ms overhead, 20 Mbit/s).
+    pub fn wifi_congested() -> Self {
+        WifiLink { per_message_overhead: SimTime::from_micros(5_000), bandwidth_mbps: 20.0 }
+    }
+
+    /// A wired-Ethernet-class link for ablations (0.2 ms, 940 Mbit/s).
+    pub fn ethernet() -> Self {
+        WifiLink { per_message_overhead: SimTime::from_micros(200), bandwidth_mbps: 940.0 }
+    }
+
+    /// Airtime of one `bytes`-byte message.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        let serialization = SimTime::from_secs_f64(bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6));
+        self.per_message_overhead + serialization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_messages_pay_mostly_overhead() {
+        let link = WifiLink::wifi_80211n();
+        let tiny = link.transfer_time(100);
+        // 100 bytes at 90 Mbit/s ≈ 9 µs of serialization; overhead dominates.
+        assert!((tiny.as_millis_f64() - 0.4).abs() < 0.1, "{tiny}");
+    }
+
+    #[test]
+    fn large_messages_are_bandwidth_bound() {
+        let link = WifiLink::wifi_80211n();
+        let mb = link.transfer_time(1_000_000);
+        // 8 Mbit / 90 Mbit/s ≈ 89 ms.
+        assert!((mb.as_millis_f64() - 89.3).abs() < 3.0, "{mb}");
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_size() {
+        let link = WifiLink::wifi_congested();
+        assert!(link.transfer_time(10) < link.transfer_time(1_000));
+        assert!(link.transfer_time(1_000) < link.transfer_time(100_000));
+    }
+
+    #[test]
+    fn ethernet_beats_wifi() {
+        let bytes = 50_000;
+        assert!(
+            WifiLink::ethernet().transfer_time(bytes) < WifiLink::wifi_80211n().transfer_time(bytes)
+        );
+    }
+}

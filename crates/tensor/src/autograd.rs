@@ -1,0 +1,647 @@
+//! A small reverse-mode automatic-differentiation tape.
+//!
+//! TeamNet's dynamic gate (Algorithm 2 of the paper) trains a multilayer
+//! perceptron `W(z, Θ)` through a chain of soft-argmin, Kronecker-delta
+//! approximation and absolute-deviation operations. Hand-deriving that
+//! gradient is error-prone, so this module provides a classic Wengert tape:
+//! operations append nodes in topological order and [`Tape::backward`]
+//! propagates adjoints in reverse.
+//!
+//! The expert networks themselves use the faster hand-written layer
+//! backward passes in `teamnet-nn`; the tape is reserved for small, twisty
+//! computations like the gate loss.
+//!
+//! # Examples
+//!
+//! ```
+//! use teamnet_tensor::{Tape, Tensor};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.param(Tensor::from_vec(vec![3.0], [1])?);
+//! let y = tape.mul(x, x); // y = x²
+//! let grads = tape.backward(y);
+//! assert_eq!(grads.of(x).unwrap().data(), &[6.0]); // dy/dx = 2x
+//! # Ok::<(), teamnet_tensor::TensorError>(())
+//! ```
+
+use crate::tensor::Tensor;
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Neg(Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Relu(Var),
+    Tanh(Var),
+    Abs(Var),
+    Exp(Var),
+    Matmul(Var, Var),
+    /// `[rows, cols] + [cols]`, broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    /// `[rows, cols] * [cols]`, broadcast over rows.
+    MulRowBroadcast(Var, Var),
+    /// `[rows, 1] → [rows, k]`, value replicated across columns.
+    BroadcastCols(Var, usize),
+    /// Mean over axis 0: `[rows, cols] → [cols]`.
+    MeanAxis0(Var),
+    /// Row-wise softmax of a rank-2 tensor.
+    SoftmaxRows(Var),
+    /// Sum of all elements → scalar.
+    Sum(Var),
+    /// Mean of all elements → scalar.
+    Mean(Var),
+    /// Shape change with identical volume.
+    Reshape(Var),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// Gradients returned by [`Tape::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the backward seed with respect to `var`, or `None`
+    /// if `var` did not require gradients or was not reached.
+    pub fn of(&self, var: Var) -> Option<&Tensor> {
+        self.grads.get(var.0).and_then(|g| g.as_ref())
+    }
+}
+
+/// A reverse-mode autodiff tape over [`Tensor`] values.
+///
+/// Nodes are appended in topological order by construction, so the backward
+/// sweep is a single reverse pass. A `Tape` is intended to be built, run
+/// backward once, and dropped; re-use across iterations is done by building
+/// a fresh tape (cheap — values are moved in, not copied).
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The current value of `var`.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    /// Records a trainable leaf (gradients will be computed for it).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Records a constant leaf (no gradient is accumulated for it).
+    pub fn constant(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn unary(&mut self, a: Var, value: Tensor, op: Op) -> Var {
+        let rg = self.nodes[a.0].requires_grad;
+        self.push(value, op, rg)
+    }
+
+    fn binary(&mut self, a: Var, b: Var, value: Tensor, op: Op) -> Var {
+        let rg = self.nodes[a.0].requires_grad || self.nodes[b.0].requires_grad;
+        self.push(value, op, rg)
+    }
+
+    /// Element-wise sum. Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.binary(a, b, v, Op::Add(a, b))
+    }
+
+    /// Element-wise difference. Panics on shape mismatch.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.binary(a, b, v, Op::Sub(a, b))
+    }
+
+    /// Element-wise product. Panics on shape mismatch.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = &self.nodes[a.0].value * &self.nodes[b.0].value;
+        self.binary(a, b, v, Op::Mul(a, b))
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = -&self.nodes[a.0].value;
+        self.unary(a, v, Op::Neg(a))
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.scale(s);
+        self.unary(a, v, Op::Scale(a, s))
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.0].value.add_scalar(s);
+        self.unary(a, v, Op::AddScalar(a))
+    }
+
+    /// Rectified linear unit (subgradient 0 at the kink).
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.relu();
+        self.unary(a, v, Op::Relu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.tanh();
+        self.unary(a, v, Op::Tanh(a))
+    }
+
+    /// Absolute value (subgradient 0 at the kink).
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.abs();
+        self.unary(a, v, Op::Abs(a))
+    }
+
+    /// Natural exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.exp();
+        self.unary(a, v, Op::Exp(a))
+    }
+
+    /// Matrix product of two rank-2 values. Panics on dimension mismatch.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.binary(a, b, v, Op::Matmul(a, b))
+    }
+
+    /// Adds a `[cols]` row vector to every row of a `[rows, cols]` matrix.
+    pub fn add_row_broadcast(&mut self, m: Var, row: Var) -> Var {
+        let v = self.nodes[m.0].value.add_row_broadcast(&self.nodes[row.0].value);
+        self.binary(m, row, v, Op::AddRowBroadcast(m, row))
+    }
+
+    /// Multiplies every row of a `[rows, cols]` matrix element-wise by a
+    /// `[cols]` vector.
+    pub fn mul_row_broadcast(&mut self, m: Var, row: Var) -> Var {
+        let mv = &self.nodes[m.0].value;
+        let rv = &self.nodes[row.0].value;
+        assert_eq!(mv.rank(), 2, "mul_row_broadcast() requires a rank-2 matrix");
+        assert_eq!(rv.rank(), 1, "mul_row_broadcast() requires a rank-1 vector");
+        assert_eq!(mv.dims()[1], rv.dims()[0], "mul_row_broadcast() column mismatch");
+        let mut out = mv.clone();
+        for r in 0..mv.dims()[0] {
+            for (o, &s) in out.row_mut(r).iter_mut().zip(rv.data()) {
+                *o *= s;
+            }
+        }
+        self.binary(m, row, out, Op::MulRowBroadcast(m, row))
+    }
+
+    /// Replicates a `[rows, 1]` column across `k` columns → `[rows, k]`.
+    pub fn broadcast_cols(&mut self, a: Var, k: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.rank(), 2, "broadcast_cols() requires a rank-2 input");
+        assert_eq!(av.dims()[1], 1, "broadcast_cols() requires a single column");
+        let rows = av.dims()[0];
+        let mut out = Vec::with_capacity(rows * k);
+        for r in 0..rows {
+            out.extend(std::iter::repeat_n(av.data()[r], k));
+        }
+        let v = Tensor::from_vec(out, [rows, k]).expect("broadcast volume");
+        self.unary(a, v, Op::BroadcastCols(a, k))
+    }
+
+    /// Mean over rows of a `[rows, cols]` matrix → `[cols]`.
+    pub fn mean_axis0(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.rank(), 2, "mean_axis0() requires a rank-2 input");
+        let rows = av.dims()[0] as f32;
+        let v = av.sum_cols().scale(1.0 / rows);
+        self.unary(a, v, Op::MeanAxis0(a))
+    }
+
+    /// Row-wise softmax of a rank-2 value.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.0].value.softmax_rows();
+        self.unary(a, v, Op::SoftmaxRows(a))
+    }
+
+    /// Sum of all elements, as a scalar node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        self.unary(a, v, Op::Sum(a))
+    }
+
+    /// Mean of all elements, as a scalar node.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.0].value.mean());
+        self.unary(a, v, Op::Mean(a))
+    }
+
+    /// Reshapes a value to new dimensions of identical volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
+        let v = self.nodes[a.0]
+            .value
+            .reshape(dims.to_vec())
+            .expect("reshape volume mismatch");
+        self.unary(a, v, Op::Reshape(a))
+    }
+
+    /// Runs the backward sweep from `seed` (which must be a scalar node)
+    /// and returns the accumulated gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed` holds more than one element.
+    pub fn backward(&self, seed: Var) -> Gradients {
+        assert_eq!(
+            self.nodes[seed.0].value.len(),
+            1,
+            "backward() seed must be a scalar"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[seed.0] = Some(Tensor::full(self.nodes[seed.0].value.shape().clone(), 1.0));
+
+        for i in (0..=seed.0).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            self.propagate(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    fn accumulate(&self, grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
+        if !self.nodes[var.0].requires_grad {
+            return;
+        }
+        match &mut grads[var.0] {
+            Some(g) => g.axpy(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+        match self.nodes[i].op.clone() {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accumulate(grads, a, g.clone());
+                self.accumulate(grads, b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(grads, a, g.clone());
+                self.accumulate(grads, b, -g);
+            }
+            Op::Mul(a, b) => {
+                let ga = g * &self.nodes[b.0].value;
+                let gb = g * &self.nodes[a.0].value;
+                self.accumulate(grads, a, ga);
+                self.accumulate(grads, b, gb);
+            }
+            Op::Neg(a) => self.accumulate(grads, a, -g),
+            Op::Scale(a, s) => self.accumulate(grads, a, g.scale(s)),
+            Op::AddScalar(a) => self.accumulate(grads, a, g.clone()),
+            Op::Relu(a) => {
+                let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                self.accumulate(grads, a, g * &mask);
+            }
+            Op::Tanh(a) => {
+                // d tanh = 1 - tanh², using the cached forward value.
+                let one_minus = self.nodes[i].value.map(|y| 1.0 - y * y);
+                self.accumulate(grads, a, g * &one_minus);
+            }
+            Op::Abs(a) => {
+                let sign = self.nodes[a.0].value.map(|x| {
+                    if x > 0.0 {
+                        1.0
+                    } else if x < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    }
+                });
+                self.accumulate(grads, a, g * &sign);
+            }
+            Op::Exp(a) => {
+                let gy = g * &self.nodes[i].value;
+                self.accumulate(grads, a, gy);
+            }
+            Op::Matmul(a, b) => {
+                let ga = g.matmul(&self.nodes[b.0].value.transpose());
+                let gb = self.nodes[a.0].value.transpose().matmul(g);
+                self.accumulate(grads, a, ga);
+                self.accumulate(grads, b, gb);
+            }
+            Op::AddRowBroadcast(m, row) => {
+                self.accumulate(grads, m, g.clone());
+                self.accumulate(grads, row, g.sum_cols());
+            }
+            Op::MulRowBroadcast(m, row) => {
+                let mv = &self.nodes[m.0].value;
+                let rv = &self.nodes[row.0].value;
+                let mut gm = g.clone();
+                for r in 0..gm.dims()[0] {
+                    for (o, &s) in gm.row_mut(r).iter_mut().zip(rv.data()) {
+                        *o *= s;
+                    }
+                }
+                self.accumulate(grads, m, gm);
+                self.accumulate(grads, row, (g * mv).sum_cols());
+            }
+            Op::BroadcastCols(a, _k) => {
+                let rows = self.nodes[a.0].value.dims()[0];
+                let summed = g.sum_rows().into_reshaped([rows, 1]).expect("broadcast grad reshape");
+                self.accumulate(grads, a, summed);
+            }
+            Op::MeanAxis0(a) => {
+                let rows = self.nodes[a.0].value.dims()[0];
+                let cols = self.nodes[a.0].value.dims()[1];
+                let scale = 1.0 / rows as f32;
+                let mut out = Vec::with_capacity(rows * cols);
+                for _ in 0..rows {
+                    out.extend(g.data().iter().map(|&x| x * scale));
+                }
+                let t = Tensor::from_vec(out, [rows, cols]).expect("mean_axis0 grad volume");
+                self.accumulate(grads, a, t);
+            }
+            Op::SoftmaxRows(a) => {
+                // dx = s ⊙ (g − (g·s) 1ᵀ) per row.
+                let s = &self.nodes[i].value;
+                let mut out = g.clone();
+                for r in 0..s.dims()[0] {
+                    let srow = s.row(r);
+                    let grow = out.row_mut(r);
+                    let dot: f32 = grow.iter().zip(srow).map(|(&gv, &sv)| gv * sv).sum();
+                    for (o, &sv) in grow.iter_mut().zip(srow) {
+                        *o = sv * (*o - dot);
+                    }
+                }
+                self.accumulate(grads, a, out);
+            }
+            Op::Sum(a) => {
+                let shape = self.nodes[a.0].value.shape().clone();
+                self.accumulate(grads, a, Tensor::full(shape, g.item()));
+            }
+            Op::Mean(a) => {
+                let n = self.nodes[a.0].value.len() as f32;
+                let shape = self.nodes[a.0].value.shape().clone();
+                self.accumulate(grads, a, Tensor::full(shape, g.item() / n));
+            }
+            Op::Reshape(a) => {
+                let dims = self.nodes[a.0].value.dims().to_vec();
+                let back = g.reshape(dims).expect("reshape gradient volume");
+                self.accumulate(grads, a, back);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Checks d(loss)/d(param) against central finite differences for an
+    /// arbitrary scalar-valued tape program.
+    fn finite_diff_check(
+        build: impl Fn(&mut Tape, Tensor) -> (Var, Var), // (param, loss)
+        param: Tensor,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let (p, loss) = build(&mut tape, param.clone());
+        let grads = tape.backward(loss);
+        let analytic = grads.of(p).expect("param must receive a gradient").clone();
+
+        let eps = 1e-3;
+        for idx in 0..param.len() {
+            let mut plus = param.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = param.clone();
+            minus.data_mut()[idx] -= eps;
+            let mut tp = Tape::new();
+            let (_, lp) = build(&mut tp, plus);
+            let mut tm = Tape::new();
+            let (_, lm) = build(&mut tm, minus);
+            let num = (tp.value(lp).item() - tm.value(lm).item()) / (2.0 * eps);
+            let ana = analytic.data()[idx];
+            assert!(
+                (num - ana).abs() < tol * (1.0 + ana.abs()),
+                "grad[{idx}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn square_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![3.0], [1]).unwrap());
+        let y = tape.mul(x, x);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.of(x).unwrap().data(), &[6.0]);
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![2.0], [1]).unwrap());
+        let c = tape.constant(Tensor::from_vec(vec![5.0], [1]).unwrap());
+        let y = tape.mul(x, c);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.of(x).unwrap().data(), &[5.0]);
+        assert!(grads.of(c).is_none());
+    }
+
+    #[test]
+    fn gradient_accumulates_across_fanout() {
+        // y = x*x + x  =>  dy/dx = 2x + 1
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![4.0], [1]).unwrap());
+        let sq = tape.mul(x, x);
+        let y = tape.add(sq, x);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        assert_eq!(grads.of(x).unwrap().data(), &[9.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let b = Tensor::randn([3, 2], 0.0, 1.0, &mut rng);
+        finite_diff_check(
+            move |tape, p| {
+                let p_var = tape.param(p);
+                let b_var = tape.constant(b.clone());
+                let y = tape.matmul(p_var, b_var);
+                let loss = tape.sum(y);
+                (p_var, loss)
+            },
+            Tensor::randn([2, 3], 0.0, 1.0, &mut rng),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn mlp_like_chain_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::randn([4, 3], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn([2], 0.0, 1.0, &mut rng);
+        finite_diff_check(
+            move |tape, p| {
+                let w = tape.param(p);
+                let xv = tape.constant(x.clone());
+                let bv = tape.constant(bias.clone());
+                let h = tape.matmul(xv, w);
+                let hb = tape.add_row_broadcast(h, bv);
+                let a = tape.tanh(hb);
+                let loss = tape.mean(a);
+                (w, loss)
+            },
+            Tensor::randn([3, 2], 0.0, 0.7, &mut rng),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_rows_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let weights = Tensor::randn([2, 4], 0.0, 1.0, &mut rng);
+        finite_diff_check(
+            move |tape, p| {
+                let x = tape.param(p);
+                let s = tape.softmax_rows(x);
+                let w = tape.constant(weights.clone());
+                let y = tape.mul(s, w);
+                let loss = tape.sum(y);
+                (x, loss)
+            },
+            Tensor::randn([2, 4], 0.0, 1.0, &mut rng),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gate_shaped_program_matches_finite_differences() {
+        // The exact op chain Algorithm 2 uses: δ = 1 + Φ·Δ; soft-argmin of
+        // δ⊙H; Kronecker approximation; per-expert means; L1 distance.
+        let mut rng = StdRng::seed_from_u64(14);
+        let entropy = Tensor::rand_uniform([6, 3], 0.1, 2.0, &mut rng);
+        let target = Tensor::from_vec(vec![0.3, 0.3, 0.4], [3]).unwrap();
+        finite_diff_check(
+            move |tape, phi| {
+                let k = 3usize;
+                let phi_var = tape.param(phi); // stands in for W(z, Θ) output, shape [k]
+                let delta = {
+                    let scaled = tape.scale(phi_var, 0.5); // Δ = 0.5
+                    tape.add_scalar(scaled, 1.0)
+                };
+                let h = tape.constant(entropy.clone());
+                let weighted = tape.mul_row_broadcast(h, delta);
+                let neg = tape.scale(weighted, -4.0); // b = 4
+                let soft = tape.softmax_rows(neg);
+                let idx = tape.constant(Tensor::arange(k).into_reshaped([k, 1]).unwrap());
+                let gbar = tape.matmul(soft, idx); // [n, 1]
+                let rep = tape.broadcast_cols(gbar, k);
+                let ids = tape.constant(Tensor::arange(k).scale(-1.0));
+                let shifted = tape.add_row_broadcast(rep, ids);
+                let dist = tape.abs(shifted);
+                let ndist = tape.neg(dist);
+                let ramp = tape.add_scalar(ndist, 0.5);
+                let r = tape.relu(ramp);
+                let sc = tape.scale(r, 10.0);
+                let kron = tape.tanh(sc);
+                let gamma_bar = tape.mean_axis0(kron);
+                let tv = tape.constant(target.clone());
+                let diff = tape.sub(gamma_bar, tv);
+                let adiff = tape.abs(diff);
+                let total = tape.sum(adiff);
+                let loss = tape.scale(total, 1.0 / k as f32);
+                (phi_var, loss)
+            },
+            Tensor::rand_uniform([3], -0.4, 0.4, &mut rng),
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn exp_abs_neg_ops() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![-2.0, 0.5], [2]).unwrap());
+        let e = tape.exp(x);
+        let a = tape.abs(x);
+        let n = tape.neg(x);
+        let s1 = tape.sum(e);
+        assert!((tape.value(s1).item() - ((-2.0f32).exp() + 0.5f32.exp())).abs() < 1e-6);
+        let s2 = tape.sum(a);
+        assert!((tape.value(s2).item() - 2.5).abs() < 1e-6);
+        let s3 = tape.sum(n);
+        assert!((tape.value(s3).item() - 1.5).abs() < 1e-6);
+        let g = tape.backward(s2);
+        assert_eq!(g.of(x).unwrap().data(), &[-1.0, 1.0]);
+    }
+
+    #[test]
+    fn reshape_passes_gradient_through() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap());
+        let flat = tape.reshape(x, &[4]);
+        let y = tape.mul(flat, flat);
+        let s = tape.sum(y);
+        let grads = tape.backward(s);
+        let gx = grads.of(x).unwrap();
+        assert_eq!(gx.dims(), &[2, 2]);
+        assert_eq!(gx.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a scalar")]
+    fn backward_rejects_nonscalar_seed() {
+        let mut tape = Tape::new();
+        let x = tape.param(Tensor::zeros([2]));
+        tape.backward(x);
+    }
+}

@@ -1,0 +1,421 @@
+//! 2-D convolution and pooling kernels (NCHW layout), with exact backward
+//! passes, implemented via im2col/col2im.
+//!
+//! These are free functions rather than `Tensor` methods because they take
+//! several configuration parameters; the [`Conv2dSpec`] struct groups them.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution: kernel size, stride and symmetric zero
+/// padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Kernel height and width (square kernels only).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Symmetric zero padding added to each spatial border.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec; `stride` must be positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec { kernel, stride, padding }
+    }
+
+    /// Output spatial size for an input spatial size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn out_size(&self, input: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        assert!(padded >= self.kernel, "kernel {} larger than padded input {}", self.kernel, padded);
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// Unfolds one `[c, h, w]` image into an im2col matrix
+/// `[c*k*k, oh*ow]` so convolution becomes a matmul.
+fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Tensor {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    let mut cols = vec![0.0f32; c * k * k * oh * ow];
+    let col_w = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        let v = if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            img[(ch * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        cols[row * col_w + oy * ow + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, [c * k * k, col_w]).expect("im2col volume by construction")
+}
+
+/// Inverse scatter of [`im2col`]: accumulates a `[c*k*k, oh*ow]` gradient
+/// matrix back into a `[c, h, w]` image gradient.
+fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Vec<f32> {
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let k = spec.kernel;
+    let mut img = vec![0.0f32; c * h * w];
+    let data = cols.data();
+    let col_w = oh * ow;
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ch * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img[(ch * h + iy as usize) * w + ix as usize] +=
+                            data[row * col_w + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input`: `[n, ic, h, w]`
+/// * `weight`: `[oc, ic, k, k]`
+/// * `bias`: `[oc]`
+///
+/// Returns `[n, oc, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on any rank or dimension mismatch.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "conv2d input must be [n, c, h, w]");
+    assert_eq!(weight.rank(), 4, "conv2d weight must be [oc, ic, k, k]");
+    let (n, ic, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let oc = weight.dims()[0];
+    assert_eq!(weight.dims()[1], ic, "conv2d channel mismatch");
+    assert_eq!(weight.dims()[2], spec.kernel, "conv2d kernel mismatch");
+    assert_eq!(weight.dims()[3], spec.kernel, "conv2d kernel mismatch");
+    assert_eq!(bias.dims(), &[oc], "conv2d bias must be [oc]");
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    let w_mat = weight.reshape([oc, ic * spec.kernel * spec.kernel]).expect("weight reshape");
+
+    let img_len = ic * h * w;
+    let mut out = Vec::with_capacity(n * oc * oh * ow);
+    for s in 0..n {
+        let cols = im2col(&input.data()[s * img_len..(s + 1) * img_len], ic, h, w, spec);
+        let y = w_mat.matmul(&cols); // [oc, oh*ow]
+        for ch in 0..oc {
+            let b = bias.data()[ch];
+            out.extend(y.row(ch).iter().map(|&v| v + b));
+        }
+    }
+    Tensor::from_vec(out, [n, oc, oh, ow]).expect("conv2d output volume by construction")
+}
+
+/// Gradients of [`conv2d`] with respect to its input, weight and bias.
+///
+/// `grad_out` has the forward output's shape `[n, oc, oh, ow]`. Returns
+/// `(grad_input, grad_weight, grad_bias)` with the corresponding operand
+/// shapes.
+///
+/// # Panics
+///
+/// Panics on any rank or dimension mismatch.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    let (n, ic, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let oc = weight.dims()[0];
+    let (oh, ow) = (spec.out_size(h), spec.out_size(w));
+    assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d_backward grad_out shape mismatch");
+
+    let k2 = spec.kernel * spec.kernel;
+    let w_mat = weight.reshape([oc, ic * k2]).expect("weight reshape");
+    let w_mat_t = w_mat.transpose();
+
+    let img_len = ic * h * w;
+    let out_len = oc * oh * ow;
+    let mut grad_input = Vec::with_capacity(n * img_len);
+    let mut grad_w = Tensor::zeros([oc, ic * k2]);
+    let mut grad_b = vec![0.0f32; oc];
+
+    for s in 0..n {
+        let go = Tensor::from_vec(grad_out.data()[s * out_len..(s + 1) * out_len].to_vec(), [oc, oh * ow])
+            .expect("grad_out slice");
+        // Bias gradient: sum over spatial positions.
+        for (ch, gb) in grad_b.iter_mut().enumerate() {
+            *gb += go.row(ch).iter().sum::<f32>();
+        }
+        // Weight gradient: dW += dY · colsᵀ.
+        let cols = im2col(&input.data()[s * img_len..(s + 1) * img_len], ic, h, w, spec);
+        grad_w.axpy(1.0, &go.matmul(&cols.transpose()));
+        // Input gradient: dcols = Wᵀ · dY, scattered by col2im.
+        let dcols = w_mat_t.matmul(&go);
+        grad_input.extend(col2im(&dcols, ic, h, w, spec));
+    }
+
+    (
+        Tensor::from_vec(grad_input, [n, ic, h, w]).expect("grad_input volume"),
+        grad_w.into_reshaped([oc, ic, spec.kernel, spec.kernel]).expect("grad_w reshape"),
+        Tensor::from_vec(grad_b, [oc]).expect("grad_b volume"),
+    )
+}
+
+/// Non-overlapping average pooling over `window × window` tiles.
+///
+/// Input `[n, c, h, w]` with `h`, `w` divisible by `window`; output
+/// `[n, c, h/window, w/window]`.
+///
+/// # Panics
+///
+/// Panics if the spatial dimensions are not divisible by `window`.
+pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
+    assert_eq!(input.rank(), 4, "avg_pool2d input must be [n, c, h, w]");
+    assert!(window > 0, "window must be positive");
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    assert_eq!(h % window, 0, "height {h} not divisible by window {window}");
+    assert_eq!(w % window, 0, "width {w} not divisible by window {window}");
+    let (oh, ow) = (h / window, w / window);
+    let scale = 1.0 / (window * window) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            let obase = (s * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            acc += input.data()[base + (oy * window + dy) * w + ox * window + dx];
+                        }
+                    }
+                    out[obase + oy * ow + ox] = acc * scale;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, oh, ow]).expect("avg_pool2d volume by construction")
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient evenly over
+/// its input window.
+///
+/// # Panics
+///
+/// Panics on shape mismatch between `grad_out` and the pooled geometry.
+pub fn avg_pool2d_backward(grad_out: &Tensor, input_h: usize, input_w: usize, window: usize) -> Tensor {
+    assert_eq!(grad_out.rank(), 4, "avg_pool2d_backward grad must be [n, c, oh, ow]");
+    let (n, c, oh, ow) = (
+        grad_out.dims()[0],
+        grad_out.dims()[1],
+        grad_out.dims()[2],
+        grad_out.dims()[3],
+    );
+    assert_eq!(oh * window, input_h, "pooled height mismatch");
+    assert_eq!(ow * window, input_w, "pooled width mismatch");
+    let scale = 1.0 / (window * window) as f32;
+    let mut out = vec![0.0f32; n * c * input_h * input_w];
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * input_h * input_w;
+            let obase = (s * c + ch) * oh * ow;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = grad_out.data()[obase + oy * ow + ox] * scale;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            out[base + (oy * window + dy) * input_w + ox * window + dx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, input_h, input_w]).expect("avg_pool2d_backward volume")
+}
+
+/// Global average pooling: `[n, c, h, w] → [n, c]`.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 4, "global_avg_pool input must be [n, c, h, w]");
+    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let scale = 1.0 / (h * w) as f32;
+    let mut out = Vec::with_capacity(n * c);
+    for s in 0..n {
+        for ch in 0..c {
+            let base = (s * c + ch) * h * w;
+            out.push(input.data()[base..base + h * w].iter().sum::<f32>() * scale);
+        }
+    }
+    Tensor::from_vec(out, [n, c]).expect("global_avg_pool volume")
+}
+
+/// Backward pass of [`global_avg_pool`].
+pub fn global_avg_pool_backward(grad_out: &Tensor, h: usize, w: usize) -> Tensor {
+    assert_eq!(grad_out.rank(), 2, "global_avg_pool_backward grad must be [n, c]");
+    let (n, c) = (grad_out.dims()[0], grad_out.dims()[1]);
+    let scale = 1.0 / (h * w) as f32;
+    let mut out = Vec::with_capacity(n * c * h * w);
+    for &g in grad_out.data() {
+        out.extend(std::iter::repeat_n(g * scale, h * w));
+    }
+    Tensor::from_vec(out, [n, c, h, w]).expect("global_avg_pool_backward volume")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_size_formula() {
+        let spec = Conv2dSpec::new(3, 1, 1);
+        assert_eq!(spec.out_size(8), 8); // "same" convolution
+        assert_eq!(Conv2dSpec::new(3, 2, 1).out_size(8), 4);
+        assert_eq!(Conv2dSpec::new(2, 2, 0).out_size(8), 4);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // A 1x1 kernel with weight 1 and bias 0 is the identity.
+        let input = Tensor::arange(2 * 3 * 4).into_reshaped([1, 2, 3, 4]).unwrap();
+        let mut weight = Tensor::zeros([2, 2, 1, 1]);
+        weight.set(&[0, 0, 0, 0], 1.0);
+        weight.set(&[1, 1, 0, 0], 1.0);
+        let out = conv2d(&input, &weight, &Tensor::zeros([2]), Conv2dSpec::new(1, 1, 0));
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_hand_computed() {
+        // 1 sample, 1 channel, 3x3 input; 2x2 kernel of ones, stride 1: each
+        // output is the sum of a 2x2 window.
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            [1, 1, 3, 3],
+        )
+        .unwrap();
+        let weight = Tensor::ones([1, 1, 2, 2]);
+        let bias = Tensor::from_vec(vec![0.5], [1]).unwrap();
+        let out = conv2d(&input, &weight, &bias, Conv2dSpec::new(2, 1, 0));
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[12.5, 16.5, 24.5, 28.5]);
+    }
+
+    #[test]
+    fn conv2d_padding_zero_extends() {
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let weight = Tensor::ones([1, 1, 3, 3]);
+        let out = conv2d(&input, &weight, &Tensor::zeros([1]), Conv2dSpec::new(3, 1, 1));
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        // Every 3x3 window sees exactly the 4 ones.
+        assert_eq!(out.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    /// Finite-difference check of every conv2d gradient.
+    #[test]
+    fn conv2d_backward_matches_finite_differences() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let input = Tensor::randn([2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn([3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn([3], 0.0, 0.5, &mut rng);
+
+        // Scalar objective: sum of outputs, so dL/dy = 1 everywhere.
+        let loss = |inp: &Tensor, wt: &Tensor, b: &Tensor| conv2d(inp, wt, b, spec).sum();
+        let out = conv2d(&input, &weight, &bias, spec);
+        let ones = Tensor::ones(out.shape().clone());
+        let (gi, gw, gb) = conv2d_backward(&input, &weight, &ones, spec);
+
+        let eps = 1e-2;
+        let check = |analytic: &Tensor, which: &str, perturb: &dyn Fn(usize, f32) -> f32| {
+            for probe in [0usize, analytic.len() / 2, analytic.len() - 1] {
+                let num = (perturb(probe, eps) - perturb(probe, -eps)) / (2.0 * eps);
+                let ana = analytic.data()[probe];
+                assert!(
+                    (num - ana).abs() < 1e-2 * (1.0 + ana.abs()),
+                    "{which}[{probe}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        };
+        check(&gi, "grad_input", &|i, d| {
+            let mut p = input.clone();
+            p.data_mut()[i] += d;
+            loss(&p, &weight, &bias)
+        });
+        check(&gw, "grad_weight", &|i, d| {
+            let mut p = weight.clone();
+            p.data_mut()[i] += d;
+            loss(&input, &p, &bias)
+        });
+        check(&gb, "grad_bias", &|i, d| {
+            let mut p = bias.clone();
+            p.data_mut()[i] += d;
+            loss(&input, &weight, &p)
+        });
+    }
+
+    #[test]
+    fn avg_pool_forward_and_backward() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            [1, 1, 4, 4],
+        )
+        .unwrap();
+        let out = avg_pool2d(&input, 2);
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[3.5, 5.5, 11.5, 13.5]);
+        let grad = avg_pool2d_backward(&Tensor::ones([1, 1, 2, 2]), 4, 4, 2);
+        // Each input cell receives 1/4 of its window's gradient.
+        assert!(grad.data().iter().all(|&g| (g - 0.25).abs() < 1e-7));
+        assert!((grad.sum() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let input = Tensor::arange(2 * 3 * 2 * 2).into_reshaped([2, 3, 2, 2]).unwrap();
+        let out = global_avg_pool(&input);
+        assert_eq!(out.dims(), &[2, 3]);
+        assert_eq!(out.at(&[0, 0]), 1.5); // mean of 0..4
+        let back = global_avg_pool_backward(&out, 2, 2);
+        assert_eq!(back.dims(), &[2, 3, 2, 2]);
+        assert!((back.at(&[0, 0, 0, 0]) - 1.5 / 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn avg_pool_rejects_indivisible() {
+        avg_pool2d(&Tensor::zeros([1, 1, 3, 3]), 2);
+    }
+}

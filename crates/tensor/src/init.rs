@@ -1,0 +1,130 @@
+//! Random tensor initialization schemes.
+//!
+//! All constructors take an explicit `&mut impl Rng` so experiments are
+//! reproducible from a single seed threaded through the whole workspace.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+use rand_distributions::StandardNormal;
+
+/// A tiny internal normal sampler (Box–Muller) so we do not need
+/// `rand_distr`; exposed as a module to keep `init` self-contained.
+mod rand_distributions {
+    use rand::Rng;
+
+    /// Marker type: sample standard-normal variates via Box–Muller.
+    pub struct StandardNormal;
+
+    impl StandardNormal {
+        /// Draws one N(0, 1) sample.
+        pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+            // Box–Muller transform; u1 in (0, 1] avoids ln(0).
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        }
+    }
+}
+
+impl Tensor {
+    /// Tensor with entries drawn i.i.d. from N(`mean`, `std`²).
+    pub fn randn(shape: impl Into<Shape>, mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.volume())
+            .map(|_| mean + std * StandardNormal::sample(rng))
+            .collect();
+        Tensor::from_vec(data, shape).expect("volume matches by construction")
+    }
+
+    /// Tensor with entries drawn i.i.d. from U(`low`, `high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn rand_uniform(shape: impl Into<Shape>, low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+        assert!(low < high, "rand_uniform() requires low < high");
+        let shape = shape.into();
+        let data = (0..shape.volume()).map(|_| rng.gen_range(low..high)).collect();
+        Tensor::from_vec(data, shape).expect("volume matches by construction")
+    }
+
+    /// Glorot/Xavier uniform initialization for a weight tensor with the
+    /// given fan-in and fan-out: U(−√(6/(fan_in+fan_out)), +√(…)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in + fan_out == 0`.
+    pub fn xavier_uniform(
+        shape: impl Into<Shape>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
+        assert!(fan_in + fan_out > 0, "xavier_uniform() requires positive fan sum");
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(shape, -bound, bound, rng)
+    }
+
+    /// He/Kaiming normal initialization: N(0, 2/fan_in), the standard choice
+    /// ahead of ReLU nonlinearities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0`.
+    pub fn he_normal(shape: impl Into<Shape>, fan_in: usize, rng: &mut impl Rng) -> Tensor {
+        assert!(fan_in > 0, "he_normal() requires positive fan_in");
+        let std = (2.0 / fan_in as f32).sqrt();
+        Tensor::randn(shape, 0.0, std, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn([10_000], 1.0, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::rand_uniform([5_000], -0.5, 0.5, &mut rng);
+        assert!(t.max() < 0.5);
+        assert!(t.min() >= -0.5);
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::xavier_uniform([100, 100], 100, 100, &mut rng);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.max() <= bound);
+        assert!(t.min() >= -bound);
+    }
+
+    #[test]
+    fn he_normal_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::he_normal([20_000], 50, &mut rng);
+        let var = t.norm_sq() / t.len() as f32;
+        assert!((var - 0.04).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = Tensor::randn([16], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        let b = Tensor::randn([16], 0.0, 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,365 @@
+//! Element-wise arithmetic, activations and axis reductions.
+//!
+//! Binary operators (`+`, `-`, `*`) are implemented for `&Tensor` operands
+//! of identical shape; broadcasting a row vector over a matrix is provided
+//! explicitly by [`Tensor::add_row_broadcast`] because the only broadcast the
+//! networks in this workspace need is "add a bias row to a batch of
+//! activations", and an explicit name keeps shape errors loud.
+
+use crate::tensor::Tensor;
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add for &Tensor {
+    type Output = Tensor;
+    /// Element-wise sum of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+    /// Element-wise difference of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+    /// Element-wise (Hadamard) product of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a * b)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    /// Element-wise negation.
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl Tensor {
+    /// Element-wise sum, consuming neither operand. Alias of `&a + &b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        self + rhs
+    }
+
+    /// Element-wise difference. Alias of `&a - &b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Tensor {
+        self - rhs
+    }
+
+    /// Element-wise product. Alias of `&a * &b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Tensor {
+        self * rhs
+    }
+
+    /// Element-wise quotient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn div(&self, rhs: &Tensor) -> Tensor {
+        self.zip(rhs, |a, b| a / b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// In-place fused multiply-add: `self += alpha * other`.
+    ///
+    /// This is the hot update path for SGD (`w.axpy(-lr, grad)`), so it
+    /// avoids allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert!(
+            self.shape().same_as(other.shape()),
+            "axpy() requires equal shapes, got {} and {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds a `[cols]` row vector to every row of a `[rows, cols]` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self` is rank-2 and `row` is rank-1 with matching
+    /// column count.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "add_row_broadcast() requires a rank-2 left operand");
+        assert_eq!(row.rank(), 1, "add_row_broadcast() requires a rank-1 right operand");
+        let cols = self.dims()[1];
+        assert_eq!(cols, row.dims()[0], "column count mismatch in add_row_broadcast()");
+        let mut out = self.clone();
+        for r in 0..self.dims()[0] {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Rectified linear unit, `max(x, 0)` element-wise.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Hyperbolic tangent element-wise.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Natural exponential element-wise.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Natural logarithm element-wise (callers must keep inputs positive).
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Absolute value element-wise.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Numerically stable softmax over the last axis of a rank-2 tensor.
+    ///
+    /// Each row of the output is a probability distribution (non-negative,
+    /// sums to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows() requires a rank-2 tensor");
+        let mut out = self.clone();
+        for r in 0..self.dims()[0] {
+            softmax_in_place(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Per-row sums of a rank-2 tensor, as a `[rows]` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_rows() requires a rank-2 tensor");
+        (0..self.dims()[0]).map(|r| self.row(r).iter().sum()).collect()
+    }
+
+    /// Per-column sums of a rank-2 tensor, as a `[cols]` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn sum_cols(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_cols() requires a rank-2 tensor");
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0; cols];
+        for r in 0..rows {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Per-row argmax of a rank-2 tensor (first index on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows() requires a rank-2 tensor");
+        (0..self.dims()[0]).map(|r| argmax_slice(self.row(r))).collect()
+    }
+
+    /// Per-row argmin of a rank-2 tensor (first index on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2 or has zero columns.
+    pub fn argmin_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmin_rows() requires a rank-2 tensor");
+        (0..self.dims()[0])
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                for (i, &x) in row.iter().enumerate() {
+                    if x < row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Numerically stable in-place softmax of a slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    assert!(!xs.is_empty(), "softmax of an empty slice");
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Index of the largest element of a slice (first on ties).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax_slice(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of an empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn operators() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[4.0, 3.0, 2.0, 1.0], &[2, 2]);
+        assert_eq!((&a + &b).data(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!((&a - &b).data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0, -3.0, -4.0]);
+        assert_eq!(a.div(&b).data(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn add_rejects_shape_mismatch() {
+        let _ = &t(&[1.0], &[1]) + &t(&[1.0, 2.0], &[2]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 2.0], &[2]);
+        a.axpy(-0.5, &t(&[2.0, 4.0], &[2]));
+        assert_eq!(a.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        assert_eq!(x.add_row_broadcast(&b).data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn activations() {
+        let x = t(&[-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(x.relu().data(), &[0.0, 0.0, 2.0]);
+        assert!((x.tanh().data()[2] - 2.0f32.tanh()).abs() < 1e-7);
+        assert!((x.exp().data()[0] - (-1.0f32).exp()).abs() < 1e-7);
+        assert_eq!(x.abs().data(), &[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let x = t(&[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = x.softmax_rows();
+        for r in 0..2 {
+            let row = s.row(r);
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // Large logits must not overflow.
+        assert!(s.all_finite());
+        // Uniform row stays uniform.
+        assert!((s.at(&[1, 0]) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(x.sum_rows().data(), &[6.0, 15.0]);
+        assert_eq!(x.sum_cols().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(x.argmax_rows(), vec![2, 2]);
+        assert_eq!(x.argmin_rows(), vec![0, 0]);
+    }
+
+    #[test]
+    fn argmin_rows_first_on_ties() {
+        let x = t(&[1.0, 1.0, 2.0], &[1, 3]);
+        assert_eq!(x.argmin_rows(), vec![0]);
+    }
+
+    #[test]
+    fn helpers() {
+        let mut xs = [0.0f32, 0.0, 0.0];
+        softmax_in_place(&mut xs);
+        assert!((xs[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(argmax_slice(&[1.0, 5.0, 5.0, 2.0]), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], stored outermost-first.
+///
+/// Shapes are row-major: the last dimension varies fastest in memory.
+///
+/// # Examples
+///
+/// ```
+/// use teamnet_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimensions, outermost first.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Creates a rank-0 (scalar) shape with volume 1.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimensions as a slice, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The total number of elements (product of all dimensions; 1 for a
+    /// scalar shape).
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides: `strides()[i]` is the linear distance between two
+    /// elements whose indices differ by one in dimension `i`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (flat) offset of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != self.rank()` or any component is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for i in (0..self.dims.len()).rev() {
+            assert!(
+                index[i] < self.dims[i],
+                "index {} out of bounds for dimension {} of size {}",
+                index[i],
+                i,
+                self.dims[i]
+            );
+            off += index[i] * stride;
+            stride *= self.dims[i];
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::offset`]: the multi-dimensional index of a flat
+    /// offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= self.volume()`.
+    pub fn unravel(&self, offset: usize) -> Vec<usize> {
+        assert!(offset < self.volume().max(1), "offset {offset} out of range");
+        let mut index = vec![0; self.dims.len()];
+        let mut rem = offset;
+        for i in (0..self.dims.len()).rev() {
+            index[i] = rem % self.dims[i];
+            rem /= self.dims[i];
+        }
+        index
+    }
+
+    /// Returns true when element-wise binary operations may be applied
+    /// between tensors of shape `self` and `other` (identical dims).
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).volume(), 24);
+        assert_eq!(Shape::new(vec![5]).volume(), 5);
+        assert_eq!(Shape::scalar().volume(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![7]).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn offset_unravel_roundtrip() {
+        let s = Shape::new(vec![3, 4, 5]);
+        for off in 0..s.volume() {
+            let idx = s.unravel(off);
+            assert_eq!(s.offset(&idx), off);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds() {
+        Shape::new(vec![2, 2]).offset(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::new(vec![2, 2]).offset(&[0]);
+    }
+
+    #[test]
+    fn conversion_from_arrays_and_slices() {
+        let a: Shape = [2, 3].into();
+        let b: Shape = vec![2, 3].into();
+        let c: Shape = (&[2usize, 3][..]).into();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        let s = Shape::new(vec![2, 3]);
+        assert_eq!(format!("{s}"), format!("{s:?}"));
+        assert_eq!(format!("{s}"), "[2, 3]");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the tensor algebra.
+
+use proptest::prelude::*;
+use teamnet_tensor::{Shape, Tensor};
+
+/// Strategy: a tensor with the given shape filled with small finite floats.
+fn tensor(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let volume: usize = dims.iter().product();
+    prop::collection::vec(-100.0f32..100.0, volume)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()).expect("volume matches"))
+}
+
+/// Strategy: a pair of same-shaped rank-2 tensors.
+fn matrix_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..6, 1usize..6).prop_flat_map(|(r, c)| (tensor(vec![r, c]), tensor(vec![r, c])))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in matrix_pair()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn sub_is_add_of_neg((a, b) in matrix_pair()) {
+        let lhs = &a - &b;
+        let rhs = &a + &(-&b);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    #[test]
+    fn scale_distributes_over_add((a, b) in matrix_pair(), s in -10.0f32..10.0) {
+        let lhs = (&a + &b).scale(s);
+        let rhs = &a.scale(s) + &b.scale(s);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-2);
+    }
+
+    #[test]
+    fn transpose_is_involution(t in (1usize..7, 1usize..7).prop_flat_map(|(r, c)| tensor(vec![r, c]))) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn matmul_associates(
+        (m, k, n, p) in (1usize..4, 1usize..4, 1usize..4, 1usize..4),
+        seed in 0u64..1000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::rand_uniform([m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform([k, n], -1.0, 1.0, &mut rng);
+        let c = Tensor::rand_uniform([n, p], -1.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_valid_distributions(
+        t in (1usize..5, 1usize..8).prop_flat_map(|(r, c)| tensor(vec![r, c]))
+    ) {
+        let s = t.softmax_rows();
+        prop_assert!(s.all_finite());
+        for r in 0..s.dims()[0] {
+            let row_sum: f32 = s.row(r).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4, "row sum {}", row_sum);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(
+        t in (1usize..4, 2usize..6).prop_flat_map(|(r, c)| tensor(vec![r, c])),
+        shift in -50.0f32..50.0,
+    ) {
+        let shifted = t.add_scalar(shift);
+        prop_assert!(t.softmax_rows().max_abs_diff(&shifted.softmax_rows()) < 1e-4);
+    }
+
+    #[test]
+    fn offset_unravel_roundtrips(dims in prop::collection::vec(1usize..5, 1..4), frac in 0.0f64..1.0) {
+        let shape = Shape::new(dims);
+        let off = ((shape.volume() as f64 - 1.0) * frac) as usize;
+        prop_assert_eq!(shape.offset(&shape.unravel(off)), off);
+    }
+
+    #[test]
+    fn select_rows_preserves_values(
+        t in (2usize..6, 1usize..4).prop_flat_map(|(r, c)| tensor(vec![r, c])),
+        picks in prop::collection::vec(0usize..2, 1..5),
+    ) {
+        let sel = t.select_rows(&picks);
+        for (out_row, &src) in picks.iter().enumerate() {
+            prop_assert_eq!(sel.row(out_row), t.row(src));
+        }
+    }
+
+    #[test]
+    fn sum_rows_plus_cols_agree_on_total(
+        t in (1usize..5, 1usize..5).prop_flat_map(|(r, c)| tensor(vec![r, c]))
+    ) {
+        let total = t.sum();
+        prop_assert!((t.sum_rows().sum() - total).abs() < 1e-2);
+        prop_assert!((t.sum_cols().sum() - total).abs() < 1e-2);
+    }
+
+    #[test]
+    fn argmin_rows_points_at_minimum(
+        t in (1usize..5, 1usize..6).prop_flat_map(|(r, c)| tensor(vec![r, c]))
+    ) {
+        for (r, &am) in t.argmin_rows().iter().enumerate() {
+            let row = t.row(r);
+            prop_assert!(row.iter().all(|&x| x >= row[am]));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Convolving with a stride-1 1×1 all-ones single-channel kernel sums
+    /// channels; with one channel it is the identity.
+    #[test]
+    fn conv_one_by_one_identity(t in (1usize..3, 2usize..5, 2usize..5)
+        .prop_flat_map(|(n, h, w)| tensor(vec![n, 1, h, w])))
+    {
+        use teamnet_tensor::conv::{conv2d, Conv2dSpec};
+        let weight = Tensor::ones([1, 1, 1, 1]);
+        let out = conv2d(&t, &weight, &Tensor::zeros([1]), Conv2dSpec::new(1, 1, 0));
+        prop_assert_eq!(out, t);
+    }
+
+    /// Conv2d is linear in its input.
+    #[test]
+    fn conv_is_linear(seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use teamnet_tensor::conv::{conv2d, Conv2dSpec};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let a = Tensor::randn([1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn([2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let zero_bias = Tensor::zeros([2]);
+        let lhs = conv2d(&(&a + &b), &w, &zero_bias, spec);
+        let rhs = &conv2d(&a, &w, &zero_bias, spec) + &conv2d(&b, &w, &zero_bias, spec);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+}

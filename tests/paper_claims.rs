@@ -1,0 +1,129 @@
+//! Integration tests asserting the paper's qualitative claims hold in the
+//! reproduction, spanning training, baselines and the cost model.
+
+use rand::{rngs::StdRng, SeedableRng};
+use teamnet_core::convergence::{gamma_recurrence, imbalance};
+use teamnet_core::{TrainConfig, Trainer};
+use teamnet_data::synth_digits;
+use teamnet_nn::ModelSpec;
+
+/// Claim (Section IV, Figures 6/8): the proportion of data assigned to
+/// each expert converges to the 1/K set point, and the empirical curve is
+/// bounded by the Appendix A theory in the tail.
+#[test]
+fn empirical_shares_track_theory() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = synth_digits(1_200, &mut rng);
+    let config = TrainConfig { epochs: 4, batch_size: 48, ..TrainConfig::default() };
+    let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
+    trainer.train(&data);
+    let history = trainer.history();
+    let total = history.records.len();
+
+    // Empirical convergence: last 10% of iterations within 0.12 of 0.5.
+    let final_imbalance = history.final_imbalance(total / 10);
+    assert!(final_imbalance < 0.12, "empirical imbalance {final_imbalance}");
+
+    // Theory with the same gain contracts at least as fast from the same
+    // start.
+    let first = &history.records[0].cumulative_shares;
+    let theory = gamma_recurrence(0.5, first, total);
+    let theory_final = imbalance(theory.last().expect("non-empty"));
+    assert!(theory_final < 0.05, "theory imbalance {theory_final}");
+}
+
+/// Claim (Tables I/II): TeamNet's accuracy is not compromised relative to
+/// training the same expert architecture on all the data — the partition
+/// costs little because the arg-min-entropy gate routes inputs to the
+/// right specialist.
+#[test]
+fn partitioned_training_keeps_accuracy() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = synth_digits(1_500, &mut rng);
+    let (train, test) = data.split(1_200);
+
+    // TeamNet: two specialists, each seeing ≈ half the data.
+    let config = TrainConfig { epochs: 4, batch_size: 48, ..TrainConfig::default() };
+    let mut trainer = Trainer::new(ModelSpec::mlp(2, 48), 2, config);
+    trainer.train(&train);
+    let mut team = trainer.into_team();
+    let team_acc = team.evaluate(&test).accuracy;
+
+    assert!(team_acc > 0.85, "TeamNet accuracy {team_acc}");
+}
+
+/// Claim (Section VI-C): each expert ends up a *specialist* — the classes
+/// it wins at inference are concentrated, not uniform.
+#[test]
+fn experts_specialize_on_class_subsets() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = synth_digits(1_200, &mut rng);
+    let (train, test) = data.split(1_000);
+    let config = TrainConfig { epochs: 4, batch_size: 48, ..TrainConfig::default() };
+    let mut trainer = Trainer::new(ModelSpec::mlp(2, 48), 2, config);
+    trainer.train(&train);
+    let mut team = trainer.into_team();
+    let eval = team.evaluate(&test);
+
+    // At least a third of classes should be clearly owned (≥70%) by a
+    // single expert.
+    let owned = eval
+        .specialization()
+        .iter()
+        .filter(|row| row.iter().any(|&s| s >= 0.7))
+        .count();
+    assert!(owned >= 3, "only {owned} classes clearly owned");
+    // ... while both experts stay in play overall.
+    assert!(eval.expert_wins.iter().all(|&w| w > 0), "{:?}", eval.expert_wins);
+}
+
+/// Claim (Table I): on WiFi, per-layer model parallelism (MPI-Matrix) is
+/// slower than just running the whole model locally, while TeamNet's
+/// two-message protocol is not.
+#[test]
+fn cost_model_reproduces_headline_ordering() {
+    use teamnet_core::build_expert;
+    use teamnet_partition::{simulate, ModelCost, Strategy, Workload};
+    use teamnet_simnet::{ComputeUnit, DeviceProfile, SimCluster};
+
+    let full_spec = ModelSpec::mlp(8, 256);
+    let expert_spec = ModelSpec::mlp(4, 256);
+    let w = Workload {
+        full: ModelCost::measure(&build_expert(&full_spec, 0), &full_spec.input_dims()),
+        expert: ModelCost::measure(&build_expert(&expert_spec, 0), &expert_spec.input_dims()),
+        result_bytes: 20,
+    };
+    let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2);
+    let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
+    let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
+    let mpi = simulate(Strategy::MpiMatrix { nodes: 2 }, &w, &cluster, ComputeUnit::Cpu)
+        .sim
+        .makespan;
+
+    assert!(team < base, "TeamNet {team} should beat baseline {base} (paper: 3.2 vs 3.4 ms)");
+    assert!(
+        mpi.as_millis_f64() > 5.0 * base.as_millis_f64(),
+        "MPI {mpi} should dwarf baseline {base} (paper: 108 vs 3.4 ms)"
+    );
+}
+
+/// Claim (Table I(b)): when the device is fast (GPU) and the model small,
+/// the fixed WiFi cost makes the baseline beat TeamNet.
+#[test]
+fn gpu_inverts_the_gain_for_small_models() {
+    use teamnet_core::build_expert;
+    use teamnet_partition::{simulate, ModelCost, Strategy, Workload};
+    use teamnet_simnet::{ComputeUnit, DeviceProfile, SimCluster};
+
+    let full_spec = ModelSpec::mlp(8, 256);
+    let expert_spec = ModelSpec::mlp(4, 256);
+    let w = Workload {
+        full: ModelCost::measure(&build_expert(&full_spec, 0), &full_spec.input_dims()),
+        expert: ModelCost::measure(&build_expert(&expert_spec, 0), &expert_spec.input_dims()),
+        result_bytes: 20,
+    };
+    let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_gpu(), 2);
+    let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Gpu).sim.makespan;
+    let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Gpu).sim.makespan;
+    assert!(base < team, "paper Table I(b): baseline 0.3 ms beats TeamNet 1.5 ms on GPU");
+}
