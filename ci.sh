@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Full CI gate, in dependency order, failing fast:
+#   1. formatting        (cheap, catches accidental diffs)
+#   2. release build     (also builds the xtask binary)
+#   3. invariant audit   (lint + manifest + static shape checks)
+#   4. test suite        (unit + property + integration)
+set -eu
+cd "$(dirname "$0")"
+
+cargo fmt --check
+cargo build --release
+cargo xtask check
+cargo test -q --workspace

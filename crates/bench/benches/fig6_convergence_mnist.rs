@@ -35,7 +35,11 @@ fn bench_training_iteration(c: &mut Criterion) {
     for k in [2usize, 4] {
         group.bench_function(format!("k{k}_epoch_128ex"), |b| {
             b.iter(|| {
-                let config = TrainConfig { epochs: 1, batch_size: 64, ..TrainConfig::default() };
+                let config = TrainConfig {
+                    epochs: 1,
+                    batch_size: 64,
+                    ..TrainConfig::default()
+                };
                 let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), k, config);
                 trainer.train_epoch(&data);
                 black_box(trainer.history().len())

@@ -41,7 +41,11 @@ fn bench_cnn_training_iteration(c: &mut Criterion) {
     };
     group.bench_function("k2_ss8_batch32", |b| {
         b.iter(|| {
-            let config = TrainConfig { epochs: 1, batch_size: 32, ..TrainConfig::default() };
+            let config = TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                ..TrainConfig::default()
+            };
             let mut trainer = Trainer::new(spec.clone(), 2, config);
             trainer.train_epoch(&data);
             black_box(trainer.history().len())
@@ -50,5 +54,9 @@ fn bench_cnn_training_iteration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gate_at_cnn_scale, bench_cnn_training_iteration);
+criterion_group!(
+    benches,
+    bench_gate_at_cnn_scale,
+    bench_cnn_training_iteration
+);
 criterion_main!(benches);

@@ -52,7 +52,10 @@ fn bench_real_paths(c: &mut Criterion) {
     // SG-MoE: gate + sparse expert evaluation.
     for k in [2usize, 4] {
         let spec = mnist_expert_spec(&scale, k);
-        let config = SgMoeConfig { top_k: (k / 2).max(1), ..SgMoeConfig::default() };
+        let config = SgMoeConfig {
+            top_k: (k / 2).max(1),
+            ..SgMoeConfig::default()
+        };
         let mut moe = SgMoe::new(spec, k, config);
         group.bench_function(format!("sgmoe_x{k}_predict"), |b| {
             b.iter(|| black_box(moe.predict_proba(black_box(&image))))

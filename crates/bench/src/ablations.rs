@@ -17,9 +17,7 @@ use teamnet_core::{build_expert, TrainConfig, Trainer};
 use teamnet_data::synth_digits;
 use teamnet_nn::ModelSpec;
 use teamnet_partition::{simulate, ModelCost, Strategy, Workload};
-use teamnet_simnet::{
-    simulate_serving, ComputeUnit, DeviceProfile, SimCluster, SimTime, WifiLink,
-};
+use teamnet_simnet::{simulate_serving, ComputeUnit, DeviceProfile, SimCluster, SimTime, WifiLink};
 
 /// One row of the controller-gain ablation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,14 +42,24 @@ pub fn gain_sweep(seed: u64) -> Vec<GainRow> {
         .map(|&gain| {
             // Theory: residual deviation after 100 batches.
             let trajectory = gamma_recurrence(gain, &[0.9, 0.1], 100);
+            // gamma_recurrence(_, _, 100) yields exactly 100 points. lint: allow(no-expect)
             let theory_imbalance_at_100 = imbalance(trajectory.last().expect("non-empty"));
             // Measurement: a short real training run with this gain.
-            let mut config = TrainConfig { epochs: 3, batch_size: 50, seed, ..TrainConfig::default() };
+            let mut config = TrainConfig {
+                epochs: 3,
+                batch_size: 50,
+                seed,
+                ..TrainConfig::default()
+            };
             config.gate.gain = gain;
             let mut trainer = Trainer::new(ModelSpec::mlp(2, 24), 2, config);
             trainer.train(&data);
             let measured_imbalance = trainer.history().final_imbalance(3);
-            GainRow { gain, theory_imbalance_at_100, measured_imbalance }
+            GainRow {
+                gain,
+                theory_imbalance_at_100,
+                measured_imbalance,
+            }
         })
         .collect()
 }
@@ -87,11 +95,15 @@ pub fn link_sweep(scale: &Scale) -> Vec<LinkRow> {
     ]
     .into_iter()
     .map(|(name, link)| {
-        let cluster =
-            SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2).with_link(link);
+        let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2).with_link(link);
         let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu);
         let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu);
-        let mpi = simulate(Strategy::MpiMatrix { nodes: 2 }, &w, &cluster, ComputeUnit::Cpu);
+        let mpi = simulate(
+            Strategy::MpiMatrix { nodes: 2 },
+            &w,
+            &cluster,
+            ComputeUnit::Cpu,
+        );
         LinkRow {
             link: name.to_string(),
             baseline_ms: base.sim.makespan.as_millis_f64(),
@@ -119,7 +131,11 @@ pub fn combiner_comparison(suite: &mut MnistSuite) -> Vec<CombinerRow> {
     let test = suite.test.clone();
     let mut rows = Vec::new();
     for k in [2usize, 4] {
-        let team = if k == 2 { &mut suite.team2.team } else { &mut suite.team4.team };
+        let team = if k == 2 {
+            &mut suite.team2.team
+        } else {
+            &mut suite.team4.team
+        };
         rows.push(CombinerRow {
             k,
             argmin_accuracy: team.evaluate(&test).accuracy,
@@ -157,10 +173,12 @@ pub fn load_sweep(scale: &Scale, seed: u64) -> Vec<LoadRow> {
         result_bytes: 20,
     };
     let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2);
-    let base_service =
-        simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
-    let team_service =
-        simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
+    let base_service = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu)
+        .sim
+        .makespan;
+    let team_service = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu)
+        .sim
+        .makespan;
 
     [20.0f64, 60.0, 120.0, 180.0]
         .iter()
@@ -300,7 +318,10 @@ mod tests {
         // TeamNet (shorter service time) keeps lower utilization throughout.
         for row in &rows {
             if row.baseline_utilization < 1.0 {
-                assert!(row.teamnet_utilization <= row.baseline_utilization + 1e-9, "{row:?}");
+                assert!(
+                    row.teamnet_utilization <= row.baseline_utilization + 1e-9,
+                    "{row:?}"
+                );
             }
         }
         // The baseline saturates at or before the rate TeamNet saturates.

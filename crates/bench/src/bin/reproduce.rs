@@ -20,7 +20,7 @@ use teamnet_bench::suites::{mnist_expert_spec, CifarSuite, MnistSuite, Scale};
 use teamnet_bench::tables::{render, table1, table2};
 use teamnet_core::build_expert;
 use teamnet_core::runtime::{master_infer, serve_worker, shutdown_workers, MasterConfig};
-use teamnet_nn::{state_vec, load_state};
+use teamnet_nn::{load_state, state_vec};
 use teamnet_simnet::ComputeUnit;
 use teamnet_tensor::Tensor;
 
@@ -101,8 +101,16 @@ fn measure_teamnet_tcp(scale: &Scale, k: usize, trained: &mut teamnet_core::Team
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
-    let wanted = if wanted.is_empty() { vec!["all"] } else { wanted };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let wanted = if wanted.is_empty() {
+        vec!["all"]
+    } else {
+        wanted
+    };
     let everything = wanted.contains(&"all");
     let want = |name: &str| everything || wanted.contains(&name);
 
@@ -141,28 +149,46 @@ fn main() {
         mnist_suite(&mut mnist);
         let suite = mnist.get_mut();
         let rows = fig5(suite);
-        println!("{}", render(&rows, "Figure 5 — Raspberry Pi 3B+, handwritten digits"));
+        println!(
+            "{}",
+            render(&rows, "Figure 5 — Raspberry Pi 3B+, handwritten digits")
+        );
         write_json("fig5", &rows);
     }
     if want("table1a") {
         mnist_suite(&mut mnist);
         let suite = mnist.get_mut();
         let rows = table1(suite, ComputeUnit::Cpu);
-        println!("{}", render(&rows, "Table I(a) — Jetson TX2 CPU only, handwritten digits"));
+        println!(
+            "{}",
+            render(
+                &rows,
+                "Table I(a) — Jetson TX2 CPU only, handwritten digits"
+            )
+        );
         write_json("table1a", &rows);
     }
     if want("table1b") {
         mnist_suite(&mut mnist);
         let suite = mnist.get_mut();
         let rows = table1(suite, ComputeUnit::Gpu);
-        println!("{}", render(&rows, "Table I(b) — Jetson TX2 GPU + CPU, handwritten digits"));
+        println!(
+            "{}",
+            render(
+                &rows,
+                "Table I(b) — Jetson TX2 GPU + CPU, handwritten digits"
+            )
+        );
         write_json("table1b", &rows);
     }
     if want("fig6") {
         mnist_suite(&mut mnist);
         let suite = mnist.get_mut();
         let series = fig6(suite);
-        println!("{}", render_convergence(&series, "Figure 6 — convergence of data shares (digits)"));
+        println!(
+            "{}",
+            render_convergence(&series, "Figure 6 — convergence of data shares (digits)")
+        );
         write_json("fig6", &series);
     }
     if want("fig7") {
@@ -170,7 +196,13 @@ fn main() {
         let suite = cifar.get_mut();
         for (unit, tag) in [(ComputeUnit::Cpu, "CPU"), (ComputeUnit::Gpu, "GPU")] {
             let rows = fig7(suite, unit);
-            println!("{}", render(&rows, &format!("Figure 7 — Jetson TX2 {tag}, image classification")));
+            println!(
+                "{}",
+                render(
+                    &rows,
+                    &format!("Figure 7 — Jetson TX2 {tag}, image classification")
+                )
+            );
             write_json(&format!("fig7_{}", tag.to_lowercase()), &rows);
         }
     }
@@ -178,21 +210,36 @@ fn main() {
         cifar_suite(&mut cifar);
         let suite = cifar.get_mut();
         let rows = table2(suite, ComputeUnit::Cpu);
-        println!("{}", render(&rows, "Table II(a) — Jetson TX2 CPU only, image classification"));
+        println!(
+            "{}",
+            render(
+                &rows,
+                "Table II(a) — Jetson TX2 CPU only, image classification"
+            )
+        );
         write_json("table2a", &rows);
     }
     if want("table2b") {
         cifar_suite(&mut cifar);
         let suite = cifar.get_mut();
         let rows = table2(suite, ComputeUnit::Gpu);
-        println!("{}", render(&rows, "Table II(b) — Jetson TX2 GPU + CPU, image classification"));
+        println!(
+            "{}",
+            render(
+                &rows,
+                "Table II(b) — Jetson TX2 GPU + CPU, image classification"
+            )
+        );
         write_json("table2b", &rows);
     }
     if want("fig8") {
         cifar_suite(&mut cifar);
         let suite = cifar.get_mut();
         let series = fig8(suite);
-        println!("{}", render_convergence(&series, "Figure 8 — convergence of data shares (images)"));
+        println!(
+            "{}",
+            render_convergence(&series, "Figure 8 — convergence of data shares (images)")
+        );
         write_json("fig8", &series);
     }
     if want("fig9") {
@@ -200,7 +247,10 @@ fn main() {
         let suite = cifar.get_mut();
         for k in [2usize, 4] {
             let map = fig9(suite, k);
-            println!("{}", render_specialization(&map, "Figure 9 — expert specialization"));
+            println!(
+                "{}",
+                render_specialization(&map, "Figure 9 — expert specialization")
+            );
             write_json(&format!("fig9_k{k}"), &map);
         }
     }
@@ -208,17 +258,29 @@ fn main() {
         use teamnet_bench::ablations::{combiner_comparison, gain_sweep, link_sweep, load_sweep};
         println!("== Ablation A1 — proportional-controller gain a ==");
         let gains = gain_sweep(scale.seed);
-        println!("{:<6} {:>24} {:>22}", "a", "theory resid @100", "measured imbalance");
+        println!(
+            "{:<6} {:>24} {:>22}",
+            "a", "theory resid @100", "measured imbalance"
+        );
         for r in &gains {
-            println!("{:<6} {:>24.4} {:>22.3}", r.gain, r.theory_imbalance_at_100, r.measured_imbalance);
+            println!(
+                "{:<6} {:>24.4} {:>22.3}",
+                r.gain, r.theory_imbalance_at_100, r.measured_imbalance
+            );
         }
         write_json("ablation_gain", &gains);
 
         println!("\n== Ablation A2 — link quality (MNIST workload, 2 nodes) ==");
         let links = link_sweep(&scale);
-        println!("{:<16} {:>12} {:>14} {:>16}", "link", "baseline(ms)", "teamnet x2(ms)", "mpi-matrix(ms)");
+        println!(
+            "{:<16} {:>12} {:>14} {:>16}",
+            "link", "baseline(ms)", "teamnet x2(ms)", "mpi-matrix(ms)"
+        );
         for r in &links {
-            println!("{:<16} {:>12.1} {:>14.1} {:>16.1}", r.link, r.baseline_ms, r.teamnet_x2_ms, r.mpi_matrix_x2_ms);
+            println!(
+                "{:<16} {:>12.1} {:>14.1} {:>16.1}",
+                r.link, r.baseline_ms, r.teamnet_x2_ms, r.mpi_matrix_x2_ms
+            );
         }
         write_json("ablation_link", &links);
 
@@ -226,28 +288,49 @@ fn main() {
         mnist_suite(&mut mnist);
         let suite = mnist.get_mut();
         let combiners = combiner_comparison(suite);
-        println!("{:<4} {:>18} {:>18}", "K", "argmin acc(%)", "majority acc(%)");
+        println!(
+            "{:<4} {:>18} {:>18}",
+            "K", "argmin acc(%)", "majority acc(%)"
+        );
         for r in &combiners {
-            println!("{:<4} {:>18.1} {:>18.1}", r.k, r.argmin_accuracy * 100.0, r.majority_accuracy * 100.0);
+            println!(
+                "{:<4} {:>18.1} {:>18.1}",
+                r.k,
+                r.argmin_accuracy * 100.0,
+                r.majority_accuracy * 100.0
+            );
         }
         write_json("ablation_combiner", &combiners);
 
         println!("\n== Ablation A4 — response time under Poisson load (M/D/1) ==");
         let loads = load_sweep(&scale, scale.seed);
-        println!("{:<10} {:>16} {:>16} {:>12} {:>12}", "rate(Hz)", "baseline(ms)", "teamnet(ms)", "rho base", "rho team");
+        println!(
+            "{:<10} {:>16} {:>16} {:>12} {:>12}",
+            "rate(Hz)", "baseline(ms)", "teamnet(ms)", "rho base", "rho team"
+        );
         for r in &loads {
             println!(
                 "{:<10} {:>16.1} {:>16.1} {:>12.2} {:>12.2}",
-                r.rate_hz, r.baseline_mean_ms, r.teamnet_mean_ms, r.baseline_utilization, r.teamnet_utilization
+                r.rate_hz,
+                r.baseline_mean_ms,
+                r.teamnet_mean_ms,
+                r.baseline_utilization,
+                r.teamnet_utilization
             );
         }
         write_json("ablation_load", &loads);
 
         println!("\n== Ablation A5 — heterogeneous clusters ==");
         let mixed = teamnet_bench::ablations::mixed_cluster_sweep(&scale);
-        println!("{:<16} {:>16} {:>22}", "cluster", "teamnet x2(ms)", "slowest compute(ms)");
+        println!(
+            "{:<16} {:>16} {:>22}",
+            "cluster", "teamnet x2(ms)", "slowest compute(ms)"
+        );
         for r in &mixed {
-            println!("{:<16} {:>16.1} {:>22.1}", r.cluster, r.teamnet_x2_ms, r.slowest_compute_ms);
+            println!(
+                "{:<16} {:>16.1} {:>22.1}",
+                r.cluster, r.teamnet_x2_ms, r.slowest_compute_ms
+            );
         }
         write_json("ablation_mixed", &mixed);
         println!();

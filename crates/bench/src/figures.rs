@@ -47,7 +47,11 @@ pub fn fig5(suite: &MnistSuite) -> Vec<TableRow> {
         let cluster = SimCluster::homogeneous(device.clone(), k);
         let w = workload_pair(&base_spec, &mnist_expert_spec(&suite.scale, k));
         let report = simulate(Strategy::TeamNet { k }, &w, &cluster, ComputeUnit::Cpu);
-        let acc = if k == 2 { suite.team2.accuracy } else { suite.team4.accuracy };
+        let acc = if k == 2 {
+            suite.team2.accuracy
+        } else {
+            suite.team4.accuracy
+        };
         rows.push(TableRow {
             name: format!("{k}xMLP-{} (TeamNet)", 8 / k),
             nodes: k,
@@ -88,7 +92,11 @@ pub fn fig7(suite: &CifarSuite, unit: ComputeUnit) -> Vec<TableRow> {
         let expert_spec = cifar_expert_spec(&suite.scale, k);
         let w = workload_pair(&base_spec, &expert_spec);
         let report = simulate(Strategy::TeamNet { k }, &w, &cluster, unit);
-        let acc = if k == 2 { suite.team2.accuracy } else { suite.team4.accuracy };
+        let acc = if k == 2 {
+            suite.team2.accuracy
+        } else {
+            suite.team4.accuracy
+        };
         rows.push(TableRow {
             name: format!("{k}xSS-{} (TeamNet)", expert_spec.depth()),
             nodes: k,
@@ -116,7 +124,11 @@ pub struct ConvergenceSeries {
 
 /// Extracts a downsampled convergence series (Figures 6 and 8) from a
 /// training history.
-pub fn convergence_series(history: &TrainingHistory, k: usize, samples: usize) -> ConvergenceSeries {
+pub fn convergence_series(
+    history: &TrainingHistory,
+    k: usize,
+    samples: usize,
+) -> ConvergenceSeries {
     let n = history.records.len();
     let stride = (n / samples.max(1)).max(1);
     let points = history
@@ -126,7 +138,11 @@ pub fn convergence_series(history: &TrainingHistory, k: usize, samples: usize) -
         .map(|r| (r.iteration, r.cumulative_shares.clone()))
         .collect();
     let tail = (n / 10).max(1);
-    ConvergenceSeries { k, points, final_imbalance: history.final_imbalance(tail) }
+    ConvergenceSeries {
+        k,
+        points,
+        final_imbalance: history.final_imbalance(tail),
+    }
 }
 
 /// Figure 6: MNIST γ-convergence for K = 2 and K = 4.
@@ -157,7 +173,11 @@ pub fn render_convergence(series: &[ConvergenceSeries], title: &str) -> String {
         ));
         for (iter, shares) in &s.points {
             let shares_txt: Vec<String> = shares.iter().map(|v| format!("{v:.3}")).collect();
-            out.push_str(&format!("  iter {:>6}: [{}]\n", iter, shares_txt.join(", ")));
+            out.push_str(&format!(
+                "  iter {:>6}: [{}]\n",
+                iter,
+                shares_txt.join(", ")
+            ));
         }
     }
     out
@@ -190,7 +210,11 @@ impl SpecializationMap {
 
 /// Computes the Figure 9 specialization map for one trained CIFAR team.
 pub fn fig9(suite: &mut CifarSuite, k: usize) -> SpecializationMap {
-    let team = if k == 2 { &mut suite.team2.team } else { &mut suite.team4.team };
+    let team = if k == 2 {
+        &mut suite.team2.team
+    } else {
+        &mut suite.team4.team
+    };
     let eval = team.evaluate(&suite.test);
     let share = eval.specialization();
     let kx = team.k();
@@ -219,7 +243,12 @@ pub fn fig9(suite: &mut CifarSuite, k: usize) -> SpecializationMap {
     for v in &mut animal {
         *v /= a_n.max(1) as f64;
     }
-    SpecializationMap { k: kx, share, machine_share: machine, animal_share: animal }
+    SpecializationMap {
+        k: kx,
+        share,
+        machine_share: machine,
+        animal_share: animal,
+    }
 }
 
 /// Renders a specialization map as a text heat map.
@@ -245,7 +274,10 @@ pub fn render_specialization(map: &SpecializationMap, title: &str) -> String {
     for &v in &map.animal_share {
         out.push_str(&format!(" {v:>8.2}"));
     }
-    out.push_str(&format!("\nsuper-category alignment: {:.2}\n", map.superclass_alignment()));
+    out.push_str(&format!(
+        "\nsuper-category alignment: {:.2}\n",
+        map.superclass_alignment()
+    ));
     out
 }
 
@@ -272,7 +304,11 @@ mod tests {
         let series = fig6(&suite);
         assert_eq!(series.len(), 2);
         assert_eq!(series[0].k, 2);
-        assert!(series[0].final_imbalance < 0.25, "{}", series[0].final_imbalance);
+        assert!(
+            series[0].final_imbalance < 0.25,
+            "{}",
+            series[0].final_imbalance
+        );
         assert!(!series[1].points.is_empty());
         let text = render_convergence(&series, "Figure 6");
         assert!(text.contains("set point 0.500"));

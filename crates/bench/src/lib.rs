@@ -21,6 +21,7 @@
 //! paper-shaped tables; `cargo bench` runs Criterion microbenchmarks of
 //! the real inference paths (one bench target per table/figure).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ablations;

@@ -11,9 +11,7 @@ use rand::SeedableRng;
 use teamnet_core::{TeamNet, TrainConfig, Trainer, TrainingHistory};
 use teamnet_data::{mnist_from_dir, synth_digits, synth_objects, Dataset};
 use teamnet_moe::{SgMoe, SgMoeConfig};
-use teamnet_nn::{
-    accuracy, softmax_cross_entropy, Layer, Mode, ModelSpec, Sequential, Sgd,
-};
+use teamnet_nn::{accuracy, softmax_cross_entropy, Layer, Mode, ModelSpec, Sequential, Sgd};
 
 /// Experiment scale: `full()` for paper-shaped runs, `quick()` for tests
 /// and smoke runs.
@@ -84,8 +82,7 @@ fn train_baseline(
         let shuffled = data.shuffled(&mut rng);
         for mut batch in shuffled.batches(64) {
             if augment_shift > 0 {
-                batch.images =
-                    teamnet_data::augment_batch(&batch.images, augment_shift, &mut rng);
+                batch.images = teamnet_data::augment_batch(&batch.images, augment_shift, &mut rng);
             }
             let logits = model.forward(&batch.images, Mode::Train);
             let out = softmax_cross_entropy(&logits, &batch.labels);
@@ -130,7 +127,11 @@ fn train_team(
     let history = trainer.history().clone();
     let mut team = trainer.into_calibrated_team(train);
     let accuracy = team.evaluate(test).accuracy;
-    TrainedTeam { team, history, accuracy }
+    TrainedTeam {
+        team,
+        history,
+        accuracy,
+    }
 }
 
 fn train_moe(
@@ -211,8 +212,7 @@ impl MnistSuite {
         let data = mnist_dataset(&scale);
         let (train, test) = data.split(data.len() - scale.test.min(data.len() / 5));
         let baseline_spec = mnist_baseline_spec(&scale);
-        let baseline =
-            train_baseline(&baseline_spec, &train, scale.epochs_mnist, scale.seed, 0);
+        let baseline = train_baseline(&baseline_spec, &train, scale.epochs_mnist, scale.seed, 0);
         let mut baseline_model = baseline;
         let logits = baseline_model.forward(test.images(), Mode::Eval);
         let baseline_accuracy = accuracy(&logits, test.labels());

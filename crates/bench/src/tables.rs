@@ -56,7 +56,11 @@ pub fn render(rows: &[TableRow], title: &str) -> String {
             r.inference_ms,
             r.memory_pct,
             r.cpu_pct,
-            if gpu { format!(" {:>8.1}", r.gpu_pct) } else { String::new() },
+            if gpu {
+                format!(" {:>8.1}", r.gpu_pct)
+            } else {
+                String::new()
+            },
             r.messages
         ));
     }
@@ -109,7 +113,14 @@ pub fn table1(suite: &MnistSuite, unit: ComputeUnit) -> Vec<TableRow> {
 
     let w_base = workload(&base_spec, &base_spec);
     let one = SimCluster::homogeneous(device.clone(), 1);
-    rows.push(row("Baseline", suite.baseline_accuracy, Strategy::Baseline, &w_base, &one, unit));
+    rows.push(row(
+        "Baseline",
+        suite.baseline_accuracy,
+        Strategy::Baseline,
+        &w_base,
+        &one,
+        unit,
+    ));
 
     for &k in &[2usize, 4] {
         let cluster = SimCluster::homogeneous(device.clone(), k);
@@ -139,7 +150,10 @@ pub fn table1(suite: &MnistSuite, unit: ComputeUnit) -> Vec<TableRow> {
         rows.push(row(
             &format!("SG-MoE-G ({tag})"),
             moe_acc,
-            Strategy::SgMoeRpc { k, top_k: (k / 2).max(1) },
+            Strategy::SgMoeRpc {
+                k,
+                top_k: (k / 2).max(1),
+            },
             &w,
             &cluster,
             unit,
@@ -147,7 +161,10 @@ pub fn table1(suite: &MnistSuite, unit: ComputeUnit) -> Vec<TableRow> {
         rows.push(row(
             &format!("SG-MoE-M ({tag})"),
             moe_acc,
-            Strategy::SgMoeP2p { k, top_k: (k / 2).max(1) },
+            Strategy::SgMoeP2p {
+                k,
+                top_k: (k / 2).max(1),
+            },
             &w,
             &cluster,
             unit,
@@ -167,7 +184,14 @@ pub fn table2(suite: &CifarSuite, unit: ComputeUnit) -> Vec<TableRow> {
     let w_base = workload(&base_spec, &base_spec);
     let one = SimCluster::homogeneous(device.clone(), 1);
     let mut rows = Vec::new();
-    rows.push(row("Baseline", suite.baseline_accuracy, Strategy::Baseline, &w_base, &one, unit));
+    rows.push(row(
+        "Baseline",
+        suite.baseline_accuracy,
+        Strategy::Baseline,
+        &w_base,
+        &one,
+        unit,
+    ));
 
     for &k in &[2usize, 4] {
         let cluster = SimCluster::homogeneous(device.clone(), k);
@@ -207,7 +231,10 @@ pub fn table2(suite: &CifarSuite, unit: ComputeUnit) -> Vec<TableRow> {
         rows.push(row(
             &format!("SG-MoE-G ({tag})"),
             moe_acc,
-            Strategy::SgMoeRpc { k, top_k: (k / 2).max(1) },
+            Strategy::SgMoeRpc {
+                k,
+                top_k: (k / 2).max(1),
+            },
             &w,
             &cluster,
             unit,
@@ -215,7 +242,10 @@ pub fn table2(suite: &CifarSuite, unit: ComputeUnit) -> Vec<TableRow> {
         rows.push(row(
             &format!("SG-MoE-M ({tag})"),
             moe_acc,
-            Strategy::SgMoeP2p { k, top_k: (k / 2).max(1) },
+            Strategy::SgMoeP2p {
+                k,
+                top_k: (k / 2).max(1),
+            },
             &w,
             &cluster,
             unit,

@@ -25,7 +25,10 @@ pub fn gamma_recurrence(a: f32, gamma_initial: &[f32], batches: usize) -> Vec<Ve
     let k = gamma_initial.len();
     assert!(k >= 2, "need at least two experts");
     let sum: f32 = gamma_initial.iter().sum();
-    assert!((sum - 1.0).abs() < 1e-4, "initial shares must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-4,
+        "initial shares must sum to 1, got {sum}"
+    );
 
     let mut trajectory = Vec::with_capacity(batches + 1);
     let mut gamma = gamma_initial.to_vec();
@@ -64,7 +67,10 @@ pub fn contraction_factor(a: f32, l: usize) -> f32 {
 /// Maximum deviation from the set point 1/K across experts.
 pub fn imbalance(gamma: &[f32]) -> f32 {
     let set_point = 1.0 / gamma.len() as f32;
-    gamma.iter().map(|&g| (g - set_point).abs()).fold(0.0, f32::max)
+    gamma
+        .iter()
+        .map(|&g| (g - set_point).abs())
+        .fold(0.0, f32::max)
 }
 
 #[cfg(test)]

@@ -4,53 +4,144 @@
 //! `H(ŷ|x,θ) = −Σ_c p_c log p_c`. An expert that "knows" an input emits a
 //! peaked distribution (low entropy); an unfamiliar input yields a flat
 //! one (entropy approaching `ln C`).
+//!
+//! [`entropy`] validates its input: the gate's correctness depends on every
+//! expert handing it a genuine probability distribution, so a NaN, negative
+//! or non-normalized vector is rejected with a typed [`EntropyError`]
+//! instead of silently propagating NaN into the arg-min selection.
 
 use teamnet_tensor::Tensor;
+
+/// How far a probability vector's sum may stray from 1 before
+/// [`entropy`] rejects it as non-normalized.
+pub const PROB_SUM_TOLERANCE: f32 = 1e-3;
+
+/// Why a probability vector was rejected by [`entropy`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EntropyError {
+    /// The distribution has no entries.
+    Empty,
+    /// An entry is NaN or infinite.
+    NonFinite {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f32,
+    },
+    /// An entry is negative.
+    Negative {
+        /// Index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f32,
+    },
+    /// The entries do not sum to 1 within [`PROB_SUM_TOLERANCE`].
+    NotNormalized {
+        /// The actual sum of the entries.
+        sum: f32,
+    },
+}
+
+impl std::fmt::Display for EntropyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EntropyError::Empty => write!(f, "entropy of an empty distribution"),
+            EntropyError::NonFinite { index, value } => {
+                write!(f, "probability {value} at index {index} is not finite")
+            }
+            EntropyError::Negative { index, value } => {
+                write!(f, "probability {value} at index {index} is negative")
+            }
+            EntropyError::NotNormalized { sum } => {
+                write!(f, "probabilities sum to {sum}, expected 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EntropyError {}
 
 /// Entropy of one probability row (natural log).
 ///
 /// Zero-probability entries contribute zero (the `p log p → 0` limit).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the slice is empty.
-pub fn entropy(probs: &[f32]) -> f32 {
-    assert!(!probs.is_empty(), "entropy of an empty distribution");
-    probs
-        .iter()
-        .map(|&p| if p > 0.0 { -p * p.ln() } else { 0.0 })
-        .sum()
+/// Returns an [`EntropyError`] if the slice is empty, contains a
+/// non-finite or negative entry, or does not sum to 1 within
+/// [`PROB_SUM_TOLERANCE`] — never NaN.
+pub fn entropy(probs: &[f32]) -> Result<f32, EntropyError> {
+    if probs.is_empty() {
+        return Err(EntropyError::Empty);
+    }
+    let mut sum = 0.0f32;
+    let mut h = 0.0f32;
+    for (index, &p) in probs.iter().enumerate() {
+        if !p.is_finite() {
+            return Err(EntropyError::NonFinite { index, value: p });
+        }
+        if p < 0.0 {
+            return Err(EntropyError::Negative { index, value: p });
+        }
+        sum += p;
+        if p > 0.0 {
+            h -= p * p.ln();
+        }
+    }
+    if (sum - 1.0).abs() > PROB_SUM_TOLERANCE {
+        return Err(EntropyError::NotNormalized { sum });
+    }
+    Ok(h.max(0.0))
 }
 
 /// Row-wise entropy of a `[n, classes]` probability matrix, as `[n]`.
 ///
+/// # Errors
+///
+/// Returns the first row's [`EntropyError`] if any row is not a valid
+/// probability distribution.
+///
 /// # Panics
 ///
 /// Panics if `probs` is not rank-2.
-pub fn entropy_rows(probs: &Tensor) -> Tensor {
+pub fn entropy_rows(probs: &Tensor) -> Result<Tensor, EntropyError> {
     assert_eq!(probs.rank(), 2, "entropy_rows() requires [n, classes]");
-    (0..probs.dims()[0]).map(|r| entropy(probs.row(r))).collect()
+    let n = probs.dims().first().copied().unwrap_or(0);
+    let values = (0..n)
+        .map(|r| entropy(probs.row(r)))
+        .collect::<Result<Vec<f32>, _>>()?;
+    Ok(values.into_iter().collect())
 }
 
 /// Stacks per-expert entropy columns into the `[n, K]` matrix `H` that
 /// Algorithms 1 and 2 consume: `H[x][i] = H(ŷ|x, θᵢ)`.
 ///
+/// # Errors
+///
+/// Returns an [`EntropyError`] if any expert emits an invalid probability
+/// row.
+///
 /// # Panics
 ///
 /// Panics if `expert_probs` is empty or the experts' batch sizes disagree.
-pub fn entropy_matrix(expert_probs: &[Tensor]) -> Tensor {
+pub fn entropy_matrix(expert_probs: &[Tensor]) -> Result<Tensor, EntropyError> {
     assert!(!expert_probs.is_empty(), "need at least one expert");
-    let n = expert_probs[0].dims()[0];
+    let n = expert_probs
+        .first()
+        .and_then(|p| p.dims().first())
+        .copied()
+        .unwrap_or(0);
     let k = expert_probs.len();
     let mut out = Tensor::zeros([n, k]);
     for (i, probs) in expert_probs.iter().enumerate() {
-        assert_eq!(probs.dims()[0], n, "expert {i} batch size mismatch");
-        let h = entropy_rows(probs);
-        for r in 0..n {
-            out.set(&[r, i], h.data()[r]);
+        let batch = probs.dims().first().copied().unwrap_or(0);
+        assert_eq!(batch, n, "expert {i} batch size mismatch");
+        let h = entropy_rows(probs)?;
+        for (r, &v) in h.data().iter().enumerate() {
+            out.set(&[r, i], v);
         }
     }
-    out
+    Ok(out)
 }
 
 /// The batch statistic Δ of Algorithm 2: the average over the batch of
@@ -66,7 +157,8 @@ pub fn entropy_matrix(expert_probs: &[Tensor]) -> Tensor {
 /// Panics if `entropy` is not rank-2 or is empty.
 pub fn normalized_deviation(entropy: &Tensor) -> f32 {
     assert_eq!(entropy.rank(), 2, "normalized_deviation() requires [n, K]");
-    let (n, k) = (entropy.dims()[0], entropy.dims()[1]);
+    let n = entropy.dims().first().copied().unwrap_or(0);
+    let k = entropy.dims().get(1).copied().unwrap_or(0);
     assert!(n > 0, "empty batch");
     let mut total = 0.0f32;
     for r in 0..n {
@@ -84,31 +176,84 @@ pub fn normalized_deviation(entropy: &Tensor) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn uniform_distribution_has_max_entropy() {
-        let h = entropy(&[0.25; 4]);
+        let h = entropy(&[0.25; 4]).unwrap();
         assert!((h - 4.0f32.ln()).abs() < 1e-6);
     }
 
     #[test]
     fn deterministic_distribution_has_zero_entropy() {
-        assert_eq!(entropy(&[1.0, 0.0, 0.0]), 0.0);
+        assert_eq!(entropy(&[1.0, 0.0, 0.0]).unwrap(), 0.0);
     }
 
     #[test]
     fn peakier_is_lower() {
-        let sharp = entropy(&[0.9, 0.05, 0.05]);
-        let flat = entropy(&[0.4, 0.3, 0.3]);
+        let sharp = entropy(&[0.9, 0.05, 0.05]).unwrap();
+        let flat = entropy(&[0.4, 0.3, 0.3]).unwrap();
         assert!(sharp < flat);
+    }
+
+    #[test]
+    fn empty_distribution_is_rejected() {
+        assert_eq!(entropy(&[]), Err(EntropyError::Empty));
+    }
+
+    #[test]
+    fn nan_and_infinity_are_rejected() {
+        assert!(matches!(
+            entropy(&[0.5, f32::NAN, 0.5]),
+            Err(EntropyError::NonFinite { index: 1, .. })
+        ));
+        assert!(matches!(
+            entropy(&[f32::INFINITY, 0.0]),
+            Err(EntropyError::NonFinite { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn negative_probability_is_rejected() {
+        assert!(matches!(
+            entropy(&[1.2, -0.2]),
+            Err(EntropyError::Negative { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unnormalized_sum_is_rejected() {
+        assert!(matches!(
+            entropy(&[0.5, 0.1]),
+            Err(EntropyError::NotNormalized { .. })
+        ));
+        assert!(matches!(
+            entropy(&[0.9, 0.9]),
+            Err(EntropyError::NotNormalized { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        let msg = entropy(&[2.0]).unwrap_err().to_string();
+        assert!(msg.contains("sum to 2"), "{msg}");
     }
 
     #[test]
     fn entropy_rows_matches_scalar() {
         let probs = Tensor::from_vec(vec![0.5, 0.5, 1.0, 0.0], [2, 2]).unwrap();
-        let h = entropy_rows(&probs);
+        let h = entropy_rows(&probs).unwrap();
         assert!((h.data()[0] - 2.0f32.ln()).abs() < 1e-6);
         assert_eq!(h.data()[1], 0.0);
+    }
+
+    #[test]
+    fn entropy_rows_surfaces_bad_rows() {
+        let probs = Tensor::from_vec(vec![0.5, 0.5, 0.9, 0.9], [2, 2]).unwrap();
+        assert!(matches!(
+            entropy_rows(&probs),
+            Err(EntropyError::NotNormalized { .. })
+        ));
     }
 
     #[test]
@@ -116,7 +261,7 @@ mod tests {
         // Expert 0 is certain, expert 1 is uncertain, on both inputs.
         let e0 = Tensor::from_vec(vec![1.0, 0.0, 0.99, 0.01], [2, 2]).unwrap();
         let e1 = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], [2, 2]).unwrap();
-        let h = entropy_matrix(&[e0, e1]);
+        let h = entropy_matrix(&[e0, e1]).unwrap();
         assert_eq!(h.dims(), &[2, 2]);
         for r in 0..2 {
             assert!(h.at(&[r, 0]) < h.at(&[r, 1]), "row {r}");
@@ -127,9 +272,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch size mismatch")]
     fn entropy_matrix_rejects_ragged_experts() {
-        let e0 = Tensor::zeros([2, 3]);
-        let e1 = Tensor::zeros([1, 3]);
-        entropy_matrix(&[e0, e1]);
+        let e0 = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0], [2, 3]).unwrap();
+        let e1 = Tensor::from_vec(vec![1.0, 0.0, 0.0], [1, 3]).unwrap();
+        let _ = entropy_matrix(&[e0, e1]);
     }
 
     #[test]
@@ -156,5 +301,62 @@ mod tests {
         // Row [1, 3]: mean 2, dev (1+1)/2 = 1, ratio 0.5.
         let h = Tensor::from_vec(vec![1.0, 3.0], [1, 2]).unwrap();
         assert!((normalized_deviation(&h) - 0.5).abs() < 1e-6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Any softmax-normalized vector is accepted with a finite,
+        /// non-negative entropy bounded by ln(C).
+        #[test]
+        fn normalized_inputs_give_finite_entropy(
+            logits in prop::collection::vec(-8.0f32..8.0, 1..12)
+        ) {
+            let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+            let z: f32 = exps.iter().sum();
+            let probs: Vec<f32> = exps.iter().map(|&e| e / z).collect();
+            let h = entropy(&probs).expect("softmax output must be accepted");
+            prop_assert!(h.is_finite() && h >= 0.0, "entropy {h} of {probs:?}");
+            prop_assert!(h <= (probs.len() as f32).ln() + 1e-4, "{h} exceeds ln C");
+        }
+
+        /// Any vector whose sum is visibly off 1 is rejected with a typed
+        /// error — never a NaN result.
+        #[test]
+        fn unnormalized_inputs_are_rejected_not_nan(
+            raw in prop::collection::vec(0.0f32..2.0, 1..12),
+            scale in 1.5f32..20.0
+        ) {
+            let sum: f32 = raw.iter().sum();
+            // Scale so the sum lands well outside the tolerance band.
+            let bad: Vec<f32> = if sum > 1e-3 {
+                raw.iter().map(|&p| p * scale / sum).collect()
+            } else {
+                vec![scale; raw.len()]
+            };
+            match entropy(&bad) {
+                Err(EntropyError::NotNormalized { sum }) => {
+                    prop_assert!(!sum.is_nan(), "error must carry the real sum")
+                }
+                other => prop_assert!(false, "expected NotNormalized, got {other:?}"),
+            }
+        }
+
+        /// NaN anywhere in the vector is reported as NonFinite, with the
+        /// offending index, rather than poisoning the result.
+        #[test]
+        fn nan_entries_are_pinpointed(
+            probs in prop::collection::vec(0.0f32..1.0, 1..8),
+            at in 0usize..8
+        ) {
+            let mut poisoned = probs.clone();
+            let at = at % poisoned.len();
+            poisoned[at] = f32::NAN;
+            match entropy(&poisoned) {
+                Err(EntropyError::NonFinite { index, .. }) => prop_assert_eq!(index, at),
+                other => prop_assert!(false, "expected NonFinite, got {other:?}"),
+            }
+        }
     }
 }

@@ -6,13 +6,11 @@
 //! `βᵢ` and *never* sees the other experts' examples — that is what makes
 //! TeamNet's partition *implicit* and keeps experts specialized.
 
-use crate::entropy::entropy_matrix;
+use crate::entropy::{entropy_matrix, EntropyError};
 use rand::Rng;
 use rand::SeedableRng as _;
 use teamnet_data::Batch;
-use teamnet_nn::{
-    softmax_cross_entropy, with_flatten, Layer, Mode, ModelSpec, Sequential, Sgd,
-};
+use teamnet_nn::{softmax_cross_entropy, with_flatten, Layer, Mode, ModelSpec, Sequential, Sgd};
 use teamnet_tensor::Tensor;
 
 /// Builds one expert network for `spec`, inserting a flattening front end
@@ -44,7 +42,11 @@ impl ExpertEnsemble {
             .map(|i| build_expert(&spec, base_seed.wrapping_add(i as u64 * 0x9E37_79B9)))
             .collect();
         let optimizers = (0..k).map(|_| Sgd::with_momentum(lr, momentum)).collect();
-        ExpertEnsemble { spec, experts, optimizers }
+        ExpertEnsemble {
+            spec,
+            experts,
+            optimizers,
+        }
     }
 
     /// Number of experts.
@@ -58,12 +60,24 @@ impl ExpertEnsemble {
     }
 
     /// Immutable access to expert `i`'s network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.k()`.
     pub fn expert(&self, i: usize) -> &Sequential {
+        // Documented `# Panics` contract for the indexed accessor.
+        // lint: allow(no-index)
         &self.experts[i]
     }
 
     /// Mutable access to expert `i`'s network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.k()`.
     pub fn expert_mut(&mut self, i: usize) -> &mut Sequential {
+        // Documented `# Panics` contract for the indexed accessor.
+        // lint: allow(no-index)
         &mut self.experts[i]
     }
 
@@ -83,7 +97,12 @@ impl ExpertEnsemble {
 
     /// The `[n, K]` predictive-entropy matrix on `images` (Algorithm 1
     /// line 6).
-    pub fn entropy_matrix(&mut self, images: &Tensor) -> Tensor {
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EntropyError`] if any expert emits an invalid
+    /// probability distribution (e.g. NaNs after divergence).
+    pub fn entropy_matrix(&mut self, images: &Tensor) -> Result<Tensor, EntropyError> {
         let probs = self.predict_proba(images);
         entropy_matrix(&probs)
     }
@@ -99,11 +118,18 @@ impl ExpertEnsemble {
     /// Panics if `assignment` length differs from the batch size or names
     /// an expert out of range.
     pub fn train_assigned(&mut self, batch: &Batch, assignment: &[usize]) -> Vec<f32> {
-        assert_eq!(assignment.len(), batch.len(), "assignment/batch size mismatch");
+        assert_eq!(
+            assignment.len(),
+            batch.len(),
+            "assignment/batch size mismatch"
+        );
         let k = self.k();
         let mut losses = vec![0.0f32; k];
-        for (i, (expert, optimizer)) in
-            self.experts.iter_mut().zip(&mut self.optimizers).enumerate()
+        for (i, (expert, optimizer)) in self
+            .experts
+            .iter_mut()
+            .zip(&mut self.optimizers)
+            .enumerate()
         {
             let rows: Vec<usize> = assignment
                 .iter()
@@ -118,13 +144,18 @@ impl ExpertEnsemble {
                 continue;
             }
             let sub_images = batch.images.select_rows(&rows);
-            let sub_labels: Vec<usize> = rows.iter().map(|&r| batch.labels[r]).collect();
+            let sub_labels: Vec<usize> = rows
+                .iter()
+                .filter_map(|&r| batch.labels.get(r).copied())
+                .collect();
             let logits = expert.forward(&sub_images, Mode::Train);
             let out = softmax_cross_entropy(&logits, &sub_labels);
             expert.zero_grad();
             expert.backward(&out.grad);
             optimizer.step(expert);
-            losses[i] = out.loss;
+            if let Some(loss) = losses.get_mut(i) {
+                *loss = out.loss;
+            }
         }
         losses
     }
@@ -133,7 +164,9 @@ impl ExpertEnsemble {
     /// that removes competitive selection (what SG-MoE's noisy gating
     /// effectively does early in training).
     pub fn train_random(&mut self, batch: &Batch, rng: &mut impl Rng) -> Vec<f32> {
-        let assignment: Vec<usize> = (0..batch.len()).map(|_| rng.gen_range(0..self.k())).collect();
+        let assignment: Vec<usize> = (0..batch.len())
+            .map(|_| rng.gen_range(0..self.k()))
+            .collect();
         self.train_assigned(batch, &assignment)
     }
 }
@@ -146,7 +179,9 @@ impl std::fmt::Debug for ExpertEnsemble {
 
 /// Deterministic per-expert RNG for reproducible random baselines.
 pub fn expert_rng(base_seed: u64, expert: usize) -> rand::rngs::StdRng {
-    rand::rngs::StdRng::seed_from_u64(base_seed ^ (expert as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+    rand::rngs::StdRng::seed_from_u64(
+        base_seed ^ (expert as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+    )
 }
 
 #[cfg(test)]
@@ -180,7 +215,7 @@ mod tests {
     fn entropy_matrix_shape() {
         let mut ens = ExpertEnsemble::new(ModelSpec::mlp(2, 16), 2, 0.1, 0.0, 1);
         let batch = digit_batch(6);
-        let h = ens.entropy_matrix(&batch.images);
+        let h = ens.entropy_matrix(&batch.images).unwrap();
         assert_eq!(h.dims(), &[6, 2]);
         assert!(h.all_finite());
         assert!(h.min() >= 0.0);
@@ -200,7 +235,10 @@ mod tests {
         let after: Vec<Tensor> = (0..2)
             .map(|i| teamnet_nn::state_vec(ens.expert_mut(i)).remove(0))
             .collect();
-        assert!(before[0].max_abs_diff(&after[0]) > 0.0, "expert 0 should move");
+        assert!(
+            before[0].max_abs_diff(&after[0]) > 0.0,
+            "expert 0 should move"
+        );
         assert_eq!(before[1], after[1], "expert 1 must be untouched");
     }
 

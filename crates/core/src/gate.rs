@@ -70,12 +70,21 @@ impl GateConfig {
     ///
     /// Panics if any field is outside its documented range.
     pub fn validate(&self) {
-        assert!((0.0..1.0).contains(&self.gain) && self.gain > 0.0, "gain must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.gain) && self.gain > 0.0,
+            "gain must be in (0, 1)"
+        );
         assert!(self.epsilon > 0.0, "epsilon must be positive");
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.latent_dim > 0 && self.hidden_dim > 0, "MLP dims must be positive");
+        assert!(
+            self.latent_dim > 0 && self.hidden_dim > 0,
+            "MLP dims must be positive"
+        );
         assert!(self.kron_scale > 0.0, "kron scale must be positive");
-        assert!(self.softness > 0.0 && self.softness < 0.5, "softness must be in (0, 0.5)");
+        assert!(
+            self.softness > 0.0 && self.softness < 0.5,
+            "softness must be in (0, 0.5)"
+        );
     }
 }
 
@@ -133,9 +142,15 @@ impl DynamicGate {
     pub fn with_set_point(set_point: Vec<f32>, config: GateConfig, seed: u64) -> Self {
         let k = set_point.len();
         assert!(k >= 2, "a gate needs at least two experts");
-        assert!(set_point.iter().all(|&s| s > 0.0), "set points must be positive");
+        assert!(
+            set_point.iter().all(|&s| s > 0.0),
+            "set points must be positive"
+        );
         let sum: f32 = set_point.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-4, "set points must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-4,
+            "set points must sum to 1, got {sum}"
+        );
         config.validate();
         let mut rng = StdRng::seed_from_u64(seed);
         let (n, h) = (config.latent_dim, config.hidden_dim);
@@ -189,9 +204,10 @@ impl DynamicGate {
     /// function, no gradient). Re-run on the *current* weighted entropies
     /// each descent iteration so the slope stays usable as δ moves.
     fn select_temperature(&self, weighted: &Tensor) -> f32 {
-        const CANDIDATES: [f32; 12] =
-            [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0];
-        let mut best = (f32::INFINITY, CANDIDATES[0]);
+        const CANDIDATES: [f32; 12] = [
+            0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+        ];
+        let mut best = (f32::INFINITY, 0.25);
         for &b in &CANDIDATES {
             let softness = mean_soft_distance(weighted, b);
             let score = (softness - self.config.softness).abs();
@@ -208,7 +224,7 @@ impl DynamicGate {
     /// across examples.
     fn row_normalized(entropy: &Tensor) -> Tensor {
         let mut out = entropy.clone();
-        for r in 0..out.dims()[0] {
+        for r in 0..out.dims().first().copied().unwrap_or(0) {
             let row = out.row_mut(r);
             let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
             if mean > 1e-12 {
@@ -236,8 +252,12 @@ impl DynamicGate {
     /// Panics unless `entropy` is `[n, K]` with `n > 0`.
     pub fn assign(&mut self, entropy: &Tensor) -> GateDecision {
         assert_eq!(entropy.rank(), 2, "entropy matrix must be [n, K]");
-        assert_eq!(entropy.dims()[1], self.k, "entropy matrix K mismatch");
-        let n = entropy.dims()[0];
+        assert_eq!(
+            entropy.dims().get(1).copied(),
+            Some(self.k),
+            "entropy matrix K mismatch"
+        );
+        let n = entropy.dims().first().copied().unwrap_or(0);
         assert!(n > 0, "empty batch");
 
         // γ under the raw arg-min gate, and the controller target.
@@ -260,7 +280,7 @@ impl DynamicGate {
             let weighted = weight_columns(&normalized, &delta_now);
             temperature = self.select_temperature(&weighted);
 
-            let (j, grads) =
+            let (j, [gw1, gb1, gw2, gb2]) =
                 self.gate_loss_and_grads(&normalized, &z, delta_stat, &target_vec, temperature);
             objective = j;
             iterations += 1;
@@ -268,10 +288,10 @@ impl DynamicGate {
                 break;
             }
             let eta = self.config.learning_rate;
-            self.w1.axpy(-eta, &grads[0]);
-            self.b1.axpy(-eta, &grads[1]);
-            self.w2.axpy(-eta, &grads[2]);
-            self.b2.axpy(-eta, &grads[3]);
+            self.w1.axpy(-eta, &gw1);
+            self.b1.axpy(-eta, &gb1);
+            self.w2.axpy(-eta, &gw2);
+            self.b2.axpy(-eta, &gb2);
         }
 
         // The soft surrogate can satisfy J while the *hard* arg-min stays
@@ -364,6 +384,7 @@ impl DynamicGate {
         let weighted = tape.mul_row_broadcast(hm, delta);
         let neg = tape.scale(weighted, -b);
         let soft = tape.softmax_rows(neg);
+        // arange(k) has exactly k elements, matching [k, 1]. lint: allow(no-expect)
         let idx = tape.constant(Tensor::arange(k).into_reshaped([k, 1]).expect("column"));
         let gbar = tape.matmul(soft, idx);
 
@@ -390,10 +411,22 @@ impl DynamicGate {
         let grads = tape.backward(loss);
         let zeros_like = |v: &Tensor| Tensor::zeros(v.shape().clone());
         let g = [
-            grads.of(w1).cloned().unwrap_or_else(|| zeros_like(&self.w1)),
-            grads.of(b1).cloned().unwrap_or_else(|| zeros_like(&self.b1)),
-            grads.of(w2).cloned().unwrap_or_else(|| zeros_like(&self.w2)),
-            grads.of(b2).cloned().unwrap_or_else(|| zeros_like(&self.b2)),
+            grads
+                .of(w1)
+                .cloned()
+                .unwrap_or_else(|| zeros_like(&self.w1)),
+            grads
+                .of(b1)
+                .cloned()
+                .unwrap_or_else(|| zeros_like(&self.b1)),
+            grads
+                .of(w2)
+                .cloned()
+                .unwrap_or_else(|| zeros_like(&self.w2)),
+            grads
+                .of(b2)
+                .cloned()
+                .unwrap_or_else(|| zeros_like(&self.b2)),
         ];
         (j, g)
     }
@@ -403,7 +436,9 @@ impl DynamicGate {
 pub fn assignment_shares(assignment: &[usize], k: usize) -> Vec<f32> {
     let mut shares = vec![0.0f32; k];
     for &i in assignment {
-        shares[i] += 1.0;
+        if let Some(share) = shares.get_mut(i) {
+            *share += 1.0;
+        }
     }
     let n = assignment.len().max(1) as f32;
     for s in &mut shares {
@@ -414,8 +449,12 @@ pub fn assignment_shares(assignment: &[usize], k: usize) -> Vec<f32> {
 
 /// Hard `Ḡ(x, δ) = argminᵢ δᵢ·H_i(x)` for every row.
 pub fn weighted_argmin(entropy: &Tensor, delta: &[f32]) -> Vec<usize> {
-    assert_eq!(entropy.dims()[1], delta.len(), "delta length mismatch");
-    (0..entropy.dims()[0])
+    assert_eq!(
+        entropy.dims().get(1).copied(),
+        Some(delta.len()),
+        "delta length mismatch"
+    );
+    (0..entropy.dims().first().copied().unwrap_or(0))
         .map(|r| {
             let row = entropy.row(r);
             let mut best = (f32::INFINITY, 0usize);
@@ -434,13 +473,18 @@ pub fn weighted_argmin(entropy: &Tensor, delta: &[f32]) -> Vec<usize> {
 /// `(1/K)·Σᵢ |γ̄ᵢ(δ) − targetᵢ|`.
 fn hard_objective(entropy: &Tensor, delta: &[f32], target: &[f32], k: usize) -> f32 {
     let shares = assignment_shares(&weighted_argmin(entropy, delta), k);
-    shares.iter().zip(target).map(|(&s, &t)| (s - t).abs()).sum::<f32>() / k as f32
+    shares
+        .iter()
+        .zip(target)
+        .map(|(&s, &t)| (s - t).abs())
+        .sum::<f32>()
+        / k as f32
 }
 
 /// Multiplies column i of `entropy` by `delta[i]` — the δ⊙H weighting.
 fn weight_columns(entropy: &Tensor, delta: &[f32]) -> Tensor {
     let mut out = entropy.clone();
-    for r in 0..out.dims()[0] {
+    for r in 0..out.dims().first().copied().unwrap_or(0) {
         for (v, &d) in out.row_mut(r).iter_mut().zip(delta) {
             *v *= d;
         }
@@ -451,12 +495,20 @@ fn weight_columns(entropy: &Tensor, delta: &[f32]) -> Tensor {
 /// Mean over the batch of `minᵢ |ḡ(x) − i|` for a given temperature — the
 /// quantity the meta-estimator drives towards ε.
 fn mean_soft_distance(entropy: &Tensor, b: f32) -> f32 {
-    let (n, k) = (entropy.dims()[0], entropy.dims()[1]);
+    let n = entropy.dims().first().copied().unwrap_or(0);
+    let k = entropy.dims().get(1).copied().unwrap_or(0);
     let soft = entropy.scale(-b).softmax_rows();
     let mut total = 0.0f32;
     for r in 0..n {
-        let g: f32 = soft.row(r).iter().enumerate().map(|(i, &p)| p * i as f32).sum();
-        let dist = (0..k).map(|i| (g - i as f32).abs()).fold(f32::INFINITY, f32::min);
+        let g: f32 = soft
+            .row(r)
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * i as f32)
+            .sum();
+        let dist = (0..k)
+            .map(|i| (g - i as f32).abs())
+            .fold(f32::INFINITY, f32::min);
         total += dist;
     }
     total / n as f32
@@ -493,9 +545,19 @@ mod tests {
 
     #[test]
     fn controller_target_clamps_to_simplex() {
-        let gate = DynamicGate::new(4, GateConfig { gain: 0.9, ..GateConfig::default() }, 0);
+        let gate = DynamicGate::new(
+            4,
+            GateConfig {
+                gain: 0.9,
+                ..GateConfig::default()
+            },
+            0,
+        );
         let target = gate.controller_target(&[1.0, 0.0, 0.0, 0.0]);
-        assert!(target.iter().all(|&t| (0.0..=1.0).contains(&t)), "{target:?}");
+        assert!(
+            target.iter().all(|&t| (0.0..=1.0).contains(&t)),
+            "{target:?}"
+        );
         assert!((target.iter().sum::<f32>() - 1.0).abs() < 1e-5);
     }
 
@@ -536,7 +598,11 @@ mod tests {
         // Unbiased noise: raw shares near 50/50 already.
         let h = Tensor::rand_uniform([200, 2], 0.5, 1.5, &mut rng);
         let decision = gate.assign(&h);
-        assert!((decision.gamma_bar[0] - 0.5).abs() < 0.15, "{:?}", decision.gamma_bar);
+        assert!(
+            (decision.gamma_bar[0] - 0.5).abs() < 0.15,
+            "{:?}",
+            decision.gamma_bar
+        );
     }
 
     #[test]
@@ -582,7 +648,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "gain must be in")]
     fn rejects_bad_gain() {
-        DynamicGate::new(2, GateConfig { gain: 1.5, ..GateConfig::default() }, 0);
+        DynamicGate::new(
+            2,
+            GateConfig {
+                gain: 1.5,
+                ..GateConfig::default()
+            },
+            0,
+        );
     }
 
     #[test]
@@ -602,7 +675,11 @@ mod tests {
             "gamma_bar {:?} should approach target {target:?}",
             decision.gamma_bar
         );
-        assert!(decision.gamma_bar[0] > 0.6, "expert 0 must be favoured: {:?}", decision.gamma_bar);
+        assert!(
+            decision.gamma_bar[0] > 0.6,
+            "expert 0 must be favoured: {:?}",
+            decision.gamma_bar
+        );
     }
 
     #[test]

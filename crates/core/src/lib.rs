@@ -41,6 +41,7 @@
 //! println!("accuracy: {:.3}", team.evaluate(&test).accuracy);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod convergence;
@@ -52,7 +53,9 @@ pub mod runtime;
 mod team;
 mod train;
 
-pub use entropy::{entropy, entropy_matrix, entropy_rows, normalized_deviation};
+pub use entropy::{
+    entropy, entropy_matrix, entropy_rows, normalized_deviation, EntropyError, PROB_SUM_TOLERANCE,
+};
 pub use expert::{build_expert, expert_rng, ExpertEnsemble};
 pub use gate::{assignment_shares, weighted_argmin, DynamicGate, GateConfig, GateDecision};
 pub use persist::{load_expert, load_team, save_team, PersistError};

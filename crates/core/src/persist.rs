@@ -71,7 +71,9 @@ fn read_chunk(r: &mut impl Read) -> Result<Vec<u8>, PersistError> {
     r.read_exact(&mut len_bytes)?;
     let len = u64::from_le_bytes(len_bytes) as usize;
     if len > 1 << 32 {
-        return Err(PersistError::Format(format!("implausible chunk length {len}")));
+        return Err(PersistError::Format(format!(
+            "implausible chunk length {len}"
+        )));
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
@@ -121,7 +123,9 @@ pub fn load_team(path: impl AsRef<Path>) -> Result<TeamNet, PersistError> {
     let header: Header = serde_json::from_slice(&read_chunk(&mut r)?)
         .map_err(|e| PersistError::Format(format!("header: {e}")))?;
     if header.experts == 0 {
-        return Err(PersistError::Format("team file holds no experts".to_string()));
+        return Err(PersistError::Format(
+            "team file holds no experts".to_string(),
+        ));
     }
     let mut states = Vec::with_capacity(header.experts);
     for _ in 0..header.experts {
@@ -130,8 +134,8 @@ pub fn load_team(path: impl AsRef<Path>) -> Result<TeamNet, PersistError> {
             let bytes = read_chunk(&mut r)?;
             let (dims, data) =
                 decode_f32s(&bytes).map_err(|e| PersistError::Format(e.to_string()))?;
-            let tensor = Tensor::from_vec(data, dims)
-                .map_err(|e| PersistError::Format(e.to_string()))?;
+            let tensor =
+                Tensor::from_vec(data, dims).map_err(|e| PersistError::Format(e.to_string()))?;
             state.push(tensor);
         }
         states.push(state);

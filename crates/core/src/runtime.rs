@@ -52,18 +52,31 @@ impl Default for MasterConfig {
 
 impl MasterConfig {
     fn weight(&self, node: usize) -> f32 {
-        self.calibration.as_ref().and_then(|c| c.get(node)).copied().unwrap_or(1.0)
+        self.calibration
+            .as_ref()
+            .and_then(|c| c.get(node))
+            .copied()
+            .unwrap_or(1.0)
     }
 }
 
 /// Runs a local expert on an input batch, producing the `[n, 2]` result
 /// matrix of `(label, entropy)` rows that crosses the network.
+///
+/// A row whose predictive distribution fails validation (a diverged or
+/// numerically broken expert) reports infinite entropy: the node stays in
+/// the collaboration but can never win a row, instead of panicking
+/// mid-inference and taking the whole cluster down with it.
 pub fn local_results(expert: &mut Sequential, images: &Tensor) -> Vec<(usize, f32)> {
     let probs = expert.forward(images, Mode::Eval).softmax_rows();
-    (0..probs.dims()[0])
+    let n = probs.dims().first().copied().unwrap_or(0);
+    (0..n)
         .map(|r| {
             let row = probs.row(r);
-            (teamnet_tensor::argmax_slice(row), entropy(row))
+            (
+                teamnet_tensor::argmax_slice(row),
+                entropy(row).unwrap_or(f32::INFINITY),
+            )
         })
         .collect()
 }
@@ -75,10 +88,14 @@ fn encode_results(results: &[(usize, f32)]) -> Vec<u8> {
 
 fn decode_results(bytes: &[u8]) -> Result<Vec<(usize, f32)>, NetError> {
     let (dims, data) = decode_f32s(bytes)?;
-    if dims.len() != 2 || dims[1] != 2 {
+    if dims.len() != 2 || dims.get(1) != Some(&2) {
         return Err(NetError::Malformed(format!("result matrix dims {dims:?}")));
     }
-    Ok(data.chunks_exact(2).map(|p| (p[0] as usize, p[1])).collect())
+    Ok(data
+        .chunks_exact(2)
+        .filter_map(|p| p.first_chunk::<2>())
+        .map(|&[label, h]| (label as usize, h))
+        .collect())
 }
 
 /// Serves a worker node: waits for input broadcasts from `master`, runs
@@ -136,7 +153,7 @@ pub fn master_infer(
     config: &MasterConfig,
 ) -> Result<Vec<TeamPrediction>, NetError> {
     let me = transport.node_id();
-    let n = images.dims()[0];
+    let n = images.dims().first().copied().unwrap_or(0);
     let payload = encode_f32s(images.dims(), images.data());
     for peer in 0..transport.num_nodes() {
         if peer != me {
@@ -149,10 +166,13 @@ pub fn master_infer(
     let local = local_results(expert, images);
     let mut best: Vec<TeamPrediction> = local
         .into_iter()
-        .map(|(label, h)| TeamPrediction { label, expert: me, entropy: h })
+        .map(|(label, h)| TeamPrediction {
+            label,
+            expert: me,
+            entropy: h,
+        })
         .collect();
-    let mut best_weighted: Vec<f32> =
-        best.iter().map(|p| p.entropy * config.weight(me)).collect();
+    let mut best_weighted: Vec<f32> = best.iter().map(|p| p.entropy * config.weight(me)).collect();
 
     for peer in 0..transport.num_nodes() {
         if peer == me {
@@ -167,11 +187,16 @@ pub fn master_infer(
                         results.len()
                     )));
                 }
-                for (row, (label, h)) in results.into_iter().enumerate() {
+                let slots = best_weighted.iter_mut().zip(best.iter_mut());
+                for ((label, h), (current, winner)) in results.into_iter().zip(slots) {
                     let weighted = h * config.weight(peer);
-                    if weighted < best_weighted[row] {
-                        best_weighted[row] = weighted;
-                        best[row] = TeamPrediction { label, expert: peer, entropy: h };
+                    if weighted < *current {
+                        *current = weighted;
+                        *winner = TeamPrediction {
+                            label,
+                            expert: peer,
+                            entropy: h,
+                        };
                     }
                 }
             }
@@ -241,9 +266,13 @@ mod tests {
                 scope.spawn(move |_| serve_worker(node, 0, &mut worker_expert).unwrap());
             }
             let mut master_expert = expert(0);
-            let preds =
-                master_infer(&nodes[0], &mut master_expert, &images, &MasterConfig::default())
-                    .unwrap();
+            let preds = master_infer(
+                &nodes[0],
+                &mut master_expert,
+                &images,
+                &MasterConfig::default(),
+            )
+            .unwrap();
             shutdown_workers(&nodes[0]).unwrap();
             preds
         })
@@ -267,10 +296,8 @@ mod tests {
             &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11),
         );
         let weights = vec![3.0f32, 0.4];
-        let mut local_team = crate::team::TeamNet::from_experts(
-            ModelSpec::mlp(2, 16),
-            vec![expert(0), expert(1)],
-        );
+        let mut local_team =
+            crate::team::TeamNet::from_experts(ModelSpec::mlp(2, 16), vec![expert(0), expert(1)]);
         local_team.set_calibration(weights.clone());
         let expected = local_team.predict(&images);
 
@@ -280,7 +307,10 @@ mod tests {
                 serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
             });
             let mut master_expert = expert(0);
-            let config = MasterConfig { calibration: Some(weights), ..MasterConfig::default() };
+            let config = MasterConfig {
+                calibration: Some(weights),
+                ..MasterConfig::default()
+            };
             let preds = master_infer(&nodes[0], &mut master_expert, &images, &config).unwrap();
             shutdown_workers(&nodes[0]).unwrap();
             preds
@@ -338,9 +368,13 @@ mod tests {
                 serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
             });
             let mut master_expert = expert(0);
-            let preds =
-                master_infer(&nodes[0], &mut master_expert, &images, &MasterConfig::default())
-                    .unwrap();
+            let preds = master_infer(
+                &nodes[0],
+                &mut master_expert,
+                &images,
+                &MasterConfig::default(),
+            )
+            .unwrap();
             assert_eq!(preds.len(), 2);
             shutdown_workers(&nodes[0]).unwrap();
         })
@@ -358,9 +392,13 @@ mod tests {
             let mut master_expert = expert(0);
             for round in 0..5 {
                 let images = Tensor::full([1, 1, 28, 28], round as f32 * 0.1);
-                let preds =
-                    master_infer(&nodes[0], &mut master_expert, &images, &MasterConfig::default())
-                        .unwrap();
+                let preds = master_infer(
+                    &nodes[0],
+                    &mut master_expert,
+                    &images,
+                    &MasterConfig::default(),
+                )
+                .unwrap();
                 assert_eq!(preds.len(), 1);
             }
             shutdown_workers(&nodes[0]).unwrap();

@@ -44,7 +44,13 @@ impl TeamEvaluation {
             .map(|row| {
                 let total: u64 = row.iter().sum();
                 row.iter()
-                    .map(|&w| if total == 0 { 0.0 } else { w as f64 / total as f64 })
+                    .map(|&w| {
+                        if total == 0 {
+                            0.0
+                        } else {
+                            w as f64 / total as f64
+                        }
+                    })
                     .collect()
             })
             .collect()
@@ -71,7 +77,11 @@ impl TeamNet {
     pub fn from_experts(spec: ModelSpec, experts: Vec<Sequential>) -> Self {
         assert!(!experts.is_empty(), "a team needs at least one expert");
         let calibration = vec![1.0; experts.len()];
-        TeamNet { spec, experts, calibration }
+        TeamNet {
+            spec,
+            experts,
+            calibration,
+        }
     }
 
     /// The per-expert entropy weights used by the inference gate.
@@ -88,8 +98,15 @@ impl TeamNet {
     ///
     /// Panics unless `calibration` has one positive weight per expert.
     pub fn set_calibration(&mut self, calibration: Vec<f32>) {
-        assert_eq!(calibration.len(), self.experts.len(), "one weight per expert");
-        assert!(calibration.iter().all(|&c| c > 0.0 && c.is_finite()), "weights must be positive");
+        assert_eq!(
+            calibration.len(),
+            self.experts.len(),
+            "one weight per expert"
+        );
+        assert!(
+            calibration.iter().all(|&c| c > 0.0 && c.is_finite()),
+            "weights must be positive"
+        );
         self.calibration = calibration;
     }
 
@@ -102,35 +119,49 @@ impl TeamNet {
     ///
     /// Panics if `images` is empty.
     pub fn calibrate(&mut self, images: &Tensor) {
-        let n = images.dims()[0];
+        let n = images.dims().first().copied().unwrap_or(0);
         assert!(n > 0, "calibration needs at least one example");
         let k = self.k();
-        let probs: Vec<Tensor> =
-            self.experts.iter_mut().map(|e| e.forward(images, Mode::Eval).softmax_rows()).collect();
+        let probs: Vec<Tensor> = self
+            .experts
+            .iter_mut()
+            .map(|e| e.forward(images, Mode::Eval).softmax_rows())
+            .collect();
         // Raw arg-min assignment, then per-expert mean entropy over its
         // own territory. Experts that win nothing fall back to their mean
-        // entropy over everything.
+        // entropy over everything. An expert whose distribution fails
+        // validation reports infinite uncertainty and so wins nothing.
         let mut own_sum = vec![0.0f64; k];
         let mut own_count = vec![0usize; k];
         let mut all_sum = vec![0.0f64; k];
         for r in 0..n {
-            let hs: Vec<f32> = probs.iter().map(|p| entropy(p.row(r))).collect();
+            let hs: Vec<f32> = probs
+                .iter()
+                .map(|p| entropy(p.row(r)).unwrap_or(f32::INFINITY))
+                .collect();
             let mut winner = 0usize;
-            for (i, &h) in hs.iter().enumerate() {
-                if h < hs[winner] {
+            let mut winner_h = f32::INFINITY;
+            for (i, (&h, sum)) in hs.iter().zip(all_sum.iter_mut()).enumerate() {
+                if h < winner_h {
                     winner = i;
+                    winner_h = h;
                 }
-                all_sum[i] += f64::from(h);
+                *sum += f64::from(h);
             }
-            own_sum[winner] += f64::from(hs[winner]);
-            own_count[winner] += 1;
+            if let (Some(sum), Some(count)) = (own_sum.get_mut(winner), own_count.get_mut(winner)) {
+                *sum += f64::from(winner_h);
+                *count += 1;
+            }
         }
-        let mut weights: Vec<f32> = (0..k)
-            .map(|i| {
-                let reference = if own_count[i] > 0 {
-                    own_sum[i] / own_count[i] as f64
+        let mut weights: Vec<f32> = own_sum
+            .iter()
+            .zip(&own_count)
+            .zip(&all_sum)
+            .map(|((&own, &count), &all)| {
+                let reference = if count > 0 {
+                    own / count as f64
                 } else {
-                    all_sum[i] / n as f64
+                    all / n as f64
                 };
                 (1.0 / reference.max(1e-6)) as f32
             })
@@ -153,7 +184,13 @@ impl TeamNet {
     }
 
     /// Mutable access to one expert (e.g. to deploy it to a device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.k()`.
     pub fn expert_mut(&mut self, i: usize) -> &mut Sequential {
+        // Documented `# Panics` contract for the indexed accessor.
+        // lint: allow(no-index)
         &mut self.experts[i]
     }
 
@@ -184,18 +221,27 @@ impl TeamNet {
     /// Collaborative inference on a batch: every expert predicts, the
     /// least-uncertain wins per example.
     pub fn predict(&mut self, images: &Tensor) -> Vec<TeamPrediction> {
-        let n = images.dims()[0];
+        let n = images.dims().first().copied().unwrap_or(0);
         let calibration = self.calibration.clone();
-        let probs: Vec<Tensor> =
-            self.experts.iter_mut().map(|e| e.forward(images, Mode::Eval).softmax_rows()).collect();
+        let probs: Vec<Tensor> = self
+            .experts
+            .iter_mut()
+            .map(|e| e.forward(images, Mode::Eval).softmax_rows())
+            .collect();
         (0..n)
             .map(|r| {
-                let mut best = TeamPrediction { label: 0, expert: 0, entropy: f32::INFINITY };
+                let mut best = TeamPrediction {
+                    label: 0,
+                    expert: 0,
+                    entropy: f32::INFINITY,
+                };
                 let mut best_weighted = f32::INFINITY;
-                for (i, p) in probs.iter().enumerate() {
+                for (i, (p, &weight)) in probs.iter().zip(&calibration).enumerate() {
                     let row = p.row(r);
-                    let h = entropy(row);
-                    let weighted = h * calibration[i];
+                    // An invalid distribution (diverged expert) counts as
+                    // infinitely uncertain: the expert never wins a row.
+                    let h = entropy(row).unwrap_or(f32::INFINITY);
+                    let weighted = h * weight;
                     if weighted < best_weighted {
                         best_weighted = weighted;
                         best = TeamPrediction {
@@ -216,21 +262,31 @@ impl TeamNet {
     /// trained to specialize, "considering the prediction of 'non-expert'
     /// can be detrimental".
     pub fn predict_majority(&mut self, images: &Tensor) -> Vec<TeamPrediction> {
-        let n = images.dims()[0];
-        let probs: Vec<Tensor> =
-            self.experts.iter_mut().map(|e| e.forward(images, Mode::Eval).softmax_rows()).collect();
-        let classes = probs[0].dims()[1];
+        let n = images.dims().first().copied().unwrap_or(0);
+        let probs: Vec<Tensor> = self
+            .experts
+            .iter_mut()
+            .map(|e| e.forward(images, Mode::Eval).softmax_rows())
+            .collect();
+        let classes = probs
+            .first()
+            .and_then(|p| p.dims().get(1))
+            .copied()
+            .unwrap_or(0);
         (0..n)
             .map(|r| {
                 // Each expert votes with weight 1/(ε + H): confident experts
-                // count more, but nobody is excluded.
+                // count more, but nobody is excluded. An invalid distribution
+                // votes with infinite entropy, i.e. weight zero.
                 let mut tally = vec![0.0f32; classes];
                 let mut per_expert: Vec<(usize, f32)> = Vec::with_capacity(self.experts.len());
                 for p in &probs {
                     let row = p.row(r);
-                    let h = entropy(row);
+                    let h = entropy(row).unwrap_or(f32::INFINITY);
                     let label = teamnet_tensor::argmax_slice(row);
-                    tally[label] += 1.0 / (0.1 + h);
+                    if let Some(votes) = tally.get_mut(label) {
+                        *votes += 1.0 / (0.1 + h);
+                    }
                     per_expert.push((label, h));
                 }
                 let winner = teamnet_tensor::argmax_slice(&tally);
@@ -240,9 +296,13 @@ impl TeamNet {
                     .enumerate()
                     .filter(|(_, (l, _))| *l == winner)
                     .map(|(i, (_, h))| (i, *h))
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite entropy"))
-                    .expect("winner has at least one voter");
-                TeamPrediction { label: winner, expert, entropy }
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .unwrap_or((0, f32::INFINITY));
+                TeamPrediction {
+                    label: winner,
+                    expert,
+                    entropy,
+                }
             })
             .collect()
     }
@@ -257,7 +317,11 @@ impl TeamNet {
         assert!(!data.is_empty(), "cannot evaluate on an empty dataset");
         let mut correct = 0u64;
         for batch in data.batches(256) {
-            for (pred, &truth) in self.predict_majority(&batch.images).iter().zip(&batch.labels) {
+            for (pred, &truth) in self
+                .predict_majority(&batch.images)
+                .iter()
+                .zip(&batch.labels)
+            {
                 if pred.label == truth {
                     correct += 1;
                 }
@@ -283,8 +347,15 @@ impl TeamNet {
                 if pred.label == truth {
                     correct += 1;
                 }
-                expert_wins[pred.expert] += 1;
-                per_class_wins[truth][pred.expert] += 1;
+                if let Some(wins) = expert_wins.get_mut(pred.expert) {
+                    *wins += 1;
+                }
+                if let Some(cell) = per_class_wins
+                    .get_mut(truth)
+                    .and_then(|row| row.get_mut(pred.expert))
+                {
+                    *cell += 1;
+                }
             }
         }
         TeamEvaluation {
@@ -336,12 +407,15 @@ mod tests {
         let mut entropies = Vec::new();
         for i in 0..2 {
             let probs = team.expert_mut(i).forward(&x, Mode::Eval).softmax_rows();
-            entropies.push(entropy(probs.row(0)));
+            entropies.push(entropy(probs.row(0)).unwrap());
         }
         let pred = &team.predict(&x)[0];
         let min = entropies.iter().cloned().fold(f32::INFINITY, f32::min);
         assert!((pred.entropy - min).abs() < 1e-6);
-        assert_eq!(pred.expert, if entropies[0] <= entropies[1] { 0 } else { 1 });
+        assert_eq!(
+            pred.expert,
+            if entropies[0] <= entropies[1] { 0 } else { 1 }
+        );
     }
 
     #[test]
@@ -381,7 +455,11 @@ mod tests {
         );
         let plain: Vec<usize> = team.predict(&x).iter().map(|p| p.expert).collect();
         // Heavily handicap whichever expert wins the most.
-        let winner = if plain.iter().filter(|&&e| e == 0).count() >= 4 { 0 } else { 1 };
+        let winner = if plain.iter().filter(|&&e| e == 0).count() >= 4 {
+            0
+        } else {
+            1
+        };
         let mut weights = vec![1.0f32; 2];
         weights[winner] = 100.0;
         team.set_calibration(weights);

@@ -99,11 +99,19 @@ impl TrainingHistory {
     pub fn final_imbalance(&self, tail: usize) -> f32 {
         assert!(!self.records.is_empty(), "empty history");
         assert!(tail > 0, "tail must be positive");
-        let k = self.records[0].cumulative_shares.len() as f32;
+        let k = self
+            .records
+            .first()
+            .map_or(0, |r| r.cumulative_shares.len()) as f32;
         let start = self.records.len().saturating_sub(tail);
-        self.records[start..]
+        self.records
             .iter()
-            .flat_map(|r| r.cumulative_shares.iter().map(move |&s| (s - 1.0 / k).abs()))
+            .skip(start)
+            .flat_map(|r| {
+                r.cumulative_shares
+                    .iter()
+                    .map(move |&s| (s - 1.0 / k).abs())
+            })
             .fold(0.0, f32::max)
     }
 }
@@ -188,15 +196,22 @@ impl Trainer {
                     &mut self.rng,
                 );
             }
-            // Algorithm 1 line 6: entropy of every expert on the batch.
-            let entropy = self.ensemble.entropy_matrix(&batch.images);
+            // Algorithm 1 line 6: entropy of every expert on the batch. A
+            // diverged expert (NaN probabilities) would poison the gate's
+            // arg-min; skip the batch instead of crashing the whole run.
+            let entropy = match self.ensemble.entropy_matrix(&batch.images) {
+                Ok(h) => h,
+                Err(_) => continue,
+            };
             // Line 7: GATE_TRAIN.
             let decision = self.gate.assign(&entropy);
             // Line 8: EXPERT_TRAIN.
             let losses = self.ensemble.train_assigned(&batch, &decision.assignment);
 
             for &a in &decision.assignment {
-                self.assigned_counts[a] += 1;
+                if let Some(count) = self.assigned_counts.get_mut(a) {
+                    *count += 1;
+                }
             }
             let total: u64 = self.assigned_counts.iter().sum();
             let cumulative_shares = self
@@ -259,7 +274,11 @@ mod tests {
     use teamnet_data::synth_digits;
 
     fn small_config() -> TrainConfig {
-        TrainConfig { epochs: 2, batch_size: 32, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: 2,
+            batch_size: 32,
+            ..TrainConfig::default()
+        }
     }
 
     #[test]
@@ -280,7 +299,11 @@ mod tests {
     fn proportions_converge_towards_half() {
         let mut rng = StdRng::seed_from_u64(101);
         let data = synth_digits(600, &mut rng);
-        let config = TrainConfig { epochs: 4, batch_size: 50, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 50,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
         let history = trainer.train(&data);
         // Figures 6a: cumulative shares end near the 0.5 set point.
@@ -292,7 +315,11 @@ mod tests {
     fn four_expert_training_runs_and_balances() {
         let mut rng = StdRng::seed_from_u64(102);
         let data = synth_digits(600, &mut rng);
-        let config = TrainConfig { epochs: 4, batch_size: 60, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 60,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(ModelSpec::mlp(2, 24), 4, config);
         let history = trainer.train(&data);
         let imbalance = history.final_imbalance(5);
@@ -305,7 +332,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(103);
         let data = synth_digits(1_500, &mut rng);
         let (train, test) = data.split(1_200);
-        let config = TrainConfig { epochs: 5, batch_size: 32, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
         trainer.train(&train);
         let mut team = trainer.into_team();
@@ -317,13 +348,24 @@ mod tests {
     fn expert_losses_fall_over_training() {
         let mut rng = StdRng::seed_from_u64(104);
         let data = synth_digits(400, &mut rng);
-        let config = TrainConfig { epochs: 4, batch_size: 40, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 4,
+            batch_size: 40,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
         let history = trainer.train(&data);
-        let early: f32 = history.records[..3].iter().map(|r| r.mean_expert_loss).sum::<f32>() / 3.0;
+        let early: f32 = history.records[..3]
+            .iter()
+            .map(|r| r.mean_expert_loss)
+            .sum::<f32>()
+            / 3.0;
         let n = history.len();
-        let late: f32 =
-            history.records[n - 3..].iter().map(|r| r.mean_expert_loss).sum::<f32>() / 3.0;
+        let late: f32 = history.records[n - 3..]
+            .iter()
+            .map(|r| r.mean_expert_loss)
+            .sum::<f32>()
+            / 3.0;
         assert!(late < early * 0.7, "loss {early} -> {late}");
     }
 

@@ -18,13 +18,26 @@ use teamnet_tensor::Tensor;
 /// Panics if `images` is not rank-4.
 pub fn augment_batch(images: &Tensor, max_shift: usize, rng: &mut impl Rng) -> Tensor {
     assert_eq!(images.rank(), 4, "augment_batch expects [n, c, h, w]");
-    let (n, c, h, w) = (images.dims()[0], images.dims()[1], images.dims()[2], images.dims()[3]);
+    let (n, c, h, w) = (
+        images.dims()[0],
+        images.dims()[1],
+        images.dims()[2],
+        images.dims()[3],
+    );
     let mut out = Tensor::zeros([n, c, h, w]);
     let shift_range = max_shift as isize;
     for s in 0..n {
         let flip = rng.gen_bool(0.5);
-        let dy = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
-        let dx = if shift_range > 0 { rng.gen_range(-shift_range..=shift_range) } else { 0 };
+        let dy = if shift_range > 0 {
+            rng.gen_range(-shift_range..=shift_range)
+        } else {
+            0
+        };
+        let dx = if shift_range > 0 {
+            rng.gen_range(-shift_range..=shift_range)
+        } else {
+            0
+        };
         for ch in 0..c {
             let src_base = (s * c + ch) * h * w;
             let dst_base = src_base;
@@ -38,7 +51,11 @@ pub fn augment_batch(images: &Tensor, max_shift: usize, rng: &mut impl Rng) -> T
                     if sx_pre < 0 || sx_pre >= w as isize {
                         continue;
                     }
-                    let sx = if flip { w as isize - 1 - sx_pre } else { sx_pre };
+                    let sx = if flip {
+                        w as isize - 1 - sx_pre
+                    } else {
+                        sx_pre
+                    };
                     let v = images.data()[src_base + (sy as usize) * w + sx as usize];
                     out.data_mut()[dst_base + (y as usize) * w + x as usize] = v;
                 }
@@ -55,7 +72,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn ramp(n: usize, c: usize, h: usize, w: usize) -> Tensor {
-        Tensor::arange(n * c * h * w).into_reshaped([n, c, h, w]).unwrap()
+        Tensor::arange(n * c * h * w)
+            .into_reshaped([n, c, h, w])
+            .unwrap()
     }
 
     #[test]
@@ -113,10 +132,8 @@ mod tests {
         x.set(&[0, 1, 2, 1], 1.0);
         let aug = augment_batch(&x, 2, &mut rng);
         // Wherever the pixel landed, it landed in both channels.
-        let c0: Vec<usize> =
-            (0..25).filter(|&i| aug.data()[i] > 0.5).collect();
-        let c1: Vec<usize> =
-            (0..25).filter(|&i| aug.data()[25 + i] > 0.5).collect();
+        let c0: Vec<usize> = (0..25).filter(|&i| aug.data()[i] > 0.5).collect();
+        let c1: Vec<usize> = (0..25).filter(|&i| aug.data()[25 + i] > 0.5).collect();
         assert_eq!(c0, c1);
     }
 }

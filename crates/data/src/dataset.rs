@@ -28,7 +28,11 @@ impl Dataset {
             "label out of range for {} classes",
             class_names.len()
         );
-        Dataset { images, labels, class_names }
+        Dataset {
+            images,
+            labels,
+            class_names,
+        }
     }
 
     /// Number of examples.
@@ -74,7 +78,11 @@ impl Dataset {
     pub fn subset(&self, indices: &[usize]) -> Dataset {
         let images = self.images.select_rows(indices);
         let labels = indices.iter().map(|&i| self.labels[i]).collect();
-        Dataset { images, labels, class_names: self.class_names.clone() }
+        Dataset {
+            images,
+            labels,
+            class_names: self.class_names.clone(),
+        }
     }
 
     /// Splits off the first `n_first` examples: `(first, rest)`.
@@ -83,7 +91,11 @@ impl Dataset {
     ///
     /// Panics if `n_first > self.len()`.
     pub fn split(&self, n_first: usize) -> (Dataset, Dataset) {
-        assert!(n_first <= self.len(), "cannot split {n_first} from {}", self.len());
+        assert!(
+            n_first <= self.len(),
+            "cannot split {n_first} from {}",
+            self.len()
+        );
         let first: Vec<usize> = (0..n_first).collect();
         let rest: Vec<usize> = (n_first..self.len()).collect();
         (self.subset(&first), self.subset(&rest))
@@ -105,7 +117,11 @@ impl Dataset {
     /// Panics if `batch_size == 0`.
     pub fn batches(&self, batch_size: usize) -> Batches<'_> {
         assert!(batch_size > 0, "batch size must be positive");
-        Batches { dataset: self, batch_size, cursor: 0 }
+        Batches {
+            dataset: self,
+            batch_size,
+            cursor: 0,
+        }
     }
 
     /// Per-class example counts.
@@ -205,7 +221,10 @@ mod tests {
         let s = d.subset(&[5, 0]);
         assert_eq!(s.len(), 2);
         assert_eq!(s.labels(), &[1, 0]);
-        assert_eq!(s.images().select_rows(&[0]).data(), d.images().select_rows(&[5]).data());
+        assert_eq!(
+            s.images().select_rows(&[0]).data(),
+            d.images().select_rows(&[5]).data()
+        );
 
         let (train, test) = d.split(4);
         assert_eq!(train.len(), 4);

@@ -64,9 +64,9 @@ fn render_digit(out: &mut [f32], digit: usize, rng: &mut impl Rng) {
     debug_assert_eq!(out.len(), DIGIT_HW * DIGIT_HW);
     let mask = DIGIT_SEGMENTS[digit];
     // Random global transform: translate up to ±3 px, small scale jitter.
-    let (tx, ty) = (rng.gen_range(-0.06..0.06), rng.gen_range(-0.06..0.06));
-    let scale = rng.gen_range(0.90..1.08);
-    let thickness = rng.gen_range(0.045..0.085);
+    let (tx, ty): (f32, f32) = (rng.gen_range(-0.06..0.06), rng.gen_range(-0.06..0.06));
+    let scale: f32 = rng.gen_range(0.90..1.08);
+    let thickness: f32 = rng.gen_range(0.045..0.085);
     // Per-segment brightness jitter mimics stroke pressure variation.
     let amps: Vec<f32> = (0..7).map(|_| rng.gen_range(0.75..1.0)).collect();
 
@@ -105,9 +105,14 @@ pub fn synth_digits(n: usize, rng: &mut impl Rng) -> Dataset {
     for i in 0..n {
         // Balanced base assignment, randomized order via the shuffle below.
         let digit = i % 10;
-        render_digit(&mut images[i * DIGIT_HW * DIGIT_HW..(i + 1) * DIGIT_HW * DIGIT_HW], digit, rng);
+        render_digit(
+            &mut images[i * DIGIT_HW * DIGIT_HW..(i + 1) * DIGIT_HW * DIGIT_HW],
+            digit,
+            rng,
+        );
         labels.push(digit);
     }
+    // `images` was sized to exactly n * DIGIT_HW² elements above. lint: allow(no-expect)
     let images = Tensor::from_vec(images, [n, 1, DIGIT_HW, DIGIT_HW]).expect("volume matches");
     let names = (0..10).map(|d| d.to_string()).collect();
     Dataset::new(images, labels, names).shuffled(rng)
@@ -159,7 +164,10 @@ mod tests {
         for i in 0..train.len() {
             let label = train.labels()[i];
             counts[label] += 1;
-            for (m, &p) in means[label].iter_mut().zip(train.images().select_rows(&[i]).data()) {
+            for (m, &p) in means[label]
+                .iter_mut()
+                .zip(train.images().select_rows(&[i]).data())
+            {
                 *m += p;
             }
         }

@@ -74,9 +74,11 @@ pub fn parse_idx_images(bytes: &[u8]) -> Result<Tensor, IdxError> {
             bytes.len()
         )));
     }
-    let data: Vec<f32> = bytes[16..expected].iter().map(|&b| b as f32 / 255.0).collect();
-    Tensor::from_vec(data, [n, 1, h, w])
-        .map_err(|e| IdxError::Format(format!("shape error: {e}")))
+    let data: Vec<f32> = bytes[16..expected]
+        .iter()
+        .map(|&b| b as f32 / 255.0)
+        .collect();
+    Tensor::from_vec(data, [n, 1, h, w]).map_err(|e| IdxError::Format(format!("shape error: {e}")))
 }
 
 /// Parses an `idx1-ubyte` label file into a label vector.
@@ -125,7 +127,9 @@ pub fn mnist_from_dir(dir: impl AsRef<Path>) -> Result<Dataset, IdxError> {
         )));
     }
     if let Some(&bad) = labels.iter().find(|&&l| l > 9) {
-        return Err(IdxError::Format(format!("label {bad} out of range for digits")));
+        return Err(IdxError::Format(format!(
+            "label {bad} out of range for digits"
+        )));
     }
     let names = (0..10).map(|d| d.to_string()).collect();
     Ok(Dataset::new(images, labels, names))
@@ -175,7 +179,10 @@ mod tests {
         assert!(matches!(parse_idx_images(&bytes), Err(IdxError::Format(_))));
         let mut lbytes = label_bytes(&[1]);
         lbytes[3] = 0x03;
-        assert!(matches!(parse_idx_labels(&lbytes), Err(IdxError::Format(_))));
+        assert!(matches!(
+            parse_idx_labels(&lbytes),
+            Err(IdxError::Format(_))
+        ));
     }
 
     #[test]
@@ -183,9 +190,15 @@ mod tests {
         let mut bytes = image_bytes(2, 3, 4);
         bytes.truncate(bytes.len() - 1);
         assert!(matches!(parse_idx_images(&bytes), Err(IdxError::Format(_))));
-        assert!(matches!(parse_idx_images(&bytes[..10]), Err(IdxError::Format(_))));
+        assert!(matches!(
+            parse_idx_images(&bytes[..10]),
+            Err(IdxError::Format(_))
+        ));
         let lbytes = label_bytes(&[1, 2, 3]);
-        assert!(matches!(parse_idx_labels(&lbytes[..9]), Err(IdxError::Format(_))));
+        assert!(matches!(
+            parse_idx_labels(&lbytes[..9]),
+            Err(IdxError::Format(_))
+        ));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! assert_eq!(test.len(), 20);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod augment;

@@ -55,6 +55,8 @@ pub fn superclass(label: usize) -> SuperClass {
     match label {
         0 | 1 | 8 | 9 => SuperClass::Machine,
         2..=7 => SuperClass::Animal,
+        // Documented `# Panics` contract: labels come from the dataset
+        // generator itself, never from the wire. lint: allow(no-panic)
         _ => panic!("label {label} out of range for 10 classes"),
     }
 }
@@ -74,6 +76,8 @@ fn class_params(label: usize) -> ([f32; 3], f32, usize) {
         5 => ([0.50, 0.35, 0.25], 6.5, 3), // dog
         6 => ([0.30, 0.55, 0.30], 8.0, 2), // frog
         7 => ([0.40, 0.30, 0.20], 4.5, 4), // horse
+        // Documented `# Panics` contract: labels come from the dataset
+        // generator itself, never from the wire. lint: allow(no-panic)
         _ => panic!("label {label} out of range for 10 classes"),
     }
 }
@@ -92,11 +96,11 @@ fn render_object(out: &mut [f32], label: usize, rng: &mut impl Rng) {
     };
 
     // Shape placement.
-    let cx = rng.gen_range(0.35..0.65);
-    let cy = rng.gen_range(0.40..0.65);
-    let size = rng.gen_range(0.18..0.30);
+    let cx: f32 = rng.gen_range(0.35..0.65);
+    let cy: f32 = rng.gen_range(0.40..0.65);
+    let size: f32 = rng.gen_range(0.18..0.30);
     let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
-    let brightness = rng.gen_range(0.85..1.1);
+    let brightness: f32 = rng.gen_range(0.85..1.1);
 
     // Secondary blob offsets for animals (head/limbs).
     let offsets: Vec<(f32, f32, f32)> = (0..blobs)
@@ -179,8 +183,8 @@ pub fn synth_objects(n: usize, rng: &mut impl Rng) -> Dataset {
         render_object(&mut images[i * plane..(i + 1) * plane], label, rng);
         labels.push(label);
     }
-    let images =
-        Tensor::from_vec(images, [n, 3, OBJECT_HW, OBJECT_HW]).expect("volume matches");
+    // images was sized to exactly n * plane elements above. lint: allow(no-expect)
+    let images = Tensor::from_vec(images, [n, 3, OBJECT_HW, OBJECT_HW]).expect("volume matches");
     let names = OBJECT_CLASSES.iter().map(|s| s.to_string()).collect();
     Dataset::new(images, labels, names).shuffled(rng)
 }
@@ -193,10 +197,14 @@ mod tests {
 
     #[test]
     fn superclass_partition_matches_paper() {
-        let machines: Vec<usize> = (0..10).filter(|&l| superclass(l) == SuperClass::Machine).collect();
+        let machines: Vec<usize> = (0..10)
+            .filter(|&l| superclass(l) == SuperClass::Machine)
+            .collect();
         assert_eq!(machines, vec![0, 1, 8, 9]);
         assert_eq!(
-            (0..10).filter(|&l| superclass(l) == SuperClass::Animal).count(),
+            (0..10)
+                .filter(|&l| superclass(l) == SuperClass::Animal)
+                .count(),
             6
         );
     }
@@ -231,7 +239,11 @@ mod tests {
             let img = d.images().select_rows(&[i]);
             let red: f32 = img.data()[0..hw2].iter().sum::<f32>() / hw2 as f32;
             let blue: f32 = img.data()[2 * hw2..3 * hw2].iter().sum::<f32>() / hw2 as f32;
-            let guess = if blue > red { SuperClass::Machine } else { SuperClass::Animal };
+            let guess = if blue > red {
+                SuperClass::Machine
+            } else {
+                SuperClass::Animal
+            };
             if guess == superclass(d.labels()[i]) {
                 correct += 1;
             }
@@ -253,7 +265,10 @@ mod tests {
         for i in 0..train.len() {
             let l = train.labels()[i];
             counts[l] += 1;
-            for (m, &p) in means[l].iter_mut().zip(train.images().select_rows(&[i]).data()) {
+            for (m, &p) in means[l]
+                .iter_mut()
+                .zip(train.images().select_rows(&[i]).data())
+            {
                 *m += p;
             }
         }
@@ -267,8 +282,12 @@ mod tests {
             let img = test.images().select_rows(&[i]);
             let mut best = (f32::INFINITY, 0usize);
             for (cls, mean) in means.iter().enumerate() {
-                let dist: f32 =
-                    img.data().iter().zip(mean).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                let dist: f32 = img
+                    .data()
+                    .iter()
+                    .zip(mean)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
                 if dist < best.0 {
                     best = (dist, cls);
                 }
@@ -278,7 +297,10 @@ mod tests {
             }
         }
         let acc = correct as f64 / test.len() as f64;
-        assert!(acc > 0.5, "nearest-mean accuracy only {acc} (chance is 0.1)");
+        assert!(
+            acc > 0.5,
+            "nearest-mean accuracy only {acc} (chance is 0.1)"
+        );
     }
 
     #[test]

@@ -169,7 +169,9 @@ pub fn infer_rpc(
 ) -> Result<Tensor, NetError> {
     let gating = moe.gate(images);
     let client = RpcClient::with_timeout(transport, timeout);
-    combine(moe, &gating, images, |node, payload| client.call(node, METHOD_FORWARD, payload))
+    combine(moe, &gating, images, |node, payload| {
+        client.call(node, METHOD_FORWARD, payload)
+    })
 }
 
 /// Gateway-side SG-MoE-M inference: routes via tagged point-to-point
@@ -203,7 +205,14 @@ mod tests {
     const TIMEOUT: Duration = Duration::from_secs(5);
 
     fn moe_with_k(k: usize) -> SgMoe {
-        SgMoe::new(ModelSpec::mlp(2, 16), k, SgMoeConfig { top_k: 2, ..SgMoeConfig::default() })
+        SgMoe::new(
+            ModelSpec::mlp(2, 16),
+            k,
+            SgMoeConfig {
+                top_k: 2,
+                ..SgMoeConfig::default()
+            },
+        )
     }
 
     /// Remote inference must produce exactly the gateway-local result.

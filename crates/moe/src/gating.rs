@@ -48,7 +48,10 @@ pub fn noisy_top_k(
 
     let mut noisy = clean_logits.clone();
     if let Some(noise) = noise_logits {
-        assert!(noise.shape().same_as(clean_logits.shape()), "noise logits shape mismatch");
+        assert!(
+            noise.shape().same_as(clean_logits.shape()),
+            "noise logits shape mismatch"
+        );
         for (v, &s) in noisy.data_mut().iter_mut().zip(noise.data()) {
             let eps: f32 = {
                 // Box–Muller standard normal.
@@ -65,10 +68,13 @@ pub fn noisy_top_k(
     for r in 0..n {
         let row = noisy.row(r);
         let mut order: Vec<usize> = (0..k).collect();
-        order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite logits"));
+        order.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
         let kept = &order[..top_k];
         // Softmax over the kept logits only.
-        let max = kept.iter().map(|&i| row[i]).fold(f32::NEG_INFINITY, f32::max);
+        let max = kept
+            .iter()
+            .map(|&i| row[i])
+            .fold(f32::NEG_INFINITY, f32::max);
         let mut exp_sum = 0.0f32;
         let exps: Vec<f32> = kept
             .iter()
@@ -93,7 +99,10 @@ pub fn noisy_top_k(
 /// original implementation).
 pub fn gate_logit_grad(gating: &GatingOutput, d_gates: &Tensor) -> Tensor {
     let (n, k) = (gating.gates.dims()[0], gating.gates.dims()[1]);
-    assert!(d_gates.shape().same_as(gating.gates.shape()), "gate grad shape mismatch");
+    assert!(
+        d_gates.shape().same_as(gating.gates.shape()),
+        "gate grad shape mismatch"
+    );
     let mut out = Tensor::zeros([n, k]);
     for r in 0..n {
         let kept = &gating.top_indices[r];
@@ -199,8 +208,13 @@ mod tests {
         let eval = |l: &Tensor| -> (GatingOutput, f32) {
             let mut rng_inner = StdRng::seed_from_u64(0);
             let out = noisy_top_k(l, None, 2, &mut rng_inner);
-            let score: f32 =
-                out.gates.data().iter().zip(d_gates.data()).map(|(&g, &d)| g * d).sum();
+            let score: f32 = out
+                .gates
+                .data()
+                .iter()
+                .zip(d_gates.data())
+                .map(|(&g, &d)| g * d)
+                .sum();
             (out, score)
         };
         let (gating, _) = eval(&logits);

@@ -23,6 +23,7 @@
 //! println!("SG-MoE accuracy: {:.3}", moe.evaluate(&test));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod distributed;
@@ -30,8 +31,8 @@ mod gating;
 mod model;
 
 pub use distributed::{
-    infer_p2p, infer_rpc, serve_expert_p2p, serve_expert_rpc, shutdown_experts_p2p,
-    METHOD_FORWARD, TAG_EXPERT_INPUT, TAG_EXPERT_LOGITS, TAG_EXPERT_SHUTDOWN,
+    infer_p2p, infer_rpc, serve_expert_p2p, serve_expert_rpc, shutdown_experts_p2p, METHOD_FORWARD,
+    TAG_EXPERT_INPUT, TAG_EXPERT_LOGITS, TAG_EXPERT_SHUTDOWN,
 };
 pub use gating::{gate_logit_grad, importance_loss, noisy_top_k, softplus, GatingOutput};
 pub use model::{SgMoe, SgMoeConfig};

@@ -43,22 +43,27 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, NetError> {
     // Distinguish clean EOF (no bytes) from a truncated header.
     let mut filled = 0usize;
     while filled < FRAME_HEADER_LEN {
+        // filled < FRAME_HEADER_LEN by the loop condition. lint: allow(no-index)
         let n = reader.read(&mut header[filled..])?;
         if n == 0 {
             return if filled == 0 {
                 Err(NetError::Closed)
             } else {
-                Err(NetError::Malformed(format!("eof after {filled} header bytes")))
+                Err(NetError::Malformed(format!(
+                    "eof after {filled} header bytes"
+                )))
             };
         }
         filled += n;
     }
-    let mut cursor = &header[..];
+    let mut cursor = header.as_slice();
     let src = cursor.get_u32_le() as NodeId;
     let tag = Tag(cursor.get_u32_le());
     let len = cursor.get_u32_le() as usize;
     if len > MAX_FRAME_LEN {
-        return Err(NetError::Malformed(format!("frame length {len} exceeds cap {MAX_FRAME_LEN}")));
+        return Err(NetError::Malformed(format!(
+            "frame length {len} exceeds cap {MAX_FRAME_LEN}"
+        )));
     }
     let mut payload = vec![0u8; len];
     reader
@@ -95,13 +100,16 @@ pub fn encode_f32s(dims: &[usize], data: &[f32]) -> Vec<u8> {
 pub fn decode_f32s(bytes: &[u8]) -> Result<(Vec<usize>, Vec<f32>), NetError> {
     let take_u32 = |at: usize| -> Result<u32, NetError> {
         bytes
-            .get(at..at + 4)
-            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .get(at..)
+            .and_then(|rest| rest.first_chunk::<4>())
+            .map(|b| u32::from_le_bytes(*b))
             .ok_or_else(|| NetError::Malformed(format!("truncated f32 buffer at offset {at}")))
     };
     let rank = take_u32(0)? as usize;
     if rank > 8 {
-        return Err(NetError::Malformed(format!("implausible tensor rank {rank}")));
+        return Err(NetError::Malformed(format!(
+            "implausible tensor rank {rank}"
+        )));
     }
     let mut dims = Vec::with_capacity(rank);
     for i in 0..rank {
@@ -116,9 +124,12 @@ pub fn decode_f32s(bytes: &[u8]) -> Result<(Vec<usize>, Vec<f32>), NetError> {
             bytes.len()
         )));
     }
-    let data = bytes[data_start..]
+    let data = bytes
+        .get(data_start..)
+        .unwrap_or_default()
         .chunks_exact(4)
-        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .filter_map(|b| b.first_chunk::<4>())
+        .map(|b| f32::from_le_bytes(*b))
         .collect();
     Ok((dims, data))
 }
@@ -198,10 +209,16 @@ mod tests {
     #[test]
     fn f32_rejects_truncation_and_excess() {
         let buf = encode_f32s(&[2], &[1.0, 2.0]);
-        assert!(matches!(decode_f32s(&buf[..buf.len() - 1]), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            decode_f32s(&buf[..buf.len() - 1]),
+            Err(NetError::Malformed(_))
+        ));
         let mut extended = buf.clone();
         extended.push(0);
-        assert!(matches!(decode_f32s(&extended), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            decode_f32s(&extended),
+            Err(NetError::Malformed(_))
+        ));
         assert!(matches!(decode_f32s(&[]), Err(NetError::Malformed(_))));
     }
 

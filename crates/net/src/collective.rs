@@ -35,7 +35,10 @@ pub struct Communicator<'a> {
 impl<'a> Communicator<'a> {
     /// Wraps a transport with the default 30 s collective timeout.
     pub fn new(transport: &'a dyn Transport) -> Self {
-        Communicator { transport, timeout: Duration::from_secs(30) }
+        Communicator {
+            transport,
+            timeout: Duration::from_secs(30),
+        }
     }
 
     /// Overrides the per-operation timeout.
@@ -86,6 +89,7 @@ impl<'a> Communicator<'a> {
     pub fn gather(&self, root: NodeId, mine: &[u8]) -> Result<Option<Vec<Vec<u8>>>, NetError> {
         if self.rank() == root {
             let mut parts = vec![Vec::new(); self.size()];
+            // root == rank() here and rank() < size() always. lint: allow(no-index)
             parts[root] = mine.to_vec();
             for (peer, part) in parts.iter_mut().enumerate() {
                 if peer != root {
@@ -107,9 +111,8 @@ impl<'a> Communicator<'a> {
     /// The root errors unless it supplies exactly `size()` parts.
     pub fn scatter(&self, root: NodeId, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>, NetError> {
         if self.rank() == root {
-            let parts = parts.ok_or_else(|| {
-                NetError::Malformed("scatter root must supply parts".to_string())
-            })?;
+            let parts = parts
+                .ok_or_else(|| NetError::Malformed("scatter root must supply parts".to_string()))?;
             if parts.len() != self.size() {
                 return Err(NetError::Malformed(format!(
                     "scatter needs {} parts, got {}",
@@ -122,6 +125,8 @@ impl<'a> Communicator<'a> {
                     self.transport.send(peer, SCATTER, part)?;
                 }
             }
+            // parts.len() == size() was just checked; root == rank() < size().
+            // lint: allow(no-index)
             Ok(parts[root].clone())
         } else {
             self.transport.recv(root, SCATTER, self.timeout)
@@ -151,10 +156,10 @@ impl<'a> Communicator<'a> {
         let mut at = 0usize;
         for _ in 0..self.size() {
             let len_bytes = encoded
-                .get(at..at + 4)
+                .get(at..)
+                .and_then(|rest| rest.first_chunk::<4>())
                 .ok_or_else(|| NetError::Malformed("truncated all_gather envelope".into()))?;
-            let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]])
-                as usize;
+            let len = u32::from_le_bytes(*len_bytes) as usize;
             at += 4;
             let part = encoded
                 .get(at..at + len)
@@ -184,8 +189,9 @@ impl<'a> Communicator<'a> {
                         bytes.len()
                     )));
                 }
-                for (a, chunk) in acc.iter_mut().zip(part.chunks_exact(4)) {
-                    *a += f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                let words = part.chunks_exact(4).filter_map(|c| c.first_chunk::<4>());
+                for (a, chunk) in acc.iter_mut().zip(words) {
+                    *a += f32::from_le_bytes(*chunk);
                 }
             }
             let out: Vec<u8> = acc.iter().flat_map(|x| x.to_le_bytes()).collect();
@@ -194,8 +200,9 @@ impl<'a> Communicator<'a> {
             self.transport.send(0, REDUCE, &bytes)?;
             self.broadcast(0, None)?
         };
-        for (x, chunk) in data.iter_mut().zip(reduced.chunks_exact(4)) {
-            *x = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let words = reduced.chunks_exact(4).filter_map(|c| c.first_chunk::<4>());
+        for (x, chunk) in data.iter_mut().zip(words) {
+            *x = f32::from_le_bytes(*chunk);
         }
         Ok(())
     }
@@ -249,7 +256,11 @@ mod tests {
     #[test]
     fn broadcast_reaches_everyone() {
         run_cluster(4, |comm| {
-            let data = if comm.rank() == 1 { Some(&b"payload"[..]) } else { None };
+            let data = if comm.rank() == 1 {
+                Some(&b"payload"[..])
+            } else {
+                None
+            };
             let got = comm.broadcast(1, data).unwrap();
             assert_eq!(got, b"payload");
         });
@@ -277,7 +288,11 @@ mod tests {
     fn scatter_delivers_own_part() {
         run_cluster(3, |comm| {
             let parts: Vec<Vec<u8>> = (0..3).map(|r| vec![r as u8 * 10]).collect();
-            let root_parts = if comm.rank() == 0 { Some(&parts[..]) } else { None };
+            let root_parts = if comm.rank() == 0 {
+                Some(&parts[..])
+            } else {
+                None
+            };
             let mine = comm.scatter(0, root_parts).unwrap();
             assert_eq!(mine, vec![comm.rank() as u8 * 10]);
         });
@@ -326,7 +341,10 @@ mod tests {
     fn broadcast_root_without_data_errors() {
         let nodes = ChannelTransport::mesh(1);
         let comm = Communicator::new(&nodes[0]);
-        assert!(matches!(comm.broadcast(0, None), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            comm.broadcast(0, None),
+            Err(NetError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -334,7 +352,10 @@ mod tests {
         let nodes = ChannelTransport::mesh(1);
         let comm = Communicator::new(&nodes[0]);
         let parts = vec![vec![1u8], vec![2u8]];
-        assert!(matches!(comm.scatter(0, Some(&parts)), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            comm.scatter(0, Some(&parts)),
+            Err(NetError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -344,7 +365,11 @@ mod tests {
             for node in &nodes {
                 scope.spawn(move |_| {
                     let comm = Communicator::new(node);
-                    let data = if comm.rank() == 0 { Some(&b"tcp-bcast"[..]) } else { None };
+                    let data = if comm.rank() == 0 {
+                        Some(&b"tcp-bcast"[..])
+                    } else {
+                        None
+                    };
                     assert_eq!(comm.broadcast(0, data).unwrap(), b"tcp-bcast");
                     let mut xs = vec![1.0f32];
                     comm.all_reduce_sum(&mut xs).unwrap();

@@ -57,9 +57,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(NetError::Timeout { waiting_for: "gather from node 2".into() }
-            .to_string()
-            .contains("gather from node 2"));
+        assert!(NetError::Timeout {
+            waiting_for: "gather from node 2".into()
+        }
+        .to_string()
+        .contains("gather from node 2"));
         assert!(NetError::UnknownPeer(7).to_string().contains('7'));
         assert!(!NetError::Closed.to_string().is_empty());
     }

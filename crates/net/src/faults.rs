@@ -23,7 +23,12 @@ pub struct LossyTransport<T: Transport> {
 impl<T: Transport> LossyTransport<T> {
     /// Wraps `inner` with no faults configured.
     pub fn new(inner: T) -> Self {
-        LossyTransport { inner, blackholed: Mutex::new(HashSet::new()), drop_every: 0, sent: Mutex::new(0) }
+        LossyTransport {
+            inner,
+            blackholed: Mutex::new(HashSet::new()),
+            drop_every: 0,
+            sent: Mutex::new(0),
+        }
     }
 
     /// Drops every `n`-th outgoing message (1 = drop everything).
@@ -34,7 +39,12 @@ impl<T: Transport> LossyTransport<T> {
     /// wrapper.
     pub fn dropping_every(inner: T, n: u64) -> Self {
         assert!(n > 0, "drop_every must be positive");
-        LossyTransport { inner, blackholed: Mutex::new(HashSet::new()), drop_every: n, sent: Mutex::new(0) }
+        LossyTransport {
+            inner,
+            blackholed: Mutex::new(HashSet::new()),
+            drop_every: n,
+            sent: Mutex::new(0),
+        }
     }
 
     /// Starts black-holing all traffic towards `peer` (simulates the peer
@@ -56,7 +66,12 @@ impl<T: Transport> LossyTransport<T> {
 
 impl<T: Transport> std::fmt::Debug for LossyTransport<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "LossyTransport(node {}, drop_every {})", self.inner.node_id(), self.drop_every)
+        write!(
+            f,
+            "LossyTransport(node {}, drop_every {})",
+            self.inner.node_id(),
+            self.drop_every
+        )
     }
 }
 
@@ -112,7 +127,10 @@ mod tests {
 
         lossy.blackhole(1);
         lossy.send(1, TAG, b"lost").unwrap();
-        assert!(matches!(receiver.recv(0, TAG, SHORT), Err(NetError::Timeout { .. })));
+        assert!(matches!(
+            receiver.recv(0, TAG, SHORT),
+            Err(NetError::Timeout { .. })
+        ));
 
         lossy.heal(1);
         lossy.send(1, TAG, b"found").unwrap();
@@ -130,7 +148,10 @@ mod tests {
         // Messages 2 and 4 (1-indexed) were dropped.
         assert_eq!(receiver.recv(0, TAG, SHORT).unwrap(), vec![0]);
         assert_eq!(receiver.recv(0, TAG, SHORT).unwrap(), vec![2]);
-        assert!(matches!(receiver.recv(0, TAG, SHORT), Err(NetError::Timeout { .. })));
+        assert!(matches!(
+            receiver.recv(0, TAG, SHORT),
+            Err(NetError::Timeout { .. })
+        ));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! assert_eq!(result.unwrap(), b"sensor data");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;

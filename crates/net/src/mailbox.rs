@@ -43,7 +43,11 @@ impl Mailbox {
     /// Delivers a message from `from` with `tag`.
     pub fn deliver(&self, from: NodeId, tag: Tag, payload: Vec<u8>) {
         let mut queues = self.queues.lock();
-        queues.by_key.entry((from, tag)).or_default().push_back(payload);
+        queues
+            .by_key
+            .entry((from, tag))
+            .or_default()
+            .push_back(payload);
         drop(queues);
         self.available.notify_all();
     }
@@ -98,25 +102,22 @@ impl Mailbox {
         let deadline = Instant::now() + timeout;
         let mut queues = self.queues.lock();
         loop {
-            let key = queues
+            let hit = queues
                 .by_key
-                .iter()
-                .find(|((_, t), q)| *t == tag && !q.is_empty())
-                .map(|((from, _), _)| *from);
-            if let Some(from) = key {
-                let msg = queues
-                    .by_key
-                    .get_mut(&(from, tag))
-                    .and_then(VecDeque::pop_front)
-                    .expect("non-empty queue just observed");
-                return Ok((from, msg));
+                .iter_mut()
+                .find(|((_, t), queue)| *t == tag && !queue.is_empty())
+                .and_then(|(&(from, _), queue)| queue.pop_front().map(|msg| (from, msg)));
+            if let Some(hit) = hit {
+                return Ok(hit);
             }
             if self.is_closed() {
                 return Err(NetError::Closed);
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(NetError::Timeout { waiting_for: format!("any message with tag {}", tag.0) });
+                return Err(NetError::Timeout {
+                    waiting_for: format!("any message with tag {}", tag.0),
+                });
             }
             self.available.wait_until(&mut queues, deadline);
         }
@@ -140,7 +141,10 @@ mod tests {
     fn deliver_then_recv() {
         let mb = Mailbox::new();
         mb.deliver(3, TAG, vec![1, 2, 3]);
-        assert_eq!(mb.recv(3, TAG, Duration::from_millis(10)).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            mb.recv(3, TAG, Duration::from_millis(10)).unwrap(),
+            vec![1, 2, 3]
+        );
     }
 
     #[test]
@@ -151,7 +155,10 @@ mod tests {
         mb.deliver(1, TAG, vec![1]);
         assert_eq!(mb.recv(1, TAG, Duration::from_millis(10)).unwrap(), vec![1]);
         assert_eq!(mb.recv(2, TAG, Duration::from_millis(10)).unwrap(), vec![2]);
-        assert_eq!(mb.recv(1, Tag(9), Duration::from_millis(10)).unwrap(), vec![9]);
+        assert_eq!(
+            mb.recv(1, Tag(9), Duration::from_millis(10)).unwrap(),
+            vec![9]
+        );
     }
 
     #[test]

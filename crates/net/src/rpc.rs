@@ -29,12 +29,14 @@ fn encode_request(request_id: u64, method: u32, payload: &[u8]) -> Vec<u8> {
 }
 
 fn decode_request(bytes: &[u8]) -> Result<(u64, u32, &[u8]), NetError> {
-    if bytes.len() < 12 {
-        return Err(NetError::Malformed(format!("rpc request of {} bytes", bytes.len())));
-    }
-    let request_id = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
-    let method = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-    Ok((request_id, method, &bytes[12..]))
+    let malformed = || NetError::Malformed(format!("rpc request of {} bytes", bytes.len()));
+    let (id_bytes, rest) = bytes.split_first_chunk::<8>().ok_or_else(malformed)?;
+    let (method_bytes, payload) = rest.split_first_chunk::<4>().ok_or_else(malformed)?;
+    Ok((
+        u64::from_le_bytes(*id_bytes),
+        u32::from_le_bytes(*method_bytes),
+        payload,
+    ))
 }
 
 fn encode_response(request_id: u64, result: &Result<Vec<u8>, String>) -> Vec<u8> {
@@ -54,12 +56,11 @@ fn encode_response(request_id: u64, result: &Result<Vec<u8>, String>) -> Vec<u8>
 }
 
 fn decode_response(bytes: &[u8]) -> Result<(u64, Result<Vec<u8>, String>), NetError> {
-    if bytes.len() < 9 {
-        return Err(NetError::Malformed(format!("rpc response of {} bytes", bytes.len())));
-    }
-    let request_id = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
-    let body = &bytes[9..];
-    let result = match bytes[8] {
+    let malformed = || NetError::Malformed(format!("rpc response of {} bytes", bytes.len()));
+    let (id_bytes, rest) = bytes.split_first_chunk::<8>().ok_or_else(malformed)?;
+    let (&status, body) = rest.split_first().ok_or_else(malformed)?;
+    let request_id = u64::from_le_bytes(*id_bytes);
+    let result = match status {
         STATUS_OK => Ok(body.to_vec()),
         STATUS_ERR => Err(String::from_utf8_lossy(body).into_owned()),
         other => return Err(NetError::Malformed(format!("unknown rpc status {other}"))),
@@ -81,12 +82,20 @@ pub struct RpcClient<'a> {
 impl<'a> RpcClient<'a> {
     /// Creates a client with a 30 s call timeout.
     pub fn new(transport: &'a dyn Transport) -> Self {
-        RpcClient { transport, timeout: Duration::from_secs(30), next_id: AtomicU64::new(1) }
+        RpcClient {
+            transport,
+            timeout: Duration::from_secs(30),
+            next_id: AtomicU64::new(1),
+        }
     }
 
     /// Creates a client with a custom call timeout.
     pub fn with_timeout(transport: &'a dyn Transport, timeout: Duration) -> Self {
-        RpcClient { transport, timeout, next_id: AtomicU64::new(1) }
+        RpcClient {
+            transport,
+            timeout,
+            next_id: AtomicU64::new(1),
+        }
     }
 
     /// Issues a blocking unary call of `method` on node `to`.
@@ -98,12 +107,18 @@ impl<'a> RpcClient<'a> {
     /// * transport errors otherwise.
     pub fn call(&self, to: NodeId, method: u32, payload: &[u8]) -> Result<Vec<u8>, NetError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.transport.send(to, RPC_REQUEST, &encode_request(request_id, method, payload))?;
+        self.transport.send(
+            to,
+            RPC_REQUEST,
+            &encode_request(request_id, method, payload),
+        )?;
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
-                return Err(NetError::Timeout { waiting_for: format!("rpc response {request_id}") });
+                return Err(NetError::Timeout {
+                    waiting_for: format!("rpc response {request_id}"),
+                });
             }
             let bytes = self.transport.recv(to, RPC_RESPONSE, remaining)?;
             let (rid, result) = decode_response(&bytes)?;
@@ -131,7 +146,9 @@ pub struct ServerControl {
 impl ServerControl {
     /// Creates a control handle in the running state.
     pub fn new() -> Self {
-        ServerControl { stop: Arc::new(AtomicBool::new(false)) }
+        ServerControl {
+            stop: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// Asks the server loop to exit after its current poll interval.
@@ -189,7 +206,10 @@ mod tests {
         let buf = encode_request(42, 7, b"abc");
         let (id, method, payload) = decode_request(&buf).unwrap();
         assert_eq!((id, method, payload), (42, 7, &b"abc"[..]));
-        assert!(matches!(decode_request(&buf[..5]), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            decode_request(&buf[..5]),
+            Err(NetError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -198,7 +218,10 @@ mod tests {
         assert_eq!(decode_response(&ok).unwrap(), (1, Ok(b"yes".to_vec())));
         let err = encode_response(2, &Err("boom".to_string()));
         assert_eq!(decode_response(&err).unwrap(), (2, Err("boom".to_string())));
-        assert!(matches!(decode_response(&[0; 3]), Err(NetError::Malformed(_))));
+        assert!(matches!(
+            decode_response(&[0; 3]),
+            Err(NetError::Malformed(_))
+        ));
     }
 
     #[test]
@@ -237,7 +260,10 @@ mod tests {
             });
             let client = RpcClient::new(&nodes[0]);
             let err = client.call(1, 0, b"").unwrap_err();
-            assert!(matches!(err, NetError::Remote(ref m) if m == "nope"), "{err}");
+            assert!(
+                matches!(err, NetError::Remote(ref m) if m == "nope"),
+                "{err}"
+            );
             control.stop();
         })
         .unwrap();
@@ -247,7 +273,10 @@ mod tests {
     fn call_times_out_without_server() {
         let nodes = ChannelTransport::mesh(2);
         let client = RpcClient::with_timeout(&nodes[0], Duration::from_millis(50));
-        assert!(matches!(client.call(1, 0, b""), Err(NetError::Timeout { .. })));
+        assert!(matches!(
+            client.call(1, 0, b""),
+            Err(NetError::Timeout { .. })
+        ));
     }
 
     #[test]
@@ -257,8 +286,10 @@ mod tests {
         let control2 = control.clone();
         thread::scope(|scope| {
             scope.spawn(|_| {
-                serve(&nodes[1], &control2, |_, _, payload| Ok(payload.iter().rev().copied().collect()))
-                    .unwrap();
+                serve(&nodes[1], &control2, |_, _, payload| {
+                    Ok(payload.iter().rev().copied().collect())
+                })
+                .unwrap();
             });
             let client = RpcClient::new(&nodes[0]);
             assert_eq!(client.call(1, 0, b"abc").unwrap(), b"cba");

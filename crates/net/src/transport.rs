@@ -96,20 +96,34 @@ impl ChannelTransport {
             .map(|node_id| ChannelTransport {
                 node_id,
                 mailboxes: Arc::clone(&mailboxes),
-                counters: SharedCounters { messages: AtomicU64::new(0), bytes: AtomicU64::new(0) },
+                counters: SharedCounters {
+                    messages: AtomicU64::new(0),
+                    bytes: AtomicU64::new(0),
+                },
             })
             .collect()
     }
 
     /// Closes this endpoint's mailbox, waking any blocked receivers.
     pub fn shutdown(&self) {
-        self.mailboxes[self.node_id].close();
+        self.own_mailbox().close();
+    }
+
+    fn own_mailbox(&self) -> &Mailbox {
+        // node_id < mailboxes.len() by construction in `mesh`.
+        // lint: allow(no-index)
+        &self.mailboxes[self.node_id]
     }
 }
 
 impl std::fmt::Debug for ChannelTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ChannelTransport(node {}/{})", self.node_id, self.mailboxes.len())
+        write!(
+            f,
+            "ChannelTransport(node {}/{})",
+            self.node_id,
+            self.mailboxes.len()
+        )
     }
 }
 
@@ -128,7 +142,9 @@ impl Transport for ChannelTransport {
             return Err(NetError::Closed);
         }
         self.counters.messages.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.counters
+            .bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         mailbox.deliver(self.node_id, tag, payload.to_vec());
         Ok(())
     }
@@ -137,11 +153,11 @@ impl Transport for ChannelTransport {
         if from >= self.num_nodes() {
             return Err(NetError::UnknownPeer(from));
         }
-        self.mailboxes[self.node_id].recv(from, tag, timeout)
+        self.own_mailbox().recv(from, tag, timeout)
     }
 
     fn recv_any(&self, tag: Tag, timeout: Duration) -> Result<(NodeId, Vec<u8>), NetError> {
-        self.mailboxes[self.node_id].recv_any(tag, timeout)
+        self.own_mailbox().recv_any(tag, timeout)
     }
 
     fn stats(&self) -> TransportStats {
@@ -170,8 +186,14 @@ mod tests {
     #[test]
     fn send_to_unknown_peer_fails() {
         let nodes = ChannelTransport::mesh(2);
-        assert!(matches!(nodes[0].send(5, TAG, b"x"), Err(NetError::UnknownPeer(5))));
-        assert!(matches!(nodes[0].recv(5, TAG, SHORT), Err(NetError::UnknownPeer(5))));
+        assert!(matches!(
+            nodes[0].send(5, TAG, b"x"),
+            Err(NetError::UnknownPeer(5))
+        ));
+        assert!(matches!(
+            nodes[0].recv(5, TAG, SHORT),
+            Err(NetError::UnknownPeer(5))
+        ));
     }
 
     #[test]
@@ -179,7 +201,13 @@ mod tests {
         let nodes = ChannelTransport::mesh(2);
         nodes[0].send(1, TAG, &[0u8; 10]).unwrap();
         nodes[0].send(1, TAG, &[0u8; 5]).unwrap();
-        assert_eq!(nodes[0].stats(), TransportStats { messages_sent: 2, bytes_sent: 15 });
+        assert_eq!(
+            nodes[0].stats(),
+            TransportStats {
+                messages_sent: 2,
+                bytes_sent: 15
+            }
+        );
         assert_eq!(nodes[1].stats(), TransportStats::default());
     }
 
@@ -203,7 +231,10 @@ mod tests {
         let nodes = ChannelTransport::mesh(2);
         nodes[1].shutdown();
         assert!(matches!(nodes[0].send(1, TAG, b"x"), Err(NetError::Closed)));
-        assert!(matches!(nodes[1].recv(0, TAG, SHORT), Err(NetError::Closed)));
+        assert!(matches!(
+            nodes[1].recv(0, TAG, SHORT),
+            Err(NetError::Closed)
+        ));
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward() before forward()");
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward() before forward()");
         let (gx, gw, gb) = conv2d_backward(x, &self.weight.value, grad_out, self.spec);
         self.weight.grad.axpy(1.0, &gw);
         self.bias.grad.axpy(1.0, &gb);
@@ -81,6 +85,36 @@ impl Layer for Conv2d {
             self.spec.out_size(in_dims[2]),
             self.spec.out_size(in_dims[3]),
         ]
+    }
+
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        if in_dims.len() != 4 {
+            return Err(crate::ShapeError::Rank {
+                layer: self.name(),
+                expected: 4,
+                got: in_dims.to_vec(),
+            });
+        }
+        if in_dims[1] != self.in_channels {
+            return Err(crate::ShapeError::Axis {
+                layer: self.name(),
+                axis: 1,
+                expected: self.in_channels,
+                got: in_dims.to_vec(),
+            });
+        }
+        for &hw in &in_dims[2..4] {
+            let padded = hw + 2 * self.spec.padding;
+            if padded < self.spec.kernel {
+                return Err(crate::ShapeError::KernelTooLarge {
+                    layer: self.name(),
+                    kernel: self.spec.kernel,
+                    padded,
+                    got: in_dims.to_vec(),
+                });
+            }
+        }
+        Ok(self.out_dims(in_dims))
     }
 
     fn flops(&self, in_dims: &[usize]) -> u64 {
@@ -113,7 +147,10 @@ impl AvgPool2d {
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        AvgPool2d { window, in_hw: None }
+        AvgPool2d {
+            window,
+            in_hw: None,
+        }
     }
 }
 
@@ -124,12 +161,41 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
         let (h, w) = self.in_hw.expect("backward() before forward()");
         avg_pool2d_backward(grad_out, h, w, self.window)
     }
 
     fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
-        vec![in_dims[0], in_dims[1], in_dims[2] / self.window, in_dims[3] / self.window]
+        vec![
+            in_dims[0],
+            in_dims[1],
+            in_dims[2] / self.window,
+            in_dims[3] / self.window,
+        ]
+    }
+
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        if in_dims.len() != 4 {
+            return Err(crate::ShapeError::Rank {
+                layer: self.name(),
+                expected: 4,
+                got: in_dims.to_vec(),
+            });
+        }
+        // `out_dims` truncates with integer division; statically we insist
+        // the window tiles the image exactly so no pixels are dropped.
+        for axis in [2usize, 3] {
+            if in_dims[axis] % self.window != 0 {
+                return Err(crate::ShapeError::Divisibility {
+                    layer: self.name(),
+                    axis,
+                    divisor: self.window,
+                    got: in_dims.to_vec(),
+                });
+            }
+        }
+        Ok(self.out_dims(in_dims))
     }
 
     fn flops(&self, in_dims: &[usize]) -> u64 {
@@ -161,12 +227,24 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
         let (h, w) = self.in_hw.expect("backward() before forward()");
         global_avg_pool_backward(grad_out, h, w)
     }
 
     fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
         vec![in_dims[0], in_dims[1]]
+    }
+
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        if in_dims.len() != 4 {
+            return Err(crate::ShapeError::Rank {
+                layer: self.name(),
+                expected: 4,
+                got: in_dims.to_vec(),
+            });
+        }
+        Ok(self.out_dims(in_dims))
     }
 
     fn flops(&self, in_dims: &[usize]) -> u64 {
@@ -236,7 +314,9 @@ mod tests {
 
     #[test]
     fn pooling_layers_roundtrip_shapes() {
-        let x = Tensor::arange(2 * 4 * 4).into_reshaped([1, 2, 4, 4]).unwrap();
+        let x = Tensor::arange(2 * 4 * 4)
+            .into_reshaped([1, 2, 4, 4])
+            .unwrap();
         let mut pool = AvgPool2d::new(2);
         let y = pool.forward(&x, Mode::Eval);
         assert_eq!(y.dims(), &[1, 2, 2, 2]);

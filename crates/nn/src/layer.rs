@@ -54,6 +54,18 @@ pub trait Layer: Send {
     /// (batch dimension included), without running a forward pass.
     fn out_dims(&self, in_dims: &[usize]) -> Vec<usize>;
 
+    /// Validates that this layer accepts `in_dims` and returns the output
+    /// dimensions it would produce — the statically checked counterpart of
+    /// [`Layer::out_dims`]. Shape-preserving layers use the default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::ShapeError`] describing the first constraint the
+    /// input violates.
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        Ok(self.out_dims(in_dims))
+    }
+
     /// Floating-point operations for one forward pass at the given input
     /// dimensions. Used by the edge-device cost model.
     fn flops(&self, in_dims: &[usize]) -> u64;
@@ -69,7 +81,11 @@ pub trait Layer: Send {
     /// Appends this layer's flat profile entries to `out`, advancing and
     /// returning the running dimensions. Containers override this to
     /// recurse so cost models see the true per-layer granularity.
-    fn profile_into(&self, in_dims: &[usize], out: &mut Vec<crate::sequential::LayerProfile>) -> Vec<usize> {
+    fn profile_into(
+        &self,
+        in_dims: &[usize],
+        out: &mut Vec<crate::sequential::LayerProfile>,
+    ) -> Vec<usize> {
         let out_dims = self.out_dims(in_dims);
         out.push(crate::sequential::LayerProfile {
             name: self.name(),
@@ -130,7 +146,11 @@ impl Dense {
     pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
         assert_eq!(weight.rank(), 2, "dense weight must be rank-2");
         assert_eq!(bias.dims(), &[weight.dims()[1]], "dense bias must be [out]");
-        Dense { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
     }
 
     /// Input feature count.
@@ -153,11 +173,17 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 2, "Dense expects [batch, features]");
         self.cached_input = Some(input.clone());
-        input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+        input
+            .matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward() before forward()");
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward() before forward()");
         self.weight.grad.axpy(1.0, &x.transpose().matmul(grad_out));
         self.bias.grad.axpy(1.0, &grad_out.sum_cols());
         grad_out.matmul(&self.weight.value.transpose())
@@ -170,6 +196,25 @@ impl Layer for Dense {
 
     fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
         vec![in_dims[0], self.out_dim()]
+    }
+
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        if in_dims.len() != 2 {
+            return Err(crate::ShapeError::Rank {
+                layer: self.name(),
+                expected: 2,
+                got: in_dims.to_vec(),
+            });
+        }
+        if in_dims[1] != self.in_dim() {
+            return Err(crate::ShapeError::Axis {
+                layer: self.name(),
+                axis: 1,
+                expected: self.in_dim(),
+                got: in_dims.to_vec(),
+            });
+        }
+        Ok(self.out_dims(in_dims))
     }
 
     fn flops(&self, in_dims: &[usize]) -> u64 {
@@ -207,6 +252,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
         grad_out * self.mask.as_ref().expect("backward() before forward()")
     }
 
@@ -244,6 +290,7 @@ impl Layer for TanhLayer {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
         let y = self.output.as_ref().expect("backward() before forward()");
         grad_out * &y.map(|v| 1.0 - v * v)
     }
@@ -280,16 +327,30 @@ impl Layer for Flatten {
         self.in_dims = Some(input.dims().to_vec());
         let n = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();
+        // [n, rest] has exactly the input's volume. lint: allow(no-expect)
         input.reshape([n, rest]).expect("flatten preserves volume")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
         let dims = self.in_dims.clone().expect("backward() before forward()");
+        // The cached dims have the gradient's volume. lint: allow(no-expect)
         grad_out.reshape(dims).expect("unflatten preserves volume")
     }
 
     fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
         vec![in_dims[0], in_dims[1..].iter().product()]
+    }
+
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        if in_dims.len() < 2 {
+            return Err(crate::ShapeError::Rank {
+                layer: self.name(),
+                expected: 2,
+                got: in_dims.to_vec(),
+            });
+        }
+        Ok(self.out_dims(in_dims))
     }
 
     fn flops(&self, _in_dims: &[usize]) -> u64 {
@@ -362,7 +423,10 @@ mod tests {
                 second = grad.clone();
             }
         });
-        assert!(second.max_abs_diff(&first.scale(2.0)) < 1e-6, "gradient should accumulate");
+        assert!(
+            second.max_abs_diff(&first.scale(2.0)) < 1e-6,
+            "gradient should accumulate"
+        );
         dense.zero_grad();
         dense.visit_params(&mut |_, grad| assert_eq!(grad.sum(), 0.0));
     }

@@ -34,6 +34,7 @@
 //! opt.step(&mut model);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod conv_layer;
@@ -45,6 +46,7 @@ mod norm;
 mod optim;
 mod sequential;
 mod shake;
+pub mod shape_check;
 mod state;
 
 pub use conv_layer::{AvgPool2d, Conv2d, GlobalAvgPool};
@@ -56,4 +58,5 @@ pub use norm::BatchNorm2d;
 pub use optim::{Adam, Sgd};
 pub use sequential::{LayerProfile, Sequential};
 pub use shake::ShakeShakeBlock;
+pub use shape_check::{check_model, ShapeError};
 pub use state::{load_state, state_bytes, state_vec};

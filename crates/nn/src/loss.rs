@@ -34,7 +34,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
     let mut loss = 0.0f32;
     let inv_n = 1.0 / n as f32;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let p = probs.at(&[r, label]).max(1e-12);
         loss -= p.ln();
         let row = grad.row_mut(r);
@@ -43,7 +46,11 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
             *g *= inv_n;
         }
     }
-    LossOutput { loss: loss * inv_n, grad, probs }
+    LossOutput {
+        loss: loss * inv_n,
+        grad,
+        probs,
+    }
 }
 
 /// Mean squared error between `pred` and `target` with gradient
@@ -53,7 +60,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
 ///
 /// Panics if the shapes differ.
 pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
-    assert!(pred.shape().same_as(target.shape()), "mse() requires equal shapes");
+    assert!(
+        pred.shape().same_as(target.shape()),
+        "mse() requires equal shapes"
+    );
     let n = pred.len() as f32;
     let diff = pred - target;
     let loss = diff.norm_sq() / n;

@@ -33,7 +33,10 @@ impl ConfusionMatrix {
     /// Panics if `classes == 0`.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "need at least one class");
-        ConfusionMatrix { classes, counts: vec![0; classes * classes] }
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -47,7 +50,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, truth: usize, pred: usize) {
-        assert!(truth < self.classes && pred < self.classes, "class index out of range");
+        assert!(
+            truth < self.classes && pred < self.classes,
+            "class index out of range"
+        );
         self.counts[truth * self.classes + pred] += 1;
     }
 
@@ -99,8 +105,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0], [3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0, 2.0, 0.0], [3, 2]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1, 1]), 2.0 / 3.0);
         assert_eq!(accuracy(&Tensor::zeros([0, 2]), &[]), 0.0);
     }
@@ -121,8 +126,7 @@ mod tests {
 
     #[test]
     fn record_batch_uses_argmax() {
-        let logits =
-            Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], [2, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], [2, 2]).unwrap();
         let mut cm = ConfusionMatrix::new(2);
         cm.record_batch(&logits, &[1, 1]);
         assert_eq!(cm.count(1, 1), 1);

@@ -58,7 +58,12 @@ impl ModelSpec {
     /// Panics if `layers == 0`.
     pub fn mlp(layers: usize, hidden_dim: usize) -> Self {
         assert!(layers >= 1, "an MLP needs at least one layer");
-        ModelSpec::Mlp { input_dim: 28 * 28, hidden_dim, layers, classes: 10 }
+        ModelSpec::Mlp {
+            input_dim: 28 * 28,
+            hidden_dim,
+            layers,
+            classes: 10,
+        }
     }
 
     /// The paper's SS-k on 32×32 RGB images. `depth` must be of the form
@@ -86,7 +91,9 @@ impl ModelSpec {
     pub fn depth(&self) -> usize {
         match self {
             ModelSpec::Mlp { layers, .. } => *layers,
-            ModelSpec::ShakeShake { blocks_per_stage, .. } => 6 * blocks_per_stage + 2,
+            ModelSpec::ShakeShake {
+                blocks_per_stage, ..
+            } => 6 * blocks_per_stage + 2,
         }
     }
 
@@ -94,7 +101,11 @@ impl ModelSpec {
     pub fn input_dims(&self) -> Vec<usize> {
         match self {
             ModelSpec::Mlp { input_dim, .. } => vec![*input_dim],
-            ModelSpec::ShakeShake { in_channels, image_hw, .. } => {
+            ModelSpec::ShakeShake {
+                in_channels,
+                image_hw,
+                ..
+            } => {
                 vec![*in_channels, *image_hw, *image_hw]
             }
         }
@@ -112,7 +123,12 @@ impl ModelSpec {
     pub fn build(&self, seed: u64) -> Sequential {
         let mut rng = StdRng::seed_from_u64(seed);
         match *self {
-            ModelSpec::Mlp { input_dim, hidden_dim, layers, classes } => {
+            ModelSpec::Mlp {
+                input_dim,
+                hidden_dim,
+                layers,
+                classes,
+            } => {
                 let mut net = Sequential::new();
                 if layers == 1 {
                     net.push(Dense::new(input_dim, classes, &mut rng));
@@ -127,7 +143,13 @@ impl ModelSpec {
                 net.push(Dense::new(hidden_dim, classes, &mut rng));
                 net
             }
-            ModelSpec::ShakeShake { blocks_per_stage, base_channels, in_channels, classes, .. } => {
+            ModelSpec::ShakeShake {
+                blocks_per_stage,
+                base_channels,
+                in_channels,
+                classes,
+                ..
+            } => {
                 let mut net = Sequential::new();
                 // Stem.
                 net.push(Conv2d::new(in_channels, base_channels, 3, 1, 1, &mut rng));
@@ -153,6 +175,23 @@ impl ModelSpec {
                 net
             }
         }
+    }
+
+    /// Builds the network and statically validates its layer wiring against
+    /// [`ModelSpec::input_dims`] before returning it.
+    ///
+    /// The `cargo xtask check` auditor calls this for every paper
+    /// configuration, so a mis-wired builder fails CI at construction time
+    /// rather than on the first forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::ShapeError`] naming the first mis-wired layer.
+    pub fn build_checked(&self, seed: u64) -> Result<Sequential, crate::ShapeError> {
+        let net = self.build(seed);
+        let out = crate::shape_check::check_model(&net, &self.input_dims())?;
+        debug_assert_eq!(out, vec![self.classes()]);
+        Ok(net)
     }
 }
 
@@ -196,7 +235,12 @@ mod tests {
 
     #[test]
     fn single_layer_mlp_is_logistic_regression() {
-        let spec = ModelSpec::Mlp { input_dim: 4, hidden_dim: 99, layers: 1, classes: 3 };
+        let spec = ModelSpec::Mlp {
+            input_dim: 4,
+            hidden_dim: 99,
+            layers: 1,
+            classes: 3,
+        };
         let net = spec.build(0);
         assert_eq!(net.param_count(), 4 * 3 + 3);
     }
@@ -244,6 +288,21 @@ mod tests {
         let mut net = with_flatten(&spec, 0);
         let x = Tensor::zeros([2, 1, 28, 28]);
         assert_eq!(net.forward(&x, Mode::Eval).dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn every_paper_configuration_passes_the_shape_checker() {
+        for spec in [
+            ModelSpec::mlp(2, 128),
+            ModelSpec::mlp(4, 128),
+            ModelSpec::mlp(8, 128),
+            ModelSpec::shake_shake(8, 16),
+            ModelSpec::shake_shake(14, 16),
+            ModelSpec::shake_shake(26, 16),
+        ] {
+            spec.build_checked(0)
+                .unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        }
     }
 
     #[test]

@@ -49,7 +49,12 @@ impl BatchNorm2d {
     }
 
     fn per_channel_stats(&self, input: &Tensor) -> (Vec<f32>, Vec<f32>) {
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
         let count = (n * h * w) as f32;
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
@@ -83,8 +88,17 @@ impl BatchNorm2d {
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 4, "BatchNorm2d expects [n, c, h, w]");
-        assert_eq!(input.dims()[1], self.channels, "BatchNorm2d channel mismatch");
-        let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+        assert_eq!(
+            input.dims()[1],
+            self.channels,
+            "BatchNorm2d channel mismatch"
+        );
+        let (n, c, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
 
         let (mean, var) = match mode {
             Mode::Train => {
@@ -116,13 +130,20 @@ impl Layer for BatchNorm2d {
             }
         }
         if mode == Mode::Train {
-            self.cache = Some(BnCache { normalized, inv_std });
+            self.cache = Some(BnCache {
+                normalized,
+                inv_std,
+            });
         }
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("backward() requires a Train-mode forward()");
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward() requires a Train-mode forward()");
         let (n, c, h, w) = (
             grad_out.dims()[0],
             grad_out.dims()[1],
@@ -173,6 +194,25 @@ impl Layer for BatchNorm2d {
         in_dims.to_vec()
     }
 
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        if in_dims.len() != 4 {
+            return Err(crate::ShapeError::Rank {
+                layer: self.name(),
+                expected: 4,
+                got: in_dims.to_vec(),
+            });
+        }
+        if in_dims[1] != self.channels {
+            return Err(crate::ShapeError::Axis {
+                layer: self.name(),
+                axis: 1,
+                expected: self.channels,
+                got: in_dims.to_vec(),
+            });
+        }
+        Ok(self.out_dims(in_dims))
+    }
+
     fn flops(&self, in_dims: &[usize]) -> u64 {
         4 * in_dims.iter().product::<usize>() as u64
     }
@@ -207,7 +247,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + 25]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ch} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ch} var {var}");
         }

@@ -35,7 +35,12 @@ impl Sgd {
     pub fn with_momentum(lr: f32, mu: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
-        Sgd { lr, momentum: mu, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: mu,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds decoupled L2 weight decay.
@@ -113,7 +118,15 @@ impl Adam {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Applies one Adam step using the gradients accumulated in `model`.
@@ -161,11 +174,7 @@ mod tests {
     fn train_toy(mut step: impl FnMut(&mut Dense)) -> (f32, f32) {
         let mut rng = StdRng::seed_from_u64(40);
         let mut layer = Dense::new(2, 2, &mut rng);
-        let x = Tensor::from_vec(
-            vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9],
-            [4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.9, 0.1, 0.0, 1.0, 0.1, 0.9], [4, 2]).unwrap();
         let labels = [0usize, 0, 1, 1];
         let initial = softmax_cross_entropy(&layer.forward(&x, Mode::Train), &labels).loss;
         for _ in 0..200 {
@@ -192,7 +201,10 @@ mod tests {
         let (_, plain_final) = train_toy(move |l| plain.step(l));
         let mut heavy = Sgd::with_momentum(0.05, 0.9);
         let (_, heavy_final) = train_toy(move |l| heavy.step(l));
-        assert!(heavy_final < plain_final, "momentum {heavy_final} vs plain {plain_final}");
+        assert!(
+            heavy_final < plain_final,
+            "momentum {heavy_final} vs plain {plain_final}"
+        );
     }
 
     #[test]

@@ -143,6 +143,16 @@ impl Layer for Sequential {
         dims
     }
 
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        let mut dims = in_dims.to_vec();
+        for (index, layer) in self.layers.iter().enumerate() {
+            dims = layer
+                .check_shape(&dims)
+                .map_err(|e| crate::ShapeError::at(index, layer.name(), e))?;
+        }
+        Ok(dims)
+    }
+
     fn flops(&self, in_dims: &[usize]) -> u64 {
         let mut dims = in_dims.to_vec();
         let mut total = 0u64;

@@ -110,7 +110,11 @@ impl std::fmt::Debug for ShakeShakeBlock {
         write!(
             f,
             "ShakeShakeBlock(branches: 2, skip: {})",
-            if self.skip.is_some() { "projection" } else { "identity" }
+            if self.skip.is_some() {
+                "projection"
+            } else {
+                "identity"
+            }
         )
     }
 }
@@ -136,7 +140,11 @@ impl Layer for ShakeShakeBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.relu_mask.as_ref().expect("backward() before forward()");
+        // Layer contract: backward() only runs after forward(). lint: allow(no-expect)
+        let mask = self
+            .relu_mask
+            .as_ref()
+            .expect("backward() before forward()");
         let g_pre = grad_out * mask;
         // Shake: an independent coefficient on the backward pass in training.
         let beta = match self.last_mode {
@@ -165,6 +173,30 @@ impl Layer for ShakeShakeBlock {
 
     fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
         self.branch1.out_dims(in_dims)
+    }
+
+    fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
+        let b1 = self.branch1.check_shape(in_dims)?;
+        let b2 = self.branch2.check_shape(in_dims)?;
+        if b1 != b2 {
+            return Err(crate::ShapeError::BranchMismatch {
+                layer: self.name(),
+                branch: b1,
+                shortcut: b2,
+            });
+        }
+        let shortcut = match &self.skip {
+            Some(skip) => skip.check_shape(in_dims)?,
+            None => in_dims.to_vec(),
+        };
+        if shortcut != b1 {
+            return Err(crate::ShapeError::BranchMismatch {
+                layer: self.name(),
+                branch: b1,
+                shortcut,
+            });
+        }
+        Ok(b1)
     }
 
     fn flops(&self, in_dims: &[usize]) -> u64 {

@@ -1,0 +1,477 @@
+//! Static shape checker: propagates `[batch, …]` shapes through a network
+//! at construction time, so a mis-wired builder fails with a typed
+//! [`ShapeError`] naming the offending layer instead of panicking deep in
+//! tensor code on the first forward pass.
+//!
+//! Every [`crate::Layer`] implements [`crate::Layer::check_shape`]; this
+//! module holds the error type and the model-level entry points. The
+//! `cargo xtask check` invariant auditor drives [`check_model`] over every
+//! builder in [`crate::ModelSpec`] at each paper configuration.
+
+use crate::layer::Layer;
+use crate::sequential::Sequential;
+use std::fmt;
+
+/// A static shape mismatch detected without running a forward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The layer requires inputs of a specific rank.
+    Rank {
+        /// Layer type name.
+        layer: &'static str,
+        /// Required tensor rank (batch axis included).
+        expected: usize,
+        /// The offered input dimensions.
+        got: Vec<usize>,
+    },
+    /// One axis of the input has the wrong extent.
+    Axis {
+        /// Layer type name.
+        layer: &'static str,
+        /// Which axis mismatched (0 = batch).
+        axis: usize,
+        /// The extent the layer was built for.
+        expected: usize,
+        /// The offered input dimensions.
+        got: Vec<usize>,
+    },
+    /// An axis extent must be divisible by a window/stride factor.
+    Divisibility {
+        /// Layer type name.
+        layer: &'static str,
+        /// Which axis is constrained.
+        axis: usize,
+        /// The required divisor.
+        divisor: usize,
+        /// The offered input dimensions.
+        got: Vec<usize>,
+    },
+    /// The (padded) spatial extent is smaller than the kernel.
+    KernelTooLarge {
+        /// Layer type name.
+        layer: &'static str,
+        /// Kernel side length.
+        kernel: usize,
+        /// Spatial extent after padding.
+        padded: usize,
+        /// The offered input dimensions.
+        got: Vec<usize>,
+    },
+    /// Two merge paths (residual branches / shortcut) disagree.
+    BranchMismatch {
+        /// Layer type name.
+        layer: &'static str,
+        /// Output dimensions of the residual branches.
+        branch: Vec<usize>,
+        /// Output dimensions of the shortcut path.
+        shortcut: Vec<usize>,
+    },
+    /// A layer inside a [`Sequential`] failed; names the position.
+    AtLayer {
+        /// Zero-based index of the failing layer within its container.
+        index: usize,
+        /// Layer type name at that index.
+        layer: &'static str,
+        /// The underlying failure.
+        source: Box<ShapeError>,
+    },
+}
+
+impl ShapeError {
+    /// Wraps `source` with the position of the failing layer inside a
+    /// container, preserving nested positions for nested containers.
+    pub fn at(index: usize, layer: &'static str, source: ShapeError) -> Self {
+        ShapeError::AtLayer {
+            index,
+            layer,
+            source: Box::new(source),
+        }
+    }
+
+    /// The innermost error, unwrapping any [`ShapeError::AtLayer`] layers.
+    pub fn root_cause(&self) -> &ShapeError {
+        match self {
+            ShapeError::AtLayer { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+
+    /// The outermost failing layer index, if the error occurred inside a
+    /// container.
+    pub fn layer_index(&self) -> Option<usize> {
+        match self {
+            ShapeError::AtLayer { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::Rank {
+                layer,
+                expected,
+                got,
+            } => {
+                write!(f, "{layer} expects rank-{expected} input, got {got:?}")
+            }
+            ShapeError::Axis {
+                layer,
+                axis,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{layer} expects axis {axis} to be {expected}, got {got:?}"
+                )
+            }
+            ShapeError::Divisibility {
+                layer,
+                axis,
+                divisor,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{layer} expects axis {axis} divisible by {divisor}, got {got:?}"
+                )
+            }
+            ShapeError::KernelTooLarge {
+                layer,
+                kernel,
+                padded,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{layer} kernel {kernel} exceeds padded spatial extent {padded} of {got:?}"
+                )
+            }
+            ShapeError::BranchMismatch {
+                layer,
+                branch,
+                shortcut,
+            } => {
+                write!(
+                    f,
+                    "{layer} branch output {branch:?} disagrees with shortcut output {shortcut:?}"
+                )
+            }
+            ShapeError::AtLayer {
+                index,
+                layer,
+                source,
+            } => {
+                write!(f, "layer {index} ({layer}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShapeError::AtLayer { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Checks `model` against per-example input dimensions (no batch axis),
+/// returning the per-example output dimensions on success.
+///
+/// # Errors
+///
+/// Returns the first [`ShapeError`] encountered, wrapped with the index of
+/// the failing layer.
+pub fn check_model(model: &Sequential, input_dims: &[usize]) -> Result<Vec<usize>, ShapeError> {
+    let mut dims = Vec::with_capacity(input_dims.len() + 1);
+    dims.push(1);
+    dims.extend_from_slice(input_dims);
+    let out = model.check_shape(&dims)?;
+    Ok(out[1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_layer::{AvgPool2d, Conv2d, GlobalAvgPool};
+    use crate::layer::{Dense, Flatten, Relu};
+    use crate::norm::BatchNorm2d;
+    use crate::shake::ShakeShakeBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn misshaped_dense_stack_names_the_offending_layer() {
+        // The acceptance example: Dense 784→128 followed by Dense 256→10
+        // must be rejected at layer index 1 with the feature mismatch.
+        let mut net = Sequential::new();
+        net.push(Dense::new(784, 128, &mut rng()));
+        net.push(Dense::new(256, 10, &mut rng()));
+        let err = check_model(&net, &[784]).expect_err("mismatch must be caught");
+        assert_eq!(err.layer_index(), Some(1));
+        assert_eq!(
+            *err.root_cause(),
+            ShapeError::Axis {
+                layer: "Dense",
+                axis: 1,
+                expected: 256,
+                got: vec![1, 128]
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("layer 1"), "{msg}");
+        assert!(msg.contains("Dense"), "{msg}");
+    }
+
+    #[test]
+    fn well_formed_stack_reports_output_dims() {
+        let mut net = Sequential::new();
+        net.push(Dense::new(784, 128, &mut rng()));
+        net.push(Relu::new());
+        net.push(Dense::new(128, 10, &mut rng()));
+        assert_eq!(check_model(&net, &[784]), Ok(vec![10]));
+    }
+
+    #[test]
+    fn dense_rejects_image_rank_input() {
+        let dense = Dense::new(784, 10, &mut rng());
+        let err = dense.check_shape(&[1, 1, 28, 28]).expect_err("rank");
+        assert_eq!(
+            err,
+            ShapeError::Rank {
+                layer: "Dense",
+                expected: 2,
+                got: vec![1, 1, 28, 28]
+            }
+        );
+    }
+
+    #[test]
+    fn flatten_bridges_images_to_dense() {
+        let mut net = Sequential::new();
+        net.push(Flatten::new());
+        net.push(Dense::new(784, 10, &mut rng()));
+        assert_eq!(check_model(&net, &[1, 28, 28]), Ok(vec![10]));
+    }
+
+    #[test]
+    fn conv_checks_channels_and_kernel_fit() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng());
+        assert_eq!(conv.check_shape(&[1, 3, 8, 8]), Ok(vec![1, 8, 8, 8]));
+        assert_eq!(
+            conv.check_shape(&[1, 4, 8, 8]),
+            Err(ShapeError::Axis {
+                layer: "Conv2d",
+                axis: 1,
+                expected: 3,
+                got: vec![1, 4, 8, 8]
+            })
+        );
+        let big = Conv2d::new(3, 8, 7, 1, 0, &mut rng());
+        assert_eq!(
+            big.check_shape(&[1, 3, 4, 4]),
+            Err(ShapeError::KernelTooLarge {
+                layer: "Conv2d",
+                kernel: 7,
+                padded: 4,
+                got: vec![1, 3, 4, 4]
+            })
+        );
+    }
+
+    #[test]
+    fn avg_pool_requires_divisible_windows() {
+        let pool = AvgPool2d::new(2);
+        assert_eq!(pool.check_shape(&[1, 4, 6, 6]), Ok(vec![1, 4, 3, 3]));
+        assert_eq!(
+            pool.check_shape(&[1, 4, 5, 6]),
+            Err(ShapeError::Divisibility {
+                layer: "AvgPool2d",
+                axis: 2,
+                divisor: 2,
+                got: vec![1, 4, 5, 6]
+            })
+        );
+    }
+
+    #[test]
+    fn batch_norm_requires_matching_channels() {
+        let bn = BatchNorm2d::new(8);
+        assert_eq!(bn.check_shape(&[2, 8, 4, 4]), Ok(vec![2, 8, 4, 4]));
+        assert!(bn.check_shape(&[2, 4, 4, 4]).is_err());
+        assert!(bn.check_shape(&[2, 8]).is_err());
+    }
+
+    #[test]
+    fn global_pool_requires_images() {
+        let gap = GlobalAvgPool::new();
+        assert_eq!(gap.check_shape(&[2, 16, 8, 8]), Ok(vec![2, 16]));
+        assert!(gap.check_shape(&[2, 16]).is_err());
+    }
+
+    #[test]
+    fn shake_block_checks_both_branches_and_skip() {
+        let block = ShakeShakeBlock::new(4, 8, 2, &mut rng());
+        assert_eq!(block.check_shape(&[1, 4, 8, 8]), Ok(vec![1, 8, 4, 4]));
+        // Wrong input channels fail inside the branch, position preserved.
+        let err = block.check_shape(&[1, 3, 8, 8]).expect_err("channels");
+        assert!(matches!(
+            err.root_cause(),
+            ShapeError::Axis {
+                layer: "Conv2d",
+                ..
+            }
+        ));
+        // Identity skip: input dims must equal the branch output dims.
+        let identity = ShakeShakeBlock::new(4, 4, 1, &mut rng());
+        assert_eq!(identity.check_shape(&[1, 4, 8, 8]), Ok(vec![1, 4, 8, 8]));
+    }
+
+    #[test]
+    fn check_agrees_with_out_dims_on_valid_input() {
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(3, 4, 3, 1, 1, &mut rng()));
+        net.push(BatchNorm2d::new(4));
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Dense::new(4, 10, &mut rng()));
+        let dims = [2usize, 3, 16, 16];
+        assert_eq!(net.check_shape(&dims), Ok(net.out_dims(&dims)));
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::conv_layer::{AvgPool2d, Conv2d, GlobalAvgPool};
+    use crate::layer::{Dense, Flatten, Mode, Relu, TanhLayer};
+    use crate::norm::BatchNorm2d;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+    use teamnet_tensor::Tensor;
+
+    /// A random but well-formed MLP-family stack over `[input]` vectors.
+    fn random_dense_stack(seed: u64, input: usize, depth: usize) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        let mut width = input;
+        for _ in 0..depth {
+            match rng.gen_range(0..4) {
+                0 | 1 => {
+                    let out = rng.gen_range(1..16);
+                    net.push(Dense::new(width, out, &mut rng));
+                    width = out;
+                }
+                2 => {
+                    net.push(Relu::new());
+                }
+                _ => {
+                    net.push(TanhLayer::new());
+                }
+            }
+        }
+        net
+    }
+
+    /// A random but well-formed conv-family stack over `[c, hw, hw]`
+    /// images, ending in a classification head.
+    fn random_conv_stack(seed: u64, channels: usize) -> (Sequential, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hw = 2 * rng.gen_range(2..5usize);
+        let mut net = Sequential::new();
+        let mut c = channels;
+        for _ in 0..rng.gen_range(1..3usize) {
+            let oc = rng.gen_range(1..6);
+            net.push(Conv2d::new(c, oc, 3, 1, 1, &mut rng));
+            c = oc;
+            if rng.gen_bool(0.5) {
+                net.push(BatchNorm2d::new(c));
+            }
+            net.push(Relu::new());
+        }
+        if rng.gen_bool(0.5) {
+            net.push(AvgPool2d::new(2));
+        }
+        if rng.gen_bool(0.5) {
+            net.push(GlobalAvgPool::new());
+        } else {
+            net.push(Flatten::new());
+        }
+        (net, vec![channels, hw, hw])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The static checker accepts every well-formed random dense stack
+        /// and predicts exactly the shape the real forward pass produces.
+        #[test]
+        fn checker_agrees_with_forward_on_dense_stacks(
+            seed in 0u64..10_000,
+            input in 1usize..24,
+            depth in 1usize..7,
+            n in 1usize..4,
+        ) {
+            let mut net = random_dense_stack(seed, input, depth);
+            let checked = check_model(&net, &[input]);
+            prop_assert!(checked.is_ok(), "well-formed stack rejected: {checked:?}");
+            let y = net.forward(&Tensor::zeros([n, input]), Mode::Eval);
+            let mut expected = vec![n];
+            expected.extend(checked.unwrap_or_default());
+            prop_assert_eq!(y.dims(), &expected[..]);
+        }
+
+        /// Same agreement for conv/pool/norm stacks over image inputs.
+        #[test]
+        fn checker_agrees_with_forward_on_conv_stacks(
+            seed in 0u64..10_000,
+            channels in 1usize..4,
+            n in 1usize..3,
+        ) {
+            let (mut net, in_dims) = random_conv_stack(seed, channels);
+            let checked = check_model(&net, &in_dims);
+            prop_assert!(checked.is_ok(), "well-formed stack rejected: {checked:?}");
+            let mut full = vec![n];
+            full.extend(in_dims.iter().copied());
+            let y = net.forward(&Tensor::zeros(full), Mode::Eval);
+            let mut expected = vec![n];
+            expected.extend(checked.unwrap_or_default());
+            prop_assert_eq!(y.dims(), &expected[..]);
+        }
+
+        /// Injecting one mis-wired Dense into a valid stack is always
+        /// caught, and the diagnostic names the injected layer's index.
+        #[test]
+        fn checker_pinpoints_an_injected_mismatch(
+            seed in 0u64..10_000,
+            input in 1usize..24,
+            depth in 1usize..6,
+            delta in 1usize..7,
+        ) {
+            let mut net = random_dense_stack(seed, input, depth);
+            let width = match check_model(&net, &[input]) {
+                Ok(dims) => dims.first().copied().unwrap_or(input),
+                Err(e) => return Err(TestCaseError::fail(e.to_string())),
+            };
+            let index = net.len();
+            net.push(Dense::new(width + delta, 5, &mut StdRng::seed_from_u64(seed)));
+            let err = check_model(&net, &[input]);
+            prop_assert!(err.is_err(), "mis-wired stack accepted");
+            let err = err.expect_err("checked above");
+            prop_assert_eq!(err.layer_index(), Some(index));
+            prop_assert!(matches!(
+                err.root_cause(),
+                ShapeError::Axis { layer: "Dense", .. }
+            ), "unexpected root cause: {:?}", err.root_cause());
+        }
+    }
+}

@@ -23,7 +23,11 @@ pub fn state_vec(model: &mut dyn Layer) -> Vec<Tensor> {
 pub fn load_state(model: &mut dyn Layer, state: &[Tensor]) {
     let mut idx = 0usize;
     model.visit_params(&mut |p, _| {
-        assert!(idx < state.len(), "state has too few tensors ({} provided)", state.len());
+        assert!(
+            idx < state.len(),
+            "state has too few tensors ({} provided)",
+            state.len()
+        );
         assert!(
             p.shape().same_as(state[idx].shape()),
             "state tensor {idx} shape {} does not match parameter shape {}",
@@ -33,7 +37,12 @@ pub fn load_state(model: &mut dyn Layer, state: &[Tensor]) {
         *p = state[idx].clone();
         idx += 1;
     });
-    assert_eq!(idx, state.len(), "state has too many tensors ({} provided, {idx} used)", state.len());
+    assert_eq!(
+        idx,
+        state.len(),
+        "state has too many tensors ({} provided, {idx} used)",
+        state.len()
+    );
 }
 
 /// Total number of bytes needed to serialize a model's parameters as raw

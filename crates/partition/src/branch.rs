@@ -39,7 +39,11 @@ pub fn branch_parallel_forward(
     input: &Tensor,
     timeout: Duration,
 ) -> Result<Tensor, NetError> {
-    transport.send(worker, TAG_BRANCH_INPUT, &encode_f32s(input.dims(), input.data()))?;
+    transport.send(
+        worker,
+        TAG_BRANCH_INPUT,
+        &encode_f32s(input.dims(), input.data()),
+    )?;
     // Local work overlaps the worker's: branch 1 plus the shortcut.
     let local_branch = {
         let (branch1, _) = block.branches_mut();
@@ -57,7 +61,11 @@ pub fn branch_parallel_forward(
             local_branch.shape()
         )));
     }
-    Ok(ShakeShakeBlock::merge_eval(&shortcut, &local_branch, &remote))
+    Ok(ShakeShakeBlock::merge_eval(
+        &shortcut,
+        &local_branch,
+        &remote,
+    ))
 }
 
 /// Worker loop for branch-parallel blocks: evaluates branch 2 of `block`
@@ -86,7 +94,11 @@ pub fn serve_branch_worker(
                     let (_, branch2) = block.branches_mut();
                     branch2.forward(&input, Mode::Eval)
                 };
-                transport.send(master, TAG_BRANCH_OUTPUT, &encode_f32s(out.dims(), out.data()))?;
+                transport.send(
+                    master,
+                    TAG_BRANCH_OUTPUT,
+                    &encode_f32s(out.dims(), out.data()),
+                )?;
             }
             Err(NetError::Timeout { .. }) => continue,
             Err(NetError::Closed) => return Ok(()),

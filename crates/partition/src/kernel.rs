@@ -70,6 +70,7 @@ pub fn kernel_parallel_conv2d(
     input: Option<&Tensor>,
 ) -> Result<Option<Tensor>, NetError> {
     let encoded = if comm.rank() == 0 {
+        // Documented `# Panics` contract above. lint: allow(no-expect)
         let input = input.expect("rank 0 must supply the input");
         comm.broadcast(0, Some(&encode_f32s(input.dims(), input.data())))?
     } else {
@@ -78,11 +79,16 @@ pub fn kernel_parallel_conv2d(
     let (dims, data) = decode_f32s(&encoded)?;
     let x = Tensor::from_vec(data, dims).map_err(|e| NetError::Malformed(e.to_string()))?;
 
-    assert!(shard.channels() > 0, "empty conv shard: more nodes than channels");
+    assert!(
+        shard.channels() > 0,
+        "empty conv shard: more nodes than channels"
+    );
     let partial = conv2d(&x, &shard.weight, &shard.bias, shard.spec);
     let gathered = comm.gather(0, &encode_f32s(partial.dims(), partial.data()))?;
 
-    let Some(parts) = gathered else { return Ok(None) };
+    let Some(parts) = gathered else {
+        return Ok(None);
+    };
     // Concatenate channel slices in rank order.
     let mut slices = Vec::with_capacity(parts.len());
     for part in &parts {
@@ -92,7 +98,11 @@ pub fn kernel_parallel_conv2d(
         }
         slices.push(Tensor::from_vec(pv, pd).map_err(|e| NetError::Malformed(e.to_string()))?);
     }
-    let (n, oh, ow) = (slices[0].dims()[0], slices[0].dims()[2], slices[0].dims()[3]);
+    let (n, oh, ow) = (
+        slices[0].dims()[0],
+        slices[0].dims()[2],
+        slices[0].dims()[3],
+    );
     let total_c: usize = slices.iter().map(|s| s.dims()[1]).sum();
     let mut out = Tensor::zeros([n, total_c, oh, ow]);
     let mut c_at = 0usize;
@@ -126,8 +136,9 @@ mod tests {
         let weight = Tensor::randn([10, 3, 3, 3], 0.0, 1.0, &mut rng);
         let bias = Tensor::randn([10], 0.0, 1.0, &mut rng);
         let spec = Conv2dSpec::new(3, 1, 1);
-        let total: usize =
-            (0..4).map(|n| ConvShard::new(&weight, &bias, spec, n, 4).channels()).sum();
+        let total: usize = (0..4)
+            .map(|n| ConvShard::new(&weight, &bias, spec, n, 4).channels())
+            .sum();
         assert_eq!(total, 10);
     }
 
@@ -147,16 +158,23 @@ mod tests {
                     let shard = ConvShard::new(&weight, &bias, spec, rank, nodes);
                     scope.spawn(move |_| {
                         let comm = Communicator::new(node);
-                        assert!(kernel_parallel_conv2d(&comm, &shard, None).unwrap().is_none());
+                        assert!(kernel_parallel_conv2d(&comm, &shard, None)
+                            .unwrap()
+                            .is_none());
                     });
                 }
                 let shard = ConvShard::new(&weight, &bias, spec, 0, nodes);
                 let comm = Communicator::new(&mesh[0]);
-                kernel_parallel_conv2d(&comm, &shard, Some(&input)).unwrap().unwrap()
+                kernel_parallel_conv2d(&comm, &shard, Some(&input))
+                    .unwrap()
+                    .unwrap()
             })
             .unwrap();
 
-            assert!(got.max_abs_diff(&expected) < 1e-5, "{nodes}-node run diverged");
+            assert!(
+                got.max_abs_diff(&expected) < 1e-5,
+                "{nodes}-node run diverged"
+            );
         }
     }
 
@@ -179,7 +197,9 @@ mod tests {
             });
             let shard0 = ConvShard::new(&weight, &bias, spec, 0, 2);
             let comm = Communicator::new(&mesh[0]);
-            kernel_parallel_conv2d(&comm, &shard0, Some(&input)).unwrap().unwrap()
+            kernel_parallel_conv2d(&comm, &shard0, Some(&input))
+                .unwrap()
+                .unwrap()
         })
         .unwrap();
         assert!(got.max_abs_diff(&expected) < 1e-5);

@@ -15,6 +15,7 @@
 //! TeamNet and both SG-MoE deployments) on a simulated edge cluster using
 //! cost profiles measured from the real models.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod branch;

@@ -57,9 +57,15 @@ impl MlpShards {
 /// Panics if `spec` is not an MLP, `state` does not look like alternating
 /// `(weight, bias)` pairs, or `node >= nodes`.
 pub fn shard_mlp(spec: &ModelSpec, state: &[Tensor], node: usize, nodes: usize) -> MlpShards {
-    assert!(matches!(spec, ModelSpec::Mlp { .. }), "MPI-Matrix shards MLPs");
+    assert!(
+        matches!(spec, ModelSpec::Mlp { .. }),
+        "MPI-Matrix shards MLPs"
+    );
     assert!(node < nodes, "node {node} out of range for {nodes} nodes");
-    assert!(state.len().is_multiple_of(2) && !state.is_empty(), "state must be (weight, bias) pairs");
+    assert!(
+        state.len().is_multiple_of(2) && !state.is_empty(),
+        "state must be (weight, bias) pairs"
+    );
     let layers = state
         .chunks_exact(2)
         .map(|pair| {
@@ -100,6 +106,7 @@ pub fn mpi_matrix_forward(
 ) -> Result<Tensor, NetError> {
     // Broadcast the input to every node.
     let encoded = if comm.rank() == 0 {
+        // Documented `# Panics` contract above. lint: allow(no-expect)
         let input = input.expect("rank 0 must supply the input");
         assert_eq!(input.rank(), 2, "MPI-Matrix input must be [n, features]");
         comm.broadcast(0, Some(&encode_f32s(input.dims(), input.data())))?
@@ -122,11 +129,11 @@ pub fn mpi_matrix_forward(
         for part in &parts {
             let (pd, pv) = decode_f32s(part)?;
             if pd.len() != 2 || pd[0] != n {
-                return Err(NetError::Malformed(format!("partial activation dims {pd:?}")));
+                return Err(NetError::Malformed(format!(
+                    "partial activation dims {pd:?}"
+                )));
             }
-            columns.push(
-                Tensor::from_vec(pv, pd).map_err(|e| NetError::Malformed(e.to_string()))?,
-            );
+            columns.push(Tensor::from_vec(pv, pd).map_err(|e| NetError::Malformed(e.to_string()))?);
         }
         let total_cols: usize = columns.iter().map(|c| c.dims()[1]).sum();
         let mut full = Tensor::zeros([n, total_cols]);
@@ -139,7 +146,11 @@ pub fn mpi_matrix_forward(
             }
             at += col.dims()[1];
         }
-        activation = if l + 1 < num_layers { full.relu() } else { full };
+        activation = if l + 1 < num_layers {
+            full.relu()
+        } else {
+            full
+        };
     }
     Ok(activation)
 }
@@ -164,7 +175,9 @@ mod tests {
         let spec = ModelSpec::mlp(3, 16);
         let mut model = spec.build(1);
         let state = state_vec(&mut model);
-        let total: usize = (0..4).map(|n| shard_mlp(&spec, &state, n, 4).param_bytes()).sum();
+        let total: usize = (0..4)
+            .map(|n| shard_mlp(&spec, &state, n, 4).param_bytes())
+            .sum();
         assert_eq!(total, model.param_count() * 4);
     }
 
@@ -200,7 +213,10 @@ mod tests {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
             })
             .unwrap();
 

@@ -71,7 +71,11 @@ impl ModelCost {
 
     /// Peak activation size in bytes.
     pub fn peak_activation_bytes(&self) -> u64 {
-        self.layers.iter().map(|l| l.output_bytes.max(l.input_bytes)).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(|l| l.output_bytes.max(l.input_bytes))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -189,7 +193,8 @@ pub fn simulate(
     match strategy {
         Strategy::Baseline => {
             run.compute(0, full.total_flops(), full.depth(), unit);
-            memory_percent = device.memory_percent(full.param_bytes, full.peak_activation_bytes(), full.depth());
+            memory_percent =
+                device.memory_percent(full.param_bytes, full.peak_activation_bytes(), full.depth());
         }
         Strategy::TeamNet { k } => {
             // Figure 1(d): broadcast input, all experts in parallel, gather
@@ -316,7 +321,10 @@ pub fn simulate(
         }
     }
 
-    StrategyReport { sim: run.finish(None), memory_percent }
+    StrategyReport {
+        sim: run.finish(None),
+        memory_percent,
+    }
 }
 
 #[cfg(test)]
@@ -366,7 +374,12 @@ mod tests {
         let cluster = jetson(2);
         let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu);
         let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu);
-        let mpi = simulate(Strategy::MpiMatrix { nodes: 2 }, &w, &cluster, ComputeUnit::Cpu);
+        let mpi = simulate(
+            Strategy::MpiMatrix { nodes: 2 },
+            &w,
+            &cluster,
+            ComputeUnit::Cpu,
+        );
         let moe = simulate(
             Strategy::SgMoeRpc { k: 2, top_k: 2 },
             &w,
@@ -381,7 +394,10 @@ mod tests {
         );
         assert!(m > 8.0 * b, "MPI {m} must dwarf baseline {b}");
         assert!(m > 8.0 * t, "MPI {m} must dwarf TeamNet {t}");
-        assert!(g > t, "SG-MoE {g} pays the gate before experts start, TeamNet {t}");
+        assert!(
+            g > t,
+            "SG-MoE {g} pays the gate before experts start, TeamNet {t}"
+        );
     }
 
     /// Table II shape on CPUs: TeamNet about halves the baseline; both MPI
@@ -393,7 +409,12 @@ mod tests {
         let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu);
         let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu);
         let branch = simulate(Strategy::MpiBranch, &w, &cluster, ComputeUnit::Cpu);
-        let kernel = simulate(Strategy::MpiKernel { nodes: 2 }, &w, &cluster, ComputeUnit::Cpu);
+        let kernel = simulate(
+            Strategy::MpiKernel { nodes: 2 },
+            &w,
+            &cluster,
+            ComputeUnit::Cpu,
+        );
         let (b, t, br, ke) = (
             base.sim.makespan.as_millis_f64(),
             team.sim.makespan.as_millis_f64(),
@@ -401,8 +422,14 @@ mod tests {
             kernel.sim.makespan.as_millis_f64(),
         );
         assert!(t < 0.7 * b, "TeamNet {t} should beat baseline {b} clearly");
-        assert!(br > b, "MPI-Branch {br} pays per-block round trips vs baseline {b}");
-        assert!(ke > br, "MPI-Kernel {ke} moves more data than MPI-Branch {br}");
+        assert!(
+            br > b,
+            "MPI-Branch {br} pays per-block round trips vs baseline {b}"
+        );
+        assert!(
+            ke > br,
+            "MPI-Kernel {ke} moves more data than MPI-Branch {br}"
+        );
     }
 
     /// Table I(b) shape: on the GPU the baseline's tiny-MLP compute is so
@@ -449,7 +476,12 @@ mod tests {
         let team = simulate(Strategy::TeamNet { k: 4 }, &w, &cluster, ComputeUnit::Cpu);
         // 3 input unicasts + 3 result messages.
         assert_eq!(team.sim.messages_sent, 6);
-        let mpi = simulate(Strategy::MpiMatrix { nodes: 4 }, &w, &cluster, ComputeUnit::Cpu);
+        let mpi = simulate(
+            Strategy::MpiMatrix { nodes: 4 },
+            &w,
+            &cluster,
+            ComputeUnit::Cpu,
+        );
         assert!(mpi.sim.messages_sent > 50, "{}", mpi.sim.messages_sent);
     }
 

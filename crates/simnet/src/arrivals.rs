@@ -82,6 +82,7 @@ pub fn simulate_serving(
                 }
             }
             Event::Departure => {
+                // Departures are only scheduled when a job enters service. lint: allow(no-expect)
                 let id = in_service.take().expect("departure without a job");
                 responses[id] = now.saturating_sub(arrival_at[id]);
                 served += 1;
@@ -104,6 +105,7 @@ pub fn simulate_serving(
     let mut sorted: Vec<SimTime> = responses.clone();
     sorted.sort();
     let total: f64 = responses.iter().map(|r| r.as_secs_f64()).sum();
+    // `requests > 0` was asserted on entry. lint: allow(no-expect)
     let horizon = busy_until.max(*arrival_at.last().expect("non-empty"));
     ServingReport {
         served,
@@ -124,10 +126,13 @@ mod tests {
     fn light_load_has_no_queueing() {
         let mut rng = StdRng::seed_from_u64(1);
         // 10 ms service, 1 request/s: essentially never queued.
-        let report =
-            simulate_serving(SimTime::from_millis(10), 1.0, 500, &mut rng);
+        let report = simulate_serving(SimTime::from_millis(10), 1.0, 500, &mut rng);
         assert_eq!(report.served, 500);
-        assert!(report.mean_response.as_millis_f64() < 11.0, "{:?}", report.mean_response);
+        assert!(
+            report.mean_response.as_millis_f64() < 11.0,
+            "{:?}",
+            report.mean_response
+        );
         assert!(report.utilization < 0.05, "{}", report.utilization);
         assert!(report.max_queue_depth <= 1);
     }
@@ -153,7 +158,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let report = simulate_serving(SimTime::from_millis(10), 50.0, 20_000, &mut rng);
         let mean_ms = report.mean_response.as_millis_f64();
-        assert!((mean_ms - 15.0).abs() < 2.0, "mean response {mean_ms} vs theory 15");
+        assert!(
+            (mean_ms - 15.0).abs() < 2.0,
+            "mean response {mean_ms} vs theory 15"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -68,15 +72,27 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current simulation time (events
     /// cannot fire in the past).
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule at {at} before now ({})", self.now);
-        self.heap.push(Entry { at, seq: self.next_seq, event });
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before now ({})",
+            self.now
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            event,
+        });
         self.next_seq += 1;
     }
 
     /// Schedules `event` to fire `delay` after the current time.
     pub fn schedule_in(&mut self, delay: SimTime, event: E) {
         let at = self.now + delay;
-        self.heap.push(Entry { at, seq: self.next_seq, event });
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            event,
+        });
         self.next_seq += 1;
     }
 
@@ -107,7 +123,12 @@ impl<E> EventQueue<E> {
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "EventQueue(now {}, {} pending)", self.now, self.heap.len())
+        write!(
+            f,
+            "EventQueue(now {}, {} pending)",
+            self.now,
+            self.heap.len()
+        )
     }
 }
 

@@ -112,6 +112,9 @@ impl DeviceProfile {
             ComputeUnit::Cpu => (self.cpu_gflops, self.cpu_layer_overhead),
             ComputeUnit::Gpu => (
                 self.gpu_gflops
+                    // Documented `# Panics` contract: a GPU request against a
+                    // CPU-only profile is a simulation-config bug, not a
+                    // runtime condition. lint: allow(no-panic)
                     .unwrap_or_else(|| panic!("{} has no GPU", self.name)),
                 self.gpu_layer_overhead,
             ),
@@ -149,7 +152,10 @@ impl DeviceProfile {
         let gflops = match unit {
             ComputeUnit::Cpu => self.cpu_gflops,
             ComputeUnit::Gpu => {
-                self.gpu_gflops.unwrap_or_else(|| panic!("{} has no GPU", self.name))
+                // Documented `# Panics` contract, as in `compute_time`.
+                // lint: allow(no-panic)
+                self.gpu_gflops
+                    .unwrap_or_else(|| panic!("{} has no GPU", self.name))
             }
         };
         SimTime::from_secs_f64(flops as f64 / (gflops * 1e9))
@@ -228,7 +234,9 @@ mod tests {
         // Paper Table I(a): 8-layer MLP baseline on Jetson CPU = 3.4 ms.
         // Our MLP-8 (hidden 256) is ≈ 1.5 MFLOP over 8 layers.
         let dev = DeviceProfile::jetson_tx2_cpu();
-        let t = dev.compute_time(1_500_000, 8, ComputeUnit::Cpu).as_millis_f64();
+        let t = dev
+            .compute_time(1_500_000, 8, ComputeUnit::Cpu)
+            .as_millis_f64();
         assert!((1.0..8.0).contains(&t), "modeled {t} ms, paper 3.4 ms");
     }
 

@@ -35,6 +35,7 @@
 //! assert!(report.makespan.as_millis_f64() < 10.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arrivals;

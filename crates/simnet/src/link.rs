@@ -27,22 +27,32 @@ impl WifiLink {
     /// A typical 802.11n home/lab network as seen by TCP payloads:
     /// ~0.4 ms per-message overhead, ~90 Mbit/s goodput.
     pub fn wifi_80211n() -> Self {
-        WifiLink { per_message_overhead: SimTime::from_micros(400), bandwidth_mbps: 90.0 }
+        WifiLink {
+            per_message_overhead: SimTime::from_micros(400),
+            bandwidth_mbps: 90.0,
+        }
     }
 
     /// A congested or long-range WiFi link (~5 ms overhead, 20 Mbit/s).
     pub fn wifi_congested() -> Self {
-        WifiLink { per_message_overhead: SimTime::from_micros(5_000), bandwidth_mbps: 20.0 }
+        WifiLink {
+            per_message_overhead: SimTime::from_micros(5_000),
+            bandwidth_mbps: 20.0,
+        }
     }
 
     /// A wired-Ethernet-class link for ablations (0.2 ms, 940 Mbit/s).
     pub fn ethernet() -> Self {
-        WifiLink { per_message_overhead: SimTime::from_micros(200), bandwidth_mbps: 940.0 }
+        WifiLink {
+            per_message_overhead: SimTime::from_micros(200),
+            bandwidth_mbps: 940.0,
+        }
     }
 
     /// Airtime of one `bytes`-byte message.
     pub fn transfer_time(&self, bytes: u64) -> SimTime {
-        let serialization = SimTime::from_secs_f64(bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6));
+        let serialization =
+            SimTime::from_secs_f64(bytes as f64 * 8.0 / (self.bandwidth_mbps * 1e6));
         self.per_message_overhead + serialization
     }
 }
@@ -78,7 +88,8 @@ mod tests {
     fn ethernet_beats_wifi() {
         let bytes = 50_000;
         assert!(
-            WifiLink::ethernet().transfer_time(bytes) < WifiLink::wifi_80211n().transfer_time(bytes)
+            WifiLink::ethernet().transfer_time(bytes)
+                < WifiLink::wifi_80211n().transfer_time(bytes)
         );
     }
 }

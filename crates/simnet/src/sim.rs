@@ -29,7 +29,10 @@ impl SimCluster {
     /// Panics if `n == 0`.
     pub fn homogeneous(profile: DeviceProfile, n: usize) -> Self {
         assert!(n > 0, "cluster needs at least one device");
-        SimCluster { devices: vec![profile; n], link: WifiLink::wifi_80211n() }
+        SimCluster {
+            devices: vec![profile; n],
+            link: WifiLink::wifi_80211n(),
+        }
     }
 
     /// A cluster of explicitly listed (possibly different) devices — the
@@ -40,7 +43,10 @@ impl SimCluster {
     /// Panics if `devices` is empty.
     pub fn heterogeneous(devices: Vec<DeviceProfile>) -> Self {
         assert!(!devices.is_empty(), "cluster needs at least one device");
-        SimCluster { devices, link: WifiLink::wifi_80211n() }
+        SimCluster {
+            devices,
+            link: WifiLink::wifi_80211n(),
+        }
     }
 
     /// Replaces the link model.
@@ -147,7 +153,12 @@ impl SimRun<'_> {
     /// Synchronizes all node clocks to the latest (a barrier, ignoring the
     /// barrier's own messages).
     pub fn sync_all(&mut self) {
-        let latest = *self.node_time.iter().max().expect("non-empty cluster");
+        let latest = self
+            .node_time
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         for t in &mut self.node_time {
             *t = latest;
         }
@@ -160,7 +171,11 @@ impl SimRun<'_> {
 
     /// The latest local clock — the end-to-end latency so far.
     pub fn makespan(&self) -> SimTime {
-        *self.node_time.iter().max().expect("non-empty cluster")
+        self.node_time
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Finalizes the run into a report. `period` is the request

@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut times = [SimTime::from_millis(3), SimTime::ZERO, SimTime::from_micros(10)];
+        let mut times = [
+            SimTime::from_millis(3),
+            SimTime::ZERO,
+            SimTime::from_micros(10),
+        ];
         times.sort();
         assert_eq!(times[0], SimTime::ZERO);
         assert_eq!(times[2].as_millis_f64(), 3.0);

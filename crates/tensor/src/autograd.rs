@@ -126,7 +126,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -208,7 +212,9 @@ impl Tape {
 
     /// Adds a `[cols]` row vector to every row of a `[rows, cols]` matrix.
     pub fn add_row_broadcast(&mut self, m: Var, row: Var) -> Var {
-        let v = self.nodes[m.0].value.add_row_broadcast(&self.nodes[row.0].value);
+        let v = self.nodes[m.0]
+            .value
+            .add_row_broadcast(&self.nodes[row.0].value);
         self.binary(m, row, v, Op::AddRowBroadcast(m, row))
     }
 
@@ -219,7 +225,11 @@ impl Tape {
         let rv = &self.nodes[row.0].value;
         assert_eq!(mv.rank(), 2, "mul_row_broadcast() requires a rank-2 matrix");
         assert_eq!(rv.rank(), 1, "mul_row_broadcast() requires a rank-1 vector");
-        assert_eq!(mv.dims()[1], rv.dims()[0], "mul_row_broadcast() column mismatch");
+        assert_eq!(
+            mv.dims()[1],
+            rv.dims()[0],
+            "mul_row_broadcast() column mismatch"
+        );
         let mut out = mv.clone();
         for r in 0..mv.dims()[0] {
             for (o, &s) in out.row_mut(r).iter_mut().zip(rv.data()) {
@@ -239,6 +249,7 @@ impl Tape {
         for r in 0..rows {
             out.extend(std::iter::repeat_n(av.data()[r], k));
         }
+        // `out` was filled with exactly rows * k elements. lint: allow(no-expect)
         let v = Tensor::from_vec(out, [rows, k]).expect("broadcast volume");
         self.unary(a, v, Op::BroadcastCols(a, k))
     }
@@ -279,6 +290,7 @@ impl Tape {
         let v = self.nodes[a.0]
             .value
             .reshape(dims.to_vec())
+            // Documented `# Panics` contract above. lint: allow(no-expect)
             .expect("reshape volume mismatch");
         self.unary(a, v, Op::Reshape(a))
     }
@@ -343,7 +355,9 @@ impl Tape {
             Op::Scale(a, s) => self.accumulate(grads, a, g.scale(s)),
             Op::AddScalar(a) => self.accumulate(grads, a, g.clone()),
             Op::Relu(a) => {
-                let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                let mask = self.nodes[a.0]
+                    .value
+                    .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                 self.accumulate(grads, a, g * &mask);
             }
             Op::Tanh(a) => {
@@ -391,7 +405,11 @@ impl Tape {
             }
             Op::BroadcastCols(a, _k) => {
                 let rows = self.nodes[a.0].value.dims()[0];
-                let summed = g.sum_rows().into_reshaped([rows, 1]).expect("broadcast grad reshape");
+                // sum_rows of [rows, k] has exactly rows entries. lint: allow(no-expect)
+                let summed = g
+                    .sum_rows()
+                    .into_reshaped([rows, 1])
+                    .expect("broadcast grad reshape");
                 self.accumulate(grads, a, summed);
             }
             Op::MeanAxis0(a) => {
@@ -402,6 +420,7 @@ impl Tape {
                 for _ in 0..rows {
                     out.extend(g.data().iter().map(|&x| x * scale));
                 }
+                // `out` was filled with exactly rows * cols elements. lint: allow(no-expect)
                 let t = Tensor::from_vec(out, [rows, cols]).expect("mean_axis0 grad volume");
                 self.accumulate(grads, a, t);
             }
@@ -430,6 +449,7 @@ impl Tape {
             }
             Op::Reshape(a) => {
                 let dims = self.nodes[a.0].value.dims().to_vec();
+                // The gradient has the forward value's volume. lint: allow(no-expect)
                 let back = g.reshape(dims).expect("reshape gradient volume");
                 self.accumulate(grads, a, back);
             }

@@ -27,7 +27,11 @@ impl Conv2dSpec {
     pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
         assert!(kernel > 0, "kernel must be positive");
         assert!(stride > 0, "stride must be positive");
-        Conv2dSpec { kernel, stride, padding }
+        Conv2dSpec {
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output spatial size for an input spatial size.
@@ -37,7 +41,12 @@ impl Conv2dSpec {
     /// Panics if the kernel does not fit in the padded input.
     pub fn out_size(&self, input: usize) -> usize {
         let padded = input + 2 * self.padding;
-        assert!(padded >= self.kernel, "kernel {} larger than padded input {}", self.kernel, padded);
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {}",
+            self.kernel,
+            padded
+        );
         (padded - self.kernel) / self.stride + 1
     }
 }
@@ -68,6 +77,7 @@ fn im2col(img: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Tensor
             }
         }
     }
+    // `cols` was allocated as c*k*k * col_w zeros. lint: allow(no-expect)
     Tensor::from_vec(cols, [c * k * k, col_w]).expect("im2col volume by construction")
 }
 
@@ -117,25 +127,40 @@ fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Vec<
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Tensor {
     assert_eq!(input.rank(), 4, "conv2d input must be [n, c, h, w]");
     assert_eq!(weight.rank(), 4, "conv2d weight must be [oc, ic, k, k]");
-    let (n, ic, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (n, ic, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
     let oc = weight.dims()[0];
     assert_eq!(weight.dims()[1], ic, "conv2d channel mismatch");
     assert_eq!(weight.dims()[2], spec.kernel, "conv2d kernel mismatch");
     assert_eq!(weight.dims()[3], spec.kernel, "conv2d kernel mismatch");
     assert_eq!(bias.dims(), &[oc], "conv2d bias must be [oc]");
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
-    let w_mat = weight.reshape([oc, ic * spec.kernel * spec.kernel]).expect("weight reshape");
+    // Weight dims were asserted [oc, ic, k, k] above. lint: allow(no-expect)
+    let w_mat = weight
+        .reshape([oc, ic * spec.kernel * spec.kernel])
+        .expect("weight reshape");
 
     let img_len = ic * h * w;
     let mut out = Vec::with_capacity(n * oc * oh * ow);
     for s in 0..n {
-        let cols = im2col(&input.data()[s * img_len..(s + 1) * img_len], ic, h, w, spec);
+        let cols = im2col(
+            &input.data()[s * img_len..(s + 1) * img_len],
+            ic,
+            h,
+            w,
+            spec,
+        );
         let y = w_mat.matmul(&cols); // [oc, oh*ow]
         for ch in 0..oc {
             let b = bias.data()[ch];
             out.extend(y.row(ch).iter().map(|&v| v + b));
         }
     }
+    // Each sample appends oc * oh * ow values. lint: allow(no-expect)
     Tensor::from_vec(out, [n, oc, oh, ow]).expect("conv2d output volume by construction")
 }
 
@@ -154,12 +179,22 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: Conv2dSpec,
 ) -> (Tensor, Tensor, Tensor) {
-    let (n, ic, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (n, ic, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
     let oc = weight.dims()[0];
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
-    assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d_backward grad_out shape mismatch");
+    assert_eq!(
+        grad_out.dims(),
+        &[n, oc, oh, ow],
+        "conv2d_backward grad_out shape mismatch"
+    );
 
     let k2 = spec.kernel * spec.kernel;
+    // Weight is [oc, ic, k, k] per the forward contract. lint: allow(no-expect)
     let w_mat = weight.reshape([oc, ic * k2]).expect("weight reshape");
     let w_mat_t = w_mat.transpose();
 
@@ -170,14 +205,24 @@ pub fn conv2d_backward(
     let mut grad_b = vec![0.0f32; oc];
 
     for s in 0..n {
-        let go = Tensor::from_vec(grad_out.data()[s * out_len..(s + 1) * out_len].to_vec(), [oc, oh * ow])
-            .expect("grad_out slice");
+        let go = Tensor::from_vec(
+            grad_out.data()[s * out_len..(s + 1) * out_len].to_vec(),
+            [oc, oh * ow],
+        )
+        // The slice has exactly out_len = oc * oh * ow elements. lint: allow(no-expect)
+        .expect("grad_out slice");
         // Bias gradient: sum over spatial positions.
         for (ch, gb) in grad_b.iter_mut().enumerate() {
             *gb += go.row(ch).iter().sum::<f32>();
         }
         // Weight gradient: dW += dY · colsᵀ.
-        let cols = im2col(&input.data()[s * img_len..(s + 1) * img_len], ic, h, w, spec);
+        let cols = im2col(
+            &input.data()[s * img_len..(s + 1) * img_len],
+            ic,
+            h,
+            w,
+            spec,
+        );
         grad_w.axpy(1.0, &go.matmul(&cols.transpose()));
         // Input gradient: dcols = Wᵀ · dY, scattered by col2im.
         let dcols = w_mat_t.matmul(&go);
@@ -185,8 +230,13 @@ pub fn conv2d_backward(
     }
 
     (
+        // col2im returns ic * h * w values per sample. lint: allow(no-expect)
         Tensor::from_vec(grad_input, [n, ic, h, w]).expect("grad_input volume"),
-        grad_w.into_reshaped([oc, ic, spec.kernel, spec.kernel]).expect("grad_w reshape"),
+        // grad_w was allocated as [oc, ic * k2]. lint: allow(no-expect)
+        grad_w
+            .into_reshaped([oc, ic, spec.kernel, spec.kernel])
+            .expect("grad_w reshape"),
+        // grad_b was allocated as oc zeros. lint: allow(no-expect)
         Tensor::from_vec(grad_b, [oc]).expect("grad_b volume"),
     )
 }
@@ -202,7 +252,12 @@ pub fn conv2d_backward(
 pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
     assert_eq!(input.rank(), 4, "avg_pool2d input must be [n, c, h, w]");
     assert!(window > 0, "window must be positive");
-    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
     assert_eq!(h % window, 0, "height {h} not divisible by window {window}");
     assert_eq!(w % window, 0, "width {w} not divisible by window {window}");
     let (oh, ow) = (h / window, w / window);
@@ -225,6 +280,7 @@ pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
             }
         }
     }
+    // `out` was allocated as n * c * oh * ow zeros. lint: allow(no-expect)
     Tensor::from_vec(out, [n, c, oh, ow]).expect("avg_pool2d volume by construction")
 }
 
@@ -234,8 +290,17 @@ pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
 /// # Panics
 ///
 /// Panics on shape mismatch between `grad_out` and the pooled geometry.
-pub fn avg_pool2d_backward(grad_out: &Tensor, input_h: usize, input_w: usize, window: usize) -> Tensor {
-    assert_eq!(grad_out.rank(), 4, "avg_pool2d_backward grad must be [n, c, oh, ow]");
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_h: usize,
+    input_w: usize,
+    window: usize,
+) -> Tensor {
+    assert_eq!(
+        grad_out.rank(),
+        4,
+        "avg_pool2d_backward grad must be [n, c, oh, ow]"
+    );
     let (n, c, oh, ow) = (
         grad_out.dims()[0],
         grad_out.dims()[1],
@@ -262,13 +327,23 @@ pub fn avg_pool2d_backward(grad_out: &Tensor, input_h: usize, input_w: usize, wi
             }
         }
     }
+    // `out` was allocated as n * c * input_h * input_w zeros. lint: allow(no-expect)
     Tensor::from_vec(out, [n, c, input_h, input_w]).expect("avg_pool2d_backward volume")
 }
 
 /// Global average pooling: `[n, c, h, w] → [n, c]`.
 pub fn global_avg_pool(input: &Tensor) -> Tensor {
-    assert_eq!(input.rank(), 4, "global_avg_pool input must be [n, c, h, w]");
-    let (n, c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2], input.dims()[3]);
+    assert_eq!(
+        input.rank(),
+        4,
+        "global_avg_pool input must be [n, c, h, w]"
+    );
+    let (n, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
     let scale = 1.0 / (h * w) as f32;
     let mut out = Vec::with_capacity(n * c);
     for s in 0..n {
@@ -277,18 +352,24 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
             out.push(input.data()[base..base + h * w].iter().sum::<f32>() * scale);
         }
     }
+    // The loop pushes exactly n * c means. lint: allow(no-expect)
     Tensor::from_vec(out, [n, c]).expect("global_avg_pool volume")
 }
 
 /// Backward pass of [`global_avg_pool`].
 pub fn global_avg_pool_backward(grad_out: &Tensor, h: usize, w: usize) -> Tensor {
-    assert_eq!(grad_out.rank(), 2, "global_avg_pool_backward grad must be [n, c]");
+    assert_eq!(
+        grad_out.rank(),
+        2,
+        "global_avg_pool_backward grad must be [n, c]"
+    );
     let (n, c) = (grad_out.dims()[0], grad_out.dims()[1]);
     let scale = 1.0 / (h * w) as f32;
     let mut out = Vec::with_capacity(n * c * h * w);
     for &g in grad_out.data() {
         out.extend(std::iter::repeat_n(g * scale, h * w));
     }
+    // Each of the n * c gradients spreads into h * w cells. lint: allow(no-expect)
     Tensor::from_vec(out, [n, c, h, w]).expect("global_avg_pool_backward volume")
 }
 
@@ -307,11 +388,18 @@ mod tests {
     #[test]
     fn conv2d_identity_kernel() {
         // A 1x1 kernel with weight 1 and bias 0 is the identity.
-        let input = Tensor::arange(2 * 3 * 4).into_reshaped([1, 2, 3, 4]).unwrap();
+        let input = Tensor::arange(2 * 3 * 4)
+            .into_reshaped([1, 2, 3, 4])
+            .unwrap();
         let mut weight = Tensor::zeros([2, 2, 1, 1]);
         weight.set(&[0, 0, 0, 0], 1.0);
         weight.set(&[1, 1, 0, 0], 1.0);
-        let out = conv2d(&input, &weight, &Tensor::zeros([2]), Conv2dSpec::new(1, 1, 0));
+        let out = conv2d(
+            &input,
+            &weight,
+            &Tensor::zeros([2]),
+            Conv2dSpec::new(1, 1, 0),
+        );
         assert_eq!(out, input);
     }
 
@@ -335,7 +423,12 @@ mod tests {
     fn conv2d_padding_zero_extends() {
         let input = Tensor::ones([1, 1, 2, 2]);
         let weight = Tensor::ones([1, 1, 3, 3]);
-        let out = conv2d(&input, &weight, &Tensor::zeros([1]), Conv2dSpec::new(3, 1, 1));
+        let out = conv2d(
+            &input,
+            &weight,
+            &Tensor::zeros([1]),
+            Conv2dSpec::new(3, 1, 1),
+        );
         assert_eq!(out.dims(), &[1, 1, 2, 2]);
         // Every 3x3 window sees exactly the 4 ones.
         assert_eq!(out.data(), &[4.0, 4.0, 4.0, 4.0]);
@@ -389,7 +482,10 @@ mod tests {
     #[test]
     fn avg_pool_forward_and_backward() {
         let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             [1, 1, 4, 4],
         )
         .unwrap();
@@ -404,7 +500,9 @@ mod tests {
 
     #[test]
     fn global_avg_pool_roundtrip() {
-        let input = Tensor::arange(2 * 3 * 2 * 2).into_reshaped([2, 3, 2, 2]).unwrap();
+        let input = Tensor::arange(2 * 3 * 2 * 2)
+            .into_reshaped([2, 3, 2, 2])
+            .unwrap();
         let out = global_avg_pool(&input);
         assert_eq!(out.dims(), &[2, 3]);
         assert_eq!(out.at(&[0, 0]), 1.5); // mean of 0..4

@@ -44,7 +44,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right, op } => {
                 write!(f, "incompatible shapes {left} and {right} for {op}")
@@ -66,8 +69,15 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errors = [
-            TensorError::LengthMismatch { expected: 4, actual: 3 },
-            TensorError::ShapeMismatch { left: "[2, 3]".into(), right: "[4]".into(), op: "add" },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: "[2, 3]".into(),
+                right: "[4]".into(),
+                op: "add",
+            },
             TensorError::AxisOutOfRange { axis: 5, rank: 2 },
             TensorError::EmptyShape,
         ];

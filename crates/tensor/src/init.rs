@@ -34,6 +34,7 @@ impl Tensor {
         let data = (0..shape.volume())
             .map(|_| mean + std * StandardNormal::sample(rng))
             .collect();
+        // `data` has exactly shape.volume() samples. lint: allow(no-expect)
         Tensor::from_vec(data, shape).expect("volume matches by construction")
     }
 
@@ -42,10 +43,18 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics if `low >= high`.
-    pub fn rand_uniform(shape: impl Into<Shape>, low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+    pub fn rand_uniform(
+        shape: impl Into<Shape>,
+        low: f32,
+        high: f32,
+        rng: &mut impl Rng,
+    ) -> Tensor {
         assert!(low < high, "rand_uniform() requires low < high");
         let shape = shape.into();
-        let data = (0..shape.volume()).map(|_| rng.gen_range(low..high)).collect();
+        let data = (0..shape.volume())
+            .map(|_| rng.gen_range(low..high))
+            .collect();
+        // `data` has exactly shape.volume() samples. lint: allow(no-expect)
         Tensor::from_vec(data, shape).expect("volume matches by construction")
     }
 
@@ -61,7 +70,10 @@ impl Tensor {
         fan_out: usize,
         rng: &mut impl Rng,
     ) -> Tensor {
-        assert!(fan_in + fan_out > 0, "xavier_uniform() requires positive fan sum");
+        assert!(
+            fan_in + fan_out > 0,
+            "xavier_uniform() requires positive fan sum"
+        );
         let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
         Tensor::rand_uniform(shape, -bound, bound, rng)
     }

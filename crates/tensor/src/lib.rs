@@ -23,6 +23,7 @@
 //! # Ok::<(), teamnet_tensor::TensorError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod autograd;

@@ -30,7 +30,8 @@ impl Tensor {
         let (m, k) = (self.dims()[0], self.dims()[1]);
         let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul() inner dimension mismatch: {} vs {}",
             self.shape(),
             rhs.shape()
@@ -52,6 +53,7 @@ impl Tensor {
                 }
             }
         }
+        // `out` was allocated as m * n zeros. lint: allow(no-expect)
         Tensor::from_vec(out, [m, n]).expect("matmul output volume is m*n by construction")
     }
 
@@ -69,6 +71,7 @@ impl Tensor {
                 out[j * m + i] = self.data()[i * n + j];
             }
         }
+        // `out` was allocated as m * n zeros. lint: allow(no-expect)
         Tensor::from_vec(out, [n, m]).expect("transpose preserves volume")
     }
 
@@ -103,6 +106,7 @@ impl Tensor {
                 out.push(a * b);
             }
         }
+        // The nested loop pushes exactly m * n products. lint: allow(no-expect)
         Tensor::from_vec(out, [m, n]).expect("outer output volume is m*n by construction")
     }
 
@@ -115,7 +119,11 @@ impl Tensor {
         assert_eq!(self.rank(), 1, "dot() requires rank-1 operands");
         assert_eq!(rhs.rank(), 1, "dot() requires rank-1 operands");
         assert_eq!(self.len(), rhs.len(), "dot() length mismatch");
-        self.data().iter().zip(rhs.data()).map(|(&a, &b)| a * b).sum()
+        self.data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 }
 

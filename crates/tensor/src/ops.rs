@@ -127,10 +127,22 @@ impl Tensor {
     /// Panics unless `self` is rank-2 and `row` is rank-1 with matching
     /// column count.
     pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 2, "add_row_broadcast() requires a rank-2 left operand");
-        assert_eq!(row.rank(), 1, "add_row_broadcast() requires a rank-1 right operand");
+        assert_eq!(
+            self.rank(),
+            2,
+            "add_row_broadcast() requires a rank-2 left operand"
+        );
+        assert_eq!(
+            row.rank(),
+            1,
+            "add_row_broadcast() requires a rank-1 right operand"
+        );
         let cols = self.dims()[1];
-        assert_eq!(cols, row.dims()[0], "column count mismatch in add_row_broadcast()");
+        assert_eq!(
+            cols,
+            row.dims()[0],
+            "column count mismatch in add_row_broadcast()"
+        );
         let mut out = self.clone();
         for r in 0..self.dims()[0] {
             for (o, &b) in out.row_mut(r).iter_mut().zip(row.data()) {
@@ -189,7 +201,9 @@ impl Tensor {
     /// Panics if the tensor is not rank-2.
     pub fn sum_rows(&self) -> Tensor {
         assert_eq!(self.rank(), 2, "sum_rows() requires a rank-2 tensor");
-        (0..self.dims()[0]).map(|r| self.row(r).iter().sum()).collect()
+        (0..self.dims()[0])
+            .map(|r| self.row(r).iter().sum())
+            .collect()
     }
 
     /// Per-column sums of a rank-2 tensor, as a `[cols]` vector.
@@ -216,7 +230,9 @@ impl Tensor {
     /// Panics if the tensor is not rank-2 or has zero columns.
     pub fn argmax_rows(&self) -> Vec<usize> {
         assert_eq!(self.rank(), 2, "argmax_rows() requires a rank-2 tensor");
-        (0..self.dims()[0]).map(|r| argmax_slice(self.row(r))).collect()
+        (0..self.dims()[0])
+            .map(|r| argmax_slice(self.row(r)))
+            .collect()
     }
 
     /// Per-row argmin of a rank-2 tensor (first index on ties).

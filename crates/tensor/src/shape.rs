@@ -105,7 +105,10 @@ impl Shape {
     ///
     /// Panics if `offset >= self.volume()`.
     pub fn unravel(&self, offset: usize) -> Vec<usize> {
-        assert!(offset < self.volume().max(1), "offset {offset} out of range");
+        assert!(
+            offset < self.volume().max(1),
+            "offset {offset} out of range"
+        );
         let mut index = vec![0; self.dims.len()];
         let mut rem = offset;
         for i in (0..self.dims.len()).rev() {

@@ -37,7 +37,10 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self, TensorError> {
         let shape = shape.into();
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -46,7 +49,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let volume = shape.volume();
-        Tensor { shape, data: vec![0.0; volume] }
+        Tensor {
+            shape,
+            data: vec![0.0; volume],
+        }
     }
 
     /// Creates a one-filled tensor.
@@ -58,17 +64,26 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let volume = shape.volume();
-        Tensor { shape, data: vec![value; volume] }
+        Tensor {
+            shape,
+            data: vec![value; volume],
+        }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// A 1-D tensor `[0, 1, ..., n-1]` as `f32`s.
     pub fn arange(n: usize) -> Self {
-        Tensor { shape: Shape::new(vec![n]), data: (0..n).map(|i| i as f32).collect() }
+        Tensor {
+            shape: Shape::new(vec![n]),
+            data: (0..n).map(|i| i as f32).collect(),
+        }
     }
 
     /// The tensor's shape.
@@ -136,7 +151,12 @@ impl Tensor {
     ///
     /// Panics if the tensor holds more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() requires exactly one element, got {}", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires exactly one element, got {}",
+            self.data.len()
+        );
         self.data[0]
     }
 
@@ -198,12 +218,18 @@ impl Tensor {
         }
         let mut dims = vec![indices.len()];
         dims.extend_from_slice(&self.shape.dims()[1..]);
-        Tensor { shape: Shape::new(dims), data }
+        Tensor {
+            shape: Shape::new(dims),
+            data,
+        }
     }
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -227,7 +253,12 @@ impl Tensor {
         );
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -287,7 +318,10 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert!(self.shape.same_as(&other.shape), "max_abs_diff() requires equal shapes");
+        assert!(
+            self.shape.same_as(&other.shape),
+            "max_abs_diff() requires equal shapes"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -310,7 +344,12 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= PREVIEW {
             write!(f, "{:?}", self.data)
         } else {
-            write!(f, "{:?}... ({} elements)", &self.data[..PREVIEW], self.data.len())
+            write!(
+                f,
+                "{:?}... ({} elements)",
+                &self.data[..PREVIEW],
+                self.data.len()
+            )
         }
     }
 }
@@ -326,7 +365,10 @@ impl FromIterator<f32> for Tensor {
     fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
         let data: Vec<f32> = iter.into_iter().collect();
         let n = data.len();
-        Tensor { shape: Shape::new(vec![n]), data }
+        Tensor {
+            shape: Shape::new(vec![n]),
+            data,
+        }
     }
 }
 
@@ -347,7 +389,13 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
         let err = Tensor::from_vec(vec![1.0; 5], [2, 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 6, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
     }
 
     #[test]

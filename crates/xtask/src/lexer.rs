@@ -1,0 +1,325 @@
+//! A minimal Rust source "masker": replaces the contents of comments and
+//! string/char literals with spaces so downstream passes can pattern-match
+//! code without being fooled by text, while harvesting `// lint: allow(...)`
+//! directives from the comments it erases.
+//!
+//! This is not a full lexer — it only understands the token classes whose
+//! contents must not be scanned: line comments, (nested) block comments,
+//! string literals, raw strings (`r#"…"#`, any hash depth, `b`/`br`
+//! prefixes), and char literals (disambiguated from lifetimes).
+
+use std::collections::BTreeMap;
+
+/// A source file with comment/literal bodies blanked out.
+pub struct Masked {
+    /// Masked source, line by line (no trailing newlines).
+    pub lines: Vec<String>,
+    /// Lint rules explicitly allowed via comment directives, keyed by the
+    /// 1-based line the directive's comment starts on.
+    pub allows: BTreeMap<usize, Vec<String>>,
+}
+
+impl Masked {
+    /// True if `rule` is allowed on `line`. A directive counts for its own
+    /// line, the line directly below it (trailing comments and a comment on
+    /// the preceding line both work), and — because rustfmt may wrap one
+    /// statement over several lines — any later line of the statement that
+    /// starts directly beneath it.
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        if self.has(line, rule) || self.has(line.saturating_sub(1), rule) {
+            return true;
+        }
+        // Walk upward while still inside the same statement: a previous
+        // line that is blank (blanked comments included) never ends one,
+        // and a code line only does when it closes with `;`/`,`/`{`/`}`.
+        let mut probe = line;
+        while probe > 1 {
+            let prev = self.lines.get(probe - 2).map_or("", |l| l.trim());
+            if !prev.is_empty() && prev.ends_with([';', ',', '{', '}']) {
+                return false;
+            }
+            probe -= 1;
+            if self.has(probe, rule) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn has(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parses every `lint: allow(a, b)` directive inside a comment body.
+fn harvest_directives(comment: &str, line: usize, allows: &mut BTreeMap<usize, Vec<String>>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        rest = &rest[pos + "lint: allow(".len()..];
+        let Some(end) = rest.find(')') else { return };
+        for rule in rest[..end].split(',') {
+            let rule = rule.trim().to_string();
+            if !rule.is_empty() {
+                allows.entry(line).or_default().push(rule);
+            }
+        }
+        rest = &rest[end..];
+    }
+}
+
+/// Masks `source`, keeping byte positions and line structure intact.
+pub fn mask(source: &str) -> Masked {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut allows = BTreeMap::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Copies the byte at `i` verbatim; masked regions call `blank` instead.
+    fn blank(b: u8, out: &mut Vec<u8>) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                out.push(b);
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    blank(bytes[i], &mut out);
+                    i += 1;
+                }
+                harvest_directives(&source[start..i], line, &mut allows);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        blank(bytes[i], &mut out);
+                        blank(bytes[i + 1], &mut out);
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        blank(bytes[i], &mut out);
+                        blank(bytes[i + 1], &mut out);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        blank(bytes[i], &mut out);
+                        i += 1;
+                    }
+                }
+                harvest_directives(&source[start..i], start_line, &mut allows);
+            }
+            b'"' => {
+                // Ordinary string literal: mask body, honour escapes.
+                out.push(b'"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => {
+                            blank(bytes[i], &mut out);
+                            if i + 1 < bytes.len() {
+                                if bytes[i + 1] == b'\n' {
+                                    line += 1;
+                                }
+                                blank(bytes[i + 1], &mut out);
+                            }
+                            i += 2;
+                        }
+                        b'"' => {
+                            out.push(b'"');
+                            i += 1;
+                            break;
+                        }
+                        c => {
+                            if c == b'\n' {
+                                line += 1;
+                            }
+                            blank(c, &mut out);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_or_byte_string(bytes, i, &out) => {
+                // Skip the prefix (`r`, `b`, `br`) and count hashes.
+                let mut j = i;
+                while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') {
+                    out.push(bytes[j]);
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    out.push(b'#');
+                    hashes += 1;
+                    j += 1;
+                }
+                debug_assert_eq!(bytes.get(j), Some(&b'"'));
+                out.push(b'"');
+                j += 1;
+                // Raw body: ends at `"` followed by `hashes` hash marks.
+                'body: while j < bytes.len() {
+                    if bytes[j] == b'"' {
+                        let mut k = 0usize;
+                        while k < hashes && bytes.get(j + 1 + k) == Some(&b'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.push(b'"');
+                            out.extend(std::iter::repeat(b'#').take(hashes));
+                            j += 1 + hashes;
+                            break 'body;
+                        }
+                    }
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                    }
+                    blank(bytes[j], &mut out);
+                    j += 1;
+                }
+                i = j;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'x'`, `'\n'`).
+                if is_lifetime(bytes, i) {
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                    while i < bytes.len() {
+                        if bytes[i] == b'\\' {
+                            blank(bytes[i], &mut out);
+                            if i + 1 < bytes.len() {
+                                blank(bytes[i + 1], &mut out);
+                            }
+                            i += 2;
+                        } else if bytes[i] == b'\'' {
+                            out.push(b'\'');
+                            i += 1;
+                            break;
+                        } else {
+                            blank(bytes[i], &mut out);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    let masked = String::from_utf8(out).expect("masking preserves UTF-8 by construction");
+    Masked {
+        lines: masked.lines().map(str::to_string).collect(),
+        allows,
+    }
+}
+
+/// True if position `i` starts a raw/byte string prefix (`r"`, `r#"`, `b"`,
+/// `br#"`, …) rather than an identifier that happens to end in `r`/`b`.
+fn is_raw_or_byte_string(bytes: &[u8], i: usize, out: &[u8]) -> bool {
+    if let Some(&prev) = out.last() {
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// True if the `'` at `i` begins a lifetime/label rather than a char literal.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&next) = bytes.get(i + 1) else {
+        return true;
+    };
+    if !(next.is_ascii_alphabetic() || next == b'_') {
+        return false;
+    }
+    // `'a'` is a char literal; `'a,` / `'a>` / `'static` are lifetimes.
+    let mut j = i + 1;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let m = mask("let s = \".unwrap()\"; // .unwrap() in comment\ncall();\n");
+        assert!(!m.lines[0].contains(".unwrap()"));
+        assert_eq!(m.lines[1], "call();");
+    }
+
+    #[test]
+    fn harvests_allow_directives() {
+        let m = mask("foo(); // lint: allow(no-unwrap, no-index)\nbar();\n");
+        assert!(m.is_allowed(1, "no-unwrap"));
+        assert!(m.is_allowed(1, "no-index"));
+        assert!(
+            m.is_allowed(2, "no-unwrap"),
+            "directive covers the next line"
+        );
+        assert!(!m.is_allowed(3, "no-unwrap"));
+    }
+
+    #[test]
+    fn directive_covers_a_wrapped_statement() {
+        let m = mask(concat!(
+            "// lint: allow(no-expect)\n",
+            "let x = self\n",
+            "    .cached\n",
+            "    .expect(\"set\");\n",
+            "let y = other.expect(\"boom\");\n",
+        ));
+        assert!(m.is_allowed(4, "no-expect"), "wrapped statement is covered");
+        assert!(
+            !m.is_allowed(5, "no-expect"),
+            "the next statement is not covered"
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let m = mask("let r = r#\"panic!(\"x\")\"#; let c = '\\''; let l: &'static str = \"\";\n");
+        assert!(!m.lines[0].contains("panic!"));
+        assert!(m.lines[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn keeps_line_numbers_through_block_comments() {
+        let m = mask("/* one\ntwo\n lint: allow(no-panic) */\npanic!();\n");
+        assert_eq!(m.lines.len(), 4);
+        assert!(m.lines[3].contains("panic!"));
+        // Directive is keyed to the comment's *start* line.
+        assert!(m.is_allowed(1, "no-panic"));
+    }
+}

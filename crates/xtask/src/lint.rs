@@ -1,0 +1,289 @@
+//! The invariant lint pass: scans non-test library code for panic-prone
+//! constructs and checks crate-root hygiene headers.
+//!
+//! Rule IDs (also the names accepted by `// lint: allow(<rule>)`):
+//!
+//! | rule            | rejects                                              |
+//! |-----------------|------------------------------------------------------|
+//! | `no-unwrap`     | `.unwrap()` on `Option`/`Result`                     |
+//! | `no-expect`     | `.expect(...)`                                       |
+//! | `no-panic`      | `panic!(...)`                                        |
+//! | `no-todo`       | `todo!` / `unimplemented!`                           |
+//! | `no-index`      | unchecked `x[i]` indexing (net/core crates only)     |
+//! | `forbid-unsafe` | crate roots missing `#![forbid(unsafe_code)]`        |
+//! | `missing-docs`  | crate roots missing a `missing_docs` lint header     |
+
+use crate::lexer;
+use crate::Diagnostic;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates where unchecked indexing is rejected outright: a bad index in the
+/// distributed runtime or wire protocol kills a live inference, whereas the
+/// numeric kernels index in tight loops under their own invariants.
+const INDEX_CHECKED_CRATES: &[&str] = &["net", "core"];
+
+/// Runs the lint pass over every library crate under `crates/`, appending
+/// diagnostics. Returns `(files, lines)` scanned for the summary.
+pub fn check(root: &Path, diags: &mut Vec<Diagnostic>) -> (usize, usize) {
+    let mut files = 0usize;
+    let mut lines = 0usize;
+    for krate in library_crates(root) {
+        let crate_name = krate
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let src = krate.join("src");
+        let root_file = src.join("lib.rs");
+        if let Ok(text) = fs::read_to_string(&root_file) {
+            check_crate_root(root, &root_file, &text, diags);
+        }
+        for file in rust_files(&src) {
+            let Ok(text) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let (f, l) = check_file(root, &file, &crate_name, &text, diags);
+            files += f;
+            lines += l;
+        }
+    }
+    (files, lines)
+}
+
+/// Library crates: every `crates/*` directory with a `src/lib.rs`.
+pub fn library_crates(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(root.join("crates")) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.join("src/lib.rs").is_file() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// All `.rs` files under `dir`, excluding `src/bin/` (CLI binaries may exit
+/// loudly) — recursion is shallow here, the workspace has no deep trees.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "bin") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn check_crate_root(root: &Path, path: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
+    let rel = display_path(root, path);
+    if !text.contains("#![forbid(unsafe_code)]") {
+        diags.push(Diagnostic {
+            path: rel.clone(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root must carry #![forbid(unsafe_code)]".into(),
+        });
+    }
+    if !text.contains("#![warn(missing_docs)]") && !text.contains("#![deny(missing_docs)]") {
+        diags.push(Diagnostic {
+            path: rel,
+            line: 1,
+            rule: "missing-docs",
+            message: "crate root must enable the missing_docs lint".into(),
+        });
+    }
+}
+
+fn check_file(
+    root: &Path,
+    path: &Path,
+    crate_name: &str,
+    text: &str,
+    diags: &mut Vec<Diagnostic>,
+) -> (usize, usize) {
+    let rel = display_path(root, path);
+    let masked = lexer::mask(text);
+    let skip = test_lines(&masked.lines);
+    let index_checked = INDEX_CHECKED_CRATES.contains(&crate_name);
+
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if skip[idx] {
+            continue;
+        }
+        let mut hits: Vec<(&'static str, String)> = Vec::new();
+        if line.contains(".unwrap()") {
+            hits.push((
+                "no-unwrap",
+                "call .unwrap() may panic; return a typed error".into(),
+            ));
+        }
+        if line.contains(".expect(") {
+            hits.push((
+                "no-expect",
+                "call .expect() may panic; return a typed error".into(),
+            ));
+        }
+        if contains_bang_macro(line, "panic") {
+            hits.push((
+                "no-panic",
+                "panic! aborts a live inference; return an error".into(),
+            ));
+        }
+        if contains_bang_macro(line, "todo") || contains_bang_macro(line, "unimplemented") {
+            hits.push(("no-todo", "unfinished code path".into()));
+        }
+        if index_checked && has_unchecked_index(line) {
+            hits.push((
+                "no-index",
+                "unchecked indexing may panic; use .get() or validate first".into(),
+            ));
+        }
+        for (rule, message) in hits {
+            if !masked.is_allowed(lineno, rule) {
+                diags.push(Diagnostic {
+                    path: rel.clone(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
+            }
+        }
+    }
+    (1, masked.lines.len())
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated items (brace-matched from the
+/// attribute) so the lint only fires on shipping code.
+fn test_lines(lines: &[String]) -> Vec<bool> {
+    let mut skip = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        if lines[i].contains("#[cfg(test)]") {
+            // Walk forward to the first `{`, then to its matching `}`.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < lines.len() {
+                skip[j] = true;
+                for ch in lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                    if opened && depth == 0 {
+                        break 'outer;
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    skip
+}
+
+/// True if `line` invokes `name!` as a macro (word-boundary on the left).
+fn contains_bang_macro(line: &str, name: &str) -> bool {
+    let needle = format!("{name}!");
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find(&needle) {
+        let at = start + pos;
+        let boundary = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Heuristic for unchecked index/slice expressions: `[` directly after an
+/// identifier character, `]`, or `)` is an `Index` use (`buf[i]`,
+/// `&frame[..n]`); `#[attr]`, `vec![…]`, array types and literals are not.
+fn has_unchecked_index(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b']' || prev == b')' {
+            return true;
+        }
+    }
+    false
+}
+
+fn display_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bang_macro_word_boundary() {
+        assert!(contains_bang_macro("panic!(\"x\")", "panic"));
+        assert!(!contains_bang_macro("should_panic!(\"x\")", "panic"));
+        assert!(!contains_bang_macro("no macros here", "panic"));
+    }
+
+    #[test]
+    fn index_heuristic() {
+        assert!(has_unchecked_index("let x = buf[i];"));
+        assert!(has_unchecked_index("let s = &frame[..n];"));
+        assert!(!has_unchecked_index("#[derive(Debug)]"));
+        assert!(!has_unchecked_index("let v = vec![0u8; 4];"));
+        assert!(!has_unchecked_index("fn f(x: [u8; 4]) {}"));
+    }
+
+    #[test]
+    fn test_blocks_are_skipped() {
+        let lines: Vec<String> = [
+            "fn a() {}",
+            "#[cfg(test)]",
+            "mod tests {",
+            "    fn b() {}",
+            "}",
+            "fn c() {}",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let skip = test_lines(&lines);
+        assert_eq!(skip, vec![false, true, true, true, true, false]);
+    }
+}

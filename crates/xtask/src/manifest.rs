@@ -1,0 +1,70 @@
+//! Pass 0: workspace manifest invariants.
+//!
+//! The build environment has no crates-io access, so every dependency in
+//! `[workspace.dependencies]` must be a `path = …` entry (vendored stub or
+//! workspace crate); a registry dependency would only fail at the first
+//! clean build on another machine. Also pins resolver 2, which the
+//! per-target feature unification of the bench crate relies on.
+
+use crate::Diagnostic;
+use std::fs;
+use std::path::Path;
+
+/// Checks the root `Cargo.toml`, appending diagnostics.
+pub fn check(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let path = root.join("Cargo.toml");
+    let Ok(text) = fs::read_to_string(&path) else {
+        diags.push(Diagnostic {
+            path: "Cargo.toml".into(),
+            line: 1,
+            rule: "workspace-manifest",
+            message: "workspace manifest is unreadable".into(),
+        });
+        return;
+    };
+
+    if !text.contains("resolver = \"2\"") {
+        diags.push(Diagnostic {
+            path: "Cargo.toml".into(),
+            line: 1,
+            rule: "workspace-resolver",
+            message: "workspace must pin resolver = \"2\"".into(),
+        });
+    }
+
+    // Scan the [workspace.dependencies] table: every entry must be path-based.
+    let mut in_table = false;
+    for (idx, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.starts_with('[') {
+            in_table = trimmed == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table || trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.contains('=') && !trimmed.contains("path") {
+            diags.push(Diagnostic {
+                path: "Cargo.toml".into(),
+                line: idx + 1,
+                rule: "path-deps",
+                message: format!(
+                    "workspace dependency must be path-based (no registry access): {trimmed}"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_manifest_is_clean() {
+        let root = crate::workspace_root();
+        let mut diags = Vec::new();
+        check(&root, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Pass 2: drives the `teamnet-nn` static shape checker over every model
+//! builder at each configuration the paper evaluates (MLP-2/4/8 on 28×28
+//! digits, SS-8/14/26 on 32×32 images), and self-tests the checker by
+//! confirming it rejects a deliberately mis-wired stack.
+
+use crate::Diagnostic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use teamnet_nn::{check_model, Dense, Layer, ModelSpec, Sequential};
+
+/// The paper's model grid (Table 1 / Section VI-A).
+fn paper_specs() -> Vec<(String, ModelSpec)> {
+    let mut specs = Vec::new();
+    for layers in [2usize, 4, 8] {
+        specs.push((format!("MLP-{layers}"), ModelSpec::mlp(layers, 128)));
+    }
+    for depth in [8usize, 14, 26] {
+        specs.push((format!("SS-{depth}"), ModelSpec::shake_shake(depth, 16)));
+    }
+    specs
+}
+
+/// Checks every builder, appending diagnostics. Returns the number of
+/// configurations audited.
+pub fn check(diags: &mut Vec<Diagnostic>) -> usize {
+    let specs = paper_specs();
+    for (name, spec) in &specs {
+        match spec.build_checked(0) {
+            Ok(net) => {
+                // `build_checked` validated wiring; cross-check the declared
+                // output against the dynamic `out_dims` bookkeeping too.
+                let mut dims = vec![1];
+                dims.extend(spec.input_dims());
+                let declared = net.out_dims(&dims);
+                if declared != vec![1, spec.classes()] {
+                    diags.push(Diagnostic {
+                        path: format!("nn::models ({name})"),
+                        line: 0,
+                        rule: "shape-check",
+                        message: format!(
+                            "builder declares output {declared:?}, spec wants [1, {}]",
+                            spec.classes()
+                        ),
+                    });
+                }
+            }
+            Err(e) => diags.push(Diagnostic {
+                path: format!("nn::models ({name})"),
+                line: 0,
+                rule: "shape-check",
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    // Negative control: if the checker accepts an obviously mis-wired net,
+    // the pass above proves nothing — fail loudly.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut bad = Sequential::new();
+    bad.push(Dense::new(784, 128, &mut rng));
+    bad.push(Dense::new(256, 10, &mut rng));
+    match check_model(&bad, &[784]) {
+        Err(e) if e.layer_index() == Some(1) => {}
+        other => diags.push(Diagnostic {
+            path: "nn::shape_check (self-test)".into(),
+            line: 0,
+            rule: "shape-check",
+            message: format!("mis-wired stack not rejected at layer 1: {other:?}"),
+        }),
+    }
+    specs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_is_clean() {
+        let mut diags = Vec::new();
+        let n = check(&mut diags);
+        assert_eq!(n, 6);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

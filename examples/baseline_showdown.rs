@@ -9,8 +9,8 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 use std::time::{Duration, Instant};
-use teamnet_core::runtime::{master_infer, serve_worker, shutdown_workers, MasterConfig};
 use teamnet_core::build_expert;
+use teamnet_core::runtime::{master_infer, serve_worker, shutdown_workers, MasterConfig};
 use teamnet_moe::{
     infer_p2p, infer_rpc, serve_expert_p2p, serve_expert_rpc, shutdown_experts_p2p, SgMoe,
     SgMoeConfig,
@@ -101,7 +101,10 @@ fn main() {
     // SG-MoE x2 over RPC and raw point-to-point.
     for rpc in [true, false] {
         let nodes = ChannelTransport::mesh(2);
-        let config = SgMoeConfig { top_k: 1, ..SgMoeConfig::default() };
+        let config = SgMoeConfig {
+            top_k: 1,
+            ..SgMoeConfig::default()
+        };
         let mut moe = SgMoe::new(expert_spec.clone(), 2, config.clone());
         crossbeam::thread::scope(|scope| {
             let node1 = &nodes[1];
@@ -125,7 +128,11 @@ fn main() {
                     infer_p2p(&nodes[0], &mut moe, &image, timeout).unwrap();
                 }
             });
-            let label = if rpc { "SG-MoE-G x2 (rpc gate)" } else { "SG-MoE-M x2 (p2p gate)" };
+            let label = if rpc {
+                "SG-MoE-G x2 (rpc gate)"
+            } else {
+                "SG-MoE-M x2 (p2p gate)"
+            };
             println!("{label:<28} {t:>12?}");
             if rpc {
                 control.stop();

@@ -30,7 +30,10 @@ fn main() {
     let mut trainer = Trainer::new(spec.clone(), K, TrainConfig::default());
     trainer.train(&train);
     let mut team = trainer.into_team();
-    println!("trained 3-expert team, in-process accuracy {:.1}%", team.evaluate(&test).accuracy * 100.0);
+    println!(
+        "trained 3-expert team, in-process accuracy {:.1}%",
+        team.evaluate(&test).accuracy * 100.0
+    );
 
     // Snapshot each expert's weights — this is the deployment payload.
     let states: Vec<_> = (0..K).map(|i| state_vec(team.expert_mut(i))).collect();

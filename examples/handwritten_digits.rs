@@ -44,7 +44,11 @@ fn main() {
     // --- TeamNet with 2 and 4 experts. ---
     for k in [2usize, 4] {
         let spec = ModelSpec::mlp(8 / k, hidden);
-        let config = TrainConfig { epochs: 6, seed: 7, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 6,
+            seed: 7,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(spec.clone(), k, config);
         trainer.train(&train);
         let imbalance = trainer.history().final_imbalance(10);
@@ -67,7 +71,12 @@ fn main() {
             result_bytes: 20,
         };
         let cluster = SimCluster::homogeneous(DeviceProfile::raspberry_pi_3b_plus(), k);
-        let report = simulate(Strategy::TeamNet { k }, &workload, &cluster, ComputeUnit::Cpu);
+        let report = simulate(
+            Strategy::TeamNet { k },
+            &workload,
+            &cluster,
+            ComputeUnit::Cpu,
+        );
         println!(
             "  modeled on {k} Raspberry Pi 3B+: {:.1} ms/inference, {:.1}% memory, {:.1}% CPU",
             report.sim.makespan.as_millis_f64(),

@@ -15,12 +15,19 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0);
     let data = synth_digits(3_000, &mut rng);
     let (train, test) = data.split(2_400);
-    println!("training on {} examples, testing on {}", train.len(), test.len());
+    println!(
+        "training on {} examples, testing on {}",
+        train.len(),
+        test.len()
+    );
 
     // 2. Train two 4-layer MLP experts with competitive/selective learning
     //    (Algorithms 1-3 of the paper).
     let spec = ModelSpec::mlp(4, 128);
-    let config = TrainConfig { epochs: 4, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(spec, 2, config);
     trainer.train(&train);
 
@@ -46,7 +53,9 @@ fn main() {
     let pred = &team.predict(&one)[0];
     println!(
         "first test image: predicted class {} by expert {} (entropy {:.3}), truth {}",
-        pred.label, pred.expert, pred.entropy,
+        pred.label,
+        pred.expert,
+        pred.entropy,
         test.labels()[0]
     );
 }

@@ -24,23 +24,39 @@ fn main() {
         image_hw: 32,
         classes: 10,
     };
-    let config = TrainConfig { epochs: 3, batch_size: 32, seed: 3, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        seed: 3,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(spec, 2, config);
-    println!("training 2 Shake-Shake experts on {} images ...", train.len());
+    println!(
+        "training 2 Shake-Shake experts on {} images ...",
+        train.len()
+    );
     trainer.train(&train);
 
     let mut team = trainer.into_team();
     let eval = team.evaluate(&test);
     println!("team accuracy: {:.1}%\n", eval.accuracy * 100.0);
 
-    println!("{:<12} {:>9} {:>9}  super-category", "class", "expert 0", "expert 1");
+    println!(
+        "{:<12} {:>9} {:>9}  super-category",
+        "class", "expert 0", "expert 1"
+    );
     let share = eval.specialization();
     for (class, row) in share.iter().enumerate() {
         let tag = match superclass(class) {
             SuperClass::Machine => "machine",
             SuperClass::Animal => "animal",
         };
-        println!("{:<12} {:>8.0}% {:>8.0}%  {tag}", OBJECT_CLASSES[class], row[0] * 100.0, row[1] * 100.0);
+        println!(
+            "{:<12} {:>8.0}% {:>8.0}%  {tag}",
+            OBJECT_CLASSES[class],
+            row[0] * 100.0,
+            row[1] * 100.0
+        );
     }
 
     // Aggregate by super-category, as the paper's narrative does.

@@ -45,9 +45,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = || it.next().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
             "--rank" => rank = Some(value()?.parse().map_err(|e| format!("rank: {e}"))?),
-            "--listen" => {
-                listen = Some(value()?.parse().map_err(|e| format!("listen addr: {e}"))?)
-            }
+            "--listen" => listen = Some(value()?.parse().map_err(|e| format!("listen addr: {e}"))?),
             "--peers" => {
                 peers = value()?
                     .split(',')
@@ -65,9 +63,18 @@ fn parse_args() -> Result<Args, String> {
         return Err("--peers needs at least two comma-separated addresses".to_string());
     }
     if rank >= peers.len() {
-        return Err(format!("rank {rank} out of range for {} peers", peers.len()));
+        return Err(format!(
+            "rank {rank} out of range for {} peers",
+            peers.len()
+        ));
     }
-    Ok(Args { rank, listen, peers, team, demo })
+    Ok(Args {
+        rank,
+        listen,
+        peers,
+        team,
+        demo,
+    })
 }
 
 fn main() {
@@ -100,7 +107,11 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("node {}: mesh of {} nodes connected", args.rank, args.peers.len());
+    println!(
+        "node {}: mesh of {} nodes connected",
+        args.rank,
+        args.peers.len()
+    );
 
     if args.rank == 0 {
         // Master: run the demo workload, then release the workers.
@@ -109,7 +120,10 @@ fn main() {
         let calibration = load_team(&args.team)
             .ok()
             .map(|team| team.calibration().to_vec());
-        let config = MasterConfig { calibration, ..MasterConfig::default() };
+        let config = MasterConfig {
+            calibration,
+            ..MasterConfig::default()
+        };
         let mut correct = 0usize;
         let start = std::time::Instant::now();
         for i in 0..demo_data.len() {
@@ -136,7 +150,10 @@ fn main() {
             eprintln!("shutdown broadcast failed: {e}");
         }
     } else {
-        println!("node {}: serving (ctrl-c or master shutdown to exit)", args.rank);
+        println!(
+            "node {}: serving (ctrl-c or master shutdown to exit)",
+            args.rank
+        );
         if let Err(e) = serve_worker(&transport, 0, &mut expert) {
             eprintln!("worker loop failed: {e}");
             std::process::exit(1);

@@ -69,7 +69,10 @@ proptest! {
                     .current()
             })
             .collect();
-        let h = entropy_matrix(&probs);
+        let h = match entropy_matrix(&probs) {
+            Ok(h) => h,
+            Err(e) => return Err(proptest::test_runner::TestCaseError::fail(e.to_string())),
+        };
         prop_assert_eq!(h.dims(), &[n, k]);
         prop_assert!(h.all_finite());
         prop_assert!(h.min() >= 0.0);

@@ -14,7 +14,11 @@ fn quick_train(k: usize) -> (teamnet_core::TeamNet, teamnet_data::Dataset) {
     let mut rng = StdRng::seed_from_u64(42);
     let data = synth_digits(700, &mut rng);
     let (train, test) = data.split(560);
-    let config = TrainConfig { epochs: 3, batch_size: 32, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(ModelSpec::mlp(2, 48), k, config);
     trainer.train(&train);
     (trainer.into_team(), test)
@@ -24,7 +28,11 @@ fn quick_train(k: usize) -> (teamnet_core::TeamNet, teamnet_data::Dataset) {
 fn train_deploy_infer_over_tcp_matches_local() {
     let (mut team, test) = quick_train(2);
     let local_eval = team.evaluate(&test);
-    assert!(local_eval.accuracy > 0.5, "undertrained team: {}", local_eval.accuracy);
+    assert!(
+        local_eval.accuracy > 0.5,
+        "undertrained team: {}",
+        local_eval.accuracy
+    );
 
     // Ship each expert's weights to its node, exactly as a deployment
     // would.
@@ -44,9 +52,13 @@ fn train_deploy_infer_over_tcp_matches_local() {
         });
         let mut master = build_expert(&spec, 0);
         load_state(&mut master, &states[0]);
-        let preds =
-            master_infer(&nodes[0], &mut master, sample.images(), &MasterConfig::default())
-                .unwrap();
+        let preds = master_infer(
+            &nodes[0],
+            &mut master,
+            sample.images(),
+            &MasterConfig::default(),
+        )
+        .unwrap();
         shutdown_workers(&nodes[0]).unwrap();
         preds
     })
@@ -103,5 +115,8 @@ fn strict_mode_reports_timeout_for_dead_worker() {
     };
     let sample = test.subset(&[0]);
     let res = master_infer(&nodes[0], &mut master, sample.images(), &config);
-    assert!(matches!(res, Err(teamnet_net::NetError::Timeout { .. })), "{res:?}");
+    assert!(
+        matches!(res, Err(teamnet_net::NetError::Timeout { .. })),
+        "{res:?}"
+    );
 }

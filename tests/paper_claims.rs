@@ -14,7 +14,11 @@ use teamnet_nn::ModelSpec;
 fn empirical_shares_track_theory() {
     let mut rng = StdRng::seed_from_u64(0);
     let data = synth_digits(1_200, &mut rng);
-    let config = TrainConfig { epochs: 4, batch_size: 48, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 4,
+        batch_size: 48,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(ModelSpec::mlp(2, 32), 2, config);
     trainer.train(&data);
     let history = trainer.history();
@@ -22,7 +26,10 @@ fn empirical_shares_track_theory() {
 
     // Empirical convergence: last 10% of iterations within 0.12 of 0.5.
     let final_imbalance = history.final_imbalance(total / 10);
-    assert!(final_imbalance < 0.12, "empirical imbalance {final_imbalance}");
+    assert!(
+        final_imbalance < 0.12,
+        "empirical imbalance {final_imbalance}"
+    );
 
     // Theory with the same gain contracts at least as fast from the same
     // start.
@@ -43,7 +50,11 @@ fn partitioned_training_keeps_accuracy() {
     let (train, test) = data.split(1_200);
 
     // TeamNet: two specialists, each seeing ≈ half the data.
-    let config = TrainConfig { epochs: 4, batch_size: 48, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 4,
+        batch_size: 48,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(ModelSpec::mlp(2, 48), 2, config);
     trainer.train(&train);
     let mut team = trainer.into_team();
@@ -59,7 +70,11 @@ fn experts_specialize_on_class_subsets() {
     let mut rng = StdRng::seed_from_u64(2);
     let data = synth_digits(1_200, &mut rng);
     let (train, test) = data.split(1_000);
-    let config = TrainConfig { epochs: 4, batch_size: 48, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 4,
+        batch_size: 48,
+        ..TrainConfig::default()
+    };
     let mut trainer = Trainer::new(ModelSpec::mlp(2, 48), 2, config);
     trainer.train(&train);
     let mut team = trainer.into_team();
@@ -74,7 +89,11 @@ fn experts_specialize_on_class_subsets() {
         .count();
     assert!(owned >= 3, "only {owned} classes clearly owned");
     // ... while both experts stay in play overall.
-    assert!(eval.expert_wins.iter().all(|&w| w > 0), "{:?}", eval.expert_wins);
+    assert!(
+        eval.expert_wins.iter().all(|&w| w > 0),
+        "{:?}",
+        eval.expert_wins
+    );
 }
 
 /// Claim (Table I): on WiFi, per-layer model parallelism (MPI-Matrix) is
@@ -94,13 +113,25 @@ fn cost_model_reproduces_headline_ordering() {
         result_bytes: 20,
     };
     let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_cpu(), 2);
-    let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
-    let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu).sim.makespan;
-    let mpi = simulate(Strategy::MpiMatrix { nodes: 2 }, &w, &cluster, ComputeUnit::Cpu)
+    let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Cpu)
         .sim
         .makespan;
+    let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Cpu)
+        .sim
+        .makespan;
+    let mpi = simulate(
+        Strategy::MpiMatrix { nodes: 2 },
+        &w,
+        &cluster,
+        ComputeUnit::Cpu,
+    )
+    .sim
+    .makespan;
 
-    assert!(team < base, "TeamNet {team} should beat baseline {base} (paper: 3.2 vs 3.4 ms)");
+    assert!(
+        team < base,
+        "TeamNet {team} should beat baseline {base} (paper: 3.2 vs 3.4 ms)"
+    );
     assert!(
         mpi.as_millis_f64() > 5.0 * base.as_millis_f64(),
         "MPI {mpi} should dwarf baseline {base} (paper: 108 vs 3.4 ms)"
@@ -123,7 +154,14 @@ fn gpu_inverts_the_gain_for_small_models() {
         result_bytes: 20,
     };
     let cluster = SimCluster::homogeneous(DeviceProfile::jetson_tx2_gpu(), 2);
-    let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Gpu).sim.makespan;
-    let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Gpu).sim.makespan;
-    assert!(base < team, "paper Table I(b): baseline 0.3 ms beats TeamNet 1.5 ms on GPU");
+    let base = simulate(Strategy::Baseline, &w, &cluster, ComputeUnit::Gpu)
+        .sim
+        .makespan;
+    let team = simulate(Strategy::TeamNet { k: 2 }, &w, &cluster, ComputeUnit::Gpu)
+        .sim
+        .makespan;
+    assert!(
+        base < team,
+        "paper Table I(b): baseline 0.3 ms beats TeamNet 1.5 ms on GPU"
+    );
 }

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the entry points the bench suite uses ([`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups with
+//! `bench_function`/`sample_size`/`finish`) over a simple wall-clock
+//! harness. Statistics are min/mean/max over the sample set — no outlier
+//! analysis, HTML reports, or comparison against saved baselines.
+//!
+//! Mirrors criterion's `cargo test` behaviour: when the binary is run
+//! without `--bench` (as `cargo test` does for `harness = false` bench
+//! targets), every routine executes exactly once as a smoke test.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    bench_mode: bool,
+    benches_run: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench`; `cargo test`
+        // does not. Match criterion: only measure under `cargo bench`.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            bench_mode,
+            benches_run: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Prints the closing summary line (called by [`criterion_main!`]).
+    pub fn final_summary(&self) {
+        if self.bench_mode {
+            println!("\ncompleted {} benchmarks", self.benches_run);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and (in bench mode) measures one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            bench_mode: self.criterion.bench_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.criterion.benches_run += 1;
+        if self.criterion.bench_mode {
+            report(&self.name, &id, &bencher.samples);
+        }
+        self
+    }
+
+    /// Ends the group. (Statistics are reported per benchmark.)
+    pub fn finish(self) {}
+}
+
+/// Times a single benchmark routine.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, timing each call.
+    ///
+    /// In test mode (no `--bench` argument) the routine runs exactly once,
+    /// untimed, so `cargo test` stays fast.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.bench_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        // One warm-up call so lazy initialization stays out of sample 0.
+        std::hint::black_box(routine());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples (Bencher::iter never called)");
+        return;
+    }
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{group}/{id}: time [{} {} {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a group callable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut c = Criterion {
+            bench_mode: false,
+            benches_run: 0,
+        };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+        assert_eq!(c.benches_run, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion {
+            bench_mode: true,
+            benches_run: 0,
+        };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("counted", |b| b.iter(|| calls += 1));
+        group.finish();
+        // 5 samples + 1 warm-up.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, backed by
+//! `std::thread::scope`. One behavioural difference: panics in scoped
+//! threads propagate when the scope exits (std semantics) instead of being
+//! returned through the outer `Result`, which is therefore always `Ok` —
+//! every workspace call site immediately `unwrap()`s that `Result`, so the
+//! observable behaviour is identical.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+
+    /// A handle for spawning threads that may borrow from the caller's
+    /// stack, mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _env: PhantomData<&'env ()>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope itself so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let handle = inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    _env: PhantomData,
+                };
+                f(&scope)
+            });
+            ScopedJoinHandle { inner: handle }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-stack threads can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// Always returns `Ok`: std's scope re-raises child panics in the
+    /// parent instead of capturing them.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope {
+                inner: s,
+                _env: PhantomData,
+            };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<i32>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("join"))
+                .sum::<i32>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().expect("inner join") * 2
+            });
+            h.join().expect("outer join")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Keeps proptest's surface — [`strategy::Strategy`], range and collection
+//! strategies, `prop_map`/`prop_flat_map`, the [`proptest!`] /
+//! [`prop_assert!`] macros and a [`test_runner::TestRunner`] — but drops
+//! shrinking: a failing case reports its assertion message and case number
+//! rather than a minimized input. Generation is fully deterministic (fixed
+//! seed), so failures reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRunner;
+    use rand::Rng as _;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generated value plus (in real proptest) its shrink history.
+    ///
+    /// This stub does not shrink, so a tree is just the value.
+    pub trait ValueTree {
+        /// The type of value this tree holds.
+        type Value;
+
+        /// Returns the current (here: only) value of the tree.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// A [`ValueTree`] holding exactly one value.
+    pub struct LeafTree<T: Clone>(T);
+
+    impl<T: Clone> ValueTree for LeafTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of value generated.
+        type Value;
+
+        /// Draws one value using the runner's RNG.
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Draws one value wrapped in a [`ValueTree`].
+        ///
+        /// # Errors
+        ///
+        /// Never fails in this stub; the `Result` mirrors proptest's
+        /// signature so `.new_tree(..).expect(..)` call sites compile.
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<LeafTree<Self::Value>, String>
+        where
+            Self::Value: Clone,
+        {
+            Ok(LeafTree(self.generate(runner)))
+        }
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it — for sizes that feed later structure.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Turns the strategy into a trait object with the same value type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, runner: &mut TestRunner) -> U {
+            (self.f)(self.inner.generate(runner))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> T::Value {
+            (self.f)(self.inner.generate(runner)).generate(runner)
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, runner: &mut TestRunner) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, runner: &mut TestRunner) -> S::Value {
+            self.generate(runner)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            self.0.dyn_generate(runner)
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    runner.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.generate(runner),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+
+    /// A strategy yielding one of `T`'s values uniformly — placeholder for
+    /// proptest's `any::<T>()`.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Uniform strategy over all values of a [`rand::FromRandomBits`] type.
+    pub fn any<T: rand::FromRandomBits>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: rand::FromRandomBits> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, runner: &mut TestRunner) -> T {
+            runner.rng().gen::<T>()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// The number of elements a collection strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = if self.size.min + 1 >= self.size.max_exclusive {
+                self.size.min
+            } else {
+                runner
+                    .rng()
+                    .gen_range(self.size.min..self.size.max_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// The engine that drives generated test cases.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng as _;
+    use std::fmt;
+
+    /// Runner configuration; only `cases` is honoured by this stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case, carrying the assertion message.
+    #[derive(Clone)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from any printable message.
+        pub fn fail(msg: impl fmt::Display) -> Self {
+            TestCaseError {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl fmt::Debug for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Generates inputs and runs property bodies against them.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner using `config` and the fixed deterministic seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                config,
+                rng: StdRng::seed_from_u64(0x5eed_cafe_0000_0001),
+            }
+        }
+
+        /// A runner with default config and a fixed seed — generation is
+        /// reproducible across runs and platforms.
+        pub fn deterministic() -> Self {
+            Self::new(ProptestConfig::default())
+        }
+
+        /// The runner's random source, used by strategies.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        /// Checks `test` against `config.cases` generated inputs.
+        ///
+        /// # Errors
+        ///
+        /// Returns the first case failure, tagged with its case number.
+        /// (No shrinking: the failing input is whatever was generated.)
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestCaseError>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(self);
+                if let Err(err) = test(value) {
+                    return Err(TestCaseError::fail(format!(
+                        "property failed at case {case}/{}: {err}",
+                        self.config.cases
+                    )));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Module-path shim so `prop::collection::vec` resolves after
+/// `use proptest::prelude::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that checks the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@body $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg);
+                let strategy = ($($strat,)+);
+                let outcome = runner.run(&strategy, |($($pat,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+                if let ::std::result::Result::Err(err) = outcome {
+                    ::std::panic!("{}", err);
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// whole process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (lhs, rhs) => {
+                $crate::prop_assert!(
+                    *lhs == *rhs,
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    lhs,
+                    rhs
+                );
+            }
+        }
+    };
+}
+
+/// Asserts two values compare unequal inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (lhs, rhs) => {
+                $crate::prop_assert!(
+                    *lhs != *rhs,
+                    "assertion failed: `left != right`\n  both: `{:?}`",
+                    lhs
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_runner_repeats_itself() {
+        use crate::strategy::ValueTree;
+        let strat = 0.0f64..1.0;
+        let draw = |_| {
+            let mut runner = TestRunner::deterministic();
+            strat.new_tree(&mut runner).expect("tree").current()
+        };
+        assert_eq!(draw(()), draw(()));
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..100 {
+            let fixed = prop::collection::vec(0u64..10, 7).generate(&mut runner);
+            assert_eq!(fixed.len(), 7);
+            let ranged = prop::collection::vec(0u64..10, 2..5).generate(&mut runner);
+            assert!((2..5).contains(&ranged.len()));
+            assert!(ranged.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_sizes_through() {
+        let mut runner = TestRunner::deterministic();
+        let strat = (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+            prop::collection::vec(0.0f32..1.0, r * c).prop_map(move |v| (r, c, v))
+        });
+        for _ in 0..50 {
+            let (r, c, v) = strat.generate(&mut runner);
+            assert_eq!(v.len(), r * c);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, config, and assertions together.
+        #[test]
+        fn macro_end_to_end((a, b) in (0u64..100, 0u64..100), scale in 1u64..5) {
+            prop_assert!(a < 100 && b < 100);
+            prop_assert_eq!((a + b) * scale, scale * b + scale * a);
+            prop_assert_ne!(a + 1, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case")]
+    fn failures_panic_with_case_number() {
+        let mut runner = TestRunner::deterministic();
+        runner
+            .run(&(0u64..10,), |(x,)| {
+                prop_assert!(x < 3, "x was {x}");
+                Ok(())
+            })
+            .map_err(|e| panic!("{e}"))
+            .ok();
+    }
+}

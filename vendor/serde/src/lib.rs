@@ -1,0 +1,417 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Rather than serde's zero-copy visitor architecture, this stub uses a
+//! direct value model: [`Serialize`] renders any value into a JSON-like
+//! [`Value`] tree and [`Deserialize`] rebuilds it. The derive macros
+//! (re-exported from the vendored `serde_derive`) generate impls against
+//! this model with serde's externally-tagged enum layout, so the JSON
+//! artifacts written by the bench suite keep their upstream shape.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization-side names kept for source compatibility with serde's
+/// module layout (`serde::de::DeserializeOwned`).
+pub mod de {
+    /// In this stub every deserialization is owned, so `DeserializeOwned`
+    /// is the [`crate::Deserialize`] trait itself.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// A JSON-like value tree. Maps preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept in its widest lossless representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Value {
+    /// The entries of an object, or `None` for any other variant.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None` for any other variant.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None` for any other variant.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|entries| map_get(entries, key))
+    }
+}
+
+/// First value for `key` among ordered map entries.
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Builds an error from any printable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(type_name: &str, field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}` for `{type_name}`"),
+        }
+    }
+
+    /// The value had the wrong JSON type.
+    pub fn wrong_type(expected: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        };
+        Error {
+            msg: format!("expected {expected}, got {kind}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts the value into its JSON-like representation.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value from its JSON-like representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] naming the first structural mismatch.
+    fn from_json_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::wrong_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Num(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let n = match value {
+                    Value::Num(Number::PosInt(n)) => *n,
+                    Value::Num(Number::NegInt(_)) | Value::Num(Number::Float(_)) => {
+                        return Err(Error::custom(concat!(
+                            "expected non-negative integer for ",
+                            stringify!($t)
+                        )))
+                    }
+                    other => return Err(Error::wrong_type("number", other)),
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} overflows {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Num(Number::NegInt(v))
+                } else {
+                    Value::Num(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                let wide: i128 = match value {
+                    Value::Num(Number::PosInt(n)) => *n as i128,
+                    Value::Num(Number::NegInt(n)) => *n as i128,
+                    Value::Num(Number::Float(_)) => {
+                        return Err(Error::custom(concat!(
+                            "expected integer for ",
+                            stringify!($t)
+                        )))
+                    }
+                    other => return Err(Error::wrong_type("number", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    Error::custom(format!("{wide} overflows {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                let v = *self as f64;
+                if v.is_finite() {
+                    Value::Num(Number::Float(v))
+                } else {
+                    // JSON has no NaN/Inf; mirror `serde_json::json!`'s
+                    // null mapping so histories with NaN losses survive.
+                    Value::Null
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(Number::Float(f)) => Ok(*f as $t),
+                    Value::Num(Number::PosInt(n)) => Ok(*n as $t),
+                    Value::Num(Number::NegInt(n)) => Ok(*n as $t),
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(Error::wrong_type("number", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::wrong_type("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_json_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::wrong_type("array", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(value: &Value) -> Result<Self, Error> {
+                const ARITY: usize = [$($idx),+].len();
+                let items = value.as_seq().ok_or_else(|| Error::wrong_type("array", value))?;
+                if items.len() != ARITY {
+                    return Err(Error::custom(format!(
+                        "expected {ARITY}-tuple, got array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_json_value(&42u64.to_json_value()), Ok(42));
+        assert_eq!(i32::from_json_value(&(-7i32).to_json_value()), Ok(-7));
+        assert_eq!(f64::from_json_value(&1.5f64.to_json_value()), Ok(1.5));
+        assert_eq!(bool::from_json_value(&true.to_json_value()), Ok(true));
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1usize, vec![1.0f32, 2.0]), (2, vec![])];
+        let back: Vec<(usize, Vec<f32>)> =
+            Deserialize::from_json_value(&v.to_json_value()).expect("roundtrip");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_maps_to_null() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_json_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_json_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Option::<f64>::from_json_value(&2.0f64.to_json_value()),
+            Ok(Some(2.0))
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f32::NAN.to_json_value(), Value::Null);
+        let back = f32::from_json_value(&Value::Null).expect("nan");
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn wrong_types_are_reported() {
+        assert!(u32::from_json_value(&Value::Str("x".into())).is_err());
+        assert!(u8::from_json_value(&1000u64.to_json_value()).is_err());
+        assert!(String::from_json_value(&Value::Null).is_err());
+    }
+}

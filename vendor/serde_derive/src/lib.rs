@@ -1,0 +1,506 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The sandbox has no crates-io access, so these derives are written
+//! against `proc_macro` alone — no `syn`, no `quote`. The item is parsed
+//! with a small token-tree walker into a shape description (named struct /
+//! tuple struct / enum), and the impls are generated as source text against
+//! the vendored `serde` value model, using serde's externally-tagged enum
+//! encoding so emitted JSON matches upstream layouts.
+//!
+//! Supported surface (everything the TeamNet workspace uses):
+//!
+//! * structs with named fields, including `#[serde(default)]` per field;
+//! * tuple structs (newtypes serialize transparently);
+//! * unit structs;
+//! * enums with unit, newtype, tuple and struct variants;
+//! * no generic parameters (a clear compile error is emitted instead).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier and whether `#[serde(default)]` is set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// The payload carried by an enum variant.
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+/// Parsed shape of the derive input item.
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal compile_error is valid Rust")
+}
+
+/// True if an attribute group is `serde(...)` containing the word
+/// `default`.
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
+    let text = group.stream().to_string();
+    text.starts_with("serde") && text.contains("default")
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute groups, reporting whether any was
+    /// `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut saw_default = false;
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if attr_is_serde_default(g) {
+                        saw_default = true;
+                    }
+                    self.pos += 2;
+                }
+                _ => return saw_default,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(super)`, ….
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    /// Skips a type (or any token run) until a top-level `,`, tracking
+    /// `<...>` nesting so generic arguments do not end the field early.
+    fn skip_until_top_level_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(token) = self.peek() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Parses `name: Type, ...` named-field lists (attributes allowed).
+    fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+        let mut p = Parser::new(stream);
+        let mut fields = Vec::new();
+        while p.peek().is_some() {
+            let default = p.skip_attrs();
+            p.skip_visibility();
+            let name = p.expect_ident()?;
+            match p.bump() {
+                Some(TokenTree::Punct(punct)) if punct.as_char() == ':' => {}
+                other => {
+                    return Err(format!(
+                        "expected `:` after field `{name}`, found {other:?}"
+                    ))
+                }
+            }
+            p.skip_until_top_level_comma();
+            p.bump(); // consume the comma, if present
+            fields.push(Field { name, default });
+        }
+        Ok(fields)
+    }
+
+    /// Counts the fields of a tuple struct/variant body `(T, U, ...)`.
+    fn count_tuple_fields(stream: TokenStream) -> usize {
+        let mut p = Parser::new(stream);
+        let mut count = 0;
+        while p.peek().is_some() {
+            p.skip_attrs();
+            p.skip_visibility();
+            p.skip_until_top_level_comma();
+            p.bump();
+            count += 1;
+        }
+        count
+    }
+
+    fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+        let mut p = Parser::new(stream);
+        let mut variants = Vec::new();
+        while p.peek().is_some() {
+            p.skip_attrs();
+            let name = p.expect_ident()?;
+            let kind = match p.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = Parser::parse_named_fields(g.stream())?;
+                    p.pos += 1;
+                    VariantKind::Named(fields)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = Parser::count_tuple_fields(g.stream());
+                    p.pos += 1;
+                    VariantKind::Tuple(arity)
+                }
+                _ => VariantKind::Unit,
+            };
+            // Skip a possible `= discriminant` and the separating comma.
+            p.skip_until_top_level_comma();
+            p.bump();
+            variants.push(Variant { name, kind });
+        }
+        Ok(variants)
+    }
+
+    fn parse_input(mut self) -> Result<Input, String> {
+        self.skip_attrs();
+        self.skip_visibility();
+        let keyword = self.expect_ident()?;
+        if keyword != "struct" && keyword != "enum" {
+            return Err(format!("derive supports struct/enum, found `{keyword}`"));
+        }
+        let name = self.expect_ident()?;
+        if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Err(format!(
+                "vendored serde derive does not support generic type `{name}`"
+            ));
+        }
+        if keyword == "enum" {
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input::Enum {
+                    name,
+                    variants: Parser::parse_variants(g.stream())?,
+                }),
+                other => Err(format!("expected enum body, found {other:?}")),
+            }
+        } else {
+            match self.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Ok(Input::NamedStruct {
+                        name,
+                        fields: Parser::parse_named_fields(g.stream())?,
+                    })
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Ok(Input::TupleStruct {
+                        name,
+                        arity: Parser::count_tuple_fields(g.stream()),
+                    })
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+                other => Err(format!("expected struct body, found {other:?}")),
+            }
+        }
+    }
+}
+
+fn named_fields_to_value(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        out.push_str(&format!(
+            "fields.push((::std::string::String::from(\"{n}\"), \
+             ::serde::Serialize::to_json_value({p}{n})));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    out.push_str("::serde::Value::Map(fields)");
+    out
+}
+
+fn named_fields_from_entries(type_name: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::missing_field(\
+                 \"{type_name}\", \"{n}\"))",
+                n = f.name
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::map_get(entries, \"{n}\") {{\n\
+             ::std::option::Option::Some(v) => ::serde::Deserialize::from_json_value(v)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            n = f.name,
+        ));
+    }
+    out
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::NamedStruct { name, fields } => (name, named_fields_to_value(fields, "&self.")),
+        Input::TupleStruct { name, arity: 1 } => (
+            name,
+            "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", ")),
+            )
+        }
+        Input::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\nlet inner = \
+                             ::serde::Value::Map(fields);\n\
+                             ::serde::Value::Map(::std::vec![(::std::string::String::from(\
+                             \"{v}\"), inner)])\n}}\n",
+                            v = v.name,
+                            binds = binders.join(", "),
+                            inner = {
+                                let mut s = String::from(
+                                    "let mut fields: ::std::vec::Vec<(::std::string::String, \
+                                     ::serde::Value)> = ::std::vec::Vec::new();\n",
+                                );
+                                for f in fields {
+                                    s.push_str(&format!(
+                                        "fields.push((::std::string::String::from(\"{n}\"), \
+                                         ::serde::Serialize::to_json_value({n})));\n",
+                                        n = f.name
+                                    ));
+                                }
+                                s
+                            },
+                        ));
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_json_value(x0))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Seq(::std::vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binders.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::NamedStruct { name, fields } => (
+            name,
+            format!(
+                "let entries = value.as_map().ok_or_else(|| \
+                 ::serde::Error::wrong_type(\"object\", value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+                fields = named_fields_from_entries(name, fields),
+            ),
+        ),
+        Input::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::from_json_value(value)?))"
+            ),
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let items = value.as_seq().ok_or_else(|| \
+                     ::serde::Error::wrong_type(\"array\", value))?;\n\
+                     if items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"wrong tuple arity for {name}\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({items}))",
+                    items = items.join(", "),
+                ),
+            )
+        }
+        Input::UnitStruct { name } => (
+            name,
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error::wrong_type(\
+                 \"null\", other)),\n}}"
+            ),
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Named(fields) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         let entries = inner.as_map().ok_or_else(|| \
+                         ::serde::Error::wrong_type(\"object\", inner))?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}})\n}}\n",
+                        v = v.name,
+                        fields = named_fields_from_entries(name, fields),
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_json_value(inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let items = inner.as_seq().ok_or_else(|| \
+                             ::serde::Error::wrong_type(\"array\", inner))?;\n\
+                             if items.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong arity for variant {v}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{v}({items}))\n}}\n",
+                            v = v.name,
+                            items = items.join(", "),
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match value {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown unit variant `{{other}}` for {name}\"))),\n}},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     let _ = inner;\n\
+                     match tag.as_str() {{\n{tagged_arms}\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}}\n\
+                     other => ::std::result::Result::Err(::serde::Error::wrong_type(\
+                     \"externally tagged enum\", other)),\n}}"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match Parser::new(input).parse_input() {
+        Ok(parsed) => generate_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive generated bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match Parser::new(input).parse_input() {
+        Ok(parsed) => generate_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive generated bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Text encoding/decoding for the vendored `serde` value model: a
+//! recursive-descent JSON parser, a compact and a pretty writer, and the
+//! [`json!`] literal macro. Numbers keep `u64`/`i64` precision where
+//! possible (floats use Rust's shortest-roundtrip formatting).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub use serde::{Error, Number, Value};
+
+use std::fmt::Write as _;
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// This implementation cannot fail, but keeps serde_json's fallible
+/// signature so call sites stay source-compatible.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, two-space-indented JSON text.
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax or shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_complete(text)?;
+    T::from_json_value(&value)
+}
+
+/// Deserializes a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+///
+/// See [`from_str`].
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Builds a [`Value`] from JSON-looking literal syntax.
+///
+/// Supports the subset the workspace uses: one level of object or array
+/// literal whose values are arbitrary serializable Rust expressions.
+/// Nest by passing another `json!(..)` call in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Seq(::std::vec![ $( ::serde::Serialize::to_json_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(::std::vec![
+            $( (::std::string::String::from($key), ::serde::Serialize::to_json_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => {
+        ::serde::Serialize::to_json_value(&$other)
+    };
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(Number::PosInt(n)) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Num(Number::NegInt(n)) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::Num(Number::Float(f)) => {
+            if f.is_finite() {
+                // Rust's Display for floats is shortest-roundtrip; add a
+                // `.0` to keep integral floats recognizably floating.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_indent(out, indent, depth + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            write_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value_complete(text: &str) -> Result<Value, Error> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.parse_value()?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                char::from(byte),
+                self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {:?} at byte {}",
+                other.map(char::from),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error::custom("empty input"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("non-UTF-8 number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Num(Number::PosInt(n)));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Num(Number::NegInt(n)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Num(Number::Float(f)))
+            .map_err(|_| Error::custom(format!("bad number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip_through_text() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "42",
+            "-17",
+            "1.5",
+            "\"hi\\nthere\"",
+            "[]",
+            "{}",
+        ] {
+            let v: Value = from_str(text).expect(text);
+            assert_eq!(to_string(&v).expect("write"), text);
+        }
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let text = r#"{"a":[1,2.5,{"b":null}],"c":"x"}"#;
+        let v: Value = from_str(text).expect("parse");
+        assert_eq!(to_string(&v).expect("write"), text);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"a": [1, 2], "b": true});
+        let pretty = to_string_pretty(&v).expect("pretty");
+        assert!(
+            pretty.contains("\n  \"a\": [\n    1,\n    2\n  ]"),
+            "{pretty}"
+        );
+        let reparsed: Value = from_str(&pretty).expect("reparse");
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "k": 3usize,
+            "nested": json!({"xs": [1, 2, 3]}),
+            "expr": 2u64 + 3,
+        });
+        assert_eq!(
+            to_string(&v).expect("write"),
+            r#"{"k":3,"nested":{"xs":[1,2,3]},"expr":5}"#
+        );
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let n = u64::MAX;
+        let text = to_string(&n).expect("write");
+        assert_eq!(text, "18446744073709551615");
+        let back: u64 = from_str(&text).expect("parse");
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("{\"a\" 1}").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
