@@ -4,6 +4,7 @@
 #   2. release build     (also builds the xtask binary)
 #   3. invariant audit   (lint + manifest + static shape checks)
 #   4. test suite        (unit + property + integration)
+#   5. chaos soak        (50 seeded fault-injected inference rounds)
 set -eu
 cd "$(dirname "$0")"
 
@@ -11,3 +12,4 @@ cargo fmt --check
 cargo build --release
 cargo xtask check
 cargo test -q --workspace
+cargo test -q --release --test chaos_soak

@@ -1,0 +1,327 @@
+//! Heartbeat-based failure detection for the collaborative inference
+//! protocol.
+//!
+//! The master treats each round's reply as a heartbeat: a worker that
+//! answers is **live**; consecutive misses walk it through **suspect**
+//! into **quarantined**, at which point the master stops spending
+//! broadcast bytes and gather waits on it entirely. Quarantined peers are
+//! periodically **probed** with a tiny (16-byte) envelope; an
+//! acknowledgement readmits them to the team. This is the DEFER-style
+//! "keep serving while nodes come and go" behaviour the edge setting
+//! demands — a worker walking out of WiFi range degrades the team for a
+//! few rounds instead of stalling every inference on its timeout forever.
+//!
+//! State machine (driven once per inference round per peer):
+//!
+//! ```text
+//!            miss (< M total)            miss (M-th)
+//!   Live ───────────────────▶ Suspect ───────────────▶ Quarantined
+//!    ▲  ▲                        │                      │       ▲
+//!    │  └────── reply ───────────┘     probe interval   │       │
+//!    │                                  elapsed         ▼       │ probe
+//!    └───────────────── probe ack ─────────────────── Probing ──┘ missed
+//! ```
+
+use crate::team::TeamPrediction;
+use serde::{Deserialize, Serialize};
+
+/// Liveness classification of one peer, as seen by the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeerHealth {
+    /// Responding normally; receives every broadcast.
+    Live,
+    /// Missed at least one recent round but not yet quarantined; still
+    /// receives broadcasts.
+    Suspect,
+    /// Missed `quarantine_after` consecutive rounds; skipped entirely
+    /// (no broadcast, no gather wait).
+    Quarantined,
+    /// Quarantined peer currently being probed for readmission.
+    Probing,
+}
+
+/// Failure-detector policy knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureDetectorConfig {
+    /// Consecutive misses before a peer is marked [`PeerHealth::Suspect`].
+    pub suspect_after: u32,
+    /// Consecutive misses (M) before a peer is quarantined.
+    pub quarantine_after: u32,
+    /// Rounds between readmission probes while quarantined.
+    pub probe_interval: u64,
+}
+
+impl Default for FailureDetectorConfig {
+    fn default() -> Self {
+        FailureDetectorConfig {
+            suspect_after: 1,
+            quarantine_after: 3,
+            probe_interval: 4,
+        }
+    }
+}
+
+/// How the master should engage a peer this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContactPlan {
+    /// Send the full input batch and wait for results.
+    Full,
+    /// Send a lightweight probe and wait for its acknowledgement.
+    Probe,
+    /// Do not contact; do not wait.
+    Skip,
+}
+
+#[derive(Debug, Clone)]
+struct PeerState {
+    health: PeerHealth,
+    consecutive_misses: u32,
+    rounds_since_probe: u64,
+}
+
+/// Per-peer liveness tracker owned by the master's inference session.
+#[derive(Debug, Clone)]
+pub struct FailureDetector {
+    config: FailureDetectorConfig,
+    peers: Vec<PeerState>,
+}
+
+impl FailureDetector {
+    /// Creates a detector over `num_nodes` peers, all initially live.
+    pub fn new(num_nodes: usize, config: FailureDetectorConfig) -> Self {
+        FailureDetector {
+            config,
+            peers: vec![
+                PeerState {
+                    health: PeerHealth::Live,
+                    consecutive_misses: 0,
+                    rounds_since_probe: 0,
+                };
+                num_nodes
+            ],
+        }
+    }
+
+    /// Current health of `peer` (out-of-range peers read as quarantined).
+    pub fn health(&self, peer: usize) -> PeerHealth {
+        self.peers
+            .get(peer)
+            .map_or(PeerHealth::Quarantined, |p| p.health)
+    }
+
+    /// Consecutive misses recorded for `peer`.
+    pub fn misses(&self, peer: usize) -> u32 {
+        self.peers.get(peer).map_or(0, |p| p.consecutive_misses)
+    }
+
+    /// Decides how to engage `peer` this round. Call exactly once per peer
+    /// per round: quarantined peers accrue probe-interval credit here and
+    /// transition to [`PeerHealth::Probing`] when a probe is due.
+    pub fn plan(&mut self, peer: usize) -> ContactPlan {
+        let Some(state) = self.peers.get_mut(peer) else {
+            return ContactPlan::Skip;
+        };
+        match state.health {
+            PeerHealth::Live | PeerHealth::Suspect => ContactPlan::Full,
+            PeerHealth::Quarantined => {
+                state.rounds_since_probe += 1;
+                if state.rounds_since_probe >= self.config.probe_interval {
+                    state.health = PeerHealth::Probing;
+                    ContactPlan::Probe
+                } else {
+                    ContactPlan::Skip
+                }
+            }
+            // Only reachable if the caller forgot to record the previous
+            // probe's outcome; probe again rather than wedging.
+            PeerHealth::Probing => ContactPlan::Probe,
+        }
+    }
+
+    /// Records a reply (result or probe ack) from `peer`: readmission.
+    pub fn record_success(&mut self, peer: usize) {
+        if let Some(state) = self.peers.get_mut(peer) {
+            state.health = PeerHealth::Live;
+            state.consecutive_misses = 0;
+            state.rounds_since_probe = 0;
+        }
+    }
+
+    /// Records a missed reply from `peer` (timeout, undecodable response,
+    /// or failed send).
+    pub fn record_miss(&mut self, peer: usize) {
+        let quarantine_after = self.config.quarantine_after.max(1);
+        let suspect_after = self.config.suspect_after.max(1);
+        if let Some(state) = self.peers.get_mut(peer) {
+            state.consecutive_misses = state.consecutive_misses.saturating_add(1);
+            if state.health == PeerHealth::Probing {
+                // Failed readmission probe: back to quarantine, restart the
+                // probe clock.
+                state.health = PeerHealth::Quarantined;
+                state.rounds_since_probe = 0;
+            } else if state.consecutive_misses >= quarantine_after {
+                state.health = PeerHealth::Quarantined;
+                state.rounds_since_probe = 0;
+            } else if state.consecutive_misses >= suspect_after {
+                state.health = PeerHealth::Suspect;
+            }
+        }
+    }
+}
+
+/// One peer's slice of an [`InferenceReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeerReport {
+    /// Health after this round's evidence was folded in.
+    pub health: PeerHealth,
+    /// Whether the master sent this peer anything this round.
+    pub contacted: bool,
+    /// Whether the contact was a lightweight readmission probe rather than
+    /// the full input broadcast.
+    pub probed: bool,
+    /// Whether a valid, current-round reply arrived in time.
+    pub responded: bool,
+    /// Consecutive misses on record after this round.
+    pub consecutive_misses: u32,
+}
+
+/// The outcome of one fault-tolerant inference round: predictions plus
+/// per-peer health and protocol-hygiene counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Round stamp this report describes.
+    pub round: u64,
+    /// Per-row winning predictions (always one per input row).
+    pub predictions: Vec<TeamPrediction>,
+    /// Per-node health entries, indexed by node id. The master's own entry
+    /// is always live/responded.
+    pub peers: Vec<PeerReport>,
+    /// Replies discarded because they carried an earlier round's stamp.
+    pub stale_discarded: u64,
+    /// Replies discarded because their payload CRC failed.
+    pub corrupt_discarded: u64,
+    /// Replies discarded because they failed structural decoding.
+    pub malformed_discarded: u64,
+}
+
+impl InferenceReport {
+    /// Node ids that were contacted and responded this round (the experts
+    /// whose predictions can appear in `predictions`), including the
+    /// master itself.
+    pub fn responsive_peers(&self) -> Vec<usize> {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.responded)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(m: u32, probe: u64) -> FailureDetectorConfig {
+        FailureDetectorConfig {
+            suspect_after: 1,
+            quarantine_after: m,
+            probe_interval: probe,
+        }
+    }
+
+    #[test]
+    fn misses_walk_live_to_quarantined() {
+        let mut fd = FailureDetector::new(2, config(3, 4));
+        assert_eq!(fd.health(1), PeerHealth::Live);
+        fd.record_miss(1);
+        assert_eq!(fd.health(1), PeerHealth::Suspect);
+        fd.record_miss(1);
+        assert_eq!(fd.health(1), PeerHealth::Suspect);
+        fd.record_miss(1);
+        assert_eq!(fd.health(1), PeerHealth::Quarantined);
+        assert_eq!(fd.misses(1), 3);
+    }
+
+    #[test]
+    fn success_resets_from_any_state() {
+        let mut fd = FailureDetector::new(2, config(2, 4));
+        fd.record_miss(1);
+        fd.record_miss(1);
+        assert_eq!(fd.health(1), PeerHealth::Quarantined);
+        fd.record_success(1);
+        assert_eq!(fd.health(1), PeerHealth::Live);
+        assert_eq!(fd.misses(1), 0);
+    }
+
+    #[test]
+    fn quarantined_peer_is_skipped_until_probe_due() {
+        let mut fd = FailureDetector::new(2, config(1, 3));
+        fd.record_miss(1);
+        assert_eq!(fd.health(1), PeerHealth::Quarantined);
+        assert_eq!(fd.plan(1), ContactPlan::Skip);
+        assert_eq!(fd.plan(1), ContactPlan::Skip);
+        assert_eq!(fd.plan(1), ContactPlan::Probe);
+        assert_eq!(fd.health(1), PeerHealth::Probing);
+    }
+
+    #[test]
+    fn failed_probe_restarts_quarantine_clock() {
+        let mut fd = FailureDetector::new(2, config(1, 2));
+        fd.record_miss(1);
+        assert_eq!(fd.plan(1), ContactPlan::Skip);
+        assert_eq!(fd.plan(1), ContactPlan::Probe);
+        fd.record_miss(1);
+        assert_eq!(fd.health(1), PeerHealth::Quarantined);
+        // Clock restarted: skip again before the next probe.
+        assert_eq!(fd.plan(1), ContactPlan::Skip);
+        assert_eq!(fd.plan(1), ContactPlan::Probe);
+    }
+
+    #[test]
+    fn successful_probe_readmits() {
+        let mut fd = FailureDetector::new(2, config(1, 1));
+        fd.record_miss(1);
+        assert_eq!(fd.plan(1), ContactPlan::Probe);
+        fd.record_success(1);
+        assert_eq!(fd.health(1), PeerHealth::Live);
+        assert_eq!(fd.plan(1), ContactPlan::Full);
+    }
+
+    #[test]
+    fn live_and_suspect_get_full_contact() {
+        let mut fd = FailureDetector::new(3, config(5, 2));
+        assert_eq!(fd.plan(1), ContactPlan::Full);
+        fd.record_miss(2);
+        assert_eq!(fd.health(2), PeerHealth::Suspect);
+        assert_eq!(fd.plan(2), ContactPlan::Full);
+    }
+
+    #[test]
+    fn out_of_range_peer_is_skipped() {
+        let mut fd = FailureDetector::new(1, FailureDetectorConfig::default());
+        assert_eq!(fd.plan(7), ContactPlan::Skip);
+        assert_eq!(fd.health(7), PeerHealth::Quarantined);
+        fd.record_miss(7); // must not panic
+    }
+
+    #[test]
+    fn responsive_peers_lists_responders() {
+        let peer = |responded| PeerReport {
+            health: PeerHealth::Live,
+            contacted: true,
+            probed: false,
+            responded,
+            consecutive_misses: 0,
+        };
+        let report = InferenceReport {
+            round: 1,
+            predictions: Vec::new(),
+            peers: vec![peer(true), peer(false), peer(true)],
+            stale_discarded: 0,
+            corrupt_discarded: 0,
+            malformed_discarded: 0,
+        };
+        assert_eq!(report.responsive_peers(), vec![0, 2]);
+    }
+}

@@ -20,7 +20,10 @@
 //! * [`TeamNet`] — Section V: arg-min-entropy collaborative inference and
 //!   the specialization analysis of Figure 9;
 //! * [`runtime`] — Figure 1(d): the master/worker broadcast–compute–gather
-//!   protocol over in-process channels or real TCP;
+//!   protocol over in-process channels or real TCP, hardened with
+//!   round-stamped envelopes and bounded retries;
+//! * [`health`] — the heartbeat failure detector that quarantines
+//!   unresponsive peers and probes them for readmission;
 //! * [`convergence`] — Appendix A: the γ → 1/K contraction theory.
 //!
 //! # Examples
@@ -48,6 +51,7 @@ pub mod convergence;
 mod entropy;
 mod expert;
 mod gate;
+pub mod health;
 pub mod persist;
 pub mod runtime;
 mod team;
@@ -58,6 +62,9 @@ pub use entropy::{
 };
 pub use expert::{build_expert, expert_rng, ExpertEnsemble};
 pub use gate::{assignment_shares, weighted_argmin, DynamicGate, GateConfig, GateDecision};
+pub use health::{
+    ContactPlan, FailureDetector, FailureDetectorConfig, InferenceReport, PeerHealth, PeerReport,
+};
 pub use persist::{load_expert, load_team, save_team, PersistError};
 pub use team::{TeamEvaluation, TeamNet, TeamPrediction};
 pub use train::{IterationRecord, TrainConfig, Trainer, TrainingHistory};

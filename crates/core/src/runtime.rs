@@ -1,4 +1,5 @@
-//! The distributed inference runtime (Figure 1d and Section III).
+//! The distributed inference runtime (Figure 1d and Section III), with a
+//! fault-tolerant protocol layer.
 //!
 //! One node — the **master** — receives the sensor input, broadcasts it to
 //! every peer (**workers**), all nodes run their local expert in parallel,
@@ -7,28 +8,57 @@
 //! exactly twice per inference (one broadcast out, one gather back), which
 //! is the entire reason TeamNet beats MPI-style model parallelism on WiFi.
 //!
+//! Robustness (see DESIGN.md §9): every message crosses the wire inside a
+//! versioned, round-stamped, CRC-checked [`Envelope`], so the master
+//! discards late replies from earlier rounds instead of mis-scoring them
+//! against the wrong batch, and flipped bits are caught before they decode
+//! into garbage predictions. An [`InferenceSession`] additionally runs a
+//! heartbeat-style [`FailureDetector`]: peers that miss
+//! `quarantine_after` consecutive rounds are quarantined (no broadcast,
+//! no gather wait — their timeout stops taxing every inference) and
+//! periodically probed with a 16-byte envelope for readmission. Each round
+//! returns an [`InferenceReport`] with per-peer health alongside the
+//! predictions.
+//!
 //! Works over any [`Transport`] — in-process channels for tests and real
 //! TCP for deployments.
 
 use crate::entropy::entropy;
+use crate::health::{
+    ContactPlan, FailureDetector, FailureDetectorConfig, InferenceReport, PeerHealth, PeerReport,
+};
 use crate::team::TeamPrediction;
-use std::time::Duration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 use teamnet_net::codec::{decode_f32s, encode_f32s};
-use teamnet_net::{NetError, Tag, Transport};
+use teamnet_net::{Backoff, Envelope, NetError, PayloadKind, RetryPolicy, Tag, Transport};
 use teamnet_nn::{Layer, Mode, Sequential};
 use teamnet_tensor::Tensor;
 
-/// Tag carrying broadcast input batches (master → workers).
+/// Tag carrying broadcast input batches and probes (master → workers).
 pub const TAG_INPUT: Tag = Tag(0x7EA0_0001);
-/// Tag carrying per-row `(label, entropy)` results (workers → master).
+/// Tag carrying per-row `(label, entropy)` results and probe acks
+/// (workers → master).
 pub const TAG_RESULT: Tag = Tag(0x7EA0_0002);
-/// Tag asking workers to exit their serve loop.
+/// Tag asking workers to exit their serve loop (sent raw, no envelope: a
+/// shutdown is not attributable to a round).
 pub const TAG_SHUTDOWN: Tag = Tag(0x7EA0_0003);
+
+/// Process-wide round allocator: every inference round in this process
+/// gets a unique stamp, so a late reply can never alias a later round even
+/// across [`InferenceSession`] instances sharing a transport.
+static NEXT_ROUND: AtomicU64 = AtomicU64::new(1);
+
+fn next_round() -> u64 {
+    NEXT_ROUND.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Master-side inference policy.
 #[derive(Debug, Clone)]
 pub struct MasterConfig {
-    /// How long to wait for each worker's result.
+    /// Wall-clock budget for one round's gather leg: all workers' replies
+    /// (and all discard-and-rewait cycles for stale or corrupt traffic)
+    /// share this one deadline.
     pub worker_timeout: Duration,
     /// If `false`, a worker timing out merely removes it from the
     /// candidate set (degraded collaborative inference); if `true`, the
@@ -38,6 +68,10 @@ pub struct MasterConfig {
     /// variables; see [`crate::TeamNet::set_calibration`]), indexed by
     /// node id. `None` means the plain arg-min of the paper's Figure 4.
     pub calibration: Option<Vec<f32>>,
+    /// Failure-detector policy (quarantine threshold, probe cadence).
+    pub failure: FailureDetectorConfig,
+    /// Retry schedule for broadcast/probe sends.
+    pub send_retry: RetryPolicy,
 }
 
 impl Default for MasterConfig {
@@ -46,6 +80,8 @@ impl Default for MasterConfig {
             worker_timeout: Duration::from_secs(10),
             require_all_workers: true,
             calibration: None,
+            failure: FailureDetectorConfig::default(),
+            send_retry: RetryPolicy::default(),
         }
     }
 }
@@ -81,12 +117,19 @@ pub fn local_results(expert: &mut Sequential, images: &Tensor) -> Vec<(usize, f3
         .collect()
 }
 
-fn encode_results(results: &[(usize, f32)]) -> Vec<u8> {
+/// Encodes a `(label, entropy)` result matrix for the wire (the payload
+/// that travels inside a [`PayloadKind::Result`] envelope).
+pub fn encode_results(results: &[(usize, f32)]) -> Vec<u8> {
     let flat: Vec<f32> = results.iter().flat_map(|&(l, h)| [l as f32, h]).collect();
     encode_f32s(&[results.len(), 2], &flat)
 }
 
-fn decode_results(bytes: &[u8]) -> Result<Vec<(usize, f32)>, NetError> {
+/// Decodes a result matrix produced by [`encode_results`].
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] for anything that is not an `[n, 2]` matrix.
+pub fn decode_results(bytes: &[u8]) -> Result<Vec<(usize, f32)>, NetError> {
     let (dims, data) = decode_f32s(bytes)?;
     if dims.len() != 2 || dims.get(1) != Some(&2) {
         return Err(NetError::Malformed(format!("result matrix dims {dims:?}")));
@@ -98,53 +141,377 @@ fn decode_results(bytes: &[u8]) -> Result<Vec<(usize, f32)>, NetError> {
         .collect())
 }
 
+/// Counters kept by a worker's serve loop, returned when the loop exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Input batches answered with a result matrix.
+    pub rounds_served: u64,
+    /// Readmission probes acknowledged.
+    pub probes_answered: u64,
+    /// Batches skipped because they failed envelope or tensor decoding
+    /// (corrupt or malformed traffic); the loop keeps serving.
+    pub malformed_skipped: u64,
+}
+
 /// Serves a worker node: waits for input broadcasts from `master`, runs
-/// the local `expert`, returns results, until a shutdown message arrives.
+/// the local `expert`, returns round-stamped results, until a shutdown
+/// message arrives. Probes are acknowledged immediately; corrupt or
+/// malformed batches are counted and skipped — one bad frame must not
+/// take a worker out of the team.
 ///
 /// # Errors
 ///
-/// Returns transport failures; malformed inputs abort the loop with
-/// [`NetError::Malformed`].
+/// Returns transport failures other than a clean shutdown/close.
 pub fn serve_worker(
     transport: &dyn Transport,
     master: usize,
     expert: &mut Sequential,
-) -> Result<(), NetError> {
+) -> Result<WorkerStats, NetError> {
     const POLL: Duration = Duration::from_millis(50);
+    let mut stats = WorkerStats::default();
     loop {
         // Check for shutdown first so it cannot starve behind inputs.
         match transport.recv(master, TAG_SHUTDOWN, Duration::from_millis(1)) {
-            Ok(_) => return Ok(()),
+            Ok(_) => return Ok(stats),
             Err(NetError::Timeout { .. }) => {}
-            Err(NetError::Closed) => return Ok(()),
+            Err(NetError::Closed) => return Ok(stats),
             Err(e) => return Err(e),
         }
-        match transport.recv(master, TAG_INPUT, POLL) {
-            Ok(bytes) => {
-                let (dims, data) = decode_f32s(&bytes)?;
-                let images = Tensor::from_vec(data, dims)
-                    .map_err(|e| NetError::Malformed(format!("input tensor: {e}")))?;
-                let results = local_results(expert, &images);
-                transport.send(master, TAG_RESULT, &encode_results(&results))?;
-            }
+        let bytes = match transport.recv(master, TAG_INPUT, POLL) {
+            Ok(bytes) => bytes,
             Err(NetError::Timeout { .. }) => continue,
-            Err(NetError::Closed) => return Ok(()),
+            Err(NetError::Closed) => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        let env = match Envelope::decode(&bytes) {
+            Ok(env) => env,
+            Err(NetError::Corrupt { .. } | NetError::Malformed(_)) => {
+                stats.malformed_skipped += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = match env.kind {
+            PayloadKind::Probe => {
+                stats.probes_answered += 1;
+                Envelope::new(env.round, PayloadKind::ProbeAck, Vec::new())
+            }
+            PayloadKind::Input => {
+                let images = match decode_f32s(&env.payload).and_then(|(dims, data)| {
+                    Tensor::from_vec(data, dims)
+                        .map_err(|e| NetError::Malformed(format!("input tensor: {e}")))
+                }) {
+                    Ok(images) => images,
+                    Err(_) => {
+                        stats.malformed_skipped += 1;
+                        continue;
+                    }
+                };
+                let results = local_results(expert, &images);
+                stats.rounds_served += 1;
+                Envelope::new(env.round, PayloadKind::Result, encode_results(&results))
+            }
+            // Result/ProbeAck flowing master → worker is a protocol error;
+            // skip it rather than dying.
+            _ => {
+                stats.malformed_skipped += 1;
+                continue;
+            }
+        };
+        match transport.send(master, TAG_RESULT, &reply.encode()) {
+            Ok(()) => {}
+            Err(NetError::Closed) => return Ok(stats),
             Err(e) => return Err(e),
         }
     }
 }
 
-/// Master-side collaborative inference over an input batch.
+/// A multi-round master-side inference session: owns the round counter and
+/// the [`FailureDetector`], so peer health carries across rounds.
 ///
-/// Broadcasts `images` to every peer, evaluates the local `expert` in
-/// parallel (conceptually — the local pass runs while workers compute),
-/// gathers worker results, and selects the least-entropy answer per row.
+/// One-shot callers can use [`master_infer`]; anything serving a stream of
+/// inferences should hold a session so that a dead worker stops costing a
+/// full timeout on every single round.
+#[derive(Debug)]
+pub struct InferenceSession {
+    config: MasterConfig,
+    detector: FailureDetector,
+}
+
+impl InferenceSession {
+    /// Creates a session for the cluster behind `transport`.
+    pub fn new(transport: &dyn Transport, config: MasterConfig) -> Self {
+        let detector = FailureDetector::new(transport.num_nodes(), config.failure.clone());
+        InferenceSession { config, detector }
+    }
+
+    /// Read access to peer health between rounds.
+    pub fn detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// Sends `payload` to `peer` with bounded retries + backoff inside
+    /// `deadline`. Returns false if the send never succeeded.
+    fn send_retrying(
+        &self,
+        transport: &dyn Transport,
+        peer: usize,
+        payload: &[u8],
+        round: u64,
+        deadline: Instant,
+    ) -> Result<bool, NetError> {
+        let seed = round ^ ((peer as u64) << 48);
+        let mut backoff = Backoff::new(self.config.send_retry.clone(), seed, deadline);
+        loop {
+            match transport.send(peer, TAG_INPUT, payload) {
+                Ok(()) => return Ok(true),
+                Err(e @ (NetError::UnknownPeer(_) | NetError::Closed)) => {
+                    if self.config.require_all_workers {
+                        return Err(e);
+                    }
+                    return Ok(false);
+                }
+                Err(e) => match backoff.next_delay() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => {
+                        if self.config.require_all_workers {
+                            return Err(e);
+                        }
+                        return Ok(false);
+                    }
+                },
+            }
+        }
+    }
+
+    /// One fault-tolerant collaborative inference round.
+    ///
+    /// Broadcasts `images` to every live peer, probes quarantined peers
+    /// whose probe is due, evaluates the local `expert` while workers
+    /// compute, gathers round-stamped replies under one deadline budget
+    /// (discarding stale and corrupt traffic), folds the evidence into the
+    /// failure detector, and returns predictions plus per-peer health.
+    ///
+    /// # Errors
+    ///
+    /// With `require_all_workers` set: [`NetError::Timeout`] when a
+    /// contacted worker misses the deadline, [`NetError::Malformed`] /
+    /// [`NetError::Corrupt`] when a reply is undecodable, and send
+    /// failures. In degraded mode those all demote the peer instead.
+    pub fn infer(
+        &mut self,
+        transport: &dyn Transport,
+        expert: &mut Sequential,
+        images: &Tensor,
+    ) -> Result<InferenceReport, NetError> {
+        let me = transport.node_id();
+        let num_nodes = transport.num_nodes();
+        let n = images.dims().first().copied().unwrap_or(0);
+        let round = next_round();
+
+        // Plan and broadcast. Quarantined peers are skipped outright;
+        // probe-due peers get a 16-byte probe instead of the full batch.
+        let send_deadline = Instant::now() + self.config.worker_timeout;
+        let mut plans: Vec<ContactPlan> = vec![ContactPlan::Skip; num_nodes];
+        let mut sent: Vec<bool> = vec![false; num_nodes];
+        let input_payload = Envelope::new(
+            round,
+            PayloadKind::Input,
+            encode_f32s(images.dims(), images.data()),
+        )
+        .encode();
+        let probe_payload = Envelope::new(round, PayloadKind::Probe, Vec::new()).encode();
+        for peer in 0..num_nodes {
+            if peer == me {
+                continue;
+            }
+            let plan = self.detector.plan(peer);
+            let payload = match plan {
+                ContactPlan::Full => &input_payload,
+                ContactPlan::Probe => &probe_payload,
+                ContactPlan::Skip => {
+                    if let Some(p) = plans.get_mut(peer) {
+                        *p = plan;
+                    }
+                    continue;
+                }
+            };
+            let ok = self.send_retrying(transport, peer, payload, round, send_deadline)?;
+            if let (Some(p), Some(s)) = (plans.get_mut(peer), sent.get_mut(peer)) {
+                *p = plan;
+                *s = ok;
+            }
+        }
+
+        // Local expert runs while the workers compute. Selection compares
+        // δ*-weighted entropies; reported entropy stays raw.
+        let local = local_results(expert, images);
+        let mut best: Vec<TeamPrediction> = local
+            .into_iter()
+            .map(|(label, h)| TeamPrediction {
+                label,
+                expert: me,
+                entropy: h,
+            })
+            .collect();
+        let mut best_weighted: Vec<f32> = best
+            .iter()
+            .map(|p| p.entropy * self.config.weight(me))
+            .collect();
+
+        // Gather leg: one deadline budget shared by every wait, including
+        // re-waits after discarding stale/corrupt/malformed traffic.
+        let deadline = Instant::now() + self.config.worker_timeout;
+        let mut responded: Vec<bool> = vec![false; num_nodes];
+        let mut stale_discarded = 0u64;
+        let mut corrupt_discarded = 0u64;
+        let mut malformed_discarded = 0u64;
+        for peer in 0..num_nodes {
+            let plan = plans.get(peer).copied().unwrap_or(ContactPlan::Skip);
+            if peer == me || plan == ContactPlan::Skip {
+                continue;
+            }
+            if !sent.get(peer).copied().unwrap_or(false) {
+                continue; // send never went out: counts as a miss below
+            }
+            let got = loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                let bytes = match transport.recv(peer, TAG_RESULT, remaining) {
+                    Ok(bytes) => bytes,
+                    Err(NetError::Timeout { .. }) => break false,
+                    Err(e) => return Err(e),
+                };
+                let env = match Envelope::decode(&bytes) {
+                    Ok(env) => env,
+                    Err(e @ NetError::Corrupt { .. }) => {
+                        if self.config.require_all_workers {
+                            return Err(e);
+                        }
+                        corrupt_discarded += 1;
+                        continue;
+                    }
+                    Err(e) => {
+                        if self.config.require_all_workers {
+                            return Err(e);
+                        }
+                        malformed_discarded += 1;
+                        continue;
+                    }
+                };
+                if env.round != round {
+                    // A late reply to an earlier round (or a duplicate of
+                    // one): never score it against this batch. Stale
+                    // traffic is discarded even in strict mode — consuming
+                    // it would silently corrupt the answer.
+                    stale_discarded += 1;
+                    continue;
+                }
+                match env.kind {
+                    PayloadKind::Result => {
+                        let results = match decode_results(&env.payload) {
+                            Ok(results) => results,
+                            Err(e) => {
+                                if self.config.require_all_workers {
+                                    return Err(e);
+                                }
+                                malformed_discarded += 1;
+                                continue;
+                            }
+                        };
+                        if results.len() != n {
+                            let e = NetError::Malformed(format!(
+                                "worker {peer} returned {} rows for a {n}-row batch",
+                                results.len()
+                            ));
+                            if self.config.require_all_workers {
+                                return Err(e);
+                            }
+                            malformed_discarded += 1;
+                            continue;
+                        }
+                        let slots = best_weighted.iter_mut().zip(best.iter_mut());
+                        for ((label, h), (current, winner)) in results.into_iter().zip(slots) {
+                            let weighted = h * self.config.weight(peer);
+                            if weighted < *current {
+                                *current = weighted;
+                                *winner = TeamPrediction {
+                                    label,
+                                    expert: peer,
+                                    entropy: h,
+                                };
+                            }
+                        }
+                        break true;
+                    }
+                    // A probe ack proves liveness; it carries no rows.
+                    PayloadKind::ProbeAck => break true,
+                    _ => {
+                        malformed_discarded += 1;
+                        continue;
+                    }
+                }
+            };
+            if let Some(r) = responded.get_mut(peer) {
+                *r = got;
+            }
+            if !got && self.config.require_all_workers {
+                return Err(NetError::Timeout {
+                    waiting_for: format!("results from worker {peer} (round {round})"),
+                });
+            }
+        }
+
+        // Fold the round's evidence into the detector and snapshot health.
+        let mut peers = Vec::with_capacity(num_nodes);
+        for peer in 0..num_nodes {
+            let plan = plans.get(peer).copied().unwrap_or(ContactPlan::Skip);
+            let contacted = peer != me && plan != ContactPlan::Skip;
+            let answered = responded.get(peer).copied().unwrap_or(false);
+            if contacted {
+                if answered {
+                    self.detector.record_success(peer);
+                } else {
+                    self.detector.record_miss(peer);
+                }
+            }
+            peers.push(PeerReport {
+                health: if peer == me {
+                    PeerHealth::Live
+                } else {
+                    self.detector.health(peer)
+                },
+                contacted: contacted || peer == me,
+                probed: plan == ContactPlan::Probe,
+                responded: answered || peer == me,
+                consecutive_misses: self.detector.misses(peer),
+            });
+        }
+
+        Ok(InferenceReport {
+            round,
+            predictions: best,
+            peers,
+            stale_discarded,
+            corrupt_discarded,
+            malformed_discarded,
+        })
+    }
+}
+
+/// One-shot master-side collaborative inference over an input batch.
+///
+/// Creates a throwaway [`InferenceSession`] (every peer starts live) and
+/// runs a single round; the round stamp is still globally unique, so even
+/// repeated one-shot calls over the same transport can never consume a
+/// previous call's late reply. Hold an [`InferenceSession`] instead when
+/// serving many rounds — it remembers which peers are dead.
 ///
 /// # Errors
 ///
 /// * [`NetError::Timeout`] if a worker misses the deadline and
 ///   `require_all_workers` is set;
-/// * [`NetError::Malformed`] for undecodable worker responses;
+/// * [`NetError::Malformed`] / [`NetError::Corrupt`] for undecodable
+///   worker responses in strict mode;
 /// * transport failures otherwise.
 pub fn master_infer(
     transport: &dyn Transport,
@@ -152,59 +519,10 @@ pub fn master_infer(
     images: &Tensor,
     config: &MasterConfig,
 ) -> Result<Vec<TeamPrediction>, NetError> {
-    let me = transport.node_id();
-    let n = images.dims().first().copied().unwrap_or(0);
-    let payload = encode_f32s(images.dims(), images.data());
-    for peer in 0..transport.num_nodes() {
-        if peer != me {
-            transport.send(peer, TAG_INPUT, &payload)?;
-        }
-    }
-
-    // Local expert runs while the workers compute. Selection compares
-    // δ*-weighted entropies; reported entropy stays raw.
-    let local = local_results(expert, images);
-    let mut best: Vec<TeamPrediction> = local
-        .into_iter()
-        .map(|(label, h)| TeamPrediction {
-            label,
-            expert: me,
-            entropy: h,
-        })
-        .collect();
-    let mut best_weighted: Vec<f32> = best.iter().map(|p| p.entropy * config.weight(me)).collect();
-
-    for peer in 0..transport.num_nodes() {
-        if peer == me {
-            continue;
-        }
-        match transport.recv(peer, TAG_RESULT, config.worker_timeout) {
-            Ok(bytes) => {
-                let results = decode_results(&bytes)?;
-                if results.len() != n {
-                    return Err(NetError::Malformed(format!(
-                        "worker {peer} returned {} rows for a {n}-row batch",
-                        results.len()
-                    )));
-                }
-                let slots = best_weighted.iter_mut().zip(best.iter_mut());
-                for ((label, h), (current, winner)) in results.into_iter().zip(slots) {
-                    let weighted = h * config.weight(peer);
-                    if weighted < *current {
-                        *current = weighted;
-                        *winner = TeamPrediction {
-                            label,
-                            expert: peer,
-                            entropy: h,
-                        };
-                    }
-                }
-            }
-            Err(NetError::Timeout { .. }) if !config.require_all_workers => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(best)
+    let mut session = InferenceSession::new(transport, config.clone());
+    session
+        .infer(transport, expert, images)
+        .map(|report| report.predictions)
 }
 
 /// Asks every worker served by [`serve_worker`] to exit.
@@ -240,6 +558,13 @@ mod tests {
         let decoded = decode_results(&encode_results(&results)).unwrap();
         assert_eq!(decoded, results);
         assert!(decode_results(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn round_stamps_are_process_unique() {
+        let a = next_round();
+        let b = next_round();
+        assert!(b > a);
     }
 
     #[test]
@@ -387,7 +712,9 @@ mod tests {
         thread::scope(|scope| {
             scope.spawn(|_| {
                 let mut worker_expert = expert(1);
-                serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
+                let stats = serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
+                assert_eq!(stats.rounds_served, 5);
+                assert_eq!(stats.malformed_skipped, 0);
             });
             let mut master_expert = expert(0);
             for round in 0..5 {
@@ -402,6 +729,90 @@ mod tests {
                 assert_eq!(preds.len(), 1);
             }
             shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn worker_skips_malformed_batches_and_keeps_serving() {
+        let nodes = ChannelTransport::mesh(2);
+        let images = Tensor::full([1, 1, 28, 28], 0.5);
+        thread::scope(|scope| {
+            let worker = scope.spawn(|_| {
+                let mut worker_expert = expert(1);
+                serve_worker(&nodes[1], 0, &mut worker_expert).unwrap()
+            });
+            // Garbage that fails envelope decoding entirely.
+            nodes[0].send(1, TAG_INPUT, b"not an envelope").unwrap();
+            // A well-formed envelope whose tensor payload is broken.
+            let bad_tensor = Envelope::new(999, PayloadKind::Input, vec![7; 9]).encode();
+            nodes[0].send(1, TAG_INPUT, &bad_tensor).unwrap();
+            // A healthy round must still be answered after both.
+            let mut master_expert = expert(0);
+            let preds = master_infer(
+                &nodes[0],
+                &mut master_expert,
+                &images,
+                &MasterConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(preds.len(), 1);
+            shutdown_workers(&nodes[0]).unwrap();
+            let stats = worker.join().unwrap();
+            assert_eq!(stats.malformed_skipped, 2);
+            assert_eq!(stats.rounds_served, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn session_report_tracks_peer_health() {
+        let nodes = ChannelTransport::mesh(2);
+        let images = Tensor::full([1, 1, 28, 28], 0.3);
+        thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut worker_expert = expert(1);
+                serve_worker(&nodes[1], 0, &mut worker_expert).unwrap();
+            });
+            let config = MasterConfig {
+                require_all_workers: false,
+                ..MasterConfig::default()
+            };
+            let mut session = InferenceSession::new(&nodes[0], config);
+            let mut master_expert = expert(0);
+            let report = session
+                .infer(&nodes[0], &mut master_expert, &images)
+                .unwrap();
+            assert_eq!(report.predictions.len(), 1);
+            assert_eq!(report.peers.len(), 2);
+            assert_eq!(report.peers[1].health, PeerHealth::Live);
+            assert!(report.peers[1].responded);
+            assert_eq!(report.responsive_peers(), vec![0, 1]);
+            assert_eq!(report.stale_discarded, 0);
+            shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn probe_ack_is_cheap_and_counted() {
+        let nodes = ChannelTransport::mesh(2);
+        thread::scope(|scope| {
+            let worker = scope.spawn(|_| {
+                let mut worker_expert = expert(1);
+                serve_worker(&nodes[1], 0, &mut worker_expert).unwrap()
+            });
+            let probe = Envelope::new(123, PayloadKind::Probe, Vec::new());
+            nodes[0].send(1, TAG_INPUT, &probe.encode()).unwrap();
+            let ack_bytes = nodes[0]
+                .recv(1, TAG_RESULT, Duration::from_secs(2))
+                .unwrap();
+            let ack = Envelope::decode(&ack_bytes).unwrap();
+            assert_eq!(ack.kind, PayloadKind::ProbeAck);
+            assert_eq!(ack.round, 123);
+            shutdown_workers(&nodes[0]).unwrap();
+            let stats = worker.join().unwrap();
+            assert_eq!(stats.probes_answered, 1);
         })
         .unwrap();
     }

@@ -8,8 +8,9 @@
 //! the same medium anyway.
 
 use crate::error::NetError;
+use crate::retry::{Backoff, RetryPolicy};
 use crate::transport::{NodeId, Tag, Transport};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Base of the tag space reserved for collective plumbing. User code must
 /// not send on tags at or above this value.
@@ -26,24 +27,44 @@ const BARRIER_DOWN: Tag = Tag(COLLECTIVE_TAG_BASE + 5);
 ///
 /// Every node of the cluster must call the *same* collectives in the *same*
 /// order (standard MPI contract); mismatched calls deadlock until the
-/// timeout fires.
+/// deadline budget fires.
+///
+/// Each collective call is driven by one **deadline budget** (the
+/// `budget` duration): every send retry, backoff sleep and receive leg of
+/// that call draws from the same wall-clock allowance, so a collective can
+/// never take longer than its budget no matter how many peers straggle or
+/// how many retries fire. Failed sends are retried with exponential
+/// backoff and deterministic jitter per [`RetryPolicy`].
 pub struct Communicator<'a> {
     transport: &'a dyn Transport,
-    timeout: Duration,
+    budget: Duration,
+    retry: RetryPolicy,
 }
 
 impl<'a> Communicator<'a> {
-    /// Wraps a transport with the default 30 s collective timeout.
+    /// Wraps a transport with the default 30 s deadline budget and the
+    /// default retry policy.
     pub fn new(transport: &'a dyn Transport) -> Self {
         Communicator {
             transport,
-            timeout: Duration::from_secs(30),
+            budget: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
         }
     }
 
-    /// Overrides the per-operation timeout.
-    pub fn with_timeout(transport: &'a dyn Transport, timeout: Duration) -> Self {
-        Communicator { transport, timeout }
+    /// Overrides the per-collective deadline budget.
+    pub fn with_timeout(transport: &'a dyn Transport, budget: Duration) -> Self {
+        Communicator {
+            transport,
+            budget,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Overrides the send retry policy (builder style).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// This node's rank.
@@ -56,6 +77,47 @@ impl<'a> Communicator<'a> {
         self.transport.num_nodes()
     }
 
+    /// The deadline for a collective op starting now.
+    fn deadline(&self) -> Instant {
+        Instant::now() + self.budget
+    }
+
+    /// Sends with bounded retries + backoff, all inside `deadline`.
+    fn send_retrying(
+        &self,
+        to: NodeId,
+        tag: Tag,
+        payload: &[u8],
+        deadline: Instant,
+    ) -> Result<(), NetError> {
+        // Jitter seed mixes rank and destination so concurrently retrying
+        // nodes desynchronize, yet a rerun replays identically.
+        let seed = (self.rank() as u64) << 32 | to as u64 ^ u64::from(tag.0);
+        let mut backoff = Backoff::new(self.retry.clone(), seed, deadline);
+        loop {
+            match self.transport.send(to, tag, payload) {
+                Ok(()) => return Ok(()),
+                // Permanent failures: retrying cannot help.
+                Err(e @ (NetError::UnknownPeer(_) | NetError::Closed)) => return Err(e),
+                Err(e) => match backoff.next_delay() {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => return Err(e),
+                },
+            }
+        }
+    }
+
+    /// Receives against the remaining deadline budget.
+    fn recv_deadline(
+        &self,
+        from: NodeId,
+        tag: Tag,
+        deadline: Instant,
+    ) -> Result<Vec<u8>, NetError> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        self.transport.recv(from, tag, remaining)
+    }
+
     /// Broadcasts `data` from `root` to every node; all nodes receive the
     /// payload (the root receives its own copy back).
     ///
@@ -65,18 +127,19 @@ impl<'a> Communicator<'a> {
     ///
     /// Propagates transport errors; the root errors if called without data.
     pub fn broadcast(&self, root: NodeId, data: Option<&[u8]>) -> Result<Vec<u8>, NetError> {
+        let deadline = self.deadline();
         if self.rank() == root {
             let data = data.ok_or_else(|| {
                 NetError::Malformed("broadcast root must supply data".to_string())
             })?;
             for peer in 0..self.size() {
                 if peer != root {
-                    self.transport.send(peer, BCAST, data)?;
+                    self.send_retrying(peer, BCAST, data, deadline)?;
                 }
             }
             Ok(data.to_vec())
         } else {
-            self.transport.recv(root, BCAST, self.timeout)
+            self.recv_deadline(root, BCAST, deadline)
         }
     }
 
@@ -87,18 +150,19 @@ impl<'a> Communicator<'a> {
     ///
     /// Propagates transport errors and timeouts on missing contributions.
     pub fn gather(&self, root: NodeId, mine: &[u8]) -> Result<Option<Vec<Vec<u8>>>, NetError> {
+        let deadline = self.deadline();
         if self.rank() == root {
             let mut parts = vec![Vec::new(); self.size()];
             // root == rank() here and rank() < size() always. lint: allow(no-index)
             parts[root] = mine.to_vec();
             for (peer, part) in parts.iter_mut().enumerate() {
                 if peer != root {
-                    *part = self.transport.recv(peer, GATHER, self.timeout)?;
+                    *part = self.recv_deadline(peer, GATHER, deadline)?;
                 }
             }
             Ok(Some(parts))
         } else {
-            self.transport.send(root, GATHER, mine)?;
+            self.send_retrying(root, GATHER, mine, deadline)?;
             Ok(None)
         }
     }
@@ -110,6 +174,7 @@ impl<'a> Communicator<'a> {
     ///
     /// The root errors unless it supplies exactly `size()` parts.
     pub fn scatter(&self, root: NodeId, parts: Option<&[Vec<u8>]>) -> Result<Vec<u8>, NetError> {
+        let deadline = self.deadline();
         if self.rank() == root {
             let parts = parts
                 .ok_or_else(|| NetError::Malformed("scatter root must supply parts".to_string()))?;
@@ -122,14 +187,14 @@ impl<'a> Communicator<'a> {
             }
             for (peer, part) in parts.iter().enumerate() {
                 if peer != root {
-                    self.transport.send(peer, SCATTER, part)?;
+                    self.send_retrying(peer, SCATTER, part, deadline)?;
                 }
             }
             // parts.len() == size() was just checked; root == rank() < size().
             // lint: allow(no-index)
             Ok(parts[root].clone())
         } else {
-            self.transport.recv(root, SCATTER, self.timeout)
+            self.recv_deadline(root, SCATTER, deadline)
         }
     }
 
@@ -177,11 +242,12 @@ impl<'a> Communicator<'a> {
     ///
     /// Errors if contributions disagree in length or transport fails.
     pub fn all_reduce_sum(&self, data: &mut [f32]) -> Result<(), NetError> {
+        let deadline = self.deadline();
         let bytes: Vec<u8> = data.iter().flat_map(|x| x.to_le_bytes()).collect();
         let reduced = if self.rank() == 0 {
             let mut acc = data.to_vec();
             for peer in 1..self.size() {
-                let part = self.transport.recv(peer, REDUCE, self.timeout)?;
+                let part = self.recv_deadline(peer, REDUCE, deadline)?;
                 if part.len() != bytes.len() {
                     return Err(NetError::Malformed(format!(
                         "all_reduce contribution of {} bytes, expected {}",
@@ -197,7 +263,7 @@ impl<'a> Communicator<'a> {
             let out: Vec<u8> = acc.iter().flat_map(|x| x.to_le_bytes()).collect();
             self.broadcast(0, Some(&out))?
         } else {
-            self.transport.send(0, REDUCE, &bytes)?;
+            self.send_retrying(0, REDUCE, &bytes, deadline)?;
             self.broadcast(0, None)?
         };
         let words = reduced.chunks_exact(4).filter_map(|c| c.first_chunk::<4>());
@@ -213,16 +279,17 @@ impl<'a> Communicator<'a> {
     ///
     /// Times out if any node never arrives.
     pub fn barrier(&self) -> Result<(), NetError> {
+        let deadline = self.deadline();
         if self.rank() == 0 {
             for peer in 1..self.size() {
-                self.transport.recv(peer, BARRIER_UP, self.timeout)?;
+                self.recv_deadline(peer, BARRIER_UP, deadline)?;
             }
             for peer in 1..self.size() {
-                self.transport.send(peer, BARRIER_DOWN, &[])?;
+                self.send_retrying(peer, BARRIER_DOWN, &[], deadline)?;
             }
         } else {
-            self.transport.send(0, BARRIER_UP, &[])?;
-            self.transport.recv(0, BARRIER_DOWN, self.timeout)?;
+            self.send_retrying(0, BARRIER_UP, &[], deadline)?;
+            self.recv_deadline(0, BARRIER_DOWN, deadline)?;
         }
         Ok(())
     }
@@ -356,6 +423,82 @@ mod tests {
             comm.scatter(0, Some(&parts)),
             Err(NetError::Malformed(_))
         ));
+    }
+
+    /// A transport whose sends fail transiently for the first `failures`
+    /// attempts — exercises the retry+backoff path of the collectives.
+    struct FlakySends {
+        inner: ChannelTransport,
+        failures: std::sync::atomic::AtomicU32,
+    }
+
+    impl Transport for FlakySends {
+        fn node_id(&self) -> NodeId {
+            self.inner.node_id()
+        }
+        fn num_nodes(&self) -> usize {
+            self.inner.num_nodes()
+        }
+        fn send(&self, to: NodeId, tag: Tag, payload: &[u8]) -> Result<(), NetError> {
+            use std::sync::atomic::Ordering;
+            if self.failures.load(Ordering::SeqCst) > 0 {
+                self.failures.fetch_sub(1, Ordering::SeqCst);
+                return Err(NetError::Io(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionReset,
+                    "transient",
+                )));
+            }
+            self.inner.send(to, tag, payload)
+        }
+        fn recv(&self, from: NodeId, tag: Tag, timeout: Duration) -> Result<Vec<u8>, NetError> {
+            self.inner.recv(from, tag, timeout)
+        }
+        fn recv_any(&self, tag: Tag, timeout: Duration) -> Result<(NodeId, Vec<u8>), NetError> {
+            self.inner.recv_any(tag, timeout)
+        }
+        fn stats(&self) -> crate::TransportStats {
+            self.inner.stats()
+        }
+    }
+
+    #[test]
+    fn sends_retry_through_transient_failures() {
+        let mut nodes = ChannelTransport::mesh(2);
+        let receiver = nodes.pop().unwrap();
+        let flaky = FlakySends {
+            inner: nodes.pop().unwrap(),
+            failures: std::sync::atomic::AtomicU32::new(2),
+        };
+        let comm = Communicator::with_timeout(&flaky, Duration::from_secs(5));
+        // Default policy allows 3 attempts: two transient failures recover.
+        let got = comm.broadcast(0, Some(b"persist")).unwrap();
+        assert_eq!(got, b"persist");
+        assert_eq!(
+            receiver.recv(0, BCAST, Duration::from_secs(1)).unwrap(),
+            b"persist"
+        );
+    }
+
+    #[test]
+    fn retries_are_bounded_by_policy() {
+        let mut nodes = ChannelTransport::mesh(2);
+        let _receiver = nodes.pop().unwrap();
+        let flaky = FlakySends {
+            inner: nodes.pop().unwrap(),
+            failures: std::sync::atomic::AtomicU32::new(100),
+        };
+        let comm = Communicator::with_timeout(&flaky, Duration::from_secs(5)).retry_policy(
+            crate::RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            },
+        );
+        let res = comm.broadcast(0, Some(b"doomed"));
+        assert!(matches!(res, Err(NetError::Io(_))), "{res:?}");
+        use std::sync::atomic::Ordering;
+        // 2 attempts consumed, not all 100 failures.
+        assert_eq!(flaky.failures.load(Ordering::SeqCst), 98);
     }
 
     #[test]

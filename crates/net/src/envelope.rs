@@ -1,0 +1,220 @@
+//! Versioned, round-stamped, checksummed message envelopes.
+//!
+//! The fault-tolerant inference protocol wraps every application payload
+//! (input batches, result matrices, probes) in an [`Envelope`] so the
+//! receiver can (a) reject traffic from an incompatible protocol version,
+//! (b) attribute a message to the inference round that produced it —
+//! discarding late replies instead of mis-scoring them against the wrong
+//! batch — and (c) detect bit corruption in flight via a CRC-32 over the
+//! payload.
+//!
+//! Wire layout (little-endian), 16 bytes of header:
+//!
+//! ```text
+//! version: u16 | kind: u8 | reserved: u8 | round: u64 | crc32(payload): u32 | payload
+//! ```
+
+use crate::error::NetError;
+
+/// Current envelope wire version. Bumped on incompatible layout changes;
+/// a receiver rejects any other value with [`NetError::Malformed`].
+pub const ENVELOPE_VERSION: u16 = 1;
+
+/// Size of the fixed envelope header in bytes.
+pub const ENVELOPE_HEADER_LEN: usize = 16;
+
+/// What an envelope carries. The kind travels on the wire as one byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// A broadcast input batch (master → worker).
+    Input,
+    /// A per-row result matrix (worker → master).
+    Result,
+    /// A liveness probe sent to a quarantined peer (master → worker).
+    /// Carries no payload; deliberately tiny so probing stays cheap.
+    Probe,
+    /// Acknowledgement of a [`PayloadKind::Probe`] (worker → master).
+    ProbeAck,
+}
+
+impl PayloadKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            PayloadKind::Input => 0,
+            PayloadKind::Result => 1,
+            PayloadKind::Probe => 2,
+            PayloadKind::ProbeAck => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, NetError> {
+        match b {
+            0 => Ok(PayloadKind::Input),
+            1 => Ok(PayloadKind::Result),
+            2 => Ok(PayloadKind::Probe),
+            3 => Ok(PayloadKind::ProbeAck),
+            other => Err(NetError::Malformed(format!(
+                "unknown envelope payload kind {other}"
+            ))),
+        }
+    }
+}
+
+/// A decoded protocol message: round stamp, payload kind and the verified
+/// payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Monotonic inference-round identifier assigned by the master. A
+    /// worker echoes the round of the input it is answering.
+    pub round: u64,
+    /// What the payload is.
+    pub kind: PayloadKind,
+    /// The application payload (already checksum-verified on decode).
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Builds an envelope around `payload` for `round`.
+    pub fn new(round: u64, kind: PayloadKind, payload: Vec<u8>) -> Self {
+        Envelope {
+            round,
+            kind,
+            payload,
+        }
+    }
+
+    /// Serializes the envelope into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(ENVELOPE_HEADER_LEN + self.payload.len());
+        buf.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+        buf.push(self.kind.to_wire());
+        buf.push(0); // reserved
+        buf.extend_from_slice(&self.round.to_le_bytes());
+        buf.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parses and integrity-checks an envelope.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::Malformed`] for a truncated header, an unknown
+    ///   version, or an unknown payload kind;
+    /// * [`NetError::Corrupt`] when the payload CRC disagrees with the
+    ///   header (a flipped bit anywhere in the payload).
+    pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
+        let header = bytes.get(..ENVELOPE_HEADER_LEN).ok_or_else(|| {
+            NetError::Malformed(format!(
+                "envelope shorter than header: {} bytes",
+                bytes.len()
+            ))
+        })?;
+        let take = |at: usize, len: usize| header.get(at..at + len).unwrap_or_default();
+        let version = u16::from_le_bytes(take(0, 2).try_into().unwrap_or_default());
+        if version != ENVELOPE_VERSION {
+            return Err(NetError::Malformed(format!(
+                "envelope version {version}, this node speaks {ENVELOPE_VERSION}"
+            )));
+        }
+        let kind = PayloadKind::from_wire(header.get(2).copied().unwrap_or_default())?;
+        let round = u64::from_le_bytes(take(4, 8).try_into().unwrap_or_default());
+        let expected = u32::from_le_bytes(take(12, 4).try_into().unwrap_or_default());
+        let payload = bytes.get(ENVELOPE_HEADER_LEN..).unwrap_or_default();
+        let got = crc32(payload);
+        if got != expected {
+            return Err(NetError::Corrupt { expected, got });
+        }
+        Ok(Envelope {
+            round,
+            kind,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum Ethernet and zlib use. Bitwise implementation: the payloads
+/// here are small enough that a lookup table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let env = Envelope::new(42, PayloadKind::Result, vec![1, 2, 3, 255]);
+        let decoded = Envelope::decode(&env.encode()).unwrap();
+        assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let env = Envelope::new(7, PayloadKind::Probe, Vec::new());
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn flipped_bit_is_corrupt() {
+        let mut bytes = Envelope::new(3, PayloadKind::Input, vec![0u8; 32]).encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10;
+        let res = Envelope::decode(&bytes);
+        assert!(matches!(res, Err(NetError::Corrupt { .. })), "{res:?}");
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = Envelope::new(1, PayloadKind::Input, vec![9]).encode();
+        bytes[0] = 0xFF;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut bytes = Envelope::new(1, PayloadKind::Input, Vec::new()).encode();
+        bytes[2] = 200;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let bytes = Envelope::new(1, PayloadKind::Result, vec![5; 8]).encode();
+        assert!(matches!(
+            Envelope::decode(&bytes[..10]),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn round_stamp_survives() {
+        for round in [0u64, 1, u64::MAX] {
+            let env = Envelope::new(round, PayloadKind::ProbeAck, vec![1]);
+            assert_eq!(Envelope::decode(&env.encode()).unwrap().round, round);
+        }
+    }
+}

@@ -21,6 +21,25 @@ pub enum NetError {
     Closed,
     /// The remote handler reported an application-level failure.
     Remote(String),
+    /// A frame decoded structurally but failed its integrity checksum
+    /// (bit corruption in flight).
+    Corrupt {
+        /// CRC stored in the envelope header.
+        expected: u32,
+        /// CRC recomputed over the received payload.
+        got: u32,
+    },
+    /// A message carried a round stamp other than the one the receiver is
+    /// currently collecting (a late reply from an earlier round, or a
+    /// duplicate of an already-consumed one).
+    Stale {
+        /// Round stamped on the message.
+        got: u64,
+        /// Round the receiver is collecting.
+        current: u64,
+    },
+    /// A constructor or configuration value was rejected before any I/O.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for NetError {
@@ -32,6 +51,19 @@ impl fmt::Display for NetError {
             NetError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
             NetError::Closed => write!(f, "transport closed"),
             NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+            NetError::Corrupt { expected, got } => {
+                write!(
+                    f,
+                    "corrupt frame: crc {got:#010x}, header said {expected:#010x}"
+                )
+            }
+            NetError::Stale { got, current } => {
+                write!(
+                    f,
+                    "stale message: stamped round {got}, collecting round {current}"
+                )
+            }
+            NetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

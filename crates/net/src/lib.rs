@@ -12,7 +12,13 @@
 //! * [`Communicator`] — MPI-style collectives (broadcast / scatter /
 //!   gather / all-gather / all-reduce / barrier);
 //! * [`rpc`] — a minimal unary RPC layer (the gRPC stand-in);
-//! * [`LossyTransport`] — fault injection for resilience tests;
+//! * [`ChaosTransport`] — seeded, deterministic fault injection (drop /
+//!   delay / corruption / duplication / black-holing) for resilience
+//!   tests; [`LossyTransport`] is its backwards-compatible alias;
+//! * [`Envelope`] — versioned, round-stamped, CRC-checked message
+//!   envelopes for the fault-tolerant inference protocol;
+//! * [`RetryPolicy`] / [`Backoff`] — bounded retries with exponential
+//!   backoff and deterministic jitter under a deadline budget;
 //! * [`codec`] — the wire formats, including the raw-`f32` tensor payload
 //!   encoding whose byte counts drive the WiFi cost model.
 //!
@@ -37,16 +43,20 @@
 
 pub mod codec;
 mod collective;
+mod envelope;
 mod error;
 mod faults;
 mod mailbox;
+mod retry;
 pub mod rpc;
 mod tcp;
 mod transport;
 
 pub use collective::{Communicator, COLLECTIVE_TAG_BASE};
+pub use envelope::{crc32, Envelope, PayloadKind, ENVELOPE_HEADER_LEN, ENVELOPE_VERSION};
 pub use error::NetError;
-pub use faults::LossyTransport;
+pub use faults::{ChaosConfig, ChaosTransport, LossyTransport};
 pub use mailbox::Mailbox;
+pub use retry::{Backoff, DetRng, RetryPolicy};
 pub use tcp::TcpTransport;
 pub use transport::{ChannelTransport, NodeId, Tag, Transport, TransportStats};

@@ -262,6 +262,7 @@ impl Transport for TcpTransport {
         TransportStats {
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            ..TransportStats::default()
         }
     }
 }

@@ -23,12 +23,23 @@ pub struct Tag(pub u32);
 /// Cumulative traffic counters for one transport endpoint.
 ///
 /// The edge-device cost model converts these into modeled WiFi airtime.
+/// The fault counters stay zero on real transports; fault-injection
+/// decorators ([`crate::ChaosTransport`]) account every fault they inject
+/// here so chaos tests can assert that faults actually fired.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransportStats {
     /// Messages sent by this endpoint.
     pub messages_sent: u64,
     /// Payload bytes sent by this endpoint (excluding framing).
     pub bytes_sent: u64,
+    /// Messages silently dropped by fault injection (incl. black-holing).
+    pub messages_dropped: u64,
+    /// Messages held back and re-ordered by fault injection.
+    pub messages_delayed: u64,
+    /// Messages delivered with a flipped bit by fault injection.
+    pub messages_corrupted: u64,
+    /// Messages delivered twice by fault injection.
+    pub messages_duplicated: u64,
 }
 
 /// A point-to-point message-passing endpoint in a full mesh.
@@ -164,6 +175,7 @@ impl Transport for ChannelTransport {
         TransportStats {
             messages_sent: self.counters.messages.load(Ordering::Relaxed),
             bytes_sent: self.counters.bytes.load(Ordering::Relaxed),
+            ..TransportStats::default()
         }
     }
 }
@@ -205,7 +217,8 @@ mod tests {
             nodes[0].stats(),
             TransportStats {
                 messages_sent: 2,
-                bytes_sent: 15
+                bytes_sent: 15,
+                ..TransportStats::default()
             }
         );
         assert_eq!(nodes[1].stats(), TransportStats::default());

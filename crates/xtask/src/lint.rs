@@ -10,6 +10,7 @@
 //! | `no-panic`      | `panic!(...)`                                        |
 //! | `no-todo`       | `todo!` / `unimplemented!`                           |
 //! | `no-index`      | unchecked `x[i]` indexing (net/core crates only)     |
+//! | `transport-stats` | `Transport` impls without a forwarding `stats()`   |
 //! | `forbid-unsafe` | crate roots missing `#![forbid(unsafe_code)]`        |
 //! | `missing-docs`  | crate roots missing a `missing_docs` lint header     |
 
@@ -168,7 +169,121 @@ fn check_file(
             }
         }
     }
+    check_transport_impls(&masked, &skip, &rel, diags);
     (1, masked.lines.len())
+}
+
+/// The `transport-stats` rule: every `impl … Transport for …` block must
+/// define `fn stats(`, and the body must not be a bare
+/// `TransportStats::default()` stub. Wrappers that forget to forward
+/// `stats()` silently zero every counter behind them — exactly the kind of
+/// observability rot that makes chaos-test failures undebuggable.
+fn check_transport_impls(
+    masked: &lexer::Masked,
+    skip: &[bool],
+    rel: &str,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut i = 0usize;
+    while i < masked.lines.len() {
+        let line = masked.lines.get(i).map(String::as_str).unwrap_or("");
+        if skip.get(i).copied().unwrap_or(false) || !is_transport_impl(line) {
+            i += 1;
+            continue;
+        }
+        let end = matching_brace_end(&masked.lines, i);
+        let impl_lineno = i + 1;
+        let mut stats_line: Option<usize> = None;
+        for (j, body_line) in masked.lines.iter().enumerate().take(end + 1).skip(i) {
+            if body_line.contains("fn stats(") {
+                stats_line = Some(j);
+                break;
+            }
+        }
+        match stats_line {
+            None => {
+                if !masked.is_allowed(impl_lineno, "transport-stats") {
+                    diags.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: impl_lineno,
+                        rule: "transport-stats",
+                        message: "Transport impl must define stats(); without it the \
+                                  transport's counters are invisible to callers"
+                            .into(),
+                    });
+                }
+            }
+            Some(j) => {
+                let body_end = matching_brace_end(&masked.lines, j);
+                let body: String = masked
+                    .lines
+                    .iter()
+                    .take(body_end + 1)
+                    .skip(j)
+                    .map(|l| l.trim())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let after_open = body.split_once('{').map(|(_, b)| b).unwrap_or("");
+                let inner = after_open
+                    .rsplit_once('}')
+                    .map(|(b, _)| b)
+                    .unwrap_or(after_open)
+                    .trim();
+                if inner == "TransportStats::default()"
+                    && !masked.is_allowed(j + 1, "transport-stats")
+                {
+                    diags.push(Diagnostic {
+                        path: rel.to_string(),
+                        line: j + 1,
+                        rule: "transport-stats",
+                        message: "stats() returns a default stub; forward or aggregate the \
+                                  underlying transport's counters"
+                            .into(),
+                    });
+                }
+            }
+        }
+        i = end + 1;
+    }
+}
+
+/// True if `line` opens an `impl … Transport for …` block (not a trait
+/// definition, not an inherent impl, not a `SomethingTransport for`).
+fn is_transport_impl(line: &str) -> bool {
+    if !line.trim_start().starts_with("impl") {
+        return false;
+    }
+    let Some(pos) = line.find("Transport for ") else {
+        return false;
+    };
+    pos == 0
+        || !line
+            .get(..pos)
+            .and_then(|prefix| prefix.chars().next_back())
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Index of the line holding the `}` that closes the first `{` at or after
+/// line `start` (clamped to the last line if braces never balance).
+fn matching_brace_end(lines: &[String], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (j, line) in lines.iter().enumerate().skip(start) {
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if opened && depth == 0 {
+                return j;
+            }
+        }
+    }
+    lines.len().saturating_sub(1)
 }
 
 /// Marks lines inside `#[cfg(test)]`-gated items (brace-matched from the
@@ -268,6 +383,56 @@ mod tests {
         assert!(!has_unchecked_index("#[derive(Debug)]"));
         assert!(!has_unchecked_index("let v = vec![0u8; 4];"));
         assert!(!has_unchecked_index("fn f(x: [u8; 4]) {}"));
+    }
+
+    fn transport_diags(text: &str) -> Vec<Diagnostic> {
+        let masked = lexer::mask(text);
+        let skip = vec![false; masked.lines.len()];
+        let mut diags = Vec::new();
+        check_transport_impls(&masked, &skip, "x.rs", &mut diags);
+        diags
+    }
+
+    #[test]
+    fn transport_impl_without_stats_is_flagged() {
+        let diags = transport_diags(
+            "impl Transport for Foo {\n    fn send(&self) {}\n}\n\
+             impl<T: Transport> Transport for Bar<T> {\n    fn send(&self) {}\n}\n",
+        );
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == "transport-stats"));
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[1].line, 4);
+    }
+
+    #[test]
+    fn transport_stats_stub_is_flagged() {
+        let diags = transport_diags(
+            "impl Transport for Foo {\n    fn stats(&self) -> TransportStats {\n        \
+             TransportStats::default()\n    }\n}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "transport-stats");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn forwarding_stats_passes() {
+        let diags = transport_diags(
+            "impl Transport for Foo {\n    fn stats(&self) -> TransportStats {\n        \
+             self.inner.stats()\n    }\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn non_transport_impls_are_ignored() {
+        let diags = transport_diags(
+            "impl Foo {\n    fn go(&self) {}\n}\n\
+             impl MyTransport for Foo {\n    fn go(&self) {}\n}\n\
+             pub trait Transport {\n    fn stats(&self);\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
