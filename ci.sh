@@ -3,13 +3,41 @@
 #   1. formatting        (cheap, catches accidental diffs)
 #   2. release build     (also builds the xtask binary)
 #   3. invariant audit   (lint + manifest + static shape checks)
-#   4. test suite        (unit + property + integration)
-#   5. chaos soak        (50 seeded fault-injected inference rounds)
+#   4. concurrency audit (lock order, determinism taint, protocol
+#                         exhaustiveness — symbol/call-graph analysis)
+#   5. test suite        (unit + property + integration)
+#   6. chaos soak        (50 seeded fault-injected inference rounds)
+#
+# Opt-in stage (not part of the default gate):
+#   ./ci.sh tsan         runs the fault-tolerance and chaos-soak suites
+#                        under ThreadSanitizer. Requires a nightly
+#                        toolchain with the rust-src component; exits 0
+#                        with a notice when none is installed so the
+#                        default gate never depends on nightly.
 set -eu
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "tsan" ]; then
+    # ThreadSanitizer needs -Zbuild-std so std itself is instrumented;
+    # `xtask audit` covers the lock-order and lock-across-io classes
+    # statically, this stage covers the dynamic interleavings the static
+    # pass documents as out of scope (DESIGN.md §10).
+    if ! rustup toolchain list 2>/dev/null | grep -q nightly ||
+        ! rustup component list --toolchain nightly 2>/dev/null |
+        grep -q 'rust-src.*(installed)'; then
+        echo "ci.sh tsan: nightly toolchain with rust-src not installed; skipping (static audit still covers lock order)"
+        exit 0
+    fi
+    host="$(rustc -vV | sed -n 's/^host: //p')"
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target "$host" \
+        --test fault_tolerance --test chaos_soak
+    exit 0
+fi
 
 cargo fmt --check
 cargo build --release
 cargo xtask check
+cargo xtask audit
 cargo test -q --workspace
 cargo test -q --release --test chaos_soak

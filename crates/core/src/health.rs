@@ -24,6 +24,11 @@
 
 use crate::team::TeamPrediction;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use teamnet_net::{Clock, SystemClock};
 
 /// Liveness classification of one peer, as seen by the master.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,48 +82,80 @@ struct PeerState {
     health: PeerHealth,
     consecutive_misses: u32,
     rounds_since_probe: u64,
+    last_reply: Option<Instant>,
 }
 
 /// Per-peer liveness tracker owned by the master's inference session.
+///
+/// Peers are kept in a `BTreeMap` keyed by node id so any iteration over
+/// them (diagnostics, reports) happens in id order — the `det-map` audit
+/// rule forbids hash-ordered iteration anywhere on the protocol path.
+/// Heartbeat timestamps come from an injected [`Clock`], so tests can
+/// measure idle times on a [`teamnet_net::ManualClock`] without sleeping.
 #[derive(Debug, Clone)]
 pub struct FailureDetector {
     config: FailureDetectorConfig,
-    peers: Vec<PeerState>,
+    peers: BTreeMap<usize, PeerState>,
+    clock: Arc<dyn Clock>,
 }
 
 impl FailureDetector {
-    /// Creates a detector over `num_nodes` peers, all initially live.
+    /// Creates a detector over `num_nodes` peers, all initially live,
+    /// stamping heartbeats with the system clock.
     pub fn new(num_nodes: usize, config: FailureDetectorConfig) -> Self {
+        FailureDetector::with_clock(num_nodes, config, Arc::new(SystemClock))
+    }
+
+    /// Creates a detector whose heartbeat timestamps come from `clock`.
+    pub fn with_clock(
+        num_nodes: usize,
+        config: FailureDetectorConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         FailureDetector {
             config,
-            peers: vec![
-                PeerState {
-                    health: PeerHealth::Live,
-                    consecutive_misses: 0,
-                    rounds_since_probe: 0,
-                };
-                num_nodes
-            ],
+            peers: (0..num_nodes)
+                .map(|id| {
+                    (
+                        id,
+                        PeerState {
+                            health: PeerHealth::Live,
+                            consecutive_misses: 0,
+                            rounds_since_probe: 0,
+                            last_reply: None,
+                        },
+                    )
+                })
+                .collect(),
+            clock,
         }
     }
 
     /// Current health of `peer` (out-of-range peers read as quarantined).
     pub fn health(&self, peer: usize) -> PeerHealth {
         self.peers
-            .get(peer)
+            .get(&peer)
             .map_or(PeerHealth::Quarantined, |p| p.health)
     }
 
     /// Consecutive misses recorded for `peer`.
     pub fn misses(&self, peer: usize) -> u32 {
-        self.peers.get(peer).map_or(0, |p| p.consecutive_misses)
+        self.peers.get(&peer).map_or(0, |p| p.consecutive_misses)
+    }
+
+    /// How long `peer` has been silent: the time since its last recorded
+    /// reply, measured on the injected clock. `None` until the first
+    /// reply (or for an unknown peer).
+    pub fn idle_for(&self, peer: usize) -> Option<Duration> {
+        let last = self.peers.get(&peer)?.last_reply?;
+        Some(self.clock.now().saturating_duration_since(last))
     }
 
     /// Decides how to engage `peer` this round. Call exactly once per peer
     /// per round: quarantined peers accrue probe-interval credit here and
     /// transition to [`PeerHealth::Probing`] when a probe is due.
     pub fn plan(&mut self, peer: usize) -> ContactPlan {
-        let Some(state) = self.peers.get_mut(peer) else {
+        let Some(state) = self.peers.get_mut(&peer) else {
             return ContactPlan::Skip;
         };
         match state.health {
@@ -140,10 +177,12 @@ impl FailureDetector {
 
     /// Records a reply (result or probe ack) from `peer`: readmission.
     pub fn record_success(&mut self, peer: usize) {
-        if let Some(state) = self.peers.get_mut(peer) {
+        let now = self.clock.now();
+        if let Some(state) = self.peers.get_mut(&peer) {
             state.health = PeerHealth::Live;
             state.consecutive_misses = 0;
             state.rounds_since_probe = 0;
+            state.last_reply = Some(now);
         }
     }
 
@@ -152,7 +191,7 @@ impl FailureDetector {
     pub fn record_miss(&mut self, peer: usize) {
         let quarantine_after = self.config.quarantine_after.max(1);
         let suspect_after = self.config.suspect_after.max(1);
-        if let Some(state) = self.peers.get_mut(peer) {
+        if let Some(state) = self.peers.get_mut(&peer) {
             state.consecutive_misses = state.consecutive_misses.saturating_add(1);
             if state.health == PeerHealth::Probing {
                 // Failed readmission probe: back to quarantine, restart the
@@ -193,9 +232,10 @@ pub struct InferenceReport {
     pub round: u64,
     /// Per-row winning predictions (always one per input row).
     pub predictions: Vec<TeamPrediction>,
-    /// Per-node health entries, indexed by node id. The master's own entry
-    /// is always live/responded.
-    pub peers: Vec<PeerReport>,
+    /// Per-node health entries, keyed by node id; an ordered map so the
+    /// report serializes and iterates identically run-to-run (`det-map`).
+    /// The master's own entry is always live/responded.
+    pub peers: BTreeMap<usize, PeerReport>,
     /// Replies discarded because they carried an earlier round's stamp.
     pub stale_discarded: u64,
     /// Replies discarded because their payload CRC failed.
@@ -211,10 +251,45 @@ impl InferenceReport {
     pub fn responsive_peers(&self) -> Vec<usize> {
         self.peers
             .iter()
-            .enumerate()
             .filter(|(_, p)| p.responded)
-            .map(|(i, _)| i)
+            .map(|(&i, _)| i)
             .collect()
+    }
+
+    /// A canonical, byte-stable rendering of everything in the report
+    /// *except* the absolute round stamp.
+    ///
+    /// Round stamps come from a process-global counter, so two identical
+    /// runs in different processes (or different orderings within one
+    /// process) disagree on them even when the protocol behaved
+    /// identically; the summary deliberately leaves them out so seeded
+    /// chaos soaks can assert byte-identical behaviour across invocations.
+    /// Entropies are rendered as `f32::to_bits` hex — exact, not subject
+    /// to float-formatting drift.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (i, p) in self.predictions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "pred {i}: label={} expert={} entropy={:08x}",
+                p.label,
+                p.expert,
+                p.entropy.to_bits()
+            );
+        }
+        for (id, p) in &self.peers {
+            let _ = writeln!(
+                out,
+                "peer {id}: health={:?} contacted={} probed={} responded={} misses={}",
+                p.health, p.contacted, p.probed, p.responded, p.consecutive_misses
+            );
+        }
+        let _ = writeln!(
+            out,
+            "discarded: stale={} corrupt={} malformed={}",
+            self.stale_discarded, self.corrupt_discarded, self.malformed_discarded
+        );
+        out
     }
 }
 
@@ -305,23 +380,64 @@ mod tests {
         fd.record_miss(7); // must not panic
     }
 
-    #[test]
-    fn responsive_peers_lists_responders() {
-        let peer = |responded| PeerReport {
+    fn peer(responded: bool) -> PeerReport {
+        PeerReport {
             health: PeerHealth::Live,
             contacted: true,
             probed: false,
             responded,
             consecutive_misses: 0,
-        };
-        let report = InferenceReport {
+        }
+    }
+
+    fn report() -> InferenceReport {
+        InferenceReport {
             round: 1,
-            predictions: Vec::new(),
-            peers: vec![peer(true), peer(false), peer(true)],
-            stale_discarded: 0,
+            predictions: vec![TeamPrediction {
+                label: 3,
+                expert: 1,
+                entropy: 0.25,
+            }],
+            peers: [(0, peer(true)), (1, peer(false)), (2, peer(true))]
+                .into_iter()
+                .collect(),
+            stale_discarded: 4,
             corrupt_discarded: 0,
             malformed_discarded: 0,
-        };
-        assert_eq!(report.responsive_peers(), vec![0, 2]);
+        }
+    }
+
+    #[test]
+    fn responsive_peers_lists_responders() {
+        assert_eq!(report().responsive_peers(), vec![0, 2]);
+    }
+
+    #[test]
+    fn summary_is_byte_stable_and_round_free() {
+        let a = report();
+        let mut b = report();
+        b.round = 999; // different absolute round, same behaviour
+        assert_eq!(a.summary(), b.summary());
+        assert!(a.summary().contains("stale=4"), "{}", a.summary());
+        assert!(a.summary().contains("entropy=3e800000"), "{}", a.summary());
+    }
+
+    #[test]
+    fn idle_time_is_measured_on_the_injected_clock() {
+        use teamnet_net::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let mut fd = FailureDetector::with_clock(
+            2,
+            FailureDetectorConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        assert_eq!(fd.idle_for(1), None, "no reply yet");
+        fd.record_success(1);
+        assert_eq!(fd.idle_for(1), Some(Duration::ZERO));
+        clock.advance(Duration::from_secs(7));
+        assert_eq!(fd.idle_for(1), Some(Duration::from_secs(7)));
+        fd.record_success(1);
+        assert_eq!(fd.idle_for(1), Some(Duration::ZERO));
+        assert_eq!(fd.idle_for(9), None, "unknown peer");
     }
 }

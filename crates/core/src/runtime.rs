@@ -28,10 +28,14 @@ use crate::health::{
     ContactPlan, FailureDetector, FailureDetectorConfig, InferenceReport, PeerHealth, PeerReport,
 };
 use crate::team::TeamPrediction;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use teamnet_net::codec::{decode_f32s, encode_f32s};
-use teamnet_net::{Backoff, Envelope, NetError, PayloadKind, RetryPolicy, Tag, Transport};
+use teamnet_net::{
+    Backoff, Clock, Envelope, NetError, PayloadKind, RetryPolicy, SystemClock, Tag, Transport,
+};
 use teamnet_nn::{Layer, Mode, Sequential};
 use teamnet_tensor::Tensor;
 
@@ -72,6 +76,10 @@ pub struct MasterConfig {
     pub failure: FailureDetectorConfig,
     /// Retry schedule for broadcast/probe sends.
     pub send_retry: RetryPolicy,
+    /// Clock driving deadline budgets and backoff sleeps. Defaults to the
+    /// system clock; tests inject a [`teamnet_net::ManualClock`] to walk
+    /// timeouts in virtual time instead of sleeping.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for MasterConfig {
@@ -82,6 +90,7 @@ impl Default for MasterConfig {
             calibration: None,
             failure: FailureDetectorConfig::default(),
             send_retry: RetryPolicy::default(),
+            clock: Arc::new(SystemClock),
         }
     }
 }
@@ -241,7 +250,11 @@ pub struct InferenceSession {
 impl InferenceSession {
     /// Creates a session for the cluster behind `transport`.
     pub fn new(transport: &dyn Transport, config: MasterConfig) -> Self {
-        let detector = FailureDetector::new(transport.num_nodes(), config.failure.clone());
+        let detector = FailureDetector::with_clock(
+            transport.num_nodes(),
+            config.failure.clone(),
+            Arc::clone(&config.clock),
+        );
         InferenceSession { config, detector }
     }
 
@@ -261,7 +274,12 @@ impl InferenceSession {
         deadline: Instant,
     ) -> Result<bool, NetError> {
         let seed = round ^ ((peer as u64) << 48);
-        let mut backoff = Backoff::new(self.config.send_retry.clone(), seed, deadline);
+        let mut backoff = Backoff::with_clock(
+            self.config.send_retry.clone(),
+            seed,
+            deadline,
+            Arc::clone(&self.config.clock),
+        );
         loop {
             match transport.send(peer, TAG_INPUT, payload) {
                 Ok(()) => return Ok(true),
@@ -272,7 +290,7 @@ impl InferenceSession {
                     return Ok(false);
                 }
                 Err(e) => match backoff.next_delay() {
-                    Some(delay) => std::thread::sleep(delay),
+                    Some(delay) => self.config.clock.sleep(delay),
                     None => {
                         if self.config.require_all_workers {
                             return Err(e);
@@ -311,7 +329,7 @@ impl InferenceSession {
 
         // Plan and broadcast. Quarantined peers are skipped outright;
         // probe-due peers get a 16-byte probe instead of the full batch.
-        let send_deadline = Instant::now() + self.config.worker_timeout;
+        let send_deadline = self.config.clock.now() + self.config.worker_timeout;
         let mut plans: Vec<ContactPlan> = vec![ContactPlan::Skip; num_nodes];
         let mut sent: Vec<bool> = vec![false; num_nodes];
         let input_payload = Envelope::new(
@@ -361,7 +379,7 @@ impl InferenceSession {
 
         // Gather leg: one deadline budget shared by every wait, including
         // re-waits after discarding stale/corrupt/malformed traffic.
-        let deadline = Instant::now() + self.config.worker_timeout;
+        let deadline = self.config.clock.now() + self.config.worker_timeout;
         let mut responded: Vec<bool> = vec![false; num_nodes];
         let mut stale_discarded = 0u64;
         let mut corrupt_discarded = 0u64;
@@ -375,7 +393,7 @@ impl InferenceSession {
                 continue; // send never went out: counts as a miss below
             }
             let got = loop {
-                let remaining = deadline.saturating_duration_since(Instant::now());
+                let remaining = deadline.saturating_duration_since(self.config.clock.now());
                 let bytes = match transport.recv(peer, TAG_RESULT, remaining) {
                     Ok(bytes) => bytes,
                     Err(NetError::Timeout { .. }) => break false,
@@ -398,7 +416,7 @@ impl InferenceSession {
                         continue;
                     }
                 };
-                if env.round != round {
+                if let Err(NetError::Stale { .. }) = env.expect_round(round) {
                     // A late reply to an earlier round (or a duplicate of
                     // one): never score it against this batch. Stale
                     // traffic is discarded even in strict mode — consuming
@@ -462,7 +480,7 @@ impl InferenceSession {
         }
 
         // Fold the round's evidence into the detector and snapshot health.
-        let mut peers = Vec::with_capacity(num_nodes);
+        let mut peers = BTreeMap::new();
         for peer in 0..num_nodes {
             let plan = plans.get(peer).copied().unwrap_or(ContactPlan::Skip);
             let contacted = peer != me && plan != ContactPlan::Skip;
@@ -474,17 +492,20 @@ impl InferenceSession {
                     self.detector.record_miss(peer);
                 }
             }
-            peers.push(PeerReport {
-                health: if peer == me {
-                    PeerHealth::Live
-                } else {
-                    self.detector.health(peer)
+            peers.insert(
+                peer,
+                PeerReport {
+                    health: if peer == me {
+                        PeerHealth::Live
+                    } else {
+                        self.detector.health(peer)
+                    },
+                    contacted: contacted || peer == me,
+                    probed: plan == ContactPlan::Probe,
+                    responded: answered || peer == me,
+                    consecutive_misses: self.detector.misses(peer),
                 },
-                contacted: contacted || peer == me,
-                probed: plan == ContactPlan::Probe,
-                responded: answered || peer == me,
-                consecutive_misses: self.detector.misses(peer),
-            });
+            );
         }
 
         Ok(InferenceReport {
@@ -785,8 +806,8 @@ mod tests {
                 .unwrap();
             assert_eq!(report.predictions.len(), 1);
             assert_eq!(report.peers.len(), 2);
-            assert_eq!(report.peers[1].health, PeerHealth::Live);
-            assert!(report.peers[1].responded);
+            assert_eq!(report.peers[&1].health, PeerHealth::Live);
+            assert!(report.peers[&1].responded);
             assert_eq!(report.responsive_peers(), vec![0, 1]);
             assert_eq!(report.stale_discarded, 0);
             shutdown_workers(&nodes[0]).unwrap();

@@ -7,9 +7,11 @@
 //! handful of edge devices on one WiFi BSS, where every transmission shares
 //! the same medium anyway.
 
+use crate::clock::{Clock, SystemClock};
 use crate::error::NetError;
 use crate::retry::{Backoff, RetryPolicy};
 use crate::transport::{NodeId, Tag, Transport};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Base of the tag space reserved for collective plumbing. User code must
@@ -39,6 +41,7 @@ pub struct Communicator<'a> {
     transport: &'a dyn Transport,
     budget: Duration,
     retry: RetryPolicy,
+    clock: Arc<dyn Clock>,
 }
 
 impl<'a> Communicator<'a> {
@@ -49,21 +52,28 @@ impl<'a> Communicator<'a> {
             transport,
             budget: Duration::from_secs(30),
             retry: RetryPolicy::default(),
+            clock: Arc::new(SystemClock),
         }
     }
 
     /// Overrides the per-collective deadline budget.
     pub fn with_timeout(transport: &'a dyn Transport, budget: Duration) -> Self {
-        Communicator {
-            transport,
-            budget,
-            retry: RetryPolicy::default(),
-        }
+        let mut comm = Communicator::new(transport);
+        comm.budget = budget;
+        comm
     }
 
     /// Overrides the send retry policy (builder style).
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Overrides the clock that measures deadline budgets and runs
+    /// backoff sleeps (builder style); tests inject a
+    /// [`crate::ManualClock`] to exercise budget exhaustion virtually.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -79,7 +89,7 @@ impl<'a> Communicator<'a> {
 
     /// The deadline for a collective op starting now.
     fn deadline(&self) -> Instant {
-        Instant::now() + self.budget
+        self.clock.now() + self.budget
     }
 
     /// Sends with bounded retries + backoff, all inside `deadline`.
@@ -93,14 +103,15 @@ impl<'a> Communicator<'a> {
         // Jitter seed mixes rank and destination so concurrently retrying
         // nodes desynchronize, yet a rerun replays identically.
         let seed = (self.rank() as u64) << 32 | to as u64 ^ u64::from(tag.0);
-        let mut backoff = Backoff::new(self.retry.clone(), seed, deadline);
+        let mut backoff =
+            Backoff::with_clock(self.retry.clone(), seed, deadline, Arc::clone(&self.clock));
         loop {
             match self.transport.send(to, tag, payload) {
                 Ok(()) => return Ok(()),
                 // Permanent failures: retrying cannot help.
                 Err(e @ (NetError::UnknownPeer(_) | NetError::Closed)) => return Err(e),
                 Err(e) => match backoff.next_delay() {
-                    Some(delay) => std::thread::sleep(delay),
+                    Some(delay) => self.clock.sleep(delay),
                     None => return Err(e),
                 },
             }
@@ -114,7 +125,7 @@ impl<'a> Communicator<'a> {
         tag: Tag,
         deadline: Instant,
     ) -> Result<Vec<u8>, NetError> {
-        let remaining = deadline.saturating_duration_since(Instant::now());
+        let remaining = deadline.saturating_duration_since(self.clock.now());
         self.transport.recv(from, tag, remaining)
     }
 

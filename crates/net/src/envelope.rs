@@ -95,6 +95,25 @@ impl Envelope {
         buf
     }
 
+    /// Checks that this envelope belongs to the round the receiver is
+    /// currently collecting.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Stale`] when the stamp disagrees — a late reply from an
+    /// earlier round, or a duplicate of one already consumed. Receivers
+    /// discard such traffic instead of scoring it against the wrong batch.
+    pub fn expect_round(&self, current: u64) -> Result<(), NetError> {
+        if self.round == current {
+            Ok(())
+        } else {
+            Err(NetError::Stale {
+                got: self.round,
+                current,
+            })
+        }
+    }
+
     /// Parses and integrity-checks an envelope.
     ///
     /// # Errors
@@ -208,6 +227,23 @@ mod tests {
             Envelope::decode(&bytes[..10]),
             Err(NetError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn expect_round_rejects_other_rounds() {
+        let env = Envelope::new(41, PayloadKind::Result, Vec::new());
+        assert!(env.expect_round(41).is_ok());
+        let err = env.expect_round(42).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                NetError::Stale {
+                    got: 41,
+                    current: 42
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::error::NetError;
 use crate::retry::DetRng;
 use crate::transport::{NodeId, Tag, Transport, TransportStats};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// Probabilistic fault plan for a [`ChaosTransport`], applied per outgoing
@@ -88,7 +88,9 @@ pub struct ChaosTransport<T: Transport> {
     /// Drop every `drop_every`-th message (0 = disabled); the legacy
     /// deterministic-periodic fault, still useful for exact-count tests.
     drop_every: u64,
-    blackholed: Mutex<HashSet<NodeId>>,
+    /// Ordered set: membership tests only today, but the `det-map` audit
+    /// rule keeps unordered collections out of protocol paths wholesale.
+    blackholed: Mutex<BTreeSet<NodeId>>,
     state: Mutex<ChaosState>,
 }
 
@@ -109,7 +111,7 @@ impl<T: Transport> ChaosTransport<T> {
             inner,
             config,
             drop_every: 0,
-            blackholed: Mutex::new(HashSet::new()),
+            blackholed: Mutex::new(BTreeSet::new()),
             state: Mutex::new(ChaosState {
                 rng: DetRng::new(seed),
                 offered: 0,

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 pub mod codec;
 mod collective;
 mod envelope;
@@ -52,6 +53,7 @@ pub mod rpc;
 mod tcp;
 mod transport;
 
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use collective::{Communicator, COLLECTIVE_TAG_BASE};
 pub use envelope::{crc32, Envelope, PayloadKind, ENVELOPE_HEADER_LEN, ENVELOPE_VERSION};
 pub use error::NetError;

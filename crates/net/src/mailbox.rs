@@ -8,13 +8,18 @@
 use crate::error::NetError;
 use crate::transport::{NodeId, Tag};
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+/// Keyed by `(source, tag)`. A `BTreeMap` rather than a hash map so that
+/// [`Mailbox::recv_any`] scans candidates in a fixed (node, tag) order —
+/// with a hash map, which sender wins a `recv_any` race depended on
+/// hasher state, an unseeded source of run-to-run nondeterminism the
+/// `det-map` audit pass now rejects in protocol paths.
 #[derive(Default)]
 struct Queues {
-    by_key: HashMap<(NodeId, Tag), VecDeque<Vec<u8>>>,
+    by_key: BTreeMap<(NodeId, Tag), VecDeque<Vec<u8>>>,
 }
 
 /// A blocking, condvar-signalled multi-queue of incoming messages.
@@ -72,6 +77,10 @@ impl Mailbox {
     /// [`NetError::Timeout`] on deadline, [`NetError::Closed`] if the
     /// mailbox closes while (or before) waiting with no matching message.
     pub fn recv(&self, from: NodeId, tag: Tag, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        // Receive timeouts are wall-clock by design: the condvar can only
+        // wait on real time, and the caller's *deadline budgeting* (the
+        // deterministic part) happens upstream on an injected Clock.
+        // lint: allow(det-clock)
         let deadline = Instant::now() + timeout;
         let mut queues = self.queues.lock();
         loop {
@@ -83,6 +92,8 @@ impl Mailbox {
             if self.is_closed() {
                 return Err(NetError::Closed);
             }
+            // Same wall-clock contract as the deadline above.
+            // lint: allow(det-clock)
             let now = Instant::now();
             if now >= deadline {
                 return Err(NetError::Timeout {
@@ -99,9 +110,12 @@ impl Mailbox {
     ///
     /// Same as [`Mailbox::recv`].
     pub fn recv_any(&self, tag: Tag, timeout: Duration) -> Result<(NodeId, Vec<u8>), NetError> {
+        // Wall-clock receive deadline, as in `recv`. lint: allow(det-clock)
         let deadline = Instant::now() + timeout;
         let mut queues = self.queues.lock();
         loop {
+            // BTreeMap order: ties between waiting senders resolve to the
+            // lowest (node, tag) key, deterministically.
             let hit = queues
                 .by_key
                 .iter_mut()
@@ -113,6 +127,7 @@ impl Mailbox {
             if self.is_closed() {
                 return Err(NetError::Closed);
             }
+            // Same wall-clock contract. lint: allow(det-clock)
             let now = Instant::now();
             if now >= deadline {
                 return Err(NetError::Timeout {
@@ -175,6 +190,20 @@ mod tests {
         let mb = Mailbox::new();
         let err = mb.recv(0, TAG, Duration::from_millis(20)).unwrap_err();
         assert!(matches!(err, NetError::Timeout { .. }));
+    }
+
+    #[test]
+    fn recv_any_tie_break_is_lowest_sender_first() {
+        // With several senders waiting, recv_any must drain them in key
+        // order — the same order every run (no hasher-dependent winner).
+        let mb = Mailbox::new();
+        for from in [9, 2, 7, 0] {
+            mb.deliver(from, TAG, vec![from as u8]);
+        }
+        let order: Vec<NodeId> = (0..4)
+            .map(|_| mb.recv_any(TAG, Duration::from_millis(10)).unwrap().0)
+            .collect();
+        assert_eq!(order, vec![0, 2, 7, 9]);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! than each attempt carrying an independent timeout that can stack up
 //! unboundedly.
 
+use crate::clock::{Clock, SystemClock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Deterministic 64-bit PRNG (SplitMix64). Seeded fault injection and
@@ -95,23 +97,37 @@ pub struct Backoff {
     rng: DetRng,
     attempt: u32,
     deadline: Instant,
+    clock: Arc<dyn Clock>,
 }
 
 impl Backoff {
-    /// Starts a backoff sequence against `deadline`; `seed` fixes the
-    /// jitter sequence.
+    /// Starts a backoff sequence against `deadline` on the real wall
+    /// clock; `seed` fixes the jitter sequence.
     pub fn new(policy: RetryPolicy, seed: u64, deadline: Instant) -> Self {
+        Backoff::with_clock(policy, seed, deadline, Arc::new(SystemClock))
+    }
+
+    /// Starts a backoff sequence whose deadline budget is measured on
+    /// `clock` — a [`crate::ManualClock`] makes deadline-exhaustion tests
+    /// fully virtual (no real sleeping).
+    pub fn with_clock(
+        policy: RetryPolicy,
+        seed: u64,
+        deadline: Instant,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         Backoff {
             policy,
             rng: DetRng::new(seed),
             attempt: 0,
             deadline,
+            clock,
         }
     }
 
-    /// Remaining wall-clock budget (zero once the deadline has passed).
+    /// Remaining deadline budget (zero once the deadline has passed).
     pub fn remaining(&self) -> Duration {
-        self.deadline.saturating_duration_since(Instant::now())
+        self.deadline.saturating_duration_since(self.clock.now())
     }
 
     /// Called after a failed attempt: returns the delay to sleep before
@@ -197,6 +213,34 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(1);
         let mut backoff = Backoff::new(RetryPolicy::none(), 0, deadline);
         assert!(backoff.next_delay().is_none());
+    }
+
+    #[test]
+    fn deadline_budget_is_exact_on_a_manual_clock() {
+        use crate::clock::{Clock, ManualClock};
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_delay: Duration::from_millis(40),
+            max_delay: Duration::from_millis(40),
+        };
+        let clock = Arc::new(ManualClock::new());
+        let deadline = clock.now() + Duration::from_millis(100);
+        let mut backoff =
+            Backoff::with_clock(policy, 3, deadline, Arc::clone(&clock) as Arc<dyn Clock>);
+        // Drive the backoff entirely in virtual time: each granted delay is
+        // "slept" on the manual clock, so budget exhaustion is exact and
+        // the test never blocks.
+        let mut granted = 0;
+        while let Some(delay) = backoff.next_delay() {
+            assert!(delay >= Duration::from_millis(20) && delay < Duration::from_millis(40));
+            clock.sleep(delay);
+            granted += 1;
+        }
+        assert!(
+            (1..=4).contains(&granted),
+            "100ms budget, 20-40ms delays: got {granted}"
+        );
+        assert!(backoff.remaining() < Duration::from_millis(40));
     }
 
     #[test]

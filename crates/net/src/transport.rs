@@ -17,7 +17,10 @@ use std::time::Duration;
 pub type NodeId = usize;
 
 /// Message tag, used for `(source, tag)` receive matching.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` so tags can key the ordered (deterministically iterable)
+/// collections the mailbox uses — see the `det-map` audit rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Tag(pub u32);
 
 /// Cumulative traffic counters for one transport endpoint.

@@ -322,4 +322,84 @@ mod tests {
         // Directive is keyed to the comment's *start* line.
         assert!(m.is_allowed(1, "no-panic"));
     }
+
+    #[test]
+    fn raw_strings_with_hashes_swallow_embedded_terminators() {
+        // The body contains `"#` — only `"##` may close an `r##` string.
+        let m = mask("let s = r##\"quote \"# panic!() still inside\"##; after();\n");
+        assert!(!m.lines[0].contains("panic!"), "{}", m.lines[0]);
+        assert!(!m.lines[0].contains("inside"), "{}", m.lines[0]);
+        assert!(m.lines[0].contains("after();"), "{}", m.lines[0]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_masked() {
+        let m = mask("let a = b\"unwrap()\"; let b = br#\"expect(\"x\")\"#; tail();\n");
+        assert!(!m.lines[0].contains("unwrap"), "{}", m.lines[0]);
+        assert!(!m.lines[0].contains("expect"), "{}", m.lines[0]);
+        assert!(m.lines[0].contains("tail();"), "{}", m.lines[0]);
+    }
+
+    #[test]
+    fn nested_block_comments_end_at_the_outermost_close() {
+        // Rust block comments nest: the first `*/` closes only the inner
+        // comment, so `panic!()` between the two closers is still comment.
+        let m = mask("/* outer /* inner */ panic!() */\ncode();\n");
+        assert!(!m.lines[0].contains("panic!"), "{}", m.lines[0]);
+        assert_eq!(m.lines[1], "code();");
+    }
+
+    #[test]
+    fn byte_char_literals_are_masked_like_chars() {
+        let m = mask("let a = b'x'; let q = b'\\''; let n = b'\\n'; rest();\n");
+        assert!(!m.lines[0].contains('x'), "{}", m.lines[0]);
+        assert!(!m.lines[0].contains("\\n"), "{}", m.lines[0]);
+        assert!(m.lines[0].contains("rest();"), "{}", m.lines[0]);
+    }
+
+    #[test]
+    fn lifetimes_survive_next_to_char_literals() {
+        // `'a>` and `'buf` are lifetimes and must stay; `'a'` and `'\''`
+        // are char literals and must be blanked.
+        let m = mask("fn f<'a>(s: &'a str, buf: &'buf [u8]) { let c = 'a'; let q = '\\''; }\n");
+        assert!(m.lines[0].contains("<'a>"), "{}", m.lines[0]);
+        assert!(m.lines[0].contains("&'a str"), "{}", m.lines[0]);
+        assert!(m.lines[0].contains("&'buf"), "{}", m.lines[0]);
+        assert!(m.lines[0].contains("let c = ' '"), "{}", m.lines[0]);
+        assert!(m.lines[0].contains("let q = '  '"), "{}", m.lines[0]);
+    }
+
+    #[test]
+    fn loop_labels_are_not_char_literals() {
+        let m = mask("'outer: loop { break 'outer; }\n");
+        assert_eq!(m.lines[0], "'outer: loop { break 'outer; }");
+    }
+
+    #[test]
+    fn allow_inside_a_block_comment_scopes_like_a_line_comment() {
+        let m = mask("/* lint: allow(det-clock) */\nInstant::now();\nInstant::now();\n");
+        assert!(m.is_allowed(2, "det-clock"), "line under the comment");
+        assert!(!m.is_allowed(3, "det-clock"), "next statement is its own");
+    }
+
+    #[test]
+    fn allow_walkup_stops_at_a_finished_statement() {
+        let m = mask(concat!(
+            "// lint: allow(no-unwrap)\n",
+            "first().unwrap();\n",
+            "second()\n",
+            "    .unwrap();\n",
+        ));
+        assert!(m.is_allowed(2, "no-unwrap"));
+        // Line 2 ends with `;`, so the wrapped statement on lines 3–4 is
+        // a new statement the directive must not leak into.
+        assert!(!m.is_allowed(4, "no-unwrap"));
+    }
+
+    #[test]
+    fn directives_inside_strings_are_not_harvested() {
+        let m = mask("let s = \"lint: allow(no-panic)\";\npanic!();\n");
+        assert!(!m.is_allowed(1, "no-panic"));
+        assert!(!m.is_allowed(2, "no-panic"));
+    }
 }

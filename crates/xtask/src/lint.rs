@@ -70,7 +70,7 @@ pub fn library_crates(root: &Path) -> Vec<PathBuf> {
 
 /// All `.rs` files under `dir`, excluding `src/bin/` (CLI binaries may exit
 /// loudly) — recursion is shallow here, the workspace has no deep trees.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
+pub(crate) fn rust_files(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
@@ -265,7 +265,7 @@ fn is_transport_impl(line: &str) -> bool {
 
 /// Index of the line holding the `}` that closes the first `{` at or after
 /// line `start` (clamped to the last line if braces never balance).
-fn matching_brace_end(lines: &[String], start: usize) -> usize {
+pub(crate) fn matching_brace_end(lines: &[String], start: usize) -> usize {
     let mut depth = 0i32;
     let mut opened = false;
     for (j, line) in lines.iter().enumerate().skip(start) {
@@ -288,7 +288,7 @@ fn matching_brace_end(lines: &[String], start: usize) -> usize {
 
 /// Marks lines inside `#[cfg(test)]`-gated items (brace-matched from the
 /// attribute) so the lint only fires on shipping code.
-fn test_lines(lines: &[String]) -> Vec<bool> {
+pub(crate) fn test_lines(lines: &[String]) -> Vec<bool> {
     let mut skip = vec![false; lines.len()];
     let mut i = 0usize;
     while i < lines.len() {
@@ -358,7 +358,7 @@ fn has_unchecked_index(line: &str) -> bool {
     false
 }
 
-fn display_path(root: &Path, path: &Path) -> String {
+pub(crate) fn display_path(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
         .display()

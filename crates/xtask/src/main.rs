@@ -1,7 +1,8 @@
 //! `cargo xtask` — workspace tooling for the TeamNet reproduction.
 //!
-//! The only subcommand today is `check`, which runs three passes and exits
-//! non-zero on any diagnostic:
+//! Two subcommands, each exiting non-zero on any diagnostic:
+//!
+//! **`cargo xtask check`** — fast per-line invariants:
 //!
 //! 0. **Manifest audit** — workspace resolver + path-only dependencies
 //!    (see [`manifest`]).
@@ -11,14 +12,32 @@
 //! 2. **Static shape check** — builds every model configuration from the
 //!    paper through `teamnet-nn`'s `shape_check` pass (see [`shapes`]).
 //!
+//! **`cargo xtask audit`** — symbol-aware cross-crate analysis over a
+//! per-crate symbol table and function-level call graph (see [`symbols`]):
+//!
+//! 1. **Lock order** — lock-acquisition graph across `net`/`core`; fails
+//!    on inconsistent ordering cycles and locks held across network I/O
+//!    (see [`locks`]; rules `lock-order`, `lock-across-io`).
+//! 2. **Determinism taint** — hasher/clock/entropy nondeterminism
+//!    reachable from protocol encode/decode, the inference runtime, and
+//!    the simulator (see [`taint`]; rules `det-map`, `det-clock`,
+//!    `det-rng`).
+//! 3. **Protocol exhaustiveness** — every `PayloadKind` variant built and
+//!    dispatched, every `NetError` variant produced (see [`protocol`];
+//!    rules `protocol-constructed`, `protocol-handled`, `error-produced`).
+//!
 //! Implemented with `std` only: the sandbox has no crates-io access, so no
-//! `syn`/`clippy-utils`; the lint pass works on comment/string-masked
+//! `syn`/`clippy-utils`; both commands work on comment/string-masked
 //! source (see [`lexer`]).
 
 mod lexer;
 mod lint;
+mod locks;
 mod manifest;
+mod protocol;
 mod shapes;
+mod symbols;
+mod taint;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,12 +81,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => run_check(),
+        Some("audit") => run_audit(),
         Some(other) => {
-            eprintln!("unknown subcommand `{other}`; usage: cargo xtask check");
+            eprintln!("unknown subcommand `{other}`; usage: cargo xtask <check|audit>");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask check");
+            eprintln!("usage: cargo xtask <check|audit>");
             ExitCode::from(2)
         }
     }
@@ -92,6 +112,34 @@ fn run_check() -> ExitCode {
             eprintln!("{d}");
         }
         eprintln!("xtask check: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_audit() -> ExitCode {
+    let root = workspace_root();
+    let model = symbols::Model::load_workspace(&root);
+    let mut diags = Vec::new();
+
+    let locks = locks::check(&model, &mut diags);
+    let tainted = taint::check(&model, &mut diags);
+    let variants = protocol::check(&model, &mut diags);
+
+    if diags.is_empty() {
+        println!(
+            "xtask audit: OK — {} fns / {} call edges modeled; lock order consistent \
+             across {locks} lock(s), no lock held across I/O; determinism taint clean \
+             over {tainted} reachable fn(s); {variants} protocol variant(s) constructed, \
+             dispatched and produced",
+            model.fns.len(),
+            model.call_edge_count(),
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        eprintln!("xtask audit: {} diagnostic(s)", diags.len());
         ExitCode::FAILURE
     }
 }

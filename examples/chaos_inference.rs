@@ -95,8 +95,7 @@ fn main() {
             let health: Vec<String> = report
                 .peers
                 .iter()
-                .enumerate()
-                .skip(1)
+                .filter(|(&i, _)| i != 0)
                 .map(|(i, p)| format!("w{i}={}", health_glyph(p.health)))
                 .collect();
             println!(

@@ -12,7 +12,7 @@ use teamnet_core::runtime::{
 };
 use teamnet_core::{build_expert, ContactPlan, FailureDetectorConfig, PeerHealth};
 use teamnet_net::{
-    ChannelTransport, ChaosTransport, Envelope, PayloadKind, TcpTransport, Transport,
+    ChannelTransport, ChaosTransport, Envelope, ManualClock, PayloadKind, TcpTransport, Transport,
 };
 use teamnet_nn::{ModelSpec, Sequential};
 use teamnet_tensor::Tensor;
@@ -69,7 +69,7 @@ fn stale_reply_from_previous_round_is_never_consumed() {
         let r1 = session
             .infer(&nodes[0], &mut master_expert, &images)
             .unwrap();
-        assert!(!r1.peers[1].responded);
+        assert!(!r1.peers[&1].responded);
         assert!(r1.predictions.iter().all(|p| p.expert == 0));
 
         // Round 2: the stale reply arrives first and must be discarded;
@@ -78,7 +78,7 @@ fn stale_reply_from_previous_round_is_never_consumed() {
             .infer(&nodes[0], &mut master_expert, &images)
             .unwrap();
         assert_eq!(r2.stale_discarded, 1, "{r2:?}");
-        assert!(r2.peers[1].responded);
+        assert!(r2.peers[&1].responded);
         for p in &r2.predictions {
             assert_eq!(p.expert, 0, "stale reply was consumed: {p:?}");
             assert_ne!(p.label, poisoned_label);
@@ -128,50 +128,50 @@ fn quarantine_readmission_cycle<T: Transport>(master_node: T, worker_node: &T) {
         // Healthy rounds: the worker wins every row.
         for _ in 0..2 {
             let r = round(&mut session);
-            assert_eq!(r.peers[1].health, PeerHealth::Live);
+            assert_eq!(r.peers[&1].health, PeerHealth::Live);
             assert!(r.predictions.iter().all(|p| p.expert == 1));
         }
 
         // Outage: two missed rounds walk the worker into quarantine.
         chaos.blackhole(1);
         let r = round(&mut session);
-        assert_eq!(r.peers[1].health, PeerHealth::Suspect);
+        assert_eq!(r.peers[&1].health, PeerHealth::Suspect);
         let r = round(&mut session);
-        assert_eq!(r.peers[1].health, PeerHealth::Quarantined);
+        assert_eq!(r.peers[&1].health, PeerHealth::Quarantined);
 
         // Quarantined: skipped outright (no contact, no gather wait).
         for _ in 0..2 {
             let r = round(&mut session);
-            assert!(!r.peers[1].contacted, "{r:?}");
-            assert_eq!(r.peers[1].health, PeerHealth::Quarantined);
+            assert!(!r.peers[&1].contacted, "{r:?}");
+            assert_eq!(r.peers[&1].health, PeerHealth::Quarantined);
             assert!(r.predictions.iter().all(|p| p.expert == 0));
         }
 
         // Probe due on the 3rd skipped round — still black-holed, so the
         // probe misses and the quarantine clock restarts.
         let r = round(&mut session);
-        assert!(r.peers[1].probed, "{r:?}");
-        assert!(!r.peers[1].responded);
-        assert_eq!(r.peers[1].health, PeerHealth::Quarantined);
+        assert!(r.peers[&1].probed, "{r:?}");
+        assert!(!r.peers[&1].responded);
+        assert_eq!(r.peers[&1].health, PeerHealth::Quarantined);
 
         // Recovery: heal the link, wait out the probe interval, and the
         // next probe readmits the worker.
         chaos.heal(1);
         for _ in 0..2 {
             let r = round(&mut session);
-            assert!(!r.peers[1].contacted);
+            assert!(!r.peers[&1].contacted);
         }
         let r = round(&mut session);
-        assert!(r.peers[1].probed, "{r:?}");
-        assert!(r.peers[1].responded);
-        assert_eq!(r.peers[1].health, PeerHealth::Live);
+        assert!(r.peers[&1].probed, "{r:?}");
+        assert!(r.peers[&1].responded);
+        assert_eq!(r.peers[&1].health, PeerHealth::Live);
         // A probe round proves liveness but carries no rows.
         assert!(r.predictions.iter().all(|p| p.expert == 0));
 
         // Readmitted: full contact, worker wins rows again.
         let r = round(&mut session);
-        assert!(!r.peers[1].probed);
-        assert!(r.peers[1].responded);
+        assert!(!r.peers[&1].probed);
+        assert!(r.peers[&1].responded);
         assert!(r.predictions.iter().all(|p| p.expert == 1), "{r:?}");
 
         assert_eq!(session.detector().health(1), PeerHealth::Live);
@@ -199,8 +199,14 @@ fn quarantine_and_readmission_over_tcp() {
 /// The failure detector's contact plan is what keeps a dead peer from
 /// taxing every round: once quarantined, `plan` must return `Skip` (not
 /// `Full`) so the master never waits on the timeout again.
+///
+/// Time is observed through an injected [`ManualClock`] instead of racing
+/// a wall-clock budget: every deadline the session computes comes from the
+/// manual clock, which never moves, so `sleeps()` counts exactly the
+/// timed waits the protocol *asked for* — immune to scheduler stalls.
 #[test]
 fn quarantined_rounds_skip_the_gather_wait() {
+    let clock = std::sync::Arc::new(ManualClock::new());
     let nodes = ChannelTransport::mesh(2);
     let config = MasterConfig {
         worker_timeout: Duration::from_millis(80),
@@ -210,6 +216,7 @@ fn quarantined_rounds_skip_the_gather_wait() {
             quarantine_after: 1,
             probe_interval: 100,
         },
+        clock: clock.clone(),
         ..MasterConfig::default()
     };
     let mut session = InferenceSession::new(&nodes[0], config);
@@ -222,19 +229,22 @@ fn quarantined_rounds_skip_the_gather_wait() {
         .unwrap();
     assert_eq!(session.detector().health(1), PeerHealth::Quarantined);
 
-    // Subsequent rounds must not pay the 80ms timeout.
-    let start = std::time::Instant::now();
+    // Subsequent rounds skip the worker entirely: no contact, no retry
+    // backoff sleeps, and no clock motion the session itself initiated.
+    let sleeps_before = clock.sleeps();
     for _ in 0..5 {
         let r = session
             .infer(&nodes[0], &mut master_expert, &images)
             .unwrap();
-        assert!(!r.peers[1].contacted);
+        assert!(!r.peers[&1].contacted, "{r:?}");
+        assert!(!r.peers[&1].probed, "{r:?}");
     }
-    assert!(
-        start.elapsed() < Duration::from_millis(400),
-        "quarantined peer still taxes rounds: {:?}",
-        start.elapsed()
+    assert_eq!(
+        clock.sleeps(),
+        sleeps_before,
+        "quarantined rounds performed backoff sleeps"
     );
+    assert_eq!(clock.elapsed(), Duration::ZERO);
 }
 
 /// `ContactPlan` is part of the public API surface; make sure the plan for

@@ -325,6 +325,41 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<K: fmt::Display + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // Keys render as JSON object member names (strings), mirroring
+        // serde_json's integer-keyed map behavior. BTreeMap iteration is
+        // ordered, so the rendered object is deterministic.
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V>
+where
+    K: std::str::FromStr + Ord,
+    K::Err: fmt::Display,
+    V: Deserialize,
+{
+    fn from_json_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| Error::wrong_type("object", value))?;
+        entries
+            .iter()
+            .map(|(k, v)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|e| Error::custom(format!("bad map key `{k}`: {e}")))?;
+                Ok((key, V::from_json_value(v)?))
+            })
+            .collect()
+    }
+}
+
 impl Serialize for Value {
     fn to_json_value(&self) -> Value {
         self.clone()
@@ -406,6 +441,30 @@ mod tests {
         assert_eq!(f32::NAN.to_json_value(), Value::Null);
         let back = f32::from_json_value(&Value::Null).expect("nan");
         assert!(back.is_nan());
+    }
+
+    #[test]
+    fn btreemap_roundtrips_with_string_keys() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<usize, Vec<f32>> = BTreeMap::new();
+        m.insert(2, vec![0.5]);
+        m.insert(0, vec![1.0, 2.0]);
+        let v = m.to_json_value();
+        // Rendered in key order, keys as strings.
+        assert_eq!(
+            v.as_map()
+                .map(|e| e.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>()),
+            Some(vec!["0", "2"])
+        );
+        let back: BTreeMap<usize, Vec<f32>> = Deserialize::from_json_value(&v).expect("roundtrip");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn btreemap_rejects_bad_keys() {
+        use std::collections::BTreeMap;
+        let v = Value::Map(vec![("not-a-number".into(), Value::Num(Number::PosInt(1)))]);
+        assert!(BTreeMap::<usize, u64>::from_json_value(&v).is_err());
     }
 
     #[test]
