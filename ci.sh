@@ -5,8 +5,14 @@
 #   3. invariant audit   (lint + manifest + static shape checks)
 #   4. concurrency audit (lock order, determinism taint, protocol
 #                         exhaustiveness — symbol/call-graph analysis)
-#   5. test suite        (unit + property + integration)
-#   6. chaos soak        (50 seeded fault-injected inference rounds)
+#   5. test suite        (unit + property + integration), run twice:
+#                         TEAMNET_THREADS=1 pins the sequential kernels,
+#                         TEAMNET_THREADS=4 forces the parallel paths —
+#                         the pool determinism contract says both runs
+#                         must see bit-identical numerics
+#   6. kernel-bench smoke (parallel-vs-sequential bit-identity on every
+#                         kernel, plus the JSON artifact plumbing)
+#   7. chaos soak        (50 seeded fault-injected inference rounds)
 #
 # Opt-in stage (not part of the default gate):
 #   ./ci.sh tsan         runs the fault-tolerance and chaos-soak suites
@@ -39,5 +45,7 @@ cargo fmt --check
 cargo build --release
 cargo xtask check
 cargo xtask audit
-cargo test -q --workspace
+TEAMNET_THREADS=1 cargo test -q --workspace
+TEAMNET_THREADS=4 cargo test -q --workspace
+cargo run -q --release -p teamnet-bench --bin kernel_bench -- --smoke --out /tmp/BENCH_kernels_smoke.json
 cargo test -q --release --test chaos_soak

@@ -1,0 +1,269 @@
+//! Kernel micro-benchmarks for the parallel compute backend.
+//!
+//! ```text
+//! kernel_bench [--smoke] [--out PATH]
+//! ```
+//!
+//! Times the three parallelized kernels — matmul (64³/256³/512³), conv2d
+//! forward + backward on Shake-Shake CIFAR shapes, and the per-expert
+//! team-forward fan-out at K=2/4 — at 1, 2 and 4 threads, and verifies
+//! on every configuration that the parallel result is **bit-identical**
+//! to the sequential one (the determinism contract of
+//! `teamnet_tensor::pool`).
+//!
+//! Results are written as JSON (default `BENCH_kernels.json`). The file
+//! records `host_threads` (`std::thread::available_parallelism`); on a
+//! single-core host the >1-thread rows measure scheduling overhead, not
+//! speedup — read them together with that field.
+//!
+//! `--smoke` shrinks every problem so CI can run the full matrix in
+//! seconds while still exercising the bit-identity checks.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use teamnet_core::{build_expert, TeamNet};
+use teamnet_nn::ModelSpec;
+use teamnet_tensor::conv::{conv2d_backward_with, conv2d_with, Conv2dSpec};
+use teamnet_tensor::{ParallelConfig, Tensor};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct MatmulRow {
+    size: usize,
+    threads: usize,
+    iters: u32,
+    ms_per_iter: f64,
+    gflops: f64,
+    bit_identical_to_seq: bool,
+}
+
+#[derive(Serialize)]
+struct ConvRow {
+    input: Vec<usize>,
+    weight: Vec<usize>,
+    threads: usize,
+    iters: u32,
+    forward_ms: f64,
+    backward_ms: f64,
+    bit_identical_to_seq: bool,
+}
+
+#[derive(Serialize)]
+struct TeamRow {
+    k: usize,
+    batch: usize,
+    threads: usize,
+    iters: u32,
+    ms_per_iter: f64,
+    bit_identical_to_seq: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_threads: usize,
+    smoke: bool,
+    caveat: &'static str,
+    matmul: Vec<MatmulRow>,
+    conv2d: Vec<ConvRow>,
+    team_forward: Vec<TeamRow>,
+}
+
+fn time_iters(iters: u32, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+fn bench_matmul(sizes: &[usize], iters: u32) -> Vec<MatmulRow> {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let mut rng = StdRng::seed_from_u64(size as u64);
+        let a = Tensor::randn([size, size], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn([size, size], 0.0, 1.0, &mut rng);
+        let reference = a
+            .try_matmul_with(&b, ParallelConfig::sequential())
+            .expect("square matmul");
+        for threads in THREAD_COUNTS {
+            let cfg = ParallelConfig::with_threads(threads);
+            let out = a.try_matmul_with(&b, cfg).expect("square matmul");
+            let identical = bits(&out) == bits(&reference);
+            let ms = time_iters(iters, || {
+                let _ = a.try_matmul_with(&b, cfg).expect("square matmul");
+            });
+            let flops = 2.0 * (size as f64).powi(3);
+            rows.push(MatmulRow {
+                size,
+                threads,
+                iters,
+                ms_per_iter: ms,
+                gflops: flops / (ms * 1e6),
+                bit_identical_to_seq: identical,
+            });
+            println!(
+                "matmul {size:>3}^3  threads={threads}  {ms:8.3} ms  ({:6.2} GFLOP/s)  bit-identical={identical}",
+                flops / (ms * 1e6)
+            );
+        }
+    }
+    rows
+}
+
+fn bench_conv(shapes: &[(Vec<usize>, Vec<usize>)], iters: u32) -> Vec<ConvRow> {
+    let spec = Conv2dSpec::new(3, 1, 1);
+    let mut rows = Vec::new();
+    for (in_dims, w_dims) in shapes {
+        let mut rng = StdRng::seed_from_u64(in_dims.iter().sum::<usize>() as u64);
+        let input = Tensor::randn(in_dims.clone(), 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn(w_dims.clone(), 0.0, 0.1, &mut rng);
+        let bias = Tensor::randn([w_dims[0]], 0.0, 0.1, &mut rng);
+        let seq = ParallelConfig::sequential();
+        let fwd_ref = conv2d_with(&input, &weight, &bias, spec, seq);
+        let grad_out = Tensor::randn(fwd_ref.dims().to_vec(), 0.0, 1.0, &mut rng);
+        let bwd_ref = conv2d_backward_with(&input, &weight, &grad_out, spec, seq);
+        for threads in THREAD_COUNTS {
+            let cfg = ParallelConfig::with_threads(threads);
+            let fwd = conv2d_with(&input, &weight, &bias, spec, cfg);
+            let bwd = conv2d_backward_with(&input, &weight, &grad_out, spec, cfg);
+            let identical = bits(&fwd) == bits(&fwd_ref)
+                && bits(&bwd.0) == bits(&bwd_ref.0)
+                && bits(&bwd.1) == bits(&bwd_ref.1)
+                && bits(&bwd.2) == bits(&bwd_ref.2);
+            let forward_ms = time_iters(iters, || {
+                let _ = conv2d_with(&input, &weight, &bias, spec, cfg);
+            });
+            let backward_ms = time_iters(iters, || {
+                let _ = conv2d_backward_with(&input, &weight, &grad_out, spec, cfg);
+            });
+            println!(
+                "conv2d {in_dims:?} * {w_dims:?}  threads={threads}  fwd {forward_ms:8.3} ms  bwd {backward_ms:8.3} ms  bit-identical={identical}"
+            );
+            rows.push(ConvRow {
+                input: in_dims.clone(),
+                weight: w_dims.clone(),
+                threads,
+                iters,
+                forward_ms,
+                backward_ms,
+                bit_identical_to_seq: identical,
+            });
+        }
+    }
+    rows
+}
+
+fn bench_team(
+    ks: &[usize],
+    batch: usize,
+    layers: usize,
+    hidden: usize,
+    iters: u32,
+) -> Vec<TeamRow> {
+    let mut rows = Vec::new();
+    for &k in ks {
+        let spec = ModelSpec::mlp(layers, hidden);
+        let experts = (0..k).map(|i| build_expert(&spec, i as u64)).collect();
+        let mut team = TeamNet::from_experts(spec, experts);
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let images = Tensor::rand_uniform([batch, 1, 28, 28], 0.0, 1.0, &mut rng);
+        team.set_parallelism(ParallelConfig::sequential());
+        let reference = team.predict(&images);
+        for threads in THREAD_COUNTS {
+            team.set_parallelism(ParallelConfig::with_threads(threads));
+            let out = team.predict(&images);
+            let identical = reference.len() == out.len()
+                && reference.iter().zip(&out).all(|(a, b)| {
+                    a.label == b.label
+                        && a.expert == b.expert
+                        && a.entropy.to_bits() == b.entropy.to_bits()
+                });
+            let ms = time_iters(iters, || {
+                let _ = team.predict(&images);
+            });
+            println!(
+                "team-forward K={k} batch={batch}  threads={threads}  {ms:8.3} ms  bit-identical={identical}"
+            );
+            rows.push(TeamRow {
+                k,
+                batch,
+                threads,
+                iters,
+                ms_per_iter: ms,
+                bit_identical_to_seq: identical,
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_kernels.json", String::as_str);
+
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("kernel bench — host_threads={host_threads} smoke={smoke}\n");
+
+    // Shake-Shake residual-branch shapes on CIFAR 32x32: the 16-channel
+    // full-resolution stage and the 32-channel half-resolution stage.
+    let (matmul_sizes, conv_shapes, team_batch, team_iters): (Vec<usize>, Vec<_>, usize, u32) =
+        if smoke {
+            (vec![64], vec![(vec![2, 8, 8, 8], vec![8, 8, 3, 3])], 4, 2)
+        } else {
+            (
+                vec![64, 256, 512],
+                vec![
+                    (vec![8, 16, 32, 32], vec![16, 16, 3, 3]),
+                    (vec![8, 32, 16, 16], vec![32, 32, 3, 3]),
+                ],
+                64,
+                10,
+            )
+        };
+    let matmul_iters = if smoke { 2 } else { 5 };
+    let conv_iters = if smoke { 2 } else { 5 };
+
+    let matmul = bench_matmul(&matmul_sizes, matmul_iters);
+    println!();
+    let conv2d = bench_conv(&conv_shapes, conv_iters);
+    println!();
+    let team_forward = bench_team(&[2, 4], team_batch, 3, 32, team_iters);
+
+    let all_identical = matmul.iter().all(|r| r.bit_identical_to_seq)
+        && conv2d.iter().all(|r| r.bit_identical_to_seq)
+        && team_forward.iter().all(|r| r.bit_identical_to_seq);
+
+    let report = Report {
+        host_threads,
+        smoke,
+        caveat: "Timings are from this host; with host_threads=1 the >1-thread rows measure \
+                 scoped-thread scheduling overhead on one core, not parallel speedup. The \
+                 bit_identical_to_seq flags are hardware-independent.",
+        matmul,
+        conv2d,
+        team_forward,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    if let Err(e) = std::fs::write(out_path, json + "\n") {
+        eprintln!("error: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+    assert!(
+        all_identical,
+        "determinism contract violated: some configuration was not bit-identical"
+    );
+}

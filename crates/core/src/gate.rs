@@ -19,6 +19,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use teamnet_tensor::{Tape, Tensor};
 
 use crate::entropy::normalized_deviation;
@@ -63,28 +64,111 @@ impl Default for GateConfig {
     }
 }
 
+/// A gate configuration or set point outside its documented range.
+///
+/// Returned by [`GateConfig::validate`] and the `try_*` gate
+/// constructors so a bad config degrades gracefully at the runtime
+/// layer (one rejected request) instead of killing a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GateConfigError {
+    /// `gain` outside the proportional-controller range `(0, 1)`.
+    Gain(f32),
+    /// Non-positive convergence threshold `ε`.
+    Epsilon(f32),
+    /// Non-positive gate learning rate `η`.
+    LearningRate(f32),
+    /// Zero-sized latent or hidden dimension for the MLP `W(z, Θ)`.
+    MlpDims {
+        /// Configured latent dimension N.
+        latent_dim: usize,
+        /// Configured hidden width.
+        hidden_dim: usize,
+    },
+    /// Non-positive Kronecker discretization constant `c`.
+    KronScale(f32),
+    /// `softness` outside `(0, 0.5)` — beyond ½ the soft assignment is
+    /// closer to a *different* integer than its own.
+    Softness(f32),
+    /// Fewer than two experts requested.
+    TooFewExperts(usize),
+    /// A per-expert share target that is zero or negative.
+    SetPointNotPositive(f32),
+    /// Share targets that do not sum to 1 (the reported value).
+    SetPointSum(f32),
+    /// A `target_shares` vector whose length differs from the expert
+    /// count it is meant to steer.
+    TargetSharesLength {
+        /// The expert count K.
+        expected: usize,
+        /// The supplied vector's length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for GateConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateConfigError::Gain(g) => write!(f, "gain must be in (0, 1), got {g}"),
+            GateConfigError::Epsilon(e) => write!(f, "epsilon must be positive, got {e}"),
+            GateConfigError::LearningRate(lr) => {
+                write!(f, "learning rate must be positive, got {lr}")
+            }
+            GateConfigError::MlpDims {
+                latent_dim,
+                hidden_dim,
+            } => write!(
+                f,
+                "MLP dims must be positive, got latent {latent_dim} × hidden {hidden_dim}"
+            ),
+            GateConfigError::KronScale(c) => write!(f, "kron scale must be positive, got {c}"),
+            GateConfigError::Softness(s) => write!(f, "softness must be in (0, 0.5), got {s}"),
+            GateConfigError::TooFewExperts(k) => {
+                write!(f, "a gate needs at least two experts, got {k}")
+            }
+            GateConfigError::SetPointNotPositive(v) => {
+                write!(f, "set points must be positive, got {v}")
+            }
+            GateConfigError::SetPointSum(sum) => write!(f, "set points must sum to 1, got {sum}"),
+            GateConfigError::TargetSharesLength { expected, got } => write!(
+                f,
+                "target_shares length must equal k: expected {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GateConfigError {}
+
 impl GateConfig {
     /// Validates the configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any field is outside its documented range.
-    pub fn validate(&self) {
-        assert!(
-            (0.0..1.0).contains(&self.gain) && self.gain > 0.0,
-            "gain must be in (0, 1)"
-        );
-        assert!(self.epsilon > 0.0, "epsilon must be positive");
-        assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(
-            self.latent_dim > 0 && self.hidden_dim > 0,
-            "MLP dims must be positive"
-        );
-        assert!(self.kron_scale > 0.0, "kron scale must be positive");
-        assert!(
-            self.softness > 0.0 && self.softness < 0.5,
-            "softness must be in (0, 0.5)"
-        );
+    /// Returns the first [`GateConfigError`] describing a field outside
+    /// its documented range.
+    pub fn validate(&self) -> Result<(), GateConfigError> {
+        if !(self.gain > 0.0 && self.gain < 1.0) {
+            return Err(GateConfigError::Gain(self.gain));
+        }
+        if !(self.epsilon > 0.0) {
+            return Err(GateConfigError::Epsilon(self.epsilon));
+        }
+        if !(self.learning_rate > 0.0) {
+            return Err(GateConfigError::LearningRate(self.learning_rate));
+        }
+        if self.latent_dim == 0 || self.hidden_dim == 0 {
+            return Err(GateConfigError::MlpDims {
+                latent_dim: self.latent_dim,
+                hidden_dim: self.hidden_dim,
+            });
+        }
+        if !(self.kron_scale > 0.0) {
+            return Err(GateConfigError::KronScale(self.kron_scale));
+        }
+        if !(self.softness > 0.0 && self.softness < 0.5) {
+            return Err(GateConfigError::Softness(self.softness));
+        }
+        Ok(())
     }
 }
 
@@ -123,11 +207,24 @@ pub struct DynamicGate {
 impl DynamicGate {
     /// Creates a gate for `k` experts.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`GateConfigError`] if `k < 2` or the config is invalid.
+    pub fn try_new(k: usize, config: GateConfig, seed: u64) -> Result<Self, GateConfigError> {
+        if k < 2 {
+            return Err(GateConfigError::TooFewExperts(k));
+        }
+        DynamicGate::try_with_set_point(vec![1.0 / k as f32; k], config, seed)
+    }
+
+    /// Creates a gate for `k` experts.
+    ///
     /// # Panics
     ///
-    /// Panics if `k < 2` or the config is invalid.
+    /// Panics if `k < 2` or the config is invalid. Use
+    /// [`DynamicGate::try_new`] to validate instead.
     pub fn new(k: usize, config: GateConfig, seed: u64) -> Self {
-        DynamicGate::with_set_point(vec![1.0 / k as f32; k], config, seed)
+        expect_valid(DynamicGate::try_new(k, config, seed))
     }
 
     /// Creates a gate steering towards arbitrary per-expert data shares
@@ -135,26 +232,30 @@ impl DynamicGate {
     /// extension for class-imbalanced data ("objective functions ... that
     /// can adapt to the imbalances among different classes").
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `set_point` has at least two positive entries summing
-    /// to 1, or the config is invalid.
-    pub fn with_set_point(set_point: Vec<f32>, config: GateConfig, seed: u64) -> Self {
+    /// Returns a [`GateConfigError`] unless `set_point` has at least two
+    /// positive entries summing to 1 and the config is valid.
+    pub fn try_with_set_point(
+        set_point: Vec<f32>,
+        config: GateConfig,
+        seed: u64,
+    ) -> Result<Self, GateConfigError> {
         let k = set_point.len();
-        assert!(k >= 2, "a gate needs at least two experts");
-        assert!(
-            set_point.iter().all(|&s| s > 0.0),
-            "set points must be positive"
-        );
+        if k < 2 {
+            return Err(GateConfigError::TooFewExperts(k));
+        }
+        if let Some(&bad) = set_point.iter().find(|&&s| !(s > 0.0)) {
+            return Err(GateConfigError::SetPointNotPositive(bad));
+        }
         let sum: f32 = set_point.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-4,
-            "set points must sum to 1, got {sum}"
-        );
-        config.validate();
+        if !((sum - 1.0).abs() < 1e-4) {
+            return Err(GateConfigError::SetPointSum(sum));
+        }
+        config.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let (n, h) = (config.latent_dim, config.hidden_dim);
-        DynamicGate {
+        Ok(DynamicGate {
             k,
             set_point,
             w1: Tensor::xavier_uniform([n, h], n, h, &mut rng),
@@ -163,7 +264,18 @@ impl DynamicGate {
             b2: Tensor::zeros([k]),
             config,
             rng,
-        }
+        })
+    }
+
+    /// Creates a gate steering towards arbitrary per-expert data shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `set_point` has at least two positive entries summing
+    /// to 1 and the config is valid. Use
+    /// [`DynamicGate::try_with_set_point`] to validate instead.
+    pub fn with_set_point(set_point: Vec<f32>, config: GateConfig, seed: u64) -> Self {
+        expect_valid(DynamicGate::try_with_set_point(set_point, config, seed))
     }
 
     /// The per-expert share targets the controller steers towards.
@@ -432,6 +544,18 @@ impl DynamicGate {
     }
 }
 
+/// Unwraps a gate-construction result for the panicking convenience
+/// constructors, failing as loudly as the pre-typed-error API did.
+fn expect_valid(result: Result<DynamicGate, GateConfigError>) -> DynamicGate {
+    match result {
+        Ok(gate) => gate,
+        Err(e) => {
+            assert!(false, "{e}");
+            unreachable!()
+        }
+    }
+}
+
 /// Fraction of examples assigned to each expert.
 pub fn assignment_shares(assignment: &[usize], k: usize) -> Vec<f32> {
     let mut shares = vec![0.0f32; k];
@@ -686,6 +810,98 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn rejects_non_simplex_set_point() {
         DynamicGate::with_set_point(vec![0.9, 0.9], GateConfig::default(), 0);
+    }
+
+    #[test]
+    fn validate_reports_the_offending_field() {
+        assert_eq!(GateConfig::default().validate(), Ok(()));
+        let bad = |c: GateConfig| c.validate().expect_err("must be rejected");
+        assert_eq!(
+            bad(GateConfig {
+                gain: 1.5,
+                ..GateConfig::default()
+            }),
+            GateConfigError::Gain(1.5)
+        );
+        assert_eq!(
+            bad(GateConfig {
+                epsilon: 0.0,
+                ..GateConfig::default()
+            }),
+            GateConfigError::Epsilon(0.0)
+        );
+        assert_eq!(
+            bad(GateConfig {
+                learning_rate: -1.0,
+                ..GateConfig::default()
+            }),
+            GateConfigError::LearningRate(-1.0)
+        );
+        assert_eq!(
+            bad(GateConfig {
+                latent_dim: 0,
+                ..GateConfig::default()
+            }),
+            GateConfigError::MlpDims {
+                latent_dim: 0,
+                hidden_dim: 16
+            }
+        );
+        assert_eq!(
+            bad(GateConfig {
+                kron_scale: 0.0,
+                ..GateConfig::default()
+            }),
+            GateConfigError::KronScale(0.0)
+        );
+        assert_eq!(
+            bad(GateConfig {
+                softness: 0.5,
+                ..GateConfig::default()
+            }),
+            GateConfigError::Softness(0.5)
+        );
+        // NaN fields must be rejected, not silently accepted.
+        assert!(matches!(
+            bad(GateConfig {
+                gain: f32::NAN,
+                ..GateConfig::default()
+            }),
+            GateConfigError::Gain(g) if g.is_nan()
+        ));
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(
+            DynamicGate::try_new(1, GateConfig::default(), 0).err(),
+            Some(GateConfigError::TooFewExperts(1))
+        );
+        assert_eq!(
+            DynamicGate::try_with_set_point(vec![0.9, 0.9], GateConfig::default(), 0).err(),
+            Some(GateConfigError::SetPointSum(1.8))
+        );
+        assert_eq!(
+            DynamicGate::try_with_set_point(vec![1.5, -0.5], GateConfig::default(), 0).err(),
+            Some(GateConfigError::SetPointNotPositive(-0.5))
+        );
+        let ok = DynamicGate::try_new(2, GateConfig::default(), 0);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn config_error_display_is_stable() {
+        // The panicking wrappers surface these strings; downstream
+        // should_panic tests match on their prefixes.
+        assert!(GateConfigError::Gain(1.5)
+            .to_string()
+            .starts_with("gain must be in (0, 1)"));
+        assert!(GateConfigError::TooFewExperts(1)
+            .to_string()
+            .contains("at least two experts"));
+        assert!(GateConfigError::SetPointSum(1.8)
+            .to_string()
+            .contains("sum to 1, got 1.8"));
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub use entropy::{
     entropy, entropy_matrix, entropy_rows, normalized_deviation, EntropyError, PROB_SUM_TOLERANCE,
 };
 pub use expert::{build_expert, expert_rng, ExpertEnsemble};
-pub use gate::{assignment_shares, weighted_argmin, DynamicGate, GateConfig, GateDecision};
+pub use gate::{
+    assignment_shares, weighted_argmin, DynamicGate, GateConfig, GateConfigError, GateDecision,
+};
 pub use health::{
     ContactPlan, FailureDetector, FailureDetectorConfig, InferenceReport, PeerHealth, PeerReport,
 };

@@ -4,12 +4,17 @@
 //! and the prediction with the least predictive entropy wins. The paper
 //! argues (and demonstrates against SG-MoE) that this trivially cheap gate
 //! is an advantage at the edge — no gating network has to run anywhere.
+//!
+//! The per-expert forward passes are independent, so they fan out across
+//! scoped threads ([`teamnet_tensor::pool::map_mut`]) under the team's
+//! [`ParallelConfig`]. Each expert's pass is deterministic on its own, so
+//! predictions are bit-identical at every thread count.
 
 use crate::entropy::entropy;
 use serde::{Deserialize, Serialize};
 use teamnet_data::Dataset;
 use teamnet_nn::{load_state, state_vec, Layer, Mode, ModelSpec, Sequential};
-use teamnet_tensor::Tensor;
+use teamnet_tensor::{pool, ParallelConfig, Tensor};
 
 /// One collaborative prediction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -66,6 +71,8 @@ pub struct TeamNet {
     /// paper with converged control variables). `1.0` everywhere means the
     /// plain arg-min of Figure 4.
     calibration: Vec<f32>,
+    /// Thread configuration for the per-expert inference fan-out.
+    parallelism: ParallelConfig,
 }
 
 impl TeamNet {
@@ -81,7 +88,30 @@ impl TeamNet {
             spec,
             experts,
             calibration,
+            parallelism: ParallelConfig::default(),
         }
+    }
+
+    /// Sets the thread configuration for the per-expert inference
+    /// fan-out. Predictions are bit-identical at every thread count; this
+    /// only changes wall-clock behavior.
+    pub fn set_parallelism(&mut self, parallelism: ParallelConfig) {
+        self.parallelism = parallelism;
+    }
+
+    /// The thread configuration used for the per-expert fan-out.
+    pub fn parallelism(&self) -> ParallelConfig {
+        self.parallelism
+    }
+
+    /// Every expert's softmax output on `images`, computed with one
+    /// scoped worker per expert block. Expert i's distribution is at
+    /// index i regardless of thread count.
+    fn expert_probs(&mut self, images: &Tensor) -> Vec<Tensor> {
+        let threads = self.parallelism.threads();
+        pool::map_mut(&mut self.experts, threads, |_, e| {
+            e.forward(images, Mode::Eval).softmax_rows()
+        })
     }
 
     /// The per-expert entropy weights used by the inference gate.
@@ -122,11 +152,7 @@ impl TeamNet {
         let n = images.dims().first().copied().unwrap_or(0);
         assert!(n > 0, "calibration needs at least one example");
         let k = self.k();
-        let probs: Vec<Tensor> = self
-            .experts
-            .iter_mut()
-            .map(|e| e.forward(images, Mode::Eval).softmax_rows())
-            .collect();
+        let probs = self.expert_probs(images);
         // Raw arg-min assignment, then per-expert mean entropy over its
         // own territory. Experts that win nothing fall back to their mean
         // entropy over everything. An expert whose distribution fails
@@ -223,11 +249,7 @@ impl TeamNet {
     pub fn predict(&mut self, images: &Tensor) -> Vec<TeamPrediction> {
         let n = images.dims().first().copied().unwrap_or(0);
         let calibration = self.calibration.clone();
-        let probs: Vec<Tensor> = self
-            .experts
-            .iter_mut()
-            .map(|e| e.forward(images, Mode::Eval).softmax_rows())
-            .collect();
+        let probs = self.expert_probs(images);
         (0..n)
             .map(|r| {
                 let mut best = TeamPrediction {
@@ -263,11 +285,7 @@ impl TeamNet {
     /// can be detrimental".
     pub fn predict_majority(&mut self, images: &Tensor) -> Vec<TeamPrediction> {
         let n = images.dims().first().copied().unwrap_or(0);
-        let probs: Vec<Tensor> = self
-            .experts
-            .iter_mut()
-            .map(|e| e.forward(images, Mode::Eval).softmax_rows())
-            .collect();
+        let probs = self.expert_probs(images);
         let classes = probs
             .first()
             .and_then(|p| p.dims().get(1))
@@ -539,5 +557,27 @@ mod tests {
     #[should_panic(expected = "at least one expert")]
     fn rejects_empty_team() {
         TeamNet::from_experts(ModelSpec::mlp(2, 8), Vec::new());
+    }
+
+    #[test]
+    fn predictions_are_identical_at_every_thread_count() {
+        use teamnet_tensor::ParallelConfig;
+        let x = Tensor::rand_uniform(
+            [6, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9),
+        );
+        let mut reference = untrained_team(4);
+        reference.set_parallelism(ParallelConfig::sequential());
+        let want = reference.predict(&x);
+        let want_vote = reference.predict_majority(&x);
+        for threads in [2, 4, 8] {
+            let mut team = untrained_team(4);
+            team.set_parallelism(ParallelConfig::with_threads(threads));
+            assert_eq!(team.parallelism().threads(), threads);
+            assert_eq!(team.predict(&x), want, "threads={threads}");
+            assert_eq!(team.predict_majority(&x), want_vote, "threads={threads}");
+        }
     }
 }

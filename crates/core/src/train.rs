@@ -7,7 +7,7 @@
 //! the paper's Figures 6 and 8 (convergence of γ to the 1/K set point).
 
 use crate::expert::ExpertEnsemble;
-use crate::gate::{DynamicGate, GateConfig};
+use crate::gate::{DynamicGate, GateConfig, GateConfigError};
 use crate::team::TeamNet;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -130,27 +130,39 @@ pub struct Trainer {
 impl Trainer {
     /// Creates a trainer for `k` experts of architecture `spec`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k < 2` (TeamNet is a collaboration; use plain training
-    /// for a single model) or the gate config is invalid.
-    pub fn new(spec: ModelSpec, k: usize, config: TrainConfig) -> Self {
-        assert!(k >= 2, "TeamNet needs at least two experts");
-        let ensemble =
-            ExpertEnsemble::new(spec, k, config.learning_rate, config.momentum, config.seed);
+    /// Returns a [`GateConfigError`] if `k < 2` (TeamNet is a
+    /// collaboration; use plain training for a single model), the gate
+    /// config is invalid, or `target_shares` does not match `k`.
+    pub fn try_new(
+        spec: ModelSpec,
+        k: usize,
+        config: TrainConfig,
+    ) -> Result<Self, GateConfigError> {
+        if k < 2 {
+            return Err(GateConfigError::TooFewExperts(k));
+        }
         let gate = match &config.target_shares {
             Some(shares) => {
-                assert_eq!(shares.len(), k, "target_shares length must equal k");
-                DynamicGate::with_set_point(
+                if shares.len() != k {
+                    return Err(GateConfigError::TargetSharesLength {
+                        expected: k,
+                        got: shares.len(),
+                    });
+                }
+                DynamicGate::try_with_set_point(
                     shares.clone(),
                     config.gate.clone(),
                     config.seed.wrapping_add(1),
-                )
+                )?
             }
-            None => DynamicGate::new(k, config.gate.clone(), config.seed.wrapping_add(1)),
+            None => DynamicGate::try_new(k, config.gate.clone(), config.seed.wrapping_add(1))?,
         };
+        let ensemble =
+            ExpertEnsemble::new(spec, k, config.learning_rate, config.momentum, config.seed);
         let rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
-        Trainer {
+        Ok(Trainer {
             ensemble,
             gate,
             config,
@@ -158,6 +170,22 @@ impl Trainer {
             assigned_counts: vec![0; k],
             iteration: 0,
             history: TrainingHistory::default(),
+        })
+    }
+
+    /// Creates a trainer for `k` experts of architecture `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions [`Trainer::try_new`] reports as
+    /// errors.
+    pub fn new(spec: ModelSpec, k: usize, config: TrainConfig) -> Self {
+        match Trainer::try_new(spec, k, config) {
+            Ok(trainer) => trainer,
+            Err(e) => {
+                assert!(false, "{e}");
+                unreachable!()
+            }
         }
     }
 

@@ -6,7 +6,20 @@
 //! Gradients *accumulate* into each parameter's `grad` buffer; call
 //! [`Layer::zero_grad`] between optimizer steps.
 
-use teamnet_tensor::Tensor;
+use teamnet_tensor::{Tensor, TensorError};
+
+/// Unwraps a kernel result whose preconditions the calling layer has
+/// already established (rank/shape asserts in `forward`, the layer
+/// contract for `backward`), naming the layer path in the panic.
+fn checked(result: Result<Tensor, TensorError>, ctx: &'static str) -> Tensor {
+    match result {
+        Ok(t) => t,
+        Err(e) => {
+            assert!(false, "{ctx}: {e}");
+            unreachable!()
+        }
+    }
+}
 
 /// Whether a forward pass is part of training or evaluation.
 ///
@@ -173,8 +186,7 @@ impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 2, "Dense expects [batch, features]");
         self.cached_input = Some(input.clone());
-        input
-            .matmul(&self.weight.value)
+        checked(input.try_matmul(&self.weight.value), "Dense forward")
             .add_row_broadcast(&self.bias.value)
     }
 
@@ -184,9 +196,13 @@ impl Layer for Dense {
             .cached_input
             .as_ref()
             .expect("backward() before forward()");
-        self.weight.grad.axpy(1.0, &x.transpose().matmul(grad_out));
+        let xt = checked(x.try_transpose(), "Dense backward");
+        self.weight
+            .grad
+            .axpy(1.0, &checked(xt.try_matmul(grad_out), "Dense backward"));
         self.bias.grad.axpy(1.0, &grad_out.sum_cols());
-        grad_out.matmul(&self.weight.value.transpose())
+        let wt = checked(self.weight.value.try_transpose(), "Dense backward");
+        checked(grad_out.try_matmul(&wt), "Dense backward")
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {

@@ -122,6 +122,23 @@ mod tests {
     }
 
     #[test]
+    fn vanished_probability_is_clamped_to_1e_12() {
+        // The true class's softmax probability underflows to exactly 0.0
+        // in f32, so without the 1e-12 clamp the loss would be +inf and
+        // poison every running average downstream.
+        let logits = Tensor::from_vec(vec![-200.0, 200.0], [1, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0]);
+        assert_eq!(out.probs.at(&[0, 0]), 0.0, "probability must underflow");
+        assert!(out.loss.is_finite(), "clamp must keep the loss finite");
+        let expected = -(1e-12f32).ln(); // ≈ 27.631
+        assert!(
+            (out.loss - expected).abs() < 1e-4,
+            "loss {} should pin the 1e-12 clamp ({expected})",
+            out.loss
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_bad_label() {
         softmax_cross_entropy(&Tensor::zeros([1, 3]), &[3]);

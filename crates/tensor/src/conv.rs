@@ -3,7 +3,16 @@
 //!
 //! These are free functions rather than `Tensor` methods because they take
 //! several configuration parameters; the [`Conv2dSpec`] struct groups them.
+//!
+//! The convolution forward pass partitions its output by (sample ×
+//! out-channel) tiles across scoped threads, and the backward pass
+//! computes per-sample partial gradients in parallel then merges them on
+//! the calling thread in sample order. Both follow the determinism
+//! contract of [`crate::pool`]: results are bit-identical at every
+//! thread count.
 
+use crate::linalg::matmul_rows;
+use crate::pool::{self, ParallelConfig, PAR_MIN_WORK};
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution: kernel size, stride and symmetric zero
@@ -119,12 +128,37 @@ fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Vec<
 /// * `weight`: `[oc, ic, k, k]`
 /// * `bias`: `[oc]`
 ///
-/// Returns `[n, oc, oh, ow]`.
+/// Returns `[n, oc, oh, ow]`. Large convolutions are partitioned by
+/// (sample × out-channel) tiles across the process default
+/// [`ParallelConfig`]; outputs are bit-identical at every thread count.
 ///
 /// # Panics
 ///
 /// Panics on any rank or dimension mismatch.
 pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) -> Tensor {
+    conv2d_with(
+        input,
+        weight,
+        bias,
+        spec,
+        default_conv_config(input, weight),
+    )
+}
+
+/// [`conv2d`] with an explicit thread configuration and no size
+/// threshold — `cfg.threads() == 1` runs the exact sequential kernel on
+/// the calling thread.
+///
+/// # Panics
+///
+/// Panics on any rank or dimension mismatch.
+pub fn conv2d_with(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    spec: Conv2dSpec,
+    cfg: ParallelConfig,
+) -> Tensor {
     assert_eq!(input.rank(), 4, "conv2d input must be [n, c, h, w]");
     assert_eq!(weight.rank(), 4, "conv2d weight must be [oc, ic, k, k]");
     let (n, ic, h, w) = (
@@ -139,36 +173,70 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: Conv2dSpec) 
     assert_eq!(weight.dims()[3], spec.kernel, "conv2d kernel mismatch");
     assert_eq!(bias.dims(), &[oc], "conv2d bias must be [oc]");
     let (oh, ow) = (spec.out_size(h), spec.out_size(w));
-    // Weight dims were asserted [oc, ic, k, k] above. lint: allow(no-expect)
-    let w_mat = weight
-        .reshape([oc, ic * spec.kernel * spec.kernel])
-        .expect("weight reshape");
+    let ckk = ic * spec.kernel * spec.kernel;
+    let tile = oh * ow;
 
+    let w_data = weight.data();
+    let b_data = bias.data();
+    let in_data = input.data();
     let img_len = ic * h * w;
-    let mut out = Vec::with_capacity(n * oc * oh * ow);
-    for s in 0..n {
-        let cols = im2col(
-            &input.data()[s * img_len..(s + 1) * img_len],
-            ic,
-            h,
-            w,
-            spec,
-        );
-        let y = w_mat.matmul(&cols); // [oc, oh*ow]
-        for ch in 0..oc {
-            let b = bias.data()[ch];
-            out.extend(y.row(ch).iter().map(|&v| v + b));
+
+    // Each (sample, out-channel) tile is a contiguous `oh*ow` block of the
+    // output; a worker unfolds a sample's im2col matrix once (tiles are
+    // handed out in order, so consecutive tiles usually share a sample)
+    // and runs the shared row kernel for its channel, matching the
+    // sequential `w_mat × cols` element order exactly.
+    let mut out = vec![0.0f32; n * oc * tile];
+    pool::partitioned(&mut out, n * oc, cfg.threads(), |range, block| {
+        let mut cached: Option<(usize, Tensor, bool)> = None;
+        for (bi, u) in range.enumerate() {
+            let (s, ch) = (u / oc, u % oc);
+            if cached.as_ref().map(|c| c.0) != Some(s) {
+                let cols = im2col(&in_data[s * img_len..(s + 1) * img_len], ic, h, w, spec);
+                let finite = cols.data().iter().all(|x| x.is_finite());
+                cached = Some((s, cols, finite));
+            }
+            let Some((_, cols, cols_finite)) = cached.as_ref() else {
+                unreachable!()
+            };
+            let tile_out = &mut block[bi * tile..(bi + 1) * tile];
+            matmul_rows(
+                w_data,
+                cols.data(),
+                ckk,
+                tile,
+                *cols_finite,
+                ch..ch + 1,
+                tile_out,
+            );
+            let b = b_data[ch];
+            for o in tile_out {
+                *o += b;
+            }
+        }
+    });
+    Tensor::from_parts([n, oc, oh, ow], out)
+}
+
+/// The default thread configuration for a convolution: parallel only when
+/// the multiply–add count clears the [`PAR_MIN_WORK`] threshold.
+fn default_conv_config(input: &Tensor, weight: &Tensor) -> ParallelConfig {
+    if input.rank() == 4 && weight.rank() == 4 {
+        let work = input.len() * weight.dims()[0] * weight.dims()[2] * weight.dims()[3];
+        if work >= PAR_MIN_WORK {
+            return ParallelConfig::default();
         }
     }
-    // Each sample appends oc * oh * ow values. lint: allow(no-expect)
-    Tensor::from_vec(out, [n, oc, oh, ow]).expect("conv2d output volume by construction")
+    ParallelConfig::sequential()
 }
 
 /// Gradients of [`conv2d`] with respect to its input, weight and bias.
 ///
 /// `grad_out` has the forward output's shape `[n, oc, oh, ow]`. Returns
 /// `(grad_input, grad_weight, grad_bias)` with the corresponding operand
-/// shapes.
+/// shapes. Per-sample partial gradients are computed in parallel (process
+/// default [`ParallelConfig`], size-thresholded) and merged in sample
+/// order, so results are bit-identical at every thread count.
 ///
 /// # Panics
 ///
@@ -178,6 +246,29 @@ pub fn conv2d_backward(
     weight: &Tensor,
     grad_out: &Tensor,
     spec: Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    conv2d_backward_with(
+        input,
+        weight,
+        grad_out,
+        spec,
+        default_conv_config(input, weight),
+    )
+}
+
+/// [`conv2d_backward`] with an explicit thread configuration and no size
+/// threshold — `cfg.threads() == 1` runs the exact sequential kernel on
+/// the calling thread.
+///
+/// # Panics
+///
+/// Panics on any rank or dimension mismatch.
+pub fn conv2d_backward_with(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+    cfg: ParallelConfig,
 ) -> (Tensor, Tensor, Tensor) {
     let (n, ic, h, w) = (
         input.dims()[0],
@@ -200,22 +291,19 @@ pub fn conv2d_backward(
 
     let img_len = ic * h * w;
     let out_len = oc * oh * ow;
-    let mut grad_input = Vec::with_capacity(n * img_len);
-    let mut grad_w = Tensor::zeros([oc, ic * k2]);
-    let mut grad_b = vec![0.0f32; oc];
 
-    for s in 0..n {
-        let go = Tensor::from_vec(
-            grad_out.data()[s * out_len..(s + 1) * out_len].to_vec(),
+    // Per-sample partials `(dcols→image, dW, db)` fan out across workers.
+    // Inner matmuls stay sequential: the sample axis already saturates the
+    // configured threads, and nesting scopes would oversubscribe.
+    let inner = ParallelConfig::sequential();
+    let partials = pool::map_indexed(n, cfg.threads(), |s| {
+        let go = Tensor::from_parts(
             [oc, oh * ow],
-        )
-        // The slice has exactly out_len = oc * oh * ow elements. lint: allow(no-expect)
-        .expect("grad_out slice");
+            grad_out.data()[s * out_len..(s + 1) * out_len].to_vec(),
+        );
         // Bias gradient: sum over spatial positions.
-        for (ch, gb) in grad_b.iter_mut().enumerate() {
-            *gb += go.row(ch).iter().sum::<f32>();
-        }
-        // Weight gradient: dW += dY · colsᵀ.
+        let gb: Vec<f32> = (0..oc).map(|ch| go.row(ch).iter().sum::<f32>()).collect();
+        // Weight gradient: dW_s = dY · colsᵀ.
         let cols = im2col(
             &input.data()[s * img_len..(s + 1) * img_len],
             ic,
@@ -223,21 +311,36 @@ pub fn conv2d_backward(
             w,
             spec,
         );
-        grad_w.axpy(1.0, &go.matmul(&cols.transpose()));
+        let gw = go
+            .try_matmul_with(&cols.transpose(), inner)
+            .unwrap_or_else(|_| unreachable!());
         // Input gradient: dcols = Wᵀ · dY, scattered by col2im.
-        let dcols = w_mat_t.matmul(&go);
-        grad_input.extend(col2im(&dcols, ic, h, w, spec));
+        let dcols = w_mat_t
+            .try_matmul_with(&go, inner)
+            .unwrap_or_else(|_| unreachable!());
+        (col2im(&dcols, ic, h, w, spec), gw, gb)
+    });
+
+    // Merge in sample order: the accumulation sequence (and therefore
+    // every rounding step) is the one the sequential loop performs.
+    let mut grad_input = Vec::with_capacity(n * img_len);
+    let mut grad_w = Tensor::zeros([oc, ic * k2]);
+    let mut grad_b = vec![0.0f32; oc];
+    for (gi_s, gw_s, gb_s) in partials {
+        grad_input.extend(gi_s);
+        grad_w.axpy(1.0, &gw_s);
+        for (gb, g) in grad_b.iter_mut().zip(gb_s) {
+            *gb += g;
+        }
     }
 
     (
-        // col2im returns ic * h * w values per sample. lint: allow(no-expect)
-        Tensor::from_vec(grad_input, [n, ic, h, w]).expect("grad_input volume"),
+        Tensor::from_parts([n, ic, h, w], grad_input),
         // grad_w was allocated as [oc, ic * k2]. lint: allow(no-expect)
         grad_w
             .into_reshaped([oc, ic, spec.kernel, spec.kernel])
             .expect("grad_w reshape"),
-        // grad_b was allocated as oc zeros. lint: allow(no-expect)
-        Tensor::from_vec(grad_b, [oc]).expect("grad_b volume"),
+        Tensor::from_parts([oc], grad_b),
     )
 }
 
@@ -515,5 +618,56 @@ mod tests {
     #[should_panic(expected = "not divisible")]
     fn avg_pool_rejects_indivisible() {
         avg_pool2d(&Tensor::zeros([1, 1, 3, 3]), 2);
+    }
+
+    #[test]
+    fn conv2d_parallel_is_bit_identical_to_sequential() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let input = Tensor::randn([3, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let weight = Tensor::randn([4, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let bias = Tensor::randn([4], 0.0, 0.5, &mut rng);
+        let grad = Tensor::randn([3, 4, 6, 6], 0.0, 1.0, &mut rng);
+
+        let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+        let seq = conv2d_with(&input, &weight, &bias, spec, ParallelConfig::sequential());
+        let (si, sw, sb) =
+            conv2d_backward_with(&input, &weight, &grad, spec, ParallelConfig::sequential());
+        for threads in [2, 3, 4, 8] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let par = conv2d_with(&input, &weight, &bias, spec, cfg);
+            assert_eq!(bits(&seq), bits(&par), "forward, threads={threads}");
+            let (pi, pw, pb) = conv2d_backward_with(&input, &weight, &grad, spec, cfg);
+            assert_eq!(bits(&si), bits(&pi), "grad_input, threads={threads}");
+            assert_eq!(bits(&sw), bits(&pw), "grad_weight, threads={threads}");
+            assert_eq!(bits(&sb), bits(&pb), "grad_bias, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn conv2d_handles_empty_batch() {
+        for threads in [1, 4] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let out = conv2d_with(
+                &Tensor::zeros([0, 2, 4, 4]),
+                &Tensor::zeros([3, 2, 3, 3]),
+                &Tensor::zeros([3]),
+                Conv2dSpec::new(3, 1, 1),
+                cfg,
+            );
+            assert_eq!(out.dims(), &[0, 3, 4, 4]);
+            let (gi, gw, gb) = conv2d_backward_with(
+                &Tensor::zeros([0, 2, 4, 4]),
+                &Tensor::zeros([3, 2, 3, 3]),
+                &out,
+                Conv2dSpec::new(3, 1, 1),
+                cfg,
+            );
+            assert_eq!(gi.dims(), &[0, 2, 4, 4]);
+            assert_eq!(gw.dims(), &[3, 2, 3, 3]);
+            assert_eq!(gb.dims(), &[3]);
+        }
     }
 }

@@ -38,6 +38,15 @@ pub enum TensorError {
     /// A shape with a zero-sized dimension was supplied where a non-empty
     /// tensor is required.
     EmptyShape,
+    /// An operand had the wrong rank for the requested operation.
+    RankMismatch {
+        /// The operation that failed.
+        op: &'static str,
+        /// The rank the operation requires.
+        expected: usize,
+        /// The rank the operand actually had.
+        got: usize,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -56,6 +65,9 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::EmptyShape => write!(f, "shape must have a positive volume"),
+            TensorError::RankMismatch { op, expected, got } => {
+                write!(f, "{op} requires a rank-{expected} operand, got rank {got}")
+            }
         }
     }
 }
@@ -80,6 +92,11 @@ mod tests {
             },
             TensorError::AxisOutOfRange { axis: 5, rank: 2 },
             TensorError::EmptyShape,
+            TensorError::RankMismatch {
+                op: "matmul()",
+                expected: 2,
+                got: 3,
+            },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -32,11 +32,13 @@ mod error;
 mod init;
 mod linalg;
 mod ops;
+pub mod pool;
 mod shape;
 mod tensor;
 
 pub use autograd::{Gradients, Tape, Var};
 pub use error::TensorError;
 pub use ops::{argmax_slice, softmax_in_place};
+pub use pool::ParallelConfig;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -2,17 +2,140 @@
 //!
 //! The kernels are BLAS-free but cache-aware (ikj loop order with a
 //! restructured inner loop) — fast enough to train every model in the
-//! reproduction on a laptop CPU.
+//! reproduction on a laptop CPU. `matmul` additionally partitions its
+//! output by row blocks across scoped threads (see [`crate::pool`]);
+//! the per-element reduction order inside each row never depends on the
+//! thread count, so results are bit-identical at every `TEAMNET_THREADS`
+//! setting.
+//!
+//! Every operation comes in two forms: a `try_*` entry point returning
+//! `Result<_, TensorError>` for callers that validate untrusted shapes,
+//! and a thin panicking wrapper for the hot internal paths where a shape
+//! mismatch is a programming error.
 
+use crate::error::TensorError;
+use crate::pool::{self, ParallelConfig};
 use crate::tensor::Tensor;
+use std::ops::Range;
+
+use crate::pool::PAR_MIN_WORK;
+
+fn require_rank(t: &Tensor, expected: usize, op: &'static str) -> Result<(), TensorError> {
+    if t.rank() == expected {
+        Ok(())
+    } else {
+        Err(TensorError::RankMismatch {
+            op,
+            expected,
+            got: t.rank(),
+        })
+    }
+}
+
+fn shape_mismatch(op: &'static str, left: &Tensor, right: &Tensor) -> TensorError {
+    TensorError::ShapeMismatch {
+        left: left.shape().to_string(),
+        right: right.shape().to_string(),
+        op,
+    }
+}
+
+/// The row-block matmul kernel shared by the sequential and parallel
+/// paths: computes output rows `rows` of `a × b` into `out` (which holds
+/// exactly those rows). `rhs_finite` gates the `aik == 0.0` sparsity
+/// skip: skipping a zero row is only sound when every element of `b` is
+/// finite, because IEEE-754 defines `0.0 × NaN` and `0.0 × ∞` as NaN —
+/// a non-finite right operand must poison the accumulator, not vanish.
+pub(crate) fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    rhs_finite: bool,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    // ikj order: the inner loop walks both `b` and `out` contiguously.
+    for (bi, i) in rows.enumerate() {
+        let out_row = &mut out[bi * n..(bi + 1) * n];
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 && rhs_finite {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
 
 impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Large products are partitioned by row blocks across the process
+    /// default [`ParallelConfig`]; outputs are bit-identical at every
+    /// thread count. NaN/Inf anywhere in either operand propagates into
+    /// the affected output elements per IEEE-754.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are
+    /// rank-2, and [`TensorError::ShapeMismatch`] when the inner
+    /// dimensions differ.
+    pub fn try_matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let cfg = if self.rank() == 2 && rhs.rank() == 2 {
+            let work = self.dims()[0] * self.dims()[1] * rhs.dims()[1];
+            if work >= PAR_MIN_WORK {
+                ParallelConfig::default()
+            } else {
+                ParallelConfig::sequential()
+            }
+        } else {
+            ParallelConfig::sequential()
+        };
+        self.try_matmul_with(rhs, cfg)
+    }
+
+    /// [`Tensor::try_matmul`] with an explicit thread configuration and
+    /// no size threshold — `cfg.threads() == 1` runs the exact
+    /// sequential kernel on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::try_matmul`].
+    pub fn try_matmul_with(
+        &self,
+        rhs: &Tensor,
+        cfg: ParallelConfig,
+    ) -> Result<Tensor, TensorError> {
+        require_rank(self, 2, "matmul()")?;
+        require_rank(rhs, 2, "matmul()")?;
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
+        if k != k2 {
+            return Err(shape_mismatch("matmul()", self, rhs));
+        }
+        let a = self.data();
+        let b = rhs.data();
+        // One O(k·n) scan decides whether the zero-skip is sound for the
+        // whole product; the skip is worth keeping because one-hot and
+        // masked matrices are common on the gating path.
+        let rhs_finite = b.iter().all(|x| x.is_finite());
+        let mut out = vec![0.0f32; m * n];
+        pool::partitioned(&mut out, m, cfg.threads(), |rows, block| {
+            matmul_rows(a, b, k, n, rhs_finite, rows, block);
+        });
+        Ok(Tensor::from_parts([m, n], out))
+    }
+
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
     ///
     /// # Panics
     ///
     /// Panics unless both operands are rank-2 with matching inner
-    /// dimensions.
+    /// dimensions. Use [`Tensor::try_matmul`] to validate instead.
     ///
     /// # Examples
     ///
@@ -27,43 +150,23 @@ impl Tensor {
     pub fn matmul(&self, rhs: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "matmul() requires rank-2 operands");
         assert_eq!(rhs.rank(), 2, "matmul() requires rank-2 operands");
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (rhs.dims()[0], rhs.dims()[1]);
         assert_eq!(
-            k,
-            k2,
+            self.dims()[1],
+            rhs.dims()[0],
             "matmul() inner dimension mismatch: {} vs {}",
             self.shape(),
             rhs.shape()
         );
-        let mut out = vec![0.0f32; m * n];
-        let a = self.data();
-        let b = rhs.data();
-        // ikj order: the inner loop walks both `b` and `out` contiguously.
-        for i in 0..m {
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for kk in 0..k {
-                let aik = a[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * bv;
-                }
-            }
-        }
-        // `out` was allocated as m * n zeros. lint: allow(no-expect)
-        Tensor::from_vec(out, [m, n]).expect("matmul output volume is m*n by construction")
+        self.try_matmul(rhs).unwrap_or_else(|_| unreachable!())
     }
 
     /// Transpose of a rank-2 tensor.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tensor is not rank-2.
-    pub fn transpose(&self) -> Tensor {
-        assert_eq!(self.rank(), 2, "transpose() requires a rank-2 tensor");
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank-2.
+    pub fn try_transpose(&self) -> Result<Tensor, TensorError> {
+        require_rank(self, 2, "transpose()")?;
         let (m, n) = (self.dims()[0], self.dims()[1]);
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -71,8 +174,37 @@ impl Tensor {
                 out[j * m + i] = self.data()[i * n + j];
             }
         }
-        // `out` was allocated as m * n zeros. lint: allow(no-expect)
-        Tensor::from_vec(out, [n, m]).expect("transpose preserves volume")
+        Ok(Tensor::from_parts([n, m], out))
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2. Use [`Tensor::try_transpose`]
+    /// to validate instead.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose() requires a rank-2 tensor");
+        self.try_transpose().unwrap_or_else(|_| unreachable!())
+    }
+
+    /// Matrix–vector product: `[m, n] × [n] → [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is rank-2 and
+    /// `v` rank-1, and [`TensorError::ShapeMismatch`] when the lengths
+    /// disagree.
+    pub fn try_matvec(&self, v: &Tensor) -> Result<Tensor, TensorError> {
+        require_rank(self, 2, "matvec()")?;
+        require_rank(v, 1, "matvec()")?;
+        let (m, n) = (self.dims()[0], self.dims()[1]);
+        if n != v.dims()[0] {
+            return Err(shape_mismatch("matvec()", self, v));
+        }
+        Ok((0..m)
+            .map(|i| self.row(i).iter().zip(v.data()).map(|(&a, &b)| a * b).sum())
+            .collect())
     }
 
     /// Matrix–vector product: `[m, n] × [n] → [m]`.
@@ -80,25 +212,23 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics unless `self` is rank-2 and `v` is rank-1 with matching
-    /// length.
+    /// length. Use [`Tensor::try_matvec`] to validate instead.
     pub fn matvec(&self, v: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "matvec() requires a rank-2 matrix");
         assert_eq!(v.rank(), 1, "matvec() requires a rank-1 vector");
-        let (m, n) = (self.dims()[0], self.dims()[1]);
-        assert_eq!(n, v.dims()[0], "matvec() dimension mismatch");
-        (0..m)
-            .map(|i| self.row(i).iter().zip(v.data()).map(|(&a, &b)| a * b).sum())
-            .collect()
+        assert_eq!(self.dims()[1], v.dims()[0], "matvec() dimension mismatch");
+        self.try_matvec(v).unwrap_or_else(|_| unreachable!())
     }
 
     /// Outer product of two rank-1 tensors: `[m] ⊗ [n] → [m, n]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless both operands are rank-1.
-    pub fn outer(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 1, "outer() requires rank-1 operands");
-        assert_eq!(rhs.rank(), 1, "outer() requires rank-1 operands");
+    /// Returns [`TensorError::RankMismatch`] unless both operands are
+    /// rank-1.
+    pub fn try_outer(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        require_rank(self, 1, "outer()")?;
+        require_rank(rhs, 1, "outer()")?;
         let (m, n) = (self.dims()[0], rhs.dims()[0]);
         let mut out = Vec::with_capacity(m * n);
         for &a in self.data() {
@@ -106,24 +236,52 @@ impl Tensor {
                 out.push(a * b);
             }
         }
-        // The nested loop pushes exactly m * n products. lint: allow(no-expect)
-        Tensor::from_vec(out, [m, n]).expect("outer output volume is m*n by construction")
+        Ok(Tensor::from_parts([m, n], out))
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] ⊗ [n] → [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both operands are rank-1. Use [`Tensor::try_outer`]
+    /// to validate instead.
+    pub fn outer(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 1, "outer() requires rank-1 operands");
+        assert_eq!(rhs.rank(), 1, "outer() requires rank-1 operands");
+        self.try_outer(rhs).unwrap_or_else(|_| unreachable!())
+    }
+
+    /// Dot product of two rank-1 tensors of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are
+    /// rank-1, and [`TensorError::ShapeMismatch`] when lengths differ.
+    pub fn try_dot(&self, rhs: &Tensor) -> Result<f32, TensorError> {
+        require_rank(self, 1, "dot()")?;
+        require_rank(rhs, 1, "dot()")?;
+        if self.len() != rhs.len() {
+            return Err(shape_mismatch("dot()", self, rhs));
+        }
+        Ok(self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(&a, &b)| a * b)
+            .sum())
     }
 
     /// Dot product of two rank-1 tensors of equal length.
     ///
     /// # Panics
     ///
-    /// Panics unless both operands are rank-1 with equal lengths.
+    /// Panics unless both operands are rank-1 with equal lengths. Use
+    /// [`Tensor::try_dot`] to validate instead.
     pub fn dot(&self, rhs: &Tensor) -> f32 {
         assert_eq!(self.rank(), 1, "dot() requires rank-1 operands");
         assert_eq!(rhs.rank(), 1, "dot() requires rank-1 operands");
         assert_eq!(self.len(), rhs.len(), "dot() length mismatch");
-        self.data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(&a, &b)| a * b)
-            .sum()
+        self.try_dot(rhs).unwrap_or_else(|_| unreachable!())
     }
 }
 
@@ -169,6 +327,89 @@ mod tests {
     }
 
     #[test]
+    fn try_matmul_reports_typed_errors() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let bad_rank = a.try_matmul(&t(&[1.0], &[1]));
+        assert!(matches!(
+            bad_rank.unwrap_err(),
+            TensorError::RankMismatch {
+                op: "matmul()",
+                expected: 2,
+                got: 1
+            }
+        ));
+        let bad_inner = a.try_matmul(&t(&[1.0], &[1, 1]));
+        assert!(matches!(
+            bad_inner.unwrap_err(),
+            TensorError::ShapeMismatch { op: "matmul()", .. }
+        ));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf_from_either_operand() {
+        // The zero row of `a` meets NaN/∞ in `b`: 0·NaN = NaN, 0·∞ = NaN.
+        let a = t(&[0.0, 0.0, 1.0, 2.0], &[2, 2]);
+        let b = t(&[f32::NAN, 1.0, 2.0, 3.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert!(c.at(&[0, 0]).is_nan(), "0·NaN must poison, got {c:?}");
+        assert_eq!(c.at(&[0, 1]), 0.0);
+        assert!(c.at(&[1, 0]).is_nan());
+        assert_eq!(c.at(&[1, 1]), 7.0);
+
+        let inf = t(&[f32::INFINITY, 0.0, 0.0, 0.0], &[2, 2]);
+        let d = a.matmul(&inf);
+        assert!(d.at(&[0, 0]).is_nan(), "0·∞ must poison, got {d:?}");
+
+        // NaN in the *left* operand, against a finite rhs.
+        let an = t(&[f32::NAN, 0.0, 0.0, 1.0], &[2, 2]);
+        let e = an.matmul(&t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        assert!(e.at(&[0, 0]).is_nan() && e.at(&[0, 1]).is_nan());
+        assert_eq!(e.at(&[1, 0]), 3.0);
+    }
+
+    #[test]
+    fn matmul_parallel_is_bit_identical_to_sequential() {
+        let m = 17;
+        let k = 13;
+        let n = 11;
+        let a: Tensor = (0..m * k)
+            .map(|i| ((i * 2654435761usize) % 1000) as f32 / 7.0 - 60.0)
+            .collect::<Tensor>()
+            .reshape([m, k])
+            .unwrap();
+        let b: Tensor = (0..k * n)
+            .map(|i| ((i * 40503usize) % 997) as f32 / 11.0 - 40.0)
+            .collect::<Tensor>()
+            .reshape([k, n])
+            .unwrap();
+        let seq = a.try_matmul_with(&b, ParallelConfig::sequential()).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = a
+                .try_matmul_with(&b, ParallelConfig::with_threads(threads))
+                .unwrap();
+            let seq_bits: Vec<u32> = seq.data().iter().map(|x| x.to_bits()).collect();
+            let par_bits: Vec<u32> = par.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn matmul_handles_zero_dimensions() {
+        for threads in [1, 4] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let a0 = Tensor::zeros([0, 3]);
+            let b = Tensor::zeros([3, 2]);
+            assert_eq!(a0.try_matmul_with(&b, cfg).unwrap().dims(), &[0, 2]);
+            let a = Tensor::zeros([2, 0]);
+            let b0 = Tensor::zeros([0, 3]);
+            assert_eq!(a.try_matmul_with(&b0, cfg).unwrap().dims(), &[2, 3]);
+            let bn = Tensor::zeros([3, 0]);
+            let c = Tensor::zeros([2, 3]).try_matmul_with(&bn, cfg).unwrap();
+            assert_eq!(c.dims(), &[2, 0]);
+        }
+    }
+
+    #[test]
     fn transpose_involution() {
         let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
         let at = a.transpose();
@@ -204,5 +445,20 @@ mod tests {
         assert_eq!(o.dims(), &[2, 3]);
         assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
         assert_eq!(u.dot(&u), 5.0);
+    }
+
+    #[test]
+    fn try_variants_agree_with_panicking_wrappers() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let v = t(&[1.0, -1.0], &[2]);
+        assert_eq!(a.try_transpose().unwrap(), a.transpose());
+        assert_eq!(a.try_matvec(&v).unwrap(), a.matvec(&v));
+        assert_eq!(v.try_outer(&v).unwrap(), v.outer(&v));
+        assert_eq!(v.try_dot(&v).unwrap(), v.dot(&v));
+        assert!(v.try_transpose().is_err());
+        assert!(a.try_dot(&v).is_err());
+        assert!(v.try_dot(&t(&[1.0], &[1])).is_err());
+        assert!(a.try_matvec(&t(&[1.0], &[1])).is_err());
+        assert!(a.try_outer(&v).is_err());
     }
 }

@@ -45,6 +45,14 @@ impl Tensor {
         Ok(Tensor { shape, data })
     }
 
+    /// Infallible constructor for kernels that build `data` to match
+    /// `shape` by construction (checked in debug builds only).
+    pub(crate) fn from_parts(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        debug_assert_eq!(data.len(), shape.volume(), "from_parts volume mismatch");
+        Tensor { shape, data }
+    }
+
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();

@@ -37,6 +37,7 @@ const ROOT_FILES: &[&str] = &[
     "crates/net/src/codec.rs",
     "crates/core/src/entropy.rs",
     "crates/core/src/runtime.rs",
+    "crates/tensor/src/pool.rs",
 ];
 
 const SIMNET_PREFIX: &str = "crates/simnet/src/";
