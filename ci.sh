@@ -13,6 +13,11 @@
 #   6. kernel-bench smoke (parallel-vs-sequential bit-identity on every
 #                         kernel, plus the JSON artifact plumbing)
 #   7. chaos soak        (50 seeded fault-injected inference rounds)
+#   8. traced smoke      (chaos_inference with TEAMNET_TRACE -> JsonlSink,
+#                         piped through `cargo xtask trace-report`, which
+#                         exits non-zero on a parse error or an empty span
+#                         table; the workspace tests in stage 5 cover the
+#                         default NullSink path)
 #
 # Opt-in stage (not part of the default gate):
 #   ./ci.sh tsan         runs the fault-tolerance and chaos-soak suites
@@ -49,3 +54,5 @@ TEAMNET_THREADS=1 cargo test -q --workspace
 TEAMNET_THREADS=4 cargo test -q --workspace
 cargo run -q --release -p teamnet-bench --bin kernel_bench -- --smoke --out /tmp/BENCH_kernels_smoke.json
 cargo test -q --release --test chaos_soak
+TEAMNET_TRACE=/tmp/ci_trace.jsonl cargo run -q --release --example chaos_inference >/dev/null
+cargo xtask trace-report /tmp/ci_trace.jsonl

@@ -26,6 +26,7 @@ use rand::SeedableRng;
 use serde::Serialize;
 use teamnet_core::{build_expert, TeamNet};
 use teamnet_nn::ModelSpec;
+use teamnet_obs::{Histogram, HistogramSnapshot, MetricsRegistry, Obs};
 use teamnet_tensor::conv::{conv2d_backward_with, conv2d_with, Conv2dSpec};
 use teamnet_tensor::{ParallelConfig, Tensor};
 
@@ -39,6 +40,7 @@ struct MatmulRow {
     ms_per_iter: f64,
     gflops: f64,
     bit_identical_to_seq: bool,
+    latency_ns: HistogramSnapshot,
 }
 
 #[derive(Serialize)]
@@ -50,6 +52,8 @@ struct ConvRow {
     forward_ms: f64,
     backward_ms: f64,
     bit_identical_to_seq: bool,
+    forward_ns: HistogramSnapshot,
+    backward_ns: HistogramSnapshot,
 }
 
 #[derive(Serialize)]
@@ -60,6 +64,7 @@ struct TeamRow {
     iters: u32,
     ms_per_iter: f64,
     bit_identical_to_seq: bool,
+    latency_ns: HistogramSnapshot,
 }
 
 #[derive(Serialize)]
@@ -67,24 +72,55 @@ struct Report {
     host_threads: usize,
     smoke: bool,
     caveat: &'static str,
+    /// Cost of one disabled `Obs::span()` call (the NullSink path), in
+    /// nanoseconds — the overhead the runtime pays when tracing is off.
+    null_span_ns_per_call: f64,
     matmul: Vec<MatmulRow>,
     conv2d: Vec<ConvRow>,
     team_forward: Vec<TeamRow>,
 }
 
-fn time_iters(iters: u32, mut f: impl FnMut()) -> f64 {
+/// Times `iters` runs of `f`, feeding each run's nanoseconds into `hist`
+/// (the shared `teamnet-obs` log2-bucket machinery — the same snapshot
+/// format the trace-report tool prints). Returns the mean ms per iter.
+fn time_iters(iters: u32, hist: &Histogram, mut f: impl FnMut()) -> f64 {
     let start = Instant::now();
+    let mut last = start;
     for _ in 0..iters {
         f();
+        let now = Instant::now();
+        let ns = now.duration_since(last).as_nanos();
+        hist.observe(u64::try_from(ns).unwrap_or(u64::MAX));
+        last = now;
     }
-    start.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+    last.duration_since(start).as_secs_f64() * 1e3 / f64::from(iters)
+}
+
+/// Measures the per-call cost of a span against a disabled tracer: one
+/// branch, no clock read, no lock. Reported in the JSON so "NullSink adds
+/// no measurable overhead" is a number, not a claim.
+fn measure_null_span_overhead() -> f64 {
+    let obs = Obs::disabled();
+    let iters = 1_000_000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _g = obs.span("bench.noop", &[]);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+}
+
+fn dims_key(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
 }
 
 fn bits(t: &Tensor) -> Vec<u32> {
     t.data().iter().map(|x| x.to_bits()).collect()
 }
 
-fn bench_matmul(sizes: &[usize], iters: u32) -> Vec<MatmulRow> {
+fn bench_matmul(sizes: &[usize], iters: u32, metrics: &MetricsRegistry) -> Vec<MatmulRow> {
     let mut rows = Vec::new();
     for &size in sizes {
         let mut rng = StdRng::seed_from_u64(size as u64);
@@ -97,7 +133,8 @@ fn bench_matmul(sizes: &[usize], iters: u32) -> Vec<MatmulRow> {
             let cfg = ParallelConfig::with_threads(threads);
             let out = a.try_matmul_with(&b, cfg).expect("square matmul");
             let identical = bits(&out) == bits(&reference);
-            let ms = time_iters(iters, || {
+            let hist = metrics.histogram(&format!("bench.matmul.n{size}.t{threads}.ns"));
+            let ms = time_iters(iters, &hist, || {
                 let _ = a.try_matmul_with(&b, cfg).expect("square matmul");
             });
             let flops = 2.0 * (size as f64).powi(3);
@@ -108,6 +145,7 @@ fn bench_matmul(sizes: &[usize], iters: u32) -> Vec<MatmulRow> {
                 ms_per_iter: ms,
                 gflops: flops / (ms * 1e6),
                 bit_identical_to_seq: identical,
+                latency_ns: hist.snapshot(),
             });
             println!(
                 "matmul {size:>3}^3  threads={threads}  {ms:8.3} ms  ({:6.2} GFLOP/s)  bit-identical={identical}",
@@ -118,7 +156,11 @@ fn bench_matmul(sizes: &[usize], iters: u32) -> Vec<MatmulRow> {
     rows
 }
 
-fn bench_conv(shapes: &[(Vec<usize>, Vec<usize>)], iters: u32) -> Vec<ConvRow> {
+fn bench_conv(
+    shapes: &[(Vec<usize>, Vec<usize>)],
+    iters: u32,
+    metrics: &MetricsRegistry,
+) -> Vec<ConvRow> {
     let spec = Conv2dSpec::new(3, 1, 1);
     let mut rows = Vec::new();
     for (in_dims, w_dims) in shapes {
@@ -138,10 +180,13 @@ fn bench_conv(shapes: &[(Vec<usize>, Vec<usize>)], iters: u32) -> Vec<ConvRow> {
                 && bits(&bwd.0) == bits(&bwd_ref.0)
                 && bits(&bwd.1) == bits(&bwd_ref.1)
                 && bits(&bwd.2) == bits(&bwd_ref.2);
-            let forward_ms = time_iters(iters, || {
+            let key = dims_key(in_dims);
+            let fwd_hist = metrics.histogram(&format!("bench.conv2d.fwd.{key}.t{threads}.ns"));
+            let bwd_hist = metrics.histogram(&format!("bench.conv2d.bwd.{key}.t{threads}.ns"));
+            let forward_ms = time_iters(iters, &fwd_hist, || {
                 let _ = conv2d_with(&input, &weight, &bias, spec, cfg);
             });
-            let backward_ms = time_iters(iters, || {
+            let backward_ms = time_iters(iters, &bwd_hist, || {
                 let _ = conv2d_backward_with(&input, &weight, &grad_out, spec, cfg);
             });
             println!(
@@ -155,6 +200,8 @@ fn bench_conv(shapes: &[(Vec<usize>, Vec<usize>)], iters: u32) -> Vec<ConvRow> {
                 forward_ms,
                 backward_ms,
                 bit_identical_to_seq: identical,
+                forward_ns: fwd_hist.snapshot(),
+                backward_ns: bwd_hist.snapshot(),
             });
         }
     }
@@ -167,6 +214,7 @@ fn bench_team(
     layers: usize,
     hidden: usize,
     iters: u32,
+    metrics: &MetricsRegistry,
 ) -> Vec<TeamRow> {
     let mut rows = Vec::new();
     for &k in ks {
@@ -186,7 +234,8 @@ fn bench_team(
                         && a.expert == b.expert
                         && a.entropy.to_bits() == b.entropy.to_bits()
                 });
-            let ms = time_iters(iters, || {
+            let hist = metrics.histogram(&format!("bench.team.k{k}.t{threads}.ns"));
+            let ms = time_iters(iters, &hist, || {
                 let _ = team.predict(&images);
             });
             println!(
@@ -199,6 +248,7 @@ fn bench_team(
                 iters,
                 ms_per_iter: ms,
                 bit_identical_to_seq: identical,
+                latency_ns: hist.snapshot(),
             });
         }
     }
@@ -236,11 +286,16 @@ fn main() {
     let matmul_iters = if smoke { 2 } else { 5 };
     let conv_iters = if smoke { 2 } else { 5 };
 
-    let matmul = bench_matmul(&matmul_sizes, matmul_iters);
+    let null_span_ns_per_call = measure_null_span_overhead();
+    println!("disabled span() overhead: {null_span_ns_per_call:.2} ns/call\n");
+
+    let metrics = MetricsRegistry::new();
+    let matmul = bench_matmul(&matmul_sizes, matmul_iters, &metrics);
     println!();
-    let conv2d = bench_conv(&conv_shapes, conv_iters);
+    let conv2d = bench_conv(&conv_shapes, conv_iters, &metrics);
     println!();
-    let team_forward = bench_team(&[2, 4], team_batch, 3, 32, team_iters);
+    let team_forward = bench_team(&[2, 4], team_batch, 3, 32, team_iters, &metrics);
+    println!("\n{}", metrics.snapshot().summary());
 
     let all_identical = matmul.iter().all(|r| r.bit_identical_to_seq)
         && conv2d.iter().all(|r| r.bit_identical_to_seq)
@@ -251,7 +306,12 @@ fn main() {
         smoke,
         caveat: "Timings are from this host; with host_threads=1 the >1-thread rows measure \
                  scoped-thread scheduling overhead on one core, not parallel speedup. The \
-                 bit_identical_to_seq flags are hardware-independent.",
+                 bit_identical_to_seq flags are hardware-independent. Per-row *_ns fields \
+                 are teamnet-obs log2-bucket histogram snapshots (quantiles are bucket \
+                 upper bounds, honest to within 2x). null_span_ns_per_call is the cost of \
+                 a span against a disabled tracer — single-digit nanoseconds, i.e. no \
+                 measurable overhead on kernels that run for microseconds or more.",
+        null_span_ns_per_call,
         matmul,
         conv2d,
         team_forward,

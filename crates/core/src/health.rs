@@ -29,6 +29,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use teamnet_net::{Clock, SystemClock};
+use teamnet_obs::Counter;
 
 /// Liveness classification of one peer, as seen by the master.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +98,10 @@ pub struct FailureDetector {
     config: FailureDetectorConfig,
     peers: BTreeMap<usize, PeerState>,
     clock: Arc<dyn Clock>,
+    /// Incremented on every health-state change (Live→Suspect,
+    /// Quarantined→Probing, readmissions, …) when wired via
+    /// [`FailureDetector::set_transition_counter`].
+    transitions: Option<Counter>,
 }
 
 impl FailureDetector {
@@ -128,6 +133,21 @@ impl FailureDetector {
                 })
                 .collect(),
             clock,
+            transitions: None,
+        }
+    }
+
+    /// Wires a metrics counter that ticks on every peer health-state
+    /// transition (the `detector.transitions` counter of DESIGN.md §12).
+    pub fn set_transition_counter(&mut self, counter: Counter) {
+        self.transitions = Some(counter);
+    }
+
+    fn note_transition(&self, from: PeerHealth, to: PeerHealth) {
+        if from != to {
+            if let Some(c) = &self.transitions {
+                c.inc();
+            }
         }
     }
 
@@ -158,7 +178,8 @@ impl FailureDetector {
         let Some(state) = self.peers.get_mut(&peer) else {
             return ContactPlan::Skip;
         };
-        match state.health {
+        let before = state.health;
+        let plan = match state.health {
             PeerHealth::Live | PeerHealth::Suspect => ContactPlan::Full,
             PeerHealth::Quarantined => {
                 state.rounds_since_probe += 1;
@@ -172,17 +193,22 @@ impl FailureDetector {
             // Only reachable if the caller forgot to record the previous
             // probe's outcome; probe again rather than wedging.
             PeerHealth::Probing => ContactPlan::Probe,
-        }
+        };
+        let after = state.health;
+        self.note_transition(before, after);
+        plan
     }
 
     /// Records a reply (result or probe ack) from `peer`: readmission.
     pub fn record_success(&mut self, peer: usize) {
         let now = self.clock.now();
         if let Some(state) = self.peers.get_mut(&peer) {
+            let before = state.health;
             state.health = PeerHealth::Live;
             state.consecutive_misses = 0;
             state.rounds_since_probe = 0;
             state.last_reply = Some(now);
+            self.note_transition(before, PeerHealth::Live);
         }
     }
 
@@ -192,6 +218,7 @@ impl FailureDetector {
         let quarantine_after = self.config.quarantine_after.max(1);
         let suspect_after = self.config.suspect_after.max(1);
         if let Some(state) = self.peers.get_mut(&peer) {
+            let before = state.health;
             state.consecutive_misses = state.consecutive_misses.saturating_add(1);
             if state.health == PeerHealth::Probing {
                 // Failed readmission probe: back to quarantine, restart the
@@ -204,6 +231,8 @@ impl FailureDetector {
             } else if state.consecutive_misses >= suspect_after {
                 state.health = PeerHealth::Suspect;
             }
+            let after = state.health;
+            self.note_transition(before, after);
         }
     }
 }
@@ -420,6 +449,25 @@ mod tests {
         assert_eq!(a.summary(), b.summary());
         assert!(a.summary().contains("stale=4"), "{}", a.summary());
         assert!(a.summary().contains("entropy=3e800000"), "{}", a.summary());
+    }
+
+    #[test]
+    fn transition_counter_ticks_on_state_changes_only() {
+        let counter = Counter::default();
+        let mut fd = FailureDetector::new(2, config(2, 1));
+        fd.set_transition_counter(counter.clone());
+        fd.record_success(1); // Live -> Live: no transition
+        assert_eq!(counter.get(), 0);
+        fd.record_miss(1); // Live -> Suspect
+        assert_eq!(counter.get(), 1);
+        fd.record_miss(1); // Suspect -> Quarantined
+        assert_eq!(counter.get(), 2);
+        assert_eq!(fd.plan(1), ContactPlan::Probe); // Quarantined -> Probing
+        assert_eq!(counter.get(), 3);
+        fd.record_success(1); // Probing -> Live (readmission)
+        assert_eq!(counter.get(), 4);
+        assert_eq!(fd.plan(1), ContactPlan::Full); // Live stays Live
+        assert_eq!(counter.get(), 4);
     }
 
     #[test]

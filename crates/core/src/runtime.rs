@@ -37,6 +37,7 @@ use teamnet_net::{
     Backoff, Clock, Envelope, NetError, PayloadKind, RetryPolicy, SystemClock, Tag, Transport,
 };
 use teamnet_nn::{Layer, Mode, Sequential};
+use teamnet_obs::{Counter, Obs};
 use teamnet_tensor::Tensor;
 
 /// Tag carrying broadcast input batches and probes (master → workers).
@@ -80,6 +81,12 @@ pub struct MasterConfig {
     /// system clock; tests inject a [`teamnet_net::ManualClock`] to walk
     /// timeouts in virtual time instead of sleeping.
     pub clock: Arc<dyn Clock>,
+    /// Observability handle. Defaults to [`Obs::disabled`]: spans cost one
+    /// branch, while protocol counters (`round.*`, `detector.transitions`)
+    /// still accumulate in the registry. Pass an [`Obs::new`] built over
+    /// the *same* clock as `clock` for a coherent timeline (DESIGN.md
+    /// §12).
+    pub obs: Obs,
 }
 
 impl Default for MasterConfig {
@@ -91,6 +98,7 @@ impl Default for MasterConfig {
             failure: FailureDetectorConfig::default(),
             send_retry: RetryPolicy::default(),
             clock: Arc::new(SystemClock),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -168,6 +176,9 @@ pub struct WorkerStats {
 /// malformed batches are counted and skipped — one bad frame must not
 /// take a worker out of the team.
 ///
+/// Equivalent to [`serve_worker_with_obs`] with [`Obs::disabled`]: the
+/// returned [`WorkerStats`] carry the counters either way.
+///
 /// # Errors
 ///
 /// Returns transport failures other than a clean shutdown/close.
@@ -176,7 +187,30 @@ pub fn serve_worker(
     master: usize,
     expert: &mut Sequential,
 ) -> Result<WorkerStats, NetError> {
+    serve_worker_with_obs(transport, master, expert, &Obs::disabled())
+}
+
+/// [`serve_worker`] with an observability handle: mirrors every
+/// [`WorkerStats`] counter into the registry live
+/// (`worker.rounds_served`, `worker.probes_answered`,
+/// `worker.malformed_skipped`) and traces each served batch as a
+/// `worker.forward` span — so worker-side telemetry flows through the
+/// same snapshot machinery as the master's instead of living in a
+/// parallel ad-hoc struct.
+///
+/// # Errors
+///
+/// Returns transport failures other than a clean shutdown/close.
+pub fn serve_worker_with_obs(
+    transport: &dyn Transport,
+    master: usize,
+    expert: &mut Sequential,
+    obs: &Obs,
+) -> Result<WorkerStats, NetError> {
     const POLL: Duration = Duration::from_millis(50);
+    let c_rounds = obs.metrics.counter("worker.rounds_served");
+    let c_probes = obs.metrics.counter("worker.probes_answered");
+    let c_malformed = obs.metrics.counter("worker.malformed_skipped");
     let mut stats = WorkerStats::default();
     loop {
         // Check for shutdown first so it cannot starve behind inputs.
@@ -196,6 +230,7 @@ pub fn serve_worker(
             Ok(env) => env,
             Err(NetError::Corrupt { .. } | NetError::Malformed(_)) => {
                 stats.malformed_skipped += 1;
+                c_malformed.inc();
                 continue;
             }
             Err(e) => return Err(e),
@@ -203,6 +238,7 @@ pub fn serve_worker(
         let reply = match env.kind {
             PayloadKind::Probe => {
                 stats.probes_answered += 1;
+                c_probes.inc();
                 Envelope::new(env.round, PayloadKind::ProbeAck, Vec::new())
             }
             PayloadKind::Input => {
@@ -213,17 +249,24 @@ pub fn serve_worker(
                     Ok(images) => images,
                     Err(_) => {
                         stats.malformed_skipped += 1;
+                        c_malformed.inc();
                         continue;
                     }
                 };
-                let results = local_results(expert, &images);
+                let results = {
+                    let rows = images.dims().first().copied().unwrap_or(0);
+                    let _forward_span = obs.span("worker.forward", &[("rows", rows as u64)]);
+                    local_results(expert, &images)
+                };
                 stats.rounds_served += 1;
+                c_rounds.inc();
                 Envelope::new(env.round, PayloadKind::Result, encode_results(&results))
             }
             // Result/ProbeAck flowing master → worker is a protocol error;
             // skip it rather than dying.
             _ => {
                 stats.malformed_skipped += 1;
+                c_malformed.inc();
                 continue;
             }
         };
@@ -245,17 +288,37 @@ pub fn serve_worker(
 pub struct InferenceSession {
     config: MasterConfig,
     detector: FailureDetector,
+    /// Session-local round index: unlike the process-global stamp it is
+    /// identical across identical runs, so it is what trace spans carry.
+    rounds: u64,
+    c_send_retries: Counter,
+    c_stale: Counter,
+    c_corrupt: Counter,
+    c_malformed: Counter,
 }
 
 impl InferenceSession {
     /// Creates a session for the cluster behind `transport`.
     pub fn new(transport: &dyn Transport, config: MasterConfig) -> Self {
-        let detector = FailureDetector::with_clock(
+        let mut detector = FailureDetector::with_clock(
             transport.num_nodes(),
             config.failure.clone(),
             Arc::clone(&config.clock),
         );
-        InferenceSession { config, detector }
+        detector.set_transition_counter(config.obs.metrics.counter("detector.transitions"));
+        let c_send_retries = config.obs.metrics.counter("round.send.retries");
+        let c_stale = config.obs.metrics.counter("round.stale_discarded");
+        let c_corrupt = config.obs.metrics.counter("round.corrupt_discarded");
+        let c_malformed = config.obs.metrics.counter("round.malformed_discarded");
+        InferenceSession {
+            config,
+            detector,
+            rounds: 0,
+            c_send_retries,
+            c_stale,
+            c_corrupt,
+            c_malformed,
+        }
     }
 
     /// Read access to peer health between rounds.
@@ -290,7 +353,10 @@ impl InferenceSession {
                     return Ok(false);
                 }
                 Err(e) => match backoff.next_delay() {
-                    Some(delay) => self.config.clock.sleep(delay),
+                    Some(delay) => {
+                        self.c_send_retries.inc();
+                        self.config.clock.sleep(delay);
+                    }
                     None => {
                         if self.config.require_all_workers {
                             return Err(e);
@@ -326,6 +392,13 @@ impl InferenceSession {
         let num_nodes = transport.num_nodes();
         let n = images.dims().first().copied().unwrap_or(0);
         let round = next_round();
+        // Spans carry the session-local index, not the process-global
+        // stamp: two identical seeded sessions must emit identical traces
+        // even when other sessions in the process consumed stamps first.
+        let session_round = self.rounds;
+        self.rounds += 1;
+        let obs = self.config.obs.clone();
+        let _round_span = obs.span("round", &[("round_idx", session_round), ("rows", n as u64)]);
 
         // Plan and broadcast. Quarantined peers are skipped outright;
         // probe-due peers get a 16-byte probe instead of the full batch.
@@ -339,31 +412,43 @@ impl InferenceSession {
         )
         .encode();
         let probe_payload = Envelope::new(round, PayloadKind::Probe, Vec::new()).encode();
-        for peer in 0..num_nodes {
-            if peer == me {
-                continue;
-            }
-            let plan = self.detector.plan(peer);
-            let payload = match plan {
-                ContactPlan::Full => &input_payload,
-                ContactPlan::Probe => &probe_payload,
-                ContactPlan::Skip => {
-                    if let Some(p) = plans.get_mut(peer) {
-                        *p = plan;
-                    }
+        {
+            let _broadcast_span = obs.span("round.broadcast", &[]);
+            for peer in 0..num_nodes {
+                if peer == me {
                     continue;
                 }
-            };
-            let ok = self.send_retrying(transport, peer, payload, round, send_deadline)?;
-            if let (Some(p), Some(s)) = (plans.get_mut(peer), sent.get_mut(peer)) {
-                *p = plan;
-                *s = ok;
+                let plan = self.detector.plan(peer);
+                let payload = match plan {
+                    ContactPlan::Full => &input_payload,
+                    ContactPlan::Probe => &probe_payload,
+                    ContactPlan::Skip => {
+                        if let Some(p) = plans.get_mut(peer) {
+                            *p = plan;
+                        }
+                        continue;
+                    }
+                };
+                let ok = {
+                    let _send_span = obs.span(
+                        "round.send",
+                        &[("peer", peer as u64), ("bytes", payload.len() as u64)],
+                    );
+                    self.send_retrying(transport, peer, payload, round, send_deadline)?
+                };
+                if let (Some(p), Some(s)) = (plans.get_mut(peer), sent.get_mut(peer)) {
+                    *p = plan;
+                    *s = ok;
+                }
             }
         }
 
         // Local expert runs while the workers compute. Selection compares
         // δ*-weighted entropies; reported entropy stays raw.
-        let local = local_results(expert, images);
+        let local = {
+            let _forward_span = obs.span("expert.forward", &[("rows", n as u64)]);
+            local_results(expert, images)
+        };
         let mut best: Vec<TeamPrediction> = local
             .into_iter()
             .map(|(label, h)| TeamPrediction {
@@ -384,6 +469,7 @@ impl InferenceSession {
         let mut stale_discarded = 0u64;
         let mut corrupt_discarded = 0u64;
         let mut malformed_discarded = 0u64;
+        let _gather_span = obs.span("round.gather", &[]);
         for peer in 0..num_nodes {
             let plan = plans.get(peer).copied().unwrap_or(ContactPlan::Skip);
             if peer == me || plan == ContactPlan::Skip {
@@ -392,6 +478,7 @@ impl InferenceSession {
             if !sent.get(peer).copied().unwrap_or(false) {
                 continue; // send never went out: counts as a miss below
             }
+            let _await_span = obs.span("gather.await", &[("peer", peer as u64)]);
             let got = loop {
                 let remaining = deadline.saturating_duration_since(self.config.clock.now());
                 let bytes = match transport.recv(peer, TAG_RESULT, remaining) {
@@ -406,6 +493,7 @@ impl InferenceSession {
                             return Err(e);
                         }
                         corrupt_discarded += 1;
+                        self.c_corrupt.inc();
                         continue;
                     }
                     Err(e) => {
@@ -413,6 +501,7 @@ impl InferenceSession {
                             return Err(e);
                         }
                         malformed_discarded += 1;
+                        self.c_malformed.inc();
                         continue;
                     }
                 };
@@ -422,6 +511,7 @@ impl InferenceSession {
                     // traffic is discarded even in strict mode — consuming
                     // it would silently corrupt the answer.
                     stale_discarded += 1;
+                    self.c_stale.inc();
                     continue;
                 }
                 match env.kind {
@@ -433,6 +523,7 @@ impl InferenceSession {
                                     return Err(e);
                                 }
                                 malformed_discarded += 1;
+                                self.c_malformed.inc();
                                 continue;
                             }
                         };
@@ -445,8 +536,12 @@ impl InferenceSession {
                                 return Err(e);
                             }
                             malformed_discarded += 1;
+                            self.c_malformed.inc();
                             continue;
                         }
+                        // The paper's Figure 4 arg-min: keep the
+                        // lowest-weighted-entropy answer per row.
+                        let _argmin_span = obs.span("entropy.argmin", &[("peer", peer as u64)]);
                         let slots = best_weighted.iter_mut().zip(best.iter_mut());
                         for ((label, h), (current, winner)) in results.into_iter().zip(slots) {
                             let weighted = h * self.config.weight(peer);
@@ -465,6 +560,7 @@ impl InferenceSession {
                     PayloadKind::ProbeAck => break true,
                     _ => {
                         malformed_discarded += 1;
+                        self.c_malformed.inc();
                         continue;
                     }
                 }
@@ -478,6 +574,7 @@ impl InferenceSession {
                 });
             }
         }
+        drop(_gather_span);
 
         // Fold the round's evidence into the detector and snapshot health.
         let mut peers = BTreeMap::new();

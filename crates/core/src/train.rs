@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use teamnet_data::Dataset;
 use teamnet_nn::ModelSpec;
+use teamnet_obs::{Counter, Gauge, Obs};
 
 /// Hyperparameters of a TeamNet training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -125,6 +126,11 @@ pub struct Trainer {
     assigned_counts: Vec<u64>,
     iteration: usize,
     history: TrainingHistory,
+    obs: Obs,
+    epochs_run: u64,
+    c_gate_invocations: Counter,
+    c_controller_iters: Counter,
+    share_gauges: Vec<Gauge>,
 }
 
 impl Trainer {
@@ -162,7 +168,7 @@ impl Trainer {
         let ensemble =
             ExpertEnsemble::new(spec, k, config.learning_rate, config.momentum, config.seed);
         let rng = StdRng::seed_from_u64(config.seed.wrapping_add(2));
-        Ok(Trainer {
+        let mut trainer = Trainer {
             ensemble,
             gate,
             config,
@@ -170,7 +176,36 @@ impl Trainer {
             assigned_counts: vec![0; k],
             iteration: 0,
             history: TrainingHistory::default(),
-        })
+            obs: Obs::disabled(),
+            epochs_run: 0,
+            c_gate_invocations: Counter::default(),
+            c_controller_iters: Counter::default(),
+            share_gauges: Vec::new(),
+        };
+        trainer.rebuild_metric_handles();
+        Ok(trainer)
+    }
+
+    /// Replaces the observability handle. Spans (`train.epoch`) and
+    /// metrics (`gate.invocations`, `gate.controller.iterations`,
+    /// `train.share.expert<i>.bp` gauges — DESIGN.md §12) flow into the
+    /// new handle from the next batch onward.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        self.rebuild_metric_handles();
+    }
+
+    /// The observability handle metrics are flowing into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    fn rebuild_metric_handles(&mut self) {
+        self.c_gate_invocations = self.obs.metrics.counter("gate.invocations");
+        self.c_controller_iters = self.obs.metrics.counter("gate.controller.iterations");
+        self.share_gauges = (0..self.k())
+            .map(|i| self.obs.metrics.gauge(&format!("train.share.expert{i}.bp")))
+            .collect();
     }
 
     /// Creates a trainer for `k` experts of architecture `spec`.
@@ -215,6 +250,12 @@ impl Trainer {
 
     /// Runs a single epoch (one shuffled pass) over `data`.
     pub fn train_epoch(&mut self, data: &Dataset) {
+        let obs = self.obs.clone();
+        let _epoch_span = obs.span(
+            "train.epoch",
+            &[("epoch", self.epochs_run), ("rows", data.len() as u64)],
+        );
+        self.epochs_run += 1;
         let shuffled = data.shuffled(&mut self.rng);
         for mut batch in shuffled.batches(self.config.batch_size) {
             if self.config.augment_shift > 0 {
@@ -233,6 +274,8 @@ impl Trainer {
             };
             // Line 7: GATE_TRAIN.
             let decision = self.gate.assign(&entropy);
+            self.c_gate_invocations.inc();
+            self.c_controller_iters.add(decision.iterations as u64);
             // Line 8: EXPERT_TRAIN.
             let losses = self.ensemble.train_assigned(&batch, &decision.assignment);
 
@@ -242,6 +285,14 @@ impl Trainer {
                 }
             }
             let total: u64 = self.assigned_counts.iter().sum();
+            for (gauge, &count) in self.share_gauges.iter().zip(&self.assigned_counts) {
+                let bp = if total == 0 {
+                    0
+                } else {
+                    (u128::from(count) * 10_000 / u128::from(total)) as i64
+                };
+                gauge.set(bp);
+            }
             let cumulative_shares = self
                 .assigned_counts
                 .iter()
@@ -441,6 +492,36 @@ mod tests {
         assert_eq!(weights.len(), 2);
         let mean: f32 = weights.iter().sum::<f32>() / 2.0;
         assert!((mean - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn training_metrics_flow_into_obs_registry() {
+        use std::sync::Arc;
+        use teamnet_net::ManualClock;
+        use teamnet_obs::VecSink;
+
+        let mut rng = StdRng::seed_from_u64(130);
+        let data = synth_digits(128, &mut rng);
+        let sink = Arc::new(VecSink::default());
+        let obs = Obs::new(Arc::new(ManualClock::new()), Arc::clone(&sink) as _);
+        let mut trainer = Trainer::new(ModelSpec::mlp(2, 16), 2, small_config());
+        trainer.set_obs(obs);
+        trainer.train(&data);
+
+        let snap = trainer.obs().metrics.snapshot();
+        // 2 epochs × 4 batches of 32 over 128 rows.
+        assert_eq!(snap.counters.get("gate.invocations"), Some(&8));
+        assert!(snap.counters.get("gate.controller.iterations").is_some());
+        let bp0 = snap.gauges.get("train.share.expert0.bp").copied();
+        let bp1 = snap.gauges.get("train.share.expert1.bp").copied();
+        let total = bp0.unwrap_or(0) + bp1.unwrap_or(0);
+        assert!(
+            (9_999..=10_000).contains(&total),
+            "share gauges should sum to ~10000 bp, got {bp0:?} + {bp1:?}"
+        );
+        // Two epochs => two enter/exit pairs of the train.epoch span.
+        let trace = sink.to_jsonl();
+        assert_eq!(trace.matches("\"name\":\"train.epoch\"").count(), 4);
     }
 
     #[test]

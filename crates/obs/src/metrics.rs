@@ -1,0 +1,477 @@
+//! Named counters, gauges and log2-bucket histograms with byte-stable
+//! snapshots.
+//!
+//! Everything here is integer-only: histogram observations are `u64`
+//! (nanoseconds, bytes, counts), bucket bounds are fixed powers of two,
+//! and quantiles are reported as bucket upper bounds. No float ever
+//! enters the hot path, so two identical seeded runs produce identical
+//! snapshots down to the last byte — the same contract
+//! `InferenceReport::summary()` established for inference reports.
+//!
+//! Instruments are cheap handles over atomics: registering returns a
+//! clone-able [`Counter`]/[`Gauge`]/histogram `Arc` and takes the registry
+//! lock once; incrementing afterwards is a single atomic op.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `2^63..=u64::MAX`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket an observation falls into: bucket 0 holds exactly `0`,
+/// bucket `i >= 1` holds `2^(i-1) ..= 2^i - 1` (so 1 → bucket 1, 2..3 →
+/// bucket 2, …, `u64::MAX` → bucket 64).
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket — what quantiles report. Out-of-range
+/// indices saturate to `u64::MAX`.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        1..=63 => (1u64 << index) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways (shares,
+/// last-known totals). Cloning shares the gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bound log2 histogram over `u64` observations.
+///
+/// 65 buckets (see [`bucket_index`]), an observation count and a
+/// saturating sum, all atomics — `observe` is lock-free and allocation
+/// free.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: a sum that wraps would render quantile tables
+        // nonsensical; pinning at MAX is visibly wrong instead.
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(value);
+            match self
+                .sum
+                .compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => sum = actual,
+            }
+        }
+        if let Some(bucket) = self.buckets.get(bucket_index(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then_some(BucketCount {
+                    exp: i as u32,
+                    count,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(count={}, sum={})",
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed)
+        )
+    }
+}
+
+/// One non-empty histogram bucket: `exp` is the bucket index (upper bound
+/// `2^exp - 1`, see [`bucket_upper_bound`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BucketCount {
+    /// Bucket index in `0..65`.
+    pub exp: u32,
+    /// Observations that landed in this bucket.
+    pub count: u64,
+}
+
+/// A frozen [`Histogram`]: counts plus the non-empty buckets, in bucket
+/// order. This is the shared timing format between runtime traces and
+/// `BENCH_kernels.json` (DESIGN.md §12).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Saturating sum of all observations.
+    pub sum: u64,
+    /// Non-empty buckets in ascending `exp` order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound of the bucket containing the q-th percentile
+    /// observation (`q` in `0..=100`), by cumulative bucket counts. An
+    /// empty histogram reports 0. Quantiles from log2 buckets are upper
+    /// bounds, not exact order statistics — honest to within 2x.
+    pub fn quantile(&self, q: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // rank = ceil(count * q / 100), clamped to at least 1.
+        let rank = (u128::from(self.count) * u128::from(q.min(100)))
+            .div_ceil(100)
+            .max(1);
+        let mut cum = 0u128;
+        for b in &self.buckets {
+            cum += u128::from(b.count);
+            if cum >= rank {
+                return bucket_upper_bound(b.exp as usize);
+            }
+        }
+        bucket_upper_bound(NUM_BUCKETS)
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(50)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(99)
+    }
+}
+
+/// A registry of named instruments, ordered by name.
+///
+/// Lookup takes a mutex once per registration (get-or-create); handles
+/// returned from it never touch the lock again. All maps are `BTreeMap`s
+/// so snapshots iterate in name order — this crate sits on the
+/// determinism-audited path.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock();
+        if let Some(g) = map.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        map.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock();
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// A point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MetricsRegistry(counters={}, gauges={}, histograms={})",
+            self.counters.lock().len(),
+            self.gauges.lock().len(),
+            self.histograms.lock().len()
+        )
+    }
+}
+
+/// A frozen [`MetricsRegistry`]: plain ordered maps, serializable through
+/// the vendored serde, with a byte-stable text [`summary`].
+///
+/// [`summary`]: MetricsSnapshot::summary
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// A canonical, byte-stable rendering: one line per instrument in
+    /// name order, integers only — two identical seeded runs must agree
+    /// on every byte (asserted by `tests/obs_determinism.rs`).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter {name} = {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge {name} = {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name}: count={} sum={} p50<={} p99<={}",
+                h.count,
+                h.sum,
+                h.p50(),
+                h.p99()
+            );
+        }
+        out
+    }
+
+    /// JSON rendering through the vendored serde (ordered maps, so also
+    /// byte-stable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (none are expected for this
+    /// integer-only tree).
+    pub fn to_json(&self) -> Result<String, serde::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_zero_one_and_max() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_boundaries_exact_powers_of_two() {
+        for exp in 1..=63u32 {
+            let v = 1u64 << exp;
+            // 2^exp opens bucket exp+1; 2^exp - 1 closes bucket exp.
+            assert_eq!(bucket_index(v), exp as usize + 1, "2^{exp}");
+            assert_eq!(bucket_index(v - 1), exp as usize, "2^{exp}-1");
+            assert_eq!(bucket_upper_bound(exp as usize), v - 1);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_saturating_sum() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, u64::MAX, "sum saturates instead of wrapping");
+        let exps: Vec<u32> = snap.buckets.iter().map(|b| b.exp).collect();
+        assert_eq!(exps, vec![0, 1, 64]);
+        assert!(snap.buckets.iter().all(|b| b.count == 1));
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), 3, "3 lives in bucket 2 (2..=3)");
+        assert_eq!(snap.p99(), 1023, "1000 lives in bucket 10 (512..=1023)");
+        assert_eq!(snap.quantile(0), 3, "q=0 clamps to rank 1");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+    }
+
+    #[test]
+    fn registry_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x.hits").get(), 3);
+
+        let g = reg.gauge("x.level");
+        g.set(-4);
+        g.add(1);
+        assert_eq!(reg.gauge("x.level").get(), -3);
+
+        reg.histogram("x.lat").observe(7);
+        assert_eq!(reg.histogram("x.lat").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_summary_is_ordered_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").add(5);
+        reg.gauge("m.mid").set(2);
+        reg.histogram("h.lat").observe(3);
+        let summary = reg.snapshot().summary();
+        let expected = "counter a.first = 5\n\
+                        counter z.last = 1\n\
+                        gauge m.mid = 2\n\
+                        histogram h.lat: count=1 sum=3 p50<=3 p99<=3\n";
+        assert_eq!(summary, expected);
+        assert_eq!(reg.snapshot().summary(), summary, "snapshots are stable");
+    }
+
+    #[test]
+    fn snapshot_serializes_to_stable_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(2);
+        reg.histogram("h").observe(4);
+        let json = reg.snapshot().to_json().unwrap();
+        assert_eq!(
+            json,
+            r#"{"counters":{"c":2},"gauges":{},"histograms":{"h":{"count":1,"sum":4,"buckets":[{"exp":3,"count":1}]}}}"#
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! Trace-file analysis: the backend of `cargo xtask trace-report`.
+//!
+//! Ingests span JSONL (the [`crate::Tracer`] event format), folds every
+//! `exit` event's duration into a per-span-name [`Histogram`], and renders
+//! a count/p50/p99/total latency table. Quantiles come from the log2
+//! buckets, so they are upper bounds (honest to within 2x) — the same
+//! numbers a [`crate::MetricsSnapshot`] of the run would report.
+//!
+//! [`Histogram`]: crate::Histogram
+
+use crate::metrics::Histogram;
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated latency statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRow {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Median duration upper bound, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile duration upper bound, nanoseconds.
+    pub p99_ns: u64,
+    /// Total time spent in this span (sum of durations), nanoseconds.
+    pub total_ns: u64,
+}
+
+/// The digest of one trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// One row per span name, in name order.
+    pub rows: Vec<SpanRow>,
+    /// Total events parsed (enter + exit).
+    pub events: u64,
+}
+
+/// A malformed trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending event.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn field_u64(value: &Value, key: &str) -> Option<u64> {
+    match value.get(key) {
+        Some(Value::Num(Number::PosInt(n))) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Parses trace JSONL and aggregates per-span latency histograms.
+///
+/// Blank lines are permitted (trailing newline); anything else must be a
+/// well-formed event object with an `ev` of `enter` or `exit`, and exits
+/// must carry `name` + `dur_ns`.
+///
+/// # Errors
+///
+/// [`ParseError`] naming the first offending line.
+pub fn analyze(text: &str) -> Result<TraceReport, ParseError> {
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut events = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line).map_err(|e| ParseError {
+            line: lineno,
+            message: format!("not valid JSON: {e:?}"),
+        })?;
+        let ev = value.get("ev").and_then(Value::as_str).ok_or(ParseError {
+            line: lineno,
+            message: "event missing string `ev`".to_string(),
+        })?;
+        match ev {
+            "enter" => events += 1,
+            "exit" => {
+                events += 1;
+                let name = value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or(ParseError {
+                        line: lineno,
+                        message: "exit event missing string `name`".to_string(),
+                    })?;
+                let dur_ns = field_u64(&value, "dur_ns").ok_or(ParseError {
+                    line: lineno,
+                    message: "exit event missing numeric `dur_ns`".to_string(),
+                })?;
+                histograms
+                    .entry(name.to_string())
+                    .or_default()
+                    .observe(dur_ns);
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!("unknown event kind `{other}`"),
+                })
+            }
+        }
+    }
+    let rows = histograms
+        .into_iter()
+        .map(|(name, h)| {
+            let snap = h.snapshot();
+            SpanRow {
+                name,
+                count: snap.count,
+                p50_ns: snap.p50(),
+                p99_ns: snap.p99(),
+                total_ns: snap.sum,
+            }
+        })
+        .collect();
+    Ok(TraceReport { rows, events })
+}
+
+/// Renders the per-span table, widest span name first column, one row per
+/// span name in name order.
+pub fn render_table(report: &TraceReport) -> String {
+    let name_width = report
+        .rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>16}",
+        "span", "count", "p50(ns)<=", "p99(ns)<=", "total(ns)"
+    );
+    for row in &report.rows {
+        let _ = writeln!(
+            out,
+            "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>16}",
+            row.name, row.count, row.p50_ns, row.p99_ns, row.total_ns
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"seq":0,"ev":"enter","span":1,"parent":0,"name":"round","t_ns":0,"fields":{}}"#,
+        "\n",
+        r#"{"seq":1,"ev":"enter","span":2,"parent":1,"name":"send","t_ns":5,"fields":{"peer":1}}"#,
+        "\n",
+        r#"{"seq":2,"ev":"exit","span":2,"name":"send","t_ns":8,"dur_ns":3}"#,
+        "\n",
+        r#"{"seq":3,"ev":"exit","span":1,"name":"round","t_ns":10,"dur_ns":10}"#,
+        "\n",
+    );
+
+    #[test]
+    fn analyze_builds_per_span_rows() {
+        let report = analyze(SAMPLE).unwrap();
+        assert_eq!(report.events, 4);
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].name, "round");
+        assert_eq!(report.rows[0].count, 1);
+        assert_eq!(report.rows[0].total_ns, 10);
+        assert_eq!(report.rows[0].p50_ns, 15, "10 lands in bucket 8..=15");
+        assert_eq!(report.rows[1].name, "send");
+        assert_eq!(report.rows[1].p99_ns, 3);
+    }
+
+    #[test]
+    fn analyze_round_trips_a_real_tracer() {
+        use crate::trace::{Obs, TraceSink, VecSink};
+        use std::sync::Arc;
+        use std::time::Duration;
+        use teamnet_net::{Clock, ManualClock};
+
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(VecSink::new());
+        let obs = Obs::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+        );
+        for _ in 0..3 {
+            let _s = obs.span("step", &[]);
+            clock.advance(Duration::from_nanos(40));
+        }
+        let report = analyze(&sink.to_jsonl()).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].count, 3);
+        assert_eq!(report.rows[0].total_ns, 120);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = analyze("{\"ev\":\"enter\"}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let err = analyze("{\"ev\":\"warp\"}\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("warp"), "{err}");
+
+        let err = analyze("{\"ev\":\"exit\",\"name\":\"x\"}\n").unwrap_err();
+        assert!(err.message.contains("dur_ns"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_report() {
+        let report = analyze("").unwrap();
+        assert!(report.rows.is_empty());
+        assert_eq!(report.events, 0);
+    }
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let table = render_table(&analyze(SAMPLE).unwrap());
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("span"));
+        assert!(lines[1].starts_with("round"));
+        assert!(lines[2].starts_with("send"));
+        assert!(lines[0].contains("p50(ns)<="));
+    }
+}

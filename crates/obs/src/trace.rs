@@ -1,0 +1,590 @@
+//! The span tracer and its export sinks.
+//!
+//! A [`Tracer`] hands out RAII [`SpanGuard`]s; entering a span emits an
+//! `enter` JSONL event and exiting (guard drop) emits an `exit` event
+//! carrying the duration. Every timestamp is the offset in nanoseconds
+//! from the tracer's construction instant, read on the injected
+//! [`Clock`] — under a [`teamnet_net::ManualClock`] two identical seeded
+//! runs emit byte-identical event streams.
+//!
+//! Nesting is tracked with an explicit span stack (parent ids in the
+//! events), guarded by one mutex: a tracer is meant to be driven by a
+//! single thread of control (the master inference loop, the trainer).
+//! Guards tolerate out-of-order drops by unwinding the stack to their own
+//! entry, so a mis-scoped guard degrades the tree, not the process.
+//!
+//! The disabled path is free by construction: a tracer over a
+//! [`NullSink`] returns an inert guard after one branch — no clock read,
+//! no lock, no allocation (overhead measured in `kernel_bench`, see the
+//! bench caveats).
+
+use crate::metrics::MetricsRegistry;
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use teamnet_net::{Clock, ManualClock, SystemClock};
+
+/// Where trace events go.
+///
+/// `record` receives one complete JSONL line (no trailing newline).
+/// Implementations must be cheap and must never panic: tracing is a
+/// bystander, not a participant.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Whether events should be produced at all. A `false` here turns the
+    /// whole tracer off at construction time.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Accepts one JSONL event line.
+    fn record(&self, line: &str);
+
+    /// Flushes any buffering (file sinks).
+    fn flush(&self) {}
+}
+
+/// A sink that discards everything and reports itself disabled; the
+/// default for production configs that don't opt into tracing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _line: &str) {}
+}
+
+/// An in-memory sink for tests and determinism assertions.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// A copy of every recorded line, in order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+
+    /// All recorded lines joined with `\n` (plus a trailing newline),
+    /// exactly as a [`JsonlSink`] file would read.
+    pub fn to_jsonl(&self) -> String {
+        let lines = self.lines.lock();
+        let mut out = String::new();
+        for line in lines.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, line: &str) {
+        self.lines.lock().push(line.to_string());
+    }
+}
+
+/// A buffered JSONL file sink.
+///
+/// Write errors after creation are swallowed (a full disk must not take
+/// down an inference cluster); the file is flushed on `flush` and drop.
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+    path: std::path::PathBuf,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JsonlSink({})", self.path.display())
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, line: &str) {
+        let mut writer = self.writer.lock();
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal. Span names
+/// are controlled identifiers, but the sink format must stay valid JSON
+/// for any input.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TracerState {
+    next_span: u64,
+    seq: u64,
+    stack: Vec<u64>,
+}
+
+/// The span tracer. See the module docs for the event format and the
+/// determinism contract.
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    origin: Instant,
+    sink: Arc<dyn TraceSink>,
+    enabled: bool,
+    durations: Option<Arc<MetricsRegistry>>,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    /// A tracer emitting to `sink` with timestamps from `clock`.
+    ///
+    /// When `durations` is given, every span exit also feeds its duration
+    /// into the histogram `span.<name>.ns` of that registry, so a
+    /// [`crate::MetricsSnapshot`] carries the same latency data as the
+    /// trace file.
+    pub fn new(
+        clock: Arc<dyn Clock>,
+        sink: Arc<dyn TraceSink>,
+        durations: Option<Arc<MetricsRegistry>>,
+    ) -> Self {
+        let origin = clock.now();
+        let enabled = sink.enabled();
+        Tracer {
+            clock,
+            origin,
+            sink,
+            enabled,
+            durations,
+            state: Mutex::new(TracerState {
+                next_span: 1,
+                seq: 0,
+                stack: Vec::new(),
+            }),
+        }
+    }
+
+    /// A permanently disabled tracer: `span()` costs one branch.
+    pub fn disabled() -> Self {
+        Tracer::new(Arc::new(SystemClock), Arc::new(NullSink), None)
+    }
+
+    /// Whether this tracer emits events.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Nanosecond offset of `instant` from the tracer origin.
+    fn offset_ns(&self, instant: Instant) -> u64 {
+        u64::try_from(instant.saturating_duration_since(self.origin).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens a span. The returned guard records the exit when dropped;
+    /// bind it (`let _span = …`) for the span to cover the scope.
+    ///
+    /// `fields` are numeric key/value annotations rendered into the enter
+    /// event in the order given (numbers only: no float formatting, no
+    /// string drift).
+    pub fn span(&self, name: &'static str, fields: &[(&'static str, u64)]) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard {
+                tracer: None,
+                name,
+                span_id: 0,
+                start_ns: 0,
+            };
+        }
+        let start_ns = self.offset_ns(self.clock.now());
+        let span_id = {
+            let mut state = self.state.lock();
+            let span_id = state.next_span;
+            state.next_span += 1;
+            let parent = state.stack.last().copied().unwrap_or(0);
+            let seq = state.seq;
+            state.seq += 1;
+            state.stack.push(span_id);
+            self.sink
+                .record(&render_enter(seq, span_id, parent, name, start_ns, fields));
+            span_id
+        };
+        SpanGuard {
+            tracer: Some(self),
+            name,
+            span_id,
+            start_ns,
+        }
+    }
+
+    /// Records a complete span with explicit timestamps — the simulator's
+    /// entry point, where time is virtual [`SimTime`] nanoseconds rather
+    /// than clock reads.
+    ///
+    /// [`SimTime`]: https://docs.rs/teamnet-simnet
+    pub fn record_span_at(
+        &self,
+        name: &str,
+        start_ns: u64,
+        end_ns: u64,
+        fields: &[(&'static str, u64)],
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let (seq_enter, seq_exit, span_id, parent) = {
+            let mut state = self.state.lock();
+            let span_id = state.next_span;
+            state.next_span += 1;
+            let seq = state.seq;
+            state.seq += 2;
+            (
+                seq,
+                seq + 1,
+                span_id,
+                state.stack.last().copied().unwrap_or(0),
+            )
+        };
+        self.sink.record(&render_enter(
+            seq_enter, span_id, parent, name, start_ns, fields,
+        ));
+        let dur_ns = end_ns.saturating_sub(start_ns);
+        self.sink
+            .record(&render_exit(seq_exit, span_id, name, end_ns, dur_ns));
+        self.observe_duration(name, dur_ns);
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+
+    fn observe_duration(&self, name: &str, dur_ns: u64) {
+        if let Some(registry) = &self.durations {
+            let mut metric = String::with_capacity(name.len() + 8);
+            metric.push_str("span.");
+            metric.push_str(name);
+            metric.push_str(".ns");
+            registry.histogram(&metric).observe(dur_ns);
+        }
+    }
+
+    fn exit_span(&self, span_id: u64, name: &str, start_ns: u64) {
+        let end_ns = self.offset_ns(self.clock.now());
+        {
+            let mut state = self.state.lock();
+            // Unwind to (and including) our own entry; a guard dropped out
+            // of order closes the spans it outlived.
+            while let Some(top) = state.stack.pop() {
+                if top == span_id {
+                    break;
+                }
+            }
+            let seq = state.seq;
+            state.seq += 1;
+            self.sink.record(&render_exit(
+                seq,
+                span_id,
+                name,
+                end_ns,
+                end_ns.saturating_sub(start_ns),
+            ));
+        }
+        self.observe_duration(name, end_ns.saturating_sub(start_ns));
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer(enabled={}, sink={:?})", self.enabled, self.sink)
+    }
+}
+
+fn render_enter(
+    seq: u64,
+    span: u64,
+    parent: u64,
+    name: &str,
+    t_ns: u64,
+    fields: &[(&'static str, u64)],
+) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"ev\":\"enter\",\"span\":{span},\"parent\":{parent},\"name\":\""
+    );
+    escape_into(&mut out, name);
+    let _ = write!(out, "\",\"t_ns\":{t_ns},\"fields\":{{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, key);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("}}");
+    out
+}
+
+fn render_exit(seq: u64, span: u64, name: &str, t_ns: u64, dur_ns: u64) -> String {
+    let mut out = String::with_capacity(80);
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"ev\":\"exit\",\"span\":{span},\"name\":\""
+    );
+    escape_into(&mut out, name);
+    let _ = write!(out, "\",\"t_ns\":{t_ns},\"dur_ns\":{dur_ns}}}");
+    out
+}
+
+/// RAII guard for an open span; records the exit event when dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    name: &'static str,
+    span_id: u64,
+    start_ns: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(tracer) = self.tracer {
+            tracer.exit_span(self.span_id, self.name, self.start_ns);
+        }
+    }
+}
+
+/// The observability handle threaded through configs: a shared tracer
+/// plus a shared metrics registry.
+///
+/// [`Obs::disabled`] is the default everywhere — the tracer is inert, but
+/// the registry is live, so protocol counters (discards, retries, fault
+/// injections) accumulate even without tracing and can be read back with
+/// [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone)]
+pub struct Obs {
+    /// The span tracer.
+    pub tracer: Arc<Tracer>,
+    /// The metrics registry.
+    pub metrics: Arc<MetricsRegistry>,
+}
+
+impl Obs {
+    /// Tracing + metrics over `clock` into `sink`; span durations also
+    /// feed `span.<name>.ns` histograms in the registry.
+    pub fn new(clock: Arc<dyn Clock>, sink: Arc<dyn TraceSink>) -> Self {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let tracer = Arc::new(Tracer::new(clock, sink, Some(Arc::clone(&metrics))));
+        Obs { tracer, metrics }
+    }
+
+    /// No tracing; live metrics. The zero-overhead default.
+    pub fn disabled() -> Self {
+        Obs {
+            tracer: Arc::new(Tracer::disabled()),
+            metrics: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// Tracing + metrics for *simulated* time: the tracer's clock is a
+    /// [`ManualClock`] pinned at the origin, so the only meaningful
+    /// timestamps are those supplied explicitly through
+    /// [`Tracer::record_span_at`] — the shape the simnet cost models use.
+    pub fn sim(sink: Arc<dyn TraceSink>) -> Self {
+        Obs::new(Arc::new(ManualClock::new()), sink)
+    }
+
+    /// Whether spans are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Shorthand for [`Tracer::span`].
+    pub fn span(&self, name: &'static str, fields: &[(&'static str, u64)]) -> SpanGuard<'_> {
+        self.tracer.span(name, fields)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use teamnet_net::ManualClock;
+
+    fn manual_obs() -> (Arc<ManualClock>, Arc<VecSink>, Obs) {
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(VecSink::new());
+        let obs = Obs::new(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+        );
+        (clock, sink, obs)
+    }
+
+    #[test]
+    fn spans_emit_enter_exit_with_manual_timestamps() {
+        let (clock, sink, obs) = manual_obs();
+        {
+            let _outer = obs.span("outer", &[("round", 3)]);
+            clock.advance(Duration::from_nanos(100));
+            {
+                let _inner = obs.span("inner", &[]);
+                clock.advance(Duration::from_nanos(50));
+            }
+        }
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            r#"{"seq":0,"ev":"enter","span":1,"parent":0,"name":"outer","t_ns":0,"fields":{"round":3}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"ev":"enter","span":2,"parent":1,"name":"inner","t_ns":100,"fields":{}}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"seq":2,"ev":"exit","span":2,"name":"inner","t_ns":150,"dur_ns":50}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"seq":3,"ev":"exit","span":1,"name":"outer","t_ns":150,"dur_ns":150}"#
+        );
+    }
+
+    #[test]
+    fn span_durations_feed_registry_histograms() {
+        let (clock, _sink, obs) = manual_obs();
+        {
+            let _s = obs.span("work", &[]);
+            clock.advance(Duration::from_nanos(7));
+        }
+        let snap = obs.metrics.snapshot();
+        let h = &snap.histograms["span.work.ns"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 7);
+    }
+
+    #[test]
+    fn disabled_tracer_emits_nothing_and_skips_histograms() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        {
+            let _s = obs.span("work", &[("x", 1)]);
+        }
+        obs.tracer.record_span_at("sim", 0, 10, &[]);
+        assert!(obs.metrics.snapshot().histograms.is_empty());
+        // Counters still work on the disabled path.
+        obs.metrics.counter("c").inc();
+        assert_eq!(obs.metrics.counter("c").get(), 1);
+    }
+
+    #[test]
+    fn record_span_at_uses_explicit_timestamps() {
+        let (_clock, sink, obs) = manual_obs();
+        obs.tracer
+            .record_span_at("sim.send", 1000, 1500, &[("peer", 2)]);
+        let lines = sink.lines();
+        assert_eq!(
+            lines[0],
+            r#"{"seq":0,"ev":"enter","span":1,"parent":0,"name":"sim.send","t_ns":1000,"fields":{"peer":2}}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"ev":"exit","span":1,"name":"sim.send","t_ns":1500,"dur_ns":500}"#
+        );
+    }
+
+    #[test]
+    fn out_of_order_drop_unwinds_the_stack() {
+        let (_clock, sink, obs) = manual_obs();
+        let outer = obs.span("outer", &[]);
+        let inner = obs.span("inner", &[]);
+        drop(outer); // wrong order: outer's exit closes inner's stack entry
+        drop(inner);
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        // A span opened after the unwind gets a root parent, not a stale one.
+        let _fresh = obs.span("fresh", &[]);
+        let fresh_line = &sink.lines()[4];
+        assert!(fresh_line.contains("\"parent\":0"), "{fresh_line}");
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let (_clock, sink, obs) = manual_obs();
+        obs.tracer.record_span_at("we\"ird\\name", 0, 1, &[]);
+        let line = sink.lines()[0].clone();
+        assert!(line.contains(r#"we\"ird\\name"#), "{line}");
+        assert!(
+            serde_json::from_str::<serde::Value>(&line).is_ok(),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_and_flushes() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("teamnet_obs_trace_test.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(r#"{"seq":0}"#);
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"seq\":0}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

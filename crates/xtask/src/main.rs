@@ -1,6 +1,6 @@
 //! `cargo xtask` — workspace tooling for the TeamNet reproduction.
 //!
-//! Two subcommands, each exiting non-zero on any diagnostic:
+//! Three subcommands, each exiting non-zero on any diagnostic:
 //!
 //! **`cargo xtask check`** — fast per-line invariants:
 //!
@@ -25,6 +25,12 @@
 //! 3. **Protocol exhaustiveness** — every `PayloadKind` variant built and
 //!    dispatched, every `NetError` variant produced (see [`protocol`];
 //!    rules `protocol-constructed`, `protocol-handled`, `error-produced`).
+//!
+//! **`cargo xtask trace-report <trace.jsonl>`** — ingests a span trace
+//! written by a `teamnet_obs::JsonlSink` and prints the per-span latency
+//! table (count / p50 / p99 / total, from the log2-bucket histograms of
+//! `teamnet_obs::report`). Exits non-zero on a malformed event line or an
+//! empty span table — the CI traced-smoke stage relies on both.
 //!
 //! Implemented with `std` only: the sandbox has no crates-io access, so no
 //! `syn`/`clippy-utils`; both commands work on comment/string-masked
@@ -82,13 +88,49 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => run_check(),
         Some("audit") => run_audit(),
+        Some("trace-report") => run_trace_report(args.get(1).map(String::as_str)),
         Some(other) => {
-            eprintln!("unknown subcommand `{other}`; usage: cargo xtask <check|audit>");
+            eprintln!(
+                "unknown subcommand `{other}`; usage: cargo xtask <check|audit|trace-report>"
+            );
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask <check|audit>");
+            eprintln!("usage: cargo xtask <check|audit|trace-report FILE.jsonl>");
             ExitCode::from(2)
+        }
+    }
+}
+
+fn run_trace_report(path: Option<&str>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("usage: cargo xtask trace-report FILE.jsonl");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match teamnet_obs::report::analyze(&text) {
+        Ok(report) => {
+            if report.rows.is_empty() {
+                eprintln!("trace-report: {path} contains no completed spans");
+                return ExitCode::FAILURE;
+            }
+            print!("{}", teamnet_obs::report::render_table(&report));
+            println!(
+                "{} event(s), {} span name(s)",
+                report.events,
+                report.rows.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-report: {path}: {e}");
+            ExitCode::FAILURE
         }
     }
 }

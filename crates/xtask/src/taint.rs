@@ -31,7 +31,10 @@ use crate::Diagnostic;
 use std::collections::BTreeSet;
 
 /// Files whose functions seed the reachability walk. Everything under
-/// `crates/simnet/src/` is a root as well.
+/// `crates/simnet/src/` and `crates/obs/src/` is a root as well: the
+/// simulator for replayability, the observability crate because a wall
+/// clock smuggled into a tracer or sink would silently break the
+/// byte-identical trace contract of `tests/obs_determinism.rs`.
 const ROOT_FILES: &[&str] = &[
     "crates/net/src/envelope.rs",
     "crates/net/src/codec.rs",
@@ -41,6 +44,7 @@ const ROOT_FILES: &[&str] = &[
 ];
 
 const SIMNET_PREFIX: &str = "crates/simnet/src/";
+const OBS_PREFIX: &str = "crates/obs/src/";
 
 /// Runs the taint pass, appending diagnostics. Returns the number of
 /// reachable functions audited (for the summary line).
@@ -52,7 +56,9 @@ pub fn check(model: &Model, diags: &mut Vec<Diagnostic>) -> usize {
         .filter(|(_, f)| !f.is_test)
         .filter(|(_, f)| {
             model.files.get(f.file).is_some_and(|sf| {
-                ROOT_FILES.contains(&sf.rel_path.as_str()) || sf.rel_path.starts_with(SIMNET_PREFIX)
+                ROOT_FILES.contains(&sf.rel_path.as_str())
+                    || sf.rel_path.starts_with(SIMNET_PREFIX)
+                    || sf.rel_path.starts_with(OBS_PREFIX)
             })
         })
         .map(|(idx, _)| idx)
@@ -214,6 +220,39 @@ mod tests {
             diags
                 .iter()
                 .any(|d| d.rule == "det-rng" && d.path.ends_with("faults.rs")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_smuggled_into_a_trace_sink_is_caught() {
+        // Deliberately-bad fixture: a sink that stamps records with
+        // `Instant::now()` would desynchronize two identical seeded runs —
+        // every obs file is a taint root, so the pass must flag it.
+        let diags = run(&[(
+            "obs",
+            "crates/obs/src/trace.rs",
+            "pub fn record(&self, line: &str) {\n    \
+             let stamp = Instant::now();\n    self.push(stamp, line);\n}\n",
+        )]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == "det-clock" && d.path.ends_with("trace.rs") && d.line == 2),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn hashmap_in_a_metrics_registry_is_caught() {
+        let diags = run(&[(
+            "obs",
+            "crates/obs/src/metrics.rs",
+            "pub fn snapshot(&self) {\n    \
+             let m: HashMap<String, u64> = gather();\n    emit(m);\n}\n",
+        )]);
+        assert!(
+            diags.iter().any(|d| d.rule == "det-map" && d.line == 2),
             "{diags:?}"
         );
     }

@@ -12,12 +12,23 @@
 //! black-holed entirely; the failure detector quarantines it (so its
 //! timeout stops taxing every round), probes it periodically, and readmits
 //! it once the link heals.
+//!
+//! Set `TEAMNET_TRACE=/path/to/trace.jsonl` to record the master's span
+//! trace (round / broadcast / expert.forward / gather / argmin) through a
+//! [`JsonlSink`], then render the latency table with:
+//!
+//! ```text
+//! TEAMNET_TRACE=trace.jsonl cargo run --release --example chaos_inference
+//! cargo xtask trace-report trace.jsonl
+//! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use teamnet_core::runtime::{serve_worker, shutdown_workers, InferenceSession, MasterConfig};
 use teamnet_core::{build_expert, FailureDetectorConfig, PeerHealth};
-use teamnet_net::{ChannelTransport, ChaosConfig, ChaosTransport, Transport};
+use teamnet_net::{ChannelTransport, ChaosConfig, ChaosTransport, SystemClock, Transport};
 use teamnet_nn::ModelSpec;
+use teamnet_obs::{wrap::fold_transport_stats, JsonlSink, Obs};
 use teamnet_tensor::Tensor;
 
 const ROUNDS: usize = 30;
@@ -49,6 +60,17 @@ fn main() {
     let worker1 = ChaosTransport::with_config(mesh.pop().expect("node 1"), chaos(0xBEE1));
     let master = ChaosTransport::with_config(mesh.pop().expect("node 0"), chaos(0xBEE0));
 
+    // TEAMNET_TRACE=<path> turns the master's tracer on; unset, the
+    // NullSink path costs one branch per span.
+    let obs = match std::env::var("TEAMNET_TRACE") {
+        Ok(path) => {
+            let sink = JsonlSink::create(&path).expect("create trace file");
+            println!("tracing master session to {path}");
+            Obs::new(Arc::new(SystemClock), Arc::new(sink))
+        }
+        Err(_) => Obs::disabled(),
+    };
+
     let config = MasterConfig {
         worker_timeout: Duration::from_millis(150),
         require_all_workers: false,
@@ -57,6 +79,7 @@ fn main() {
             quarantine_after: 2,
             probe_interval: 3,
         },
+        obs: obs.clone(),
         ..MasterConfig::default()
     };
 
@@ -117,6 +140,13 @@ fn main() {
             stats.messages_corrupted,
             stats.messages_duplicated
         );
+        // Fold the transport's fault counters into the metrics registry so
+        // the snapshot below is the one place that tells the whole story.
+        fold_transport_stats(&obs.metrics, "master.transport", &stats);
+        if obs.enabled() {
+            obs.tracer.flush();
+            println!("\nsession metrics:\n{}", obs.metrics.snapshot().summary());
+        }
         shutdown_workers(master.inner()).expect("shutdown");
     })
     .expect("scope");

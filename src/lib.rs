@@ -7,6 +7,7 @@
 //! * [`nn`] / [`tensor`] — the from-scratch neural-network substrate;
 //! * [`data`] — synthetic MNIST/CIFAR-like datasets and IDX loading;
 //! * [`net`] — TCP / in-process transports, collectives and RPC;
+//! * [`obs`] — deterministic span tracing and metrics (DESIGN.md §12);
 //! * [`simnet`] — the edge-device and WiFi cost models;
 //! * [`moe`] — the Sparsely-Gated MoE baseline;
 //! * [`partition`] — the MPI-Matrix/Branch/Kernel baselines.
@@ -35,6 +36,7 @@ pub use teamnet_data as data;
 pub use teamnet_moe as moe;
 pub use teamnet_net as net;
 pub use teamnet_nn as nn;
+pub use teamnet_obs as obs;
 pub use teamnet_partition as partition;
 pub use teamnet_simnet as simnet;
 pub use teamnet_tensor as tensor;
