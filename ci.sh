@@ -4,16 +4,22 @@
 #   2. release build     (also builds the xtask binary)
 #   3. invariant audit   (lint + manifest + static shape checks)
 #   4. concurrency audit (lock order, determinism taint, protocol
-#                         exhaustiveness — symbol/call-graph analysis)
-#   5. test suite        (unit + property + integration), run twice:
+#                         exhaustiveness, narrowing casts — symbol/
+#                         call-graph analysis)
+#   5. resource certs    (cargo xtask cost --check: the static per-expert
+#                         resource certification of the paper model grid
+#                         must match the checked-in COST.json; the
+#                         allocation-honesty test in stage 6 asserts the
+#                         certified peaks against instrumented forwards)
+#   6. test suite        (unit + property + integration), run twice:
 #                         TEAMNET_THREADS=1 pins the sequential kernels,
 #                         TEAMNET_THREADS=4 forces the parallel paths —
 #                         the pool determinism contract says both runs
 #                         must see bit-identical numerics
-#   6. kernel-bench smoke (parallel-vs-sequential bit-identity on every
+#   7. kernel-bench smoke (parallel-vs-sequential bit-identity on every
 #                         kernel, plus the JSON artifact plumbing)
-#   7. chaos soak        (50 seeded fault-injected inference rounds)
-#   8. traced smoke      (chaos_inference with TEAMNET_TRACE -> JsonlSink,
+#   8. chaos soak        (50 seeded fault-injected inference rounds)
+#   9. traced smoke      (chaos_inference with TEAMNET_TRACE -> JsonlSink,
 #                         piped through `cargo xtask trace-report`, which
 #                         exits non-zero on a parse error or an empty span
 #                         table; the workspace tests in stage 5 cover the
@@ -50,6 +56,7 @@ cargo fmt --check
 cargo build --release
 cargo xtask check
 cargo xtask audit
+cargo xtask cost --check
 TEAMNET_THREADS=1 cargo test -q --workspace
 TEAMNET_THREADS=4 cargo test -q --workspace
 cargo run -q --release -p teamnet-bench --bin kernel_bench -- --smoke --out /tmp/BENCH_kernels_smoke.json

@@ -37,8 +37,8 @@ use teamnet_net::{
     Backoff, Clock, Envelope, NetError, PayloadKind, RetryPolicy, SystemClock, Tag, Transport,
 };
 use teamnet_nn::{Layer, Mode, Sequential};
-use teamnet_obs::{Counter, Obs};
-use teamnet_tensor::Tensor;
+use teamnet_obs::{AllocMeters, Counter, Obs};
+use teamnet_tensor::{MemScope, Tensor};
 
 /// Tag carrying broadcast input batches and probes (master → workers).
 pub const TAG_INPUT: Tag = Tag(0x7EA0_0001);
@@ -211,6 +211,7 @@ pub fn serve_worker_with_obs(
     let c_rounds = obs.metrics.counter("worker.rounds_served");
     let c_probes = obs.metrics.counter("worker.probes_answered");
     let c_malformed = obs.metrics.counter("worker.malformed_skipped");
+    let m_alloc = AllocMeters::register(&obs.metrics, &format!("expert.{}", transport.node_id()));
     let mut stats = WorkerStats::default();
     loop {
         // Check for shutdown first so it cannot starve behind inputs.
@@ -256,7 +257,13 @@ pub fn serve_worker_with_obs(
                 let results = {
                     let rows = images.dims().first().copied().unwrap_or(0);
                     let _forward_span = obs.span("worker.forward", &[("rows", rows as u64)]);
-                    local_results(expert, &images)
+                    // Honesty check against the static certificate: count
+                    // what this forward actually allocates (DESIGN.md §13).
+                    let mem = MemScope::begin();
+                    let results = local_results(expert, &images);
+                    let stats = mem.stats();
+                    m_alloc.record(stats.allocated_bytes, stats.peak_bytes);
+                    results
                 };
                 stats.rounds_served += 1;
                 c_rounds.inc();
@@ -295,6 +302,7 @@ pub struct InferenceSession {
     c_stale: Counter,
     c_corrupt: Counter,
     c_malformed: Counter,
+    m_alloc: AllocMeters,
 }
 
 impl InferenceSession {
@@ -310,6 +318,10 @@ impl InferenceSession {
         let c_stale = config.obs.metrics.counter("round.stale_discarded");
         let c_corrupt = config.obs.metrics.counter("round.corrupt_discarded");
         let c_malformed = config.obs.metrics.counter("round.malformed_discarded");
+        let m_alloc = AllocMeters::register(
+            &config.obs.metrics,
+            &format!("expert.{}", transport.node_id()),
+        );
         InferenceSession {
             config,
             detector,
@@ -318,6 +330,7 @@ impl InferenceSession {
             c_stale,
             c_corrupt,
             c_malformed,
+            m_alloc,
         }
     }
 
@@ -447,7 +460,13 @@ impl InferenceSession {
         // δ*-weighted entropies; reported entropy stays raw.
         let local = {
             let _forward_span = obs.span("expert.forward", &[("rows", n as u64)]);
-            local_results(expert, images)
+            // Honesty check against the static certificate: count what the
+            // local expert's forward actually allocates (DESIGN.md §13).
+            let mem = MemScope::begin();
+            let local = local_results(expert, images);
+            let stats = mem.stats();
+            self.m_alloc.record(stats.allocated_bytes, stats.peak_bytes);
+            local
         };
         let mut best: Vec<TeamPrediction> = local
             .into_iter()

@@ -21,10 +21,28 @@ pub const FRAME_HEADER_LEN: usize = 12;
 pub type Frame = (NodeId, Tag, Bytes);
 
 /// Encodes a frame into a fresh buffer.
+///
+/// # Panics
+///
+/// Panics if `src` does not fit the `u32` header field or the payload
+/// exceeds [`MAX_FRAME_LEN`] — both are sender-side programming errors
+/// that would otherwise truncate on the wire and mis-frame every byte
+/// that follows.
 pub fn encode_frame(src: NodeId, tag: Tag, payload: &[u8]) -> BytesMut {
+    assert!(
+        u32::try_from(src).is_ok(),
+        "node id {src} does not fit the u32 frame header"
+    );
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "payload of {} bytes exceeds MAX_FRAME_LEN",
+        payload.len()
+    );
     let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
+    // In range by the asserts above. lint: allow(cast-truncate)
     buf.put_u32_le(src as u32);
     buf.put_u32_le(tag.0);
+    // MAX_FRAME_LEN < u32::MAX, asserted above. lint: allow(cast-truncate)
     buf.put_u32_le(payload.len() as u32);
     buf.put_slice(payload);
     buf
@@ -78,12 +96,26 @@ pub fn read_frame(reader: &mut impl Read) -> Result<Frame, NetError> {
 }
 
 /// Encodes a shaped `f32` buffer: `rank: u32 | dims: u32×rank | data`.
+///
+/// # Panics
+///
+/// Panics if `data` disagrees with the `dims` volume, the rank exceeds
+/// the decoder's plausibility cap of 8, or a dimension does not fit the
+/// `u32` header field — each would otherwise truncate in the header and
+/// decode as a different shape.
 pub fn encode_f32s(dims: &[usize], data: &[f32]) -> Vec<u8> {
     let volume: usize = dims.iter().product();
     assert_eq!(volume, data.len(), "data length must match dims volume");
+    assert!(dims.len() <= 8, "rank {} exceeds decoder cap 8", dims.len());
     let mut buf = Vec::with_capacity(4 + dims.len() * 4 + data.len() * 4);
+    // Rank ≤ 8, asserted above. lint: allow(cast-truncate)
     buf.extend_from_slice(&(dims.len() as u32).to_le_bytes());
     for &d in dims {
+        assert!(
+            u32::try_from(d).is_ok(),
+            "dimension {d} does not fit the u32 header field"
+        );
+        // In range by the assert above. lint: allow(cast-truncate)
         buf.extend_from_slice(&(d as u32).to_le_bytes());
     }
     for &x in data {
@@ -233,5 +265,34 @@ mod tests {
     #[should_panic(expected = "must match dims volume")]
     fn encode_validates_volume() {
         encode_f32s(&[3], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds decoder cap")]
+    fn encode_rejects_implausible_rank() {
+        encode_f32s(&[1; 9], &[1.0]);
+    }
+
+    #[test]
+    fn framed_tensor_size_matches_the_static_wire_model() {
+        // The static cost model (`teamnet_nn::cost::WireModel`) prices a
+        // framed, enveloped tensor as
+        //     12 (frame) + 16 (envelope) + 4 (rank) + 4·rank + 4·volume.
+        // Assert that arithmetic against the real encoders so the two can
+        // never drift apart silently; `tests/cost_honesty.rs` closes the
+        // loop from the nn side.
+        for dims in [vec![1usize, 784], vec![1, 3, 32, 32], vec![7, 2]] {
+            let volume: usize = dims.iter().product();
+            let payload = encode_f32s(&dims, &vec![0.0; volume]);
+            let enveloped =
+                crate::envelope::Envelope::new(3, crate::envelope::PayloadKind::Input, payload)
+                    .encode();
+            let framed = encode_frame(1, Tag(4), &enveloped);
+            assert_eq!(
+                framed.len(),
+                12 + 16 + 4 + 4 * dims.len() + 4 * volume,
+                "dims {dims:?}"
+            );
+        }
     }
 }

@@ -55,9 +55,14 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.dims()[1], self.in_channels, "Conv2d channel mismatch");
-        self.cached_input = Some(input.clone());
+        // Cache only when a backward pass can follow: inference must match
+        // the static cost model's eval allocation schedule (DESIGN.md §13).
+        self.cached_input = match mode {
+            Mode::Train => Some(input.clone()),
+            Mode::Eval => None,
+        };
         conv2d(input, &self.weight.value, &self.bias.value, self.spec)
     }
 
@@ -121,6 +126,19 @@ impl Layer for Conv2d {
         let out = self.out_dims(in_dims);
         let per_output = 2 * self.in_channels as u64 * (self.spec.kernel * self.spec.kernel) as u64;
         out.iter().product::<usize>() as u64 * per_output
+    }
+
+    fn workspace_bytes(&self, in_dims: &[usize]) -> u64 {
+        // One sample's im2col matrix `[ic·k², oh·ow]`: the sequential
+        // kernel in `teamnet_tensor::conv` unfolds at most one sample at a
+        // time, and the sample loop reuses the slot.
+        let oh = self.spec.out_size(in_dims[2]);
+        let ow = self.spec.out_size(in_dims[3]);
+        crate::cost::tensor_bytes(&[
+            self.in_channels * self.spec.kernel * self.spec.kernel,
+            oh,
+            ow,
+        ])
     }
 
     fn param_count(&self) -> usize {

@@ -1,0 +1,706 @@
+//! Static per-expert resource certification: peak live activation bytes
+//! via liveness analysis, FLOPs, parameter bytes and bytes-on-wire.
+//!
+//! TeamNet places NN experts on memory-starved edge devices, so the
+//! scheduler needs to know — *before* deployment — whether an expert fits.
+//! This module prices an eval-mode forward pass of a [`Sequential`]
+//! statically, using the same dimensions the shape checker validates.
+//!
+//! # The liveness model
+//!
+//! Every [`crate::Layer`] contributes a [`CostNode`] describing the
+//! tensors its eval forward allocates. The tree is *lowered* to a linear
+//! schedule of alloc/free events that mirrors the real execution order
+//! (`Sequential::forward` drops each intermediate after its consumer
+//! finishes; [`crate::ShakeShakeBlock`] drops each branch output at its
+//! last `axpy`). Peak memory is the maximum running live-byte sum over
+//! that schedule — a genuine liveness analysis, not a running total.
+//! Shake-Shake blocks are the forcing case: their two branch outputs and
+//! the shortcut coexist at the join point, so a per-layer maximum would
+//! under-count and a sum over all intermediates would grossly over-count.
+//!
+//! A leaf lowers to `alloc workspace → alloc output → free workspace`,
+//! modelling ops (Dense, Conv2d) whose scratch buffers coexist with the
+//! output. The node's own *input* is excluded — it is owned by the caller,
+//! which keeps it live for the node's whole execution and emits the free —
+//! so [`expert_cost`] adds the expert's input tensor on top.
+//!
+//! The static number is certified against reality by the allocation
+//! counters in `teamnet-tensor` ([`teamnet_tensor::MemScope`]): CI runs an
+//! instrumented forward for every paper-grid model and asserts
+//! `static ≥ observed` within a documented slack (DESIGN.md §13).
+
+use crate::layer::Layer;
+use crate::sequential::Sequential;
+use serde::Serialize;
+
+/// Bytes per tensor element; the whole stack computes in FP32.
+pub const BYTES_PER_F32: u64 = 4;
+
+/// Bytes of a dense FP32 tensor with the given dimensions.
+pub fn tensor_bytes(dims: &[usize]) -> u64 {
+    dims.iter().product::<usize>() as u64 * BYTES_PER_F32
+}
+
+/// A node in the static allocation graph of one eval-mode forward pass.
+///
+/// Built by [`crate::Layer::cost_node`]; containers override that hook to
+/// expose their internal tensor graph so join points are priced by real
+/// liveness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostNode {
+    /// A single op: allocates `workspace_bytes` of scratch, then its
+    /// output, then releases the scratch.
+    Leaf {
+        /// Layer type name, for diagnostics.
+        name: &'static str,
+        /// Bytes of the (caller-owned) input tensor.
+        in_bytes: u64,
+        /// Bytes of the output tensor.
+        out_bytes: u64,
+        /// Peak scratch bytes coexisting with the output.
+        workspace_bytes: u64,
+    },
+    /// An ordered pipeline; stage `k`'s output is freed once stage `k+1`
+    /// completes.
+    Chain {
+        /// Bytes of the chain's input (fallback output for empty chains).
+        in_bytes: u64,
+        /// The stages, in execution order.
+        children: Vec<CostNode>,
+    },
+    /// A two-branch residual join: both branches and the shortcut read the
+    /// same input; the three outputs coexist at the merge, then the branch
+    /// buffers die at their last `axpy`.
+    Branch2 {
+        /// First residual branch.
+        branch1: Box<CostNode>,
+        /// Second residual branch.
+        branch2: Box<CostNode>,
+        /// Projection shortcut, or `None` for identity (which clones the
+        /// input into the accumulator).
+        skip: Option<Box<CostNode>>,
+        /// Bytes of the joined output tensor.
+        out_bytes: u64,
+    },
+}
+
+/// One step of the lowered allocation schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostEvent {
+    /// A tensor of this many bytes becomes live.
+    Alloc(u64),
+    /// A tensor of this many bytes is released.
+    Free(u64),
+}
+
+impl CostNode {
+    /// Leaf constructor used by the default [`crate::Layer::cost_node`].
+    pub fn leaf(
+        name: &'static str,
+        in_dims: &[usize],
+        out_dims: &[usize],
+        workspace_bytes: u64,
+    ) -> CostNode {
+        CostNode::Leaf {
+            name,
+            in_bytes: tensor_bytes(in_dims),
+            out_bytes: tensor_bytes(out_dims),
+            workspace_bytes,
+        }
+    }
+
+    /// Chain constructor.
+    pub fn chain(in_dims: &[usize], children: Vec<CostNode>) -> CostNode {
+        CostNode::Chain {
+            in_bytes: tensor_bytes(in_dims),
+            children,
+        }
+    }
+
+    /// Two-branch join constructor.
+    pub fn branch2(
+        branch1: CostNode,
+        branch2: CostNode,
+        skip: Option<CostNode>,
+        out_bytes: u64,
+    ) -> CostNode {
+        CostNode::Branch2 {
+            branch1: Box::new(branch1),
+            branch2: Box::new(branch2),
+            skip: skip.map(Box::new),
+            out_bytes,
+        }
+    }
+
+    /// Bytes of the node's output tensor.
+    pub fn out_bytes(&self) -> u64 {
+        match self {
+            CostNode::Leaf { out_bytes, .. } | CostNode::Branch2 { out_bytes, .. } => *out_bytes,
+            CostNode::Chain { in_bytes, children } => {
+                children.last().map_or(*in_bytes, CostNode::out_bytes)
+            }
+        }
+    }
+
+    /// Lowers the node to its alloc/free schedule, appending to `events`,
+    /// and returns the bytes of the output left live. The node's input is
+    /// the caller's responsibility: it stays live throughout and its free
+    /// (if any) is emitted by the caller.
+    pub fn lower(&self, events: &mut Vec<CostEvent>) -> u64 {
+        match self {
+            CostNode::Leaf {
+                out_bytes,
+                workspace_bytes,
+                ..
+            } => {
+                events.push(CostEvent::Alloc(*workspace_bytes));
+                events.push(CostEvent::Alloc(*out_bytes));
+                events.push(CostEvent::Free(*workspace_bytes));
+                *out_bytes
+            }
+            CostNode::Chain { in_bytes, children } => {
+                let mut prev: Option<u64> = None;
+                for child in children {
+                    let out = child.lower(events);
+                    if let Some(bytes) = prev {
+                        events.push(CostEvent::Free(bytes));
+                    }
+                    prev = Some(out);
+                }
+                match prev {
+                    Some(out) => out,
+                    None => {
+                        // Empty pipeline: forward clones its input.
+                        events.push(CostEvent::Alloc(*in_bytes));
+                        *in_bytes
+                    }
+                }
+            }
+            CostNode::Branch2 {
+                branch1,
+                branch2,
+                skip,
+                out_bytes,
+            } => {
+                let b1 = branch1.lower(events);
+                let b2 = branch2.lower(events);
+                match skip {
+                    Some(skip) => {
+                        skip.lower(events);
+                    }
+                    // Identity shortcut: the accumulator starts as a clone
+                    // of the block input.
+                    None => events.push(CostEvent::Alloc(*out_bytes)),
+                }
+                // Each branch output dies at its axpy into the accumulator;
+                // the final ReLU is in place.
+                events.push(CostEvent::Free(b1));
+                events.push(CostEvent::Free(b2));
+                *out_bytes
+            }
+        }
+    }
+
+    /// Peak live bytes over the node's execution, *excluding* its
+    /// caller-owned input tensor.
+    pub fn peak_excluding_input(&self) -> u64 {
+        let mut events = Vec::new();
+        self.lower(&mut events);
+        peak_of_schedule(&events)
+    }
+}
+
+/// Maximum running live-byte sum over an alloc/free schedule.
+pub fn peak_of_schedule(events: &[CostEvent]) -> u64 {
+    let mut live = 0u64;
+    let mut peak = 0u64;
+    for event in events {
+        match *event {
+            CostEvent::Alloc(bytes) => {
+                live += bytes;
+                peak = peak.max(live);
+            }
+            CostEvent::Free(bytes) => live = live.saturating_sub(bytes),
+        }
+    }
+    peak
+}
+
+/// Framing overhead of the transport, mirroring `teamnet-net`'s codec
+/// (frame header `src|tag|len`, then the envelope header, then the f32s
+/// payload `rank|dims|data`). Kept as plain numbers so `teamnet-nn` does
+/// not depend on the net crate; a cross-check test in the workspace
+/// asserts these against the real encoder's byte counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireModel {
+    /// Bytes of the outer frame header (`src:u32|tag:u32|len:u32`).
+    pub frame_header_bytes: u64,
+    /// Bytes of the envelope header (`version|kind|reserved|round|crc`).
+    pub envelope_header_bytes: u64,
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel {
+            frame_header_bytes: 12,
+            envelope_header_bytes: 16,
+        }
+    }
+}
+
+impl WireModel {
+    /// Total bytes on the wire for one framed, enveloped f32 tensor:
+    /// headers plus `rank:u32`, one `u32` per dimension, and the FP32
+    /// payload.
+    pub fn framed_tensor_bytes(&self, dims: &[usize]) -> u64 {
+        self.frame_header_bytes
+            + self.envelope_header_bytes
+            + 4
+            + 4 * dims.len() as u64
+            + tensor_bytes(dims)
+    }
+}
+
+/// Static cost row for one top-level layer of an expert pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LayerCost {
+    /// Layer type name.
+    pub name: &'static str,
+    /// Forward FLOPs at the certified batch size.
+    pub flops: u64,
+    /// Parameter bytes (FP32).
+    pub param_bytes: u64,
+    /// Input tensor bytes.
+    pub in_bytes: u64,
+    /// Output tensor bytes.
+    pub out_bytes: u64,
+    /// Peak live activation bytes during this layer's forward, including
+    /// its caller-held input.
+    pub peak_bytes: u64,
+}
+
+/// The full static resource certificate of one expert model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ExpertCost {
+    /// Batch size the certificate was computed at.
+    pub batch: usize,
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Parameter bytes (FP32).
+    pub param_bytes: u64,
+    /// Forward FLOPs for the whole pipeline.
+    pub flops: u64,
+    /// Input tensor bytes (batch included).
+    pub input_bytes: u64,
+    /// Output tensor bytes (batch included).
+    pub output_bytes: u64,
+    /// Peak live activation bytes over the whole eval forward, including
+    /// the caller-held input tensor.
+    pub peak_activation_bytes: u64,
+    /// Serialized bytes on the wire for the framed input tensor.
+    pub wire_input_bytes: u64,
+    /// Serialized bytes on the wire for the framed `[batch, 2]` result
+    /// matrix (argmax + confidence per row, `encode_results` format).
+    pub wire_result_bytes: u64,
+    /// Per-top-level-layer rows, in execution order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl ExpertCost {
+    /// Bytes that must be resident to run the expert: parameters plus the
+    /// peak of live activations. This is the number a device admission
+    /// check compares against its capacity.
+    pub fn required_resident_bytes(&self) -> u64 {
+        self.param_bytes + self.peak_activation_bytes
+    }
+}
+
+/// Computes the static resource certificate of `net` for inputs of shape
+/// `in_dims` (batch axis included), pricing wire traffic with `wire`.
+///
+/// # Panics
+///
+/// Panics if the pipeline's layer wiring is invalid — run the shape
+/// checker ([`crate::check_model`] / `ModelSpec::build_checked`) first.
+pub fn expert_cost(net: &Sequential, in_dims: &[usize], wire: &WireModel) -> ExpertCost {
+    let input_bytes = tensor_bytes(in_dims);
+    let mut dims = in_dims.to_vec();
+    let mut layers = Vec::with_capacity(net.children().len());
+    for layer in net.children() {
+        let out_dims = layer.out_dims(&dims);
+        let in_bytes = tensor_bytes(&dims);
+        layers.push(LayerCost {
+            name: layer.name(),
+            flops: layer.flops(&dims),
+            param_bytes: layer.param_count() as u64 * BYTES_PER_F32,
+            in_bytes,
+            out_bytes: tensor_bytes(&out_dims),
+            peak_bytes: in_bytes + layer.cost_node(&dims).peak_excluding_input(),
+        });
+        dims = out_dims;
+    }
+    let batch = in_dims.first().copied().unwrap_or(1);
+    ExpertCost {
+        batch,
+        params: net.param_count(),
+        param_bytes: net.param_count() as u64 * BYTES_PER_F32,
+        flops: net.flops(in_dims),
+        input_bytes,
+        output_bytes: tensor_bytes(&dims),
+        peak_activation_bytes: input_bytes + net.cost_node(in_dims).peak_excluding_input(),
+        wire_input_bytes: wire.framed_tensor_bytes(in_dims),
+        wire_result_bytes: wire.framed_tensor_bytes(&[batch, 2]),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Mode, Relu};
+    use crate::models::ModelSpec;
+    use crate::shake::ShakeShakeBlock;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use teamnet_tensor::{force_sequential_scope, MemScope, Tensor};
+
+    #[test]
+    fn leaf_schedule_prices_workspace_and_output_together() {
+        let leaf = CostNode::leaf("Dense", &[1, 4], &[1, 8], 32);
+        // alloc ws(32) + alloc out(32) coexist.
+        assert_eq!(leaf.peak_excluding_input(), 64);
+        assert_eq!(leaf.out_bytes(), 32);
+    }
+
+    #[test]
+    fn chain_frees_each_intermediate_after_its_consumer() {
+        // Three relu-like stages 100 → 60 → 20 bytes of output, no scratch:
+        // peak is out_k + out_{k+1} at the handoff, not the sum of all.
+        let chain = CostNode::Chain {
+            in_bytes: 200,
+            children: vec![
+                CostNode::Leaf {
+                    name: "a",
+                    in_bytes: 200,
+                    out_bytes: 100,
+                    workspace_bytes: 0,
+                },
+                CostNode::Leaf {
+                    name: "b",
+                    in_bytes: 100,
+                    out_bytes: 60,
+                    workspace_bytes: 0,
+                },
+                CostNode::Leaf {
+                    name: "c",
+                    in_bytes: 60,
+                    out_bytes: 20,
+                    workspace_bytes: 0,
+                },
+            ],
+        };
+        assert_eq!(chain.peak_excluding_input(), 160);
+        assert_eq!(chain.out_bytes(), 20);
+    }
+
+    #[test]
+    fn branch_join_counts_coexisting_outputs() {
+        let leaf = |out: u64| CostNode::Leaf {
+            name: "b",
+            in_bytes: 40,
+            out_bytes: out,
+            workspace_bytes: 0,
+        };
+        // Identity skip: both branch outputs (40 each) plus the cloned
+        // accumulator coexist at the join.
+        let node = CostNode::branch2(leaf(40), leaf(40), None, 40);
+        assert_eq!(node.peak_excluding_input(), 120);
+        // A running sum that never frees would claim the same 120 here —
+        // but with a projection shortcut chain the liveness answer drops
+        // the already-freed conv scratch while the running sum keeps it.
+        let proj = CostNode::chain(&[10], vec![leaf(40), leaf(40)]);
+        let node = CostNode::branch2(leaf(40), leaf(40), Some(proj), 40);
+        assert_eq!(node.peak_excluding_input(), 160);
+    }
+
+    #[test]
+    fn empty_chain_clones_its_input() {
+        let chain = CostNode::chain(&[2, 3], Vec::new());
+        assert_eq!(chain.peak_excluding_input(), 24);
+        assert_eq!(chain.out_bytes(), 24);
+    }
+
+    #[test]
+    fn wire_model_matches_codec_layout() {
+        let wire = WireModel::default();
+        // 12 frame + 16 envelope + 4 rank + 2 dims * 4 + 6 floats * 4.
+        assert_eq!(wire.framed_tensor_bytes(&[2, 3]), 12 + 16 + 4 + 8 + 24);
+    }
+
+    /// The certified peak must upper-bound a real instrumented eval
+    /// forward — exactly the honesty contract CI enforces on the grid.
+    fn assert_static_bounds_observed(net: &mut Sequential, in_dims: &[usize]) {
+        let cost = expert_cost(net, in_dims, &WireModel::default());
+        let observed = force_sequential_scope(|| {
+            let scope = MemScope::begin();
+            let x = Tensor::zeros(in_dims.to_vec());
+            let y = net.forward(&x, Mode::Eval);
+            let stats = scope.stats();
+            drop((x, y));
+            stats
+        });
+        assert!(
+            cost.peak_activation_bytes >= observed.peak_bytes,
+            "static {} < observed {} for dims {:?}",
+            cost.peak_activation_bytes,
+            observed.peak_bytes,
+            in_dims
+        );
+    }
+
+    #[test]
+    fn static_peak_bounds_observed_mlp() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Dense::new(12, 32, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(32, 5, &mut rng));
+        assert_static_bounds_observed(&mut net, &[3, 12]);
+    }
+
+    #[test]
+    fn static_peak_bounds_observed_shake_block() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for (in_ch, out_ch, stride) in [(4, 4, 1), (4, 8, 2)] {
+            let mut net = Sequential::new();
+            net.push(ShakeShakeBlock::new(in_ch, out_ch, stride, &mut rng));
+            assert_static_bounds_observed(&mut net, &[2, in_ch, 8, 8]);
+        }
+    }
+
+    #[test]
+    fn static_peak_is_tight_for_small_shake_cnn() {
+        // The bound must not be a wild over-estimate either: for a small
+        // SS model the slack stays under the documented factor.
+        let spec = ModelSpec::ShakeShake {
+            blocks_per_stage: 1,
+            base_channels: 4,
+            in_channels: 3,
+            image_hw: 16,
+            classes: 10,
+        };
+        let mut net = spec.build_checked(0).unwrap_or_else(|e| panic!("{e}"));
+        let dims = [1usize, 3, 16, 16];
+        let cost = expert_cost(&net, &dims, &WireModel::default());
+        let observed = force_sequential_scope(|| {
+            let scope = MemScope::begin();
+            let x = Tensor::zeros(dims.to_vec());
+            let y = net.forward(&x, Mode::Eval);
+            let stats = scope.stats();
+            drop((x, y));
+            stats
+        });
+        assert!(cost.peak_activation_bytes >= observed.peak_bytes);
+        assert!(
+            cost.peak_activation_bytes <= 2 * observed.peak_bytes,
+            "static {} should be within 2x of observed {}",
+            cost.peak_activation_bytes,
+            observed.peak_bytes
+        );
+    }
+
+    #[test]
+    fn expert_cost_rows_are_consistent() {
+        let spec = ModelSpec::mlp(4, 16);
+        let net = spec.build_checked(0).unwrap_or_else(|e| panic!("{e}"));
+        let dims = [1usize, 784];
+        let cost = expert_cost(&net, &dims, &WireModel::default());
+        assert_eq!(cost.layers.len(), 7); // 4 Dense + 3 Relu
+        assert_eq!(cost.flops, cost.layers.iter().map(|l| l.flops).sum());
+        assert_eq!(
+            cost.param_bytes,
+            cost.layers.iter().map(|l| l.param_bytes).sum::<u64>()
+        );
+        // Row chaining: each row's input is the previous row's output.
+        for pair in cost.layers.windows(2) {
+            assert_eq!(pair[0].out_bytes, pair[1].in_bytes);
+        }
+        // The pipeline peak is at least every per-layer peak.
+        for row in &cost.layers {
+            assert!(cost.peak_activation_bytes >= row.peak_bytes - row.in_bytes);
+        }
+        assert_eq!(cost.input_bytes, 784 * 4);
+        assert_eq!(cost.output_bytes, 10 * 4);
+        assert!(cost.required_resident_bytes() > cost.param_bytes);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use crate::conv_layer::{AvgPool2d, Conv2d, GlobalAvgPool};
+    use crate::layer::{Dense, Flatten, Mode, Relu, TanhLayer};
+    use crate::norm::BatchNorm2d;
+    use crate::sequential::Sequential;
+    use crate::shake::ShakeShakeBlock;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+    use teamnet_tensor::{force_sequential_scope, MemScope, Tensor};
+
+    /// Peak tensor bytes observed during one instrumented eval forward,
+    /// with the input tensor allocated inside the scope (the certificate
+    /// counts it) and kernels pinned to the sequential reference schedule.
+    fn observed_eval_peak(net: &mut Sequential, full_dims: &[usize]) -> u64 {
+        force_sequential_scope(|| {
+            let scope = MemScope::begin();
+            let x = Tensor::zeros(full_dims.to_vec());
+            let y = net.forward(&x, Mode::Eval);
+            let stats = scope.stats();
+            drop((x, y));
+            stats.peak_bytes
+        })
+    }
+
+    /// A random but well-formed MLP-family stack over `[input]` vectors.
+    fn random_dense_stack(seed: u64, input: usize, depth: usize) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        let mut width = input;
+        for _ in 0..depth {
+            match rng.gen_range(0..4) {
+                0 | 1 => {
+                    let out = rng.gen_range(1..16);
+                    net.push(Dense::new(width, out, &mut rng));
+                    width = out;
+                }
+                2 => {
+                    net.push(Relu::new());
+                }
+                _ => {
+                    net.push(TanhLayer::new());
+                }
+            }
+        }
+        net
+    }
+
+    /// A random but well-formed conv/norm/pool stack over `[c, hw, hw]`
+    /// images.
+    fn random_conv_stack(seed: u64, channels: usize) -> (Sequential, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hw = 2 * rng.gen_range(2..5usize);
+        let mut net = Sequential::new();
+        let mut c = channels;
+        for _ in 0..rng.gen_range(1..3usize) {
+            let oc = rng.gen_range(1..6);
+            net.push(Conv2d::new(c, oc, 3, 1, 1, &mut rng));
+            c = oc;
+            if rng.gen_bool(0.5) {
+                net.push(BatchNorm2d::new(c));
+            }
+            net.push(Relu::new());
+        }
+        if rng.gen_bool(0.5) {
+            net.push(AvgPool2d::new(2));
+        }
+        if rng.gen_bool(0.5) {
+            net.push(GlobalAvgPool::new());
+        } else {
+            net.push(Flatten::new());
+        }
+        (net, vec![channels, hw, hw])
+    }
+
+    /// A random stack of Shake-Shake blocks — the join-point forcing case
+    /// for the liveness analysis.
+    fn random_shake_stack(seed: u64, channels: usize) -> (Sequential, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hw = 4 * rng.gen_range(1..3usize);
+        let mut net = Sequential::new();
+        let mut c = channels;
+        for _ in 0..rng.gen_range(1..3usize) {
+            let oc = rng.gen_range(1..6usize);
+            net.push(ShakeShakeBlock::new(c, oc, 1, &mut rng));
+            c = oc;
+        }
+        (net, vec![channels, hw, hw])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The certified peak upper-bounds a real instrumented eval
+        /// forward for every random dense stack and batch size.
+        #[test]
+        fn static_peak_bounds_observed_on_dense_stacks(
+            seed in 0u64..10_000,
+            input in 1usize..24,
+            depth in 1usize..7,
+            n in 1usize..4,
+        ) {
+            let mut net = random_dense_stack(seed, input, depth);
+            let cost = expert_cost(&net, &[n, input], &WireModel::default());
+            let observed = observed_eval_peak(&mut net, &[n, input]);
+            prop_assert!(
+                cost.peak_activation_bytes >= observed,
+                "static {} < observed {}", cost.peak_activation_bytes, observed
+            );
+        }
+
+        /// Same bound over conv/norm/pool stacks.
+        #[test]
+        fn static_peak_bounds_observed_on_conv_stacks(
+            seed in 0u64..10_000,
+            channels in 1usize..4,
+            n in 1usize..3,
+        ) {
+            let (mut net, in_dims) = random_conv_stack(seed, channels);
+            let mut full = vec![n];
+            full.extend(in_dims.iter().copied());
+            let cost = expert_cost(&net, &full, &WireModel::default());
+            let observed = observed_eval_peak(&mut net, &full);
+            prop_assert!(
+                cost.peak_activation_bytes >= observed,
+                "static {} < observed {}", cost.peak_activation_bytes, observed
+            );
+        }
+
+        /// Same bound over Shake-Shake join points, where a per-layer max
+        /// would under-count the coexisting branch buffers.
+        #[test]
+        fn static_peak_bounds_observed_on_shake_stacks(
+            seed in 0u64..10_000,
+            channels in 1usize..4,
+            n in 1usize..3,
+        ) {
+            let (mut net, in_dims) = random_shake_stack(seed, channels);
+            let mut full = vec![n];
+            full.extend(in_dims.iter().copied());
+            let cost = expert_cost(&net, &full, &WireModel::default());
+            let observed = observed_eval_peak(&mut net, &full);
+            prop_assert!(
+                cost.peak_activation_bytes >= observed,
+                "static {} < observed {}", cost.peak_activation_bytes, observed
+            );
+        }
+
+        /// The serialized certificate is byte-stable: two independent
+        /// computations render to identical JSON.
+        #[test]
+        fn certificate_serialization_is_byte_stable(
+            seed in 0u64..10_000,
+            input in 1usize..24,
+            depth in 1usize..7,
+        ) {
+            let net = random_dense_stack(seed, input, depth);
+            let again = random_dense_stack(seed, input, depth);
+            let a = expert_cost(&net, &[1, input], &WireModel::default());
+            let b = expert_cost(&again, &[1, input], &WireModel::default());
+            let render = |c: &ExpertCost| serde_json::to_string(c).unwrap_or_default();
+            prop_assert!(!render(&a).is_empty());
+            prop_assert_eq!(render(&a), render(&b));
+        }
+    }
+}

@@ -91,6 +91,29 @@ pub trait Layer: Send {
     /// Short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
 
+    /// Peak bytes of *scratch* tensors an eval-mode forward allocates
+    /// beyond its input and output (e.g. the matmul product a broadcast
+    /// then copies, an im2col patch matrix). The default covers layers
+    /// that write the output directly.
+    fn workspace_bytes(&self, in_dims: &[usize]) -> u64 {
+        let _ = in_dims;
+        0
+    }
+
+    /// This layer's node in the static liveness cost model
+    /// (`crate::cost`). Leaves use the default; containers
+    /// ([`crate::Sequential`], [`crate::ShakeShakeBlock`]) override it to
+    /// expose their internal tensor graph so join points are priced by
+    /// real liveness, not a running sum.
+    fn cost_node(&self, in_dims: &[usize]) -> crate::cost::CostNode {
+        crate::cost::CostNode::leaf(
+            self.name(),
+            in_dims,
+            &self.out_dims(in_dims),
+            self.workspace_bytes(in_dims),
+        )
+    }
+
     /// Appends this layer's flat profile entries to `out`, advancing and
     /// returning the running dimensions. Containers override this to
     /// recurse so cost models see the true per-layer granularity.
@@ -183,9 +206,14 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         assert_eq!(input.rank(), 2, "Dense expects [batch, features]");
-        self.cached_input = Some(input.clone());
+        // Cache only when a backward pass can follow: inference must match
+        // the static cost model's eval allocation schedule (DESIGN.md §13).
+        self.cached_input = match mode {
+            Mode::Train => Some(input.clone()),
+            Mode::Eval => None,
+        };
         checked(input.try_matmul(&self.weight.value), "Dense forward")
             .add_row_broadcast(&self.bias.value)
     }
@@ -212,6 +240,12 @@ impl Layer for Dense {
 
     fn out_dims(&self, in_dims: &[usize]) -> Vec<usize> {
         vec![in_dims[0], self.out_dim()]
+    }
+
+    fn workspace_bytes(&self, in_dims: &[usize]) -> u64 {
+        // `add_row_broadcast` copies the matmul product, so product and
+        // output coexist for one output-sized buffer.
+        crate::cost::tensor_bytes(&self.out_dims(in_dims))
     }
 
     fn check_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, crate::ShapeError> {
@@ -262,8 +296,11 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.mask = Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.mask = match mode {
+            Mode::Train => Some(input.map(|x| if x > 0.0 { 1.0 } else { 0.0 })),
+            Mode::Eval => None,
+        };
         input.relu()
     }
 
@@ -299,9 +336,12 @@ impl TanhLayer {
 }
 
 impl Layer for TanhLayer {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let out = input.tanh();
-        self.output = Some(out.clone());
+        self.output = match mode {
+            Mode::Train => Some(out.clone()),
+            Mode::Eval => None,
+        };
         out
     }
 

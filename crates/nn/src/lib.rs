@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod conv_layer;
+pub mod cost;
 mod layer;
 mod loss;
 mod metrics;
@@ -50,6 +51,7 @@ pub mod shape_check;
 mod state;
 
 pub use conv_layer::{AvgPool2d, Conv2d, GlobalAvgPool};
+pub use cost::{expert_cost, tensor_bytes, CostNode, ExpertCost, LayerCost, WireModel};
 pub use layer::{param_count, Dense, Flatten, Layer, Mode, Relu, TanhLayer};
 pub use loss::{mse, softmax_cross_entropy, LossOutput};
 pub use metrics::{accuracy, ConfusionMatrix};

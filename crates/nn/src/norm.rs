@@ -115,7 +115,13 @@ impl Layer for BatchNorm2d {
         };
 
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect();
-        let mut normalized = input.clone();
+        // The x̂ buffer only exists to serve backward(): eval-mode forward
+        // skips it so inference matches the static cost model's allocation
+        // schedule (DESIGN.md §13).
+        let mut normalized = match mode {
+            Mode::Train => Some(input.clone()),
+            Mode::Eval => None,
+        };
         let mut out = input.clone();
         for s in 0..n {
             for ch in 0..c {
@@ -124,12 +130,14 @@ impl Layer for BatchNorm2d {
                 let (g, b) = (self.gamma.value.data()[ch], self.beta.value.data()[ch]);
                 for i in base..base + h * w {
                     let xn = (input.data()[i] - m) * is;
-                    normalized.data_mut()[i] = xn;
+                    if let Some(normalized) = normalized.as_mut() {
+                        normalized.data_mut()[i] = xn;
+                    }
                     out.data_mut()[i] = g * xn + b;
                 }
             }
         }
-        if mode == Mode::Train {
+        if let Some(normalized) = normalized {
             self.cache = Some(BnCache {
                 normalized,
                 inv_std,

@@ -1,5 +1,6 @@
 //! The [`Sequential`] container: an ordered pipeline of layers.
 
+use crate::cost::CostNode;
 use crate::layer::{Layer, Mode};
 use teamnet_tensor::Tensor;
 
@@ -68,6 +69,12 @@ impl Sequential {
         out
     }
 
+    /// Direct children, in execution order — the granularity at which the
+    /// static resource certifier reports per-layer rows.
+    pub(crate) fn children(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
     /// A one-line-per-layer summary with parameter counts.
     pub fn summary(&self, in_dims: &[usize]) -> String {
         let mut out = String::new();
@@ -114,8 +121,15 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
+        // The first layer reads the caller's tensor directly: an upfront
+        // clone would put an input-sized buffer on the peak-liveness path
+        // that the static cost model (DESIGN.md §13) has no reason to pay.
+        let mut layers = self.layers.iter_mut();
+        let mut x = match layers.next() {
+            Some(first) => first.forward(input, mode),
+            None => return input.clone(),
+        };
+        for layer in layers {
             x = layer.forward(&x, mode);
         }
         x
@@ -169,6 +183,20 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "Sequential"
+    }
+
+    fn cost_node(&self, in_dims: &[usize]) -> CostNode {
+        if self.layers.is_empty() {
+            // An empty pipeline clones its input (see `forward`).
+            return CostNode::leaf("Sequential", in_dims, in_dims, 0);
+        }
+        let mut dims = in_dims.to_vec();
+        let mut children = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            children.push(layer.cost_node(&dims));
+            dims = layer.out_dims(&dims);
+        }
+        CostNode::chain(in_dims, children)
     }
 
     fn profile_into(&self, in_dims: &[usize], out: &mut Vec<LayerProfile>) -> Vec<usize> {

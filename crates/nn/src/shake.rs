@@ -13,6 +13,7 @@
 //! [`ShakeShakeBlock::branch_flops`] for the partition planner.
 
 use crate::conv_layer::Conv2d;
+use crate::cost::{tensor_bytes, CostNode};
 use crate::layer::{Layer, Mode};
 use crate::norm::BatchNorm2d;
 use crate::sequential::Sequential;
@@ -134,9 +135,23 @@ impl Layer for ShakeShakeBlock {
         };
         let mut pre = shortcut;
         pre.axpy(self.alpha, &b1);
+        // Branch buffers die at their last consumer — the accumulation
+        // order matches `merge_eval` bit-for-bit, but freeing each branch
+        // eagerly is what the static liveness model (DESIGN.md §13) prices.
+        drop(b1);
         pre.axpy(1.0 - self.alpha, &b2);
-        self.relu_mask = Some(pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
-        pre.relu()
+        drop(b2);
+        match mode {
+            Mode::Train => {
+                self.relu_mask = Some(pre.map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+                pre.relu()
+            }
+            Mode::Eval => {
+                self.relu_mask = None;
+                pre.map_inplace(|x| x.max(0.0));
+                pre
+            }
+        }
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -214,6 +229,15 @@ impl Layer for ShakeShakeBlock {
 
     fn name(&self) -> &'static str {
         "ShakeShake"
+    }
+
+    fn cost_node(&self, in_dims: &[usize]) -> CostNode {
+        CostNode::branch2(
+            self.branch1.cost_node(in_dims),
+            self.branch2.cost_node(in_dims),
+            self.skip.as_ref().map(|s| s.cost_node(in_dims)),
+            tensor_bytes(&self.out_dims(in_dims)),
+        )
     }
 }
 

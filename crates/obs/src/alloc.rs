@@ -1,0 +1,91 @@
+//! Tensor-allocation meters: the runtime side of the static resource
+//! certification honesty check.
+//!
+//! `cargo xtask cost` certifies a static peak-activation bound per expert
+//! (DESIGN.md §13). These meters record what a real forward pass actually
+//! allocated — measured by `teamnet_tensor::MemScope` at the call site and
+//! reported here — so dashboards and tests can compare the two: the static
+//! bound must upper-bound every observed peak.
+
+use crate::metrics::{Counter, Gauge, MetricsRegistry};
+
+/// Per-expert tensor-allocation meters, registered under a common prefix:
+///
+/// * `<prefix>.alloc_bytes` — total tensor bytes allocated across all
+///   measured forwards (counter);
+/// * `<prefix>.alloc_forwards` — number of measured forwards (counter);
+/// * `<prefix>.alloc_peak_bytes` — high-water mark of the per-forward
+///   peak live bytes (gauge).
+#[derive(Debug, Clone)]
+pub struct AllocMeters {
+    bytes: Counter,
+    forwards: Counter,
+    peak: Gauge,
+}
+
+impl AllocMeters {
+    /// Registers the three meters on `registry` under `prefix`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        AllocMeters {
+            bytes: registry.counter(&format!("{prefix}.alloc_bytes")),
+            forwards: registry.counter(&format!("{prefix}.alloc_forwards")),
+            peak: registry.gauge(&format!("{prefix}.alloc_peak_bytes")),
+        }
+    }
+
+    /// Records one measured forward pass: `allocated_bytes` allocated in
+    /// total, reaching a live peak of `peak_bytes`. The peak gauge is a
+    /// monotone high-water mark; callers record from the session thread,
+    /// so the read-modify-write needs no stronger ordering.
+    pub fn record(&self, allocated_bytes: u64, peak_bytes: u64) {
+        self.bytes.add(allocated_bytes);
+        self.forwards.inc();
+        let peak = i64::try_from(peak_bytes).unwrap_or(i64::MAX);
+        if peak > self.peak.get() {
+            self.peak.set(peak);
+        }
+    }
+
+    /// Total tensor bytes allocated across measured forwards.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.bytes.get()
+    }
+
+    /// Number of measured forwards.
+    pub fn forwards(&self) -> u64 {
+        self.forwards.get()
+    }
+
+    /// High-water mark of per-forward peak live bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.get().max(0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_accumulate_and_track_peak_high_water() {
+        let registry = MetricsRegistry::new();
+        let meters = AllocMeters::register(&registry, "expert.3");
+        meters.record(1000, 400);
+        meters.record(2000, 900);
+        meters.record(500, 100);
+        assert_eq!(meters.allocated_bytes(), 3500);
+        assert_eq!(meters.forwards(), 3);
+        assert_eq!(meters.peak_bytes(), 900, "gauge keeps the high water");
+    }
+
+    #[test]
+    fn meters_share_state_through_the_registry() {
+        let registry = MetricsRegistry::new();
+        let a = AllocMeters::register(&registry, "worker");
+        let b = AllocMeters::register(&registry, "worker");
+        a.record(10, 10);
+        b.record(5, 3);
+        assert_eq!(a.allocated_bytes(), 15);
+        assert_eq!(a.peak_bytes(), 10);
+    }
+}

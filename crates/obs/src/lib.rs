@@ -46,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 pub mod wrap;
 
+pub use alloc::AllocMeters;
 pub use metrics::{
     BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };

@@ -39,18 +39,43 @@ pub struct DeviceProfile {
     /// Per-layer kernel-launch overhead on the GPU (launches are costlier
     /// relative to compute there).
     pub gpu_layer_overhead: SimTime,
-    /// Total device RAM in MB (Jetson TX2: 8 GB shared; RPi 3B+: 1 GB).
-    pub total_mem_mb: f64,
-    /// Resident footprint of the ML framework runtime in MB before any
-    /// model is loaded (TensorFlow is heavy).
-    pub runtime_base_mb: f64,
-    /// Additional resident MB per model layer (graph nodes, per-op
-    /// workspace buffers — the reason deeper models cost visibly more RAM
-    /// under TensorFlow even when their weights are small).
-    pub per_layer_mb: f64,
+    /// Hard physical RAM capacity in bytes (Jetson TX2: 8 GiB shared with
+    /// the GPU; RPi 3B+: 1 GiB). The static admission check compares a
+    /// model's certified resident requirement against this.
+    pub memory_capacity_bytes: u64,
+    /// Resident bytes of the ML framework runtime before any model is
+    /// loaded (TensorFlow is heavy).
+    pub runtime_resident_bytes: u64,
     /// Number of CPU cores (for utilization accounting).
     pub cpu_cores: u32,
 }
+
+/// A placement rejected by the static admission check: the model's
+/// certified resident requirement does not fit the device RAM left over
+/// after the framework runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionError {
+    /// Device that rejected the placement.
+    pub device: String,
+    /// Certified resident bytes the model needs (parameters plus peak
+    /// live activations, `teamnet_nn::ExpertCost::required_resident_bytes`).
+    pub required_bytes: u64,
+    /// Bytes actually available for model state on the device.
+    pub available_bytes: u64,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model needs {} resident bytes but {} has only {} available \
+             after the runtime",
+            self.required_bytes, self.device, self.available_bytes
+        )
+    }
+}
+
+impl std::error::Error for AdmissionError {}
 
 impl DeviceProfile {
     /// Raspberry Pi 3 Model B+ (quad A53, 1 GB RAM, no usable GPU).
@@ -62,9 +87,8 @@ impl DeviceProfile {
             invoke_overhead: SimTime::from_micros(3_000),
             cpu_layer_overhead: SimTime::from_micros(1_200),
             gpu_layer_overhead: SimTime::ZERO,
-            total_mem_mb: 1024.0,
-            runtime_base_mb: 60.0,
-            per_layer_mb: 2.5,
+            memory_capacity_bytes: 1 << 30,
+            runtime_resident_bytes: 60 << 20,
             cpu_cores: 4,
         }
     }
@@ -78,9 +102,8 @@ impl DeviceProfile {
             invoke_overhead: SimTime::from_micros(1_000),
             cpu_layer_overhead: SimTime::from_micros(250),
             gpu_layer_overhead: SimTime::ZERO,
-            total_mem_mb: 8192.0,
-            runtime_base_mb: 380.0,
-            per_layer_mb: 18.0,
+            memory_capacity_bytes: 8 << 30,
+            runtime_resident_bytes: 380 << 20,
             cpu_cores: 6,
         }
     }
@@ -94,9 +117,8 @@ impl DeviceProfile {
             invoke_overhead: SimTime::from_micros(120),
             cpu_layer_overhead: SimTime::from_micros(250),
             gpu_layer_overhead: SimTime::from_micros(25),
-            total_mem_mb: 8192.0,
-            runtime_base_mb: 560.0,
-            per_layer_mb: 22.0,
+            memory_capacity_bytes: 8 << 30,
+            runtime_resident_bytes: 560 << 20,
             cpu_cores: 6,
         }
     }
@@ -127,18 +149,49 @@ impl DeviceProfile {
         t
     }
 
-    /// Modeled resident memory share (percent of device RAM) when serving
-    /// a `layers`-deep model of `param_bytes` parameters with peak
-    /// activation footprint `activation_bytes`.
+    /// Total modeled resident bytes when serving a model whose static
+    /// certificate requires `required_resident_bytes` (weights plus peak
+    /// live activations): the certified requirement on top of the fixed
+    /// framework runtime.
     ///
-    /// TensorFlow-style runtimes hold weights plus gradient-free inference
-    /// arenas roughly 3× the weight size, plus per-op graph/workspace
-    /// state, on top of the fixed runtime.
-    pub fn memory_percent(&self, param_bytes: u64, activation_bytes: u64, layers: usize) -> f64 {
-        const ARENA_FACTOR: f64 = 3.0;
-        let model_mb = (param_bytes as f64 * ARENA_FACTOR + activation_bytes as f64) / 1e6
-            + self.per_layer_mb * layers as f64;
-        ((self.runtime_base_mb + model_mb) / self.total_mem_mb * 100.0).min(100.0)
+    /// Earlier revisions estimated the model term with a per-layer-MB
+    /// heuristic; it is now taken directly from the liveness analysis in
+    /// `teamnet_nn::cost` (DESIGN.md §13), so the number here is the same
+    /// one `cargo xtask cost` certifies and CI checks against measured
+    /// allocations.
+    pub fn resident_bytes(&self, required_resident_bytes: u64) -> u64 {
+        self.runtime_resident_bytes
+            .saturating_add(required_resident_bytes)
+    }
+
+    /// Modeled resident memory share (percent of device RAM) when serving
+    /// a model of `param_bytes` parameters with certified peak live
+    /// activation footprint `peak_activation_bytes`.
+    pub fn memory_percent(&self, param_bytes: u64, peak_activation_bytes: u64) -> f64 {
+        let resident = self.resident_bytes(param_bytes.saturating_add(peak_activation_bytes));
+        (resident as f64 / self.memory_capacity_bytes as f64 * 100.0).min(100.0)
+    }
+
+    /// Static admission check: can a model whose certificate requires
+    /// `required_resident_bytes` fit on this device at all?
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmissionError`] when the requirement exceeds the RAM
+    /// left after the framework runtime.
+    pub fn admit(&self, required_resident_bytes: u64) -> Result<(), AdmissionError> {
+        let available = self
+            .memory_capacity_bytes
+            .saturating_sub(self.runtime_resident_bytes);
+        if required_resident_bytes <= available {
+            Ok(())
+        } else {
+            Err(AdmissionError {
+                device: self.name.clone(),
+                required_bytes: required_resident_bytes,
+                available_bytes: available,
+            })
+        }
     }
 
     /// The pure arithmetic part of [`DeviceProfile::compute_time`]
@@ -200,7 +253,7 @@ mod tests {
         assert!(rpi.cpu_gflops < jcpu.cpu_gflops);
         assert!(rpi.gpu_gflops.is_none());
         assert!(jgpu.gpu_gflops.unwrap() > 10.0 * jgpu.cpu_gflops);
-        assert!(rpi.total_mem_mb < jcpu.total_mem_mb);
+        assert!(rpi.memory_capacity_bytes < jcpu.memory_capacity_bytes);
     }
 
     #[test]
@@ -253,23 +306,43 @@ mod tests {
     #[test]
     fn memory_percent_ranges() {
         let dev = DeviceProfile::jetson_tx2_cpu();
-        // An MLP-8-class model (16 pipeline layers).
-        let baseline = dev.memory_percent(6_000_000, 2_000_000, 16);
-        assert!((5.0..15.0).contains(&baseline), "{baseline}");
-        // Smaller, shallower expert model → smaller footprint.
-        let expert = dev.memory_percent(1_000_000, 500_000, 5);
-        assert!(expert < baseline);
+        // The framework runtime alone: 380 MiB of 8 GiB ≈ 4.6%.
+        let idle = dev.memory_percent(0, 0);
+        assert!((4.0..5.5).contains(&idle), "{idle}");
+        // A bigger certified requirement costs strictly more.
+        let baseline = dev.memory_percent(6_000_000, 2_000_000);
+        let expert = dev.memory_percent(1_000_000, 500_000);
+        assert!(idle < expert && expert < baseline);
         // Capped at 100.
-        assert_eq!(dev.memory_percent(u64::MAX / 8, 0, 1), 100.0);
+        assert_eq!(dev.memory_percent(u64::MAX / 8, 0), 100.0);
     }
 
     #[test]
-    fn memory_shrinks_with_depth() {
+    fn memory_tracks_the_certified_requirement() {
+        // The heuristic this replaced charged RAM per layer; the share now
+        // moves only with the certified resident bytes.
         let dev = DeviceProfile::jetson_tx2_cpu();
-        let deep = dev.memory_percent(100_000, 100_000, 16);
-        let mid = dev.memory_percent(100_000, 100_000, 9);
-        let shallow = dev.memory_percent(100_000, 100_000, 5);
-        assert!(deep > mid && mid > shallow, "{deep} {mid} {shallow}");
+        let small = dev.memory_percent(100_000, 100_000);
+        let large = dev.memory_percent(10_100_000, 100_000);
+        let expected = 10_000_000.0 / dev.memory_capacity_bytes as f64 * 100.0;
+        assert!(
+            (large - small - expected).abs() < 1e-9,
+            "{large} - {small} != {expected}"
+        );
+    }
+
+    #[test]
+    fn admission_is_a_hard_capacity_check() {
+        let rpi = DeviceProfile::raspberry_pi_3b_plus();
+        assert!(rpi.admit(100 << 20).is_ok(), "100 MiB fits a 1 GiB Pi");
+        let available = rpi.memory_capacity_bytes - rpi.runtime_resident_bytes;
+        assert!(rpi.admit(available).is_ok(), "exact fit admitted");
+        let err = rpi.admit(available + 1).unwrap_err();
+        assert_eq!(err.available_bytes, available);
+        assert_eq!(err.required_bytes, available + 1);
+        assert!(err.to_string().contains("Raspberry Pi"), "{err}");
+        // The Jetson admits what the Pi rejects.
+        assert!(DeviceProfile::jetson_tx2_cpu().admit(available + 1).is_ok());
     }
 
     #[test]

@@ -47,7 +47,7 @@ mod time;
 
 pub use arrivals::{simulate_serving, ServingReport};
 pub use des::EventQueue;
-pub use device::{ComputeUnit, DeviceProfile};
+pub use device::{AdmissionError, ComputeUnit, DeviceProfile};
 pub use link::WifiLink;
 pub use sim::{SimCluster, SimReport, SimRun};
 pub use time::SimTime;

@@ -192,6 +192,10 @@ pub fn conv2d_with(
         for (bi, u) in range.enumerate() {
             let (s, ch) = (u / oc, u % oc);
             if cached.as_ref().map(|c| c.0) != Some(s) {
+                // Release the previous sample's unfold before building the
+                // next: at most one im2col matrix is live per worker, which
+                // is what the static cost model certifies.
+                drop(cached.take());
                 let cols = im2col(&in_data[s * img_len..(s + 1) * img_len], ic, h, w, spec);
                 let finite = cols.data().iter().all(|x| x.is_finite());
                 cached = Some((s, cols, finite));

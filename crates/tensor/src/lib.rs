@@ -31,6 +31,7 @@ pub mod conv;
 mod error;
 mod init;
 mod linalg;
+mod memtrack;
 mod ops;
 pub mod pool;
 mod shape;
@@ -38,7 +39,8 @@ mod tensor;
 
 pub use autograd::{Gradients, Tape, Var};
 pub use error::TensorError;
+pub use memtrack::{MemScope, MemStats};
 pub use ops::{argmax_slice, softmax_in_place};
-pub use pool::ParallelConfig;
+pub use pool::{force_sequential_scope, ParallelConfig};
 pub use shape::Shape;
 pub use tensor::Tensor;

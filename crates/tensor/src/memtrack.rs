@@ -1,0 +1,334 @@
+//! Tensor-allocation accounting for the static cost model's honesty
+//! checks.
+//!
+//! Every [`crate::Tensor`] stores its elements in a [`TrackedVec`], a
+//! crate-private newtype whose construction, clone and drop report the
+//! buffer's byte size to every active [`MemScope`] on the current thread.
+//! The scope stack is thread-local; the parallel kernel pool propagates
+//! the spawning thread's stack into its scoped workers (see
+//! [`crate::pool`]), so a scope opened around a forward pass observes
+//! per-worker scratch buffers too.
+//!
+//! The design goal is *honesty*, not heap profiling: `teamnet_nn::cost`
+//! predicts peak live activation bytes statically, and a [`MemScope`]
+//! around a real forward pass measures what actually happened so the two
+//! can be compared (`static ≥ observed`, within a documented slack — see
+//! DESIGN.md §13). Only tensor element buffers are tracked; small
+//! per-channel `Vec<f32>` scratch and non-tensor allocations are out of
+//! scope and strictly shrink the observed number, which keeps the
+//! upper-bound direction of the comparison sound.
+//!
+//! Accounting is scope-relative and saturating: dropping a tensor that
+//! was allocated *before* the scope opened cannot push the live counter
+//! below zero.
+
+use serde::{Deserialize, Serialize, Value};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Stack of active collectors on this thread; innermost scope last.
+    /// A stack (not a single slot) so a scope opened inside another —
+    /// e.g. the runtime's per-forward meter inside a test's outer scope —
+    /// hides nothing from the outer observer.
+    static COLLECTORS: RefCell<Vec<Arc<Collector>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Shared counters behind one [`MemScope`]. Atomics, because pool workers
+/// report into the scope of the thread that spawned them.
+#[derive(Debug, Default)]
+pub(crate) struct Collector {
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
+    allocated_bytes: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl Collector {
+    fn on_alloc(&self, bytes: u64) {
+        let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(live, Ordering::Relaxed);
+        self.allocated_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_free(&self, bytes: u64) {
+        // Saturating: tensors allocated before the scope opened may be
+        // dropped inside it.
+        let _ = self
+            .live_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+                Some(live.saturating_sub(bytes))
+            });
+    }
+}
+
+/// Reports `bytes` allocated to every scope active on this thread.
+fn on_alloc(bytes: u64) {
+    COLLECTORS.with(|stack| {
+        for c in stack.borrow().iter() {
+            c.on_alloc(bytes);
+        }
+    });
+}
+
+/// Reports `bytes` freed to every scope active on this thread.
+fn on_free(bytes: u64) {
+    COLLECTORS.with(|stack| {
+        for c in stack.borrow().iter() {
+            c.on_free(bytes);
+        }
+    });
+}
+
+/// Snapshot of the collector stack, for installation in a pool worker.
+pub(crate) fn collector_stack() -> Vec<Arc<Collector>> {
+    COLLECTORS.with(|stack| stack.borrow().clone())
+}
+
+/// Runs `f` with `stack` as this thread's collector stack, restoring the
+/// previous stack afterwards. Used by [`crate::pool`] so scoped workers
+/// report into the spawning thread's scopes.
+pub(crate) fn with_collector_stack<R>(stack: Vec<Arc<Collector>>, f: impl FnOnce() -> R) -> R {
+    let prev = COLLECTORS.with(|s| std::mem::replace(&mut *s.borrow_mut(), stack));
+    let out = f();
+    COLLECTORS.with(|s| *s.borrow_mut() = prev);
+    out
+}
+
+/// Counters observed by a [`MemScope`] between `begin` and the snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemStats {
+    /// Tensor bytes currently live that were allocated inside the scope
+    /// (saturating against frees of pre-existing tensors).
+    pub live_bytes: u64,
+    /// Maximum of `live_bytes` over the scope's lifetime so far.
+    pub peak_bytes: u64,
+    /// Total tensor bytes allocated inside the scope (monotone).
+    pub allocated_bytes: u64,
+    /// Number of tensor buffer allocations inside the scope.
+    pub allocations: u64,
+}
+
+/// RAII measurement scope for tensor allocations on the current thread
+/// (plus any pool workers it spawns).
+///
+/// ```
+/// use teamnet_tensor::{MemScope, Tensor};
+/// let scope = MemScope::begin();
+/// let t = Tensor::zeros([4, 8]);
+/// assert_eq!(scope.stats().peak_bytes, 4 * 8 * 4);
+/// drop(t);
+/// assert_eq!(scope.stats().live_bytes, 0);
+/// ```
+#[derive(Debug)]
+pub struct MemScope {
+    collector: Arc<Collector>,
+}
+
+impl MemScope {
+    /// Opens a scope: from now until drop, tensor allocations on this
+    /// thread are counted.
+    pub fn begin() -> Self {
+        let collector = Arc::new(Collector::default());
+        COLLECTORS.with(|stack| stack.borrow_mut().push(Arc::clone(&collector)));
+        MemScope { collector }
+    }
+
+    /// Snapshot of the counters so far. Valid both before and after drop
+    /// would be — but the scope must be alive to keep counting, so take
+    /// the snapshot before dropping it.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            live_bytes: self.collector.live_bytes.load(Ordering::Relaxed),
+            peak_bytes: self.collector.peak_bytes.load(Ordering::Relaxed),
+            allocated_bytes: self.collector.allocated_bytes.load(Ordering::Relaxed),
+            allocations: self.collector.allocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for MemScope {
+    fn drop(&mut self) {
+        COLLECTORS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|c| Arc::ptr_eq(c, &self.collector)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// The element buffer of a [`crate::Tensor`]: a `Vec<f32>` whose
+/// construction, clone and drop report byte counts to the active
+/// [`MemScope`]s. Crate-private by design — making it the only way to
+/// build a `Tensor` is what guarantees no tensor allocation escapes the
+/// accounting.
+#[derive(Default)]
+pub(crate) struct TrackedVec {
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for TrackedVec {
+    // Transparent: `Tensor`'s Debug preview renders the buffer directly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.data.fmt(f)
+    }
+}
+
+impl TrackedVec {
+    fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Releases the buffer without a matching free event being lost: the
+    /// free is reported here, and the subsequent `Drop` sees an empty Vec.
+    pub(crate) fn into_inner(mut self) -> Vec<f32> {
+        on_free(self.bytes());
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl From<Vec<f32>> for TrackedVec {
+    fn from(data: Vec<f32>) -> Self {
+        let v = TrackedVec { data };
+        on_alloc(v.bytes());
+        v
+    }
+}
+
+impl Clone for TrackedVec {
+    fn clone(&self) -> Self {
+        TrackedVec::from(self.data.clone())
+    }
+}
+
+impl Drop for TrackedVec {
+    fn drop(&mut self) {
+        on_free(self.bytes());
+    }
+}
+
+impl Deref for TrackedVec {
+    type Target = Vec<f32>;
+    fn deref(&self) -> &Vec<f32> {
+        &self.data
+    }
+}
+
+impl DerefMut for TrackedVec {
+    // No tensor op resizes its buffer in place, so handing out `&mut Vec`
+    // cannot skew the byte accounting.
+    fn deref_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.data
+    }
+}
+
+impl PartialEq for TrackedVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Serialize for TrackedVec {
+    fn to_json_value(&self) -> Value {
+        self.data.to_json_value()
+    }
+}
+
+impl Deserialize for TrackedVec {
+    fn from_json_value(value: &Value) -> Result<Self, serde::Error> {
+        Vec::<f32>::from_json_value(value).map(TrackedVec::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn scope_counts_alloc_peak_and_free() {
+        let scope = MemScope::begin();
+        let a = Tensor::zeros([10]); // 40 bytes
+        let b = Tensor::zeros([5]); // 20 bytes
+        let stats = scope.stats();
+        assert_eq!(stats.live_bytes, 60);
+        assert_eq!(stats.peak_bytes, 60);
+        drop(a);
+        let c = Tensor::zeros([3]); // 12 bytes
+        let stats = scope.stats();
+        assert_eq!(stats.live_bytes, 32);
+        assert_eq!(stats.peak_bytes, 60, "peak is sticky");
+        assert_eq!(stats.allocated_bytes, 72);
+        assert_eq!(stats.allocations, 3);
+        drop((b, c));
+        assert_eq!(scope.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn free_of_pre_scope_tensor_saturates() {
+        let outside = Tensor::zeros([100]);
+        let scope = MemScope::begin();
+        drop(outside);
+        let stats = scope.stats();
+        assert_eq!(stats.live_bytes, 0, "must not underflow");
+        assert_eq!(stats.allocated_bytes, 0);
+    }
+
+    #[test]
+    fn nested_scopes_both_observe() {
+        let outer = MemScope::begin();
+        let a = Tensor::zeros([8]);
+        let inner = MemScope::begin();
+        let b = Tensor::zeros([4]);
+        assert_eq!(inner.stats().peak_bytes, 16);
+        assert_eq!(outer.stats().peak_bytes, 32 + 16);
+        drop((a, b, inner));
+        assert_eq!(outer.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn clone_and_into_vec_balance() {
+        let scope = MemScope::begin();
+        let a = Tensor::zeros([6]);
+        let b = a.clone();
+        assert_eq!(scope.stats().live_bytes, 48);
+        let raw = b.into_vec();
+        assert_eq!(scope.stats().live_bytes, 24, "into_vec releases");
+        drop((a, raw));
+        assert_eq!(scope.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn dropped_scope_stops_counting_but_outer_continues() {
+        let outer = MemScope::begin();
+        {
+            let inner = MemScope::begin();
+            drop(inner);
+        }
+        let t = Tensor::zeros([2]);
+        assert_eq!(outer.stats().live_bytes, 8);
+        drop(t);
+    }
+
+    #[test]
+    fn pool_workers_report_into_the_spawning_scope() {
+        // A matmul big enough to clear PAR_MIN_WORK with 4 threads: the
+        // per-worker allocations (none for matmul, but the output wrap
+        // happens on the caller) and the result must all be visible.
+        let m = 64;
+        let a = Tensor::zeros([m, m]);
+        let b = Tensor::zeros([m, m]);
+        let scope = MemScope::begin();
+        let c = a
+            .try_matmul_with(&b, crate::ParallelConfig::with_threads(4))
+            .expect("shapes agree");
+        let stats = scope.stats();
+        assert_eq!(stats.live_bytes, (m * m * 4) as u64);
+        drop(c);
+        assert_eq!(scope.stats().live_bytes, 0);
+    }
+}

@@ -20,6 +20,8 @@
 //! panicking worker propagates out of the scope after all siblings have
 //! been joined.
 
+use crate::memtrack;
+use std::cell::Cell;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -36,6 +38,39 @@ pub(crate) const PAR_MIN_WORK: usize = 1 << 16;
 /// Process-wide default, resolved once on first use so hot kernels never
 /// re-read the environment.
 static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// When true, [`ParallelConfig::default`] and
+    /// [`ParallelConfig::from_env`] resolve to the sequential
+    /// configuration on this thread — see [`force_sequential_scope`].
+    static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with every default-configured kernel on this thread pinned to
+/// the canonical sequential path, restoring the previous behavior
+/// afterwards (also on panic).
+///
+/// The parallel backend is bit-identical at any thread count, so this is
+/// never needed for numerics. It exists for *allocation honesty*: the
+/// static cost model (`teamnet_nn::cost`) prices the sequential kernel's
+/// scratch buffers, and a [`crate::MemScope`] measurement taken under
+/// this scope observes exactly that allocation schedule instead of one
+/// scratch buffer per worker thread (DESIGN.md §13).
+pub fn force_sequential_scope<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FORCE_SEQUENTIAL.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(FORCE_SEQUENTIAL.with(|c| c.replace(true)));
+    f()
+}
+
+/// True when the current thread is inside a [`force_sequential_scope`].
+fn forced_sequential() -> bool {
+    FORCE_SEQUENTIAL.with(Cell::get)
+}
 
 /// How many worker threads the parallel kernels may use.
 ///
@@ -54,6 +89,9 @@ impl ParallelConfig {
     /// [`ParallelConfig::default`], this re-reads the environment on
     /// every call.
     pub fn from_env() -> Self {
+        if forced_sequential() {
+            return ParallelConfig::sequential();
+        }
         let threads = std::env::var(THREADS_ENV)
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
@@ -94,6 +132,9 @@ impl Default for ParallelConfig {
     /// The process-wide default: [`ParallelConfig::from_env`] resolved
     /// once and cached for the lifetime of the process.
     fn default() -> Self {
+        if forced_sequential() {
+            return ParallelConfig::sequential();
+        }
         let threads = *DEFAULT_THREADS.get_or_init(|| ParallelConfig::from_env().threads);
         ParallelConfig { threads }
     }
@@ -128,12 +169,18 @@ pub fn partitioned(
         return;
     }
     let per = units.div_ceil(threads);
+    // Workers inherit the spawning thread's MemScope stack so per-worker
+    // scratch tensors stay visible to allocation accounting.
+    let collectors = memtrack::collector_stack();
     std::thread::scope(|s| {
         for (ci, block) in out.chunks_mut(per * unit_len).enumerate() {
             let f = &f;
             let start = ci * per;
             let n_units = block.len() / unit_len;
-            s.spawn(move || f(start..start + n_units, block));
+            let collectors = collectors.clone();
+            s.spawn(move || {
+                memtrack::with_collector_stack(collectors, || f(start..start + n_units, block))
+            });
         }
     });
 }
@@ -153,14 +200,18 @@ pub fn map_indexed<R: Send>(count: usize, threads: usize, f: impl Fn(usize) -> R
     }
     let per = count.div_ceil(threads);
     let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let collectors = memtrack::collector_stack();
     std::thread::scope(|s| {
         for (ci, block) in slots.chunks_mut(per).enumerate() {
             let f = &f;
             let start = ci * per;
+            let collectors = collectors.clone();
             s.spawn(move || {
-                for (j, slot) in block.iter_mut().enumerate() {
-                    *slot = Some(f(start + j));
-                }
+                memtrack::with_collector_stack(collectors, || {
+                    for (j, slot) in block.iter_mut().enumerate() {
+                        *slot = Some(f(start + j));
+                    }
+                })
             });
         }
     });
@@ -189,14 +240,18 @@ pub fn map_mut<T: Send, R: Send>(
     }
     let per = count.div_ceil(threads);
     let mut slots: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    let collectors = memtrack::collector_stack();
     std::thread::scope(|s| {
         for ((ci, block), results) in items.chunks_mut(per).enumerate().zip(slots.chunks_mut(per)) {
             let f = &f;
             let start = ci * per;
+            let collectors = collectors.clone();
             s.spawn(move || {
-                for ((j, item), slot) in block.iter_mut().enumerate().zip(results.iter_mut()) {
-                    *slot = Some(f(start + j, item));
-                }
+                memtrack::with_collector_stack(collectors, || {
+                    for ((j, item), slot) in block.iter_mut().enumerate().zip(results.iter_mut()) {
+                        *slot = Some(f(start + j, item));
+                    }
+                })
             });
         }
     });
@@ -288,6 +343,27 @@ mod tests {
             assert_eq!(got, expect, "threads={threads}");
             assert!(items.iter().all(|&x| x >= 100));
         }
+    }
+
+    #[test]
+    fn force_sequential_scope_pins_defaults_and_restores() {
+        let before = ParallelConfig::default();
+        force_sequential_scope(|| {
+            assert!(ParallelConfig::default().is_sequential());
+            assert!(ParallelConfig::from_env().is_sequential());
+            // Explicit configurations are untouched: only defaults pin.
+            assert_eq!(ParallelConfig::with_threads(4).threads(), 4);
+        });
+        assert_eq!(ParallelConfig::default(), before);
+    }
+
+    #[test]
+    fn force_sequential_scope_restores_after_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            force_sequential_scope(|| panic!("deliberate"));
+        });
+        assert!(caught.is_err());
+        assert!(!super::forced_sequential());
     }
 
     #[test]

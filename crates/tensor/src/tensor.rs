@@ -1,6 +1,7 @@
 //! The dense row-major `f32` tensor at the heart of the reproduction.
 
 use crate::error::TensorError;
+use crate::memtrack::TrackedVec;
 use crate::shape::Shape;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -24,7 +25,9 @@ use std::fmt;
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    /// Element buffer; a [`TrackedVec`] so every tensor allocation is
+    /// visible to [`crate::MemScope`] accounting (DESIGN.md §13).
+    data: TrackedVec,
 }
 
 impl Tensor {
@@ -42,7 +45,10 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { shape, data })
+        Ok(Tensor {
+            shape,
+            data: data.into(),
+        })
     }
 
     /// Infallible constructor for kernels that build `data` to match
@@ -50,7 +56,10 @@ impl Tensor {
     pub(crate) fn from_parts(shape: impl Into<Shape>, data: Vec<f32>) -> Self {
         let shape = shape.into();
         debug_assert_eq!(data.len(), shape.volume(), "from_parts volume mismatch");
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data: data.into(),
+        }
     }
 
     /// Creates a zero-filled tensor.
@@ -59,7 +68,7 @@ impl Tensor {
         let volume = shape.volume();
         Tensor {
             shape,
-            data: vec![0.0; volume],
+            data: vec![0.0; volume].into(),
         }
     }
 
@@ -74,7 +83,7 @@ impl Tensor {
         let volume = shape.volume();
         Tensor {
             shape,
-            data: vec![value; volume],
+            data: vec![value; volume].into(),
         }
     }
 
@@ -82,7 +91,7 @@ impl Tensor {
     pub fn scalar(value: f32) -> Self {
         Tensor {
             shape: Shape::scalar(),
-            data: vec![value],
+            data: vec![value].into(),
         }
     }
 
@@ -90,7 +99,7 @@ impl Tensor {
     pub fn arange(n: usize) -> Self {
         Tensor {
             shape: Shape::new(vec![n]),
-            data: (0..n).map(|i| i as f32).collect(),
+            data: (0..n).map(|i| i as f32).collect::<Vec<f32>>().into(),
         }
     }
 
@@ -131,7 +140,7 @@ impl Tensor {
 
     /// Consumes the tensor and returns the underlying buffer.
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_inner()
     }
 
     /// Element at a multi-dimensional index.
@@ -174,7 +183,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
-        Tensor::from_vec(self.data.clone(), shape)
+        Tensor::from_vec(self.data.to_vec(), shape)
     }
 
     /// Consuming variant of [`Tensor::reshape`]; avoids the copy.
@@ -183,7 +192,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
     pub fn into_reshaped(self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
-        Tensor::from_vec(self.data, shape)
+        Tensor::from_vec(self.data.into_inner(), shape)
     }
 
     /// Row `r` of a rank-2 tensor, as a slice.
@@ -228,7 +237,7 @@ impl Tensor {
         dims.extend_from_slice(&self.shape.dims()[1..]);
         Tensor {
             shape: Shape::new(dims),
-            data,
+            data: data.into(),
         }
     }
 
@@ -236,13 +245,13 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: self.data.iter().map(|&x| f(x)).collect::<Vec<f32>>().into(),
         }
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data.iter_mut() {
             *x = f(*x);
         }
     }
@@ -264,9 +273,10 @@ impl Tensor {
             data: self
                 .data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .map(|(&a, &b)| f(a, b))
-                .collect(),
+                .collect::<Vec<f32>>()
+                .into(),
         }
     }
 
@@ -332,7 +342,7 @@ impl Tensor {
         );
         self.data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
@@ -375,7 +385,7 @@ impl FromIterator<f32> for Tensor {
         let n = data.len();
         Tensor {
             shape: Shape::new(vec![n]),
-            data,
+            data: data.into(),
         }
     }
 }

@@ -1,0 +1,230 @@
+//! `cargo xtask cost` — static per-expert resource certification.
+//!
+//! Prices every model configuration from the paper's grid (MLP-2/4/8,
+//! SS-8/14/26) at FP32 and batch 1 through `teamnet_nn::cost`: parameter
+//! bytes, forward FLOPs, peak live activation bytes (liveness analysis,
+//! DESIGN.md §13) and framed bytes-on-wire. The table is rendered as
+//! canonical JSON and written to `COST.json` at the workspace root; with
+//! `--check` the rendering is diffed against the checked-in file instead,
+//! failing on any drift — which makes resource regressions reviewable the
+//! same way `Cargo.lock` changes are.
+//!
+//! Following the house style of the shape and audit passes, every run
+//! includes a negative control: a deliberately mis-costed copy of the
+//! table (one model's certified peak halved) must be rejected by the same
+//! comparison that `--check` uses; if it is not, the pass fails loudly,
+//! because a comparison that accepts a wrong certificate proves nothing.
+
+use crate::{shapes, workspace_root, Diagnostic};
+use serde::Value;
+use teamnet_nn::{expert_cost, ExpertCost, WireModel};
+
+/// Name of the checked-in certificate file at the workspace root.
+pub const COST_FILE: &str = "COST.json";
+
+/// Certifies the full paper grid at batch 1. Build or wiring failures are
+/// reported as diagnostics; successfully certified models are returned in
+/// grid order.
+pub fn certify_grid(diags: &mut Vec<Diagnostic>) -> Vec<(String, ExpertCost)> {
+    let wire = WireModel::default();
+    let mut table = Vec::new();
+    for (name, spec) in shapes::paper_specs() {
+        match spec.build_checked(0) {
+            Ok(net) => {
+                let mut dims = vec![1];
+                dims.extend(spec.input_dims());
+                table.push((name, expert_cost(&net, &dims, &wire)));
+            }
+            Err(e) => diags.push(Diagnostic {
+                path: format!("nn::models ({name})"),
+                line: 0,
+                rule: "cost-build",
+                message: e.to_string(),
+            }),
+        }
+    }
+    table
+}
+
+/// Renders the certificate table as canonical pretty-printed JSON with a
+/// trailing newline. Entries keep grid order and every map inside is
+/// emitted in declaration order, so the rendering is byte-stable across
+/// runs and platforms (a property the cross-crate proptests pin).
+pub fn render(table: &[(String, ExpertCost)]) -> String {
+    let entries: Vec<(String, Value)> = table
+        .iter()
+        .map(|(name, cert)| (name.clone(), serde::Serialize::to_json_value(cert)))
+        .collect();
+    let body = serde_json::to_string_pretty(&Value::Map(entries))
+        // A Value::Map render cannot fail; turned into a diagnostic-free
+        // empty string it would be caught by the `--check` diff instead of
+        // panicking inside a CI tool.
+        .unwrap_or_default();
+    format!("{body}\n")
+}
+
+/// Compares the freshly computed rendering against a checked-in one.
+/// Returns the first differing line as `Some((line_number, message))`.
+pub fn first_mismatch(checked_in: &str, computed: &str) -> Option<(usize, String)> {
+    if checked_in == computed {
+        return None;
+    }
+    let mut on_disk = checked_in.lines();
+    let mut fresh = computed.lines();
+    let mut lineno = 0usize;
+    loop {
+        lineno += 1;
+        match (on_disk.next(), fresh.next()) {
+            (Some(a), Some(b)) if a == b => continue,
+            (Some(a), Some(b)) => {
+                return Some((lineno, format!("checked-in `{a}` vs computed `{b}`")))
+            }
+            (Some(a), None) => return Some((lineno, format!("extra checked-in line `{a}`"))),
+            (None, Some(b)) => return Some((lineno, format!("missing line `{b}`"))),
+            (None, None) => return Some((0, "renderings differ only in line endings".into())),
+        }
+    }
+}
+
+/// Self-test: the comparison must reject a deliberately mis-costed copy
+/// of the table (first model's peak halved). Appends a diagnostic if the
+/// mis-costed fixture slips through.
+fn negative_control(table: &[(String, ExpertCost)], diags: &mut Vec<Diagnostic>) {
+    let Some((name, cert)) = table.first() else {
+        diags.push(Diagnostic {
+            path: COST_FILE.into(),
+            line: 0,
+            rule: "cost-self-test",
+            message: "empty certificate table; nothing was certified".into(),
+        });
+        return;
+    };
+    let mut bad = cert.clone();
+    bad.peak_activation_bytes /= 2;
+    let mut tampered = table.to_vec();
+    tampered[0] = (name.clone(), bad);
+    if first_mismatch(&render(&tampered), &render(table)).is_none() {
+        diags.push(Diagnostic {
+            path: COST_FILE.into(),
+            line: 0,
+            rule: "cost-self-test",
+            message: format!(
+                "mis-costed fixture (halved peak for {name}) not rejected by the \
+                 certificate comparison"
+            ),
+        });
+    }
+}
+
+/// Runs the pass: certify, self-test, then write `COST.json` (default) or
+/// diff against the checked-in file (`check_only`). Returns the number of
+/// certified models.
+pub fn check(check_only: bool, diags: &mut Vec<Diagnostic>) -> usize {
+    let table = certify_grid(diags);
+    negative_control(&table, diags);
+    let computed = render(&table);
+    let path = workspace_root().join(COST_FILE);
+    if check_only {
+        match std::fs::read_to_string(&path) {
+            Ok(checked_in) => {
+                if let Some((line, message)) = first_mismatch(&checked_in, &computed) {
+                    diags.push(Diagnostic {
+                        path: COST_FILE.into(),
+                        line,
+                        rule: "cost-drift",
+                        message: format!(
+                            "{message}; model resource envelope changed — review and \
+                             refresh with `cargo xtask cost`"
+                        ),
+                    });
+                }
+            }
+            Err(e) => diags.push(Diagnostic {
+                path: COST_FILE.into(),
+                line: 0,
+                rule: "cost-drift",
+                message: format!("cannot read checked-in certificate: {e}"),
+            }),
+        }
+    } else if let Err(e) = std::fs::write(&path, &computed) {
+        diags.push(Diagnostic {
+            path: COST_FILE.into(),
+            line: 0,
+            rule: "cost-drift",
+            message: format!("cannot write certificate: {e}"),
+        });
+    }
+    table.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_certifies_cleanly_and_renders_byte_stable() {
+        let mut diags = Vec::new();
+        let table = certify_grid(&mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(table.len(), 6);
+        let names: Vec<&str> = table.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["MLP-2", "MLP-4", "MLP-8", "SS-8", "SS-14", "SS-26"]);
+        let once = render(&table);
+        let twice = render(&certify_grid(&mut Vec::new()));
+        assert_eq!(once, twice, "rendering must be byte-stable");
+        assert!(once.ends_with('\n'));
+    }
+
+    #[test]
+    fn certificates_are_physically_plausible() {
+        let table = certify_grid(&mut Vec::new());
+        for (name, cert) in &table {
+            assert!(cert.flops > 0, "{name}");
+            assert!(cert.param_bytes > 0, "{name}");
+            assert!(
+                cert.peak_activation_bytes >= cert.input_bytes + cert.output_bytes,
+                "{name}: input and first activation coexist"
+            );
+            assert!(
+                cert.wire_input_bytes > cert.input_bytes,
+                "{name}: framing adds overhead"
+            );
+        }
+        // Deeper models in a family cost strictly more parameters.
+        let param = |n: &str| {
+            table
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, c)| c.param_bytes)
+                .unwrap_or(0)
+        };
+        assert!(param("MLP-2") < param("MLP-4") && param("MLP-4") < param("MLP-8"));
+        assert!(param("SS-8") < param("SS-14") && param("SS-14") < param("SS-26"));
+    }
+
+    #[test]
+    fn mis_costed_fixture_is_rejected() {
+        let table = certify_grid(&mut Vec::new());
+        let mut diags = Vec::new();
+        negative_control(&table, &mut diags);
+        assert!(
+            diags.is_empty(),
+            "control must pass on honest data: {diags:?}"
+        );
+        // And the comparison itself sees the tampering.
+        let mut bad = table.clone();
+        bad[2].1.flops += 1;
+        let hit = first_mismatch(&render(&bad), &render(&table));
+        assert!(hit.is_some(), "tampered flops must surface as a diff");
+    }
+
+    #[test]
+    fn first_mismatch_localizes_the_divergence() {
+        assert_eq!(first_mismatch("a\nb\n", "a\nb\n"), None);
+        let (line, msg) = first_mismatch("a\nx\n", "a\ny\n").unwrap();
+        assert_eq!(line, 2);
+        assert!(msg.contains('x') && msg.contains('y'), "{msg}");
+        let (line, _) = first_mismatch("a\n", "a\nb\n").unwrap();
+        assert_eq!(line, 2);
+    }
+}

@@ -25,6 +25,17 @@
 //! 3. **Protocol exhaustiveness** — every `PayloadKind` variant built and
 //!    dispatched, every `NetError` variant produced (see [`protocol`];
 //!    rules `protocol-constructed`, `protocol-handled`, `error-produced`).
+//! 4. **Narrowing casts** — unchecked truncating `as` casts reachable
+//!    from the codec/envelope/cost roots (see [`cast`]; rule
+//!    `cast-truncate`).
+//!
+//! **`cargo xtask cost`** — static per-expert resource certification:
+//! prices the full paper model grid (parameter bytes, FLOPs, liveness-
+//! analyzed peak activation bytes, framed bytes-on-wire) through
+//! `teamnet_nn::cost` and writes `COST.json` at the workspace root; with
+//! `--check` it diffs against the checked-in file instead and fails on
+//! drift (see [`cost`]). Each run self-tests by rejecting a deliberately
+//! mis-costed fixture.
 //!
 //! **`cargo xtask trace-report <trace.jsonl>`** — ingests a span trace
 //! written by a `teamnet_obs::JsonlSink` and prints the per-span latency
@@ -36,6 +47,8 @@
 //! `syn`/`clippy-utils`; both commands work on comment/string-masked
 //! source (see [`lexer`]).
 
+mod cast;
+mod cost;
 mod lexer;
 mod lint;
 mod locks;
@@ -88,15 +101,16 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => run_check(),
         Some("audit") => run_audit(),
+        Some("cost") => run_cost(args.iter().any(|a| a == "--check")),
         Some("trace-report") => run_trace_report(args.get(1).map(String::as_str)),
         Some(other) => {
             eprintln!(
-                "unknown subcommand `{other}`; usage: cargo xtask <check|audit|trace-report>"
+                "unknown subcommand `{other}`; usage: cargo xtask <check|audit|cost|trace-report>"
             );
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask <check|audit|trace-report FILE.jsonl>");
+            eprintln!("usage: cargo xtask <check|audit|cost [--check]|trace-report FILE.jsonl>");
             ExitCode::from(2)
         }
     }
@@ -158,6 +172,32 @@ fn run_check() -> ExitCode {
     }
 }
 
+fn run_cost(check_only: bool) -> ExitCode {
+    let mut diags = Vec::new();
+    let certified = cost::check(check_only, &mut diags);
+
+    if diags.is_empty() {
+        let action = if check_only {
+            "matches the computed table"
+        } else {
+            "written"
+        };
+        println!(
+            "xtask cost: OK — {certified} model configuration(s) certified \
+             (params / FLOPs / liveness peak / wire bytes); {} {action}; \
+             negative control: mis-costed fixture rejected",
+            cost::COST_FILE
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        eprintln!("xtask cost: {} diagnostic(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn run_audit() -> ExitCode {
     let root = workspace_root();
     let model = symbols::Model::load_workspace(&root);
@@ -166,13 +206,15 @@ fn run_audit() -> ExitCode {
     let locks = locks::check(&model, &mut diags);
     let tainted = taint::check(&model, &mut diags);
     let variants = protocol::check(&model, &mut diags);
+    let cast_audited = cast::check(&model, &mut diags);
 
     if diags.is_empty() {
         println!(
             "xtask audit: OK — {} fns / {} call edges modeled; lock order consistent \
              across {locks} lock(s), no lock held across I/O; determinism taint clean \
              over {tainted} reachable fn(s); {variants} protocol variant(s) constructed, \
-             dispatched and produced",
+             dispatched and produced; no unchecked narrowing cast over {cast_audited} \
+             wire/cost-reachable fn(s)",
             model.fns.len(),
             model.call_edge_count(),
         );

@@ -8,8 +8,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use teamnet_nn::{check_model, Dense, Layer, ModelSpec, Sequential};
 
-/// The paper's model grid (Table 1 / Section VI-A).
-fn paper_specs() -> Vec<(String, ModelSpec)> {
+/// The paper's model grid (Table 1 / Section VI-A). Shared with the
+/// resource-certification pass ([`crate::cost`]) so both audits cover the
+/// same configurations.
+pub(crate) fn paper_specs() -> Vec<(String, ModelSpec)> {
     let mut specs = Vec::new();
     for layers in [2usize, 4, 8] {
         specs.push((format!("MLP-{layers}"), ModelSpec::mlp(layers, 128)));

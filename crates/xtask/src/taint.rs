@@ -41,6 +41,10 @@ const ROOT_FILES: &[&str] = &[
     "crates/core/src/entropy.rs",
     "crates/core/src/runtime.rs",
     "crates/tensor/src/pool.rs",
+    // The resource certificate must be byte-stable across runs: a clock,
+    // hasher or entropy read here would make `cargo xtask cost --check`
+    // flap.
+    "crates/nn/src/cost.rs",
 ];
 
 const SIMNET_PREFIX: &str = "crates/simnet/src/";
