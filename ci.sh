@@ -19,6 +19,10 @@
 #   7. kernel-bench smoke (parallel-vs-sequential bit-identity on every
 #                         kernel, plus the JSON artifact plumbing)
 #   8. chaos soak        (50 seeded fault-injected inference rounds)
+#   8b. recovery soak    (seeded session that permanently black-holes one
+#                         worker mid-run: its expert must migrate to a
+#                         survivor with certified spare memory and the
+#                         whole recovery must replay byte-for-byte)
 #   9. traced smoke      (chaos_inference with TEAMNET_TRACE -> JsonlSink,
 #                         piped through `cargo xtask trace-report`, which
 #                         exits non-zero on a parse error or an empty span
@@ -61,5 +65,6 @@ TEAMNET_THREADS=1 cargo test -q --workspace
 TEAMNET_THREADS=4 cargo test -q --workspace
 cargo run -q --release -p teamnet-bench --bin kernel_bench -- --smoke --out /tmp/BENCH_kernels_smoke.json
 cargo test -q --release --test chaos_soak
+cargo test -q --release --test recovery_soak
 TEAMNET_TRACE=/tmp/ci_trace.jsonl cargo run -q --release --example chaos_inference >/dev/null
 cargo xtask trace-report /tmp/ci_trace.jsonl

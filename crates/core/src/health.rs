@@ -251,6 +251,10 @@ pub struct PeerReport {
     pub responded: bool,
     /// Consecutive misses on record after this round.
     pub consecutive_misses: u32,
+    /// Experts this peer is hosting on behalf of quarantined homes via
+    /// the recovery protocol (DESIGN.md §14); empty outside recovery.
+    #[serde(default)]
+    pub hosted_experts: Vec<usize>,
 }
 
 /// The outcome of one fault-tolerant inference round: predictions plus
@@ -271,6 +275,15 @@ pub struct InferenceReport {
     pub corrupt_discarded: u64,
     /// Replies discarded because they failed structural decoding.
     pub malformed_discarded: u64,
+    /// Current expert → host map from the recovery manager: every
+    /// registered expert and the node holding it after this round's
+    /// recovery pass. Empty when recovery is not armed.
+    #[serde(default)]
+    pub expert_hosts: BTreeMap<usize, usize>,
+    /// Cumulative successful expert migrations observed by the session up
+    /// to and including this round.
+    #[serde(default)]
+    pub migrations: u64,
 }
 
 impl InferenceReport {
@@ -313,11 +326,15 @@ impl InferenceReport {
                 p.health, p.contacted, p.probed, p.responded, p.consecutive_misses
             );
         }
+        for (expert, host) in &self.expert_hosts {
+            let _ = writeln!(out, "host {expert}: node={host}");
+        }
         let _ = writeln!(
             out,
             "discarded: stale={} corrupt={} malformed={}",
             self.stale_discarded, self.corrupt_discarded, self.malformed_discarded
         );
+        let _ = writeln!(out, "recovery: migrations={}", self.migrations);
         out
     }
 }
@@ -416,6 +433,7 @@ mod tests {
             probed: false,
             responded,
             consecutive_misses: 0,
+            hosted_experts: Vec::new(),
         }
     }
 
@@ -433,6 +451,8 @@ mod tests {
             stale_discarded: 4,
             corrupt_discarded: 0,
             malformed_discarded: 0,
+            expert_hosts: BTreeMap::new(),
+            migrations: 0,
         }
     }
 
@@ -452,6 +472,34 @@ mod tests {
     }
 
     #[test]
+    fn summary_transcript_format_is_pinned() {
+        // Regression test for the transcript format, including the
+        // recovery fields: consumers (soak tests, trace diffing) depend
+        // on these exact bytes.
+        let mut r = report();
+        r.expert_hosts = [(1, 2), (5, 0)].into_iter().collect();
+        r.migrations = 3;
+        if let Some(p) = r.peers.get_mut(&2) {
+            p.hosted_experts = vec![1];
+        }
+        let expected = "\
+pred 0: label=3 expert=1 entropy=3e800000
+peer 0: health=Live contacted=true probed=false responded=true misses=0
+peer 1: health=Live contacted=true probed=false responded=false misses=0
+peer 2: health=Live contacted=true probed=false responded=true misses=0
+host 1: node=2
+host 5: node=0
+discarded: stale=4 corrupt=0 malformed=0
+recovery: migrations=3
+";
+        assert_eq!(r.summary(), expected);
+        // Without recovery armed the host lines vanish but the counter
+        // line stays, so transcripts remain line-for-line comparable.
+        assert!(report().summary().ends_with("recovery: migrations=0\n"));
+        assert!(!report().summary().contains("host "));
+    }
+
+    #[test]
     fn transition_counter_ticks_on_state_changes_only() {
         let counter = Counter::default();
         let mut fd = FailureDetector::new(2, config(2, 1));
@@ -468,6 +516,137 @@ mod tests {
         assert_eq!(counter.get(), 4);
         assert_eq!(fd.plan(1), ContactPlan::Full); // Live stays Live
         assert_eq!(counter.get(), 4);
+    }
+
+    /// One step of detector history for the probe-credit properties:
+    /// either the round's reply evidence or a plan() call.
+    #[derive(Debug, Clone, Copy)]
+    enum Step {
+        Success,
+        Miss,
+        Plan,
+    }
+
+    fn apply(fd: &mut FailureDetector, step: Step) -> Option<ContactPlan> {
+        match step {
+            Step::Success => {
+                fd.record_success(1);
+                None
+            }
+            Step::Miss => {
+                fd.record_miss(1);
+                None
+            }
+            Step::Plan => Some(fd.plan(1)),
+        }
+    }
+
+    mod probe_credit_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn steps() -> impl Strategy<Value = Vec<Step>> {
+            prop::collection::vec(
+                (0u8..3).prop_map(|b| match b {
+                    0 => Step::Success,
+                    1 => Step::Miss,
+                    _ => Step::Plan,
+                }),
+                0..60,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Probe credit must reset on every readmission: after any
+            /// quarantine→readmission history whatsoever, the detector's
+            /// future plan() stream is indistinguishable from a fresh
+            /// detector's — stale probe credit must never leak across a
+            /// readmission and fire an early probe.
+            #[test]
+            fn readmission_resets_probe_credit(
+                history in steps(),
+                m in 1u32..4,
+                probe in 1u64..6,
+                tail_plans in 1usize..12,
+            ) {
+                let cfg = FailureDetectorConfig {
+                    suspect_after: 1,
+                    quarantine_after: m,
+                    probe_interval: probe,
+                };
+                let mut seasoned = FailureDetector::new(2, cfg.clone());
+                for step in history {
+                    apply(&mut seasoned, step);
+                }
+                // Readmission from whatever state the history produced.
+                seasoned.record_success(1);
+                let mut fresh = FailureDetector::new(2, cfg);
+                fresh.record_success(1);
+                for _ in 0..tail_plans {
+                    prop_assert_eq!(seasoned.plan(1), fresh.plan(1));
+                    prop_assert_eq!(seasoned.health(1), fresh.health(1));
+                    prop_assert_eq!(seasoned.misses(1), fresh.misses(1));
+                }
+            }
+
+            /// Two detectors fed the same seeded history agree on every
+            /// plan() and on all visible state — no hidden drift between
+            /// equivalent histories.
+            #[test]
+            fn equivalent_histories_never_drift(
+                history in steps(),
+                m in 1u32..4,
+                probe in 1u64..6,
+            ) {
+                let cfg = FailureDetectorConfig {
+                    suspect_after: 1,
+                    quarantine_after: m,
+                    probe_interval: probe,
+                };
+                let mut a = FailureDetector::new(2, cfg.clone());
+                let mut b = FailureDetector::new(2, cfg);
+                for step in history {
+                    prop_assert_eq!(apply(&mut a, step), apply(&mut b, step));
+                    prop_assert_eq!(a.health(1), b.health(1));
+                    prop_assert_eq!(a.misses(1), b.misses(1));
+                }
+            }
+
+            /// Across arbitrarily many quarantine→readmission cycles the
+            /// probe cadence stays exactly `probe_interval`: after each
+            /// fresh quarantine, plan() skips interval−1 times and then
+            /// probes.
+            #[test]
+            fn probe_cadence_is_stable_across_cycles(
+                cycles in 1usize..6,
+                m in 1u32..4,
+                probe in 1u64..6,
+            ) {
+                let cfg = FailureDetectorConfig {
+                    suspect_after: 1,
+                    quarantine_after: m,
+                    probe_interval: probe,
+                };
+                let mut fd = FailureDetector::new(2, cfg);
+                for _ in 0..cycles {
+                    // Drive into quarantine.
+                    for _ in 0..m {
+                        fd.record_miss(1);
+                    }
+                    prop_assert_eq!(fd.health(1), PeerHealth::Quarantined);
+                    // Credit accrues one skip at a time, then one probe.
+                    for _ in 0..probe.saturating_sub(1) {
+                        prop_assert_eq!(fd.plan(1), ContactPlan::Skip);
+                    }
+                    prop_assert_eq!(fd.plan(1), ContactPlan::Probe);
+                    // Readmit; credit must be gone again.
+                    fd.record_success(1);
+                    prop_assert_eq!(fd.plan(1), ContactPlan::Full);
+                }
+            }
+        }
     }
 
     #[test]

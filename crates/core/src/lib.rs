@@ -24,6 +24,9 @@
 //!   round-stamped envelopes and bounded retries;
 //! * [`health`] — the heartbeat failure detector that quarantines
 //!   unresponsive peers and probes them for readmission;
+//! * [`recover`] — failure-backtracking expert re-placement: quarantined
+//!   nodes' experts migrate to surviving hosts with certified spare
+//!   memory and are handed back on readmission;
 //! * [`convergence`] — Appendix A: the γ → 1/K contraction theory.
 //!
 //! # Examples
@@ -53,6 +56,7 @@ mod expert;
 mod gate;
 pub mod health;
 pub mod persist;
+pub mod recover;
 pub mod runtime;
 mod team;
 mod train;
@@ -68,5 +72,9 @@ pub use health::{
     ContactPlan, FailureDetector, FailureDetectorConfig, InferenceReport, PeerHealth, PeerReport,
 };
 pub use persist::{load_expert, load_team, save_team, PersistError};
+pub use recover::{
+    AckStatus, ChunkOutcome, HostBudget, LoadAckMsg, LoadChunkMsg, LoadExpertMsg, PartialLoad,
+    RecoveryConfig, RecoveryManager, TransferManifest,
+};
 pub use team::{TeamEvaluation, TeamNet, TeamPrediction};
 pub use train::{IterationRecord, TrainConfig, Trainer, TrainingHistory};

@@ -27,6 +27,10 @@ use crate::entropy::entropy;
 use crate::health::{
     ContactPlan, FailureDetector, FailureDetectorConfig, InferenceReport, PeerHealth, PeerReport,
 };
+use crate::recover::{
+    AckStatus, ChunkOutcome, HostBudget, LoadAckMsg, LoadChunkMsg, LoadExpertMsg, PartialLoad,
+    RecoveryManager,
+};
 use crate::team::TeamPrediction;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,7 +58,7 @@ pub const TAG_SHUTDOWN: Tag = Tag(0x7EA0_0003);
 /// across [`InferenceSession`] instances sharing a transport.
 static NEXT_ROUND: AtomicU64 = AtomicU64::new(1);
 
-fn next_round() -> u64 {
+pub(crate) fn next_round() -> u64 {
     NEXT_ROUND.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -158,6 +162,82 @@ pub fn decode_results(bytes: &[u8]) -> Result<Vec<(usize, f32)>, NetError> {
         .collect())
 }
 
+/// Marker opening a multi-expert result set on the wire. Unambiguous
+/// against the legacy single-matrix encoding, whose leading `u32` is a
+/// tensor rank and therefore always tiny.
+const RESULT_SET_SENTINEL: u32 = 0xFFFF_FFFF;
+
+/// Encodes results from several experts hosted on one node:
+/// `sentinel: u32 | count: u32 | per expert (expert_id: u32 | len: u32 |`
+/// [`encode_results`] bytes`)`.
+///
+/// Workers hosting only their own expert keep sending the legacy
+/// [`encode_results`] matrix byte-for-byte — the certified
+/// `wire_result_bytes` of DESIGN.md §13 stays honest, and a recovery-free
+/// session is wire-identical to the pre-recovery protocol.
+pub fn encode_result_set(set: &[(u32, Vec<(usize, f32)>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&RESULT_SET_SENTINEL.to_le_bytes());
+    out.extend_from_slice(&(set.len() as u32).to_le_bytes());
+    for (expert, results) in set {
+        let bytes = encode_results(results);
+        out.extend_from_slice(&expert.to_le_bytes());
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Decodes a result payload into per-expert result matrices. A legacy
+/// single-matrix payload (no sentinel) is attributed to `sender` — the
+/// worker's own expert.
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] for truncated sets or undecodable matrices.
+pub fn decode_result_set(
+    bytes: &[u8],
+    sender: usize,
+) -> Result<Vec<(usize, Vec<(usize, f32)>)>, NetError> {
+    let sentinel = bytes
+        .get(..4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap_or_default()));
+    if sentinel != Some(RESULT_SET_SENTINEL) {
+        return Ok(vec![(sender, decode_results(bytes)?)]);
+    }
+    let mut at = 4usize;
+    let take_u32 = |bytes: &[u8], at: &mut usize| -> Result<u32, NetError> {
+        let slice = bytes
+            .get(*at..*at + 4)
+            .ok_or_else(|| NetError::Malformed(format!("result set truncated at byte {at}")))?;
+        *at += 4;
+        Ok(u32::from_le_bytes(slice.try_into().unwrap_or_default()))
+    };
+    let count = take_u32(bytes, &mut at)? as usize;
+    if count > 4096 {
+        return Err(NetError::Malformed(format!(
+            "implausible result set of {count} experts"
+        )));
+    }
+    let mut set = Vec::with_capacity(count);
+    for _ in 0..count {
+        let expert = take_u32(bytes, &mut at)? as usize;
+        let len = take_u32(bytes, &mut at)? as usize;
+        let body = bytes
+            .get(at..at + len)
+            .ok_or_else(|| NetError::Malformed(format!("result set truncated at byte {at}")))?;
+        at += len;
+        set.push((expert, decode_results(body)?));
+    }
+    if at != bytes.len() {
+        return Err(NetError::Malformed(format!(
+            "{} trailing bytes in result set",
+            bytes.len() - at
+        )));
+    }
+    Ok(set)
+}
+
 /// Counters kept by a worker's serve loop, returned when the loop exits.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WorkerStats {
@@ -168,6 +248,25 @@ pub struct WorkerStats {
     /// Batches skipped because they failed envelope or tensor decoding
     /// (corrupt or malformed traffic); the loop keeps serving.
     pub malformed_skipped: u64,
+    /// Expert-transfer offers this worker admitted (DESIGN.md §14).
+    pub loads_accepted: u64,
+    /// Expert-transfer offers refused by the local [`HostBudget`].
+    pub loads_refused: u64,
+    /// Transfer chunks received (including duplicates re-acknowledged by
+    /// the stop-and-wait ARQ).
+    pub chunks_received: u64,
+}
+
+/// Worker-side policy for [`serve_worker_with_config`].
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Observability handle (defaults to [`Obs::disabled`]).
+    pub obs: Obs,
+    /// Memory honesty check for hosting migrated experts: an offer whose
+    /// certified `required_resident_bytes` exceeds this budget's spare is
+    /// refused regardless of what the master believed. Defaults to
+    /// [`HostBudget::unlimited`].
+    pub budget: HostBudget,
 }
 
 /// Serves a worker node: waits for input broadcasts from `master`, runs
@@ -207,12 +306,51 @@ pub fn serve_worker_with_obs(
     expert: &mut Sequential,
     obs: &Obs,
 ) -> Result<WorkerStats, NetError> {
+    serve_worker_with_config(
+        transport,
+        master,
+        expert,
+        WorkerConfig {
+            obs: obs.clone(),
+            budget: HostBudget::unlimited(),
+        },
+    )
+}
+
+/// [`serve_worker`] with full policy control, including multi-expert
+/// hosting for the recovery protocol (DESIGN.md §14): besides answering
+/// input broadcasts with its own expert, the worker admits
+/// [`PayloadKind::LoadExpert`] offers against its [`HostBudget`],
+/// reassembles chunked transfers (resumably — the in-flight
+/// [`PartialLoad`] survives across loop iterations), and once an expert is
+/// resident fans every input through it too, returning a demuxable
+/// per-expert result set so the master's argmin-entropy still sees the
+/// full team.
+///
+/// # Errors
+///
+/// Returns transport failures other than a clean shutdown/close.
+pub fn serve_worker_with_config(
+    transport: &dyn Transport,
+    master: usize,
+    expert: &mut Sequential,
+    config: WorkerConfig,
+) -> Result<WorkerStats, NetError> {
     const POLL: Duration = Duration::from_millis(50);
+    let obs = &config.obs;
+    let me = transport.node_id();
     let c_rounds = obs.metrics.counter("worker.rounds_served");
     let c_probes = obs.metrics.counter("worker.probes_answered");
     let c_malformed = obs.metrics.counter("worker.malformed_skipped");
-    let m_alloc = AllocMeters::register(&obs.metrics, &format!("expert.{}", transport.node_id()));
+    let c_loads = obs.metrics.counter("worker.loads_accepted");
+    let c_refused = obs.metrics.counter("worker.loads_refused");
+    let m_alloc = AllocMeters::register(&obs.metrics, &format!("expert.{me}"));
     let mut stats = WorkerStats::default();
+    let mut budget = config.budget;
+    // Migrated experts resident on this node, keyed by expert id, plus
+    // the budget charge to give back when each is released.
+    let mut hosted: BTreeMap<usize, (Sequential, u64)> = BTreeMap::new();
+    let mut partial: Option<PartialLoad> = None;
     loop {
         // Check for shutdown first so it cannot starve behind inputs.
         match transport.recv(master, TAG_SHUTDOWN, Duration::from_millis(1)) {
@@ -254,23 +392,171 @@ pub fn serve_worker_with_obs(
                         continue;
                     }
                 };
-                let results = {
+                let payload = {
                     let rows = images.dims().first().copied().unwrap_or(0);
                     let _forward_span = obs.span("worker.forward", &[("rows", rows as u64)]);
                     // Honesty check against the static certificate: count
                     // what this forward actually allocates (DESIGN.md §13).
                     let mem = MemScope::begin();
                     let results = local_results(expert, &images);
-                    let stats = mem.stats();
-                    m_alloc.record(stats.allocated_bytes, stats.peak_bytes);
-                    results
+                    let payload = if hosted.is_empty() {
+                        // Wire-identical to the pre-recovery protocol —
+                        // and to the certified `wire_result_bytes`.
+                        encode_results(&results)
+                    } else {
+                        // Fan the batch through every hosted expert; the
+                        // master demuxes by expert id.
+                        let mut set: Vec<(u32, Vec<(usize, f32)>)> = vec![(me as u32, results)];
+                        for (&id, (model, _)) in hosted.iter_mut() {
+                            set.push((id as u32, local_results(model, &images)));
+                        }
+                        encode_result_set(&set)
+                    };
+                    let mem_stats = mem.stats();
+                    m_alloc.record(mem_stats.allocated_bytes, mem_stats.peak_bytes);
+                    payload
                 };
                 stats.rounds_served += 1;
                 c_rounds.inc();
-                Envelope::new(env.round, PayloadKind::Result, encode_results(&results))
+                Envelope::new(env.round, PayloadKind::Result, payload)
             }
-            // Result/ProbeAck flowing master → worker is a protocol error;
-            // skip it rather than dying.
+            PayloadKind::LoadExpert => match LoadExpertMsg::decode(&env.payload) {
+                Ok(LoadExpertMsg::Offer {
+                    expert: id,
+                    manifest,
+                }) => {
+                    let required = manifest.required_resident_bytes;
+                    if !budget.admit(required) {
+                        stats.loads_refused += 1;
+                        c_refused.inc();
+                        let ack = LoadAckMsg {
+                            expert: id,
+                            status: AckStatus::Refuse,
+                            arg: budget.spare(),
+                        };
+                        Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
+                    } else if manifest.num_chunks == 0 {
+                        // Degenerate empty-state transfer: complete at
+                        // the offer.
+                        stats.loads_accepted += 1;
+                        c_loads.inc();
+                        let ack = match PartialLoad::begin(id, manifest).finish() {
+                            Ok((model, resident)) => {
+                                budget.charge(resident);
+                                hosted.insert(id as usize, (model, resident));
+                                LoadAckMsg {
+                                    expert: id,
+                                    status: AckStatus::Done,
+                                    arg: 0,
+                                }
+                            }
+                            Err(_) => LoadAckMsg {
+                                expert: id,
+                                status: AckStatus::Failed,
+                                arg: 0,
+                            },
+                        };
+                        Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
+                    } else {
+                        // Resume a matching interrupted transfer instead
+                        // of restarting from chunk zero.
+                        let next = match &partial {
+                            Some(p) if p.matches(id, &manifest) => p.next_expected(),
+                            _ => {
+                                partial = Some(PartialLoad::begin(id, manifest));
+                                0
+                            }
+                        };
+                        stats.loads_accepted += 1;
+                        c_loads.inc();
+                        let ack = LoadAckMsg {
+                            expert: id,
+                            status: AckStatus::Accept,
+                            arg: u64::from(next),
+                        };
+                        Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
+                    }
+                }
+                Ok(LoadExpertMsg::Release { expert: id }) => {
+                    if let Some((_, resident)) = hosted.remove(&(id as usize)) {
+                        budget.release(resident);
+                    }
+                    let ack = LoadAckMsg {
+                        expert: id,
+                        status: AckStatus::Done,
+                        arg: 0,
+                    };
+                    Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
+                }
+                Ok(LoadExpertMsg::Abort { expert: id }) => {
+                    // Free the partial state; no reply — the master is
+                    // not waiting on an abort.
+                    if partial.as_ref().is_some_and(|p| p.expert() == id) {
+                        partial = None;
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    stats.malformed_skipped += 1;
+                    c_malformed.inc();
+                    continue;
+                }
+            },
+            PayloadKind::LoadChunk => match LoadChunkMsg::decode(&env.payload) {
+                Ok(msg) => {
+                    stats.chunks_received += 1;
+                    let ack = match partial.take() {
+                        Some(mut p) if p.expert() == msg.expert => match p.accept_chunk(&msg) {
+                            ChunkOutcome::Progress(next) => {
+                                partial = Some(p); // transfer still in flight
+                                LoadAckMsg {
+                                    expert: msg.expert,
+                                    status: AckStatus::ChunkOk,
+                                    arg: u64::from(next),
+                                }
+                            }
+                            ChunkOutcome::Complete => match p.finish() {
+                                Ok((model, resident)) => {
+                                    budget.charge(resident);
+                                    hosted.insert(msg.expert as usize, (model, resident));
+                                    LoadAckMsg {
+                                        expert: msg.expert,
+                                        status: AckStatus::Done,
+                                        arg: 0,
+                                    }
+                                }
+                                // Partial state already freed; the
+                                // master backtracks.
+                                Err(_) => LoadAckMsg {
+                                    expert: msg.expert,
+                                    status: AckStatus::Failed,
+                                    arg: 0,
+                                },
+                            },
+                        },
+                        // A chunk with no transfer open (worker restarted,
+                        // or the transfer was aborted), or for a different
+                        // expert than the parked transfer: fail fast so
+                        // the master re-offers or backtracks.
+                        other => {
+                            partial = other;
+                            LoadAckMsg {
+                                expert: msg.expert,
+                                status: AckStatus::Failed,
+                                arg: 0,
+                            }
+                        }
+                    };
+                    Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
+                }
+                Err(_) => {
+                    stats.malformed_skipped += 1;
+                    c_malformed.inc();
+                    continue;
+                }
+            },
+            // Result/ProbeAck/LoadAck flowing master → worker is a
+            // protocol error; skip it rather than dying.
             _ => {
                 stats.malformed_skipped += 1;
                 c_malformed.inc();
@@ -303,6 +589,7 @@ pub struct InferenceSession {
     c_corrupt: Counter,
     c_malformed: Counter,
     m_alloc: AllocMeters,
+    recovery: Option<RecoveryManager>,
 }
 
 impl InferenceSession {
@@ -331,12 +618,27 @@ impl InferenceSession {
             c_corrupt,
             c_malformed,
             m_alloc,
+            recovery: None,
         }
     }
 
     /// Read access to peer health between rounds.
     pub fn detector(&self) -> &FailureDetector {
         &self.detector
+    }
+
+    /// Arms failure-backtracking expert re-placement (DESIGN.md §14): the
+    /// manager's registered experts are migrated to surviving hosts with
+    /// certified spare memory whenever the failure detector quarantines
+    /// their current host, and handed back on readmission. The recovery
+    /// pass runs at the end of every [`InferenceSession::infer`] round.
+    pub fn set_recovery(&mut self, manager: RecoveryManager) {
+        self.recovery = Some(manager);
+    }
+
+    /// Read access to the recovery manager, if armed.
+    pub fn recovery(&self) -> Option<&RecoveryManager> {
+        self.recovery.as_ref()
     }
 
     /// Sends `payload` to `peer` with bounded retries + backoff inside
@@ -535,8 +837,11 @@ impl InferenceSession {
                 }
                 match env.kind {
                     PayloadKind::Result => {
-                        let results = match decode_results(&env.payload) {
-                            Ok(results) => results,
+                        // A peer hosting migrated experts replies with a
+                        // result *set*; a legacy single-matrix reply is
+                        // attributed to the peer's own expert.
+                        let sets = match decode_result_set(&env.payload, peer) {
+                            Ok(sets) => sets,
                             Err(e) => {
                                 if self.config.require_all_workers {
                                     return Err(e);
@@ -546,9 +851,11 @@ impl InferenceSession {
                                 continue;
                             }
                         };
-                        if results.len() != n {
+                        if let Some((expert_id, results)) = sets.iter().find(|(_, r)| r.len() != n)
+                        {
                             let e = NetError::Malformed(format!(
-                                "worker {peer} returned {} rows for a {n}-row batch",
+                                "worker {peer} returned {} rows for expert {expert_id} \
+                                 on a {n}-row batch",
                                 results.len()
                             ));
                             if self.config.require_all_workers {
@@ -559,24 +866,40 @@ impl InferenceSession {
                             continue;
                         }
                         // The paper's Figure 4 arg-min: keep the
-                        // lowest-weighted-entropy answer per row.
+                        // lowest-weighted-entropy answer per row. Each
+                        // expert keeps its own identity and calibration
+                        // weight, whichever node computed it.
                         let _argmin_span = obs.span("entropy.argmin", &[("peer", peer as u64)]);
-                        let slots = best_weighted.iter_mut().zip(best.iter_mut());
-                        for ((label, h), (current, winner)) in results.into_iter().zip(slots) {
-                            let weighted = h * self.config.weight(peer);
-                            if weighted < *current {
-                                *current = weighted;
-                                *winner = TeamPrediction {
-                                    label,
-                                    expert: peer,
-                                    entropy: h,
-                                };
+                        for (expert_id, results) in sets {
+                            let weight = self.config.weight(expert_id);
+                            let slots = best_weighted.iter_mut().zip(best.iter_mut());
+                            for ((label, h), (current, winner)) in results.into_iter().zip(slots) {
+                                let weighted = h * weight;
+                                if weighted < *current {
+                                    *current = weighted;
+                                    *winner = TeamPrediction {
+                                        label,
+                                        expert: expert_id,
+                                        entropy: h,
+                                    };
+                                }
                             }
                         }
                         break true;
                     }
                     // A probe ack proves liveness; it carries no rows.
                     PayloadKind::ProbeAck => break true,
+                    // Stray transfer-protocol traffic (a duplicate
+                    // LoadAck from a recovery exchange, or a reflected
+                    // LoadExpert/LoadChunk) is never part of a gather;
+                    // discard it and keep waiting. Acks to live transfers
+                    // carry their own round stamps, so they are caught by
+                    // the staleness check above before reaching here.
+                    PayloadKind::LoadAck | PayloadKind::LoadExpert | PayloadKind::LoadChunk => {
+                        malformed_discarded += 1;
+                        self.c_malformed.inc();
+                        continue;
+                    }
                     _ => {
                         malformed_discarded += 1;
                         self.c_malformed.inc();
@@ -595,8 +918,7 @@ impl InferenceSession {
         }
         drop(_gather_span);
 
-        // Fold the round's evidence into the detector and snapshot health.
-        let mut peers = BTreeMap::new();
+        // Fold the round's evidence into the detector.
         for peer in 0..num_nodes {
             let plan = plans.get(peer).copied().unwrap_or(ContactPlan::Skip);
             let contacted = peer != me && plan != ContactPlan::Skip;
@@ -608,18 +930,53 @@ impl InferenceSession {
                     self.detector.record_miss(peer);
                 }
             }
+        }
+
+        // Recovery pass (DESIGN.md §14): with the round's quarantine
+        // decisions made, hand experts back to readmitted homes and
+        // re-place orphans of quarantined hosts, so the *next* round's
+        // gather already sees full team coverage.
+        let health: Vec<PeerHealth> = (0..num_nodes)
+            .map(|p| {
+                if p == me {
+                    PeerHealth::Live
+                } else {
+                    self.detector.health(p)
+                }
+            })
+            .collect();
+        if let Some(recovery) = self.recovery.as_mut() {
+            recovery.tick(transport, me, &health);
+        }
+        let expert_hosts = self
+            .recovery
+            .as_ref()
+            .map(RecoveryManager::expert_hosts)
+            .unwrap_or_default();
+        let migrations = self
+            .recovery
+            .as_ref()
+            .map_or(0, RecoveryManager::migrations);
+
+        // Snapshot per-peer health for the report.
+        let mut peers = BTreeMap::new();
+        for peer in 0..num_nodes {
+            let plan = plans.get(peer).copied().unwrap_or(ContactPlan::Skip);
+            let contacted = peer != me && plan != ContactPlan::Skip;
+            let answered = responded.get(peer).copied().unwrap_or(false);
             peers.insert(
                 peer,
                 PeerReport {
-                    health: if peer == me {
-                        PeerHealth::Live
-                    } else {
-                        self.detector.health(peer)
-                    },
+                    health: health.get(peer).copied().unwrap_or(PeerHealth::Quarantined),
                     contacted: contacted || peer == me,
                     probed: plan == ContactPlan::Probe,
                     responded: answered || peer == me,
                     consecutive_misses: self.detector.misses(peer),
+                    hosted_experts: expert_hosts
+                        .iter()
+                        .filter(|&(&e, &h)| h == peer && e != peer)
+                        .map(|(&e, _)| e)
+                        .collect(),
                 },
             );
         }
@@ -631,6 +988,8 @@ impl InferenceSession {
             stale_discarded,
             corrupt_discarded,
             malformed_discarded,
+            expert_hosts,
+            migrations,
         })
     }
 }
@@ -927,6 +1286,320 @@ mod tests {
             assert_eq!(report.responsive_peers(), vec![0, 1]);
             assert_eq!(report.stale_discarded, 0);
             shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn result_set_codec_roundtrip_and_legacy_fallback() {
+        let set: Vec<(u32, Vec<(usize, f32)>)> = vec![
+            (2, vec![(3, 0.5), (1, 0.25)]),
+            (5, vec![(0, 1.5), (9, 0.125)]),
+        ];
+        let bytes = encode_result_set(&set);
+        let decoded = decode_result_set(&bytes, 2).unwrap();
+        assert_eq!(
+            decoded,
+            vec![
+                (2usize, vec![(3usize, 0.5f32), (1, 0.25)]),
+                (5, vec![(0, 1.5), (9, 0.125)]),
+            ]
+        );
+        // A legacy single-matrix payload attributes to the sender.
+        let legacy = encode_results(&[(7, 2.0)]);
+        assert_eq!(
+            decode_result_set(&legacy, 4).unwrap(),
+            vec![(4, vec![(7, 2.0)])]
+        );
+        // Truncation and trailing garbage are rejected.
+        assert!(decode_result_set(&bytes[..bytes.len() - 2], 0).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_result_set(&long, 0).is_err());
+    }
+
+    fn recovery_manager(chunk_bytes: usize) -> RecoveryManager {
+        let mut mgr = RecoveryManager::new(crate::recover::RecoveryConfig {
+            chunk_bytes,
+            ack_timeout: Duration::from_secs(2),
+            transfer_timeout: Duration::from_secs(10),
+            ..crate::recover::RecoveryConfig::default()
+        });
+        let mut e1 = expert(1);
+        let state = teamnet_nn::state_vec(&mut e1);
+        mgr.register_expert(1, 1, ModelSpec::mlp(2, 16), &state, 50_000);
+        mgr
+    }
+
+    fn recovery_master_config() -> MasterConfig {
+        MasterConfig {
+            worker_timeout: Duration::from_millis(300),
+            require_all_workers: false,
+            failure: FailureDetectorConfig {
+                suspect_after: 1,
+                quarantine_after: 1,
+                probe_interval: 1,
+            },
+            ..MasterConfig::default()
+        }
+    }
+
+    #[test]
+    fn quarantined_expert_is_replaced_then_handed_back() {
+        let nodes = ChannelTransport::mesh(3);
+        let images = Tensor::rand_uniform(
+            [2, 1, 28, 28],
+            0.0,
+            1.0,
+            &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(21),
+        );
+        let mut local_team = crate::team::TeamNet::from_experts(
+            ModelSpec::mlp(2, 16),
+            vec![expert(0), expert(1), expert(2)],
+        );
+        let expected = local_team.predict(&images);
+
+        thread::scope(|scope| {
+            let worker1 = scope.spawn(|_| {
+                let mut e = expert(1);
+                serve_worker(&nodes[1], 0, &mut e).unwrap()
+            });
+            let worker2 = scope.spawn(|_| {
+                let mut e = expert(2);
+                serve_worker_with_config(
+                    &nodes[2],
+                    0,
+                    &mut e,
+                    WorkerConfig {
+                        budget: HostBudget::new(1 << 30, 1 << 20),
+                        ..WorkerConfig::default()
+                    },
+                )
+                .unwrap()
+            });
+
+            let mut session = InferenceSession::new(&nodes[0], recovery_master_config());
+            let mut mgr = recovery_manager(4 * 1024);
+            mgr.register_budget(1, HostBudget::new(1 << 30, 1 << 20));
+            mgr.register_budget(2, HostBudget::new(1 << 30, 1 << 20));
+            session.set_recovery(mgr);
+            let mut master_expert = expert(0);
+
+            // Round 1: everyone healthy, no migrations.
+            let r1 = session
+                .infer(&nodes[0], &mut master_expert, &images)
+                .unwrap();
+            assert_eq!(r1.migrations, 0);
+            assert_eq!(r1.expert_hosts, [(1, 1)].into_iter().collect());
+
+            // Worker 1 dies; the next round quarantines it and the
+            // recovery pass migrates its expert onto worker 2.
+            nodes[0].send(1, TAG_SHUTDOWN, &[]).unwrap();
+            worker1.join().unwrap();
+            let r2 = session
+                .infer(&nodes[0], &mut master_expert, &images)
+                .unwrap();
+            assert_eq!(r2.peers[&1].health, PeerHealth::Quarantined);
+            assert_eq!(r2.migrations, 1);
+            assert_eq!(r2.expert_hosts, [(1, 2)].into_iter().collect());
+            assert_eq!(r2.peers[&2].hosted_experts, vec![1]);
+
+            // Round 3: full team coverage is restored — the distributed
+            // answer matches the 3-expert local team exactly even though
+            // node 1 is still being probed, because node 2 now answers
+            // for both experts. Node 1 is respawned and acks the probe,
+            // so the same round's recovery pass hands the expert back.
+            let respawned = scope.spawn(|_| {
+                let mut e = expert(1);
+                serve_worker(&nodes[1], 0, &mut e).unwrap()
+            });
+            let r3 = session
+                .infer(&nodes[0], &mut master_expert, &images)
+                .unwrap();
+            assert_eq!(r3.predictions.len(), expected.len());
+            for (g, e) in r3.predictions.iter().zip(&expected) {
+                assert_eq!(g.label, e.label);
+                assert_eq!(g.expert, e.expert);
+                assert!((g.entropy - e.entropy).abs() < 1e-5);
+            }
+            assert_eq!(r3.peers[&1].health, PeerHealth::Live);
+            assert_eq!(r3.expert_hosts, [(1, 1)].into_iter().collect());
+            assert_eq!(session.recovery().unwrap().handbacks(), 1);
+            assert_eq!(session.recovery().unwrap().migrations(), 1);
+
+            // Round 4: steady state — the home node answers for its own
+            // expert again and the team is byte-for-byte itself.
+            let r4 = session
+                .infer(&nodes[0], &mut master_expert, &images)
+                .unwrap();
+            for (g, e) in r4.predictions.iter().zip(&expected) {
+                assert_eq!(g.label, e.label);
+                assert_eq!(g.expert, e.expert);
+            }
+            assert_eq!(r4.migrations, 1);
+
+            shutdown_workers(&nodes[0]).unwrap();
+            let stats2 = worker2.join().unwrap();
+            assert_eq!(stats2.loads_accepted, 1);
+            assert!(stats2.chunks_received >= 12, "{stats2:?}");
+            assert_eq!(stats2.loads_refused, 0);
+            respawned.join().unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn refused_offer_backtracks_to_admissible_candidate() {
+        // Node 2 has no master-side budget (ranks first as "unknown")
+        // but its own HostBudget refuses the expert; node 3 is certified
+        // and admits. The master must backtrack 2 → 3 without OOMing
+        // anyone.
+        let nodes = ChannelTransport::mesh(4);
+        let images = Tensor::full([1, 1, 28, 28], 0.4);
+        thread::scope(|scope| {
+            let tight = scope.spawn(|_| {
+                let mut e = expert(2);
+                serve_worker_with_config(
+                    &nodes[2],
+                    0,
+                    &mut e,
+                    WorkerConfig {
+                        budget: HostBudget::new(60_000, 59_000), // spare 1 000 < 50 000
+                        ..WorkerConfig::default()
+                    },
+                )
+                .unwrap()
+            });
+            let roomy = scope.spawn(|_| {
+                let mut e = expert(3);
+                serve_worker_with_config(
+                    &nodes[3],
+                    0,
+                    &mut e,
+                    WorkerConfig {
+                        budget: HostBudget::new(1 << 30, 0),
+                        ..WorkerConfig::default()
+                    },
+                )
+                .unwrap()
+            });
+
+            let mut session = InferenceSession::new(&nodes[0], recovery_master_config());
+            let mut mgr = recovery_manager(8 * 1024);
+            mgr.register_budget(3, HostBudget::new(1 << 30, 0));
+            session.set_recovery(mgr);
+            let mut master_expert = expert(0);
+
+            // Worker 1 never existed: one round quarantines it and runs
+            // the refuse → backtrack → admit sequence.
+            let report = session
+                .infer(&nodes[0], &mut master_expert, &images)
+                .unwrap();
+            assert_eq!(report.peers[&1].health, PeerHealth::Quarantined);
+            assert_eq!(report.migrations, 1);
+            assert_eq!(report.expert_hosts, [(1, 3)].into_iter().collect());
+            let recovery = session.recovery().unwrap();
+            assert_eq!(recovery.backtracks(), 1);
+            assert_eq!(recovery.migrations(), 1);
+
+            shutdown_workers(&nodes[0]).unwrap();
+            let tight_stats = tight.join().unwrap();
+            assert_eq!(tight_stats.loads_refused, 1);
+            assert_eq!(tight_stats.loads_accepted, 0);
+            let roomy_stats = roomy.join().unwrap();
+            assert_eq!(roomy_stats.loads_accepted, 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mid_transfer_failure_rolls_back_and_backtracks() {
+        // Node 2 (ranked first by certified spare) accepts the offer but
+        // reports failure on the first chunk; the master must abandon it
+        // and complete the migration on node 3.
+        let nodes = ChannelTransport::mesh(4);
+        let images = Tensor::full([1, 1, 28, 28], 0.6);
+        thread::scope(|scope| {
+            let saboteur = scope.spawn(|_| {
+                // Hand-rolled protocol peer: serves round 1 honestly
+                // (with hopeless entropy so it never wins a row), accepts
+                // the transfer offer, then fails it on the first chunk.
+                let node = &nodes[2];
+                loop {
+                    let bytes = node.recv(0, TAG_INPUT, Duration::from_secs(5)).unwrap();
+                    let env = Envelope::decode(&bytes).unwrap();
+                    match env.kind {
+                        PayloadKind::Input => {
+                            let reply = Envelope::new(
+                                env.round,
+                                PayloadKind::Result,
+                                encode_results(&[(0, 1.0e9)]),
+                            );
+                            node.send(0, TAG_RESULT, &reply.encode()).unwrap();
+                        }
+                        PayloadKind::LoadExpert => {
+                            let msg = LoadExpertMsg::decode(&env.payload).unwrap();
+                            let LoadExpertMsg::Offer { expert: id, .. } = msg else {
+                                panic!("expected an offer, got {msg:?}");
+                            };
+                            let accept = LoadAckMsg {
+                                expert: id,
+                                status: AckStatus::Accept,
+                                arg: 0,
+                            };
+                            let env_out =
+                                Envelope::new(env.round, PayloadKind::LoadAck, accept.encode());
+                            node.send(0, TAG_RESULT, &env_out.encode()).unwrap();
+                        }
+                        PayloadKind::LoadChunk => {
+                            let msg = LoadChunkMsg::decode(&env.payload).unwrap();
+                            let failed = LoadAckMsg {
+                                expert: msg.expert,
+                                status: AckStatus::Failed,
+                                arg: 0,
+                            };
+                            let env_out =
+                                Envelope::new(env.round, PayloadKind::LoadAck, failed.encode());
+                            node.send(0, TAG_RESULT, &env_out.encode()).unwrap();
+                            return;
+                        }
+                        other => panic!("unexpected kind {other:?}"),
+                    }
+                }
+            });
+            let survivor = scope.spawn(|_| {
+                let mut e = expert(3);
+                serve_worker_with_config(
+                    &nodes[3],
+                    0,
+                    &mut e,
+                    WorkerConfig {
+                        budget: HostBudget::new(1 << 30, 0),
+                        ..WorkerConfig::default()
+                    },
+                )
+                .unwrap()
+            });
+
+            let mut session = InferenceSession::new(&nodes[0], recovery_master_config());
+            let mut mgr = recovery_manager(8 * 1024);
+            mgr.register_budget(2, HostBudget::new(1 << 30, 0)); // spare ≈ 1 GiB
+            mgr.register_budget(3, HostBudget::new(1 << 29, 0)); // spare ≈ 512 MiB
+            session.set_recovery(mgr);
+            let mut master_expert = expert(0);
+
+            let report = session
+                .infer(&nodes[0], &mut master_expert, &images)
+                .unwrap();
+            assert_eq!(report.migrations, 1);
+            assert_eq!(report.expert_hosts, [(1, 3)].into_iter().collect());
+            let recovery = session.recovery().unwrap();
+            assert_eq!(recovery.backtracks(), 1);
+
+            saboteur.join().unwrap();
+            shutdown_workers(&nodes[0]).unwrap();
+            let survivor_stats = survivor.join().unwrap();
+            assert_eq!(survivor_stats.loads_accepted, 1);
         })
         .unwrap();
     }

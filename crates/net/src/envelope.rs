@@ -35,6 +35,17 @@ pub enum PayloadKind {
     Probe,
     /// Acknowledgement of a [`PayloadKind::Probe`] (worker → master).
     ProbeAck,
+    /// Recovery control message (master → worker): offer to host a
+    /// migrated expert (architecture spec + transfer manifest), release a
+    /// hosted expert on hand-back, or abort an in-flight transfer.
+    LoadExpert,
+    /// One chunk of a migrated expert's serialized parameter state
+    /// (master → worker), part of a chunked, resumable transfer.
+    LoadChunk,
+    /// Worker's acknowledgement in the expert-transfer protocol
+    /// (worker → master): accept/refuse an offer, per-chunk progress
+    /// cursor, completion, or a mid-transfer error.
+    LoadAck,
 }
 
 impl PayloadKind {
@@ -44,6 +55,9 @@ impl PayloadKind {
             PayloadKind::Result => 1,
             PayloadKind::Probe => 2,
             PayloadKind::ProbeAck => 3,
+            PayloadKind::LoadExpert => 4,
+            PayloadKind::LoadChunk => 5,
+            PayloadKind::LoadAck => 6,
         }
     }
 
@@ -53,6 +67,9 @@ impl PayloadKind {
             1 => Ok(PayloadKind::Result),
             2 => Ok(PayloadKind::Probe),
             3 => Ok(PayloadKind::ProbeAck),
+            4 => Ok(PayloadKind::LoadExpert),
+            5 => Ok(PayloadKind::LoadChunk),
+            6 => Ok(PayloadKind::LoadAck),
             other => Err(NetError::Malformed(format!(
                 "unknown envelope payload kind {other}"
             ))),
@@ -244,6 +261,20 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn recovery_kinds_roundtrip() {
+        for kind in [
+            PayloadKind::LoadExpert,
+            PayloadKind::LoadChunk,
+            PayloadKind::LoadAck,
+        ] {
+            let env = Envelope::new(17, kind, vec![0xAB; 5]);
+            let back = Envelope::decode(&env.encode()).unwrap();
+            assert_eq!(back.kind, kind);
+            assert_eq!(back, env);
+        }
     }
 
     #[test]

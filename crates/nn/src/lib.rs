@@ -61,4 +61,6 @@ pub use optim::{Adam, Sgd};
 pub use sequential::{LayerProfile, Sequential};
 pub use shake::ShakeShakeBlock;
 pub use shape_check::{check_model, ShapeError};
-pub use state::{load_state, state_bytes, state_vec};
+pub use state::{
+    load_state, state_bytes, state_from_bytes, state_to_bytes, state_vec, StateCodecError,
+};

@@ -303,6 +303,74 @@ mod tests {
         );
     }
 
+    // The recovery protocol's wire enums, as fixtures: the three
+    // re-placement variants must satisfy both protocol rules.
+    const RECOVERY_ENUMS: &str = "pub enum PayloadKind {\n    Input,\n    Result,\n    LoadExpert,\n    LoadChunk,\n    LoadAck,\n}\n";
+
+    #[test]
+    fn recovery_variants_constructed_and_handled_pass() {
+        // Mirrors the real topology: recover.rs constructs all three
+        // recovery kinds (master side), runtime.rs handles them in the
+        // worker/master dispatch.
+        let model = Model::build(&[
+            ("net", "crates/net/src/envelope.rs", RECOVERY_ENUMS),
+            ("net", "crates/net/src/error.rs", ERRORS),
+            (
+                "core",
+                "crates/core/src/recover.rs",
+                "fn transfer() {\n    send(PayloadKind::LoadExpert);\n    send(PayloadKind::LoadChunk);\n    expect(PayloadKind::LoadAck);\n    NetError::Timeout;\n    NetError::Closed;\n}\n",
+            ),
+            (
+                "core",
+                "crates/core/src/runtime.rs",
+                "fn dispatch() {\n    handle(PayloadKind::Input);\n    handle(PayloadKind::Result);\n    handle(PayloadKind::LoadExpert);\n    handle(PayloadKind::LoadChunk);\n    handle(PayloadKind::LoadAck);\n}\n",
+            ),
+            (
+                "net",
+                "crates/net/src/mailbox.rs",
+                "fn emit() {\n    make(PayloadKind::Input);\n    make(PayloadKind::Result);\n    make(PayloadKind::LoadAck);\n}\n",
+            ),
+        ]);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unhandled_load_chunk_is_caught() {
+        // Deliberately-bad fixture: LoadChunk is constructed by the
+        // migration sender but missing from the dispatch — exactly the
+        // silent-drop regression this rule exists to catch.
+        let model = Model::build(&[
+            ("net", "crates/net/src/envelope.rs", RECOVERY_ENUMS),
+            ("net", "crates/net/src/error.rs", ERRORS),
+            (
+                "core",
+                "crates/core/src/recover.rs",
+                "fn transfer() {\n    send(PayloadKind::LoadExpert);\n    send(PayloadKind::LoadChunk);\n    expect(PayloadKind::LoadAck);\n    NetError::Timeout;\n    NetError::Closed;\n}\n",
+            ),
+            (
+                "core",
+                "crates/core/src/runtime.rs",
+                "fn dispatch() {\n    handle(PayloadKind::Input);\n    handle(PayloadKind::Result);\n    handle(PayloadKind::LoadExpert);\n    handle(PayloadKind::LoadAck);\n}\n",
+            ),
+            (
+                "net",
+                "crates/net/src/mailbox.rs",
+                "fn emit() {\n    make(PayloadKind::Input);\n    make(PayloadKind::Result);\n}\n",
+            ),
+        ]);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "protocol-handled");
+        assert!(
+            diags[0].message.contains("PayloadKind::LoadChunk"),
+            "{}",
+            diags[0].message
+        );
+    }
+
     #[test]
     fn allow_on_the_variant_line_escapes() {
         let enums = "pub enum PayloadKind {\n    Batch,\n    // lint: allow(protocol-constructed)\n    // lint: allow(protocol-handled)\n    Probe,\n}\n";

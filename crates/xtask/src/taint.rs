@@ -40,6 +40,10 @@ const ROOT_FILES: &[&str] = &[
     "crates/net/src/codec.rs",
     "crates/core/src/entropy.rs",
     "crates/core/src/runtime.rs",
+    // The recovery subsystem must re-place experts identically across
+    // identical seeds: a wall-clock or hasher here would break the
+    // byte-identical transcripts of `tests/recovery_soak.rs`.
+    "crates/core/src/recover.rs",
     "crates/tensor/src/pool.rs",
     // The resource certificate must be byte-stable across runs: a clock,
     // hasher or entropy read here would make `cargo xtask cost --check`

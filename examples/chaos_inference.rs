@@ -10,8 +10,11 @@
 //! outbound traffic passes through a seeded [`ChaosTransport`] that drops,
 //! delays, corrupts and duplicates messages. Midway through, worker 2 is
 //! black-holed entirely; the failure detector quarantines it (so its
-//! timeout stops taxing every round), probes it periodically, and readmits
-//! it once the link heals.
+//! timeout stops taxing every round), and the recovery subsystem ships
+//! expert 2's weights to worker 1 — which has certified spare memory —
+//! over chunked, CRC-checked `LoadExpert`/`LoadChunk` envelopes, so the
+//! full team keeps answering while the node is gone. Once the link heals,
+//! a probe readmits worker 2 and the expert is handed back to it.
 //!
 //! Set `TEAMNET_TRACE=/path/to/trace.jsonl` to record the master's span
 //! trace (round / broadcast / expert.forward / gather / argmin) through a
@@ -24,8 +27,12 @@
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use teamnet_core::runtime::{serve_worker, shutdown_workers, InferenceSession, MasterConfig};
-use teamnet_core::{build_expert, FailureDetectorConfig, PeerHealth};
+use teamnet_core::runtime::{
+    serve_worker_with_config, shutdown_workers, InferenceSession, MasterConfig, WorkerConfig,
+};
+use teamnet_core::{
+    build_expert, FailureDetectorConfig, HostBudget, PeerHealth, RecoveryConfig, RecoveryManager,
+};
 use teamnet_net::{ChannelTransport, ChaosConfig, ChaosTransport, SystemClock, Transport};
 use teamnet_nn::ModelSpec;
 use teamnet_obs::{wrap::fold_transport_stats, JsonlSink, Obs};
@@ -88,20 +95,47 @@ fn main() {
             let spec = spec.clone();
             scope.spawn(move |_| {
                 let mut expert = build_expert(&spec, i as u64 + 1);
-                let stats = serve_worker(node, 0, &mut expert).expect("worker");
+                // Each worker certifies spare memory, so it can host a
+                // quarantined peer's expert next to its own.
+                let worker_config = WorkerConfig {
+                    budget: HostBudget::new(512 << 20, 64 << 20),
+                    ..WorkerConfig::default()
+                };
+                let stats =
+                    serve_worker_with_config(node, 0, &mut expert, worker_config).expect("worker");
                 println!(
-                    "worker {} done: {} rounds served, {} probes answered, {} bad batches skipped",
+                    "worker {} done: {} rounds served, {} probes answered, {} bad batches skipped, \
+                     {} expert loads hosted",
                     i + 1,
                     stats.rounds_served,
                     stats.probes_answered,
-                    stats.malformed_skipped
+                    stats.malformed_skipped,
+                    stats.loads_accepted
                 );
             });
         }
 
         let mut session = InferenceSession::new(&master, config);
+        // Register every worker's expert (architecture + trained weights +
+        // certified resident footprint) and each node's memory budget, so
+        // a quarantined node's expert can be re-placed on a survivor.
+        let mut recovery = RecoveryManager::new(RecoveryConfig {
+            chunk_bytes: 32 * 1024,
+            ack_timeout: Duration::from_millis(300),
+            obs: obs.clone(),
+            ..RecoveryConfig::default()
+        });
+        for node in 1..3usize {
+            let mut twin = build_expert(&spec, node as u64);
+            let state = teamnet_nn::state_vec(&mut twin);
+            recovery.register_expert(node, node, spec.clone(), &state, 1 << 20);
+            recovery.register_budget(node, HostBudget::new(512 << 20, 64 << 20));
+        }
+        session.set_recovery(recovery);
         let mut expert = build_expert(&spec, 0);
         println!("30 rounds of inference under seeded chaos (worker 2 dies at round 10, heals at round 18):\n");
+        let mut prev_migrations = 0;
+        let mut was_away = false;
         for round in 0..ROUNDS {
             if round == 10 {
                 master.blackhole(2);
@@ -121,14 +155,33 @@ fn main() {
                 .filter(|(&i, _)| i != 0)
                 .map(|(i, p)| format!("w{i}={}", health_glyph(p.health)))
                 .collect();
+            let away: Vec<String> = report
+                .expert_hosts
+                .iter()
+                .filter(|&(&e, &h)| e != h)
+                .map(|(e, h)| format!("expert {e}@w{h}"))
+                .collect();
             println!(
-                "round {round:>2} ({:>5.0?}): winners {winners:?}  {}  [stale {} corrupt {} malformed {}]",
+                "round {round:>2} ({:>5.0?}): winners {winners:?}  {}  [stale {} corrupt {} malformed {}]{}",
                 start.elapsed(),
                 health.join(" "),
                 report.stale_discarded,
                 report.corrupt_discarded,
-                report.malformed_discarded
+                report.malformed_discarded,
+                if away.is_empty() {
+                    String::new()
+                } else {
+                    format!("  hosting: {}", away.join(" "))
+                }
             );
+            if report.migrations > prev_migrations && !away.is_empty() {
+                println!("--- re-placed: {} ---", away.join(" "));
+            }
+            prev_migrations = report.migrations;
+            if was_away && away.is_empty() {
+                println!("--- expert handed back to its readmitted home ---");
+            }
+            was_away = !away.is_empty();
         }
 
         let stats = master.stats();
