@@ -6,6 +6,14 @@
 #   4. concurrency audit (lock order, determinism taint, protocol
 #                         exhaustiveness, narrowing casts — symbol/
 #                         call-graph analysis)
+#   4b. model checking   (cargo xtask mc: bounded exhaustive exploration
+#                         of the recovery-transfer and session-gather
+#                         FSMs under a drop/dup/reorder/crash/deadline
+#                         adversary, with a compiled-in protocol mutant
+#                         as negative control and a seeded cross-check of
+#                         the fault model against ChaosTransport; fails
+#                         loudly if a budget truncates exploration —
+#                         acknowledging that requires --allow-truncation)
 #   5. resource certs    (cargo xtask cost --check: the static per-expert
 #                         resource certification of the paper model grid
 #                         must match the checked-in COST.json; the
@@ -30,8 +38,8 @@
 #                         default NullSink path)
 #
 # Opt-in stage (not part of the default gate):
-#   ./ci.sh tsan         runs the fault-tolerance and chaos-soak suites
-#                        under ThreadSanitizer. Requires a nightly
+#   ./ci.sh tsan         runs the fault-tolerance, chaos-soak and
+#                        recovery-soak suites under ThreadSanitizer. Requires a nightly
 #                        toolchain with the rust-src component; exits 0
 #                        with a notice when none is installed so the
 #                        default gate never depends on nightly.
@@ -52,7 +60,7 @@ if [ "${1:-}" = "tsan" ]; then
     host="$(rustc -vV | sed -n 's/^host: //p')"
     RUSTFLAGS="-Zsanitizer=thread" \
         cargo +nightly test -Zbuild-std --target "$host" \
-        --test fault_tolerance --test chaos_soak
+        --test fault_tolerance --test chaos_soak --test recovery_soak
     exit 0
 fi
 
@@ -60,6 +68,7 @@ cargo fmt --check
 cargo build --release
 cargo xtask check
 cargo xtask audit
+cargo xtask mc
 cargo xtask cost --check
 TEAMNET_THREADS=1 cargo test -q --workspace
 TEAMNET_THREADS=4 cargo test -q --workspace

@@ -53,6 +53,7 @@
 pub mod convergence;
 mod entropy;
 mod expert;
+pub mod fsm;
 mod gate;
 pub mod health;
 pub mod persist;

@@ -38,14 +38,15 @@
 //! asserts byte-identical transcripts across identical seeds).
 
 use crate::expert::build_expert;
+use crate::fsm;
 use crate::health::PeerHealth;
 use crate::runtime::{next_round, TAG_INPUT, TAG_RESULT};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
-use teamnet_net::{
-    crc32, Backoff, Clock, Envelope, NetError, PayloadKind, RetryPolicy, SystemClock, Transport,
-};
+#[cfg(doc)]
+use teamnet_net::PayloadKind;
+use teamnet_net::{crc32, Backoff, Clock, Envelope, NetError, RetryPolicy, SystemClock, Transport};
 use teamnet_nn::{load_state, state_from_bytes, state_to_bytes, state_vec, ModelSpec, Sequential};
 use teamnet_obs::{Counter, Histogram, Obs};
 use teamnet_tensor::Tensor;
@@ -382,6 +383,21 @@ impl HostBudget {
     pub fn release(&mut self, bytes: u64) {
         self.hosted_bytes = self.hosted_bytes.saturating_sub(bytes);
     }
+
+    /// The device's hard capacity (model-checker invariant hook).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes spoken for by OS + runtime + the node's own expert.
+    pub fn runtime_bytes(&self) -> u64 {
+        self.runtime_bytes
+    }
+
+    /// Bytes currently charged for hosted (migrated) experts.
+    pub fn hosted_bytes(&self) -> u64 {
+        self.hosted_bytes
+    }
 }
 
 impl Default for HostBudget {
@@ -405,7 +421,7 @@ pub enum ChunkOutcome {
 /// Survives across serve-loop iterations so an interrupted transfer can
 /// resume: a fresh offer carrying the same manifest is answered with the
 /// current next-expected cursor instead of restarting from chunk zero.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PartialLoad {
     expert: u32,
     manifest: TransferManifest,
@@ -462,19 +478,19 @@ impl PartialLoad {
         }
     }
 
-    /// Verifies the reassembled state end-to-end (length, CRC-32, codec,
-    /// spec/state shape agreement), rebuilds the expert from its spec and
-    /// loads the weights.
-    ///
-    /// Returns the resident model plus the certified bytes to charge
-    /// against the host's [`HostBudget`].
+    /// Verifies the reassembled bytes against the manifest — length and
+    /// CRC-32, the *protocol-visible* checks — and surrenders the
+    /// manifest plus the verified state bytes. This half is pure (no
+    /// model construction), so the FSM layer can run it under the model
+    /// checker; [`PartialLoad::finish`] composes it with
+    /// [`build_from_state`] for the production path.
     ///
     /// # Errors
     ///
     /// [`NetError::Corrupt`] on a CRC mismatch, [`NetError::Malformed`]
-    /// for a length/codec/shape problem. Either way the partial state is
-    /// consumed and freed — a failed transfer never strands memory.
-    pub fn finish(self) -> Result<(Sequential, u64), NetError> {
+    /// on a length mismatch. Either way the partial state is consumed
+    /// and freed — a failed transfer never strands memory.
+    pub fn verify(self) -> Result<(TransferManifest, Vec<u8>), NetError> {
         if self.buf.len() as u64 != self.manifest.total_bytes {
             return Err(NetError::Malformed(format!(
                 "reassembled {} bytes, manifest promised {}",
@@ -489,21 +505,50 @@ impl PartialLoad {
                 got,
             });
         }
-        let state = state_from_bytes(&self.buf).map_err(|e| NetError::Malformed(e.to_string()))?;
-        let mut model = build_expert(&self.manifest.spec, 0);
-        let shapes = state_vec(&mut model);
-        if shapes.len() != state.len()
-            || shapes.iter().zip(&state).any(|(a, b)| a.dims() != b.dims())
-        {
-            return Err(NetError::Malformed(format!(
-                "state tensors do not match spec: {} vs {} tensors",
-                state.len(),
-                shapes.len()
-            )));
-        }
-        load_state(&mut model, &state);
-        Ok((model, self.manifest.required_resident_bytes))
+        Ok((self.manifest, self.buf))
     }
+
+    /// Verifies the reassembled state end-to-end (length, CRC-32, codec,
+    /// spec/state shape agreement), rebuilds the expert from its spec and
+    /// loads the weights.
+    ///
+    /// Returns the resident model plus the certified bytes to charge
+    /// against the host's [`HostBudget`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Corrupt`] on a CRC mismatch, [`NetError::Malformed`]
+    /// for a length/codec/shape problem. Either way the partial state is
+    /// consumed and freed — a failed transfer never strands memory.
+    pub fn finish(self) -> Result<(Sequential, u64), NetError> {
+        let (manifest, buf) = self.verify()?;
+        build_from_state(&manifest, &buf)
+    }
+}
+
+/// Decodes verified state bytes, rebuilds the expert from its manifest
+/// spec, checks tensor shapes and loads the weights — the IO/model half
+/// of [`PartialLoad::finish`], called by the serve shell's install hook.
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] for a codec or shape problem.
+pub(crate) fn build_from_state(
+    manifest: &TransferManifest,
+    buf: &[u8],
+) -> Result<(Sequential, u64), NetError> {
+    let state = state_from_bytes(buf).map_err(|e| NetError::Malformed(e.to_string()))?;
+    let mut model = build_expert(&manifest.spec, 0);
+    let shapes = state_vec(&mut model);
+    if shapes.len() != state.len() || shapes.iter().zip(&state).any(|(a, b)| a.dims() != b.dims()) {
+        return Err(NetError::Malformed(format!(
+            "state tensors do not match spec: {} vs {} tensors",
+            state.len(),
+            shapes.len()
+        )));
+    }
+    load_state(&mut model, &state);
+    Ok((model, manifest.required_resident_bytes))
 }
 
 /// Policy knobs for the re-placement transfer protocol.
@@ -780,11 +825,8 @@ impl RecoveryManager {
             &[("expert", expert as u64), ("from", surrogate as u64)],
         );
         let round = next_round();
-        let msg = LoadExpertMsg::Release {
-            expert: expert as u32,
-        };
-        let env = Envelope::new(round, PayloadKind::LoadExpert, msg.encode()).encode();
-        if transport.send(surrogate, TAG_INPUT, &env).is_ok() {
+        let frame = fsm::release_frame(surrogate, round, expert as u32);
+        if transport.send(frame.to, frame.tag, &frame.encode()).is_ok() {
             let deadline = self.config.clock.now() + self.config.ack_timeout;
             let _ = self.await_ack(transport, surrogate, round, expert as u32, deadline);
         }
@@ -839,96 +881,62 @@ impl RecoveryManager {
             ],
         );
 
-        let offer = Envelope::new(
-            round,
-            PayloadKind::LoadExpert,
-            LoadExpertMsg::Offer {
-                expert: expert as u32,
-                manifest,
-            }
-            .encode(),
-        )
-        .encode();
-        let first = self.exchange(transport, target, &offer, round, expert as u32, deadline, 0)?;
-        let (mut next, mut done) = match first.status {
-            AckStatus::Accept => (first.arg.min(u64::from(num_chunks)) as u32, false),
-            // An empty-state transfer completes at the offer.
-            AckStatus::Done => (num_chunks, true),
-            AckStatus::Refuse => {
-                return Err(NetError::Remote(format!(
-                    "node {target} refused expert {expert}: {} spare bytes",
-                    first.arg
-                )))
-            }
-            _ => {
-                self.abort(transport, expert as u32, target);
-                return Err(NetError::Malformed(format!(
-                    "unexpected offer ack {:?} from node {target}",
-                    first.status
-                )));
-            }
-        };
-
+        // The protocol decisions all live in the pure state machine; this
+        // shell owns the transport, retry backoff, deadlines and aborts.
+        let mut machine = fsm::TransferFsm::new(expert as u32, target, round, num_chunks);
         // Stop-and-wait ARQ over the chunks. The attempt cap is a
         // belt-and-braces bound on top of the per-exchange retry budget
-        // and the wall-clock deadline.
+        // and the wall-clock deadline (the offer exchange is not
+        // counted against it).
         let mut attempts_left = (u64::from(num_chunks) + 2)
             * (self.config.transfer_retry.max_attempts.max(1) as u64 + 1);
-        while !done {
-            if attempts_left == 0 {
-                self.abort(transport, expert as u32, target);
-                return Err(NetError::Timeout {
-                    waiting_for: format!("transfer of expert {expert} to node {target}"),
-                });
+        loop {
+            match machine.phase() {
+                fsm::TransferPhase::Complete => return Ok(record.state.len() as u64),
+                fsm::TransferPhase::Failed(fault) => {
+                    if fault.needs_abort() {
+                        self.abort(transport, round, expert as u32, target);
+                    }
+                    return Err(fault_error(fault, expert, target));
+                }
+                fsm::TransferPhase::Offering => {}
+                fsm::TransferPhase::Streaming => {
+                    if attempts_left == 0 {
+                        self.abort(transport, round, expert as u32, target);
+                        return Err(NetError::Timeout {
+                            waiting_for: format!("transfer of expert {expert} to node {target}"),
+                        });
+                    }
+                    attempts_left -= 1;
+                }
             }
-            attempts_left -= 1;
-            let index = next.min(num_chunks.saturating_sub(1));
-            let lo = index as usize * chunk_bytes;
-            let hi = (lo + chunk_bytes).min(record.state.len());
-            let payload = LoadChunkMsg {
-                expert: expert as u32,
-                index,
-                data: record.state.get(lo..hi).unwrap_or_default().to_vec(),
+            let Some(frame) = machine.current_frame(&manifest, &record.state, chunk_bytes) else {
+                // Unreachable: concluded phases returned above.
+                return Err(NetError::Malformed(format!(
+                    "transfer of expert {expert} concluded without a frame"
+                )));
             };
-            let env = Envelope::new(round, PayloadKind::LoadChunk, payload.encode()).encode();
             let ack = match self.exchange(
                 transport,
                 target,
-                &env,
+                &frame.encode(),
                 round,
                 expert as u32,
                 deadline,
-                u64::from(index) + 1,
+                machine.exchange_salt(),
             ) {
                 Ok(ack) => ack,
                 Err(e) => {
-                    self.abort(transport, expert as u32, target);
+                    // An exchange that dies may still have delivered its
+                    // frame: abort so the worker frees any partial state
+                    // (this covers the offer too — a lost Accept ack
+                    // must not strand the worker's reassembly buffer).
+                    self.abort(transport, round, expert as u32, target);
                     return Err(e);
                 }
             };
-            match ack.status {
-                AckStatus::ChunkOk => {
-                    next = ack.arg.min(u64::from(num_chunks)) as u32;
-                }
-                AckStatus::Done => done = true,
-                AckStatus::Failed => {
-                    // The worker already freed its partial state.
-                    return Err(NetError::Remote(format!(
-                        "node {target} failed transfer of expert {expert}"
-                    )));
-                }
-                // A duplicate Accept ack reports the resume cursor too.
-                AckStatus::Accept => {
-                    next = ack.arg.min(u64::from(num_chunks)) as u32;
-                }
-                AckStatus::Refuse => {
-                    return Err(NetError::Remote(format!(
-                        "node {target} refused expert {expert} mid-transfer"
-                    )))
-                }
-            }
+            machine.on_ack(ack);
         }
-        Ok(record.state.len() as u64)
     }
 
     /// Sends `frame` to `target` and waits for a matching ack, resending
@@ -1000,28 +1008,38 @@ impl RecoveryManager {
             let Ok(env) = Envelope::decode(&bytes) else {
                 continue;
             };
-            if env.round != round || env.kind != PayloadKind::LoadAck {
-                continue;
+            if let Some(ack) = fsm::match_load_ack(&env, round, expert) {
+                return Ok(ack);
             }
-            let Ok(ack) = LoadAckMsg::decode(&env.payload) else {
-                continue;
-            };
-            if ack.expert != expert {
-                continue;
-            }
-            return Ok(ack);
         }
     }
 
-    /// Best-effort abort so the target frees its partial state.
-    fn abort(&self, transport: &dyn Transport, expert: u32, target: usize) {
-        let env = Envelope::new(
-            next_round(),
-            PayloadKind::LoadExpert,
-            LoadExpertMsg::Abort { expert }.encode(),
-        )
-        .encode();
-        let _ = transport.send(target, TAG_INPUT, &env);
+    /// Best-effort abort so the target frees its partial state. Stamped
+    /// with the *transfer's* round so only that attempt is undone — a
+    /// stale abort can never clear a newer transfer's progress.
+    fn abort(&self, transport: &dyn Transport, round: u64, expert: u32, target: usize) {
+        let frame = fsm::abort_frame(target, round, expert);
+        let _ = transport.send(frame.to, frame.tag, &frame.encode());
+    }
+}
+
+/// Maps a concluded [`fsm::TransferFault`] to the transfer's error,
+/// preserving the exact pre-§15 diagnostics.
+fn fault_error(fault: fsm::TransferFault, expert: usize, target: usize) -> NetError {
+    match fault {
+        fsm::TransferFault::RefusedOffer { spare } => NetError::Remote(format!(
+            "node {target} refused expert {expert}: {spare} spare bytes"
+        )),
+        fsm::TransferFault::RefusedMidTransfer => NetError::Remote(format!(
+            "node {target} refused expert {expert} mid-transfer"
+        )),
+        // The worker already freed its partial state.
+        fsm::TransferFault::WorkerFailed => {
+            NetError::Remote(format!("node {target} failed transfer of expert {expert}"))
+        }
+        fsm::TransferFault::BadOfferAck(status) => NetError::Malformed(format!(
+            "unexpected offer ack {status:?} from node {target}"
+        )),
     }
 }
 

@@ -24,13 +24,11 @@
 //! TCP for deployments.
 
 use crate::entropy::entropy;
+use crate::fsm;
 use crate::health::{
     ContactPlan, FailureDetector, FailureDetectorConfig, InferenceReport, PeerHealth, PeerReport,
 };
-use crate::recover::{
-    AckStatus, ChunkOutcome, HostBudget, LoadAckMsg, LoadChunkMsg, LoadExpertMsg, PartialLoad,
-    RecoveryManager,
-};
+use crate::recover::{HostBudget, RecoveryManager, TransferManifest};
 use crate::team::TeamPrediction;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,16 +102,6 @@ impl Default for MasterConfig {
             clock: Arc::new(SystemClock),
             obs: Obs::disabled(),
         }
-    }
-}
-
-impl MasterConfig {
-    fn weight(&self, node: usize) -> f32 {
-        self.calibration
-            .as_ref()
-            .and_then(|c| c.get(node))
-            .copied()
-            .unwrap_or(1.0)
     }
 }
 
@@ -345,229 +333,108 @@ pub fn serve_worker_with_config(
     let c_loads = obs.metrics.counter("worker.loads_accepted");
     let c_refused = obs.metrics.counter("worker.loads_refused");
     let m_alloc = AllocMeters::register(&obs.metrics, &format!("expert.{me}"));
-    let mut stats = WorkerStats::default();
-    let mut budget = config.budget;
-    // Migrated experts resident on this node, keyed by expert id, plus
-    // the budget charge to give back when each is released.
-    let mut hosted: BTreeMap<usize, (Sequential, u64)> = BTreeMap::new();
-    let mut partial: Option<PartialLoad> = None;
+    // All protocol decisions live in the pure state machine (DESIGN.md
+    // §15); this shell owns the transport, the shutdown poll, the model
+    // forwards/installs behind [`fsm::WorkerHooks`], and mirrors the
+    // FSM's counters into the live registry.
+    let mut machine = fsm::WorkerFsm::new(master, config.budget);
+    let mut hooks = ServeHooks {
+        me,
+        expert,
+        hosted: BTreeMap::new(),
+        obs,
+        m_alloc: &m_alloc,
+    };
     loop {
         // Check for shutdown first so it cannot starve behind inputs.
         match transport.recv(master, TAG_SHUTDOWN, Duration::from_millis(1)) {
-            Ok(_) => return Ok(stats),
+            Ok(_) => return Ok(machine.stats()),
             Err(NetError::Timeout { .. }) => {}
-            Err(NetError::Closed) => return Ok(stats),
+            Err(NetError::Closed) => return Ok(machine.stats()),
             Err(e) => return Err(e),
         }
         let bytes = match transport.recv(master, TAG_INPUT, POLL) {
             Ok(bytes) => bytes,
             Err(NetError::Timeout { .. }) => continue,
-            Err(NetError::Closed) => return Ok(stats),
+            Err(NetError::Closed) => return Ok(machine.stats()),
             Err(e) => return Err(e),
         };
-        let env = match Envelope::decode(&bytes) {
-            Ok(env) => env,
-            Err(NetError::Corrupt { .. } | NetError::Malformed(_)) => {
-                stats.malformed_skipped += 1;
-                c_malformed.inc();
-                continue;
+        let before = machine.stats();
+        let replies = machine.step(&bytes, &mut hooks)?;
+        let after = machine.stats();
+        c_rounds.add(after.rounds_served - before.rounds_served);
+        c_probes.add(after.probes_answered - before.probes_answered);
+        c_malformed.add(after.malformed_skipped - before.malformed_skipped);
+        c_loads.add(after.loads_accepted - before.loads_accepted);
+        c_refused.add(after.loads_refused - before.loads_refused);
+        for msg in replies {
+            match transport.send(msg.to, msg.tag, &msg.encode()) {
+                Ok(()) => {}
+                Err(NetError::Closed) => return Ok(machine.stats()),
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
-        };
-        let reply = match env.kind {
-            PayloadKind::Probe => {
-                stats.probes_answered += 1;
-                c_probes.inc();
-                Envelope::new(env.round, PayloadKind::ProbeAck, Vec::new())
-            }
-            PayloadKind::Input => {
-                let images = match decode_f32s(&env.payload).and_then(|(dims, data)| {
-                    Tensor::from_vec(data, dims)
-                        .map_err(|e| NetError::Malformed(format!("input tensor: {e}")))
-                }) {
-                    Ok(images) => images,
-                    Err(_) => {
-                        stats.malformed_skipped += 1;
-                        c_malformed.inc();
-                        continue;
-                    }
-                };
-                let payload = {
-                    let rows = images.dims().first().copied().unwrap_or(0);
-                    let _forward_span = obs.span("worker.forward", &[("rows", rows as u64)]);
-                    // Honesty check against the static certificate: count
-                    // what this forward actually allocates (DESIGN.md §13).
-                    let mem = MemScope::begin();
-                    let results = local_results(expert, &images);
-                    let payload = if hosted.is_empty() {
-                        // Wire-identical to the pre-recovery protocol —
-                        // and to the certified `wire_result_bytes`.
-                        encode_results(&results)
-                    } else {
-                        // Fan the batch through every hosted expert; the
-                        // master demuxes by expert id.
-                        let mut set: Vec<(u32, Vec<(usize, f32)>)> = vec![(me as u32, results)];
-                        for (&id, (model, _)) in hosted.iter_mut() {
-                            set.push((id as u32, local_results(model, &images)));
-                        }
-                        encode_result_set(&set)
-                    };
-                    let mem_stats = mem.stats();
-                    m_alloc.record(mem_stats.allocated_bytes, mem_stats.peak_bytes);
-                    payload
-                };
-                stats.rounds_served += 1;
-                c_rounds.inc();
-                Envelope::new(env.round, PayloadKind::Result, payload)
-            }
-            PayloadKind::LoadExpert => match LoadExpertMsg::decode(&env.payload) {
-                Ok(LoadExpertMsg::Offer {
-                    expert: id,
-                    manifest,
-                }) => {
-                    let required = manifest.required_resident_bytes;
-                    if !budget.admit(required) {
-                        stats.loads_refused += 1;
-                        c_refused.inc();
-                        let ack = LoadAckMsg {
-                            expert: id,
-                            status: AckStatus::Refuse,
-                            arg: budget.spare(),
-                        };
-                        Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
-                    } else if manifest.num_chunks == 0 {
-                        // Degenerate empty-state transfer: complete at
-                        // the offer.
-                        stats.loads_accepted += 1;
-                        c_loads.inc();
-                        let ack = match PartialLoad::begin(id, manifest).finish() {
-                            Ok((model, resident)) => {
-                                budget.charge(resident);
-                                hosted.insert(id as usize, (model, resident));
-                                LoadAckMsg {
-                                    expert: id,
-                                    status: AckStatus::Done,
-                                    arg: 0,
-                                }
-                            }
-                            Err(_) => LoadAckMsg {
-                                expert: id,
-                                status: AckStatus::Failed,
-                                arg: 0,
-                            },
-                        };
-                        Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
-                    } else {
-                        // Resume a matching interrupted transfer instead
-                        // of restarting from chunk zero.
-                        let next = match &partial {
-                            Some(p) if p.matches(id, &manifest) => p.next_expected(),
-                            _ => {
-                                partial = Some(PartialLoad::begin(id, manifest));
-                                0
-                            }
-                        };
-                        stats.loads_accepted += 1;
-                        c_loads.inc();
-                        let ack = LoadAckMsg {
-                            expert: id,
-                            status: AckStatus::Accept,
-                            arg: u64::from(next),
-                        };
-                        Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
-                    }
-                }
-                Ok(LoadExpertMsg::Release { expert: id }) => {
-                    if let Some((_, resident)) = hosted.remove(&(id as usize)) {
-                        budget.release(resident);
-                    }
-                    let ack = LoadAckMsg {
-                        expert: id,
-                        status: AckStatus::Done,
-                        arg: 0,
-                    };
-                    Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
-                }
-                Ok(LoadExpertMsg::Abort { expert: id }) => {
-                    // Free the partial state; no reply — the master is
-                    // not waiting on an abort.
-                    if partial.as_ref().is_some_and(|p| p.expert() == id) {
-                        partial = None;
-                    }
-                    continue;
-                }
-                Err(_) => {
-                    stats.malformed_skipped += 1;
-                    c_malformed.inc();
-                    continue;
-                }
-            },
-            PayloadKind::LoadChunk => match LoadChunkMsg::decode(&env.payload) {
-                Ok(msg) => {
-                    stats.chunks_received += 1;
-                    let ack = match partial.take() {
-                        Some(mut p) if p.expert() == msg.expert => match p.accept_chunk(&msg) {
-                            ChunkOutcome::Progress(next) => {
-                                partial = Some(p); // transfer still in flight
-                                LoadAckMsg {
-                                    expert: msg.expert,
-                                    status: AckStatus::ChunkOk,
-                                    arg: u64::from(next),
-                                }
-                            }
-                            ChunkOutcome::Complete => match p.finish() {
-                                Ok((model, resident)) => {
-                                    budget.charge(resident);
-                                    hosted.insert(msg.expert as usize, (model, resident));
-                                    LoadAckMsg {
-                                        expert: msg.expert,
-                                        status: AckStatus::Done,
-                                        arg: 0,
-                                    }
-                                }
-                                // Partial state already freed; the
-                                // master backtracks.
-                                Err(_) => LoadAckMsg {
-                                    expert: msg.expert,
-                                    status: AckStatus::Failed,
-                                    arg: 0,
-                                },
-                            },
-                        },
-                        // A chunk with no transfer open (worker restarted,
-                        // or the transfer was aborted), or for a different
-                        // expert than the parked transfer: fail fast so
-                        // the master re-offers or backtracks.
-                        other => {
-                            partial = other;
-                            LoadAckMsg {
-                                expert: msg.expert,
-                                status: AckStatus::Failed,
-                                arg: 0,
-                            }
-                        }
-                    };
-                    Envelope::new(env.round, PayloadKind::LoadAck, ack.encode())
-                }
-                Err(_) => {
-                    stats.malformed_skipped += 1;
-                    c_malformed.inc();
-                    continue;
-                }
-            },
-            // Result/ProbeAck/LoadAck flowing master → worker is a
-            // protocol error; skip it rather than dying.
-            _ => {
-                stats.malformed_skipped += 1;
-                c_malformed.inc();
-                continue;
-            }
-        };
-        match transport.send(master, TAG_RESULT, &reply.encode()) {
-            Ok(()) => {}
-            Err(NetError::Closed) => return Ok(stats),
-            Err(e) => return Err(e),
         }
+    }
+}
+
+/// The IO side of the worker serve loop, injected into
+/// [`fsm::WorkerFsm::step`]: runs the real forward passes and
+/// materializes hosted experts, while every protocol decision stays in
+/// the state machine.
+struct ServeHooks<'a> {
+    me: usize,
+    expert: &'a mut Sequential,
+    /// Migrated experts resident on this node, keyed by expert id (the
+    /// FSM tracks their budget charges).
+    hosted: BTreeMap<u32, Sequential>,
+    obs: &'a Obs,
+    m_alloc: &'a AllocMeters,
+}
+
+impl fsm::WorkerHooks for ServeHooks<'_> {
+    fn forward(&mut self, input_payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        let images = decode_f32s(input_payload).and_then(|(dims, data)| {
+            Tensor::from_vec(data, dims)
+                .map_err(|e| NetError::Malformed(format!("input tensor: {e}")))
+        })?;
+        let rows = images.dims().first().copied().unwrap_or(0);
+        let _forward_span = self.obs.span("worker.forward", &[("rows", rows as u64)]);
+        // Honesty check against the static certificate: count what this
+        // forward actually allocates (DESIGN.md §13).
+        let mem = MemScope::begin();
+        let results = local_results(self.expert, &images);
+        let payload = if self.hosted.is_empty() {
+            // Wire-identical to the pre-recovery protocol — and to the
+            // certified `wire_result_bytes`.
+            encode_results(&results)
+        } else {
+            // Fan the batch through every hosted expert; the master
+            // demuxes by expert id.
+            let mut set: Vec<(u32, Vec<(usize, f32)>)> = vec![(self.me as u32, results)];
+            for (&id, model) in self.hosted.iter_mut() {
+                set.push((id, local_results(model, &images)));
+            }
+            encode_result_set(&set)
+        };
+        let mem_stats = mem.stats();
+        self.m_alloc
+            .record(mem_stats.allocated_bytes, mem_stats.peak_bytes);
+        Ok(payload)
+    }
+
+    fn install(
+        &mut self,
+        expert: u32,
+        manifest: &TransferManifest,
+        state: &[u8],
+    ) -> Result<(), NetError> {
+        let (model, _resident) = crate::recover::build_from_state(manifest, state)?;
+        self.hosted.insert(expert, model);
+        Ok(())
+    }
+
+    fn evict(&mut self, expert: u32) {
+        self.hosted.remove(&expert);
     }
 }
 
@@ -770,18 +637,17 @@ impl InferenceSession {
             self.m_alloc.record(stats.allocated_bytes, stats.peak_bytes);
             local
         };
-        let mut best: Vec<TeamPrediction> = local
-            .into_iter()
-            .map(|(label, h)| TeamPrediction {
-                label,
-                expert: me,
-                entropy: h,
-            })
-            .collect();
-        let mut best_weighted: Vec<f32> = best
-            .iter()
-            .map(|p| p.entropy * self.config.weight(me))
-            .collect();
+        // Frame classification and the running argmin fold live in the
+        // pure gather state machine (DESIGN.md §15); this shell owns the
+        // transport waits, the deadline budget and the counters.
+        let mut gather = fsm::GatherFsm::new(
+            round,
+            me,
+            n,
+            local,
+            self.config.calibration.clone(),
+            self.config.require_all_workers,
+        );
 
         // Gather leg: one deadline budget shared by every wait, including
         // re-waits after discarding stale/corrupt/malformed traffic.
@@ -807,103 +673,28 @@ impl InferenceSession {
                     Err(NetError::Timeout { .. }) => break false,
                     Err(e) => return Err(e),
                 };
-                let env = match Envelope::decode(&bytes) {
-                    Ok(env) => env,
-                    Err(e @ NetError::Corrupt { .. }) => {
-                        if self.config.require_all_workers {
-                            return Err(e);
-                        }
+                match gather.step(peer, &bytes) {
+                    fsm::GatherVerdict::Fatal(e) => return Err(e),
+                    fsm::GatherVerdict::Discarded(fsm::GatherDiscard::Stale) => {
+                        stale_discarded += 1;
+                        self.c_stale.inc();
+                    }
+                    fsm::GatherVerdict::Discarded(fsm::GatherDiscard::Corrupt) => {
                         corrupt_discarded += 1;
                         self.c_corrupt.inc();
-                        continue;
                     }
-                    Err(e) => {
-                        if self.config.require_all_workers {
-                            return Err(e);
-                        }
+                    fsm::GatherVerdict::Discarded(fsm::GatherDiscard::Malformed) => {
                         malformed_discarded += 1;
                         self.c_malformed.inc();
-                        continue;
                     }
-                };
-                if let Err(NetError::Stale { .. }) = env.expect_round(round) {
-                    // A late reply to an earlier round (or a duplicate of
-                    // one): never score it against this batch. Stale
-                    // traffic is discarded even in strict mode — consuming
-                    // it would silently corrupt the answer.
-                    stale_discarded += 1;
-                    self.c_stale.inc();
-                    continue;
-                }
-                match env.kind {
-                    PayloadKind::Result => {
-                        // A peer hosting migrated experts replies with a
-                        // result *set*; a legacy single-matrix reply is
-                        // attributed to the peer's own expert.
-                        let sets = match decode_result_set(&env.payload, peer) {
-                            Ok(sets) => sets,
-                            Err(e) => {
-                                if self.config.require_all_workers {
-                                    return Err(e);
-                                }
-                                malformed_discarded += 1;
-                                self.c_malformed.inc();
-                                continue;
-                            }
-                        };
-                        if let Some((expert_id, results)) = sets.iter().find(|(_, r)| r.len() != n)
-                        {
-                            let e = NetError::Malformed(format!(
-                                "worker {peer} returned {} rows for expert {expert_id} \
-                                 on a {n}-row batch",
-                                results.len()
-                            ));
-                            if self.config.require_all_workers {
-                                return Err(e);
-                            }
-                            malformed_discarded += 1;
-                            self.c_malformed.inc();
-                            continue;
-                        }
-                        // The paper's Figure 4 arg-min: keep the
-                        // lowest-weighted-entropy answer per row. Each
-                        // expert keeps its own identity and calibration
-                        // weight, whichever node computed it.
-                        let _argmin_span = obs.span("entropy.argmin", &[("peer", peer as u64)]);
-                        for (expert_id, results) in sets {
-                            let weight = self.config.weight(expert_id);
-                            let slots = best_weighted.iter_mut().zip(best.iter_mut());
-                            for ((label, h), (current, winner)) in results.into_iter().zip(slots) {
-                                let weighted = h * weight;
-                                if weighted < *current {
-                                    *current = weighted;
-                                    *winner = TeamPrediction {
-                                        label,
-                                        expert: expert_id,
-                                        entropy: h,
-                                    };
-                                }
-                            }
+                    fsm::GatherVerdict::Accepted { folded } => {
+                        if folded {
+                            // The argmin fold ran inside the pure state
+                            // machine; emit the span here so traces keep
+                            // the per-peer fold event.
+                            let _argmin_span = obs.span("entropy.argmin", &[("peer", peer as u64)]);
                         }
                         break true;
-                    }
-                    // A probe ack proves liveness; it carries no rows.
-                    PayloadKind::ProbeAck => break true,
-                    // Stray transfer-protocol traffic (a duplicate
-                    // LoadAck from a recovery exchange, or a reflected
-                    // LoadExpert/LoadChunk) is never part of a gather;
-                    // discard it and keep waiting. Acks to live transfers
-                    // carry their own round stamps, so they are caught by
-                    // the staleness check above before reaching here.
-                    PayloadKind::LoadAck | PayloadKind::LoadExpert | PayloadKind::LoadChunk => {
-                        malformed_discarded += 1;
-                        self.c_malformed.inc();
-                        continue;
-                    }
-                    _ => {
-                        malformed_discarded += 1;
-                        self.c_malformed.inc();
-                        continue;
                     }
                 }
             };
@@ -917,6 +708,7 @@ impl InferenceSession {
             }
         }
         drop(_gather_span);
+        let best = gather.into_predictions();
 
         // Fold the round's evidence into the detector.
         for peer in 0..num_nodes {
@@ -1040,6 +832,7 @@ pub fn shutdown_workers(transport: &dyn Transport) -> Result<(), NetError> {
 mod tests {
     use super::*;
     use crate::expert::build_expert;
+    use crate::recover::{AckStatus, LoadAckMsg, LoadChunkMsg, LoadExpertMsg};
     use crossbeam::thread;
     use teamnet_net::ChannelTransport;
     use teamnet_nn::ModelSpec;

@@ -55,6 +55,69 @@ impl Default for ChaosConfig {
     }
 }
 
+/// The fate the probabilistic fault plan assigns to one offered message.
+///
+/// This is the *model* of [`ChaosTransport`]'s per-send decision, exported
+/// so that offline tools (the `cargo xtask mc` fault adversary) can prove
+/// their fault semantics match the runtime byte-for-byte. Blackholing and
+/// the legacy periodic `drop_every` fault are **not** part of the
+/// probabilistic plan: they short-circuit before any RNG draw and consume
+/// no randomness, which is exactly why [`plan_fates`] can replay the RNG
+/// stream from the seed alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultFate {
+    /// Delivered unchanged.
+    Deliver,
+    /// Silently dropped.
+    Drop,
+    /// Held back and released after `hold` further offers by this endpoint.
+    Delay {
+        /// Offers to wait before release (`release_at = offered + hold`).
+        hold: u64,
+    },
+    /// One payload bit flipped (global bit index into the payload bytes).
+    Corrupt {
+        /// Which bit is flipped: byte `bit / 8`, mask `1 << (bit % 8)`.
+        bit: u64,
+    },
+    /// Delivered twice back-to-back.
+    Duplicate,
+}
+
+/// Draws the fate for the next offered message. Exactly one fault fires
+/// per message, drawn in the order drop → delay → corrupt → duplicate;
+/// the corrupt draw is skipped entirely for empty payloads (no bit to
+/// flip), preserving the RNG stream shape of the runtime path.
+fn next_fate(rng: &mut DetRng, config: &ChaosConfig, payload_len: usize) -> FaultFate {
+    if rng.chance(config.drop_prob) {
+        FaultFate::Drop
+    } else if rng.chance(config.delay_prob) {
+        let hold = 1 + rng.below(config.max_delay_msgs.max(1));
+        FaultFate::Delay { hold }
+    } else if payload_len > 0 && rng.chance(config.corrupt_prob) {
+        let bit = rng.below(payload_len as u64 * 8);
+        FaultFate::Corrupt { bit }
+    } else if rng.chance(config.duplicate_prob) {
+        FaultFate::Duplicate
+    } else {
+        FaultFate::Deliver
+    }
+}
+
+/// Replays the probabilistic fault plan for a whole schedule of offered
+/// messages (identified only by their payload lengths, which gate the
+/// corrupt draw) and returns the fate of each. A [`ChaosTransport`] built
+/// from the same `config` assigns exactly these fates to its first
+/// `payload_lens.len()` sends, provided no blackhole or `drop_every`
+/// fault preempts the draw.
+pub fn plan_fates(config: &ChaosConfig, payload_lens: &[usize]) -> Vec<FaultFate> {
+    let mut rng = DetRng::new(config.seed);
+    payload_lens
+        .iter()
+        .map(|&len| next_fate(&mut rng, config, len))
+        .collect()
+}
+
 /// A message held back by the delay fault, due once `release_at` sends
 /// have happened.
 struct Delayed {
@@ -212,58 +275,48 @@ impl<T: Transport> Transport for ChaosTransport<T> {
     }
 
     fn send(&self, to: NodeId, tag: Tag, payload: &[u8]) -> Result<(), NetError> {
-        enum Fate {
-            Deliver,
-            Drop,
-            Delay,
-            Corrupt(Vec<u8>),
-            Duplicate,
-        }
         let (fate, offered) = {
             let mut state = self.state.lock();
             state.offered += 1;
             let offered = state.offered;
+            // Blackhole / periodic drops preempt the probabilistic plan
+            // without consuming an RNG draw (see `FaultFate` docs).
             let fate = if self.blackholed.lock().contains(&to) {
-                state.counters.dropped += 1;
-                Fate::Drop
+                FaultFate::Drop
             } else if self.drop_every > 0 && offered.is_multiple_of(self.drop_every) {
-                state.counters.dropped += 1;
-                Fate::Drop
-            } else if state.rng.chance(self.config.drop_prob) {
-                state.counters.dropped += 1;
-                Fate::Drop
-            } else if state.rng.chance(self.config.delay_prob) {
-                let hold = 1 + state.rng.below(self.config.max_delay_msgs.max(1));
-                state.counters.delayed += 1;
-                state.pending.push(Delayed {
-                    release_at: offered + hold,
-                    to,
-                    tag,
-                    payload: payload.to_vec(),
-                });
-                Fate::Delay
-            } else if !payload.is_empty() && state.rng.chance(self.config.corrupt_prob) {
-                let bit = state.rng.below(payload.len() as u64 * 8);
-                let mut mutated = payload.to_vec();
-                if let Some(byte) = mutated.get_mut((bit / 8) as usize) {
-                    *byte ^= 1 << (bit % 8);
-                }
-                state.counters.corrupted += 1;
-                Fate::Corrupt(mutated)
-            } else if state.rng.chance(self.config.duplicate_prob) {
-                state.counters.duplicated += 1;
-                Fate::Duplicate
+                FaultFate::Drop
             } else {
-                Fate::Deliver
+                next_fate(&mut state.rng, &self.config, payload.len())
             };
+            match fate {
+                FaultFate::Deliver => {}
+                FaultFate::Drop => state.counters.dropped += 1,
+                FaultFate::Delay { hold } => {
+                    state.counters.delayed += 1;
+                    state.pending.push(Delayed {
+                        release_at: offered + hold,
+                        to,
+                        tag,
+                        payload: payload.to_vec(),
+                    });
+                }
+                FaultFate::Corrupt { .. } => state.counters.corrupted += 1,
+                FaultFate::Duplicate => state.counters.duplicated += 1,
+            }
             (fate, offered)
         };
         self.release_due(offered);
         match fate {
-            Fate::Deliver => self.inner.send(to, tag, payload),
-            Fate::Drop | Fate::Delay => Ok(()),
-            Fate::Corrupt(mutated) => self.inner.send(to, tag, &mutated),
-            Fate::Duplicate => {
+            FaultFate::Deliver => self.inner.send(to, tag, payload),
+            FaultFate::Drop | FaultFate::Delay { .. } => Ok(()),
+            FaultFate::Corrupt { bit } => {
+                let mut mutated = payload.to_vec();
+                if let Some(byte) = mutated.get_mut((bit / 8) as usize) {
+                    *byte ^= 1 << (bit % 8);
+                }
+                self.inner.send(to, tag, &mutated)
+            }
+            FaultFate::Duplicate => {
                 self.inner.send(to, tag, payload)?;
                 self.inner.send(to, tag, payload)
             }
@@ -420,6 +473,58 @@ mod tests {
         chaos.flush();
         assert_eq!(receiver.recv(0, TAG, SHORT).unwrap(), b"second");
         assert_eq!(chaos.stats().messages_delayed, 2);
+    }
+
+    #[test]
+    fn plan_fates_predicts_send_counters() {
+        // The exported plan must account for every probabilistic fate the
+        // live transport assigns, including the empty-payload corrupt
+        // short-circuit (frame 7 below is empty).
+        let config = ChaosConfig {
+            seed: 42,
+            drop_prob: 0.25,
+            delay_prob: 0.25,
+            corrupt_prob: 0.25,
+            duplicate_prob: 0.25,
+            max_delay_msgs: 2,
+            ..ChaosConfig::default()
+        };
+        let payloads: Vec<Vec<u8>> = (0..24u8)
+            .map(|i| {
+                if i == 7 {
+                    Vec::new()
+                } else {
+                    vec![i; 1 + i as usize]
+                }
+            })
+            .collect();
+        let lens: Vec<usize> = payloads.iter().map(Vec::len).collect();
+        let plan = plan_fates(&config, &lens);
+
+        let mut nodes = ChannelTransport::mesh(2);
+        let _receiver = nodes.pop().unwrap();
+        let chaos = ChaosTransport::with_config(nodes.pop().unwrap(), config);
+        for p in &payloads {
+            chaos.send(1, TAG, p).unwrap();
+        }
+        let count = |f: fn(&FaultFate) -> bool| plan.iter().filter(|x| f(x)).count() as u64;
+        let stats = chaos.stats();
+        assert_eq!(stats.messages_dropped, count(|f| *f == FaultFate::Drop));
+        assert_eq!(
+            stats.messages_delayed,
+            count(|f| matches!(f, FaultFate::Delay { .. }))
+        );
+        assert_eq!(
+            stats.messages_corrupted,
+            count(|f| matches!(f, FaultFate::Corrupt { .. }))
+        );
+        assert_eq!(
+            stats.messages_duplicated,
+            count(|f| *f == FaultFate::Duplicate)
+        );
+        // A fault plan this dense on a mixed schedule should exercise
+        // every variant; if not, the test inputs need rework.
+        assert!(plan.contains(&FaultFate::Deliver));
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use clock::{Clock, ManualClock, SystemClock};
 pub use collective::{Communicator, COLLECTIVE_TAG_BASE};
 pub use envelope::{crc32, Envelope, PayloadKind, ENVELOPE_HEADER_LEN, ENVELOPE_VERSION};
 pub use error::NetError;
-pub use faults::{ChaosConfig, ChaosTransport, LossyTransport};
+pub use faults::{plan_fates, ChaosConfig, ChaosTransport, FaultFate, LossyTransport};
 pub use mailbox::Mailbox;
 pub use retry::{Backoff, DetRng, RetryPolicy};
 pub use tcp::TcpTransport;

@@ -1,0 +1,138 @@
+//! Machine-readable diagnostics: `--json` rendering for every xtask pass.
+//!
+//! The schema is deliberately tiny and **stable** — each diagnostic is an
+//! object with exactly four keys, in this order:
+//!
+//! ```json
+//! {"rule": "no-unwrap", "file": "crates/net/src/x.rs", "line": 7, "message": "..."}
+//! ```
+//!
+//! A clean run renders `[]`. Diagnostics are sorted by
+//! `(file, line, rule, message)` so the output is byte-stable regardless of
+//! pass execution order. The golden test below pins the exact bytes against
+//! `testdata/diagnostics.golden.json`; editors of this module must update
+//! the golden file *consciously*, because downstream tooling (CI annotators,
+//! editor integrations) parses this format.
+//!
+//! Rendering is hand-rolled rather than routed through `serde_json` so the
+//! key order and whitespace are pinned by this file alone, not by a
+//! dependency's internals.
+
+use crate::Diagnostic;
+
+/// Renders diagnostics as a JSON array, one object per line, sorted and
+/// byte-stable. Returns `"[]"` (plus newline) when `diags` is empty.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut rows: Vec<&Diagnostic> = diags.iter().collect();
+    rows.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    if rows.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, d) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{comma}\n",
+            escape(d.rule),
+            escape(&d.path),
+            d.line,
+            escape(&d.message),
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// JSON string escaping (RFC 8259 §7): quote, backslash, and control
+/// characters; everything else passes through as UTF-8.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                path: "crates/net/src/faults.rs".into(),
+                line: 12,
+                rule: "no-unwrap",
+                message: "call .unwrap() may panic; return a typed error".into(),
+            },
+            Diagnostic {
+                path: "crates/core/src/fsm.rs".into(),
+                line: 0,
+                rule: "fsm-coverage",
+                message: "quoted \"needle\" and a\ttab".into(),
+            },
+            Diagnostic {
+                path: "crates/core/src/fsm.rs".into(),
+                line: 40,
+                rule: "fsm-dispatch",
+                message: "backslash \\ case".into(),
+            },
+        ]
+    }
+
+    /// The load-bearing test: the rendered bytes for a fixed diagnostic
+    /// set must match the checked-in golden file exactly. A mismatch means
+    /// the `--json` schema changed — update the golden file only if every
+    /// consumer of the format is updated with it.
+    #[test]
+    fn golden_schema_is_pinned() {
+        let rendered = render(&sample());
+        let golden = include_str!("testdata/diagnostics.golden.json");
+        assert_eq!(
+            rendered, golden,
+            "--json output drifted from testdata/diagnostics.golden.json; \
+             the schema is a public contract"
+        );
+    }
+
+    #[test]
+    fn empty_renders_as_empty_array() {
+        assert_eq!(render(&[]), "[]\n");
+    }
+
+    #[test]
+    fn output_is_sorted_not_insertion_ordered() {
+        let rendered = render(&sample());
+        let fsm_pos = rendered.find("fsm-coverage").unwrap_or(usize::MAX);
+        let unwrap_pos = rendered.find("no-unwrap").unwrap_or(0);
+        assert!(
+            fsm_pos < unwrap_pos,
+            "core paths must sort before net paths:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn escaping_covers_controls() {
+        assert_eq!(
+            escape("a\"b\\c\nd\te\u{1}"),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+    }
+}

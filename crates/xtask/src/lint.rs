@@ -15,6 +15,7 @@
 //! | `missing-docs`  | crate roots missing a `missing_docs` lint header     |
 
 use crate::lexer;
+use crate::symbols::{Model, SourceFile};
 use crate::Diagnostic;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -24,30 +25,20 @@ use std::path::{Path, PathBuf};
 /// numeric kernels index in tight loops under their own invariants.
 const INDEX_CHECKED_CRATES: &[&str] = &["net", "core"];
 
-/// Runs the lint pass over every library crate under `crates/`, appending
-/// diagnostics. Returns `(files, lines)` scanned for the summary.
-pub fn check(root: &Path, diags: &mut Vec<Diagnostic>) -> (usize, usize) {
+/// Runs the lint pass over an already-lexed workspace [`Model`] (the
+/// sources are masked exactly once per xtask invocation and shared with
+/// the audit passes), appending diagnostics. Returns `(files, lines)`
+/// scanned for the summary.
+pub fn check(model: &Model, diags: &mut Vec<Diagnostic>) -> (usize, usize) {
     let mut files = 0usize;
     let mut lines = 0usize;
-    for krate in library_crates(root) {
-        let crate_name = krate
-            .file_name()
-            .and_then(|n| n.to_str())
-            .unwrap_or("?")
-            .to_string();
-        let src = krate.join("src");
-        let root_file = src.join("lib.rs");
-        if let Ok(text) = fs::read_to_string(&root_file) {
-            check_crate_root(root, &root_file, &text, diags);
+    for file in &model.files {
+        if file.rel_path.ends_with("/src/lib.rs") {
+            check_crate_root(file, diags);
         }
-        for file in rust_files(&src) {
-            let Ok(text) = fs::read_to_string(&file) else {
-                continue;
-            };
-            let (f, l) = check_file(root, &file, &crate_name, &text, diags);
-            files += f;
-            lines += l;
-        }
+        let (f, l) = check_file(file, diags);
+        files += f;
+        lines += l;
     }
     (files, lines)
 }
@@ -93,19 +84,21 @@ pub(crate) fn rust_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
-fn check_crate_root(root: &Path, path: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
-    let rel = display_path(root, path);
-    if !text.contains("#![forbid(unsafe_code)]") {
+/// Crate-root hygiene headers. Inner attributes carry no strings or
+/// comments, so the masked lines preserve them verbatim.
+fn check_crate_root(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let has = |needle: &str| file.masked.lines.iter().any(|l| l.contains(needle));
+    if !has("#![forbid(unsafe_code)]") {
         diags.push(Diagnostic {
-            path: rel.clone(),
+            path: file.rel_path.clone(),
             line: 1,
             rule: "forbid-unsafe",
             message: "crate root must carry #![forbid(unsafe_code)]".into(),
         });
     }
-    if !text.contains("#![warn(missing_docs)]") && !text.contains("#![deny(missing_docs)]") {
+    if !has("#![warn(missing_docs)]") && !has("#![deny(missing_docs)]") {
         diags.push(Diagnostic {
-            path: rel,
+            path: file.rel_path.clone(),
             line: 1,
             rule: "missing-docs",
             message: "crate root must enable the missing_docs lint".into(),
@@ -113,21 +106,15 @@ fn check_crate_root(root: &Path, path: &Path, text: &str, diags: &mut Vec<Diagno
     }
 }
 
-fn check_file(
-    root: &Path,
-    path: &Path,
-    crate_name: &str,
-    text: &str,
-    diags: &mut Vec<Diagnostic>,
-) -> (usize, usize) {
-    let rel = display_path(root, path);
-    let masked = lexer::mask(text);
-    let skip = test_lines(&masked.lines);
-    let index_checked = INDEX_CHECKED_CRATES.contains(&crate_name);
+fn check_file(file: &SourceFile, diags: &mut Vec<Diagnostic>) -> (usize, usize) {
+    let rel = &file.rel_path;
+    let masked = &file.masked;
+    let skip = &file.test_mask;
+    let index_checked = INDEX_CHECKED_CRATES.contains(&file.crate_name.as_str());
 
     for (idx, line) in masked.lines.iter().enumerate() {
         let lineno = idx + 1;
-        if skip[idx] {
+        if skip.get(idx).copied().unwrap_or(false) {
             continue;
         }
         let mut hits: Vec<(&'static str, String)> = Vec::new();
@@ -169,7 +156,7 @@ fn check_file(
             }
         }
     }
-    check_transport_impls(&masked, &skip, &rel, diags);
+    check_transport_impls(masked, skip, rel, diags);
     (1, masked.lines.len())
 }
 

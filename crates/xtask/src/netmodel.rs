@@ -1,0 +1,219 @@
+//! Model-vs-reality check for the `mc` fault adversary.
+//!
+//! `cargo xtask mc` explores protocol interleavings under an abstract
+//! fault adversary (drop / duplicate / reorder). That adversary is only
+//! trustworthy if its fault semantics match what the runtime's
+//! [`ChaosTransport`] actually does to frames. This module replays the
+//! exported probabilistic fault plan ([`plan_fates`]) through a pure model
+//! of `ChaosTransport::send` — including the delay buffer's
+//! release-before-current-frame ordering and its `swap_remove` scan — and
+//! asserts the *exact delivery sequence* (count, order, bytes) against a
+//! live `ChaosTransport` over an in-memory mesh, across seeded schedules.
+//!
+//! Any divergence means one of the twins drifted: either the runtime
+//! changed its fault semantics (update the model *and* DESIGN.md §15) or
+//! the model rotted. Both are CI failures.
+
+use std::time::Duration;
+use teamnet_net::{
+    plan_fates, ChannelTransport, ChaosConfig, ChaosTransport, FaultFate, NodeId, Tag, Transport,
+};
+
+const TAG: Tag = Tag(0x7E57);
+
+/// The fault mix used for cross-checking: every probabilistic fate is
+/// reachable, and the schedule below includes an empty payload to pin the
+/// corrupt-draw short-circuit.
+fn cross_check_config(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        drop_prob: 0.2,
+        delay_prob: 0.25,
+        corrupt_prob: 0.15,
+        duplicate_prob: 0.2,
+        max_delay_msgs: 3,
+    }
+}
+
+/// A deterministic 30-frame schedule with varied payload lengths
+/// (frame 7 is empty: the corrupt draw must be skipped for it).
+fn schedule() -> Vec<(NodeId, Vec<u8>)> {
+    (0..30u8)
+        .map(|i| {
+            let payload = if i == 7 {
+                Vec::new()
+            } else {
+                vec![i; 1 + (i as usize % 9)]
+            };
+            (1, payload)
+        })
+        .collect()
+}
+
+/// Pure model of `ChaosTransport::send` applied to a whole schedule:
+/// returns the exact `(to, payload)` delivery sequence the wrapped inner
+/// transport will observe, including duplicates, corrupted bytes, delayed
+/// releases and the final `flush()` drain.
+///
+/// Mirrored semantics (kept in lockstep with `crates/net/src/faults.rs`):
+///
+/// * the offer counter is 1-based; fates come from [`plan_fates`];
+/// * a delayed frame is buffered with `release_at = offered + hold`
+///   (`hold >= 1`, so it never self-releases on its own offer);
+/// * on every offer, due frames are released **before** the current
+///   frame's delivery, scanning the buffer with `swap_remove` (the last
+///   element replaces the removed slot and the index does not advance);
+/// * corruption XORs byte `bit / 8` with `1 << (bit % 8)` when in range;
+/// * duplication delivers the same bytes twice back-to-back;
+/// * `flush()` drains the remaining delay buffer in vector order.
+pub fn replay_deliveries(
+    config: &ChaosConfig,
+    frames: &[(NodeId, Vec<u8>)],
+) -> Vec<(NodeId, Vec<u8>)> {
+    let lens: Vec<usize> = frames.iter().map(|(_, p)| p.len()).collect();
+    let fates = plan_fates(config, &lens);
+    let mut pending: Vec<(u64, NodeId, Vec<u8>)> = Vec::new();
+    let mut out = Vec::new();
+    for (i, ((to, payload), fate)) in frames.iter().zip(&fates).enumerate() {
+        let offered = (i + 1) as u64;
+        if let FaultFate::Delay { hold } = fate {
+            pending.push((offered + hold, *to, payload.clone()));
+        }
+        let mut j = 0;
+        while j < pending.len() {
+            if pending[j].0 <= offered {
+                let (_, dest, bytes) = pending.swap_remove(j);
+                out.push((dest, bytes));
+            } else {
+                j += 1;
+            }
+        }
+        match fate {
+            FaultFate::Deliver => out.push((*to, payload.clone())),
+            FaultFate::Drop | FaultFate::Delay { .. } => {}
+            FaultFate::Corrupt { bit } => {
+                let mut mutated = payload.clone();
+                if let Some(byte) = mutated.get_mut((bit / 8) as usize) {
+                    *byte ^= 1 << (bit % 8);
+                }
+                out.push((*to, mutated));
+            }
+            FaultFate::Duplicate => {
+                out.push((*to, payload.clone()));
+                out.push((*to, payload.clone()));
+            }
+        }
+    }
+    for (_, dest, bytes) in pending {
+        out.push((dest, bytes));
+    }
+    out
+}
+
+/// Replays the cross-check schedule for each seed against a live
+/// [`ChaosTransport`] and demands byte-identical delivery sequences.
+/// Returns the total number of deliveries verified.
+///
+/// # Errors
+///
+/// A human-readable description of the first divergence (missing, extra,
+/// out-of-order or byte-different delivery), prefixed with the seed.
+pub fn verify_seeds(seeds: &[u64]) -> Result<usize, String> {
+    let mut total = 0;
+    for &seed in seeds {
+        total += verify_one(seed).map_err(|e| format!("seed {seed}: {e}"))?;
+    }
+    Ok(total)
+}
+
+fn verify_one(seed: u64) -> Result<usize, String> {
+    let config = cross_check_config(seed);
+    let frames = schedule();
+    let expected = replay_deliveries(&config, &frames);
+
+    let mut nodes = ChannelTransport::mesh(2);
+    let receiver = nodes.pop().ok_or("mesh(2) returned fewer than 2 nodes")?;
+    let sender = nodes.pop().ok_or("mesh(2) returned fewer than 2 nodes")?;
+    let chaos = ChaosTransport::with_config(sender, config);
+    for (to, payload) in &frames {
+        chaos
+            .send(*to, TAG, payload)
+            .map_err(|e| format!("send failed: {e}"))?;
+    }
+    chaos.flush();
+
+    for (k, (_, want)) in expected.iter().enumerate() {
+        let got = receiver
+            .recv(0, TAG, Duration::from_millis(500))
+            .map_err(|e| {
+                format!(
+                    "delivery {k}: model predicts a frame of {} bytes, transport produced none ({e})",
+                    want.len()
+                )
+            })?;
+        if got != *want {
+            return Err(format!(
+                "delivery {k} diverged: model predicts {want:?}, transport delivered {got:?}"
+            ));
+        }
+    }
+    if let Ok(extra) = receiver.recv(0, TAG, Duration::from_millis(20)) {
+        return Err(format!(
+            "transport delivered an extra {}-byte frame the model did not predict",
+            extra.len()
+        ));
+    }
+    Ok(expected.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_model_is_identity() {
+        let config = ChaosConfig {
+            seed: 3,
+            ..ChaosConfig::default()
+        };
+        let frames = schedule();
+        assert_eq!(replay_deliveries(&config, &frames), frames);
+    }
+
+    /// The property satellite: across a seed sweep the model's delivery
+    /// sequence matches the real `ChaosTransport` byte-for-byte — same
+    /// drops, same duplicate ordering, same corrupted bits, same delayed
+    /// release points.
+    #[test]
+    fn model_matches_transport_across_seed_sweep() {
+        let seeds: Vec<u64> = (0..64).collect();
+        let total = verify_seeds(&seeds).expect("model diverged from ChaosTransport");
+        assert!(
+            total > 1000,
+            "sweep verified suspiciously few deliveries ({total})"
+        );
+    }
+
+    #[test]
+    fn model_covers_every_fate_in_the_sweep() {
+        let mut seen = [false; 5];
+        for seed in 0..64 {
+            let config = cross_check_config(seed);
+            let lens: Vec<usize> = schedule().iter().map(|(_, p)| p.len()).collect();
+            for fate in plan_fates(&config, &lens) {
+                let idx = match fate {
+                    FaultFate::Deliver => 0,
+                    FaultFate::Drop => 1,
+                    FaultFate::Delay { .. } => 2,
+                    FaultFate::Corrupt { .. } => 3,
+                    FaultFate::Duplicate => 4,
+                };
+                seen[idx] = true;
+            }
+        }
+        assert_eq!(
+            seen, [true; 5],
+            "cross-check mix fails to exercise every fault fate"
+        );
+    }
+}

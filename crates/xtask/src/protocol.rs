@@ -13,7 +13,7 @@
 //! |                       | *outside* `envelope.rs` (the defining file and  |
 //! |                       | its wire codec don't count as real producers)   |
 //! | `protocol-handled`    | each `PayloadKind` variant is matched in the    |
-//! |                       | master dispatch, `crates/core/src/runtime.rs`   |
+//! |                       | protocol state machines, `crates/core/src/fsm.rs`|
 //! | `error-produced`      | each `NetError` variant is constructed outside  |
 //! |                       | `error.rs` (its `Display`/`From` impls within   |
 //! |                       | the defining file don't count)                  |
@@ -29,7 +29,7 @@ use crate::Diagnostic;
 
 const PAYLOAD_FILE: &str = "crates/net/src/envelope.rs";
 const ERROR_FILE: &str = "crates/net/src/error.rs";
-const DISPATCH_FILE: &str = "crates/core/src/runtime.rs";
+const DISPATCH_FILE: &str = "crates/core/src/fsm.rs";
 
 /// Runs the exhaustiveness pass. Returns the number of enum variants
 /// audited (for the summary line).
@@ -49,7 +49,8 @@ pub fn check(model: &Model, diags: &mut Vec<Diagnostic>) -> usize {
             Requirement {
                 rule: "protocol-handled",
                 scope: Scope::OnlyIn(DISPATCH_FILE),
-                missing: "is never handled in the master dispatch (crates/core/src/runtime.rs); \
+                missing:
+                    "is never handled in the protocol state machines (crates/core/src/fsm.rs); \
                           peers sending it would be silently dropped",
             },
         ],
@@ -138,7 +139,11 @@ fn check_enum(
 /// Parses the variant names (and their 1-based definition lines) of
 /// `pub enum <name>` in `rel_path`, from the comment/string-masked
 /// source. Returns `None` if the enum is not found.
-fn enum_variants(model: &Model, rel_path: &str, enum_name: &str) -> Option<Vec<(String, usize)>> {
+pub(crate) fn enum_variants(
+    model: &Model,
+    rel_path: &str,
+    enum_name: &str,
+) -> Option<Vec<(String, usize)>> {
     let file = model.files.iter().find(|f| f.rel_path == rel_path)?;
     let lines = &file.masked.lines;
     let header = format!("pub enum {enum_name}");
@@ -209,7 +214,7 @@ mod tests {
         let diags = run(&[
             (
                 "core",
-                "crates/core/src/runtime.rs",
+                "crates/core/src/fsm.rs",
                 "fn dispatch() {\n    handle(PayloadKind::Batch);\n    NetError::Timeout;\n}\n",
             ),
             (
@@ -257,7 +262,7 @@ mod tests {
             ("net", "crates/net/src/error.rs", ERRORS),
             (
                 "core",
-                "crates/core/src/runtime.rs",
+                "crates/core/src/fsm.rs",
                 "fn dispatch() {\n    handle(PayloadKind::Batch);\n    handle(PayloadKind::Logits { round: 0 });\n    NetError::Timeout;\n    NetError::Closed;\n}\n",
             ),
             (
@@ -285,7 +290,7 @@ mod tests {
     fn test_only_usage_does_not_count() {
         let diags = run(&[(
             "core",
-            "crates/core/src/runtime.rs",
+            "crates/core/src/fsm.rs",
             "fn dispatch() {\n    handle(PayloadKind::Batch);\n}\n\
              #[cfg(test)]\nmod tests {\n    fn t() {\n        PayloadKind::Probe;\n        NetError::Closed;\n    }\n}\n",
         )]);
@@ -310,8 +315,8 @@ mod tests {
     #[test]
     fn recovery_variants_constructed_and_handled_pass() {
         // Mirrors the real topology: recover.rs constructs all three
-        // recovery kinds (master side), runtime.rs handles them in the
-        // worker/master dispatch.
+        // recovery kinds (master side), fsm.rs handles them in the
+        // worker/master state machines.
         let model = Model::build(&[
             ("net", "crates/net/src/envelope.rs", RECOVERY_ENUMS),
             ("net", "crates/net/src/error.rs", ERRORS),
@@ -322,7 +327,7 @@ mod tests {
             ),
             (
                 "core",
-                "crates/core/src/runtime.rs",
+                "crates/core/src/fsm.rs",
                 "fn dispatch() {\n    handle(PayloadKind::Input);\n    handle(PayloadKind::Result);\n    handle(PayloadKind::LoadExpert);\n    handle(PayloadKind::LoadChunk);\n    handle(PayloadKind::LoadAck);\n}\n",
             ),
             (
@@ -351,7 +356,7 @@ mod tests {
             ),
             (
                 "core",
-                "crates/core/src/runtime.rs",
+                "crates/core/src/fsm.rs",
                 "fn dispatch() {\n    handle(PayloadKind::Input);\n    handle(PayloadKind::Result);\n    handle(PayloadKind::LoadExpert);\n    handle(PayloadKind::LoadAck);\n}\n",
             ),
             (
@@ -379,7 +384,7 @@ mod tests {
             ("net", "crates/net/src/error.rs", ERRORS),
             (
                 "core",
-                "crates/core/src/runtime.rs",
+                "crates/core/src/fsm.rs",
                 "fn dispatch() {\n    handle(PayloadKind::Batch);\n    NetError::Timeout;\n    NetError::Closed;\n}\n",
             ),
             (
