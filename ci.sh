@@ -26,11 +26,22 @@
 #                         must see bit-identical numerics
 #   7. kernel-bench smoke (parallel-vs-sequential bit-identity on every
 #                         kernel, plus the JSON artifact plumbing)
+#   7b. serve-bench smoke (the serving front-end's batching win: the
+#                         binary itself asserts that sustained req/s at
+#                         the fixed p99 target is non-decreasing in the
+#                         batch cap and strictly better than no
+#                         batching, so a batching regression fails here)
 #   8. chaos soak        (50 seeded fault-injected inference rounds)
 #   8b. recovery soak    (seeded session that permanently black-holes one
 #                         worker mid-run: its expert must migrate to a
 #                         survivor with certified spare memory and the
 #                         whole recovery must replay byte-for-byte)
+#   8c. serve soak       (seeded multi-tenant serving run on a ManualClock
+#                         with chaos transports and a mid-run worker
+#                         blackhole: quarantine must shrink the admission
+#                         window, and two identical seeds must emit
+#                         byte-identical trace + metrics + prediction
+#                         transcripts)
 #   9. traced smoke      (chaos_inference with TEAMNET_TRACE -> JsonlSink,
 #                         piped through `cargo xtask trace-report`, which
 #                         exits non-zero on a parse error or an empty span
@@ -73,7 +84,9 @@ cargo xtask cost --check
 TEAMNET_THREADS=1 cargo test -q --workspace
 TEAMNET_THREADS=4 cargo test -q --workspace
 cargo run -q --release -p teamnet-bench --bin kernel_bench -- --smoke --out /tmp/BENCH_kernels_smoke.json
+cargo run -q --release -p teamnet-bench --bin serve_bench -- --smoke --out /tmp/BENCH_serve_smoke.json
 cargo test -q --release --test chaos_soak
 cargo test -q --release --test recovery_soak
+cargo test -q --release --test serve_soak
 TEAMNET_TRACE=/tmp/ci_trace.jsonl cargo run -q --release --example chaos_inference >/dev/null
 cargo xtask trace-report /tmp/ci_trace.jsonl

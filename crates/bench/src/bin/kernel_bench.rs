@@ -1,7 +1,7 @@
 //! Kernel micro-benchmarks for the parallel compute backend.
 //!
 //! ```text
-//! kernel_bench [--smoke] [--out PATH]
+//! kernel_bench [--smoke] [--out PATH] [--force-oversubscribed]
 //! ```
 //!
 //! Times the three parallelized kernels — matmul (64³/256³/512³), conv2d
@@ -12,9 +12,13 @@
 //! `teamnet_tensor::pool`).
 //!
 //! Results are written as JSON (default `BENCH_kernels.json`). The file
-//! records `host_threads` (`std::thread::available_parallelism`); on a
-//! single-core host the >1-thread rows measure scheduling overhead, not
-//! speedup — read them together with that field.
+//! records `host_threads` (`std::thread::available_parallelism`). Timing
+//! a thread count the host cannot actually run in parallel measures
+//! scheduling overhead, not speedup, so those rows' timing fields are
+//! written as `null` (the bit-identity checks still run — they are
+//! hardware-independent). `--force-oversubscribed` times them anyway for
+//! scheduler-overhead studies; the per-row `timed` flag says which
+//! regime produced the numbers.
 //!
 //! `--smoke` shrinks every problem so CI can run the full matrix in
 //! seconds while still exercising the bit-identity checks.
@@ -37,10 +41,13 @@ struct MatmulRow {
     size: usize,
     threads: usize,
     iters: u32,
-    ms_per_iter: f64,
-    gflops: f64,
+    /// False when the host could not run this thread count in parallel
+    /// and timing was therefore refused; the timing fields are `null`.
+    timed: bool,
+    ms_per_iter: Option<f64>,
+    gflops: Option<f64>,
     bit_identical_to_seq: bool,
-    latency_ns: HistogramSnapshot,
+    latency_ns: Option<HistogramSnapshot>,
 }
 
 #[derive(Serialize)]
@@ -49,11 +56,12 @@ struct ConvRow {
     weight: Vec<usize>,
     threads: usize,
     iters: u32,
-    forward_ms: f64,
-    backward_ms: f64,
+    timed: bool,
+    forward_ms: Option<f64>,
+    backward_ms: Option<f64>,
     bit_identical_to_seq: bool,
-    forward_ns: HistogramSnapshot,
-    backward_ns: HistogramSnapshot,
+    forward_ns: Option<HistogramSnapshot>,
+    backward_ns: Option<HistogramSnapshot>,
 }
 
 #[derive(Serialize)]
@@ -62,15 +70,19 @@ struct TeamRow {
     batch: usize,
     threads: usize,
     iters: u32,
-    ms_per_iter: f64,
+    timed: bool,
+    ms_per_iter: Option<f64>,
     bit_identical_to_seq: bool,
-    latency_ns: HistogramSnapshot,
+    latency_ns: Option<HistogramSnapshot>,
 }
 
 #[derive(Serialize)]
 struct Report {
     host_threads: usize,
     smoke: bool,
+    /// Thread counts above this were not timed (their timing fields are
+    /// `null`): equal to `host_threads` unless `--force-oversubscribed`.
+    timing_thread_cap: usize,
     caveat: &'static str,
     /// Cost of one disabled `Obs::span()` call (the NullSink path), in
     /// nanoseconds — the overhead the runtime pays when tracing is off.
@@ -120,7 +132,12 @@ fn bits(t: &Tensor) -> Vec<u32> {
     t.data().iter().map(|x| x.to_bits()).collect()
 }
 
-fn bench_matmul(sizes: &[usize], iters: u32, metrics: &MetricsRegistry) -> Vec<MatmulRow> {
+fn bench_matmul(
+    sizes: &[usize],
+    iters: u32,
+    time_cap: usize,
+    metrics: &MetricsRegistry,
+) -> Vec<MatmulRow> {
     let mut rows = Vec::new();
     for &size in sizes {
         let mut rng = StdRng::seed_from_u64(size as u64);
@@ -133,19 +150,34 @@ fn bench_matmul(sizes: &[usize], iters: u32, metrics: &MetricsRegistry) -> Vec<M
             let cfg = ParallelConfig::with_threads(threads);
             let out = a.try_matmul_with(&b, cfg).expect("square matmul");
             let identical = bits(&out) == bits(&reference);
+            let flops = 2.0 * (size as f64).powi(3);
+            if threads > time_cap {
+                println!("matmul {size:>3}^3  threads={threads}  (timing refused: host has {time_cap} thread(s))  bit-identical={identical}");
+                rows.push(MatmulRow {
+                    size,
+                    threads,
+                    iters: 0,
+                    timed: false,
+                    ms_per_iter: None,
+                    gflops: None,
+                    bit_identical_to_seq: identical,
+                    latency_ns: None,
+                });
+                continue;
+            }
             let hist = metrics.histogram(&format!("bench.matmul.n{size}.t{threads}.ns"));
             let ms = time_iters(iters, &hist, || {
                 let _ = a.try_matmul_with(&b, cfg).expect("square matmul");
             });
-            let flops = 2.0 * (size as f64).powi(3);
             rows.push(MatmulRow {
                 size,
                 threads,
                 iters,
-                ms_per_iter: ms,
-                gflops: flops / (ms * 1e6),
+                timed: true,
+                ms_per_iter: Some(ms),
+                gflops: Some(flops / (ms * 1e6)),
                 bit_identical_to_seq: identical,
-                latency_ns: hist.snapshot(),
+                latency_ns: Some(hist.snapshot()),
             });
             println!(
                 "matmul {size:>3}^3  threads={threads}  {ms:8.3} ms  ({:6.2} GFLOP/s)  bit-identical={identical}",
@@ -159,6 +191,7 @@ fn bench_matmul(sizes: &[usize], iters: u32, metrics: &MetricsRegistry) -> Vec<M
 fn bench_conv(
     shapes: &[(Vec<usize>, Vec<usize>)],
     iters: u32,
+    time_cap: usize,
     metrics: &MetricsRegistry,
 ) -> Vec<ConvRow> {
     let spec = Conv2dSpec::new(3, 1, 1);
@@ -180,6 +213,24 @@ fn bench_conv(
                 && bits(&bwd.0) == bits(&bwd_ref.0)
                 && bits(&bwd.1) == bits(&bwd_ref.1)
                 && bits(&bwd.2) == bits(&bwd_ref.2);
+            if threads > time_cap {
+                println!(
+                    "conv2d {in_dims:?} * {w_dims:?}  threads={threads}  (timing refused: host has {time_cap} thread(s))  bit-identical={identical}"
+                );
+                rows.push(ConvRow {
+                    input: in_dims.clone(),
+                    weight: w_dims.clone(),
+                    threads,
+                    iters: 0,
+                    timed: false,
+                    forward_ms: None,
+                    backward_ms: None,
+                    bit_identical_to_seq: identical,
+                    forward_ns: None,
+                    backward_ns: None,
+                });
+                continue;
+            }
             let key = dims_key(in_dims);
             let fwd_hist = metrics.histogram(&format!("bench.conv2d.fwd.{key}.t{threads}.ns"));
             let bwd_hist = metrics.histogram(&format!("bench.conv2d.bwd.{key}.t{threads}.ns"));
@@ -197,11 +248,12 @@ fn bench_conv(
                 weight: w_dims.clone(),
                 threads,
                 iters,
-                forward_ms,
-                backward_ms,
+                timed: true,
+                forward_ms: Some(forward_ms),
+                backward_ms: Some(backward_ms),
                 bit_identical_to_seq: identical,
-                forward_ns: fwd_hist.snapshot(),
-                backward_ns: bwd_hist.snapshot(),
+                forward_ns: Some(fwd_hist.snapshot()),
+                backward_ns: Some(bwd_hist.snapshot()),
             });
         }
     }
@@ -214,6 +266,7 @@ fn bench_team(
     layers: usize,
     hidden: usize,
     iters: u32,
+    time_cap: usize,
     metrics: &MetricsRegistry,
 ) -> Vec<TeamRow> {
     let mut rows = Vec::new();
@@ -234,6 +287,22 @@ fn bench_team(
                         && a.expert == b.expert
                         && a.entropy.to_bits() == b.entropy.to_bits()
                 });
+            if threads > time_cap {
+                println!(
+                    "team-forward K={k} batch={batch}  threads={threads}  (timing refused: host has {time_cap} thread(s))  bit-identical={identical}"
+                );
+                rows.push(TeamRow {
+                    k,
+                    batch,
+                    threads,
+                    iters: 0,
+                    timed: false,
+                    ms_per_iter: None,
+                    bit_identical_to_seq: identical,
+                    latency_ns: None,
+                });
+                continue;
+            }
             let hist = metrics.histogram(&format!("bench.team.k{k}.t{threads}.ns"));
             let ms = time_iters(iters, &hist, || {
                 let _ = team.predict(&images);
@@ -246,9 +315,10 @@ fn bench_team(
                 batch,
                 threads,
                 iters,
-                ms_per_iter: ms,
+                timed: true,
+                ms_per_iter: Some(ms),
                 bit_identical_to_seq: identical,
-                latency_ns: hist.snapshot(),
+                latency_ns: Some(hist.snapshot()),
             });
         }
     }
@@ -258,6 +328,7 @@ fn bench_team(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let force_oversubscribed = args.iter().any(|a| a == "--force-oversubscribed");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -265,7 +336,20 @@ fn main() {
         .map_or("BENCH_kernels.json", String::as_str);
 
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
-    println!("kernel bench — host_threads={host_threads} smoke={smoke}\n");
+    let time_cap = if force_oversubscribed {
+        usize::MAX
+    } else {
+        host_threads
+    };
+    println!("kernel bench — host_threads={host_threads} smoke={smoke}");
+    if host_threads < *THREAD_COUNTS.iter().max().unwrap_or(&1) && !force_oversubscribed {
+        println!(
+            "NOTE: refusing to time thread counts above {host_threads} — oversubscribed rows \
+             would measure scheduling overhead, not speedup. Bit-identity is still checked \
+             at every thread count. Pass --force-oversubscribed to time them anyway."
+        );
+    }
+    println!();
 
     // Shake-Shake residual-branch shapes on CIFAR 32x32: the 16-channel
     // full-resolution stage and the 32-channel half-resolution stage.
@@ -290,11 +374,11 @@ fn main() {
     println!("disabled span() overhead: {null_span_ns_per_call:.2} ns/call\n");
 
     let metrics = MetricsRegistry::new();
-    let matmul = bench_matmul(&matmul_sizes, matmul_iters, &metrics);
+    let matmul = bench_matmul(&matmul_sizes, matmul_iters, time_cap, &metrics);
     println!();
-    let conv2d = bench_conv(&conv_shapes, conv_iters, &metrics);
+    let conv2d = bench_conv(&conv_shapes, conv_iters, time_cap, &metrics);
     println!();
-    let team_forward = bench_team(&[2, 4], team_batch, 3, 32, team_iters, &metrics);
+    let team_forward = bench_team(&[2, 4], team_batch, 3, 32, team_iters, time_cap, &metrics);
     println!("\n{}", metrics.snapshot().summary());
 
     let all_identical = matmul.iter().all(|r| r.bit_identical_to_seq)
@@ -304,13 +388,16 @@ fn main() {
     let report = Report {
         host_threads,
         smoke,
-        caveat: "Timings are from this host; with host_threads=1 the >1-thread rows measure \
-                 scoped-thread scheduling overhead on one core, not parallel speedup. The \
-                 bit_identical_to_seq flags are hardware-independent. Per-row *_ns fields \
-                 are teamnet-obs log2-bucket histogram snapshots (quantiles are bucket \
-                 upper bounds, honest to within 2x). null_span_ns_per_call is the cost of \
-                 a span against a disabled tracer — single-digit nanoseconds, i.e. no \
-                 measurable overhead on kernels that run for microseconds or more.",
+        timing_thread_cap: time_cap.min(*THREAD_COUNTS.iter().max().unwrap_or(&1)),
+        caveat: "Timings are from this host. Rows with timed=false exceeded the host's \
+                 parallelism and were NOT timed (fields are null): on an oversubscribed \
+                 host they would measure scheduling overhead, not speedup. The \
+                 bit_identical_to_seq flags are hardware-independent and checked at every \
+                 thread count regardless. Per-row *_ns fields are teamnet-obs log2-bucket \
+                 histogram snapshots (quantiles are bucket upper bounds, honest to within \
+                 2x). null_span_ns_per_call is the cost of a span against a disabled \
+                 tracer — single-digit nanoseconds, i.e. no measurable overhead on kernels \
+                 that run for microseconds or more.",
         null_span_ns_per_call,
         matmul,
         conv2d,

@@ -579,8 +579,15 @@ impl WorkerFsm {
 /// Why a gather frame was discarded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GatherDiscard {
-    /// Round stamp belongs to an earlier round (late reply or duplicate).
-    Stale,
+    /// Round stamp belongs to another round (late reply, duplicate, or a
+    /// reply destined for a concurrent sibling session sharing this
+    /// transport). `seen` is the stamp the frame actually carried, so
+    /// the shell can route the frame to the session that owns it
+    /// instead of dropping it on the floor (DESIGN.md §16).
+    Stale {
+        /// The round stamp found on the discarded frame.
+        seen: u64,
+    },
     /// Envelope CRC mismatch.
     Corrupt,
     /// Undecodable envelope, payload, or wrong-shaped results.
@@ -675,11 +682,13 @@ impl GatherFsm {
             }
         };
         if let Err(NetError::Stale { .. }) = env.expect_round(self.round) {
-            // A late reply to an earlier round (or a duplicate of one):
-            // never score it against this batch. Stale traffic is
-            // discarded even in strict mode — consuming it would silently
-            // corrupt the answer.
-            return GatherVerdict::Discarded(GatherDiscard::Stale);
+            // A reply stamped for some other round (late, duplicated, or
+            // owned by a concurrent session on the same transport): never
+            // score it against this batch. Stale traffic is discarded
+            // even in strict mode — consuming it would silently corrupt
+            // the answer — but the verdict carries the stamp so the
+            // shell can hand the frame to the session that owns it.
+            return GatherVerdict::Discarded(GatherDiscard::Stale { seen: env.round });
         }
         match env.kind {
             PayloadKind::Result => {
@@ -1239,7 +1248,7 @@ mod tests {
         .encode();
         assert!(matches!(
             g.step(1, &stale),
-            GatherVerdict::Discarded(GatherDiscard::Stale)
+            GatherVerdict::Discarded(GatherDiscard::Stale { seen: 99 })
         ));
         // Fresh results win the row.
         let fresh = Envelope::new(

@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use teamnet_tensor::{Tape, Tensor};
+use teamnet_tensor::{Tape, Tensor, TensorError};
 
 use crate::entropy::normalized_deviation;
 
@@ -485,7 +485,7 @@ impl DynamicGate {
         let o0 = tape.matmul(h, w2);
         let o1 = tape.add_row_broadcast(o0, b2);
         let phi_row = tape.tanh(o1);
-        let phi = tape.reshape(phi_row, &[k]);
+        let phi = tape_ok(tape.reshape(phi_row, &[k]));
 
         // δ = 1 + Δ·Φ.
         let scaled = tape.scale(phi, delta_stat);
@@ -493,7 +493,7 @@ impl DynamicGate {
 
         // Soft arg-min of δ⊙H at temperature b → ḡ(x) ∈ [0, K−1].
         let hm = tape.constant(entropy.clone());
-        let weighted = tape.mul_row_broadcast(hm, delta);
+        let weighted = tape_ok(tape.mul_row_broadcast(hm, delta));
         let neg = tape.scale(weighted, -b);
         let soft = tape.softmax_rows(neg);
         // arange(k) has exactly k elements, matching [k, 1]. lint: allow(no-expect)
@@ -501,7 +501,7 @@ impl DynamicGate {
         let gbar = tape.matmul(soft, idx);
 
         // Kronecker approximation (Eq. 7) per expert.
-        let rep = tape.broadcast_cols(gbar, k);
+        let rep = tape_ok(tape.broadcast_cols(gbar, k));
         let neg_ids = tape.constant(Tensor::arange(k).scale(-1.0));
         let shifted = tape.add_row_broadcast(rep, neg_ids);
         let dist = tape.abs(shifted);
@@ -512,7 +512,7 @@ impl DynamicGate {
         let kron = tape.tanh(sharp);
 
         // γ̄ᵢ(δ), then J = (1/K)·Σᵢ |γ̄ᵢ − targetᵢ| (Eq. 4).
-        let gamma_bar = tape.mean_axis0(kron);
+        let gamma_bar = tape_ok(tape.mean_axis0(kron));
         let tv = tape.constant(target.iter().copied().collect());
         let diff = tape.sub(gamma_bar, tv);
         let adiff = tape.abs(diff);
@@ -520,7 +520,7 @@ impl DynamicGate {
         let loss = tape.scale(total, 1.0 / k as f32);
 
         let j = tape.value(loss).item();
-        let grads = tape.backward(loss);
+        let grads = tape_ok(tape.backward(loss));
         let zeros_like = |v: &Tensor| Tensor::zeros(v.shape().clone());
         let g = [
             grads
@@ -541,6 +541,21 @@ impl DynamicGate {
                 .unwrap_or_else(|| zeros_like(&self.b2)),
         ];
         (j, g)
+    }
+}
+
+/// Unwraps a tape operation inside `gate_loss_and_grads`, where every
+/// shape is fixed by construction (`z` is `[1, N]`, the entropy matrix is
+/// validated `[n, K]` before the tape is built). The tape ops return
+/// typed errors for the sake of untrusted callers; here a failure can
+/// only mean a programming bug, so it fails as loudly as the old asserts.
+fn tape_ok<T>(result: Result<T, TensorError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            assert!(false, "gate tape shape bug: {e}");
+            unreachable!()
+        }
     }
 }
 

@@ -30,7 +30,8 @@ use crate::health::{
 };
 use crate::recover::{HostBudget, RecoveryManager, TransferManifest};
 use crate::team::TeamPrediction;
-use std::collections::BTreeMap;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,6 +59,91 @@ static NEXT_ROUND: AtomicU64 = AtomicU64::new(1);
 
 pub(crate) fn next_round() -> u64 {
     NEXT_ROUND.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Largest number of frames parked per `(round, peer)` key: bounds what a
+/// duplicate storm can make the router retain.
+const MAX_PARKED_PER_KEY: usize = 1024;
+
+/// Cross-session frame router.
+///
+/// Round stamps are process-unique, but a transport's receive mailbox is
+/// keyed `(peer, tag)` only — so when two [`InferenceSession`]s gather
+/// concurrently over one shared endpoint, session A's blocking `recv` can
+/// consume the frame stamped with session B's round. Before this router,
+/// A discarded that frame as stale and B starved until its deadline: a
+/// collision *misattribution*, the serving front-end's first casualty.
+///
+/// Every in-flight gather registers its round here ([`RoundRegistration`]
+/// is the RAII handle). A gather that pulls a frame stamped for another
+/// **registered** round parks it under `(round, sender)`; the owning
+/// session polls [`take_parked`] before each blocking wait and once more
+/// after a timeout, so a mis-delivered reply reaches its round instead of
+/// the floor. Frames stamped for unregistered rounds remain genuine stale
+/// traffic and are dropped as before.
+#[derive(Debug)]
+struct RoundRouter {
+    /// Rounds with a gather currently in flight.
+    active: BTreeSet<u64>,
+    /// Mis-delivered frames awaiting their owner, FIFO per key.
+    parked: BTreeMap<(u64, usize), VecDeque<Vec<u8>>>,
+}
+
+static ROUND_ROUTER: Mutex<RoundRouter> = Mutex::new(RoundRouter {
+    active: BTreeSet::new(),
+    parked: BTreeMap::new(),
+});
+
+/// RAII registration of an in-flight round with the [`RoundRouter`]:
+/// dropping it (on any exit path from `infer`, including errors)
+/// unregisters the round and frees whatever is still parked for it.
+#[derive(Debug)]
+struct RoundRegistration {
+    round: u64,
+}
+
+impl RoundRegistration {
+    fn new(round: u64) -> Self {
+        ROUND_ROUTER.lock().active.insert(round);
+        RoundRegistration { round }
+    }
+}
+
+impl Drop for RoundRegistration {
+    fn drop(&mut self) {
+        let round = self.round;
+        let mut router = ROUND_ROUTER.lock();
+        router.active.remove(&round);
+        router.parked.retain(|&(r, _), _| r != round);
+    }
+}
+
+/// Parks a frame from `peer` stamped for `seen` if that round has a
+/// registered gather in flight. Returns whether the frame was parked
+/// (false means it is genuine stale traffic, or the park bound is hit).
+fn park_for_round(seen: u64, peer: usize, bytes: Vec<u8>) -> bool {
+    let mut router = ROUND_ROUTER.lock();
+    if !router.active.contains(&seen) {
+        return false;
+    }
+    let queue = router.parked.entry((seen, peer)).or_default();
+    if queue.len() >= MAX_PARKED_PER_KEY {
+        return false;
+    }
+    queue.push_back(bytes);
+    true
+}
+
+/// Takes the oldest frame a sibling session parked for (`round`, `peer`),
+/// if any.
+fn take_parked(round: u64, peer: usize) -> Option<Vec<u8>> {
+    let mut router = ROUND_ROUTER.lock();
+    let queue = router.parked.get_mut(&(round, peer))?;
+    let bytes = queue.pop_front();
+    if queue.is_empty() {
+        router.parked.remove(&(round, peer));
+    }
+    bytes
 }
 
 /// Master-side inference policy.
@@ -455,6 +541,8 @@ pub struct InferenceSession {
     c_stale: Counter,
     c_corrupt: Counter,
     c_malformed: Counter,
+    c_parked: Counter,
+    c_rescued: Counter,
     m_alloc: AllocMeters,
     recovery: Option<RecoveryManager>,
 }
@@ -472,6 +560,8 @@ impl InferenceSession {
         let c_stale = config.obs.metrics.counter("round.stale_discarded");
         let c_corrupt = config.obs.metrics.counter("round.corrupt_discarded");
         let c_malformed = config.obs.metrics.counter("round.malformed_discarded");
+        let c_parked = config.obs.metrics.counter("round.cross_session_parked");
+        let c_rescued = config.obs.metrics.counter("round.cross_session_rescued");
         let m_alloc = AllocMeters::register(
             &config.obs.metrics,
             &format!("expert.{}", transport.node_id()),
@@ -484,6 +574,8 @@ impl InferenceSession {
             c_stale,
             c_corrupt,
             c_malformed,
+            c_parked,
+            c_rescued,
             m_alloc,
             recovery: None,
         }
@@ -574,6 +666,11 @@ impl InferenceSession {
         let num_nodes = transport.num_nodes();
         let n = images.dims().first().copied().unwrap_or(0);
         let round = next_round();
+        // Register with the cross-session router before any send: once the
+        // broadcast is out, a reply can race back — possibly into a
+        // concurrent sibling session's recv. The RAII guard unregisters on
+        // every exit path.
+        let _registration = RoundRegistration::new(round);
         // Spans carry the session-local index, not the process-global
         // stamp: two identical seeded sessions must emit identical traces
         // even when other sessions in the process consumed stamps first.
@@ -667,17 +764,40 @@ impl InferenceSession {
             }
             let _await_span = obs.span("gather.await", &[("peer", peer as u64)]);
             let got = loop {
-                let remaining = deadline.saturating_duration_since(self.config.clock.now());
-                let bytes = match transport.recv(peer, TAG_RESULT, remaining) {
-                    Ok(bytes) => bytes,
-                    Err(NetError::Timeout { .. }) => break false,
-                    Err(e) => return Err(e),
+                // A sibling session may already have consumed this peer's
+                // reply and parked it for us; the router is checked before
+                // every blocking wait and once more after a timeout.
+                let bytes = match take_parked(round, peer) {
+                    Some(bytes) => {
+                        self.c_rescued.inc();
+                        bytes
+                    }
+                    None => {
+                        let remaining = deadline.saturating_duration_since(self.config.clock.now());
+                        match transport.recv(peer, TAG_RESULT, remaining) {
+                            Ok(bytes) => bytes,
+                            Err(NetError::Timeout { .. }) => match take_parked(round, peer) {
+                                Some(bytes) => {
+                                    self.c_rescued.inc();
+                                    bytes
+                                }
+                                None => break false,
+                            },
+                            Err(e) => return Err(e),
+                        }
+                    }
                 };
                 match gather.step(peer, &bytes) {
                     fsm::GatherVerdict::Fatal(e) => return Err(e),
-                    fsm::GatherVerdict::Discarded(fsm::GatherDiscard::Stale) => {
-                        stale_discarded += 1;
-                        self.c_stale.inc();
+                    fsm::GatherVerdict::Discarded(fsm::GatherDiscard::Stale { seen }) => {
+                        // Stamped for a concurrent sibling session's round?
+                        // Route it there instead of dropping it.
+                        if park_for_round(seen, peer, bytes) {
+                            self.c_parked.inc();
+                        } else {
+                            stale_discarded += 1;
+                            self.c_stale.inc();
+                        }
                     }
                     fsm::GatherVerdict::Discarded(fsm::GatherDiscard::Corrupt) => {
                         corrupt_discarded += 1;

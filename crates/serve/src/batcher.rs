@@ -1,0 +1,282 @@
+//! Pure dual-trigger request coalescing with admission control.
+//!
+//! The batcher is the deterministic heart of the serving front-end: a
+//! clock-free state machine over `(request id, row count, enqueue time)`
+//! triples. Time enters only as `u64` nanosecond offsets supplied by the
+//! caller (the engine reads them off the injected [`teamnet_net::Clock`]),
+//! so every decision — admit, reject, flush — replays bit-identically
+//! under a `ManualClock` and is unit-testable without sleeping.
+//!
+//! Two triggers close a batch (DESIGN.md §16):
+//!
+//! * **size** — pending rows reach `max_batch_rows` (default 64);
+//! * **deadline** — the *oldest* pending request has waited
+//!   `max_delay_ns` (default 8 ms).
+//!
+//! Admission control bounds the pending queue at `window` rows. The
+//! window starts at `queue_cap_rows` and shrinks proportionally when the
+//! failure detector quarantines workers ([`Batcher::set_health`]): a
+//! degraded team drains the queue slower, so the front door narrows
+//! instead of letting latency grow without bound.
+
+use crate::error::ServeError;
+use std::collections::VecDeque;
+
+/// Policy knobs for [`Batcher`].
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Size trigger: flush as soon as this many rows are pending; no
+    /// single flush carries more rows than this. Requests larger than
+    /// this are rejected as malformed at submission.
+    pub max_batch_rows: usize,
+    /// Deadline trigger: flush once the oldest pending request has
+    /// waited this long, even if the batch is not full.
+    pub max_delay_ns: u64,
+    /// Admission cap at full health, in rows. The live window shrinks
+    /// below this while workers are quarantined.
+    pub queue_cap_rows: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            max_batch_rows: 64,
+            max_delay_ns: 8_000_000, // 8 ms
+            queue_cap_rows: 256,
+        }
+    }
+}
+
+/// One admitted request waiting to be flushed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRequest {
+    /// Caller-chosen request id, demuxed back to the ticket on flush.
+    pub id: u64,
+    /// Rows this request contributes to the batched tensor.
+    pub rows: usize,
+    /// Submission time, as nanoseconds on the engine's clock.
+    pub enqueued_ns: u64,
+}
+
+/// The dual-trigger coalescing queue. Pure state: no clock, no IO.
+#[derive(Debug)]
+pub struct Batcher {
+    config: BatcherConfig,
+    window: usize,
+    pending: VecDeque<PendingRequest>,
+    depth_rows: usize,
+}
+
+impl Batcher {
+    /// An empty batcher with the admission window at full health.
+    pub fn new(config: BatcherConfig) -> Self {
+        let window = config.queue_cap_rows.max(1);
+        Batcher {
+            config,
+            window,
+            pending: VecDeque::new(),
+            depth_rows: 0,
+        }
+    }
+
+    /// Rows currently pending.
+    pub fn depth_rows(&self) -> usize {
+        self.depth_rows
+    }
+
+    /// Requests currently pending.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The current admission window in rows.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Admits a request or rejects it with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] for zero-row or over-`max_batch_rows`
+    /// requests (the latter could never fit a flush);
+    /// [`ServeError::Overloaded`] when the pending queue cannot take
+    /// `rows` more within the current admission window.
+    pub fn admit(&mut self, id: u64, rows: usize, now_ns: u64) -> Result<(), ServeError> {
+        if rows == 0 {
+            return Err(ServeError::Malformed("request with zero rows".into()));
+        }
+        if rows > self.config.max_batch_rows {
+            return Err(ServeError::Malformed(format!(
+                "request of {rows} rows exceeds the batch cap of {}",
+                self.config.max_batch_rows
+            )));
+        }
+        if self.depth_rows + rows > self.window {
+            return Err(ServeError::Overloaded {
+                depth: self.depth_rows,
+                window: self.window,
+            });
+        }
+        self.depth_rows += rows;
+        self.pending.push_back(PendingRequest {
+            id,
+            rows,
+            enqueued_ns: now_ns,
+        });
+        Ok(())
+    }
+
+    /// Backpressure hook: narrows the admission window to the live
+    /// fraction of the team (`live` of `total` nodes answering), never
+    /// below one row. Already-admitted requests are unaffected.
+    pub fn set_health(&mut self, live: usize, total: usize) {
+        let cap = self.config.queue_cap_rows.max(1);
+        self.window = if total == 0 {
+            cap
+        } else {
+            (cap * live.min(total) / total).max(1)
+        };
+    }
+
+    /// When the deadline trigger for the oldest pending request fires,
+    /// as nanoseconds on the engine's clock. `None` when idle.
+    pub fn due_at(&self) -> Option<u64> {
+        self.pending
+            .front()
+            .map(|p| p.enqueued_ns.saturating_add(self.config.max_delay_ns))
+    }
+
+    /// Whether a flush is due at `now_ns`: the size trigger (a full
+    /// batch is pending) or the deadline trigger (the oldest request has
+    /// waited out `max_delay_ns`).
+    pub fn ready(&self, now_ns: u64) -> bool {
+        if self.depth_rows >= self.config.max_batch_rows {
+            return true;
+        }
+        self.due_at().is_some_and(|due| now_ns >= due)
+    }
+
+    /// Pops the next flush: whole requests, oldest first, while their
+    /// rows fit in `max_batch_rows` (always at least one — admission
+    /// guarantees every pending request fits alone). Returns an empty
+    /// vec when idle. Callers decide *when* via [`Batcher::ready`]; this
+    /// method only decides *what*.
+    pub fn take_batch(&mut self) -> Vec<PendingRequest> {
+        let mut batch = Vec::new();
+        let mut rows = 0usize;
+        while let Some(front) = self.pending.front() {
+            if !batch.is_empty() && rows + front.rows > self.config.max_batch_rows {
+                break;
+            }
+            rows += front.rows;
+            self.depth_rows -= front.rows;
+            // The front exists: the loop condition just matched it.
+            if let Some(p) = self.pending.pop_front() {
+                batch.push(p);
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batcher(max_rows: usize, cap: usize) -> Batcher {
+        Batcher::new(BatcherConfig {
+            max_batch_rows: max_rows,
+            max_delay_ns: 8_000_000,
+            queue_cap_rows: cap,
+        })
+    }
+
+    #[test]
+    fn size_trigger_fires_at_full_batch() {
+        let mut b = batcher(4, 64);
+        b.admit(1, 2, 0).unwrap();
+        assert!(!b.ready(0));
+        b.admit(2, 2, 0).unwrap();
+        assert!(b.ready(0), "4 of 4 rows pending must be ready");
+    }
+
+    #[test]
+    fn deadline_trigger_fires_on_oldest_age() {
+        let mut b = batcher(64, 64);
+        b.admit(1, 1, 1_000).unwrap();
+        assert!(!b.ready(8_000_999));
+        assert!(b.ready(8_001_000), "oldest is 8 ms old");
+        assert_eq!(b.due_at(), Some(8_001_000));
+    }
+
+    #[test]
+    fn admission_rejects_over_window() {
+        let mut b = batcher(8, 10);
+        b.admit(1, 8, 0).unwrap();
+        let err = b.admit(2, 3, 0).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                depth: 8,
+                window: 10
+            }
+        );
+        // A smaller request still fits.
+        b.admit(3, 2, 0).unwrap();
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        let mut b = batcher(8, 64);
+        assert!(matches!(b.admit(1, 0, 0), Err(ServeError::Malformed(_))));
+        assert!(matches!(b.admit(1, 9, 0), Err(ServeError::Malformed(_))));
+    }
+
+    #[test]
+    fn quarantine_shrinks_window_and_recovery_restores_it() {
+        let mut b = batcher(8, 90);
+        assert_eq!(b.window(), 90);
+        b.set_health(1, 3);
+        assert_eq!(b.window(), 30);
+        b.set_health(0, 3);
+        assert_eq!(b.window(), 1, "window never collapses to zero");
+        b.set_health(3, 3);
+        assert_eq!(b.window(), 90);
+    }
+
+    #[test]
+    fn take_batch_is_whole_request_fifo() {
+        let mut b = batcher(4, 64);
+        b.admit(1, 2, 0).unwrap();
+        b.admit(2, 2, 1).unwrap();
+        b.admit(3, 1, 2).unwrap();
+        let batch = b.take_batch();
+        assert_eq!(
+            batch.iter().map(|p| p.id).collect::<Vec<_>>(),
+            vec![1, 2],
+            "request 3 would overflow the 4-row cap"
+        );
+        assert_eq!(b.depth_rows(), 1);
+        let rest = b.take_batch();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest.first().map(|p| p.id), Some(3));
+        assert!(b.is_empty());
+        assert!(b.take_batch().is_empty());
+    }
+
+    #[test]
+    fn oversized_front_flushes_alone() {
+        let mut b = batcher(4, 64);
+        b.admit(1, 4, 0).unwrap();
+        b.admit(2, 1, 1).unwrap();
+        let batch = b.take_batch();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.first().map(|p| p.rows), Some(4));
+    }
+}

@@ -1,0 +1,581 @@
+//! The serving engine: admission → coalesce → one collaborative round →
+//! demux.
+//!
+//! Many concurrent clients [`ServeHandle::submit`] row-batched tensors;
+//! the engine coalesces whatever is pending under the [`Batcher`]'s dual
+//! trigger into one batched tensor, runs it through a single
+//! [`InferenceSession::infer`] round (broadcast to the whole team, argmin
+//! entropy per row), and demuxes each request's rows back to its
+//! [`Ticket`]. Because expert forwards are row-independent, every request
+//! receives byte-for-byte the predictions a solo `infer` of its own
+//! tensor would have produced — `tests/serve_props.rs` pins that
+//! bijection property.
+//!
+//! Time is read exclusively from the injected [`Clock`] as nanosecond
+//! offsets from the engine's construction instant, so a `ManualClock`
+//! makes every admission decision, flush trigger and latency observation
+//! deterministic (the serve soak asserts byte-identical trace + metrics
+//! transcripts across identical seeds).
+//!
+//! Threading model: [`ServeEngine::pump_now`] is the deterministic
+//! single-threaded driver (tests, soaks); [`ServeEngine::run`] wraps it
+//! in a condvar loop for the TCP front-end, flushing when the deadline
+//! trigger fires or a submission fills the batch.
+
+use crate::batcher::{Batcher, BatcherConfig, PendingRequest};
+use crate::error::ServeError;
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use teamnet_core::health::PeerHealth;
+use teamnet_core::runtime::{InferenceSession, MasterConfig};
+use teamnet_core::TeamPrediction;
+use teamnet_net::{Clock, Transport};
+use teamnet_nn::Sequential;
+use teamnet_obs::{Counter, Gauge, Histogram, Obs};
+use teamnet_tensor::Tensor;
+
+/// Serving policy: batching knobs, the expected per-row shape, and the
+/// inference policy of the underlying session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Dual-trigger batching and admission policy.
+    pub batch: BatcherConfig,
+    /// Required per-row feature dims: a submitted tensor must be shaped
+    /// `[rows, input_dims...]`. Mis-shaped requests are rejected as
+    /// [`ServeError::Malformed`] at the front door — they must never
+    /// reach (let alone panic) a worker.
+    pub input_dims: Vec<usize>,
+    /// Policy for the collaborative rounds underneath; its `clock` and
+    /// `obs` also drive the serving front-end, so spans, metrics and
+    /// batching deadlines share one timeline.
+    pub master: MasterConfig,
+}
+
+/// The eventual outcome of one admitted request.
+type TicketResult = Result<Vec<TeamPrediction>, ServeError>;
+
+/// Shared slot a request's result is delivered into.
+#[derive(Debug, Default)]
+struct TicketSlot {
+    result: Mutex<Option<TicketResult>>,
+    ready: Condvar,
+}
+
+/// A claim check for one submitted request: the in-process client half
+/// of the serving protocol (the framed TCP front-end resolves tickets
+/// into wire replies the same way).
+#[derive(Debug, Clone)]
+pub struct Ticket {
+    slot: Arc<TicketSlot>,
+}
+
+impl Ticket {
+    fn new() -> Self {
+        Ticket {
+            slot: Arc::new(TicketSlot::default()),
+        }
+    }
+
+    fn fill(&self, result: TicketResult) {
+        let mut slot = self.slot.result.lock();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.slot.ready.notify_all();
+        }
+    }
+
+    /// Non-blocking poll; `None` until the request completes.
+    pub fn try_take(&self) -> Option<TicketResult> {
+        self.slot.result.lock().clone()
+    }
+
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ServeError`] the engine rejected the request with.
+    pub fn wait(&self) -> TicketResult {
+        let mut slot = self.slot.result.lock();
+        loop {
+            if let Some(result) = slot.clone() {
+                return result;
+            }
+            self.slot.ready.wait(&mut slot);
+        }
+    }
+
+    /// Blocks until the request completes or `timeout` elapses
+    /// (`None` on timeout).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<TicketResult> {
+        let deadline = Instant::now() + timeout; // lint: allow(det-clock)
+        let mut slot = self.slot.result.lock();
+        loop {
+            if let Some(result) = slot.clone() {
+                return Some(result);
+            }
+            if self.slot.ready.wait_until(&mut slot, deadline).timed_out() {
+                return slot.clone();
+            }
+        }
+    }
+}
+
+/// One admitted request's payload, keyed by id until its flush.
+#[derive(Debug)]
+struct QueuedRequest {
+    data: Vec<f32>,
+    ticket: Ticket,
+}
+
+/// Mutable front-door state behind one lock.
+#[derive(Debug)]
+struct FrontState {
+    batcher: Batcher,
+    requests: BTreeMap<u64, QueuedRequest>,
+    next_id: u64,
+    closed: bool,
+}
+
+/// The shared front door: admission state plus the clock/obs handles
+/// submission needs.
+#[derive(Debug)]
+struct Front {
+    state: Mutex<FrontState>,
+    /// Wakes the [`ServeEngine::run`] loop on submission or close.
+    wake: Condvar,
+    clock: Arc<dyn Clock>,
+    /// All engine timestamps are offsets from here on `clock`.
+    origin: Instant,
+    input_dims: Vec<usize>,
+    obs: Obs,
+    g_depth: Gauge,
+    c_admitted: Counter,
+    c_rej_overload: Counter,
+    c_rej_malformed: Counter,
+}
+
+impl Front {
+    fn now_ns(&self) -> u64 {
+        self.clock
+            .now()
+            .saturating_duration_since(self.origin)
+            .as_nanos() as u64
+    }
+}
+
+/// Cloneable submission handle: the in-process channel client.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    front: Arc<Front>,
+}
+
+impl ServeHandle {
+    /// Submits one request shaped `[rows, input_dims...]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] for a mis-shaped tensor,
+    /// [`ServeError::Overloaded`] when admission control refuses it,
+    /// [`ServeError::Closed`] after shutdown.
+    pub fn submit(&self, input: &Tensor) -> Result<Ticket, ServeError> {
+        let dims = input.dims();
+        let (rows, features) = match dims.split_first() {
+            Some((&rows, features)) => (rows, features),
+            None => return Err(ServeError::Malformed("rank-0 request tensor".into())),
+        };
+        if features != self.front.input_dims.as_slice() {
+            return Err(ServeError::Malformed(format!(
+                "request rows shaped {features:?}, this engine serves {:?}",
+                self.front.input_dims
+            )));
+        }
+        let now_ns = self.front.now_ns();
+        let mut st = self.front.state.lock();
+        if st.closed {
+            return Err(ServeError::Closed);
+        }
+        let id = st.next_id;
+        match st.batcher.admit(id, rows, now_ns) {
+            Ok(()) => {}
+            Err(e) => {
+                match &e {
+                    ServeError::Overloaded { .. } => self.front.c_rej_overload.inc(),
+                    _ => self.front.c_rej_malformed.inc(),
+                }
+                return Err(e);
+            }
+        }
+        st.next_id += 1;
+        let ticket = Ticket::new();
+        st.requests.insert(
+            id,
+            QueuedRequest {
+                data: input.data().to_vec(),
+                ticket: ticket.clone(),
+            },
+        );
+        self.front.c_admitted.inc();
+        self.front.g_depth.set(st.batcher.depth_rows() as i64);
+        drop(st);
+        self.front.wake.notify_all();
+        Ok(ticket)
+    }
+
+    /// Rows currently pending in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.front.state.lock().batcher.depth_rows()
+    }
+
+    /// The current admission window in rows: the configured queue cap
+    /// scaled down to the live fraction of the team while the failure
+    /// detector holds workers in quarantine (backpressure).
+    pub fn admission_window(&self) -> usize {
+        self.front.state.lock().batcher.window()
+    }
+
+    /// Marks the engine closed: future submissions fail with
+    /// [`ServeError::Closed`]; pending requests still flush.
+    pub fn close(&self) {
+        self.front.state.lock().closed = true;
+        self.front.wake.notify_all();
+    }
+}
+
+/// The master-side serving engine. Owns the [`InferenceSession`] (so
+/// worker health and quarantine decisions persist across batches) and
+/// the master's local expert.
+#[derive(Debug)]
+pub struct ServeEngine {
+    front: Arc<Front>,
+    session: InferenceSession,
+    expert: Sequential,
+    h_batch_rows: Arc<Histogram>,
+    h_latency: Arc<Histogram>,
+    c_rounds_failed: Counter,
+}
+
+impl ServeEngine {
+    /// Builds an engine serving `transport`'s cluster with the master's
+    /// local `expert`.
+    pub fn new(transport: &dyn Transport, expert: Sequential, config: ServeConfig) -> Self {
+        let ServeConfig {
+            batch,
+            input_dims,
+            master,
+        } = config;
+        let obs = master.obs.clone();
+        let clock = Arc::clone(&master.clock);
+        let session = InferenceSession::new(transport, master);
+        let front = Arc::new(Front {
+            state: Mutex::new(FrontState {
+                batcher: Batcher::new(batch),
+                requests: BTreeMap::new(),
+                next_id: 0,
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            origin: clock.now(),
+            clock,
+            input_dims,
+            g_depth: obs.metrics.gauge("serve.queue_depth"),
+            c_admitted: obs.metrics.counter("serve.admitted"),
+            c_rej_overload: obs.metrics.counter("serve.rejected.overloaded"),
+            c_rej_malformed: obs.metrics.counter("serve.rejected.malformed"),
+            obs,
+        });
+        ServeEngine {
+            h_batch_rows: front.obs.metrics.histogram("serve.batch.rows"),
+            h_latency: front.obs.metrics.histogram("serve.latency.ns"),
+            c_rounds_failed: front.obs.metrics.counter("serve.rounds_failed"),
+            front,
+            session,
+            expert,
+        }
+    }
+
+    /// A new submission handle onto this engine.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            front: Arc::clone(&self.front),
+        }
+    }
+
+    /// Read access to the underlying session's failure detector.
+    pub fn session(&self) -> &InferenceSession {
+        &self.session
+    }
+
+    /// Flushes one batch *if a trigger is due now* (size, deadline, or
+    /// close-drain); returns the number of requests completed. This is
+    /// the deterministic driver: tests advance a `ManualClock`, submit,
+    /// and call this — no engine thread, no real sleeping.
+    pub fn pump_now(&mut self, transport: &dyn Transport) -> usize {
+        let now_ns = self.front.now_ns();
+        let flush: Vec<(PendingRequest, QueuedRequest)> = {
+            let mut st = self.front.state.lock();
+            let due = st.batcher.ready(now_ns) || (st.closed && !st.batcher.is_empty());
+            if !due {
+                return 0;
+            }
+            let _coalesce_span = self.front.obs.span(
+                "serve.coalesce",
+                &[
+                    ("pending_rows", st.batcher.depth_rows() as u64),
+                    ("pending_requests", st.batcher.len() as u64),
+                ],
+            );
+            let popped = st.batcher.take_batch();
+            self.front.g_depth.set(st.batcher.depth_rows() as i64);
+            popped
+                .into_iter()
+                .filter_map(|p| {
+                    let req = st.requests.remove(&p.id)?;
+                    Some((p, req))
+                })
+                .collect()
+        };
+        if flush.is_empty() {
+            return 0;
+        }
+        let rows_total: usize = flush.iter().map(|(p, _)| p.rows).sum();
+        let mut data =
+            Vec::with_capacity(rows_total * self.front.input_dims.iter().product::<usize>());
+        for (_, req) in &flush {
+            data.extend_from_slice(&req.data);
+        }
+        let mut dims = vec![rows_total];
+        dims.extend_from_slice(&self.front.input_dims);
+        let images = match Tensor::from_vec(data, dims) {
+            Ok(t) => t,
+            Err(e) => {
+                // Unreachable by construction (rows × validated feature
+                // dims), but a typed rejection beats a panic if it ever
+                // happens.
+                let err = ServeError::Malformed(format!("batched tensor: {e}"));
+                for (_, req) in &flush {
+                    req.ticket.fill(Err(err.clone()));
+                }
+                return flush.len();
+            }
+        };
+        self.h_batch_rows.observe(rows_total as u64);
+        let outcome = {
+            let _flush_span = self.front.obs.span(
+                "serve.flush",
+                &[
+                    ("rows", rows_total as u64),
+                    ("requests", flush.len() as u64),
+                ],
+            );
+            self.session.infer(transport, &mut self.expert, &images)
+        };
+        let done_ns = self.front.now_ns();
+        let completed = flush.len();
+        match outcome {
+            Ok(report) => {
+                let mut offset = 0usize;
+                for (p, req) in &flush {
+                    let preds = report
+                        .predictions
+                        .get(offset..offset + p.rows)
+                        .map(<[TeamPrediction]>::to_vec)
+                        .ok_or_else(|| {
+                            ServeError::Net("round returned too few prediction rows".into())
+                        });
+                    offset += p.rows;
+                    self.h_latency
+                        .observe(done_ns.saturating_sub(p.enqueued_ns));
+                    req.ticket.fill(preds);
+                }
+                // Backpressure: narrow the admission window to the live
+                // fraction of the team the detector reports.
+                let total = report.peers.len().max(1);
+                let live = report
+                    .peers
+                    .values()
+                    .filter(|pr| pr.health == PeerHealth::Live)
+                    .count();
+                let mut st = self.front.state.lock();
+                st.batcher.set_health(live, total);
+            }
+            Err(e) => {
+                self.c_rounds_failed.inc();
+                let err = ServeError::Net(e.to_string());
+                for (_, req) in &flush {
+                    req.ticket.fill(Err(err.clone()));
+                }
+            }
+        }
+        completed
+    }
+
+    /// Runs the engine until [`ServeHandle::close`] is called and the
+    /// queue has drained: the threaded driver behind the TCP front-end.
+    /// Sleeps on the front-door condvar between flushes, waking early
+    /// when a submission arrives (it may have filled the batch).
+    pub fn run(&mut self, transport: &dyn Transport) {
+        loop {
+            {
+                let mut st = self.front.state.lock();
+                loop {
+                    if st.closed {
+                        break;
+                    }
+                    let now_ns = self.front.now_ns();
+                    if st.batcher.ready(now_ns) {
+                        break;
+                    }
+                    match st.batcher.due_at() {
+                        None => self.front.wake.wait(&mut st),
+                        Some(due) => {
+                            let timeout = Duration::from_nanos(due.saturating_sub(now_ns));
+                            let _ = self.front.wake.wait_for(&mut st, timeout);
+                        }
+                    }
+                }
+                if st.closed && st.batcher.is_empty() {
+                    return;
+                }
+            }
+            self.pump_now(transport);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teamnet_core::runtime::{serve_worker, shutdown_workers};
+    use teamnet_net::{ChannelTransport, ManualClock};
+    use teamnet_nn::ModelSpec;
+
+    fn expert(seed: u64) -> Sequential {
+        teamnet_core::build_expert(&ModelSpec::mlp(2, 16), seed)
+    }
+
+    fn config(clock: Arc<ManualClock>) -> ServeConfig {
+        ServeConfig {
+            batch: BatcherConfig {
+                max_batch_rows: 4,
+                max_delay_ns: 8_000_000,
+                queue_cap_rows: 16,
+            },
+            input_dims: vec![1, 28, 28],
+            master: MasterConfig {
+                worker_timeout: Duration::from_millis(500),
+                clock,
+                ..MasterConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn submit_pump_demux_round_trip() {
+        let nodes = ChannelTransport::mesh(2);
+        let clock = Arc::new(ManualClock::new());
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut e = expert(1);
+                serve_worker(&nodes[1], 0, &mut e).unwrap();
+            });
+            let mut engine = ServeEngine::new(&nodes[0], expert(0), config(Arc::clone(&clock)));
+            let handle = engine.handle();
+            let t1 = handle.submit(&Tensor::full([1, 1, 28, 28], 0.2)).unwrap();
+            let t2 = handle.submit(&Tensor::full([2, 1, 28, 28], 0.7)).unwrap();
+            // Not due yet: neither trigger has fired.
+            assert_eq!(engine.pump_now(&nodes[0]), 0);
+            assert!(t1.try_take().is_none());
+            // The 8 ms deadline fires on the virtual clock.
+            clock.advance(Duration::from_millis(8));
+            assert_eq!(engine.pump_now(&nodes[0]), 2);
+            assert_eq!(t1.wait().unwrap().len(), 1);
+            assert_eq!(t2.wait().unwrap().len(), 2);
+            shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn size_trigger_flushes_without_clock_motion() {
+        let nodes = ChannelTransport::mesh(2);
+        let clock = Arc::new(ManualClock::new());
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut e = expert(1);
+                serve_worker(&nodes[1], 0, &mut e).unwrap();
+            });
+            let mut engine = ServeEngine::new(&nodes[0], expert(0), config(Arc::clone(&clock)));
+            let handle = engine.handle();
+            let tickets: Vec<Ticket> = (0..4)
+                .map(|i| {
+                    handle
+                        .submit(&Tensor::full([1, 1, 28, 28], 0.1 * i as f32))
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(engine.pump_now(&nodes[0]), 4, "4 of 4 rows: size trigger");
+            for t in tickets {
+                assert_eq!(t.wait().unwrap().len(), 1);
+            }
+            shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn malformed_and_overload_rejected_typed() {
+        let nodes = ChannelTransport::mesh(1);
+        let clock = Arc::new(ManualClock::new());
+        let engine = ServeEngine::new(&nodes[0], expert(0), config(Arc::clone(&clock)));
+        let handle = engine.handle();
+        // Wrong feature dims.
+        assert!(matches!(
+            handle.submit(&Tensor::full([1, 7, 7], 0.0)),
+            Err(ServeError::Malformed(_))
+        ));
+        // Over the 4-row batch cap.
+        assert!(matches!(
+            handle.submit(&Tensor::full([5, 1, 28, 28], 0.0)),
+            Err(ServeError::Malformed(_))
+        ));
+        // Fill the 16-row admission window with 4-row requests, then
+        // overflow it.
+        for _ in 0..4 {
+            handle.submit(&Tensor::full([4, 1, 28, 28], 0.0)).unwrap();
+        }
+        assert!(matches!(
+            handle.submit(&Tensor::full([1, 1, 28, 28], 0.0)),
+            Err(ServeError::Overloaded {
+                depth: 16,
+                window: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn close_drains_then_rejects() {
+        let nodes = ChannelTransport::mesh(2);
+        let clock = Arc::new(ManualClock::new());
+        crossbeam::thread::scope(|scope| {
+            scope.spawn(|_| {
+                let mut e = expert(1);
+                serve_worker(&nodes[1], 0, &mut e).unwrap();
+            });
+            let mut engine = ServeEngine::new(&nodes[0], expert(0), config(Arc::clone(&clock)));
+            let handle = engine.handle();
+            let ticket = handle.submit(&Tensor::full([1, 1, 28, 28], 0.4)).unwrap();
+            handle.close();
+            // Close-drain: the pending request still completes.
+            assert_eq!(engine.pump_now(&nodes[0]), 1);
+            assert!(ticket.wait().is_ok());
+            assert!(matches!(
+                handle.submit(&Tensor::full([1, 1, 28, 28], 0.4)),
+                Err(ServeError::Closed)
+            ));
+            shutdown_workers(&nodes[0]).unwrap();
+        })
+        .unwrap();
+    }
+}

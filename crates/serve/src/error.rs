@@ -1,0 +1,138 @@
+//! Typed errors surfaced to serving clients.
+//!
+//! Every way a request can fail to produce predictions maps onto one
+//! [`ServeError`] variant, so clients (in-process tickets and framed TCP
+//! alike) receive a typed rejection instead of a hung connection or a
+//! worker panic. `cargo xtask protocol` checks that every variant is both
+//! produced somewhere outside this file and rendered back onto the wire.
+
+use std::fmt;
+use teamnet_net::NetError;
+
+/// Why a serving request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control refused the request: the pending queue already
+    /// holds `depth` rows against a current admission window of `window`
+    /// rows (the window shrinks while workers are quarantined).
+    Overloaded {
+        /// Queued rows at the moment of rejection.
+        depth: usize,
+        /// Admission window (max queued rows) at the moment of rejection.
+        window: usize,
+    },
+    /// The request itself was undecodable or ill-shaped (wrong feature
+    /// dims, zero rows, oversized batch, broken frame).
+    Malformed(String),
+    /// The collaborative round underneath failed with a transport error;
+    /// carries the rendered [`NetError`] (the error itself is not
+    /// cloneable, and one failed round fans out to every ticket in the
+    /// batch).
+    Net(String),
+    /// The serving engine shut down before the request completed.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, window } => write!(
+                f,
+                "overloaded: {depth} rows queued against an admission window of {window}"
+            ),
+            ServeError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ServeError::Net(e) => write!(f, "inference round failed: {e}"),
+            ServeError::Closed => write!(f, "serving engine closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<NetError> for ServeError {
+    fn from(e: NetError) -> Self {
+        ServeError::Net(e.to_string())
+    }
+}
+
+impl ServeError {
+    /// Stable wire code for the framed TCP protocol (see
+    /// [`crate::wire`]): rejections cross the network as
+    /// `(code, detail-string)` and decode back to a best-effort
+    /// equivalent variant.
+    pub fn wire_code(&self) -> u8 {
+        match self {
+            ServeError::Overloaded { .. } => 1,
+            ServeError::Malformed(_) => 2,
+            ServeError::Net(_) => 3,
+            ServeError::Closed => 4,
+        }
+    }
+
+    /// Human-readable detail carried alongside [`ServeError::wire_code`].
+    /// For the string-carrying variants this is the inner detail itself,
+    /// so `from_wire(code, detail)` round-trips them exactly.
+    pub fn wire_detail(&self) -> String {
+        match self {
+            ServeError::Malformed(what) | ServeError::Net(what) => what.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Reconstructs a rejection from its wire `(code, detail)` pair. The
+    /// structured fields of [`ServeError::Overloaded`] and the typed
+    /// [`NetError`] do not round-trip — the client-side value preserves
+    /// the category and the rendered detail, which is all a remote caller
+    /// can act on.
+    pub fn from_wire(code: u8, detail: &str) -> Self {
+        match code {
+            1 => ServeError::Overloaded {
+                depth: 0,
+                window: 0,
+            },
+            2 => ServeError::Malformed(detail.to_string()),
+            4 => ServeError::Closed,
+            _ => ServeError::Net(detail.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::Overloaded {
+            depth: 130,
+            window: 128,
+        };
+        assert!(e.to_string().contains("130"));
+        assert!(e.to_string().contains("128"));
+        let e = ServeError::Malformed("bad dims".into());
+        assert!(e.to_string().contains("bad dims"));
+    }
+
+    #[test]
+    fn net_errors_convert() {
+        let e: ServeError = NetError::Closed.into();
+        assert_eq!(e, ServeError::Net(NetError::Closed.to_string()));
+    }
+
+    #[test]
+    fn wire_codes_round_trip_category() {
+        let cases = [
+            ServeError::Overloaded {
+                depth: 9,
+                window: 8,
+            },
+            ServeError::Malformed("x".into()),
+            ServeError::Net(NetError::Closed.to_string()),
+            ServeError::Closed,
+        ];
+        for e in cases {
+            let back = ServeError::from_wire(e.wire_code(), &e.wire_detail());
+            assert_eq!(back.wire_code(), e.wire_code(), "{e:?} -> {back:?}");
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The framed client protocol: how serving requests and replies cross a
+//! byte stream.
+//!
+//! This is deliberately *not* the cluster's [`teamnet_net::Envelope`]
+//! protocol: clients are outside the trust and versioning boundary of the
+//! master↔worker mesh, so they get their own minimal framing —
+//! `magic | kind | request id | length | crc32 | payload` — with the same
+//! defensive posture (length bound before allocation, CRC before decode).
+//! `cargo xtask protocol` audits that every [`ServeMsgKind`] is
+//! constructed by real producers and dispatched in the TCP front-end
+//! (`crates/serve/src/tcp.rs`).
+
+use crate::error::ServeError;
+use std::io::{Read, Write};
+use teamnet_core::TeamPrediction;
+use teamnet_net::crc32;
+
+/// Frame magic: `b"TSRV"` little-endian, so a stray connection speaking
+/// the wrong protocol fails fast instead of mis-decoding.
+pub const SERVE_MAGIC: u32 = 0x5652_5354;
+
+/// Frame header length: magic(4) | kind(1) | req_id(8) | len(4) | crc(4).
+pub const SERVE_HEADER_LEN: usize = 21;
+
+/// Largest accepted payload: a 64-row batch of 28×28 images is ~200 KiB;
+/// 16 MiB leaves room for generous feature dims while bounding what a
+/// malicious length field can make the server allocate.
+pub const MAX_SERVE_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// Message kinds on a serving connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMsgKind {
+    /// Client → server: one inference request carrying a tensor payload
+    /// ([`teamnet_net::codec::encode_f32s`]).
+    Request,
+    /// Server → client: per-row winning predictions for a request.
+    Reply,
+    /// Server → client: a typed [`ServeError`] rejection.
+    Reject,
+    /// Client → server: clean end of session; the connection closes.
+    Goodbye,
+}
+
+impl ServeMsgKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            ServeMsgKind::Request => 1,
+            ServeMsgKind::Reply => 2,
+            ServeMsgKind::Reject => 3,
+            ServeMsgKind::Goodbye => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ServeError> {
+        match b {
+            1 => Ok(ServeMsgKind::Request),
+            2 => Ok(ServeMsgKind::Reply),
+            3 => Ok(ServeMsgKind::Reject),
+            4 => Ok(ServeMsgKind::Goodbye),
+            other => Err(ServeError::Malformed(format!(
+                "unknown serve message kind {other}"
+            ))),
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeFrame {
+    /// What the frame is.
+    pub kind: ServeMsgKind,
+    /// Which request it belongs to (client-chosen, echoed by the server).
+    pub req_id: u64,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one frame.
+pub fn encode_serve_frame(kind: ServeMsgKind, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(SERVE_HEADER_LEN + payload.len());
+    out.extend_from_slice(&SERVE_MAGIC.to_le_bytes());
+    out.push(kind.to_byte());
+    out.extend_from_slice(&req_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame to a byte stream.
+///
+/// # Errors
+///
+/// [`ServeError::Closed`] when the stream is gone.
+pub fn write_serve_frame(
+    writer: &mut dyn Write,
+    kind: ServeMsgKind,
+    req_id: u64,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    let bytes = encode_serve_frame(kind, req_id, payload);
+    writer
+        .write_all(&bytes)
+        .and_then(|()| writer.flush())
+        .map_err(|_| ServeError::Closed)
+}
+
+/// Reads one frame from a byte stream, validating magic, length bound
+/// and CRC before handing the payload out.
+///
+/// # Errors
+///
+/// [`ServeError::Closed`] on EOF / stream errors;
+/// [`ServeError::Malformed`] for wrong magic, oversized length, bad CRC
+/// or an unknown kind byte.
+pub fn read_serve_frame(reader: &mut dyn Read) -> Result<ServeFrame, ServeError> {
+    let mut header = [0u8; SERVE_HEADER_LEN];
+    reader
+        .read_exact(&mut header)
+        .map_err(|_| ServeError::Closed)?;
+    let word = |at: usize| -> u32 {
+        header
+            .get(at..at + 4)
+            .and_then(|b| b.try_into().ok())
+            .map(u32::from_le_bytes)
+            .unwrap_or(0)
+    };
+    if word(0) != SERVE_MAGIC {
+        return Err(ServeError::Malformed("bad frame magic".into()));
+    }
+    let kind = ServeMsgKind::from_byte(header.get(4).copied().unwrap_or(0))?;
+    let req_id = header
+        .get(5..13)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
+        .unwrap_or(0);
+    let len = word(13) as usize;
+    let crc = word(17);
+    if len > MAX_SERVE_PAYLOAD {
+        return Err(ServeError::Malformed(format!(
+            "frame payload of {len} bytes exceeds the {MAX_SERVE_PAYLOAD}-byte bound"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|_| ServeError::Closed)?;
+    if crc32(&payload) != crc {
+        return Err(ServeError::Malformed("frame crc mismatch".into()));
+    }
+    Ok(ServeFrame {
+        kind,
+        req_id,
+        payload,
+    })
+}
+
+/// Encodes a [`ServeMsgKind::Reply`] payload: per-row winners as
+/// `count: u32 | per row (label: u32 | expert: u32 | entropy: f32)`.
+pub fn encode_predictions(preds: &[TeamPrediction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + preds.len() * 12);
+    out.extend_from_slice(&(preds.len() as u32).to_le_bytes());
+    for p in preds {
+        out.extend_from_slice(&(p.label as u32).to_le_bytes());
+        out.extend_from_slice(&(p.expert as u32).to_le_bytes());
+        out.extend_from_slice(&p.entropy.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a [`ServeMsgKind::Reply`] payload.
+///
+/// # Errors
+///
+/// [`ServeError::Malformed`] for truncated or over-declared payloads.
+pub fn decode_predictions(bytes: &[u8]) -> Result<Vec<TeamPrediction>, ServeError> {
+    let count = bytes
+        .get(..4)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| ServeError::Malformed("reply payload truncated".into()))?
+        as usize;
+    let body = bytes.get(4..).unwrap_or_default();
+    if body.len() != count * 12 {
+        return Err(ServeError::Malformed(format!(
+            "reply declares {count} rows but carries {} bytes",
+            body.len()
+        )));
+    }
+    Ok(body
+        .chunks_exact(12)
+        .map(|row| {
+            let field = |at: usize| {
+                row.get(at..at + 4)
+                    .and_then(|b| b.try_into().ok())
+                    .unwrap_or([0u8; 4])
+            };
+            TeamPrediction {
+                label: u32::from_le_bytes(field(0)) as usize,
+                expert: u32::from_le_bytes(field(4)) as usize,
+                entropy: f32::from_le_bytes(field(8)),
+            }
+        })
+        .collect())
+}
+
+/// Encodes a [`ServeMsgKind::Reject`] payload: `code: u8 | detail utf-8`.
+pub fn encode_reject(err: &ServeError) -> Vec<u8> {
+    let mut out = vec![err.wire_code()];
+    out.extend_from_slice(err.wire_detail().as_bytes());
+    out
+}
+
+/// Decodes a [`ServeMsgKind::Reject`] payload back into the
+/// client-visible [`ServeError`].
+///
+/// # Errors
+///
+/// [`ServeError::Malformed`] for an empty payload.
+pub fn decode_reject(bytes: &[u8]) -> Result<ServeError, ServeError> {
+    let code = bytes
+        .first()
+        .copied()
+        .ok_or_else(|| ServeError::Malformed("empty reject payload".into()))?;
+    let detail = String::from_utf8_lossy(bytes.get(1..).unwrap_or_default());
+    Ok(ServeError::from_wire(code, &detail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let bytes = encode_serve_frame(ServeMsgKind::Request, 42, b"payload");
+        let frame = read_serve_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(frame.kind, ServeMsgKind::Request);
+        assert_eq!(frame.req_id, 42);
+        assert_eq!(frame.payload, b"payload");
+    }
+
+    #[test]
+    fn bad_magic_and_bad_crc_rejected() {
+        let mut bytes = encode_serve_frame(ServeMsgKind::Reply, 1, b"abc");
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            read_serve_frame(&mut bytes.as_slice()),
+            Err(ServeError::Malformed(_))
+        ));
+        let mut bytes = encode_serve_frame(ServeMsgKind::Reply, 1, b"abc");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            read_serve_frame(&mut bytes.as_slice()),
+            Err(ServeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_rejected_truncation_is_closed() {
+        let mut bytes = encode_serve_frame(ServeMsgKind::Goodbye, 7, &[]);
+        bytes[4] = 99;
+        assert!(matches!(
+            read_serve_frame(&mut bytes.as_slice()),
+            Err(ServeError::Malformed(_))
+        ));
+        let bytes = encode_serve_frame(ServeMsgKind::Request, 7, b"xyz");
+        assert!(matches!(
+            read_serve_frame(&mut bytes[..bytes.len() - 1].as_ref()),
+            Err(ServeError::Closed)
+        ));
+    }
+
+    #[test]
+    fn predictions_round_trip() {
+        let preds = vec![
+            TeamPrediction {
+                label: 3,
+                expert: 1,
+                entropy: 0.25,
+            },
+            TeamPrediction {
+                label: 9,
+                expert: 0,
+                entropy: 1.5,
+            },
+        ];
+        let decoded = decode_predictions(&encode_predictions(&preds)).unwrap();
+        assert_eq!(decoded, preds);
+        assert!(decode_predictions(&[1, 2]).is_err());
+        assert!(decode_predictions(&[2, 0, 0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn reject_round_trip() {
+        let err = ServeError::Malformed("bad dims".into());
+        let back = decode_reject(&encode_reject(&err)).unwrap();
+        assert_eq!(back, err);
+        assert!(decode_reject(&[]).is_err());
+    }
+}

@@ -45,7 +45,7 @@ mod link;
 mod sim;
 mod time;
 
-pub use arrivals::{simulate_serving, ServingReport};
+pub use arrivals::{poisson_schedule, simulate_serving, ServingReport};
 pub use des::EventQueue;
 pub use device::{AdmissionError, ComputeUnit, DeviceProfile};
 pub use link::WifiLink;

@@ -19,11 +19,12 @@
 //! let mut tape = Tape::new();
 //! let x = tape.param(Tensor::from_vec(vec![3.0], [1])?);
 //! let y = tape.mul(x, x); // y = x²
-//! let grads = tape.backward(y);
+//! let grads = tape.backward(y)?;
 //! assert_eq!(grads.of(x).unwrap().data(), &[6.0]); // dy/dx = 2x
 //! # Ok::<(), teamnet_tensor::TensorError>(())
 //! ```
 
+use crate::error::TensorError;
 use crate::tensor::Tensor;
 
 /// Handle to a value recorded on a [`Tape`].
@@ -220,47 +221,95 @@ impl Tape {
 
     /// Multiplies every row of a `[rows, cols]` matrix element-wise by a
     /// `[cols]` vector.
-    pub fn mul_row_broadcast(&mut self, m: Var, row: Var) -> Var {
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] unless `m` is rank 2 and `row` is
+    /// rank 1; [`TensorError::ShapeMismatch`] when the column counts
+    /// differ. Shape bugs in tape programs built from untrusted request
+    /// tensors surface here as values, not panics.
+    pub fn mul_row_broadcast(&mut self, m: Var, row: Var) -> Result<Var, TensorError> {
         let mv = &self.nodes[m.0].value;
         let rv = &self.nodes[row.0].value;
-        assert_eq!(mv.rank(), 2, "mul_row_broadcast() requires a rank-2 matrix");
-        assert_eq!(rv.rank(), 1, "mul_row_broadcast() requires a rank-1 vector");
-        assert_eq!(
-            mv.dims()[1],
-            rv.dims()[0],
-            "mul_row_broadcast() column mismatch"
-        );
+        if mv.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "mul_row_broadcast",
+                expected: 2,
+                got: mv.rank(),
+            });
+        }
+        if rv.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "mul_row_broadcast",
+                expected: 1,
+                got: rv.rank(),
+            });
+        }
+        if mv.dims()[1] != rv.dims()[0] {
+            return Err(TensorError::ShapeMismatch {
+                left: format!("{:?}", mv.dims()),
+                right: format!("{:?}", rv.dims()),
+                op: "mul_row_broadcast",
+            });
+        }
         let mut out = mv.clone();
         for r in 0..mv.dims()[0] {
             for (o, &s) in out.row_mut(r).iter_mut().zip(rv.data()) {
                 *o *= s;
             }
         }
-        self.binary(m, row, out, Op::MulRowBroadcast(m, row))
+        Ok(self.binary(m, row, out, Op::MulRowBroadcast(m, row)))
     }
 
     /// Replicates a `[rows, 1]` column across `k` columns → `[rows, k]`.
-    pub fn broadcast_cols(&mut self, a: Var, k: usize) -> Var {
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] unless `a` is rank 2,
+    /// [`TensorError::ShapeMismatch`] unless it has exactly one column,
+    /// and the underlying construction error when `k` is zero.
+    pub fn broadcast_cols(&mut self, a: Var, k: usize) -> Result<Var, TensorError> {
         let av = &self.nodes[a.0].value;
-        assert_eq!(av.rank(), 2, "broadcast_cols() requires a rank-2 input");
-        assert_eq!(av.dims()[1], 1, "broadcast_cols() requires a single column");
+        if av.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "broadcast_cols",
+                expected: 2,
+                got: av.rank(),
+            });
+        }
+        if av.dims()[1] != 1 {
+            return Err(TensorError::ShapeMismatch {
+                left: format!("{:?}", av.dims()),
+                right: "[rows, 1]".to_string(),
+                op: "broadcast_cols",
+            });
+        }
         let rows = av.dims()[0];
         let mut out = Vec::with_capacity(rows * k);
         for r in 0..rows {
             out.extend(std::iter::repeat_n(av.data()[r], k));
         }
-        // `out` was filled with exactly rows * k elements. lint: allow(no-expect)
-        let v = Tensor::from_vec(out, [rows, k]).expect("broadcast volume");
-        self.unary(a, v, Op::BroadcastCols(a, k))
+        let v = Tensor::from_vec(out, [rows, k])?;
+        Ok(self.unary(a, v, Op::BroadcastCols(a, k)))
     }
 
     /// Mean over rows of a `[rows, cols]` matrix → `[cols]`.
-    pub fn mean_axis0(&mut self, a: Var) -> Var {
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] unless `a` is rank 2.
+    pub fn mean_axis0(&mut self, a: Var) -> Result<Var, TensorError> {
         let av = &self.nodes[a.0].value;
-        assert_eq!(av.rank(), 2, "mean_axis0() requires a rank-2 input");
+        if av.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "mean_axis0",
+                expected: 2,
+                got: av.rank(),
+            });
+        }
         let rows = av.dims()[0] as f32;
         let v = av.sum_cols().scale(1.0 / rows);
-        self.unary(a, v, Op::MeanAxis0(a))
+        Ok(self.unary(a, v, Op::MeanAxis0(a)))
     }
 
     /// Row-wise softmax of a rank-2 value.
@@ -283,30 +332,32 @@ impl Tape {
 
     /// Reshapes a value to new dimensions of identical volume.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the volumes differ.
-    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Var {
-        let v = self.nodes[a.0]
-            .value
-            .reshape(dims.to_vec())
-            // Documented `# Panics` contract above. lint: allow(no-expect)
-            .expect("reshape volume mismatch");
-        self.unary(a, v, Op::Reshape(a))
+    /// [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&mut self, a: Var, dims: &[usize]) -> Result<Var, TensorError> {
+        let v = self.nodes[a.0].value.reshape(dims.to_vec())?;
+        Ok(self.unary(a, v, Op::Reshape(a)))
     }
 
     /// Runs the backward sweep from `seed` (which must be a scalar node)
     /// and returns the accumulated gradients.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `seed` holds more than one element.
-    pub fn backward(&self, seed: Var) -> Gradients {
-        assert_eq!(
-            self.nodes[seed.0].value.len(),
-            1,
-            "backward() seed must be a scalar"
-        );
+    /// [`TensorError::LengthMismatch`] if `seed` holds more than one
+    /// element. A tape built only through this module's own operations
+    /// cannot fail mid-sweep, but the propagation errors are still typed
+    /// rather than panicking so a shape bug in a new op degrades to a
+    /// rejected request instead of a dead worker.
+    pub fn backward(&self, seed: Var) -> Result<Gradients, TensorError> {
+        let seed_len = self.nodes[seed.0].value.len();
+        if seed_len != 1 {
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: seed_len,
+            });
+        }
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[seed.0] = Some(Tensor::full(self.nodes[seed.0].value.shape().clone(), 1.0));
 
@@ -318,10 +369,10 @@ impl Tape {
             if !self.nodes[i].requires_grad {
                 continue;
             }
-            self.propagate(i, &g, &mut grads);
+            self.propagate(i, &g, &mut grads)?;
             grads[i] = Some(g);
         }
-        Gradients { grads }
+        Ok(Gradients { grads })
     }
 
     fn accumulate(&self, grads: &mut [Option<Tensor>], var: Var, delta: Tensor) {
@@ -334,7 +385,12 @@ impl Tape {
         }
     }
 
-    fn propagate(&self, i: usize, g: &Tensor, grads: &mut [Option<Tensor>]) {
+    fn propagate(
+        &self,
+        i: usize,
+        g: &Tensor,
+        grads: &mut [Option<Tensor>],
+    ) -> Result<(), TensorError> {
         match self.nodes[i].op.clone() {
             Op::Leaf => {}
             Op::Add(a, b) => {
@@ -405,11 +461,7 @@ impl Tape {
             }
             Op::BroadcastCols(a, _k) => {
                 let rows = self.nodes[a.0].value.dims()[0];
-                // sum_rows of [rows, k] has exactly rows entries. lint: allow(no-expect)
-                let summed = g
-                    .sum_rows()
-                    .into_reshaped([rows, 1])
-                    .expect("broadcast grad reshape");
+                let summed = g.sum_rows().into_reshaped([rows, 1])?;
                 self.accumulate(grads, a, summed);
             }
             Op::MeanAxis0(a) => {
@@ -420,8 +472,7 @@ impl Tape {
                 for _ in 0..rows {
                     out.extend(g.data().iter().map(|&x| x * scale));
                 }
-                // `out` was filled with exactly rows * cols elements. lint: allow(no-expect)
-                let t = Tensor::from_vec(out, [rows, cols]).expect("mean_axis0 grad volume");
+                let t = Tensor::from_vec(out, [rows, cols])?;
                 self.accumulate(grads, a, t);
             }
             Op::SoftmaxRows(a) => {
@@ -449,11 +500,11 @@ impl Tape {
             }
             Op::Reshape(a) => {
                 let dims = self.nodes[a.0].value.dims().to_vec();
-                // The gradient has the forward value's volume. lint: allow(no-expect)
-                let back = g.reshape(dims).expect("reshape gradient volume");
+                let back = g.reshape(dims)?;
                 self.accumulate(grads, a, back);
             }
         }
+        Ok(())
     }
 }
 
@@ -472,7 +523,7 @@ mod tests {
     ) {
         let mut tape = Tape::new();
         let (p, loss) = build(&mut tape, param.clone());
-        let grads = tape.backward(loss);
+        let grads = tape.backward(loss).unwrap();
         let analytic = grads.of(p).expect("param must receive a gradient").clone();
 
         let eps = 1e-3;
@@ -500,7 +551,7 @@ mod tests {
         let x = tape.param(Tensor::from_vec(vec![3.0], [1]).unwrap());
         let y = tape.mul(x, x);
         let s = tape.sum(y);
-        let grads = tape.backward(s);
+        let grads = tape.backward(s).unwrap();
         assert_eq!(grads.of(x).unwrap().data(), &[6.0]);
     }
 
@@ -511,7 +562,7 @@ mod tests {
         let c = tape.constant(Tensor::from_vec(vec![5.0], [1]).unwrap());
         let y = tape.mul(x, c);
         let s = tape.sum(y);
-        let grads = tape.backward(s);
+        let grads = tape.backward(s).unwrap();
         assert_eq!(grads.of(x).unwrap().data(), &[5.0]);
         assert!(grads.of(c).is_none());
     }
@@ -524,7 +575,7 @@ mod tests {
         let sq = tape.mul(x, x);
         let y = tape.add(sq, x);
         let s = tape.sum(y);
-        let grads = tape.backward(s);
+        let grads = tape.backward(s).unwrap();
         assert_eq!(grads.of(x).unwrap().data(), &[9.0]);
     }
 
@@ -600,12 +651,12 @@ mod tests {
                     tape.add_scalar(scaled, 1.0)
                 };
                 let h = tape.constant(entropy.clone());
-                let weighted = tape.mul_row_broadcast(h, delta);
+                let weighted = tape.mul_row_broadcast(h, delta).unwrap();
                 let neg = tape.scale(weighted, -4.0); // b = 4
                 let soft = tape.softmax_rows(neg);
                 let idx = tape.constant(Tensor::arange(k).into_reshaped([k, 1]).unwrap());
                 let gbar = tape.matmul(soft, idx); // [n, 1]
-                let rep = tape.broadcast_cols(gbar, k);
+                let rep = tape.broadcast_cols(gbar, k).unwrap();
                 let ids = tape.constant(Tensor::arange(k).scale(-1.0));
                 let shifted = tape.add_row_broadcast(rep, ids);
                 let dist = tape.abs(shifted);
@@ -614,7 +665,7 @@ mod tests {
                 let r = tape.relu(ramp);
                 let sc = tape.scale(r, 10.0);
                 let kron = tape.tanh(sc);
-                let gamma_bar = tape.mean_axis0(kron);
+                let gamma_bar = tape.mean_axis0(kron).unwrap();
                 let tv = tape.constant(target.clone());
                 let diff = tape.sub(gamma_bar, tv);
                 let adiff = tape.abs(diff);
@@ -640,7 +691,7 @@ mod tests {
         assert!((tape.value(s2).item() - 2.5).abs() < 1e-6);
         let s3 = tape.sum(n);
         assert!((tape.value(s3).item() - 1.5).abs() < 1e-6);
-        let g = tape.backward(s2);
+        let g = tape.backward(s2).unwrap();
         assert_eq!(g.of(x).unwrap().data(), &[-1.0, 1.0]);
     }
 
@@ -648,20 +699,84 @@ mod tests {
     fn reshape_passes_gradient_through() {
         let mut tape = Tape::new();
         let x = tape.param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap());
-        let flat = tape.reshape(x, &[4]);
+        let flat = tape.reshape(x, &[4]).unwrap();
         let y = tape.mul(flat, flat);
         let s = tape.sum(y);
-        let grads = tape.backward(s);
+        let grads = tape.backward(s).unwrap();
         let gx = grads.of(x).unwrap();
         assert_eq!(gx.dims(), &[2, 2]);
         assert_eq!(gx.data(), &[2.0, 4.0, 6.0, 8.0]);
     }
 
     #[test]
-    #[should_panic(expected = "must be a scalar")]
     fn backward_rejects_nonscalar_seed() {
         let mut tape = Tape::new();
         let x = tape.param(Tensor::zeros([2]));
-        tape.backward(x);
+        assert_eq!(
+            tape.backward(x).unwrap_err(),
+            TensorError::LengthMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn shape_errors_are_typed_not_panics() {
+        // The exact failures a malformed client tensor can push into a
+        // tape program: each surfaces as a value the serving layer can
+        // turn into a rejection.
+        let mut tape = Tape::new();
+        let vec1 = tape.param(Tensor::zeros([3]));
+        let mat = tape.param(Tensor::zeros([2, 3]));
+        let wide = tape.param(Tensor::zeros([2, 2]));
+        assert!(matches!(
+            tape.mul_row_broadcast(vec1, vec1).unwrap_err(),
+            TensorError::RankMismatch {
+                op: "mul_row_broadcast",
+                expected: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            tape.mul_row_broadcast(mat, mat).unwrap_err(),
+            TensorError::RankMismatch {
+                op: "mul_row_broadcast",
+                expected: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            tape.mul_row_broadcast(wide, vec1).unwrap_err(),
+            TensorError::ShapeMismatch {
+                op: "mul_row_broadcast",
+                ..
+            }
+        ));
+        assert!(matches!(
+            tape.broadcast_cols(vec1, 4).unwrap_err(),
+            TensorError::RankMismatch {
+                op: "broadcast_cols",
+                ..
+            }
+        ));
+        assert!(matches!(
+            tape.broadcast_cols(wide, 4).unwrap_err(),
+            TensorError::ShapeMismatch {
+                op: "broadcast_cols",
+                ..
+            }
+        ));
+        assert!(matches!(
+            tape.mean_axis0(vec1).unwrap_err(),
+            TensorError::RankMismatch {
+                op: "mean_axis0",
+                ..
+            }
+        ));
+        assert!(matches!(
+            tape.reshape(mat, &[5]).unwrap_err(),
+            TensorError::LengthMismatch { .. }
+        ));
     }
 }

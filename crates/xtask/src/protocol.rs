@@ -30,6 +30,9 @@ use crate::Diagnostic;
 const PAYLOAD_FILE: &str = "crates/net/src/envelope.rs";
 const ERROR_FILE: &str = "crates/net/src/error.rs";
 const DISPATCH_FILE: &str = "crates/core/src/fsm.rs";
+const SERVE_WIRE_FILE: &str = "crates/serve/src/wire.rs";
+const SERVE_ERROR_FILE: &str = "crates/serve/src/error.rs";
+const SERVE_DISPATCH_FILE: &str = "crates/serve/src/tcp.rs";
 
 /// Runs the exhaustiveness pass. Returns the number of enum variants
 /// audited (for the summary line).
@@ -66,6 +69,37 @@ pub fn check(model: &Model, diags: &mut Vec<Diagnostic>) -> usize {
             missing: "is never produced outside its defining file; unreachable error path",
         }],
     );
+    audited += check_enum(
+        model,
+        diags,
+        "ServeMsgKind",
+        SERVE_WIRE_FILE,
+        &[
+            Requirement {
+                rule: "protocol-constructed",
+                scope: Scope::AnywhereExceptDefiningFile,
+                missing:
+                    "is never constructed outside its defining file; dead serving wire format?",
+            },
+            Requirement {
+                rule: "protocol-handled",
+                scope: Scope::OnlyIn(SERVE_DISPATCH_FILE),
+                missing: "is never handled by the serving front-end (crates/serve/src/tcp.rs); \
+                          clients sending it would be silently dropped",
+            },
+        ],
+    );
+    audited += check_enum(
+        model,
+        diags,
+        "ServeError",
+        SERVE_ERROR_FILE,
+        &[Requirement {
+            rule: "error-produced",
+            scope: Scope::AnywhereExceptDefiningFile,
+            missing: "is never produced outside its defining file; unreachable rejection path",
+        }],
+    );
     audited
 }
 
@@ -90,6 +124,12 @@ fn check_enum(
     defining_file: &str,
     reqs: &[Requirement],
 ) -> usize {
+    // A defining file absent from the model altogether means the model
+    // is a partial fixture (the unit tests below); a present file whose
+    // enum cannot be found means the audit anchor rotted — diagnose it.
+    let Some(def_idx) = model.files.iter().position(|f| f.rel_path == defining_file) else {
+        return 0;
+    };
     let Some(variants) = enum_variants(model, defining_file, enum_name) else {
         diags.push(Diagnostic {
             path: defining_file.to_string(),
@@ -97,9 +137,6 @@ fn check_enum(
             rule: "protocol-constructed",
             message: format!("could not locate `pub enum {enum_name}` to audit"),
         });
-        return 0;
-    };
-    let Some(def_idx) = model.files.iter().position(|f| f.rel_path == defining_file) else {
         return 0;
     };
     for (variant, def_line) in &variants {
@@ -371,6 +408,74 @@ mod tests {
         assert_eq!(diags[0].rule, "protocol-handled");
         assert!(
             diags[0].message.contains("PayloadKind::LoadChunk"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    // The serving front-end's wire enum, as fixtures: every kind must be
+    // constructed somewhere and dispatched in tcp.rs.
+    const SERVE_ENUMS: &str =
+        "pub enum ServeMsgKind {\n    Request,\n    Reply,\n    Reject,\n    Goodbye,\n}\n";
+    const SERVE_ERRORS: &str = "pub enum ServeError {\n    Overloaded,\n    Closed,\n}\n";
+
+    #[test]
+    fn serve_kind_missing_from_dispatch_is_caught() {
+        // Goodbye is sent by clients but absent from the tcp.rs dispatch:
+        // an idle client's hangup frame would be silently dropped.
+        let model = Model::build(&[
+            ("net", "crates/net/src/envelope.rs", ENUMS),
+            ("net", "crates/net/src/error.rs", ERRORS),
+            ("serve", "crates/serve/src/wire.rs", SERVE_ENUMS),
+            ("serve", "crates/serve/src/error.rs", SERVE_ERRORS),
+            (
+                "core",
+                "crates/core/src/fsm.rs",
+                "fn dispatch() {\n    handle(PayloadKind::Batch);\n    handle(PayloadKind::Logits { round: 0 });\n    handle(PayloadKind::Probe);\n    NetError::Timeout;\n    NetError::Closed;\n}\n",
+            ),
+            (
+                "net",
+                "crates/net/src/mailbox.rs",
+                "fn emit() {\n    make(PayloadKind::Batch);\n    make(PayloadKind::Logits { round: 0 });\n    make(PayloadKind::Probe);\n}\n",
+            ),
+            (
+                "serve",
+                "crates/serve/src/tcp.rs",
+                "fn serve() {\n    handle(ServeMsgKind::Request);\n    handle(ServeMsgKind::Reply);\n    handle(ServeMsgKind::Reject);\n    ServeError::Overloaded;\n    ServeError::Closed;\n}\n",
+            ),
+            (
+                "serve",
+                "crates/serve/src/engine.rs",
+                "fn client() {\n    send(ServeMsgKind::Goodbye);\n}\n",
+            ),
+        ]);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "protocol-handled");
+        assert!(
+            diags[0].message.contains("ServeMsgKind::Goodbye"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn unproduced_serve_error_is_caught() {
+        let model = Model::build(&[
+            ("serve", "crates/serve/src/error.rs", SERVE_ERRORS),
+            (
+                "serve",
+                "crates/serve/src/engine.rs",
+                "fn admit() {\n    reject(ServeError::Overloaded);\n}\n",
+            ),
+        ]);
+        let mut diags = Vec::new();
+        check(&model, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "error-produced");
+        assert!(
+            diags[0].message.contains("ServeError::Closed"),
             "{}",
             diags[0].message
         );

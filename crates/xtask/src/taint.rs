@@ -53,6 +53,11 @@ const ROOT_FILES: &[&str] = &[
 
 const SIMNET_PREFIX: &str = "crates/simnet/src/";
 const OBS_PREFIX: &str = "crates/obs/src/";
+/// The serving front-end is a root too: every admission decision and
+/// flush trigger reads the injected `Clock`, and `tests/serve_soak.rs`
+/// asserts byte-identical trace/metrics transcripts across identical
+/// seeds — a wall-clock or hasher anywhere in the serve path breaks it.
+const SERVE_PREFIX: &str = "crates/serve/src/";
 
 /// Runs the taint pass, appending diagnostics. Returns the number of
 /// reachable functions audited (for the summary line).
@@ -67,6 +72,7 @@ pub fn check(model: &Model, diags: &mut Vec<Diagnostic>) -> usize {
                 ROOT_FILES.contains(&sf.rel_path.as_str())
                     || sf.rel_path.starts_with(SIMNET_PREFIX)
                     || sf.rel_path.starts_with(OBS_PREFIX)
+                    || sf.rel_path.starts_with(SERVE_PREFIX)
             })
         })
         .map(|(idx, _)| idx)

@@ -8,6 +8,7 @@
 //! * [`data`] — synthetic MNIST/CIFAR-like datasets and IDX loading;
 //! * [`net`] — TCP / in-process transports, collectives and RPC;
 //! * [`obs`] — deterministic span tracing and metrics (DESIGN.md §12);
+//! * [`serve`] — the multi-tenant serving front-end (DESIGN.md §16);
 //! * [`simnet`] — the edge-device and WiFi cost models;
 //! * [`moe`] — the Sparsely-Gated MoE baseline;
 //! * [`partition`] — the MPI-Matrix/Branch/Kernel baselines.
@@ -38,5 +39,6 @@ pub use teamnet_net as net;
 pub use teamnet_nn as nn;
 pub use teamnet_obs as obs;
 pub use teamnet_partition as partition;
+pub use teamnet_serve as serve;
 pub use teamnet_simnet as simnet;
 pub use teamnet_tensor as tensor;
