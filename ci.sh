@@ -47,6 +47,12 @@
 #                         exits non-zero on a parse error or an empty span
 #                         table; the workspace tests in stage 5 cover the
 #                         default NullSink path)
+#   9b. cross-node trace (trace_soak example: every node of a 3-node
+#                         cluster records its own JSONL sink; the three
+#                         files go through `cargo xtask trace-assemble`,
+#                         which exits non-zero on orphan spans — the
+#                         stage additionally asserts zero warnings on
+#                         stderr and a non-empty critical-path table)
 #
 # Opt-in stage (not part of the default gate):
 #   ./ci.sh tsan         runs the fault-tolerance, chaos-soak and
@@ -90,3 +96,21 @@ cargo test -q --release --test recovery_soak
 cargo test -q --release --test serve_soak
 TEAMNET_TRACE=/tmp/ci_trace.jsonl cargo run -q --release --example chaos_inference >/dev/null
 cargo xtask trace-report /tmp/ci_trace.jsonl
+cargo run -q --release --example trace_soak >/dev/null
+# trace-assemble hard-fails on orphan spans; unmatched send/recv events
+# (possible only if a worker's file were truncated) surface as warnings
+# on stderr, which this stage also treats as fatal.
+assemble_out="$(cargo xtask trace-assemble \
+    0=target/trace-soak/node0.jsonl \
+    1=target/trace-soak/node1.jsonl \
+    2=target/trace-soak/node2.jsonl 2>/tmp/ci_assemble_warnings.txt)"
+if [ -s /tmp/ci_assemble_warnings.txt ]; then
+    echo "trace-assemble produced warnings:" >&2
+    cat /tmp/ci_assemble_warnings.txt >&2
+    exit 1
+fi
+echo "$assemble_out" | grep -q '^  all' || {
+    echo "trace-assemble critical-path table is empty:" >&2
+    echo "$assemble_out" >&2
+    exit 1
+}

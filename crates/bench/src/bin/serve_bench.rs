@@ -21,6 +21,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::sync::Arc;
+use teamnet_obs::{HistogramSnapshot, Obs, RingSink, SystemClock};
 use teamnet_serve::{Batcher, BatcherConfig};
 use teamnet_simnet::poisson_schedule;
 
@@ -71,6 +73,46 @@ struct ServiceModel {
     queue_cap_rows: usize,
 }
 
+/// One `round.attr.*.ns` histogram from a live traced cluster, flattened
+/// for the JSON report.
+#[derive(Serialize)]
+struct AttrHistogram {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+}
+
+impl AttrHistogram {
+    fn from_snapshot(h: &HistogramSnapshot) -> Self {
+        AttrHistogram {
+            count: h.count,
+            sum_ns: h.sum,
+            min_ns: h.min,
+            max_ns: h.max,
+            p50_ns: h.quantile(50),
+            p99_ns: h.quantile(99),
+            p999_ns: h.quantile_permille(999),
+        }
+    }
+}
+
+/// Where the wall time of a real collaborative round goes — the same
+/// compute / wire / wait / retry split `cargo xtask trace-assemble`
+/// derives offline, here read straight from the runtime's
+/// `round.attr.*.ns` histograms over a live 3-node loopback cluster.
+#[derive(Serialize)]
+struct RoundAttribution {
+    rounds: usize,
+    compute: AttrHistogram,
+    wire: AttrHistogram,
+    wait: AttrHistogram,
+    retry: AttrHistogram,
+}
+
 #[derive(Serialize)]
 struct Report {
     smoke: bool,
@@ -80,6 +122,68 @@ struct Report {
     service_model: ServiceModel,
     caveat: &'static str,
     caps: Vec<CapSweep>,
+    round_attribution: RoundAttribution,
+}
+
+/// Runs a short traced inference session on a real 3-node loopback
+/// cluster and reads back the per-round latency attribution histograms.
+/// This grounds the simulated service model: `round_overhead_ns` above
+/// should sit in the same decade as `wire + wait` here.
+fn measure_round_attribution(rounds: usize) -> RoundAttribution {
+    use teamnet_core::build_expert;
+    use teamnet_core::runtime::{serve_worker, shutdown_workers, InferenceSession, MasterConfig};
+    use teamnet_nn::ModelSpec;
+    use teamnet_tensor::Tensor;
+
+    let spec = ModelSpec::mlp(2, 16);
+    let mut mesh = teamnet_net::ChannelTransport::mesh(3);
+    let worker2 = mesh.pop().expect("node 2");
+    let worker1 = mesh.pop().expect("node 1");
+    let master = mesh.pop().expect("node 0");
+
+    // Tracing must be on (that is what arms the attribution histograms),
+    // but the span stream itself is irrelevant here — a small ring
+    // swallows it at fixed cost. A NullSink would disable the tracer.
+    let obs = Obs::new(Arc::new(SystemClock), Arc::new(RingSink::new(64)));
+    let config = MasterConfig {
+        obs: obs.clone(),
+        trace_seed: 0xBE4C,
+        ..MasterConfig::default()
+    };
+
+    crossbeam::thread::scope(|scope| {
+        for (i, node) in [&worker1, &worker2].into_iter().enumerate() {
+            let spec = spec.clone();
+            scope.spawn(move |_| {
+                let mut expert = build_expert(&spec, i as u64 + 1);
+                serve_worker(node, 0, &mut expert).expect("worker");
+            });
+        }
+        let mut session = InferenceSession::new(&master, config);
+        let mut expert = build_expert(&spec, 0);
+        for round in 0..rounds {
+            let images = Tensor::full([2, 1, 28, 28], (round % 5) as f32 * 0.2);
+            session.infer(&master, &mut expert, &images).expect("infer");
+        }
+        shutdown_workers(&master).expect("shutdown");
+    })
+    .expect("scope");
+
+    let snap = obs.metrics.snapshot();
+    let take = |name: &str| -> AttrHistogram {
+        let h = snap
+            .histograms
+            .get(name)
+            .unwrap_or_else(|| panic!("histogram {name} missing from traced session"));
+        AttrHistogram::from_snapshot(h)
+    };
+    RoundAttribution {
+        rounds,
+        compute: take("round.attr.compute.ns"),
+        wire: take("round.attr.wire.ns"),
+        wait: take("round.attr.wait.ns"),
+        retry: take("round.attr.retry.ns"),
+    }
 }
 
 /// Runs one (batch cap, offered load) point: virtual-time event loop over
@@ -224,6 +328,16 @@ fn main() {
         first.sustained_rps
     );
 
+    let attr_rounds = if smoke { 8 } else { 32 };
+    let round_attribution = measure_round_attribution(attr_rounds);
+    println!(
+        "round attribution over {attr_rounds} live rounds: compute p50={:.3} ms  wire p50={:.3} ms  wait p50={:.3} ms  retry sum={:.3} ms",
+        round_attribution.compute.p50_ns as f64 / 1e6,
+        round_attribution.wire.p50_ns as f64 / 1e6,
+        round_attribution.wait.p50_ns as f64 / 1e6,
+        round_attribution.retry.sum_ns as f64 / 1e6,
+    );
+
     let report = Report {
         smoke,
         seed,
@@ -242,6 +356,7 @@ fn main() {
                  deterministic per seed; they are not wall-clock measurements of a \
                  particular host.",
         caps: sweeps,
+        round_attribution,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     if let Err(e) = std::fs::write(out_path, json + "\n") {

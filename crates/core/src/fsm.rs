@@ -50,6 +50,14 @@ impl OutboundMsg {
     pub fn encode(&self) -> Vec<u8> {
         self.env.encode()
     }
+
+    /// Encodes the envelope stamped with a trace context. The FSM itself
+    /// stays trace-free (pure protocol state); the IO shell attaches
+    /// causality at the send site, which `cargo xtask audit`'s
+    /// `trace-propagation` rule enforces.
+    pub fn encode_traced(&self, ctx: teamnet_net::TraceContext) -> Vec<u8> {
+        self.env.clone().with_trace(ctx).encode()
+    }
 }
 
 /// Side effects a [`WorkerFsm`] needs performed but must not perform

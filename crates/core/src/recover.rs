@@ -46,7 +46,10 @@ use std::sync::Arc;
 use std::time::Duration;
 #[cfg(doc)]
 use teamnet_net::PayloadKind;
-use teamnet_net::{crc32, Backoff, Clock, Envelope, NetError, RetryPolicy, SystemClock, Transport};
+use teamnet_net::{
+    crc32, peek_trace, Backoff, Clock, Envelope, NetError, RetryPolicy, SystemClock, TraceContext,
+    Transport,
+};
 use teamnet_nn::{load_state, state_from_bytes, state_to_bytes, state_vec, ModelSpec, Sequential};
 use teamnet_obs::{Counter, Histogram, Obs};
 use teamnet_tensor::Tensor;
@@ -613,6 +616,11 @@ pub struct RecoveryManager {
     migrations: u64,
     backtracks: u64,
     handbacks: u64,
+    /// Trace id of the round whose tick is currently running
+    /// ([`tick_traced`](Self::tick_traced)): recovery frames sent during
+    /// the tick carry it, so transfer spans stay causal children of the
+    /// triggering round in the assembled cross-node DAG.
+    trace: Option<u64>,
     c_migrations: Counter,
     c_backtracks: Counter,
     c_handbacks: Counter,
@@ -634,6 +642,7 @@ impl RecoveryManager {
             migrations: 0,
             backtracks: 0,
             handbacks: 0,
+            trace: None,
             c_migrations,
             c_backtracks,
             c_handbacks,
@@ -712,6 +721,21 @@ impl RecoveryManager {
     /// are backtracked or deferred to the next round — a recovery pass
     /// never fails the inference round that triggered it.
     pub fn tick(&mut self, transport: &dyn Transport, me: usize, health: &[PeerHealth]) {
+        self.tick_traced(transport, me, health, None);
+    }
+
+    /// [`tick`](Self::tick) with the triggering round's trace id: every
+    /// frame the pass sends is stamped with a [`TraceContext`] parented on
+    /// the recovery span open at send time, so `trace-assemble` grafts
+    /// the transfer under the master's round (DESIGN.md §17).
+    pub fn tick_traced(
+        &mut self,
+        transport: &dyn Transport,
+        me: usize,
+        health: &[PeerHealth],
+        trace: Option<u64>,
+    ) {
+        self.trace = trace;
         let live = |n: usize| health.get(n).copied() == Some(PeerHealth::Live);
 
         // Hand-backs first: a readmitted home kept its own weights, so
@@ -740,6 +764,13 @@ impl RecoveryManager {
         for expert in orphans {
             self.replace(transport, me, health, expert);
         }
+    }
+
+    /// Wire context for a frame sent during the current tick: the
+    /// triggering round's trace id (if any) parented on whatever recovery
+    /// span is open at the send site.
+    fn send_ctx(&self) -> Option<TraceContext> {
+        self.trace.map(|t| self.config.obs.tracer.current_ctx(t))
     }
 
     /// Surviving workers able to host `required` bytes, best first:
@@ -826,7 +857,16 @@ impl RecoveryManager {
         );
         let round = next_round();
         let frame = fsm::release_frame(surrogate, round, expert as u32);
-        if transport.send(frame.to, frame.tag, &frame.encode()).is_ok() {
+        let ctx = self.send_ctx();
+        let bytes = match ctx {
+            Some(c) => frame.encode_traced(c),
+            None => frame.encode(),
+        };
+        if transport.send(frame.to, frame.tag, &bytes).is_ok() {
+            if let Some(c) = ctx {
+                obs.tracer
+                    .send_event("input", frame.to as u64, c, bytes.len() as u64);
+            }
             let deadline = self.config.clock.now() + self.config.ack_timeout;
             let _ = self.await_ack(transport, surrogate, round, expert as u32, deadline);
         }
@@ -916,10 +956,16 @@ impl RecoveryManager {
                     "transfer of expert {expert} concluded without a frame"
                 )));
             };
+            let ctx = self.send_ctx();
+            let bytes = match ctx {
+                Some(c) => frame.encode_traced(c),
+                None => frame.encode(),
+            };
             let ack = match self.exchange(
                 transport,
                 target,
-                &frame.encode(),
+                &bytes,
+                ctx,
                 round,
                 expert as u32,
                 deadline,
@@ -942,11 +988,13 @@ impl RecoveryManager {
     /// Sends `frame` to `target` and waits for a matching ack, resending
     /// under the per-exchange retry budget. `salt` keeps the jitter
     /// stream of each chunk's backoff distinct.
+    #[allow(clippy::too_many_arguments)]
     fn exchange(
         &self,
         transport: &dyn Transport,
         target: usize,
         frame: &[u8],
+        ctx: Option<TraceContext>,
         round: u64,
         expert: u32,
         deadline: std::time::Instant,
@@ -961,7 +1009,17 @@ impl RecoveryManager {
         );
         loop {
             let sent = match transport.send(target, TAG_INPUT, frame) {
-                Ok(()) => true,
+                Ok(()) => {
+                    if let Some(c) = ctx {
+                        self.config.obs.tracer.send_event(
+                            "input",
+                            target as u64,
+                            c,
+                            frame.len() as u64,
+                        );
+                    }
+                    true
+                }
                 Err(e @ (NetError::UnknownPeer(_) | NetError::Closed)) => return Err(e),
                 Err(_) => false,
             };
@@ -1005,6 +1063,12 @@ impl RecoveryManager {
                 });
             }
             let bytes = transport.recv(target, TAG_RESULT, attempt_deadline - now)?;
+            if let Some(c) = peek_trace(&bytes) {
+                self.config
+                    .obs
+                    .tracer
+                    .recv_event("result", target as u64, c, bytes.len() as u64);
+            }
             let Ok(env) = Envelope::decode(&bytes) else {
                 continue;
             };
@@ -1019,7 +1083,19 @@ impl RecoveryManager {
     /// stale abort can never clear a newer transfer's progress.
     fn abort(&self, transport: &dyn Transport, round: u64, expert: u32, target: usize) {
         let frame = fsm::abort_frame(target, round, expert);
-        let _ = transport.send(frame.to, frame.tag, &frame.encode());
+        let ctx = self.send_ctx();
+        let bytes = match ctx {
+            Some(c) => frame.encode_traced(c),
+            None => frame.encode(),
+        };
+        if transport.send(frame.to, frame.tag, &bytes).is_ok() {
+            if let Some(c) = ctx {
+                self.config
+                    .obs
+                    .tracer
+                    .send_event("input", frame.to as u64, c, bytes.len() as u64);
+            }
+        }
     }
 }
 

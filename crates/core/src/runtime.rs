@@ -37,7 +37,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use teamnet_net::codec::{decode_f32s, encode_f32s};
 use teamnet_net::{
-    Backoff, Clock, Envelope, NetError, PayloadKind, RetryPolicy, SystemClock, Tag, Transport,
+    derive_trace_id, peek_trace, Backoff, Clock, Envelope, NetError, PayloadKind, RetryPolicy,
+    SystemClock, Tag, Transport, TRACE_EXT_LEN,
 };
 use teamnet_nn::{Layer, Mode, Sequential};
 use teamnet_obs::{AllocMeters, Counter, Obs};
@@ -175,6 +176,11 @@ pub struct MasterConfig {
     /// the *same* clock as `clock` for a coherent timeline (DESIGN.md
     /// §12).
     pub obs: Obs,
+    /// Seed for the deterministic per-round trace ids
+    /// ([`teamnet_net::derive_trace_id`]): two sessions configured with
+    /// the same seed emit byte-identical trace ids round for round, so
+    /// cross-node traces from identical seeded runs assemble identically.
+    pub trace_seed: u64,
 }
 
 impl Default for MasterConfig {
@@ -187,6 +193,7 @@ impl Default for MasterConfig {
             send_retry: RetryPolicy::default(),
             clock: Arc::new(SystemClock),
             obs: Obs::disabled(),
+            trace_seed: 0,
         }
     }
 }
@@ -445,6 +452,27 @@ pub fn serve_worker_with_config(
             Err(NetError::Closed) => return Ok(machine.stats()),
             Err(e) => return Err(e),
         };
+        // A traced frame re-parents this worker's handling onto the
+        // master's sending span: the `worker.handle` enter event carries
+        // the remote parent (`trace`/`rpeer`/`rparent`), which is what
+        // `trace-assemble` uses to graft this node's spans into the
+        // master's round (DESIGN.md §17). Untraced frames take the
+        // wire-identical legacy path.
+        let in_ctx = peek_trace(&bytes);
+        if let Some(ctx) = in_ctx {
+            obs.tracer
+                .recv_event("input", master as u64, ctx, bytes.len() as u64);
+        }
+        let _handle_span = in_ctx.map(|ctx| {
+            obs.span(
+                "worker.handle",
+                &[
+                    ("trace", ctx.trace_id),
+                    ("rpeer", master as u64),
+                    ("rparent", ctx.parent_span),
+                ],
+            )
+        });
         let before = machine.stats();
         let replies = machine.step(&bytes, &mut hooks)?;
         let after = machine.stats();
@@ -454,8 +482,20 @@ pub fn serve_worker_with_config(
         c_loads.add(after.loads_accepted - before.loads_accepted);
         c_refused.add(after.loads_refused - before.loads_refused);
         for msg in replies {
-            match transport.send(msg.to, msg.tag, &msg.encode()) {
-                Ok(()) => {}
+            let (payload, reply_ctx) = match in_ctx {
+                Some(ctx) => {
+                    let reply_ctx = obs.tracer.current_ctx(ctx.trace_id);
+                    (msg.encode_traced(reply_ctx), Some(reply_ctx))
+                }
+                None => (msg.encode(), None),
+            };
+            match transport.send(msg.to, msg.tag, &payload) {
+                Ok(()) => {
+                    if let Some(ctx) = reply_ctx {
+                        obs.tracer
+                            .send_event("result", msg.to as u64, ctx, payload.len() as u64);
+                    }
+                }
                 Err(NetError::Closed) => return Ok(machine.stats()),
                 Err(e) => return Err(e),
             }
@@ -545,6 +585,14 @@ pub struct InferenceSession {
     c_rescued: Counter,
     m_alloc: AllocMeters,
     recovery: Option<RecoveryManager>,
+    /// Per-round latency attribution (DESIGN.md §17): the same
+    /// compute / wire / wait / retry split `trace-assemble` derives from
+    /// the cross-node DAG, measured locally so it is available even
+    /// without per-node sinks.
+    h_attr_compute: Arc<teamnet_obs::Histogram>,
+    h_attr_wire: Arc<teamnet_obs::Histogram>,
+    h_attr_wait: Arc<teamnet_obs::Histogram>,
+    h_attr_retry: Arc<teamnet_obs::Histogram>,
 }
 
 impl InferenceSession {
@@ -566,6 +614,10 @@ impl InferenceSession {
             &config.obs.metrics,
             &format!("expert.{}", transport.node_id()),
         );
+        let h_attr_compute = config.obs.metrics.histogram("round.attr.compute.ns");
+        let h_attr_wire = config.obs.metrics.histogram("round.attr.wire.ns");
+        let h_attr_wait = config.obs.metrics.histogram("round.attr.wait.ns");
+        let h_attr_retry = config.obs.metrics.histogram("round.attr.retry.ns");
         InferenceSession {
             config,
             detector,
@@ -578,6 +630,10 @@ impl InferenceSession {
             c_rescued,
             m_alloc,
             recovery: None,
+            h_attr_compute,
+            h_attr_wire,
+            h_attr_wait,
+            h_attr_retry,
         }
     }
 
@@ -601,7 +657,9 @@ impl InferenceSession {
     }
 
     /// Sends `payload` to `peer` with bounded retries + backoff inside
-    /// `deadline`. Returns false if the send never succeeded.
+    /// `deadline`. Returns `(delivered, retry_ns)` — whether the send
+    /// ever succeeded plus the nanoseconds spent in backoff sleeps, so
+    /// the round can attribute that time to `retry` rather than `wire`.
     fn send_retrying(
         &self,
         transport: &dyn Transport,
@@ -609,7 +667,7 @@ impl InferenceSession {
         payload: &[u8],
         round: u64,
         deadline: Instant,
-    ) -> Result<bool, NetError> {
+    ) -> Result<(bool, u64), NetError> {
         let seed = round ^ ((peer as u64) << 48);
         let mut backoff = Backoff::with_clock(
             self.config.send_retry.clone(),
@@ -617,25 +675,41 @@ impl InferenceSession {
             deadline,
             Arc::clone(&self.config.clock),
         );
+        let mut retry_ns = 0u64;
         loop {
+            // Pass-through: `payload` arrives pre-stamped by the caller
+            // (the broadcast loop attaches the round's trace context).
+            // lint: allow(trace-propagation)
             match transport.send(peer, TAG_INPUT, payload) {
-                Ok(()) => return Ok(true),
+                Ok(()) => return Ok((true, retry_ns)),
                 Err(e @ (NetError::UnknownPeer(_) | NetError::Closed)) => {
                     if self.config.require_all_workers {
                         return Err(e);
                     }
-                    return Ok(false);
+                    return Ok((false, retry_ns));
                 }
                 Err(e) => match backoff.next_delay() {
                     Some(delay) => {
                         self.c_send_retries.inc();
+                        // The backoff sleep gets its own span so the
+                        // assembled critical path can blame retries, not
+                        // the wire, for the stall.
+                        let _retry_span = self
+                            .config
+                            .obs
+                            .span("retry.backoff", &[("peer", peer as u64)]);
+                        // Measure on the tracer clock so attribution stays
+                        // deterministic when the tracer runs virtual time.
+                        let before = self.config.obs.tracer.now_ns();
                         self.config.clock.sleep(delay);
+                        let slept = self.config.obs.tracer.now_ns().saturating_sub(before);
+                        retry_ns = retry_ns.saturating_add(slept);
                     }
                     None => {
                         if self.config.require_all_workers {
                             return Err(e);
                         }
-                        return Ok(false);
+                        return Ok((false, retry_ns));
                     }
                 },
             }
@@ -662,6 +736,26 @@ impl InferenceSession {
         expert: &mut Sequential,
         images: &Tensor,
     ) -> Result<InferenceReport, NetError> {
+        let result = self.infer_inner(transport, expert, images);
+        if result.is_err() {
+            // Round failed: dump the flight-recorder ring (if armed) with
+            // the failure as its final event, so the last N trace events
+            // before the anomaly survive even when no full sink is wired.
+            let round_idx = self.rounds.saturating_sub(1);
+            let _ = self
+                .config
+                .obs
+                .flight_dump("flight.round_failed", &[("round_idx", round_idx)]);
+        }
+        result
+    }
+
+    fn infer_inner(
+        &mut self,
+        transport: &dyn Transport,
+        expert: &mut Sequential,
+        images: &Tensor,
+    ) -> Result<InferenceReport, NetError> {
         let me = transport.node_id();
         let num_nodes = transport.num_nodes();
         let n = images.dims().first().copied().unwrap_or(0);
@@ -677,20 +771,47 @@ impl InferenceSession {
         let session_round = self.rounds;
         self.rounds += 1;
         let obs = self.config.obs.clone();
-        let _round_span = obs.span("round", &[("round_idx", session_round), ("rows", n as u64)]);
+        // Trace id for the round: deterministic in (seed, session round),
+        // so identical seeded runs stamp identical ids (DESIGN.md §17).
+        let traced = obs.enabled();
+        let trace_id = derive_trace_id(self.config.trace_seed, session_round);
+        // Attribution reads the *tracer's* clock, never `config.clock`:
+        // the two may differ (deterministic soaks pin the tracer to a
+        // ManualClock), and a wall-clock read here would make the traced
+        // metrics diverge between identical seeded runs.
+        let t_round = obs.tracer.now_ns();
+        let mut attr_retry_ns = 0u64;
+        // The `trace` field on the round span is what the assembler's
+        // critical-path sweep keys cross-node membership on.
+        let _round_span = obs.span(
+            "round",
+            &[
+                ("round_idx", session_round),
+                ("rows", n as u64),
+                ("trace", trace_id),
+            ],
+        );
 
         // Plan and broadcast. Quarantined peers are skipped outright;
         // probe-due peers get a 16-byte probe instead of the full batch.
         let send_deadline = self.config.clock.now() + self.config.worker_timeout;
         let mut plans: Vec<ContactPlan> = vec![ContactPlan::Skip; num_nodes];
         let mut sent: Vec<bool> = vec![false; num_nodes];
-        let input_payload = Envelope::new(
+        // Untraced runs share one pre-encoded frame per kind —
+        // byte-identical to wire v1 and to the certified cost model.
+        // Traced runs re-encode per peer so each frame carries a
+        // [`TraceContext`] parented on that peer's `round.send` span
+        // (`with_trace`), making the worker's handling span a causal
+        // child of this round in the assembled cross-node DAG.
+        let input_env = Envelope::new(
             round,
             PayloadKind::Input,
             encode_f32s(images.dims(), images.data()),
-        )
-        .encode();
-        let probe_payload = Envelope::new(round, PayloadKind::Probe, Vec::new()).encode();
+        );
+        let probe_env = Envelope::new(round, PayloadKind::Probe, Vec::new());
+        let input_payload = input_env.encode();
+        let probe_payload = probe_env.encode();
+        let t_broadcast = obs.tracer.now_ns();
         {
             let _broadcast_span = obs.span("round.broadcast", &[]);
             for peer in 0..num_nodes {
@@ -698,9 +819,9 @@ impl InferenceSession {
                     continue;
                 }
                 let plan = self.detector.plan(peer);
-                let payload = match plan {
-                    ContactPlan::Full => &input_payload,
-                    ContactPlan::Probe => &probe_payload,
+                let (env, shared, kind_name) = match plan {
+                    ContactPlan::Full => (&input_env, &input_payload, "input"),
+                    ContactPlan::Probe => (&probe_env, &probe_payload, "probe"),
                     ContactPlan::Skip => {
                         if let Some(p) = plans.get_mut(peer) {
                             *p = plan;
@@ -708,12 +829,33 @@ impl InferenceSession {
                         continue;
                     }
                 };
-                let ok = {
+                let ok = if traced {
                     let _send_span = obs.span(
                         "round.send",
-                        &[("peer", peer as u64), ("bytes", payload.len() as u64)],
+                        &[
+                            ("peer", peer as u64),
+                            ("bytes", (shared.len() + TRACE_EXT_LEN) as u64),
+                        ],
                     );
-                    self.send_retrying(transport, peer, payload, round, send_deadline)?
+                    let ctx = obs.tracer.current_ctx(trace_id);
+                    let payload = env.clone().with_trace(ctx).encode();
+                    let (ok, retry_ns) =
+                        self.send_retrying(transport, peer, &payload, round, send_deadline)?;
+                    attr_retry_ns = attr_retry_ns.saturating_add(retry_ns);
+                    if ok {
+                        obs.tracer
+                            .send_event(kind_name, peer as u64, ctx, payload.len() as u64);
+                    }
+                    ok
+                } else {
+                    let _send_span = obs.span(
+                        "round.send",
+                        &[("peer", peer as u64), ("bytes", shared.len() as u64)],
+                    );
+                    let (ok, retry_ns) =
+                        self.send_retrying(transport, peer, shared, round, send_deadline)?;
+                    attr_retry_ns = attr_retry_ns.saturating_add(retry_ns);
+                    ok
                 };
                 if let (Some(p), Some(s)) = (plans.get_mut(peer), sent.get_mut(peer)) {
                     *p = plan;
@@ -721,9 +863,11 @@ impl InferenceSession {
                 }
             }
         }
+        let broadcast_ns = obs.tracer.now_ns().saturating_sub(t_broadcast);
 
         // Local expert runs while the workers compute. Selection compares
         // δ*-weighted entropies; reported entropy stays raw.
+        let t_forward = obs.tracer.now_ns();
         let local = {
             let _forward_span = obs.span("expert.forward", &[("rows", n as u64)]);
             // Honesty check against the static certificate: count what the
@@ -734,6 +878,7 @@ impl InferenceSession {
             self.m_alloc.record(stats.allocated_bytes, stats.peak_bytes);
             local
         };
+        let compute_ns = obs.tracer.now_ns().saturating_sub(t_forward);
         // Frame classification and the running argmin fold live in the
         // pure gather state machine (DESIGN.md §15); this shell owns the
         // transport waits, the deadline budget and the counters.
@@ -787,6 +932,12 @@ impl InferenceSession {
                         }
                     }
                 };
+                // A traced reply carries the worker's sending span; the
+                // recv event is the receive half of the wire edge.
+                if let Some(ctx) = peek_trace(&bytes) {
+                    obs.tracer
+                        .recv_event("result", peer as u64, ctx, bytes.len() as u64);
+                }
                 match gather.step(peer, &bytes) {
                     fsm::GatherVerdict::Fatal(e) => return Err(e),
                     fsm::GatherVerdict::Discarded(fsm::GatherDiscard::Stale { seen }) => {
@@ -839,7 +990,19 @@ impl InferenceSession {
                 if answered {
                     self.detector.record_success(peer);
                 } else {
+                    let before = self.detector.health(peer);
                     self.detector.record_miss(peer);
+                    if before != PeerHealth::Quarantined
+                        && self.detector.health(peer) == PeerHealth::Quarantined
+                    {
+                        // A peer just crossed into quarantine: dump the
+                        // flight-recorder ring (if armed) with this
+                        // transition as its final event.
+                        let _ = obs.flight_dump(
+                            "flight.quarantine",
+                            &[("peer", peer as u64), ("round_idx", session_round)],
+                        );
+                    }
                 }
             }
         }
@@ -858,7 +1021,10 @@ impl InferenceSession {
             })
             .collect();
         if let Some(recovery) = self.recovery.as_mut() {
-            recovery.tick(transport, me, &health);
+            // Recovery transfers inherit the round's trace id, so their
+            // frames (and the worker spans handling them) stay causal
+            // children of this round in the assembled DAG.
+            recovery.tick_traced(transport, me, &health, traced.then_some(trace_id));
         }
         let expert_hosts = self
             .recovery
@@ -891,6 +1057,24 @@ impl InferenceSession {
                         .collect(),
                 },
             );
+        }
+
+        // Local latency attribution for the round (the cheap, single-node
+        // counterpart of `trace-assemble`'s cross-node critical path):
+        // wire = broadcast minus backoff sleeps, compute = the local
+        // forward, wait = everything else (dominated by the gather leg).
+        let wall_ns = obs.tracer.now_ns().saturating_sub(t_round);
+        let wire_ns = broadcast_ns.saturating_sub(attr_retry_ns);
+        let wait_ns = wall_ns
+            .saturating_sub(broadcast_ns)
+            .saturating_sub(compute_ns);
+        // Only traced sessions feed these: a disabled tracer falls back
+        // to wall time, which would poison deterministic metric pins.
+        if traced {
+            self.h_attr_compute.observe(compute_ns);
+            self.h_attr_wire.observe(wire_ns);
+            self.h_attr_wait.observe(wait_ns);
+            self.h_attr_retry.observe(attr_retry_ns);
         }
 
         Ok(InferenceReport {

@@ -11,8 +11,17 @@
 //! Wire layout (little-endian), 16 bytes of header:
 //!
 //! ```text
-//! version: u16 | kind: u8 | reserved: u8 | round: u64 | crc32(payload): u32 | payload
+//! version: u16 | kind: u8 | flags: u8 | round: u64 | crc32(ext || payload): u32 | [ext] | payload
 //! ```
+//!
+//! Byte 3 (written as zero since v1, never previously validated) is now a
+//! flags byte. The only assigned bit is [`FLAG_TRACE`]: when set, a
+//! 16-byte trace extension ([`TraceContext`]: trace id + parent span id)
+//! sits between the header and the payload, and the CRC covers the
+//! extension *and* the payload. A frame with no flags set is
+//! byte-for-byte identical to a v1 frame, so the certified wire-cost
+//! model (DESIGN.md §13) stays honest for untraced traffic. Unknown flag
+//! bits are rejected on decode — they are this header's versioning lane.
 
 use crate::error::NetError;
 
@@ -22,6 +31,76 @@ pub const ENVELOPE_VERSION: u16 = 1;
 
 /// Size of the fixed envelope header in bytes.
 pub const ENVELOPE_HEADER_LEN: usize = 16;
+
+/// Flags-byte bit marking the presence of a [`TraceContext`] extension
+/// between the header and the payload.
+pub const FLAG_TRACE: u8 = 0x01;
+
+/// All flag bits this node understands; anything else is rejected.
+const KNOWN_FLAGS: u8 = FLAG_TRACE;
+
+/// Size of the serialized [`TraceContext`] extension in bytes.
+pub const TRACE_EXT_LEN: usize = 16;
+
+/// The causal trace context a frame can carry: which distributed trace
+/// the message belongs to and which span on the *sender* caused it.
+///
+/// Both ids are deterministically derived (see [`derive_trace_id`]) — no
+/// wall clock, no unseeded randomness — so two identical seeded runs
+/// stamp identical contexts. The receiver uses `parent_span` to parent
+/// its own processing span on the sender's, which is how
+/// `cargo xtask trace-assemble` stitches per-node traces into one
+/// cross-node causal DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Distributed trace id (one per inference round or serve request).
+    pub trace_id: u64,
+    /// Span id, in the sender's tracer, of the span that sent the frame.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    fn to_wire(self) -> [u8; TRACE_EXT_LEN] {
+        let mut out = [0u8; TRACE_EXT_LEN];
+        let (id_half, span_half) = out.split_at_mut(8);
+        id_half.copy_from_slice(&self.trace_id.to_le_bytes());
+        span_half.copy_from_slice(&self.parent_span.to_le_bytes());
+        out
+    }
+
+    fn from_wire(bytes: &[u8]) -> Option<Self> {
+        Some(TraceContext {
+            trace_id: u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?),
+            parent_span: u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?),
+        })
+    }
+}
+
+/// Reads the trace context off an encoded envelope without a full decode
+/// (no CRC pass, no payload copy). `None` when the frame is untraced,
+/// truncated, or not an envelope at all — callers wanting validation use
+/// [`Envelope::decode`]; this is for IO shells annotating recv events.
+pub fn peek_trace(bytes: &[u8]) -> Option<TraceContext> {
+    let header = bytes.get(..ENVELOPE_HEADER_LEN)?;
+    let version = u16::from_le_bytes(header.get(..2)?.try_into().ok()?);
+    if version != ENVELOPE_VERSION || header.get(3)? & FLAG_TRACE == 0 {
+        return None;
+    }
+    TraceContext::from_wire(bytes.get(ENVELOPE_HEADER_LEN..ENVELOPE_HEADER_LEN + TRACE_EXT_LEN)?)
+}
+
+/// Derives a trace id from a session seed and a session-local round
+/// index with a SplitMix64 finalizer: deterministic, well-mixed, and
+/// collision-free for distinct `(seed, round)` pairs up to mixing.
+pub fn derive_trace_id(seed: u64, round: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(round)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// What an envelope carries. The kind travels on the wire as one byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -88,6 +167,9 @@ pub struct Envelope {
     pub kind: PayloadKind,
     /// The application payload (already checksum-verified on decode).
     pub payload: Vec<u8>,
+    /// Causal trace context, when the frame carries the [`FLAG_TRACE`]
+    /// extension. `None` encodes byte-identically to a v1 frame.
+    pub trace: Option<TraceContext>,
 }
 
 impl Envelope {
@@ -97,17 +179,34 @@ impl Envelope {
             round,
             kind,
             payload,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace context, consuming and returning the envelope so
+    /// send sites can stamp inline: `Envelope::new(..).with_trace(ctx)`.
+    #[must_use]
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
     }
 
     /// Serializes the envelope into a fresh buffer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(ENVELOPE_HEADER_LEN + self.payload.len());
+        let ext = self.trace.map(TraceContext::to_wire);
+        let ext_bytes = ext.as_ref().map(|e| e.as_slice()).unwrap_or_default();
+        let mut buf =
+            Vec::with_capacity(ENVELOPE_HEADER_LEN + ext_bytes.len() + self.payload.len());
         buf.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
         buf.push(self.kind.to_wire());
-        buf.push(0); // reserved
+        buf.push(if ext.is_some() { FLAG_TRACE } else { 0 });
         buf.extend_from_slice(&self.round.to_le_bytes());
-        buf.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        let mut crc: u32 = !0;
+        for &b in ext_bytes.iter().chain(&self.payload) {
+            crc = crc32_step(crc, b);
+        }
+        buf.extend_from_slice(&(!crc).to_le_bytes());
+        buf.extend_from_slice(ext_bytes);
         buf.extend_from_slice(&self.payload);
         buf
     }
@@ -136,9 +235,10 @@ impl Envelope {
     /// # Errors
     ///
     /// * [`NetError::Malformed`] for a truncated header, an unknown
-    ///   version, or an unknown payload kind;
-    /// * [`NetError::Corrupt`] when the payload CRC disagrees with the
-    ///   header (a flipped bit anywhere in the payload).
+    ///   version, an unknown payload kind, an unknown flag bit, or a
+    ///   flagged trace extension the frame is too short to carry;
+    /// * [`NetError::Corrupt`] when the CRC disagrees with the header (a
+    ///   flipped bit anywhere in the extension or payload).
     pub fn decode(bytes: &[u8]) -> Result<Envelope, NetError> {
         let header = bytes.get(..ENVELOPE_HEADER_LEN).ok_or_else(|| {
             NetError::Malformed(format!(
@@ -154,17 +254,41 @@ impl Envelope {
             )));
         }
         let kind = PayloadKind::from_wire(header.get(2).copied().unwrap_or_default())?;
+        let flags = header.get(3).copied().unwrap_or_default();
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(NetError::Malformed(format!(
+                "envelope carries unknown flag bits {:#04x}",
+                flags & !KNOWN_FLAGS
+            )));
+        }
         let round = u64::from_le_bytes(take(4, 8).try_into().unwrap_or_default());
         let expected = u32::from_le_bytes(take(12, 4).try_into().unwrap_or_default());
-        let payload = bytes.get(ENVELOPE_HEADER_LEN..).unwrap_or_default();
-        let got = crc32(payload);
+        // The CRC covers everything after the header — extension included
+        // — so corruption is caught before the extension is interpreted.
+        let body = bytes.get(ENVELOPE_HEADER_LEN..).unwrap_or_default();
+        let got = crc32(body);
         if got != expected {
             return Err(NetError::Corrupt { expected, got });
         }
+        let (trace, payload) = if flags & FLAG_TRACE != 0 {
+            let ctx = body.get(..TRACE_EXT_LEN).and_then(TraceContext::from_wire);
+            match ctx {
+                Some(ctx) => (Some(ctx), body.get(TRACE_EXT_LEN..).unwrap_or_default()),
+                None => {
+                    return Err(NetError::Malformed(format!(
+                        "envelope flags a trace extension but carries {} body bytes",
+                        body.len()
+                    )))
+                }
+            }
+        } else {
+            (None, body)
+        };
         Ok(Envelope {
             round,
             kind,
             payload: payload.to_vec(),
+            trace,
         })
     }
 }
@@ -175,13 +299,20 @@ impl Envelope {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc: u32 = !0;
     for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+        crc = crc32_step(crc, b);
     }
     !crc
+}
+
+/// One byte of the CRC-32 state machine, for callers hashing
+/// non-contiguous regions without concatenating them first.
+fn crc32_step(mut crc: u32, b: u8) -> u32 {
+    crc ^= u32::from(b);
+    for _ in 0..8 {
+        let mask = (crc & 1).wrapping_neg();
+        crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+    }
+    crc
 }
 
 #[cfg(test)]
@@ -283,5 +414,116 @@ mod tests {
             let env = Envelope::new(round, PayloadKind::ProbeAck, vec![1]);
             assert_eq!(Envelope::decode(&env.encode()).unwrap().round, round);
         }
+    }
+
+    #[test]
+    fn untraced_encoding_is_byte_identical_to_v1() {
+        // The certified wire-cost model (DESIGN.md §13) pins the v1
+        // layout; an untraced envelope must not drift from it.
+        let env = Envelope::new(42, PayloadKind::Result, vec![1, 2, 3, 255]);
+        let bytes = env.encode();
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+        v1.push(1); // Result
+        v1.push(0); // no flags
+        v1.extend_from_slice(&42u64.to_le_bytes());
+        v1.extend_from_slice(&crc32(&[1, 2, 3, 255]).to_le_bytes());
+        v1.extend_from_slice(&[1, 2, 3, 255]);
+        assert_eq!(bytes, v1);
+    }
+
+    #[test]
+    fn traced_roundtrip() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_CAFE_F00D,
+            parent_span: 31,
+        };
+        let env = Envelope::new(9, PayloadKind::Input, vec![7; 11]).with_trace(ctx);
+        let bytes = env.encode();
+        assert_eq!(bytes.len(), ENVELOPE_HEADER_LEN + TRACE_EXT_LEN + 11);
+        let back = Envelope::decode(&bytes).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back.trace, Some(ctx));
+        assert_eq!(back.payload, vec![7; 11]);
+    }
+
+    #[test]
+    fn traced_empty_payload_roundtrip() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span: 0,
+        };
+        let env = Envelope::new(3, PayloadKind::Probe, Vec::new()).with_trace(ctx);
+        assert_eq!(Envelope::decode(&env.encode()).unwrap(), env);
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected() {
+        let mut bytes = Envelope::new(1, PayloadKind::Input, vec![9]).encode();
+        bytes[3] = 0x80;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_trace_extension_detected() {
+        let ctx = TraceContext {
+            trace_id: 55,
+            parent_span: 8,
+        };
+        let mut bytes = Envelope::new(2, PayloadKind::Result, vec![4; 6])
+            .with_trace(ctx)
+            .encode();
+        // Flip a bit inside the extension region, not the payload.
+        bytes[ENVELOPE_HEADER_LEN + 2] ^= 0x01;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(NetError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn flagged_but_truncated_extension_rejected() {
+        // A frame whose flags claim a trace extension but whose body is
+        // shorter than one. CRC must be made consistent so the length
+        // check is what fires.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+        buf.push(0); // Input
+        buf.push(FLAG_TRACE);
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        let body = [0xAAu8; 4];
+        buf.extend_from_slice(&crc32(&body).to_le_bytes());
+        buf.extend_from_slice(&body);
+        assert!(matches!(
+            Envelope::decode(&buf),
+            Err(NetError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn peek_trace_reads_without_full_decode() {
+        let ctx = TraceContext {
+            trace_id: 12,
+            parent_span: 34,
+        };
+        let traced = Envelope::new(1, PayloadKind::Input, vec![5]).with_trace(ctx);
+        assert_eq!(peek_trace(&traced.encode()), Some(ctx));
+        let plain = Envelope::new(1, PayloadKind::Input, vec![5]);
+        assert_eq!(peek_trace(&plain.encode()), None);
+        assert_eq!(peek_trace(&[1, 2, 3]), None);
+        // Truncated right after the header: flagged but no extension.
+        assert_eq!(peek_trace(&traced.encode()[..ENVELOPE_HEADER_LEN]), None);
+    }
+
+    #[test]
+    fn derive_trace_id_is_deterministic_and_mixes() {
+        assert_eq!(derive_trace_id(7, 3), derive_trace_id(7, 3));
+        assert_ne!(derive_trace_id(7, 3), derive_trace_id(7, 4));
+        assert_ne!(derive_trace_id(7, 3), derive_trace_id(8, 3));
+        // Zero inputs still yield a non-trivial id.
+        assert_ne!(derive_trace_id(0, 0), 0);
     }
 }

@@ -55,7 +55,10 @@ mod transport;
 
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use collective::{Communicator, COLLECTIVE_TAG_BASE};
-pub use envelope::{crc32, Envelope, PayloadKind, ENVELOPE_HEADER_LEN, ENVELOPE_VERSION};
+pub use envelope::{
+    crc32, derive_trace_id, peek_trace, Envelope, PayloadKind, TraceContext, ENVELOPE_HEADER_LEN,
+    ENVELOPE_VERSION, FLAG_TRACE, TRACE_EXT_LEN,
+};
 pub use error::NetError;
 pub use faults::{plan_fates, ChaosConfig, ChaosTransport, FaultFate, LossyTransport};
 pub use mailbox::Mailbox;

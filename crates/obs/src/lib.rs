@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod assemble;
 pub mod metrics;
 pub mod report;
 pub mod trace;
@@ -56,9 +57,16 @@ pub use alloc::AllocMeters;
 pub use metrics::{
     BucketCount, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
-pub use trace::{JsonlSink, NullSink, Obs, SpanGuard, TraceSink, Tracer, VecSink};
+pub use trace::{
+    FlightRecorder, JsonlSink, NullSink, Obs, RingSink, SpanGuard, TeeSink, TraceSink, Tracer,
+    VecSink,
+};
 pub use wrap::{TracedClock, TracedTransport};
 
 // Clock re-exports so downstream crates (simnet, benches) can build a
 // deterministic `Obs` without depending on `teamnet-net` themselves.
 pub use teamnet_net::{Clock, ManualClock, SystemClock};
+
+// Trace-context re-exports: the id types frames carry on the wire, plus
+// the framing sizes (header + trace extension) cost models need.
+pub use teamnet_net::{derive_trace_id, TraceContext, ENVELOPE_HEADER_LEN, TRACE_EXT_LEN};

@@ -95,6 +95,10 @@ impl Gauge {
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
+    // Exact extrema (not bucket bounds): min seeds at u64::MAX so the
+    // first observation wins; an empty histogram reports min = 0.
+    min: AtomicU64,
+    max: AtomicU64,
     buckets: [AtomicU64; NUM_BUCKETS],
 }
 
@@ -103,6 +107,8 @@ impl Default for Histogram {
         Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -130,6 +136,8 @@ impl Histogram {
                 Err(actual) => sum = actual,
             }
         }
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
         if let Some(bucket) = self.buckets.get(bucket_index(value)) {
             bucket.fetch_add(1, Ordering::Relaxed);
         }
@@ -154,9 +162,16 @@ impl Histogram {
                 })
             })
             .collect();
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -192,6 +207,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Saturating sum of all observations.
     pub sum: u64,
+    /// Smallest observation (exact, not a bucket bound); 0 when empty.
+    pub min: u64,
+    /// Largest observation (exact, not a bucket bound); 0 when empty.
+    pub max: u64,
     /// Non-empty buckets in ascending `exp` order.
     pub buckets: Vec<BucketCount>,
 }
@@ -202,12 +221,18 @@ impl HistogramSnapshot {
     /// empty histogram reports 0. Quantiles from log2 buckets are upper
     /// bounds, not exact order statistics — honest to within 2x.
     pub fn quantile(&self, q: u32) -> u64 {
+        self.quantile_permille(q.min(100) * 10)
+    }
+
+    /// [`Self::quantile`] at permille resolution (`q` in `0..=1000`), so
+    /// tails finer than 1% — p999 — are expressible.
+    pub fn quantile_permille(&self, q: u32) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        // rank = ceil(count * q / 100), clamped to at least 1.
-        let rank = (u128::from(self.count) * u128::from(q.min(100)))
-            .div_ceil(100)
+        // rank = ceil(count * q / 1000), clamped to at least 1.
+        let rank = (u128::from(self.count) * u128::from(q.min(1000)))
+            .div_ceil(1000)
             .max(1);
         let mut cum = 0u128;
         for b in &self.buckets {
@@ -227,6 +252,11 @@ impl HistogramSnapshot {
     /// 99th-percentile upper bound.
     pub fn p99(&self) -> u64 {
         self.quantile(99)
+    }
+
+    /// 99.9th-percentile upper bound.
+    pub fn p999(&self) -> u64 {
+        self.quantile_permille(999)
     }
 }
 
@@ -471,7 +501,38 @@ mod tests {
         let json = reg.snapshot().to_json().unwrap();
         assert_eq!(
             json,
-            r#"{"counters":{"c":2},"gauges":{},"histograms":{"h":{"count":1,"sum":4,"buckets":[{"exp":3,"count":1}]}}}"#
+            r#"{"counters":{"c":2},"gauges":{},"histograms":{"h":{"count":1,"sum":4,"min":4,"max":4,"buckets":[{"exp":3,"count":1}]}}}"#
         );
+    }
+
+    #[test]
+    fn min_max_track_exact_extrema() {
+        let h = Histogram::new();
+        let empty = h.snapshot();
+        assert_eq!((empty.min, empty.max), (0, 0));
+        h.observe(100);
+        h.observe(3);
+        h.observe(47);
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 3);
+        assert_eq!(snap.max, 100);
+        h.observe(0);
+        assert_eq!(h.snapshot().min, 0);
+    }
+
+    #[test]
+    fn p999_resolves_finer_than_p99() {
+        let h = Histogram::new();
+        // 99 fast observations, one slow outlier: p99 (rank 99) stays in
+        // the fast bucket, p999 (rank 100) lands on the outlier's bucket.
+        for _ in 0..99 {
+            h.observe(3);
+        }
+        h.observe(1000);
+        let snap = h.snapshot();
+        assert_eq!(snap.p99(), 3);
+        assert_eq!(snap.p999(), 1023);
+        assert_eq!(snap.quantile_permille(1000), 1023);
+        assert_eq!(Histogram::new().snapshot().p999(), 0);
     }
 }

@@ -24,6 +24,12 @@ pub struct SpanRow {
     pub p50_ns: u64,
     /// 99th-percentile duration upper bound, nanoseconds.
     pub p99_ns: u64,
+    /// 99.9th-percentile duration upper bound, nanoseconds.
+    pub p999_ns: u64,
+    /// Shortest duration (exact), nanoseconds.
+    pub min_ns: u64,
+    /// Longest duration (exact), nanoseconds.
+    pub max_ns: u64,
     /// Total time spent in this span (sum of durations), nanoseconds.
     pub total_ns: u64,
 }
@@ -64,7 +70,8 @@ fn field_u64(value: &Value, key: &str) -> Option<u64> {
 /// Parses trace JSONL and aggregates per-span latency histograms.
 ///
 /// Blank lines are permitted (trailing newline); anything else must be a
-/// well-formed event object with an `ev` of `enter` or `exit`, and exits
+/// well-formed event object with an `ev` of `enter`, `exit`, or one of
+/// the point kinds (`send`/`recv`/`mark` — counted, not timed), and exits
 /// must carry `name` + `dur_ns`.
 ///
 /// # Errors
@@ -87,7 +94,10 @@ pub fn analyze(text: &str) -> Result<TraceReport, ParseError> {
             message: "event missing string `ev`".to_string(),
         })?;
         match ev {
-            "enter" => events += 1,
+            // Point events (cross-node wire edges, flight-recorder marks)
+            // carry no duration; they count toward `events` so a report
+            // over a send/recv-only trace is still visibly non-empty.
+            "enter" | "send" | "recv" | "mark" => events += 1,
             "exit" => {
                 events += 1;
                 let name = value
@@ -123,6 +133,9 @@ pub fn analyze(text: &str) -> Result<TraceReport, ParseError> {
                 count: snap.count,
                 p50_ns: snap.p50(),
                 p99_ns: snap.p99(),
+                p999_ns: snap.p999(),
+                min_ns: snap.min,
+                max_ns: snap.max,
                 total_ns: snap.sum,
             }
         })
@@ -143,14 +156,21 @@ pub fn render_table(report: &TraceReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>16}",
-        "span", "count", "p50(ns)<=", "p99(ns)<=", "total(ns)"
+        "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>14}  {:>14}  {:>14}  {:>16}",
+        "span", "count", "p50(ns)<=", "p99(ns)<=", "p999(ns)<=", "min(ns)", "max(ns)", "total(ns)"
     );
     for row in &report.rows {
         let _ = writeln!(
             out,
-            "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>16}",
-            row.name, row.count, row.p50_ns, row.p99_ns, row.total_ns
+            "{:<name_width$}  {:>8}  {:>14}  {:>14}  {:>14}  {:>14}  {:>14}  {:>16}",
+            row.name,
+            row.count,
+            row.p50_ns,
+            row.p99_ns,
+            row.p999_ns,
+            row.min_ns,
+            row.max_ns,
+            row.total_ns
         );
     }
     out
@@ -182,6 +202,29 @@ mod tests {
         assert_eq!(report.rows[0].p50_ns, 15, "10 lands in bucket 8..=15");
         assert_eq!(report.rows[1].name, "send");
         assert_eq!(report.rows[1].p99_ns, 3);
+        assert_eq!(report.rows[1].p999_ns, 3);
+        assert_eq!(report.rows[1].min_ns, 3);
+        assert_eq!(report.rows[1].max_ns, 3);
+        assert_eq!(
+            report.rows[0].min_ns, 10,
+            "min/max are exact, not bucket bounds"
+        );
+        assert_eq!(report.rows[0].max_ns, 10);
+    }
+
+    #[test]
+    fn point_events_are_counted_not_timed() {
+        let text = concat!(
+            r#"{"seq":0,"ev":"send","span":1,"name":"input","t_ns":0,"fields":{"peer":1,"trace":9,"bytes":64}}"#,
+            "\n",
+            r#"{"seq":1,"ev":"recv","span":2,"name":"result","t_ns":5,"fields":{"peer":0,"trace":9,"rspan":1,"bytes":32}}"#,
+            "\n",
+            r#"{"seq":2,"ev":"mark","span":0,"name":"flight.quarantine","t_ns":6,"fields":{"peer":2}}"#,
+            "\n",
+        );
+        let report = analyze(text).unwrap();
+        assert_eq!(report.events, 3);
+        assert!(report.rows.is_empty(), "no durations, no rows");
     }
 
     #[test]
@@ -236,5 +279,8 @@ mod tests {
         assert!(lines[1].starts_with("round"));
         assert!(lines[2].starts_with("send"));
         assert!(lines[0].contains("p50(ns)<="));
+        assert!(lines[0].contains("p999(ns)<="));
+        assert!(lines[0].contains("min(ns)"));
+        assert!(lines[0].contains("max(ns)"));
     }
 }

@@ -22,10 +22,11 @@ use crate::metrics::MetricsRegistry;
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use teamnet_net::{Clock, ManualClock, SystemClock};
+use teamnet_net::{Clock, ManualClock, SystemClock, TraceContext};
 
 /// Where trace events go.
 ///
@@ -148,6 +149,159 @@ impl Drop for JsonlSink {
     }
 }
 
+/// A fixed-capacity ring of the most recent trace events — the flight
+/// recorder's storage.
+///
+/// Every slot is a `String` allocated once at construction and reused in
+/// place (`clear` + `push_str`), so steady-state recording allocates
+/// nothing beyond occasional slot growth when an event line outgrows its
+/// slot's prior capacity. Cheap enough to leave on in production even
+/// when full tracing is off.
+#[derive(Debug)]
+pub struct RingSink {
+    state: Mutex<RingState>,
+}
+
+#[derive(Debug)]
+struct RingState {
+    slots: Vec<String>,
+    /// How many slots hold real events (saturates at capacity).
+    len: usize,
+    /// Next slot to overwrite.
+    next: usize,
+}
+
+impl RingSink {
+    /// A ring holding the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        RingSink {
+            state: Mutex::new(RingState {
+                slots: vec![String::new(); cap],
+                len: 0,
+                next: 0,
+            }),
+        }
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().slots.len()
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<String> {
+        let state = self.state.lock();
+        let cap = state.slots.len();
+        let start = if state.len < cap { 0 } else { state.next };
+        (0..state.len)
+            .map(|i| state.slots[(start + i) % cap].clone())
+            .collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, line: &str) {
+        let mut state = self.state.lock();
+        let at = state.next;
+        let cap = state.slots.len();
+        let slot = &mut state.slots[at];
+        slot.clear();
+        slot.push_str(line);
+        state.next = (at + 1) % cap;
+        state.len = (state.len + 1).min(cap);
+    }
+}
+
+/// Fans every event out to each inner sink that is enabled. Used to run a
+/// full trace file and a [`RingSink`] flight recorder off one tracer.
+#[derive(Debug)]
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// A tee over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, line: &str) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.record(line);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+/// A dump-on-failure flight recorder: a [`RingSink`] of recent events
+/// plus a dump directory.
+///
+/// Code that detects an anomaly (quarantine transition, failed round,
+/// overload burst) calls [`Obs::flight_dump`], which appends a `mark`
+/// event naming the trigger — so the *last* line of every dump is the
+/// transition that caused it — and then writes the ring out as
+/// `flight-<n>.jsonl`.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: Arc<RingSink>,
+    dir: PathBuf,
+    dumps: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder over an existing ring, dumping into `dir`.
+    pub fn from_ring(ring: Arc<RingSink>, dir: impl AsRef<Path>) -> Self {
+        FlightRecorder {
+            ring,
+            dir: dir.as_ref().to_path_buf(),
+            dumps: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying ring, for wiring into a [`TeeSink`].
+    pub fn ring(&self) -> Arc<RingSink> {
+        Arc::clone(&self.ring)
+    }
+
+    /// How many dumps have been written.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+
+    /// Writes the ring's current contents to `flight-<n>.jsonl` in the
+    /// dump directory. IO failures are swallowed (`None`): the recorder
+    /// is a bystander, and a full disk must not take down inference.
+    pub fn dump(&self) -> Option<PathBuf> {
+        let n = self.dumps.fetch_add(1, Ordering::Relaxed);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return None;
+        }
+        let path = self.dir.join(format!("flight-{n}.jsonl"));
+        let lines = self.ring.snapshot();
+        let mut out = String::new();
+        for line in &lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        std::fs::write(&path, out).ok()?;
+        Some(path)
+    }
+}
+
 /// Escapes a string for embedding in a JSON string literal. Span names
 /// are controlled identifiers, but the sink format must stay valid JSON
 /// for any input.
@@ -228,6 +382,15 @@ impl Tracer {
         u64::try_from(instant.saturating_duration_since(self.origin).as_nanos()).unwrap_or(u64::MAX)
     }
 
+    /// Current nanosecond timestamp on the tracer's own clock (offset
+    /// from its origin). Instrumentation that derives *metrics* from the
+    /// traced timeline (e.g. the per-round attribution histograms) must
+    /// read this clock, not a wall clock, so deterministic runs over a
+    /// [`teamnet_net::ManualClock`] stay byte-identical.
+    pub fn now_ns(&self) -> u64 {
+        self.offset_ns(self.clock.now())
+    }
+
     /// Opens a span. The returned guard records the exit when dropped;
     /// bind it (`let _span = …`) for the span to cover the scope.
     ///
@@ -299,6 +462,76 @@ impl Tracer {
         self.sink
             .record(&render_exit(seq_exit, span_id, name, end_ns, dur_ns));
         self.observe_duration(name, dur_ns);
+    }
+
+    /// The innermost open span's id, or `0` when no span is open (or the
+    /// tracer is disabled). This is what send sites stamp into outgoing
+    /// frames as the causal parent.
+    pub fn current_span(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.state.lock().stack.last().copied().unwrap_or(0)
+    }
+
+    /// A [`TraceContext`] for `trace_id` parented on the current span —
+    /// the one-liner send sites use to stamp outgoing frames.
+    pub fn current_ctx(&self, trace_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            parent_span: self.current_span(),
+        }
+    }
+
+    /// Records a point event (no duration): `ev:"mark"`. Used for state
+    /// transitions and flight-recorder triggers.
+    pub fn mark(&self, name: &str, fields: &[(&'static str, u64)]) {
+        self.point_event("mark", None, name, fields);
+    }
+
+    /// Records the departure of a traced frame: `ev:"send"` on the
+    /// sender's current span, carrying the destination `peer`, the
+    /// stamped trace id and the wire size. `trace-assemble` pairs it with
+    /// the matching `recv` on the far side to measure the wire.
+    pub fn send_event(&self, kind: &str, peer: u64, ctx: TraceContext, bytes: u64) {
+        self.point_event(
+            "send",
+            Some(ctx.parent_span),
+            kind,
+            &[("peer", peer), ("trace", ctx.trace_id), ("bytes", bytes)],
+        );
+    }
+
+    /// Records the arrival of a traced frame: `ev:"recv"` on the
+    /// receiver's current span. `rspan` is the *sender's* span id carried
+    /// in the frame — the other half of the cross-node edge.
+    pub fn recv_event(&self, kind: &str, peer: u64, ctx: TraceContext, bytes: u64) {
+        self.point_event(
+            "recv",
+            None,
+            kind,
+            &[
+                ("peer", peer),
+                ("trace", ctx.trace_id),
+                ("rspan", ctx.parent_span),
+                ("bytes", bytes),
+            ],
+        );
+    }
+
+    /// Shared implementation of the point events (`mark`/`send`/`recv`):
+    /// one line on the current (or given) span, no stack change.
+    fn point_event(&self, ev: &str, span: Option<u64>, name: &str, fields: &[(&'static str, u64)]) {
+        if !self.enabled {
+            return;
+        }
+        let t_ns = self.offset_ns(self.clock.now());
+        let mut state = self.state.lock();
+        let span = span.unwrap_or_else(|| state.stack.last().copied().unwrap_or(0));
+        let seq = state.seq;
+        state.seq += 1;
+        self.sink
+            .record(&render_event(seq, ev, span, name, t_ns, fields));
     }
 
     /// Flushes the underlying sink.
@@ -374,6 +607,33 @@ fn render_enter(
     out
 }
 
+fn render_event(
+    seq: u64,
+    ev: &str,
+    span: u64,
+    name: &str,
+    t_ns: u64,
+    fields: &[(&'static str, u64)],
+) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"ev\":\"{ev}\",\"span\":{span},\"name\":\""
+    );
+    escape_into(&mut out, name);
+    let _ = write!(out, "\",\"t_ns\":{t_ns},\"fields\":{{");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(&mut out, key);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("}}");
+    out
+}
+
 fn render_exit(seq: u64, span: u64, name: &str, t_ns: u64, dur_ns: u64) -> String {
     let mut out = String::with_capacity(80);
     let _ = write!(
@@ -415,6 +675,9 @@ pub struct Obs {
     pub tracer: Arc<Tracer>,
     /// The metrics registry.
     pub metrics: Arc<MetricsRegistry>,
+    /// Optional flight recorder; anomaly paths dump it via
+    /// [`Obs::flight_dump`].
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Obs {
@@ -423,7 +686,11 @@ impl Obs {
     pub fn new(clock: Arc<dyn Clock>, sink: Arc<dyn TraceSink>) -> Self {
         let metrics = Arc::new(MetricsRegistry::new());
         let tracer = Arc::new(Tracer::new(clock, sink, Some(Arc::clone(&metrics))));
-        Obs { tracer, metrics }
+        Obs {
+            tracer,
+            metrics,
+            flight: None,
+        }
     }
 
     /// No tracing; live metrics. The zero-overhead default.
@@ -431,7 +698,38 @@ impl Obs {
         Obs {
             tracer: Arc::new(Tracer::disabled()),
             metrics: Arc::new(MetricsRegistry::new()),
+            flight: None,
         }
+    }
+
+    /// Tracing + metrics where the sink is teed into a fresh
+    /// `capacity`-event [`RingSink`], and a [`FlightRecorder`] over that
+    /// ring dumps into `dump_dir`. The full trace still reaches `sink`.
+    pub fn with_flight_recorder(
+        clock: Arc<dyn Clock>,
+        sink: Arc<dyn TraceSink>,
+        capacity: usize,
+        dump_dir: impl AsRef<Path>,
+    ) -> Self {
+        let ring = Arc::new(RingSink::new(capacity));
+        let tee: Arc<dyn TraceSink> = Arc::new(TeeSink::new(vec![
+            sink,
+            Arc::clone(&ring) as Arc<dyn TraceSink>,
+        ]));
+        let recorder = Arc::new(FlightRecorder::from_ring(ring, dump_dir));
+        let mut obs = Obs::new(clock, tee);
+        obs.flight = Some(recorder);
+        obs
+    }
+
+    /// Appends a `mark` event naming the trigger (so it lands as the
+    /// dump's final line) and dumps the flight-recorder ring. Returns the
+    /// dump path, or `None` when no recorder is armed or the write
+    /// failed.
+    pub fn flight_dump(&self, reason: &str, fields: &[(&'static str, u64)]) -> Option<PathBuf> {
+        let recorder = self.flight.as_ref()?;
+        self.tracer.mark(reason, fields);
+        recorder.dump()
     }
 
     /// Tracing + metrics for *simulated* time: the tracer's clock is a
@@ -586,5 +884,162 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "{\"seq\":0}\n");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dropped_jsonl_sink_loses_no_events() {
+        // The sink buffers (BufWriter) — a drop without an explicit flush
+        // must still land every event on disk.
+        let dir = std::env::temp_dir();
+        let path = dir.join("teamnet_obs_trace_drop_test.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            for i in 0..100 {
+                sink.record(&format!(r#"{{"seq":{i}}}"#));
+            }
+            // No flush: drop must do it.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 100);
+        assert_eq!(lines[99], r#"{"seq":99}"#);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn send_recv_mark_events_pin_their_format() {
+        let (clock, sink, obs) = manual_obs();
+        let _round = obs.span("round", &[]);
+        clock.advance(Duration::from_nanos(10));
+        let ctx = obs.tracer.current_ctx(77);
+        assert_eq!(
+            ctx,
+            TraceContext {
+                trace_id: 77,
+                parent_span: 1
+            }
+        );
+        obs.tracer.send_event("input", 2, ctx, 128);
+        clock.advance(Duration::from_nanos(5));
+        obs.tracer.recv_event(
+            "result",
+            2,
+            TraceContext {
+                trace_id: 77,
+                parent_span: 9,
+            },
+            64,
+        );
+        obs.tracer.mark("quarantine", &[("peer", 2)]);
+        let lines = sink.lines();
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"ev":"send","span":1,"name":"input","t_ns":10,"fields":{"peer":2,"trace":77,"bytes":128}}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"seq":2,"ev":"recv","span":1,"name":"result","t_ns":15,"fields":{"peer":2,"trace":77,"rspan":9,"bytes":64}}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"seq":3,"ev":"mark","span":1,"name":"quarantine","t_ns":15,"fields":{"peer":2}}"#
+        );
+        for line in &lines {
+            assert!(serde_json::from_str::<serde::Value>(line).is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_skips_point_events() {
+        let obs = Obs::disabled();
+        obs.tracer.mark("x", &[]);
+        obs.tracer.send_event("y", 1, obs.tracer.current_ctx(1), 10);
+        assert_eq!(obs.tracer.current_span(), 0);
+    }
+
+    #[test]
+    fn ring_sink_keeps_only_the_newest_events_in_order() {
+        let ring = RingSink::new(3);
+        assert_eq!(ring.capacity(), 3);
+        assert!(ring.snapshot().is_empty());
+        ring.record("a");
+        ring.record("b");
+        assert_eq!(ring.snapshot(), vec!["a", "b"]);
+        ring.record("c");
+        ring.record("d");
+        ring.record("e");
+        assert_eq!(ring.snapshot(), vec!["c", "d", "e"]);
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_enabled_sinks_only() {
+        let a = Arc::new(VecSink::new());
+        let ring = Arc::new(RingSink::new(4));
+        let tee = TeeSink::new(vec![
+            Arc::clone(&a) as Arc<dyn TraceSink>,
+            Arc::new(NullSink) as Arc<dyn TraceSink>,
+            Arc::clone(&ring) as Arc<dyn TraceSink>,
+        ]);
+        assert!(tee.enabled());
+        tee.record("x");
+        assert_eq!(a.lines(), vec!["x"]);
+        assert_eq!(ring.snapshot(), vec!["x"]);
+    }
+
+    #[test]
+    fn flight_dump_writes_ring_with_trigger_mark_last() {
+        let dir = std::env::temp_dir().join("teamnet_obs_flight_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(VecSink::new());
+        let obs = Obs::with_flight_recorder(
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            Arc::clone(&sink) as Arc<dyn TraceSink>,
+            8,
+            &dir,
+        );
+        {
+            let _s = obs.span("round", &[("round_idx", 1)]);
+            clock.advance(Duration::from_nanos(3));
+        }
+        let path = obs
+            .flight_dump("flight.quarantine", &[("peer", 2)])
+            .expect("dump path");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        let last = lines.last().unwrap();
+        assert!(
+            last.contains(r#""ev":"mark""#) && last.contains("flight.quarantine"),
+            "{last}"
+        );
+        // The full-trace sink saw the same events.
+        assert_eq!(sink.lines().len(), 3);
+        assert_eq!(obs.flight.as_ref().unwrap().dump_count(), 1);
+        // A second dump gets a fresh file name.
+        let second = obs.flight_dump("flight.quarantine", &[]).unwrap();
+        assert_ne!(path, second);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_sink_records_even_when_primary_sink_is_disabled() {
+        // Flight recording without always-on full tracing: tee of
+        // NullSink + ring is still enabled, so spans reach the ring.
+        let dir = std::env::temp_dir().join("teamnet_obs_flight_null_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = Obs::with_flight_recorder(
+            Arc::new(ManualClock::new()) as Arc<dyn Clock>,
+            Arc::new(NullSink) as Arc<dyn TraceSink>,
+            4,
+            &dir,
+        );
+        assert!(obs.enabled());
+        {
+            let _s = obs.span("round", &[]);
+        }
+        let ring = obs.flight.as_ref().unwrap().ring();
+        assert_eq!(ring.snapshot().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

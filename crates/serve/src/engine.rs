@@ -129,6 +129,12 @@ struct QueuedRequest {
     ticket: Ticket,
 }
 
+/// Consecutive [`ServeError::Overloaded`] rejections (with no admission
+/// in between) that trigger a flight-recorder dump: a short blip sheds a
+/// request or two, a burst this long means the team is saturated or
+/// shrunk, and the last ring of trace events explains which.
+const OVERLOAD_DUMP_STREAK: u64 = 8;
+
 /// Mutable front-door state behind one lock.
 #[derive(Debug)]
 struct FrontState {
@@ -136,6 +142,8 @@ struct FrontState {
     requests: BTreeMap<u64, QueuedRequest>,
     next_id: u64,
     closed: bool,
+    /// Consecutive overload rejections since the last admission.
+    overload_streak: u64,
 }
 
 /// The shared front door: admission state plus the clock/obs handles
@@ -198,10 +206,26 @@ impl ServeHandle {
         }
         let id = st.next_id;
         match st.batcher.admit(id, rows, now_ns) {
-            Ok(()) => {}
+            Ok(()) => st.overload_streak = 0,
             Err(e) => {
                 match &e {
-                    ServeError::Overloaded { .. } => self.front.c_rej_overload.inc(),
+                    ServeError::Overloaded { depth, window } => {
+                        self.front.c_rej_overload.inc();
+                        st.overload_streak += 1;
+                        if st.overload_streak == OVERLOAD_DUMP_STREAK {
+                            // A sustained burst, not a blip: dump the
+                            // flight-recorder ring (if armed) with the
+                            // burst as its final event.
+                            let _ = self.front.obs.flight_dump(
+                                "flight.overload",
+                                &[
+                                    ("streak", st.overload_streak),
+                                    ("depth", *depth as u64),
+                                    ("window", *window as u64),
+                                ],
+                            );
+                        }
+                    }
                     _ => self.front.c_rej_malformed.inc(),
                 }
                 return Err(e);
@@ -233,6 +257,13 @@ impl ServeHandle {
     /// detector holds workers in quarantine (backpressure).
     pub fn admission_window(&self) -> usize {
         self.front.state.lock().batcher.window()
+    }
+
+    /// The engine's observability handle (shared with the underlying
+    /// [`InferenceSession`]): the TCP front-end uses it to trace
+    /// per-request spans on the same timeline as the rounds.
+    pub fn obs(&self) -> &Obs {
+        &self.front.obs
     }
 
     /// Marks the engine closed: future submissions fail with
@@ -274,6 +305,7 @@ impl ServeEngine {
                 requests: BTreeMap::new(),
                 next_id: 0,
                 closed: false,
+                overload_streak: 0,
             }),
             wake: Condvar::new(),
             origin: clock.now(),
@@ -401,6 +433,8 @@ impl ServeEngine {
                 st.batcher.set_health(live, total);
             }
             Err(e) => {
+                // The failed round itself already dumped the flight
+                // recorder (if armed) inside `InferenceSession::infer`.
                 self.c_rounds_failed.inc();
                 let err = ServeError::Net(e.to_string());
                 for (_, req) in &flush {

@@ -14,7 +14,7 @@ use crate::engine::ServeHandle;
 use crate::error::ServeError;
 use crate::wire::{
     decode_predictions, decode_reject, encode_predictions, encode_reject, read_serve_frame,
-    write_serve_frame, ServeMsgKind,
+    write_serve_frame, write_serve_frame_traced, ServeMsgKind,
 };
 use parking_lot::Mutex;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -24,6 +24,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use teamnet_core::TeamPrediction;
 use teamnet_net::codec::{decode_f32s, encode_f32s};
+use teamnet_net::{derive_trace_id, TraceContext};
 use teamnet_tensor::Tensor;
 
 /// How often the non-blocking accept loop polls for the stop flag.
@@ -149,11 +150,27 @@ fn handle_connection(mut stream: TcpStream, handle: &ServeHandle) {
         };
         match frame.kind {
             ServeMsgKind::Request => {
+                // A traced request gets an end-to-end `serve.request`
+                // span covering admission → round → reply, and the reply
+                // frame echoes the trace (parented on that span) so the
+                // tenant can correlate its request with the cluster's
+                // cross-node DAG (DESIGN.md §17).
+                let obs = handle.obs().clone();
+                let req_span = frame.trace.map(|ctx| {
+                    obs.span(
+                        "serve.request",
+                        &[("req", frame.req_id), ("trace", ctx.trace_id)],
+                    )
+                });
                 let (kind, payload) = match process_request(handle, &frame.payload) {
                     Ok(preds) => (ServeMsgKind::Reply, encode_predictions(&preds)),
                     Err(e) => (ServeMsgKind::Reject, encode_reject(&e)),
                 };
-                if write_serve_frame(&mut stream, kind, frame.req_id, &payload).is_err() {
+                let reply_ctx = frame.trace.map(|ctx| obs.tracer.current_ctx(ctx.trace_id));
+                drop(req_span);
+                if write_serve_frame_traced(&mut stream, kind, frame.req_id, reply_ctx, &payload)
+                    .is_err()
+                {
                     return;
                 }
             }
@@ -191,6 +208,7 @@ fn process_request(
 pub struct ServeClient {
     stream: TcpStream,
     next_id: u64,
+    trace_seed: Option<u64>,
 }
 
 impl ServeClient {
@@ -202,7 +220,20 @@ impl ServeClient {
     pub fn connect(addr: &SocketAddr) -> Result<ServeClient, ServeError> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| ServeError::Net(format!("connect {addr}: {e}")))?;
-        Ok(ServeClient { stream, next_id: 1 })
+        Ok(ServeClient {
+            stream,
+            next_id: 1,
+            trace_seed: None,
+        })
+    }
+
+    /// Stamps every subsequent request with a deterministic trace id
+    /// derived from `seed` and the request id, so the server opens a
+    /// `serve.request` span for it and echoes the trace on the reply.
+    /// Untraced clients (the default) stay wire-identical to the
+    /// pre-tracing protocol.
+    pub fn set_trace_seed(&mut self, seed: u64) {
+        self.trace_seed = Some(seed);
     }
 
     /// One blocking inference: sends the `[rows, features...]` tensor,
@@ -216,16 +247,24 @@ impl ServeClient {
     pub fn infer(&mut self, input: &Tensor) -> Result<Vec<TeamPrediction>, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_serve_frame(
+        let trace = self.trace_seed.map(|seed| TraceContext {
+            trace_id: derive_trace_id(seed, id),
+            parent_span: 0,
+        });
+        write_serve_frame_traced(
             &mut self.stream,
             ServeMsgKind::Request,
             id,
+            trace,
             &encode_f32s(input.dims(), input.data()),
         )?;
         loop {
             let frame = read_serve_frame(&mut self.stream)?;
             if frame.req_id != id {
                 continue; // stray frame from an abandoned request
+            }
+            if let (Some(sent), Some(echo)) = (trace, frame.trace) {
+                debug_assert_eq!(sent.trace_id, echo.trace_id);
             }
             return match frame.kind {
                 ServeMsgKind::Reply => decode_predictions(&frame.payload),

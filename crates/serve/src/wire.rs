@@ -13,7 +13,7 @@
 use crate::error::ServeError;
 use std::io::{Read, Write};
 use teamnet_core::TeamPrediction;
-use teamnet_net::crc32;
+use teamnet_net::{crc32, TraceContext};
 
 /// Frame magic: `b"TSRV"` little-endian, so a stray connection speaking
 /// the wrong protocol fails fast instead of mis-decoding.
@@ -21,6 +21,15 @@ pub const SERVE_MAGIC: u32 = 0x5652_5354;
 
 /// Frame header length: magic(4) | kind(1) | req_id(8) | len(4) | crc(4).
 pub const SERVE_HEADER_LEN: usize = 21;
+
+/// High bit of the kind byte: the header is followed by a 16-byte trace
+/// extension (`trace_id: u64 | parent_span: u64`, little-endian), covered
+/// by the frame CRC together with the payload. Untraced frames stay
+/// byte-identical to the pre-tracing protocol (DESIGN.md §17).
+pub const SERVE_TRACE_FLAG: u8 = 0x80;
+
+/// Length of the optional trace extension.
+pub const SERVE_TRACE_EXT_LEN: usize = 16;
 
 /// Largest accepted payload: a 64-row batch of 28×28 images is ~200 KiB;
 /// 16 MiB leaves room for generous feature dims while bounding what a
@@ -64,6 +73,14 @@ impl ServeMsgKind {
     }
 }
 
+/// The trace extension bytes for `ctx`.
+fn trace_ext(ctx: TraceContext) -> [u8; SERVE_TRACE_EXT_LEN] {
+    let mut ext = [0u8; SERVE_TRACE_EXT_LEN];
+    ext[..8].copy_from_slice(&ctx.trace_id.to_le_bytes());
+    ext[8..].copy_from_slice(&ctx.parent_span.to_le_bytes());
+    ext
+}
+
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeFrame {
@@ -71,23 +88,56 @@ pub struct ServeFrame {
     pub kind: ServeMsgKind,
     /// Which request it belongs to (client-chosen, echoed by the server).
     pub req_id: u64,
+    /// Trace context carried by the [`SERVE_TRACE_FLAG`] extension, if
+    /// the sender stamped one.
+    pub trace: Option<TraceContext>,
     /// Kind-specific payload bytes.
     pub payload: Vec<u8>,
 }
 
-/// Encodes one frame.
+/// Encodes one untraced frame (byte-identical to the pre-tracing
+/// protocol).
 pub fn encode_serve_frame(kind: ServeMsgKind, req_id: u64, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(SERVE_HEADER_LEN + payload.len());
+    encode_serve_frame_traced(kind, req_id, None, payload)
+}
+
+/// Encodes one frame, stamping the [`SERVE_TRACE_FLAG`] extension when
+/// `trace` is given; the CRC covers the extension and the payload.
+pub fn encode_serve_frame_traced(
+    kind: ServeMsgKind,
+    req_id: u64,
+    trace: Option<TraceContext>,
+    payload: &[u8],
+) -> Vec<u8> {
+    let ext = trace.map(trace_ext);
+    let ext_bytes = if ext.is_some() {
+        SERVE_TRACE_EXT_LEN
+    } else {
+        0
+    };
+    let mut out = Vec::with_capacity(SERVE_HEADER_LEN + ext_bytes + payload.len());
     out.extend_from_slice(&SERVE_MAGIC.to_le_bytes());
-    out.push(kind.to_byte());
+    out.push(kind.to_byte() | if ext.is_some() { SERVE_TRACE_FLAG } else { 0 });
     out.extend_from_slice(&req_id.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    let crc = match &ext {
+        Some(ext) => {
+            let mut body = Vec::with_capacity(ext.len() + payload.len());
+            body.extend_from_slice(ext);
+            body.extend_from_slice(payload);
+            crc32(&body)
+        }
+        None => crc32(payload),
+    };
+    out.extend_from_slice(&crc.to_le_bytes());
+    if let Some(ext) = &ext {
+        out.extend_from_slice(ext);
+    }
     out.extend_from_slice(payload);
     out
 }
 
-/// Writes one frame to a byte stream.
+/// Writes one untraced frame to a byte stream.
 ///
 /// # Errors
 ///
@@ -98,7 +148,22 @@ pub fn write_serve_frame(
     req_id: u64,
     payload: &[u8],
 ) -> Result<(), ServeError> {
-    let bytes = encode_serve_frame(kind, req_id, payload);
+    write_serve_frame_traced(writer, kind, req_id, None, payload)
+}
+
+/// Writes one frame, stamping the trace extension when `trace` is given.
+///
+/// # Errors
+///
+/// [`ServeError::Closed`] when the stream is gone.
+pub fn write_serve_frame_traced(
+    writer: &mut dyn Write,
+    kind: ServeMsgKind,
+    req_id: u64,
+    trace: Option<TraceContext>,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    let bytes = encode_serve_frame_traced(kind, req_id, trace, payload);
     writer
         .write_all(&bytes)
         .and_then(|()| writer.flush())
@@ -128,7 +193,9 @@ pub fn read_serve_frame(reader: &mut dyn Read) -> Result<ServeFrame, ServeError>
     if word(0) != SERVE_MAGIC {
         return Err(ServeError::Malformed("bad frame magic".into()));
     }
-    let kind = ServeMsgKind::from_byte(header.get(4).copied().unwrap_or(0))?;
+    let raw_kind = header.get(4).copied().unwrap_or(0);
+    let traced = raw_kind & SERVE_TRACE_FLAG != 0;
+    let kind = ServeMsgKind::from_byte(raw_kind & !SERVE_TRACE_FLAG)?;
     let req_id = header
         .get(5..13)
         .and_then(|b| b.try_into().ok())
@@ -141,16 +208,35 @@ pub fn read_serve_frame(reader: &mut dyn Read) -> Result<ServeFrame, ServeError>
             "frame payload of {len} bytes exceeds the {MAX_SERVE_PAYLOAD}-byte bound"
         )));
     }
+    let mut ext = [0u8; SERVE_TRACE_EXT_LEN];
+    if traced {
+        reader
+            .read_exact(&mut ext)
+            .map_err(|_| ServeError::Closed)?;
+    }
     let mut payload = vec![0u8; len];
     reader
         .read_exact(&mut payload)
         .map_err(|_| ServeError::Closed)?;
-    if crc32(&payload) != crc {
+    let actual = if traced {
+        let mut body = Vec::with_capacity(SERVE_TRACE_EXT_LEN + len);
+        body.extend_from_slice(&ext);
+        body.extend_from_slice(&payload);
+        crc32(&body)
+    } else {
+        crc32(&payload)
+    };
+    if actual != crc {
         return Err(ServeError::Malformed("frame crc mismatch".into()));
     }
+    let trace = traced.then(|| TraceContext {
+        trace_id: u64::from_le_bytes(ext[..8].try_into().unwrap_or_default()),
+        parent_span: u64::from_le_bytes(ext[8..].try_into().unwrap_or_default()),
+    });
     Ok(ServeFrame {
         kind,
         req_id,
+        trace,
         payload,
     })
 }
@@ -236,7 +322,43 @@ mod tests {
         let frame = read_serve_frame(&mut bytes.as_slice()).unwrap();
         assert_eq!(frame.kind, ServeMsgKind::Request);
         assert_eq!(frame.req_id, 42);
+        assert_eq!(frame.trace, None);
         assert_eq!(frame.payload, b"payload");
+    }
+
+    #[test]
+    fn traced_frame_round_trip_and_untraced_stays_byte_identical() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_0123_4567,
+            parent_span: 99,
+        };
+        let bytes = encode_serve_frame_traced(ServeMsgKind::Request, 7, Some(ctx), b"xyz");
+        assert_eq!(bytes.len(), SERVE_HEADER_LEN + SERVE_TRACE_EXT_LEN + 3);
+        let frame = read_serve_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(frame.kind, ServeMsgKind::Request);
+        assert_eq!(frame.req_id, 7);
+        assert_eq!(frame.trace, Some(ctx));
+        assert_eq!(frame.payload, b"xyz");
+        // `None` takes exactly the legacy encoding path.
+        assert_eq!(
+            encode_serve_frame_traced(ServeMsgKind::Request, 7, None, b"xyz"),
+            encode_serve_frame(ServeMsgKind::Request, 7, b"xyz"),
+        );
+    }
+
+    #[test]
+    fn trace_ext_is_crc_covered() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            parent_span: 2,
+        };
+        let mut bytes = encode_serve_frame_traced(ServeMsgKind::Reply, 3, Some(ctx), b"abc");
+        // Flip a bit inside the trace extension (just past the header).
+        bytes[SERVE_HEADER_LEN] ^= 0xFF;
+        assert!(matches!(
+            read_serve_frame(&mut bytes.as_slice()),
+            Err(ServeError::Malformed(_))
+        ));
     }
 
     #[test]

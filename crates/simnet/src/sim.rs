@@ -164,6 +164,24 @@ impl SimRun<'_> {
         );
     }
 
+    /// [`Self::send`] of an *enveloped* payload: charges the wire for the
+    /// 16-byte envelope header, plus the 16-byte trace extension when the
+    /// run's observability handle is tracing — so scenarios can quantify
+    /// exactly what cross-node tracing costs in airtime (DESIGN.md §17:
+    /// +16 B per frame, nothing when tracing is off).
+    pub fn send_enveloped(&mut self, from: usize, to: usize, payload_bytes: u64) {
+        let ext = if self.obs.enabled() {
+            teamnet_obs::TRACE_EXT_LEN as u64
+        } else {
+            0
+        };
+        self.send(
+            from,
+            to,
+            payload_bytes + teamnet_obs::ENVELOPE_HEADER_LEN as u64 + ext,
+        );
+    }
+
     /// Unicasts `bytes` from `from` to every other node in id order
     /// (WiFi has no reliable multicast; the paper's broadcast loops over
     /// TCP sockets).
@@ -324,6 +342,30 @@ mod tests {
         let one_airtime = c.link.transfer_time(1_000_000);
         assert!((after_second.as_secs_f64() - 2.0 * one_airtime.as_secs_f64()).abs() < 1e-6);
         assert!(after_second > after_first);
+    }
+
+    #[test]
+    fn enveloped_send_charges_trace_ext_only_when_tracing() {
+        use std::sync::Arc;
+        use teamnet_obs::{Obs, TraceSink, VecSink};
+
+        let c = cluster(2);
+        let mut untraced = c.run();
+        untraced.send_enveloped(0, 1, 1_000);
+        let untraced_bytes = untraced.finish(None).bytes_sent;
+        assert_eq!(
+            untraced_bytes,
+            1_000 + teamnet_obs::ENVELOPE_HEADER_LEN as u64
+        );
+
+        let mut traced = c.run();
+        let sink = Arc::new(VecSink::new());
+        traced.set_obs(Obs::sim(sink as Arc<dyn TraceSink>));
+        traced.send_enveloped(0, 1, 1_000);
+        assert_eq!(
+            traced.finish(None).bytes_sent,
+            untraced_bytes + teamnet_obs::TRACE_EXT_LEN as u64
+        );
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //!    `step` function must handle every payload variant without a
 //!    wildcard arm (see [`conformance`]; rules `fsm-dispatch`,
 //!    `fsm-coverage`).
+//! 6. **Trace propagation** — every envelope / serve-frame send site in
+//!    `core` and `serve` must attach a trace context so cross-node traces
+//!    assemble without orphans (see [`tracerule`]; rule
+//!    `trace-propagation`).
 //!
 //! **`cargo xtask mc [--json] [--allow-truncation]`** — bounded
 //! explicit-state model checking of the protocol FSMs: exhaustive BFS
@@ -65,6 +69,14 @@
 //! `teamnet_obs::report`). Exits non-zero on a malformed event line or an
 //! empty span table — the CI traced-smoke stage relies on both.
 //!
+//! **`cargo xtask trace-assemble NODE=FILE.jsonl [NODE=FILE.jsonl ...]
+//! [--dag]`** — merges per-node JSONL traces into one causal DAG
+//! (`teamnet_obs::assemble`), reconciling clocks from per-edge send/recv
+//! deltas, and prints the byte-stable per-round critical-path table
+//! attributing each round's wall time to compute / wire / wait / retry.
+//! Orphan spans or malformed lines exit non-zero — the CI cross-node
+//! assembly stage relies on it.
+//!
 //! Implemented with `std` only: the sandbox has no crates-io access, so no
 //! `syn`/`clippy-utils`; the static passes work on comment/string-masked
 //! source (see [`lexer`]). The `mc` subcommand additionally links the
@@ -85,6 +97,7 @@ mod protocol;
 mod shapes;
 mod symbols;
 mod taint;
+mod tracerule;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -135,16 +148,19 @@ fn main() -> ExitCode {
         Some("mc") => run_mc(json, args.iter().any(|a| a == "--allow-truncation")),
         Some("cost") => run_cost(args.iter().any(|a| a == "--check"), json),
         Some("trace-report") => run_trace_report(args.get(1).map(String::as_str)),
+        Some("trace-assemble") => run_trace_assemble(&args[1..]),
         Some(other) => {
             eprintln!(
-                "unknown subcommand `{other}`; usage: cargo xtask <check|audit|mc|cost|trace-report>"
+                "unknown subcommand `{other}`; usage: \
+                 cargo xtask <check|audit|mc|cost|trace-report|trace-assemble>"
             );
             ExitCode::from(2)
         }
         None => {
             eprintln!(
                 "usage: cargo xtask <check [--json]|audit [--json]|mc [--json] \
-                 [--allow-truncation]|cost [--check] [--json]|trace-report FILE.jsonl>"
+                 [--allow-truncation]|cost [--check] [--json]|trace-report FILE.jsonl|\
+                 trace-assemble NODE=FILE.jsonl [NODE=FILE.jsonl ...] [--dag]>"
             );
             ExitCode::from(2)
         }
@@ -229,6 +245,66 @@ fn run_trace_report(path: Option<&str>) -> ExitCode {
     }
 }
 
+/// `trace-assemble NODE=FILE.jsonl ...` — merges per-node JSONL traces
+/// into one causal DAG (re-parenting cross-node spans along the trace
+/// contexts the frames carried), reconciles clocks from per-edge
+/// send/recv deltas, and prints the byte-stable per-round critical-path
+/// attribution table. `--dag` additionally prints the assembled span
+/// forest. Orphan spans (a remote parent no input file accounts for) and
+/// malformed lines fail loudly with a non-zero exit.
+fn run_trace_assemble(args: &[String]) -> ExitCode {
+    let mut inputs: Vec<(u64, String)> = Vec::new();
+    let mut dag = false;
+    for arg in args {
+        if arg == "--dag" {
+            dag = true;
+            continue;
+        }
+        let parsed = arg
+            .split_once('=')
+            .and_then(|(node, path)| Some((node.parse::<u64>().ok()?, path)));
+        let Some((node, path)) = parsed else {
+            eprintln!("trace-assemble: bad argument `{arg}` (want NODE=FILE.jsonl)");
+            return ExitCode::from(2);
+        };
+        match std::fs::read_to_string(path) {
+            Ok(text) => inputs.push((node, text)),
+            Err(e) => {
+                eprintln!("trace-assemble: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!(
+            "usage: cargo xtask trace-assemble NODE=FILE.jsonl [NODE=FILE.jsonl ...] [--dag]"
+        );
+        return ExitCode::from(2);
+    }
+    match teamnet_obs::assemble::assemble(&inputs) {
+        Ok(assembled) => {
+            for w in &assembled.warnings {
+                eprintln!("trace-assemble: warning: {w}");
+            }
+            if dag {
+                print!("{}", assembled.render_dag());
+            }
+            print!("{}", assembled.critical_path_report());
+            println!(
+                "{} span(s), {} wire edge(s) across {} node(s)",
+                assembled.spans.len(),
+                assembled.edges.len(),
+                assembled.skews.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace-assemble: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_check(json_mode: bool) -> ExitCode {
     let root = workspace_root();
     let mut diags = Vec::new();
@@ -296,6 +372,9 @@ fn run_audit(json_mode: bool) -> ExitCode {
     let (dispatch_sites, step_fns) = timed(&mut timings, "fsm-conformance", || {
         conformance::check(&model, &mut diags)
     });
+    let send_sites = timed(&mut timings, "trace-propagation", || {
+        tracerule::check(&model, &mut diags)
+    });
 
     finish(
         "audit",
@@ -307,7 +386,8 @@ fn run_audit(json_mode: bool) -> ExitCode {
              over {tainted} reachable fn(s); {variants} protocol variant(s) constructed, \
              dispatched and produced; no unchecked narrowing cast over {cast_audited} \
              wire/cost-reachable fn(s); {dispatch_sites} payload dispatch site(s) \
-             confined to core::fsm, {step_fns} step fn(s) fully covered [{}]",
+             confined to core::fsm, {step_fns} step fn(s) fully covered; \
+             {send_sites} send site(s) attach trace contexts [{}]",
             model.fns.len(),
             model.call_edge_count(),
             render_timings(&timings)

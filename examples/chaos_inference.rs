@@ -24,6 +24,13 @@
 //! TEAMNET_TRACE=trace.jsonl cargo run --release --example chaos_inference
 //! cargo xtask trace-report trace.jsonl
 //! ```
+//!
+//! Independently of the full trace, a fixed-capacity flight recorder is
+//! always armed: the last 256 trace events circulate in a [`RingSink`]
+//! (zero steady-state allocation), and the moment the failure detector
+//! quarantines worker 2 the runtime dumps the ring to
+//! `target/flight/flight-<n>.jsonl` — the dump's final line is the
+//! `flight.quarantine` mark naming the peer and round that triggered it.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,7 +42,7 @@ use teamnet_core::{
 };
 use teamnet_net::{ChannelTransport, ChaosConfig, ChaosTransport, SystemClock, Transport};
 use teamnet_nn::ModelSpec;
-use teamnet_obs::{wrap::fold_transport_stats, JsonlSink, Obs};
+use teamnet_obs::{wrap::fold_transport_stats, JsonlSink, NullSink, Obs, TraceSink};
 use teamnet_tensor::Tensor;
 
 const ROUNDS: usize = 30;
@@ -67,16 +74,19 @@ fn main() {
     let worker1 = ChaosTransport::with_config(mesh.pop().expect("node 1"), chaos(0xBEE1));
     let master = ChaosTransport::with_config(mesh.pop().expect("node 0"), chaos(0xBEE0));
 
-    // TEAMNET_TRACE=<path> turns the master's tracer on; unset, the
-    // NullSink path costs one branch per span.
-    let obs = match std::env::var("TEAMNET_TRACE") {
+    // TEAMNET_TRACE=<path> records the master's full trace; either way
+    // the flight recorder is armed: the last 256 events circulate in a
+    // ring and anomaly paths (quarantine, round failure) dump them.
+    let flight_dir = std::path::Path::new("target/flight");
+    let primary: Arc<dyn TraceSink> = match std::env::var("TEAMNET_TRACE") {
         Ok(path) => {
             let sink = JsonlSink::create(&path).expect("create trace file");
             println!("tracing master session to {path}");
-            Obs::new(Arc::new(SystemClock), Arc::new(sink))
+            Arc::new(sink)
         }
-        Err(_) => Obs::disabled(),
+        Err(_) => Arc::new(NullSink),
     };
+    let obs = Obs::with_flight_recorder(Arc::new(SystemClock), primary, 256, flight_dir);
 
     let config = MasterConfig {
         worker_timeout: Duration::from_millis(150),
@@ -199,6 +209,21 @@ fn main() {
         if obs.enabled() {
             obs.tracer.flush();
             println!("\nsession metrics:\n{}", obs.metrics.snapshot().summary());
+        }
+        let dumps = obs.flight.as_ref().map_or(0, |f| f.dump_count());
+        println!("\nflight recorder: {dumps} dump(s) in {}", flight_dir.display());
+        if dumps > 0 {
+            let first = flight_dir.join("flight-0.jsonl");
+            let text = std::fs::read_to_string(&first).expect("read flight dump");
+            let last = text.lines().last().expect("non-empty dump");
+            assert!(
+                last.contains("flight.quarantine"),
+                "flight dump must end with the triggering transition, got: {last}"
+            );
+            println!(
+                "  {} ends with the triggering transition: {last}",
+                first.display()
+            );
         }
         shutdown_workers(master.inner()).expect("shutdown");
     })
